@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Regenerates paper Fig. 10: (a) the per-input-combination breakdown
+ * of F-MAJ coverage on group C, and (b)/(c) the stability CDFs of
+ * F-MAJ on groups B and C, including the paper's headline: the
+ * in-memory majority error rate drops from 9.1% (original MAJ3) to
+ * 2.2% (F-MAJ).
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "analysis/fmaj_study.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+
+using namespace fracdram;
+
+namespace
+{
+
+void
+printCdfSummary(const char *name,
+                const analysis::FMajStabilityResult &r)
+{
+    std::printf("%s\n", name);
+    TextTable table({"module", "p10 success", "median", "p90",
+                     "always-correct"});
+    for (std::size_t m = 0; m < r.columnSuccess.size(); ++m) {
+        const auto &cs = r.columnSuccess[m];
+        auto q = [&cs](double f) {
+            return cs[static_cast<std::size_t>(
+                f * static_cast<double>(cs.size() - 1))];
+        };
+        table.addRow({std::to_string(m), TextTable::pct(q(0.10), 1),
+                      TextTable::pct(q(0.50), 1),
+                      TextTable::pct(q(0.90), 1),
+                      TextTable::pct(r.alwaysCorrect[m], 1)});
+    }
+    table.print();
+    std::printf("mean error rate (columns not always correct): %s\n\n",
+                TextTable::pct(r.meanErrorRate, 1).c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    analysis::FMajStudyParams combo_params;
+    analysis::FMajStabilityParams stab_params;
+    if (argc > 1 && std::strcmp(argv[1], "--quick") == 0) {
+        combo_params.modules = 1;
+        combo_params.subarraysPerModule = 1;
+        combo_params.dram.colsPerRow = 128;
+        stab_params.modules = 1;
+        stab_params.subarrays = 2;
+        stab_params.trials = 100;
+    }
+
+    // (a) Per-combination breakdown, group C, frac in R1, init ones.
+    std::puts("Fig. 10a: F-MAJ success per input combination "
+              "(group C, frac in R1, init all ones)\n");
+    auto cfg = core::bestFMajConfig(sim::DramGroup::C);
+    cfg.fracRow = cfg.actFirst; // R1
+    cfg.fracInitOnes = true;
+    const auto breakdown = analysis::fmajComboBreakdown(
+        sim::DramGroup::C, cfg, combo_params);
+    {
+        TextTable table({"#Frac", "{1,0,0}", "{0,1,0}", "{0,0,1}",
+                         "{0,1,1}", "{1,0,1}", "{1,1,0}", "overall"});
+        for (std::size_t n = 0; n < breakdown.success.size(); ++n) {
+            std::vector<std::string> row = {std::to_string(n)};
+            for (std::size_t k = 0; k < 6; ++k)
+                row.push_back(
+                    TextTable::pct(breakdown.success[n][k], 1));
+            row.push_back(TextTable::pct(breakdown.overall[n], 1));
+            table.addRow(std::move(row));
+        }
+        table.print();
+    }
+    // Green lines (majority one: {0,1,1},{1,0,1},{1,1,0}) start high
+    // and decline; blue lines (majority zero) start low and rise.
+    const auto &first = breakdown.success[0];
+    const auto &last = breakdown.success.back();
+    bool ok = first[5] > 0.9 && first[0] < 0.7;
+    ok &= last[0] > first[0]; // zero-majority combos improve
+    std::puts("");
+
+    // (b)/(c) Stability CDFs.
+    std::puts("Fig. 10b/c: stability of in-memory majority "
+              "(random inputs, repeated trials)\n");
+    const auto base_b = analysis::fmajStabilityStudy(
+        sim::DramGroup::B, /*baseline_maj3=*/true, stab_params);
+    printCdfSummary("group B, original MAJ3 (baseline)", base_b);
+    const auto fmaj_b = analysis::fmajStabilityStudy(
+        sim::DramGroup::B, /*baseline_maj3=*/false, stab_params);
+    printCdfSummary("group B, F-MAJ (best config)", fmaj_b);
+    const auto fmaj_c = analysis::fmajStabilityStudy(
+        sim::DramGroup::C, /*baseline_maj3=*/false, stab_params);
+    printCdfSummary("group C, F-MAJ (best config)", fmaj_c);
+
+    std::printf("error rate: original MAJ3 %s -> F-MAJ %s "
+                "(paper: 9.1%% -> 2.2%%)\n",
+                TextTable::pct(base_b.meanErrorRate, 1).c_str(),
+                TextTable::pct(fmaj_b.meanErrorRate, 1).c_str());
+
+    // Headline shape: F-MAJ strictly more stable than the baseline;
+    // group C spans a wide always-correct range (paper: 33%-85%).
+    ok &= fmaj_b.meanErrorRate < base_b.meanErrorRate;
+    for (const double a : fmaj_b.alwaysCorrect)
+        ok &= a > 0.90; // paper: at least 95.4% of columns
+    std::printf("shape check: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Regenerates paper Fig. 11: intra-HD and inter-HD distributions of
+ * the Frac-based PUF for groups A-I plus cross-group, and each
+ * group's mean response Hamming weight. Paper headlines: intra-HD
+ * concentrates near zero (max 0.051, group G), inter-HD clusters are
+ * group-dependent through the Hamming weight (group A: 21% ones),
+ * and the minimum inter-HD (0.27) stays far above the maximum
+ * intra-HD.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/puf_study.hh"
+#include "common/csv.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace fracdram;
+
+namespace
+{
+
+std::string
+describe(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return "-";
+    OnlineStats s;
+    for (const double x : xs)
+        s.add(x);
+    return strprintf("%.3f [%.3f, %.3f]", s.mean(), s.min(), s.max());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    analysis::PufStudyParams params;
+    std::string csv_dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            params.challenges = 10;
+            params.dram.colsPerRow = 1024;
+        } else if (std::strcmp(argv[i], "--csv") == 0 &&
+                   i + 1 < argc) {
+            csv_dir = argv[++i];
+        }
+    }
+
+    std::puts("Fig. 11: Frac-PUF intra-HD / inter-HD per group "
+              "(mean [min, max])\n");
+
+    const auto r = analysis::pufStudy(params);
+    TextTable table({"Group", "Hamming weight", "Intra-HD",
+                     "Inter-HD (within group)"});
+    for (const auto &g : r.groups) {
+        table.addRow({sim::groupName(g.group),
+                      TextTable::pct(g.hammingWeight, 0),
+                      describe(g.intraHd), describe(g.interHd)});
+    }
+    table.addRow({"cross", "-", "-", describe(r.crossGroupInterHd)});
+    table.print();
+    if (!csv_dir.empty()) {
+        CsvWriter csv({"group", "kind", "hd"});
+        for (const auto &g : r.groups) {
+            for (const double d : g.intraHd)
+                csv.addRow({sim::groupName(g.group), "intra",
+                            TextTable::num(d, 6)});
+            for (const double d : g.interHd)
+                csv.addRow({sim::groupName(g.group), "inter",
+                            TextTable::num(d, 6)});
+        }
+        for (const double d : r.crossGroupInterHd)
+            csv.addRow({"cross", "inter", TextTable::num(d, 6)});
+        csv.writeFile(csv_dir + "/fig11_hd.csv");
+    }
+
+    std::printf("\nmax intra-HD: %.3f (paper: 0.051)\n", r.maxIntraHd);
+    std::printf("min inter-HD: %.3f (paper: 0.27)\n", r.minInterHd);
+
+    bool ok = true;
+    // Reliability: intra-HD near zero.
+    ok &= r.maxIntraHd < 0.1;
+    // Uniqueness: clear margin between intra and inter.
+    ok &= r.minInterHd > 0.2;
+    ok &= r.minInterHd > 3.0 * r.maxIntraHd;
+    // Group A's biased Hamming weight (paper: 21% ones).
+    for (const auto &g : r.groups) {
+        if (g.group == sim::DramGroup::A)
+            ok &= g.hammingWeight > 0.1 && g.hammingWeight < 0.35;
+    }
+    std::printf("shape check: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Regenerates paper Fig. 12: Frac-PUF robustness to supply-voltage
+ * and temperature changes. (a) responses regenerated ten days later
+ * at 1.4 V supply: max intra-HD 0.07, min inter-HD 0.30. (b)
+ * responses at 20/40/60 C vs the 20 C baseline: intra-HD grows
+ * mildly with temperature but stays far below the inter-HD.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "analysis/puf_study.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace fracdram;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    analysis::PufStudyParams params;
+    params.modulesPerGroup = 1; // env study spans all nine groups
+    if (argc > 1 && std::strcmp(argv[1], "--quick") == 0) {
+        params.challenges = 10;
+        params.dram.colsPerRow = 1024;
+    }
+
+    std::puts("Fig. 12: Frac-PUF under environmental changes\n");
+    const auto r = analysis::pufEnvStudy(params);
+
+    std::puts("(a) supply voltage 1.5 V -> 1.4 V, ten days apart:");
+    {
+        OnlineStats intra, inter;
+        for (const double d : r.intraVdd)
+            intra.add(d);
+        for (const double d : r.interVdd)
+            inter.add(d);
+        TextTable table({"metric", "mean", "min", "max"});
+        table.addRow({"intra-HD", TextTable::num(intra.mean()),
+                      TextTable::num(intra.min()),
+                      TextTable::num(intra.max())});
+        table.addRow({"inter-HD", TextTable::num(inter.mean()),
+                      TextTable::num(inter.min()),
+                      TextTable::num(inter.max())});
+        table.print();
+        std::printf("max intra-HD %.3f (paper: 0.07), min inter-HD "
+                    "%.3f (paper: 0.30)\n\n",
+                    r.maxIntraVdd, r.minInterVdd);
+    }
+
+    std::puts("(b) temperature sweep vs 20 C baseline "
+              "(three months apart):");
+    {
+        TextTable table({"temperature", "mean intra-HD",
+                         "max intra-HD"});
+        for (const auto &p : r.temperatures) {
+            table.addRow({strprintf("%.0f C", p.temperatureC),
+                          TextTable::num(p.meanIntraHd),
+                          TextTable::num(p.maxIntraHd)});
+        }
+        table.print();
+        std::printf("min inter-HD across temperatures: %.3f\n",
+                    r.minInterTemp);
+    }
+
+    bool ok = true;
+    // (a) robust to the voltage change.
+    ok &= r.maxIntraVdd < 0.15;
+    ok &= r.minInterVdd > 2.0 * r.maxIntraVdd;
+    // (b) intra-HD grows (weakly) with temperature yet stays small.
+    ok &= r.temperatures.size() == 3;
+    ok &= r.temperatures.back().meanIntraHd + 1e-9 >=
+          r.temperatures.front().meanIntraHd;
+    ok &= r.temperatures.back().maxIntraHd < 0.15;
+    ok &= r.minInterTemp > 2.0 * r.temperatures.back().maxIntraHd;
+    std::printf("\nshape check: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Regenerates paper Fig. 9: coverage of the F-MAJ operation as a
+ * function of the number of Frac operations, for every choice of
+ * fractional row (R1..R4) and initial value, on groups B, C, and D.
+ * Group B also prints the original three-row MAJ3 baseline (the
+ * dashed line of Fig. 9a/d).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/fmaj_study.hh"
+#include "common/csv.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+
+using namespace fracdram;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    analysis::FMajStudyParams params;
+    std::string csv_dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            params.modules = 1;
+            params.subarraysPerModule = 2;
+            params.dram.colsPerRow = 128;
+        } else if (std::strcmp(argv[i], "--csv") == 0 &&
+                   i + 1 < argc) {
+            csv_dir = argv[++i];
+        }
+    }
+
+    std::puts("Fig. 9: F-MAJ coverage vs number of Frac operations\n");
+
+    const char *panels = "abc";
+    int panel = 0;
+    bool ok = true;
+    double best_b = 0.0, baseline_b = 0.0;
+
+    for (const auto group : sim::fourRowCapableGroups()) {
+        const auto result = analysis::fmajCoverageStudy(group, params);
+        std::printf("(%c) group %s\n", panels[panel++],
+                    sim::groupName(group).c_str());
+
+        TextTable table({"frac row", "init", "0 Frac", "1", "2", "3",
+                         "4", "5"});
+        double best_any = 0.0;
+        for (const auto &s : result.series) {
+            std::vector<std::string> row = {
+                "R" + std::to_string(s.fracRowIndex) + " (row " +
+                    std::to_string(s.fracRow) + ")",
+                s.initOnes ? "ones" : "zeros",
+            };
+            for (const auto &p : s.byNumFracs) {
+                row.push_back(TextTable::pct(p.mean, 1) + "+-" +
+                              TextTable::pct(p.ciHalf, 1));
+                best_any = std::max(best_any, p.mean);
+            }
+            table.addRow(std::move(row));
+        }
+        table.print();
+        if (!csv_dir.empty()) {
+            CsvWriter csv({"frac_row", "init", "num_fracs",
+                           "coverage", "ci_half"});
+            for (const auto &s2 : result.series) {
+                for (std::size_t n = 0; n < s2.byNumFracs.size();
+                     ++n) {
+                    csv.addRow({"R" + std::to_string(s2.fracRowIndex),
+                                s2.initOnes ? "ones" : "zeros",
+                                std::to_string(n),
+                                TextTable::num(
+                                    s2.byNumFracs[n].mean, 6),
+                                TextTable::num(
+                                    s2.byNumFracs[n].ciHalf, 6)});
+                }
+            }
+            csv.writeFile(csv_dir + "/fig9_group" +
+                          sim::groupName(group) + ".csv");
+        }
+        if (result.hasBaseline) {
+            std::printf("baseline three-row MAJ3 coverage: %s\n",
+                        TextTable::pct(result.baselineMaj3, 1).c_str());
+            baseline_b = result.baselineMaj3;
+            best_b = best_any;
+        }
+        std::printf("best F-MAJ coverage: %s\n\n",
+                    TextTable::pct(best_any, 1).c_str());
+
+        // Paper: F-MAJ works (non-zero) on ALL chips that open four
+        // rows, and coverage grows once fractional values are in play.
+        ok &= best_any > 0.5;
+    }
+
+    // (d) The paper's zoomed panel: group B's best configuration on
+    // a finer Frac sweep against the MAJ3 baseline.
+    {
+        std::puts("(d) group B, frac in R2 (init ones), fine sweep");
+        analysis::FMajStudyParams fine = params;
+        fine.maxFracs = 8;
+        const auto r = analysis::fmajCoverageStudy(sim::DramGroup::B,
+                                                   fine);
+        const analysis::FMajCoverageSeries *best = nullptr;
+        for (const auto &s : r.series) {
+            if (s.fracRowIndex == 2 && s.initOnes)
+                best = &s;
+        }
+        TextTable table({"#Frac", "F-MAJ coverage",
+                         "baseline MAJ3"});
+        for (std::size_t n = 0; n < best->byNumFracs.size(); ++n) {
+            table.addRow({std::to_string(n),
+                          TextTable::pct(best->byNumFracs[n].mean, 1),
+                          TextTable::pct(r.baselineMaj3, 1)});
+        }
+        table.print();
+        std::puts("");
+    }
+
+    // Paper headline: best F-MAJ beats the original MAJ3 coverage
+    // (99.8% vs 98.0% on group B).
+    std::printf("group B: F-MAJ %s vs baseline MAJ3 %s (paper: 99.8%% "
+                "vs 98.0%%)\n",
+                TextTable::pct(best_b, 1).c_str(),
+                TextTable::pct(baseline_b, 1).c_str());
+    ok &= best_b > baseline_b;
+    std::printf("shape check: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

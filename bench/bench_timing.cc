@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Regenerates the paper's latency and overhead numbers:
+ *  - Frac: 7 memory cycles (Sec. III-A)
+ *  - in-DRAM row copy: 18 cycles (Sec. VI-A1)
+ *  - F-MAJ vs original MAJ3: ~29% more cycles (Sec. VI-A1)
+ *  - Frac-PUF evaluation: 88 preparation cycles, ~1.5 us total,
+ *    ~0.7 us with an optimized (2-cycle-burst) controller
+ *    (Sec. VI-B2)
+ * plus a google-benchmark microbenchmark suite of the simulator's
+ * primitive operations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/fmaj.hh"
+#include "core/frac_op.hh"
+#include "core/maj3.hh"
+#include "core/multi_row.hh"
+#include "core/rowclone.hh"
+#include "puf/puf.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+using namespace fracdram;
+
+namespace
+{
+
+sim::DramParams
+pufParams()
+{
+    sim::DramParams p;
+    p.colsPerRow = 65536; // the paper's full 8 KB row
+    p.rowsPerSubarray = 64;
+    p.subarraysPerBank = 1;
+    return p;
+}
+
+/**
+ * Cycle cost of a full MAJ3 with ComputeDRAM's reserved-row strategy:
+ * copy the three operands in, run the charge-sharing op, copy the
+ * result back.
+ */
+Cycles
+maj3FlowCycles()
+{
+    return 3 * core::rowCopyCycles +
+           core::buildMultiRowSequence(0, 1, 2, false).lengthCycles() +
+           core::rowCopyCycles;
+}
+
+/**
+ * F-MAJ adds the fractional-row preparation: one copy from a reserved
+ * all-ones row plus the Frac operations (the paper quotes the
+ * two-Frac configuration for the 29% figure).
+ */
+Cycles
+fmajFlowCycles(int num_fracs)
+{
+    return maj3FlowCycles() + core::rowCopyCycles +
+           static_cast<Cycles>(num_fracs) * core::fracOpCycles;
+}
+
+void
+printPaperRows()
+{
+    std::puts("Latency / overhead rows (2.5 ns per memory cycle):\n");
+    TextTable table({"quantity", "measured", "paper"});
+
+    const auto frac_seq = core::buildFracSequence(0, 1, 2);
+    const Cycles per_frac =
+        frac_seq.lengthCycles() -
+        core::buildFracSequence(0, 1, 1).lengthCycles();
+    table.addRow({"Frac operation", std::to_string(per_frac) +
+                                        " cycles",
+                  "7 cycles"});
+
+    table.addRow({"in-DRAM row copy",
+                  std::to_string(core::buildRowCopySequence(0, 1, 33)
+                                     .lengthCycles()) +
+                      " cycles",
+                  "18 cycles"});
+
+    const double overhead =
+        static_cast<double>(fmajFlowCycles(2)) /
+            static_cast<double>(maj3FlowCycles()) -
+        1.0;
+    table.addRow({"F-MAJ vs MAJ3 overhead",
+                  TextTable::pct(overhead, 1), "+29%"});
+
+    // PUF evaluation timing on the full 8 KB row.
+    sim::DramChip chip(sim::DramGroup::B, 1, pufParams());
+    softmc::MemoryController mc(chip, false);
+    puf::FracPuf frac_puf(mc, 10);
+    table.addRow({"PUF preparation",
+                  std::to_string(frac_puf.preparationCycles()) +
+                      " cycles",
+                  "88 cycles"});
+    const double eval_us =
+        static_cast<double>(frac_puf.evaluationCycles()) * memCycleNs /
+        1000.0;
+    table.addRow({"PUF evaluation (8 KB)",
+                  TextTable::num(eval_us, 2) + " us", "1.5 us"});
+    mc.setCyclesPerBurst(2);
+    const double eval_fast_us =
+        static_cast<double>(frac_puf.evaluationCycles()) * memCycleNs /
+        1000.0;
+    table.addRow({"PUF evaluation (optimized MC)",
+                  TextTable::num(eval_fast_us, 2) + " us", "0.7 us"});
+    table.print();
+    std::puts("");
+}
+
+// --- google-benchmark microbenchmarks of the simulator itself ---
+
+sim::DramParams
+microParams()
+{
+    sim::DramParams p;
+    p.colsPerRow = 1024;
+    p.rowsPerSubarray = 64;
+    p.subarraysPerBank = 2;
+    return p;
+}
+
+void
+BM_WriteRow(benchmark::State &state)
+{
+    sim::DramChip chip(sim::DramGroup::B, 1, microParams());
+    softmc::MemoryController mc(chip, false);
+    BitVector bits(1024, true);
+    for (auto _ : state)
+        mc.writeRow(0, 4, bits);
+}
+BENCHMARK(BM_WriteRow);
+
+void
+BM_ReadRow(benchmark::State &state)
+{
+    sim::DramChip chip(sim::DramGroup::B, 1, microParams());
+    softmc::MemoryController mc(chip, false);
+    mc.fillRowVoltage(0, 4, true);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mc.readRow(0, 4));
+}
+BENCHMARK(BM_ReadRow);
+
+void
+BM_FracOp(benchmark::State &state)
+{
+    sim::DramChip chip(sim::DramGroup::B, 1, microParams());
+    softmc::MemoryController mc(chip, false);
+    mc.fillRowVoltage(0, 4, true);
+    for (auto _ : state)
+        core::frac(mc, 0, 4, 1);
+}
+BENCHMARK(BM_FracOp);
+
+void
+BM_Maj3(benchmark::State &state)
+{
+    sim::DramChip chip(sim::DramGroup::B, 1, microParams());
+    softmc::MemoryController mc(chip, false);
+    for (const RowAddr r : {0u, 1u, 2u})
+        mc.fillRowVoltage(0, r, true);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::maj3InPlace(mc, 0, 1, 2));
+}
+BENCHMARK(BM_Maj3);
+
+void
+BM_FMaj(benchmark::State &state)
+{
+    sim::DramChip chip(sim::DramGroup::B, 1, microParams());
+    softmc::MemoryController mc(chip, false);
+    const auto cfg = core::bestFMajConfig(sim::DramGroup::B);
+    const std::array<BitVector, 3> ops = {BitVector(1024, true),
+                                          BitVector(1024, false),
+                                          BitVector(1024, true)};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::fmaj(mc, 0, cfg, ops));
+}
+BENCHMARK(BM_FMaj);
+
+void
+BM_RowCopy(benchmark::State &state)
+{
+    sim::DramChip chip(sim::DramGroup::B, 1, microParams());
+    softmc::MemoryController mc(chip, false);
+    mc.fillRowVoltage(0, 20, true);
+    for (auto _ : state)
+        core::rowCopy(mc, 0, 20, 52);
+}
+BENCHMARK(BM_RowCopy);
+
+void
+BM_PufEvaluate(benchmark::State &state)
+{
+    sim::DramChip chip(sim::DramGroup::B, 1, microParams());
+    softmc::MemoryController mc(chip, false);
+    puf::FracPuf frac_puf(mc, 10);
+    const puf::Challenge c{0, 4};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(frac_puf.evaluate(c));
+}
+BENCHMARK(BM_PufEvaluate);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    printPaperRows();
+    // Swallow the suite-wide --quick flag (unknown to
+    // google-benchmark) by shortening the microbenchmark run.
+    std::vector<char *> args;
+    bool quick = false;
+    for (int i = 0; i < argc; ++i) {
+        if (std::string(argv[i]) == "--quick")
+            quick = true;
+        else
+            args.push_back(argv[i]);
+    }
+    static char min_time[] = "--benchmark_min_time=0.05s";
+    if (quick)
+        args.push_back(min_time);
+    int filtered_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&filtered_argc, args.data());
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

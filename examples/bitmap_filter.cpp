@@ -1,0 +1,97 @@
+/**
+ * @file
+ * In-memory bulk bitwise filtering - the workload class that
+ * motivates processing-with-memory (paper Sec. I).
+ *
+ * A tiny analytics engine keeps three bitmap indexes over a user
+ * table (one bit per user):
+ *   P: bought product
+ *   N: opened the newsletter
+ *   R: lives in the target region
+ * Campaign query: users with (P AND N) OR R.
+ *
+ * AND and OR are built from the in-memory majority operation the way
+ * Ambit/ComputeDRAM do:  AND(a,b) = MAJ3(a,b,0),  OR(a,b) =
+ * MAJ3(a,b,1). On modules that cannot open exactly three rows the
+ * library transparently uses F-MAJ (a four-row activation with a
+ * fractional value) - the paper's headline extension.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/fracdram.hh"
+
+using namespace fracdram;
+
+namespace
+{
+
+BitVector
+randomBitmap(std::size_t n, double density, std::uint64_t seed)
+{
+    Rng rng(seed);
+    BitVector v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v.set(i, rng.chance(density));
+    return v;
+}
+
+/** In-memory AND via majority with an all-zeros operand. */
+BitVector
+inMemAnd(core::FracDram &dram, const BitVector &a, const BitVector &b)
+{
+    return dram.majority(0, {a, b, BitVector(a.size(), false)});
+}
+
+/** In-memory OR via majority with an all-ones operand. */
+BitVector
+inMemOr(core::FracDram &dram, const BitVector &a, const BitVector &b)
+{
+    return dram.majority(0, {a, b, BitVector(a.size(), true)});
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+
+    // Group C cannot open three rows - the original ComputeDRAM MAJ3
+    // is unavailable - but F-MAJ makes the same queries work.
+    for (const auto group : {sim::DramGroup::B, sim::DramGroup::C}) {
+        core::FracDram dram(group, /*serial=*/7);
+        const std::size_t users = dram.chip().dramParams().colsPerRow;
+
+        const BitVector bought = randomBitmap(users, 0.3, 1);
+        const BitVector opened = randomBitmap(users, 0.5, 2);
+        const BitVector region = randomBitmap(users, 0.1, 3);
+
+        // (bought AND opened) OR region - two in-memory ops.
+        const BitVector and_bits = inMemAnd(dram, bought, opened);
+        const BitVector result = inMemOr(dram, and_bits, region);
+
+        // Software reference for accuracy accounting.
+        std::size_t correct = 0, selected = 0;
+        for (std::size_t i = 0; i < users; ++i) {
+            const bool expect = (bought.get(i) && opened.get(i)) ||
+                                region.get(i);
+            correct += result.get(i) == expect;
+            selected += result.get(i);
+        }
+        std::printf(
+            "group %s (%s): selected %zu/%zu users, accuracy %.1f%%\n",
+            sim::groupName(group).c_str(),
+            dram.canThreeRowActivate() ? "three-row MAJ3"
+                                       : "F-MAJ on four rows",
+            selected, users,
+            100.0 * static_cast<double>(correct) /
+                static_cast<double>(users));
+    }
+
+    std::puts("\nbitmap filter done (in-DRAM bulk bitwise ops, no "
+              "data movement to the CPU).");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * DRAM retention characterization with fractional values (paper
+ * Sec. VI-C): by storing different voltage levels (different Frac
+ * counts) in the same cell and measuring the retention time of each,
+ * the leakage trajectory of individual cells can be traced without
+ * an oscilloscope - something binary writes cannot do.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "core/frac_op.hh"
+#include "core/fracdram.hh"
+#include "core/retention.hh"
+
+using namespace fracdram;
+
+int
+main()
+{
+    setVerbose(false);
+    core::FracDram dram(sim::DramGroup::B, /*serial=*/11);
+    auto &mc = dram.controller();
+    const BankAddr bank = 0;
+    const RowAddr row = 4;
+
+    std::puts("cell leakage tracing via fractional voltage levels");
+    std::puts("(store progressively lower levels with more Fracs; "
+              "the retention\n bucket of each level brackets the "
+              "voltage-vs-time curve)\n");
+
+    core::RetentionProfiler profiler(mc, bank, row);
+    TextTable table({"#Frac (level)", "median bucket",
+                     "cells dead at t=0", "cells >12h"});
+
+    for (const int n : {0, 1, 2, 3, 5, 10}) {
+        const auto buckets = profiler.profile([&] {
+            mc.fillRowVoltage(bank, row, true);
+            if (n > 0)
+                core::frac(mc, bank, row, n);
+        });
+        EmpiricalCdf cdf;
+        std::size_t dead = 0, top = 0;
+        for (const auto b : buckets) {
+            cdf.add(static_cast<double>(b));
+            dead += b == 0;
+            top += b == core::RetentionBuckets::numBuckets() - 1;
+        }
+        const auto median_bucket =
+            static_cast<std::size_t>(cdf.quantile(0.5));
+        table.addRow({
+            std::to_string(n),
+            core::RetentionBuckets::label(median_bucket),
+            TextTable::pct(static_cast<double>(dead) /
+                               static_cast<double>(buckets.size()),
+                           1),
+            TextTable::pct(static_cast<double>(top) /
+                               static_cast<double>(buckets.size()),
+                           1),
+        });
+    }
+    table.print();
+
+    std::puts("\neach row of the table is one point on every cell's "
+              "V(t) curve -\nthe profile a refresh-optimization or "
+              "retention-aware allocator needs.");
+    return 0;
+}

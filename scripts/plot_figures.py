@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Plot the paper figures from the bench binaries' CSV exports.
+
+Usage:
+    mkdir -p out
+    ./build/bench/bench_fig6_retention       --csv out
+    ./build/bench/bench_fig9_fmaj_coverage   --csv out
+    ./build/bench/bench_fig11_puf            --csv out
+    python3 scripts/plot_figures.py out
+
+Writes fig6_<group>.png, fig9_<group>.png and fig11.png next to the
+CSV files. Requires matplotlib.
+"""
+
+import csv
+import glob
+import os
+import sys
+from collections import defaultdict
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))
+
+
+def plot_fig6(plt, path):
+    """Retention heatmap: buckets x number of Fracs."""
+    rows = read_csv(path)
+    buckets = []
+    for r in rows:
+        if r["bucket"] not in buckets:
+            buckets.append(r["bucket"])
+    num_fracs = sorted({int(r["num_fracs"]) for r in rows})
+    grid = [[0.0] * len(num_fracs) for _ in buckets]
+    for r in rows:
+        grid[buckets.index(r["bucket"])][int(r["num_fracs"])] = float(
+            r["fraction"])
+
+    fig, ax = plt.subplots(figsize=(4, 3))
+    im = ax.imshow(grid, aspect="auto", cmap="Blues", origin="lower")
+    ax.set_xticks(range(len(num_fracs)), [str(n) for n in num_fracs])
+    ax.set_yticks(range(len(buckets)), buckets)
+    ax.set_xlabel("# Frac operations")
+    ax.set_ylabel("retention bucket")
+    group = os.path.basename(path)[len("fig6_"):-len(".csv")]
+    ax.set_title(f"Fig. 6 - {group}")
+    fig.colorbar(im, ax=ax, label="fraction of cells")
+    out = path[:-len(".csv")] + ".png"
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def plot_fig9(plt, path):
+    """F-MAJ coverage lines per (frac row, init)."""
+    rows = read_csv(path)
+    series = defaultdict(list)
+    for r in rows:
+        key = f'{r["frac_row"]} init {r["init"]}'
+        series[key].append((int(r["num_fracs"]), float(r["coverage"]),
+                            float(r["ci_half"])))
+
+    fig, ax = plt.subplots(figsize=(5, 3.5))
+    for key, pts in sorted(series.items()):
+        pts.sort()
+        xs = [p[0] for p in pts]
+        ys = [p[1] for p in pts]
+        es = [p[2] for p in pts]
+        style = "-" if "ones" in key else "--"
+        ax.errorbar(xs, ys, yerr=es, label=key, linestyle=style,
+                    marker="o", markersize=3, capsize=2)
+    ax.set_xlabel("# Frac operations")
+    ax.set_ylabel("F-MAJ coverage")
+    ax.set_ylim(0, 1.02)
+    group = os.path.basename(path)[len("fig9_"):-len(".csv")]
+    ax.set_title(f"Fig. 9 - {group}")
+    ax.legend(fontsize=6, ncol=2)
+    out = path[:-len(".csv")] + ".png"
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def plot_fig11(plt, path):
+    """Intra/inter HD distributions per group."""
+    rows = read_csv(path)
+    groups = []
+    for r in rows:
+        if r["group"] not in groups:
+            groups.append(r["group"])
+    fig, ax = plt.subplots(figsize=(6, 3.5))
+    for i, g in enumerate(groups):
+        intra = [float(r["hd"]) for r in rows
+                 if r["group"] == g and r["kind"] == "intra"]
+        inter = [float(r["hd"]) for r in rows
+                 if r["group"] == g and r["kind"] == "inter"]
+        if intra:
+            ax.scatter([i] * len(intra), intra, s=6, c="tab:green",
+                       label="intra-HD" if i == 0 else None)
+        if inter:
+            ax.scatter([i] * len(inter), inter, s=6, c="tab:red",
+                       label="inter-HD" if i == 0 else None)
+    ax.set_xticks(range(len(groups)), groups)
+    ax.set_ylabel("normalized Hamming distance")
+    ax.set_ylim(-0.02, 0.62)
+    ax.set_title("Fig. 11 - Frac-PUF intra/inter HD")
+    ax.legend()
+    out = os.path.join(os.path.dirname(path), "fig11.png")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib is required: pip install matplotlib")
+        return 1
+
+    out_dir = sys.argv[1]
+    found = False
+    for path in sorted(glob.glob(os.path.join(out_dir, "fig6_*.csv"))):
+        plot_fig6(plt, path)
+        found = True
+    for path in sorted(glob.glob(os.path.join(out_dir, "fig9_*.csv"))):
+        plot_fig9(plt, path)
+        found = True
+    fig11 = os.path.join(out_dir, "fig11_hd.csv")
+    if os.path.exists(fig11):
+        plot_fig11(plt, fig11)
+        found = True
+    if not found:
+        print(f"no fig*.csv files in {out_dir}; run the benches with "
+              "--csv first")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

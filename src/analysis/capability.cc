@@ -1,0 +1,102 @@
+#include "analysis/capability.hh"
+
+#include "common/rng.hh"
+#include "core/frac_op.hh"
+#include "core/multi_row.hh"
+#include "sim/chip.hh"
+
+namespace fracdram::analysis
+{
+
+namespace
+{
+
+BitVector
+markerPattern(std::size_t cols, std::uint64_t tag)
+{
+    Rng rng(mixSeed(0xcafef00dULL, tag));
+    BitVector bits(cols);
+    for (std::size_t c = 0; c < cols; ++c)
+        bits.set(c, rng.chance(0.5));
+    return bits;
+}
+
+double
+fractionChanged(const BitVector &a, const BitVector &b)
+{
+    return static_cast<double>(a.hammingDistance(b)) /
+           static_cast<double>(a.size());
+}
+
+/**
+ * Store unique markers in the glitch window, run ACT(r1)-PRE-ACT(r2),
+ * and count how many rows were overwritten with a shared result.
+ */
+std::size_t
+countParticipatingRows(softmc::MemoryController &mc, BankAddr bank,
+                       RowAddr r1, RowAddr r2)
+{
+    const std::size_t cols = mc.chip().dramParams().colsPerRow;
+    constexpr RowAddr window = 16;
+    std::vector<BitVector> markers;
+    for (RowAddr row = 0; row < window; ++row) {
+        markers.push_back(markerPattern(cols, row));
+        mc.writeRowVoltage(bank, row, markers.back());
+    }
+
+    core::multiRowActivate(mc, bank, r1, r2);
+
+    std::size_t participating = 0;
+    for (RowAddr row = 0; row < window; ++row) {
+        const BitVector now = mc.readRowVoltage(bank, row);
+        if (fractionChanged(now, markers[row]) > 0.05)
+            ++participating;
+    }
+    return participating;
+}
+
+} // namespace
+
+Capability
+probeCapability(softmc::MemoryController &mc)
+{
+    Capability cap;
+    const BankAddr bank = 0;
+
+    // Frac probe: a fractional row no longer reads back as all ones.
+    mc.fillRowVoltage(bank, 0, true);
+    core::frac(mc, bank, 0, 5);
+    const BitVector readout = mc.readRowVoltage(bank, 0);
+    cap.frac = readout.hammingWeight() < 0.95;
+
+    // Multi-row probes: the adjacent pair (1,2) distinguishes the
+    // three-row decoders (group B opens {0,1,2}) from the
+    // power-of-two decoders (groups C/D open {0,1,2,3}); the pair
+    // (8,1) probes four-row capability directly ({0,1,8,9}).
+    const std::size_t adjacent = countParticipatingRows(mc, bank, 1, 2);
+    const std::size_t spread = countParticipatingRows(mc, bank, 8, 1);
+    cap.threeRow = adjacent == 3;
+    cap.fourRow = spread == 4 || adjacent == 4;
+    return cap;
+}
+
+std::vector<CapabilityRow>
+scanAllGroups(const sim::DramParams &params)
+{
+    std::vector<CapabilityRow> rows;
+    for (const auto group : sim::allGroups()) {
+        const auto &profile = sim::vendorProfile(group);
+        sim::DramChip chip(group, /*serial=*/1, params);
+        softmc::MemoryController mc(chip, /*enforce_spec=*/false);
+        CapabilityRow row;
+        row.group = group;
+        row.vendor = profile.vendor;
+        row.freqMhz = profile.freqMhz;
+        row.numChips = profile.numChips;
+        row.probed = probeCapability(mc);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace fracdram::analysis

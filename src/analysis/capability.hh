@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Behavioural capability scanner (paper Table I): probes a module -
+ * through the command interface only - for Frac support, three-row
+ * activation, and four-row activation.
+ */
+
+#ifndef FRACDRAM_ANALYSIS_CAPABILITY_HH
+#define FRACDRAM_ANALYSIS_CAPABILITY_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/vendor.hh"
+#include "softmc/controller.hh"
+
+namespace fracdram::analysis
+{
+
+/** Probed capabilities of one module. */
+struct Capability
+{
+    bool frac = false;
+    bool threeRow = false;
+    bool fourRow = false;
+};
+
+/**
+ * Probe a module behaviourally (no white-box access):
+ *
+ *  - Frac: fill a row with ones, issue five Frac operations, read it
+ *    back. On a Frac-capable module the near-V_dd/2 cells resolve by
+ *    sense-amp offsets and the readout is no longer all ones.
+ *  - Three-/four-row activation: store marker values, run
+ *    ACT(R1)-PRE-ACT(R2), and count how many rows were overwritten
+ *    with the shared result.
+ */
+Capability probeCapability(softmc::MemoryController &mc);
+
+/** One Table-I row: group metadata plus probed capabilities. */
+struct CapabilityRow
+{
+    sim::DramGroup group;
+    std::string vendor;
+    int freqMhz;
+    int numChips;
+    Capability probed;
+};
+
+/** Probe one module of every group (regenerates Table I). */
+std::vector<CapabilityRow> scanAllGroups(
+    const sim::DramParams &params = sim::DramParams{});
+
+} // namespace fracdram::analysis
+
+#endif // FRACDRAM_ANALYSIS_CAPABILITY_HH

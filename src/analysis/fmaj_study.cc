@@ -1,0 +1,365 @@
+#include "analysis/fmaj_study.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "core/maj3.hh"
+#include "core/multi_row.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+namespace fracdram::analysis
+{
+
+namespace
+{
+
+/** The six non-trivial constant MAJ3 input combinations. */
+constexpr bool kCombos[6][3] = {
+    {1, 0, 0}, {0, 1, 0}, {0, 0, 1},
+    {0, 1, 1}, {1, 0, 1}, {1, 1, 0},
+};
+
+/** Sub-array-local activation pair per group (see the paper). */
+void
+activationPair(sim::DramGroup group, RowAddr &r1, RowAddr &r2)
+{
+    if (group == sim::DramGroup::B) {
+        r1 = 8; // opens {0, 1, 8, 9}
+        r2 = 1;
+    } else {
+        r1 = 1; // opens {0, 1, 2, 3}
+        r2 = 2;
+    }
+}
+
+core::FMajConfig
+offsetConfig(const core::FMajConfig &cfg, RowAddr base)
+{
+    core::FMajConfig out = cfg;
+    out.actFirst += base;
+    out.actSecond += base;
+    out.fracRow += base;
+    return out;
+}
+
+/** Columns passing all six combos for one prepared configuration. */
+std::vector<bool>
+coverageColumns(softmc::MemoryController &mc, BankAddr bank,
+                const core::FMajConfig &cfg)
+{
+    const std::size_t cols = mc.chip().dramParams().colsPerRow;
+    std::vector<bool> pass(cols, true);
+    for (const auto &combo : kCombos) {
+        std::array<BitVector, 3> ops = {
+            BitVector(cols, combo[0]),
+            BitVector(cols, combo[1]),
+            BitVector(cols, combo[2]),
+        };
+        const bool expected =
+            static_cast<int>(combo[0]) + combo[1] + combo[2] >= 2;
+        const auto result = core::fmaj(mc, bank, cfg, ops);
+        for (std::size_t c = 0; c < cols; ++c)
+            if (result.get(c) != expected)
+                pass[c] = false;
+    }
+    return pass;
+}
+
+/** Baseline three-row MAJ3 coverage of one sub-array (group B). */
+std::vector<bool>
+baselineCoverageColumns(softmc::MemoryController &mc, BankAddr bank,
+                        RowAddr base)
+{
+    const std::size_t cols = mc.chip().dramParams().colsPerRow;
+    std::vector<bool> pass(cols, true);
+    for (const auto &combo : kCombos) {
+        std::map<RowAddr, BitVector> ops;
+        ops.emplace(base + 0, BitVector(cols, combo[0]));
+        ops.emplace(base + 1, BitVector(cols, combo[1]));
+        ops.emplace(base + 2, BitVector(cols, combo[2]));
+        const bool expected =
+            static_cast<int>(combo[0]) + combo[1] + combo[2] >= 2;
+        const auto result =
+            core::maj3(mc, bank, base + 1, base + 2, ops);
+        for (std::size_t c = 0; c < cols; ++c)
+            if (result.get(c) != expected)
+                pass[c] = false;
+    }
+    return pass;
+}
+
+struct SubarrayRef
+{
+    BankAddr bank;
+    RowAddr base;
+};
+
+std::vector<SubarrayRef>
+subarrays(const sim::DramParams &dram, int count)
+{
+    std::vector<SubarrayRef> out;
+    const auto per_bank = dram.subarraysPerBank;
+    for (int s = 0; s < count; ++s) {
+        out.push_back(
+            {static_cast<BankAddr>(s / per_bank) % dram.numBanks,
+             static_cast<RowAddr>(s % per_bank) *
+                 dram.rowsPerSubarray});
+    }
+    return out;
+}
+
+} // namespace
+
+FMajCoverageResult
+fmajCoverageStudy(sim::DramGroup group, const FMajStudyParams &params)
+{
+    fatal_if(!sim::vendorProfile(group).supportsFourRow,
+             "group %s cannot open four rows",
+             sim::groupName(group).c_str());
+
+    RowAddr r1, r2;
+    activationPair(group, r1, r2);
+
+    FMajCoverageResult result;
+    result.group = group;
+
+    // Determine the four opened rows (sub-array-local) and their
+    // paper labels R1..R4 in activation order.
+    sim::DramChip probe(group, params.seedBase, params.dram);
+    const auto opened = core::plannedOpenedRows(probe, r1, r2);
+    panic_if(opened.size() != 4, "expected four-row activation");
+    std::vector<RowAddr> labeled(4);
+    labeled[0] = r1;
+    labeled[1] = r2;
+    {
+        std::size_t idx = 2;
+        for (const auto &o : opened)
+            if (o.row != r1 && o.row != r2)
+                labeled[idx++] = o.row;
+    }
+
+    const std::size_t runs =
+        static_cast<std::size_t>(params.maxFracs) + 1;
+
+    // Prepare all series.
+    for (int row_idx = 0; row_idx < 4; ++row_idx) {
+        for (const bool init_ones : {true, false}) {
+            FMajCoverageSeries series;
+            series.fracRow = labeled[row_idx];
+            series.fracRowIndex = row_idx + 1;
+            series.initOnes = init_ones;
+            series.byNumFracs.resize(runs);
+            result.series.push_back(series);
+        }
+    }
+
+    // stats[series][numFracs] over modules.
+    std::vector<std::vector<OnlineStats>> stats(
+        result.series.size(), std::vector<OnlineStats>(runs));
+    OnlineStats baseline_stats;
+
+    for (int m = 0; m < params.modules; ++m) {
+        sim::DramChip chip(group, params.seedBase + m, params.dram);
+        softmc::MemoryController mc(chip, false);
+        const auto subs =
+            subarrays(params.dram, params.subarraysPerModule);
+
+        for (std::size_t si = 0; si < result.series.size(); ++si) {
+            const auto &series = result.series[si];
+            for (std::size_t n = 0; n < runs; ++n) {
+                std::size_t pass = 0, total = 0;
+                for (const auto &sub : subs) {
+                    core::FMajConfig cfg;
+                    cfg.actFirst = r1;
+                    cfg.actSecond = r2;
+                    cfg.fracRow = series.fracRow;
+                    cfg.fracInitOnes = series.initOnes;
+                    cfg.numFracs = static_cast<int>(n);
+                    const auto cols = coverageColumns(
+                        mc, sub.bank, offsetConfig(cfg, sub.base));
+                    for (const bool p : cols) {
+                        pass += p;
+                        ++total;
+                    }
+                }
+                stats[si][n].add(static_cast<double>(pass) /
+                                 static_cast<double>(total));
+            }
+        }
+
+        if (group == sim::DramGroup::B) {
+            std::size_t pass = 0, total = 0;
+            for (const auto &sub : subs) {
+                const auto cols =
+                    baselineCoverageColumns(mc, sub.bank, sub.base);
+                for (const bool p : cols) {
+                    pass += p;
+                    ++total;
+                }
+            }
+            baseline_stats.add(static_cast<double>(pass) /
+                               static_cast<double>(total));
+        }
+    }
+
+    for (std::size_t si = 0; si < result.series.size(); ++si) {
+        for (std::size_t n = 0; n < runs; ++n) {
+            result.series[si].byNumFracs[n] = {
+                stats[si][n].mean(), stats[si][n].ciHalfWidth()};
+        }
+    }
+    if (group == sim::DramGroup::B) {
+        result.baselineMaj3 = baseline_stats.mean();
+        result.hasBaseline = true;
+    }
+    return result;
+}
+
+FMajComboBreakdown
+fmajComboBreakdown(sim::DramGroup group, const core::FMajConfig &config,
+                   const FMajStudyParams &params)
+{
+    FMajComboBreakdown out;
+    out.group = group;
+    out.config = config;
+    const std::size_t runs =
+        static_cast<std::size_t>(params.maxFracs) + 1;
+    out.success.assign(runs, {});
+    out.overall.assign(runs, 0.0);
+
+    std::vector<std::array<std::size_t, 6>> ok(
+        runs, std::array<std::size_t, 6>{});
+    std::vector<std::size_t> all_ok(runs, 0);
+    std::size_t total = 0;
+
+    for (int m = 0; m < params.modules; ++m) {
+        sim::DramChip chip(group, params.seedBase + m, params.dram);
+        softmc::MemoryController mc(chip, false);
+        const auto subs =
+            subarrays(params.dram, params.subarraysPerModule);
+        const std::size_t cols = params.dram.colsPerRow;
+
+        for (const auto &sub : subs) {
+            total += cols;
+            for (std::size_t n = 0; n < runs; ++n) {
+                core::FMajConfig cfg = offsetConfig(config, sub.base);
+                cfg.numFracs = static_cast<int>(n);
+                std::vector<bool> pass_all(cols, true);
+                for (std::size_t k = 0; k < 6; ++k) {
+                    std::array<BitVector, 3> ops = {
+                        BitVector(cols, kCombos[k][0]),
+                        BitVector(cols, kCombos[k][1]),
+                        BitVector(cols, kCombos[k][2]),
+                    };
+                    const bool expected =
+                        static_cast<int>(kCombos[k][0]) +
+                            kCombos[k][1] + kCombos[k][2] >=
+                        2;
+                    const auto result =
+                        core::fmaj(mc, sub.bank, cfg, ops);
+                    for (std::size_t c = 0; c < cols; ++c) {
+                        const bool good = result.get(c) == expected;
+                        ok[n][k] += good;
+                        pass_all[c] = pass_all[c] && good;
+                    }
+                }
+                for (const bool p : pass_all)
+                    all_ok[n] += p;
+            }
+        }
+    }
+
+    for (std::size_t n = 0; n < runs; ++n) {
+        for (std::size_t k = 0; k < 6; ++k) {
+            out.success[n][k] = total ? static_cast<double>(ok[n][k]) /
+                                            static_cast<double>(total)
+                                      : 0.0;
+        }
+        out.overall[n] = total ? static_cast<double>(all_ok[n]) /
+                                     static_cast<double>(total)
+                               : 0.0;
+    }
+    return out;
+}
+
+FMajStabilityResult
+fmajStabilityStudy(sim::DramGroup group, bool baseline_maj3,
+                   const FMajStabilityParams &params)
+{
+    fatal_if(baseline_maj3 && group != sim::DramGroup::B,
+             "three-row MAJ3 baseline only exists on group B");
+
+    FMajStabilityResult result;
+    result.group = group;
+    result.baselineMaj3 = baseline_maj3;
+
+    const std::size_t cols = params.dram.colsPerRow;
+    Rng input_rng(mixSeed(params.seedBase, 0x57ab1e));
+
+    auto random_bits = [&input_rng, cols]() {
+        BitVector v(cols);
+        for (std::size_t c = 0; c < cols; ++c)
+            v.set(c, input_rng.chance(0.5));
+        return v;
+    };
+
+    OnlineStats err;
+    for (int m = 0; m < params.modules; ++m) {
+        sim::DramChip chip(group, params.seedBase + m, params.dram);
+        softmc::MemoryController mc(chip, false);
+        const auto subs = subarrays(params.dram, params.subarrays);
+
+        std::vector<double> column_success;
+        std::size_t always = 0, col_total = 0;
+
+        for (const auto &sub : subs) {
+            std::vector<std::size_t> good(cols, 0);
+            for (int t = 0; t < params.trials; ++t) {
+                const auto a = random_bits();
+                const auto b = random_bits();
+                const auto c3 = random_bits();
+                const auto expected = core::softwareMaj3(a, b, c3);
+                BitVector result_bits;
+                if (baseline_maj3) {
+                    std::map<RowAddr, BitVector> ops;
+                    ops.emplace(sub.base + 0, a);
+                    ops.emplace(sub.base + 1, b);
+                    ops.emplace(sub.base + 2, c3);
+                    result_bits = core::maj3(mc, sub.bank,
+                                             sub.base + 1,
+                                             sub.base + 2, ops);
+                } else {
+                    const auto cfg = offsetConfig(
+                        core::bestFMajConfig(group), sub.base);
+                    result_bits = core::fmaj(mc, sub.bank, cfg,
+                                             {a, b, c3});
+                }
+                for (std::size_t c = 0; c < cols; ++c)
+                    good[c] += result_bits.get(c) == expected.get(c);
+            }
+            for (std::size_t c = 0; c < cols; ++c) {
+                const double rate =
+                    static_cast<double>(good[c]) /
+                    static_cast<double>(params.trials);
+                column_success.push_back(rate);
+                always += good[c] ==
+                          static_cast<std::size_t>(params.trials);
+                ++col_total;
+            }
+        }
+        std::sort(column_success.begin(), column_success.end());
+        result.columnSuccess.push_back(std::move(column_success));
+        const double frac_always =
+            static_cast<double>(always) /
+            static_cast<double>(col_total);
+        result.alwaysCorrect.push_back(frac_always);
+        err.add(1.0 - frac_always);
+    }
+    result.meanErrorRate = err.mean();
+    return result;
+}
+
+} // namespace fracdram::analysis

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Figs. 9 and 10 harness: coverage and stability of F-MAJ.
+ *
+ * Coverage (Fig. 9): fraction of columns that produce the correct
+ * majority for all six non-trivial constant input combinations, as a
+ * function of which row holds the fractional value, its initial
+ * value, and the number of Frac operations. Group B also gets the
+ * original three-row MAJ3 as the baseline.
+ *
+ * Stability (Fig. 10b/c): per-column success rate over many F-MAJ
+ * trials with random inputs; the paper's headline is the fraction of
+ * columns that are *not* always correct (9.1% for baseline MAJ3 on
+ * group B vs 2.2% for F-MAJ).
+ */
+
+#ifndef FRACDRAM_ANALYSIS_FMAJ_STUDY_HH
+#define FRACDRAM_ANALYSIS_FMAJ_STUDY_HH
+
+#include <array>
+#include <vector>
+
+#include "core/fmaj.hh"
+#include "sim/params.hh"
+#include "sim/vendor.hh"
+
+namespace fracdram::analysis
+{
+
+/** Scale knobs shared by the F-MAJ studies. */
+struct FMajStudyParams
+{
+    int modules = 2;
+    int subarraysPerModule = 3;
+    int maxFracs = 5;
+    sim::DramParams dram = defaultDram();
+    std::uint64_t seedBase = 4000;
+
+    static sim::DramParams defaultDram()
+    {
+        sim::DramParams p;
+        p.colsPerRow = 256;
+        p.rowsPerSubarray = 64;
+        p.subarraysPerBank = 2;
+        return p;
+    }
+};
+
+/** Mean and 95% confidence half-width over modules. */
+struct MeanCi
+{
+    double mean = 0.0;
+    double ciHalf = 0.0;
+};
+
+/** One Fig. 9 line: a (fractional row, init) choice swept over Fracs. */
+struct FMajCoverageSeries
+{
+    RowAddr fracRow = 0;  //!< sub-array-local row holding the frac
+    int fracRowIndex = 0; //!< 1..4 = the paper's R1..R4 labels
+    bool initOnes = true;
+    std::vector<MeanCi> byNumFracs; //!< index = number of Fracs
+};
+
+/** One Fig. 9 panel. */
+struct FMajCoverageResult
+{
+    sim::DramGroup group;
+    std::vector<FMajCoverageSeries> series; //!< 4 rows x 2 inits
+    /** Original three-row MAJ3 coverage (group B only, else NaN). */
+    double baselineMaj3 = 0.0;
+    bool hasBaseline = false;
+};
+
+/** Run the Fig. 9 coverage sweep for one group (B, C or D). */
+FMajCoverageResult fmajCoverageStudy(sim::DramGroup group,
+                                     const FMajStudyParams &params);
+
+/** Fig. 10a: per-input-combination success for one configuration. */
+struct FMajComboBreakdown
+{
+    sim::DramGroup group;
+    core::FMajConfig config;
+    /**
+     * success[num_fracs][combo]: combos ordered
+     * {1,0,0},{0,1,0},{0,0,1},{0,1,1},{1,0,1},{1,1,0}
+     * (operands assigned to the non-frac rows in ascending order).
+     */
+    std::vector<std::array<double, 6>> success;
+    std::vector<double> overall; //!< all-six coverage per num_fracs
+};
+
+/** Run the Fig. 10a breakdown. */
+FMajComboBreakdown fmajComboBreakdown(sim::DramGroup group,
+                                      const core::FMajConfig &config,
+                                      const FMajStudyParams &params);
+
+/** Fig. 10b/c: stability of the operation over repeated trials. */
+struct FMajStabilityParams
+{
+    int modules = 3;
+    int subarrays = 8;  //!< paper: 500 random sub-arrays
+    int trials = 400;   //!< paper: 10000 per sub-array
+    sim::DramParams dram = defaultDram();
+    std::uint64_t seedBase = 5000;
+
+    static sim::DramParams defaultDram()
+    {
+        sim::DramParams p;
+        p.colsPerRow = 128;
+        p.rowsPerSubarray = 64;
+        p.subarraysPerBank = 2;
+        return p;
+    }
+};
+
+struct FMajStabilityResult
+{
+    sim::DramGroup group;
+    bool baselineMaj3 = false; //!< true: original MAJ3 was measured
+    /** Per module: sorted per-column success rates (CDF data). */
+    std::vector<std::vector<double>> columnSuccess;
+    /** Per module: fraction of columns always correct. */
+    std::vector<double> alwaysCorrect;
+    /** 1 - mean(alwaysCorrect): the paper's "average error rate". */
+    double meanErrorRate = 0.0;
+};
+
+/**
+ * Run the stability study.
+ * @param baseline_maj3 measure the original three-row MAJ3 instead of
+ *        F-MAJ (group B only)
+ */
+FMajStabilityResult fmajStabilityStudy(sim::DramGroup group,
+                                       bool baseline_maj3,
+                                       const FMajStabilityParams &
+                                           params);
+
+} // namespace fracdram::analysis
+
+#endif // FRACDRAM_ANALYSIS_FMAJ_STUDY_HH

@@ -1,0 +1,160 @@
+#include "analysis/halfm_study.hh"
+
+#include "common/logging.hh"
+#include "core/frac_op.hh"
+#include "core/half_m.hh"
+#include "core/multi_row.hh"
+#include "core/retention.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+namespace fracdram::analysis
+{
+
+namespace
+{
+
+/** Accumulates a bucket histogram over many profile runs. */
+struct BucketCounter
+{
+    std::vector<std::size_t> counts =
+        std::vector<std::size_t>(core::RetentionBuckets::numBuckets(),
+                                 0);
+    std::size_t total = 0;
+
+    void
+    add(const std::vector<std::size_t> &buckets)
+    {
+        for (const auto b : buckets) {
+            ++counts[b];
+            ++total;
+        }
+    }
+
+    std::vector<double>
+    pdf() const
+    {
+        std::vector<double> out(counts.size(), 0.0);
+        if (total) {
+            for (std::size_t i = 0; i < counts.size(); ++i)
+                out[i] = static_cast<double>(counts[i]) /
+                         static_cast<double>(total);
+        }
+        return out;
+    }
+};
+
+struct ComboCounter
+{
+    std::array<std::size_t, 4> counts{};
+    std::size_t total = 0;
+
+    void
+    add(const BitVector &x1, const BitVector &x2)
+    {
+        for (std::size_t c = 0; c < x1.size(); ++c) {
+            const std::size_t idx = (x1.get(c) ? 0u : 2u) +
+                                    (x2.get(c) ? 0u : 1u);
+            ++counts[idx];
+            ++total;
+        }
+    }
+
+    std::array<double, 4>
+    fractions() const
+    {
+        std::array<double, 4> out{};
+        if (total) {
+            for (std::size_t i = 0; i < 4; ++i)
+                out[i] = static_cast<double>(counts[i]) /
+                         static_cast<double>(total);
+        }
+        return out;
+    }
+};
+
+} // namespace
+
+HalfMStudyResult
+halfMStudy(const HalfMStudyParams &params)
+{
+    BucketCounter ret_half, ret_weak_one, ret_normal_one, ret_frac5;
+    ComboCounter maj_half, maj_weak_ones, maj_weak_zeros;
+
+    const std::size_t cols = params.dram.colsPerRow;
+
+    for (int m = 0; m < params.modules; ++m) {
+        sim::DramChip chip(sim::DramGroup::B, params.seedBase + m,
+                           params.dram);
+        softmc::MemoryController mc(chip, false);
+        const auto per_bank = params.dram.subarraysPerBank;
+        for (int s = 0; s < params.subarraysPerModule; ++s) {
+            const BankAddr bank = static_cast<BankAddr>(s / per_bank) %
+                                  params.dram.numBanks;
+            const RowAddr base = static_cast<RowAddr>(s % per_bank) *
+                                 params.dram.rowsPerSubarray;
+            const RowAddr r1 = base + 8, r2 = base + 1;
+            const RowAddr probe_row = base + 2;
+            const RowAddr result_row = base + 0; // R3, holds init one
+
+            const auto opened = core::plannedOpenedRows(chip, r1, r2);
+            panic_if(opened.size() != 4,
+                     "Half-m study expects a four-row activation");
+            const BitVector all_mask(cols, true);
+
+            auto prepare_half = [&] {
+                core::halfM(mc, bank, r1, r2,
+                            core::halfMInitPatterns(opened, all_mask,
+                                                    true));
+            };
+            auto prepare_weak = [&](bool value) {
+                std::map<RowAddr, BitVector> inits;
+                for (const auto &o : opened)
+                    inits.emplace(o.row, BitVector(cols, value));
+                core::halfM(mc, bank, r1, r2, inits);
+            };
+
+            // Retention profiles of the result row.
+            core::RetentionProfiler profiler(mc, bank, result_row);
+            ret_half.add(profiler.profile(prepare_half));
+            ret_weak_one.add(
+                profiler.profile([&] { prepare_weak(true); }));
+            ret_normal_one.add(profiler.profile(
+                [&] { mc.fillRowVoltage(bank, result_row, true); }));
+            ret_frac5.add(profiler.profile([&] {
+                mc.fillRowVoltage(bank, result_row, true);
+                core::frac(mc, bank, result_row, 5);
+            }));
+
+            // MAJ3 probes: the Half-m result sits in rows 0 and 1;
+            // row 2 provides the known probe operand.
+            auto maj_probe = [&](auto prepare, ComboCounter &counter) {
+                prepare();
+                mc.fillRowVoltage(bank, probe_row, true);
+                const auto x1 = core::multiRowActivate(
+                    mc, bank, base + 1, base + 2);
+                prepare();
+                mc.fillRowVoltage(bank, probe_row, false);
+                const auto x2 = core::multiRowActivate(
+                    mc, bank, base + 1, base + 2);
+                counter.add(x1, x2);
+            };
+            maj_probe(prepare_half, maj_half);
+            maj_probe([&] { prepare_weak(true); }, maj_weak_ones);
+            maj_probe([&] { prepare_weak(false); }, maj_weak_zeros);
+        }
+    }
+
+    HalfMStudyResult result;
+    result.retentionHalf = ret_half.pdf();
+    result.retentionWeakOne = ret_weak_one.pdf();
+    result.retentionNormalOne = ret_normal_one.pdf();
+    result.retentionFrac5 = ret_frac5.pdf();
+    result.maj3Half = maj_half.fractions();
+    result.maj3WeakOnes = maj_weak_ones.fractions();
+    result.maj3WeakZeros = maj_weak_zeros.fractions();
+    result.distinguishableHalf = result.maj3Half[1]; // (X1,X2)=(1,0)
+    return result;
+}
+
+} // namespace fracdram::analysis

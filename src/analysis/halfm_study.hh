@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fig. 8 harness: evaluation of Half-m on group B.
+ *
+ * Rows {0,1,8,9} are opened by ACT(8)-PRE-ACT(1) and interrupted.
+ * With a 2-high/2-low init the columns hold a Half value; with
+ * all-ones (all-zeros) they hold weak ones (zeros). The harness
+ * collects retention PDFs of the Half value, the weak one, a normal
+ * one, and a 5-Frac fractional value (the reference the paper plots),
+ * plus the MAJ3 (X1, X2) combinations for the Half value and the
+ * weak values.
+ */
+
+#ifndef FRACDRAM_ANALYSIS_HALFM_STUDY_HH
+#define FRACDRAM_ANALYSIS_HALFM_STUDY_HH
+
+#include <array>
+#include <vector>
+
+#include "sim/params.hh"
+#include "sim/vendor.hh"
+
+namespace fracdram::analysis
+{
+
+/** Scale knobs of the Fig. 8 study. */
+struct HalfMStudyParams
+{
+    int modules = 2;
+    int subarraysPerModule = 4;
+    sim::DramParams dram = defaultDram();
+    std::uint64_t seedBase = 3000;
+
+    static sim::DramParams defaultDram()
+    {
+        sim::DramParams p;
+        p.colsPerRow = 512;
+        p.rowsPerSubarray = 64;
+        p.subarraysPerBank = 2;
+        return p;
+    }
+};
+
+/** Everything Fig. 8 plots. */
+struct HalfMStudyResult
+{
+    /** Retention PDFs over the six paper buckets. */
+    std::vector<double> retentionHalf;
+    std::vector<double> retentionWeakOne;
+    std::vector<double> retentionNormalOne;
+    std::vector<double> retentionFrac5; //!< 5-Frac reference
+
+    /** MAJ3 combos, ordered (1,1), (1,0), (0,1), (0,0). */
+    std::array<double, 4> maj3Half{};
+    std::array<double, 4> maj3WeakOnes{};
+    std::array<double, 4> maj3WeakZeros{};
+
+    /** Fraction of columns with a distinguishable Half value. */
+    double distinguishableHalf = 0.0;
+};
+
+/** Run the Fig. 8 study on group B. */
+HalfMStudyResult halfMStudy(const HalfMStudyParams &params);
+
+} // namespace fracdram::analysis
+
+#endif // FRACDRAM_ANALYSIS_HALFM_STUDY_HH

@@ -1,0 +1,91 @@
+#include "analysis/maj3_study.hh"
+
+#include "common/logging.hh"
+#include "core/verify.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+namespace fracdram::analysis
+{
+
+std::vector<Maj3StudySeries>
+maj3Study(const Maj3StudyParams &params)
+{
+    struct Config
+    {
+        const char *label;
+        bool frac_r1r2;
+        bool init_ones;
+    };
+    const Config configs[4] = {
+        {"frac in R1,R2, init ones", true, true},
+        {"frac in R1,R2, init zeros", true, false},
+        {"frac in R1,R3, init ones", false, true},
+        {"frac in R1,R3, init zeros", false, false},
+    };
+
+    const std::size_t runs =
+        static_cast<std::size_t>(params.maxFracs) + 1;
+    std::vector<Maj3StudySeries> out;
+
+    for (const auto &cfg : configs) {
+        Maj3StudySeries series;
+        series.label = cfg.label;
+        series.fracInR1R2 = cfg.frac_r1r2;
+        series.initOnes = cfg.init_ones;
+        series.combos.assign(runs, {0.0, 0.0, 0.0, 0.0});
+        std::vector<std::array<std::size_t, 4>> counts(
+            runs, {0, 0, 0, 0});
+        std::size_t cols_total = 0;
+
+        for (int m = 0; m < params.modules; ++m) {
+            sim::DramChip chip(sim::DramGroup::B,
+                               params.seedBase + m, params.dram);
+            softmc::MemoryController mc(chip, false);
+            const auto per_bank = params.dram.subarraysPerBank;
+            for (int s = 0; s < params.subarraysPerModule; ++s) {
+                const BankAddr bank =
+                    static_cast<BankAddr>(s / per_bank) %
+                    params.dram.numBanks;
+                const RowAddr base =
+                    static_cast<RowAddr>(s % per_bank) *
+                    params.dram.rowsPerSubarray;
+                // The paper uses the first three rows of the
+                // sub-array: ACT(R1=1)-PRE-ACT(R2=2) -> R3 = 0.
+                const RowAddr r1 = base + 1, r2 = base + 2,
+                              r3 = base + 0;
+                const std::vector<RowAddr> frac_rows =
+                    cfg.frac_r1r2 ? std::vector<RowAddr>{r1, r2}
+                                  : std::vector<RowAddr>{r1, r3};
+                const RowAddr probe = cfg.frac_r1r2 ? r3 : r2;
+
+                for (std::size_t n = 0; n < runs; ++n) {
+                    const auto res = core::maj3FracProbe(
+                        mc, bank, r1, r2, frac_rows, probe,
+                        static_cast<int>(n), cfg.init_ones);
+                    for (std::size_t c = 0; c < res.x1.size(); ++c) {
+                        const std::size_t idx =
+                            (res.x1.get(c) ? 0u : 2u) +
+                            (res.x2.get(c) ? 0u : 1u);
+                        ++counts[n][idx];
+                    }
+                    if (n == 0)
+                        cols_total += res.x1.size();
+                }
+            }
+        }
+
+        for (std::size_t n = 0; n < runs; ++n) {
+            for (std::size_t k = 0; k < 4; ++k) {
+                series.combos[n][k] =
+                    cols_total ? static_cast<double>(counts[n][k]) /
+                                     static_cast<double>(cols_total)
+                               : 0.0;
+            }
+        }
+        out.push_back(std::move(series));
+    }
+    return out;
+}
+
+} // namespace fracdram::analysis

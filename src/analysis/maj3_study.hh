@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fig. 7 harness: the MAJ3-based verification of Frac on group B.
+ *
+ * Four configurations, matching the paper's subplots:
+ *  (a) fractional value in R1,R2; initial value all ones
+ *  (b) fractional value in R1,R2; initial value all zeros
+ *  (c) fractional value in R1,R3; initial value all ones
+ *  (d) fractional value in R1,R3; initial value all zeros
+ * For each, sweep the number of Frac operations and report the
+ * proportions of the four (X1, X2) result combinations.
+ */
+
+#ifndef FRACDRAM_ANALYSIS_MAJ3_STUDY_HH
+#define FRACDRAM_ANALYSIS_MAJ3_STUDY_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sim/params.hh"
+#include "sim/vendor.hh"
+
+namespace fracdram::analysis
+{
+
+/** Scale knobs of the Fig. 7 study. */
+struct Maj3StudyParams
+{
+    int modules = 2;            //!< paper: every chip in group B
+    int subarraysPerModule = 4; //!< paper: every sub-array
+    int maxFracs = 5;
+    sim::DramParams dram = defaultDram();
+    std::uint64_t seedBase = 2000;
+
+    static sim::DramParams defaultDram()
+    {
+        sim::DramParams p;
+        p.colsPerRow = 512;
+        p.rowsPerSubarray = 64;
+        p.subarraysPerBank = 2;
+        return p;
+    }
+};
+
+/** One subplot of Fig. 7. */
+struct Maj3StudySeries
+{
+    std::string label;   //!< e.g. "frac in R1,R2, init ones"
+    bool fracInR1R2;     //!< true: (a)/(b); false: (c)/(d)
+    bool initOnes;
+    /**
+     * combos[num_fracs][k]: proportion of columns with result
+     * combination k, ordered (X1,X2) = (1,1), (1,0), (0,1), (0,0).
+     */
+    std::vector<std::array<double, 4>> combos;
+};
+
+/** Index of the proof combination (X1=1, X2=0) in the combo arrays. */
+inline constexpr std::size_t maj3ProofComboIndex = 1;
+
+/** Run all four configurations on group B. */
+std::vector<Maj3StudySeries> maj3Study(const Maj3StudyParams &params);
+
+} // namespace fracdram::analysis
+
+#endif // FRACDRAM_ANALYSIS_MAJ3_STUDY_HH

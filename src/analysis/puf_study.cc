@@ -1,0 +1,204 @@
+#include "analysis/puf_study.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.hh"
+#include "puf/hamming.hh"
+#include "puf/puf.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+namespace fracdram::analysis
+{
+
+namespace
+{
+
+/** One instantiated module with its PUF. */
+struct ModuleUnderTest
+{
+    std::unique_ptr<sim::DramChip> chip;
+    std::unique_ptr<softmc::MemoryController> mc;
+    std::unique_ptr<puf::FracPuf> puf;
+    sim::DramGroup group;
+
+    ModuleUnderTest(sim::DramGroup g, std::uint64_t serial,
+                    const PufStudyParams &params)
+        : chip(std::make_unique<sim::DramChip>(g, serial, params.dram)),
+          mc(std::make_unique<softmc::MemoryController>(*chip, false)),
+          puf(std::make_unique<puf::FracPuf>(*mc, params.numFracs)),
+          group(g)
+    {
+        puf->setDiscardAfterEvaluate(true);
+    }
+
+    std::vector<BitVector>
+    collect(int challenges)
+    {
+        return puf->evaluateAll(puf->makeChallenges(
+            static_cast<std::size_t>(challenges)));
+    }
+};
+
+void
+appendPairedHd(std::vector<double> &out,
+               const std::vector<BitVector> &a,
+               const std::vector<BitVector> &b)
+{
+    const auto hd = puf::HammingStudy::pairedDistances(a, b);
+    out.insert(out.end(), hd.begin(), hd.end());
+}
+
+} // namespace
+
+PufStudyResult
+pufStudy(const PufStudyParams &params)
+{
+    PufStudyResult result;
+
+    // responses[group][module] -> first data set (used for inter-HD).
+    std::vector<std::vector<std::vector<BitVector>>> responses;
+    std::vector<sim::DramGroup> groups = sim::fracCapableGroups();
+
+    for (const auto g : groups) {
+        PufGroupResult gr;
+        gr.group = g;
+        std::vector<std::vector<BitVector>> module_responses;
+        const int modules =
+            std::min(params.modulesPerGroup,
+                     sim::vendorProfile(g).numModules);
+        for (int m = 0; m < modules; ++m) {
+            ModuleUnderTest mut(g, params.seedBase + m, params);
+            const auto set1 = mut.collect(params.challenges);
+            const auto set2 = mut.collect(params.challenges);
+            appendPairedHd(gr.intraHd, set1, set2);
+            module_responses.push_back(set1);
+        }
+        gr.hammingWeight = 0.0;
+        for (const auto &set : module_responses) {
+            gr.hammingWeight += puf::HammingStudy::meanHammingWeight(
+                set);
+        }
+        gr.hammingWeight /= static_cast<double>(
+            module_responses.size());
+
+        for (std::size_t i = 0; i < module_responses.size(); ++i) {
+            for (std::size_t j = i + 1; j < module_responses.size();
+                 ++j) {
+                appendPairedHd(gr.interHd, module_responses[i],
+                               module_responses[j]);
+            }
+        }
+        responses.push_back(std::move(module_responses));
+        result.groups.push_back(std::move(gr));
+    }
+
+    // Cross-group inter-HD: first module of each group, pairwise.
+    for (std::size_t gi = 0; gi < responses.size(); ++gi) {
+        for (std::size_t gj = gi + 1; gj < responses.size(); ++gj) {
+            appendPairedHd(result.crossGroupInterHd,
+                           responses[gi][0], responses[gj][0]);
+        }
+    }
+
+    for (const auto &gr : result.groups) {
+        for (const double d : gr.intraHd)
+            result.maxIntraHd = std::max(result.maxIntraHd, d);
+        for (const double d : gr.interHd)
+            result.minInterHd = std::min(result.minInterHd, d);
+    }
+    for (const double d : result.crossGroupInterHd)
+        result.minInterHd = std::min(result.minInterHd, d);
+    return result;
+}
+
+PufEnvStudyResult
+pufEnvStudy(const PufStudyParams &params)
+{
+    PufEnvStudyResult result;
+
+    struct ModuleSets
+    {
+        std::unique_ptr<ModuleUnderTest> mut;
+        std::vector<BitVector> baseline;
+    };
+    std::vector<ModuleSets> modules;
+
+    for (const auto g : sim::fracCapableGroups()) {
+        const int count = std::min(params.modulesPerGroup,
+                                   sim::vendorProfile(g).numModules);
+        for (int m = 0; m < count; ++m) {
+            ModuleSets ms;
+            ms.mut = std::make_unique<ModuleUnderTest>(
+                g, params.seedBase + m, params);
+            ms.baseline = ms.mut->collect(params.challenges);
+            modules.push_back(std::move(ms));
+        }
+    }
+
+    // (a) Ten days later, at 1.4 V supply.
+    std::vector<std::vector<BitVector>> vdd_sets;
+    for (auto &ms : modules) {
+        ms.mut->mc->waitSeconds(10.0 * 24.0 * 3600.0);
+        ms.mut->chip->env().vdd = 1.4;
+        vdd_sets.push_back(ms.mut->collect(params.challenges));
+        ms.mut->chip->env().vdd = 1.5;
+    }
+    for (std::size_t i = 0; i < modules.size(); ++i) {
+        appendPairedHd(result.intraVdd, modules[i].baseline,
+                       vdd_sets[i]);
+        for (std::size_t j = 0; j < modules.size(); ++j) {
+            if (i != j) {
+                appendPairedHd(result.interVdd, modules[i].baseline,
+                               vdd_sets[j]);
+            }
+        }
+    }
+    for (const double d : result.intraVdd)
+        result.maxIntraVdd = std::max(result.maxIntraVdd, d);
+    for (const double d : result.interVdd)
+        result.minInterVdd = std::min(result.minInterVdd, d);
+
+    // (b) Three months later, at 20 / 40 / 60 C.
+    for (auto &ms : modules)
+        ms.mut->mc->waitSeconds(90.0 * 24.0 * 3600.0);
+    for (const double temp : {20.0, 40.0, 60.0}) {
+        PufEnvStudyResult::TempPoint point;
+        point.temperatureC = temp;
+        std::vector<std::vector<BitVector>> temp_sets;
+        for (auto &ms : modules) {
+            ms.mut->chip->env().temperatureC = temp;
+            temp_sets.push_back(ms.mut->collect(params.challenges));
+            ms.mut->chip->env().temperatureC = 20.0;
+        }
+        for (std::size_t i = 0; i < modules.size(); ++i) {
+            appendPairedHd(point.intraHd, modules[i].baseline,
+                           temp_sets[i]);
+            for (std::size_t j = 0; j < modules.size(); ++j) {
+                if (i != j) {
+                    const auto hd = puf::HammingStudy::pairedDistances(
+                        modules[i].baseline, temp_sets[j]);
+                    for (const double d : hd) {
+                        result.minInterTemp =
+                            std::min(result.minInterTemp, d);
+                    }
+                }
+            }
+        }
+        double sum = 0.0, mx = 0.0;
+        for (const double d : point.intraHd) {
+            sum += d;
+            mx = std::max(mx, d);
+        }
+        point.meanIntraHd =
+            point.intraHd.empty()
+                ? 0.0
+                : sum / static_cast<double>(point.intraHd.size());
+        point.maxIntraHd = mx;
+        result.temperatures.push_back(std::move(point));
+    }
+    return result;
+}
+
+} // namespace fracdram::analysis

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figs. 11 and 12 harness: Frac-PUF uniqueness, reliability, and
+ * environmental robustness.
+ */
+
+#ifndef FRACDRAM_ANALYSIS_PUF_STUDY_HH
+#define FRACDRAM_ANALYSIS_PUF_STUDY_HH
+
+#include <vector>
+
+#include "sim/params.hh"
+#include "sim/vendor.hh"
+
+namespace fracdram::analysis
+{
+
+/** Scale knobs of the PUF studies. */
+struct PufStudyParams
+{
+    int modulesPerGroup = 2; //!< paper: at least two per group
+    int challenges = 40;     //!< paper: 120 challenge-response pairs
+    int numFracs = 10;       //!< paper: ten Frac operations
+    sim::DramParams dram = defaultDram();
+    std::uint64_t seedBase = 6000;
+
+    static sim::DramParams defaultDram()
+    {
+        // The paper's segment is one 8 KB row (65536 bits); scaled
+        // down here, which leaves HD statistics unchanged.
+        sim::DramParams p;
+        p.colsPerRow = 2048;
+        p.rowsPerSubarray = 64;
+        p.subarraysPerBank = 2;
+        return p;
+    }
+};
+
+/** One group's Fig. 11 marks. */
+struct PufGroupResult
+{
+    sim::DramGroup group;
+    std::vector<double> intraHd; //!< same module, repeated challenge
+    std::vector<double> interHd; //!< different modules, same group
+    double hammingWeight = 0.0;  //!< mean response weight
+};
+
+/** Fig. 11: per-group and cross-group HD distributions. */
+struct PufStudyResult
+{
+    std::vector<PufGroupResult> groups;
+    std::vector<double> crossGroupInterHd;
+    double maxIntraHd = 0.0;
+    double minInterHd = 1.0;
+};
+
+/** Run the Fig. 11 study over all Frac-capable groups. */
+PufStudyResult pufStudy(const PufStudyParams &params);
+
+/** Fig. 12: responses under changed supply voltage / temperature. */
+struct PufEnvStudyResult
+{
+    /** (a) HD between the nominal and the 1.4 V data sets. */
+    std::vector<double> intraVdd;
+    std::vector<double> interVdd;
+    double maxIntraVdd = 0.0;
+    double minInterVdd = 1.0;
+
+    /** (b) intra-HD vs the 20 C baseline, per temperature. */
+    struct TempPoint
+    {
+        double temperatureC;
+        std::vector<double> intraHd;
+        double meanIntraHd;
+        double maxIntraHd;
+    };
+    std::vector<TempPoint> temperatures;
+    double minInterTemp = 1.0;
+};
+
+/** Run the Fig. 12 study. */
+PufEnvStudyResult pufEnvStudy(const PufStudyParams &params);
+
+} // namespace fracdram::analysis
+
+#endif // FRACDRAM_ANALYSIS_PUF_STUDY_HH

@@ -1,0 +1,127 @@
+#include "analysis/retention_study.hh"
+
+#include "common/logging.hh"
+#include "core/frac_op.hh"
+#include "core/retention.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+namespace fracdram::analysis
+{
+
+namespace
+{
+
+/** Deterministic spread of sampled rows over banks and sub-arrays. */
+std::vector<std::pair<BankAddr, RowAddr>>
+sampleRows(const sim::DramParams &dram, int count)
+{
+    std::vector<std::pair<BankAddr, RowAddr>> out;
+    for (int i = 0; i < count; ++i) {
+        const BankAddr bank = static_cast<BankAddr>(i) % dram.numBanks;
+        // Walk sub-arrays and rows with co-prime strides.
+        const RowAddr row = static_cast<RowAddr>(
+            (static_cast<std::uint32_t>(i) * 13u + 5u) %
+            dram.rowsPerBank());
+        out.emplace_back(bank, row);
+    }
+    return out;
+}
+
+} // namespace
+
+RetentionHeatmap
+retentionStudy(sim::DramGroup group, const RetentionStudyParams &params)
+{
+    const auto &profile = sim::vendorProfile(group);
+    const std::size_t num_buckets = core::RetentionBuckets::numBuckets();
+    const std::size_t runs =
+        static_cast<std::size_t>(params.maxFracs) + 1;
+
+    RetentionHeatmap heat;
+    heat.group = group;
+    heat.pdf.assign(runs, std::vector<double>(num_buckets, 0.0));
+    std::vector<std::vector<std::size_t>> counts(
+        runs, std::vector<std::size_t>(num_buckets, 0));
+
+    std::size_t n_long = 0, n_mono = 0, n_other = 0;
+
+    for (int m = 0; m < params.modules; ++m) {
+        sim::DramChip chip(group, params.seedBase + m, params.dram);
+        softmc::MemoryController mc(chip, false);
+        for (const auto &[bank, row] :
+             sampleRows(params.dram, params.rowsPerModule)) {
+            core::RetentionProfiler profiler(mc, bank, row);
+            // bucket[num_fracs][col]
+            std::vector<std::vector<std::size_t>> buckets;
+            for (std::size_t n = 0; n < runs; ++n) {
+                buckets.push_back(profiler.profile([&] {
+                    mc.fillRowVoltage(bank, row, true);
+                    if (n > 0)
+                        core::frac(mc, bank, row,
+                                   static_cast<int>(n));
+                }));
+            }
+            const std::size_t cols = params.dram.colsPerRow;
+            for (std::size_t c = 0; c < cols; ++c) {
+                bool always_top = true;
+                bool non_increasing = true;
+                bool strictly_decreased = false;
+                for (std::size_t n = 0; n < runs; ++n) {
+                    const std::size_t b = buckets[n][c];
+                    ++counts[n][b];
+                    always_top &= b == num_buckets - 1;
+                    if (n > 0) {
+                        non_increasing &= b <= buckets[n - 1][c];
+                        strictly_decreased |= b < buckets[n - 1][c];
+                    }
+                }
+                if (always_top)
+                    ++n_long;
+                else if (non_increasing && strictly_decreased)
+                    ++n_mono;
+                else
+                    ++n_other;
+                ++heat.cells;
+            }
+        }
+        if (!profile.supportsFrac) {
+            // Timing-checker groups: one module suffices to show the
+            // flat profile.
+            break;
+        }
+    }
+
+    // Each cell contributes one bucket observation per run, so each
+    // run's column of the heatmap normalizes by the cell count.
+    for (std::size_t n = 0; n < runs; ++n) {
+        for (std::size_t b = 0; b < num_buckets; ++b) {
+            heat.pdf[n][b] =
+                heat.cells ? static_cast<double>(counts[n][b]) /
+                                 static_cast<double>(heat.cells)
+                           : 0.0;
+        }
+    }
+
+    const double total = static_cast<double>(heat.cells);
+    if (heat.cells) {
+        heat.fracLongRetention = n_long / total;
+        heat.fracMonotonicDecrease = n_mono / total;
+        heat.fracOther = n_other / total;
+    }
+    return heat;
+}
+
+std::vector<RetentionHeatmap>
+retentionStudyAllGroups(const RetentionStudyParams &params)
+{
+    std::vector<RetentionHeatmap> out;
+    for (const auto g : sim::allGroups()) {
+        if (!sim::vendorProfile(g).supportsFrac)
+            continue; // paper omits J-L: Frac has no effect there
+        out.push_back(retentionStudy(g, params));
+    }
+    return out;
+}
+
+} // namespace fracdram::analysis

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig. 6 harness: retention-time profiles of Frac'd rows.
+ *
+ * For each vendor group, sample rows across banks, profile the
+ * retention buckets after 0..5 Frac operations, and classify every
+ * cell into the paper's three categories: always ">12h" (long),
+ * monotonic decrease (the proof-of-concept cells), and others.
+ */
+
+#ifndef FRACDRAM_ANALYSIS_RETENTION_STUDY_HH
+#define FRACDRAM_ANALYSIS_RETENTION_STUDY_HH
+
+#include <vector>
+
+#include "sim/params.hh"
+#include "sim/vendor.hh"
+
+namespace fracdram::analysis
+{
+
+/** Scale knobs of the retention study. */
+struct RetentionStudyParams
+{
+    /** Modules sampled per group (paper: 16 chips per group). */
+    int modules = 2;
+    /** Rows sampled per module (paper: 5 rows per bank). */
+    int rowsPerModule = 6;
+    /** Maximum number of Frac operations (paper: 5). */
+    int maxFracs = 5;
+    /** Module geometry. */
+    sim::DramParams dram = defaultDram();
+    /** Base serial; module i uses seedBase + i. */
+    std::uint64_t seedBase = 1000;
+
+    static sim::DramParams defaultDram()
+    {
+        sim::DramParams p;
+        p.colsPerRow = 512;
+        p.rowsPerSubarray = 64;
+        p.subarraysPerBank = 2;
+        return p;
+    }
+};
+
+/** One group's Fig. 6 panel. */
+struct RetentionHeatmap
+{
+    sim::DramGroup group;
+    /** pdf[num_fracs][bucket]: fraction of cells per bucket. */
+    std::vector<std::vector<double>> pdf;
+    /** Cells always in the ">12h" bucket. */
+    double fracLongRetention = 0.0;
+    /** Cells whose bucket decreases monotonically with more Fracs. */
+    double fracMonotonicDecrease = 0.0;
+    /** Everything else (VRT cells and unresolved patterns). */
+    double fracOther = 0.0;
+    /** Total cells classified. */
+    std::size_t cells = 0;
+};
+
+/** Run the study for one group. */
+RetentionHeatmap retentionStudy(sim::DramGroup group,
+                                const RetentionStudyParams &params);
+
+/** Run the study for all Frac-capable groups (paper: A-I). */
+std::vector<RetentionHeatmap>
+retentionStudyAllGroups(const RetentionStudyParams &params);
+
+} // namespace fracdram::analysis
+
+#endif // FRACDRAM_ANALYSIS_RETENTION_STUDY_HH

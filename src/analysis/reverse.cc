@@ -1,0 +1,104 @@
+#include "analysis/reverse.hh"
+
+#include <bit>
+
+#include "common/rng.hh"
+#include "core/frac_op.hh"
+#include "core/multi_row.hh"
+#include "sim/chip.hh"
+
+namespace fracdram::analysis
+{
+
+namespace
+{
+
+BitVector
+markerPattern(std::size_t cols, std::uint64_t tag)
+{
+    Rng rng(mixSeed(0x5eedbeefULL, tag));
+    BitVector bits(cols);
+    for (std::size_t c = 0; c < cols; ++c)
+        bits.set(c, rng.chance(0.5));
+    return bits;
+}
+
+} // namespace
+
+DecoderModel
+reverseEngineerDecoder(softmc::MemoryController &mc, RowAddr scan_rows)
+{
+    DecoderModel model;
+    const std::size_t cols = mc.chip().dramParams().colsPerRow;
+    const BankAddr bank = 0;
+
+    for (RowAddr r1 = 0; r1 < scan_rows; ++r1) {
+        for (RowAddr r2 = 0; r2 < scan_rows; ++r2) {
+            if (r1 == r2)
+                continue;
+            // Unique markers in the window, run the sequence, count
+            // rows overwritten with a shared result.
+            std::vector<BitVector> markers;
+            for (RowAddr row = 0; row < scan_rows; ++row) {
+                markers.push_back(markerPattern(cols, row));
+                mc.writeRowVoltage(bank, row, markers.back());
+            }
+            core::multiRowActivate(mc, bank, r1, r2);
+            std::size_t participating = 0;
+            std::uint32_t glitched_bits = 0;
+            for (RowAddr row = 0; row < scan_rows; ++row) {
+                const BitVector now = mc.readRowVoltage(bank, row);
+                const double changed =
+                    static_cast<double>(
+                        now.hammingDistance(markers[row])) /
+                    static_cast<double>(cols);
+                if (changed > 0.05) {
+                    ++participating;
+                    glitched_bits |= row ^ r2;
+                }
+            }
+            if (participating == 0)
+                participating = 1; // only R2 (restored in place)
+
+            const int distance =
+                std::popcount(r1 ^ r2);
+            model.sizesByDistance[distance].push_back(participating);
+            model.maxOpenedRows =
+                std::max(model.maxOpenedRows, participating);
+            if (participating == 3)
+                model.hasThreeRowSets = true;
+            if (participating > 1 &&
+                !std::has_single_bit(participating) &&
+                participating != 3) {
+                model.powerOfTwoOnly = false;
+            }
+            if (participating > 1 && glitched_bits != 0) {
+                const int top_bit =
+                    31 - std::countl_zero(glitched_bits);
+                model.inferredWindowBits = std::max(
+                    model.inferredWindowBits, top_bit + 1);
+            }
+        }
+    }
+    return model;
+}
+
+std::vector<int>
+estimateSenseFlipPoints(softmc::MemoryController &mc, BankAddr bank,
+                        RowAddr row, int max_fracs)
+{
+    const std::size_t cols = mc.chip().dramParams().colsPerRow;
+    std::vector<int> flip(cols, max_fracs + 1);
+    for (int n = 1; n <= max_fracs; ++n) {
+        mc.fillRowVoltage(bank, row, true);
+        core::frac(mc, bank, row, n);
+        const BitVector readout = mc.readRowVoltage(bank, row);
+        for (ColAddr c = 0; c < cols; ++c) {
+            if (flip[c] > max_fracs && !readout.get(c))
+                flip[c] = n;
+        }
+    }
+    return flip;
+}
+
+} // namespace fracdram::analysis

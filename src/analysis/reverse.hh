@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reverse-engineering tools (paper Sec. VI-C): fractional values as a
+ * probe into the "black-box" DRAM design.
+ *
+ *  - Row-decoder reverse engineering: scan ACT-PRE-ACT pairs and
+ *    infer the glitch behaviour (how many rows open for which address
+ *    distances, the glitch window, whether exactly-three-row sets
+ *    exist) - the experiment behind the paper's Sec. VI-A1 findings.
+ *  - Sense-amplifier threshold estimation: the number of Fracs at
+ *    which a column's readout flips is monotone in its decision
+ *    threshold, giving a per-column offset ranking without any
+ *    analog access.
+ */
+
+#ifndef FRACDRAM_ANALYSIS_REVERSE_HH
+#define FRACDRAM_ANALYSIS_REVERSE_HH
+
+#include <map>
+#include <vector>
+
+#include "common/types.hh"
+#include "softmc/controller.hh"
+
+namespace fracdram::analysis
+{
+
+/** Inferred row-decoder behaviour. */
+struct DecoderModel
+{
+    /** Observed opened-set size per Hamming distance of (R1, R2). */
+    std::map<int, std::vector<std::size_t>> sizesByDistance;
+    /** Largest opened set seen. */
+    std::size_t maxOpenedRows = 1;
+    /** Whether any exactly-three-row set was seen (group B quirk). */
+    bool hasThreeRowSets = false;
+    /** Whether every multi-open set had power-of-two size. */
+    bool powerOfTwoOnly = true;
+    /** Highest differing-bit index that still glitched. */
+    int inferredWindowBits = 0;
+};
+
+/**
+ * Scan all (R1, R2) pairs inside one sub-array window and infer the
+ * decoder model behaviourally.
+ *
+ * @param mc controller (enforcement off)
+ * @param scan_rows scan window (pairs drawn from [0, scan_rows))
+ */
+DecoderModel reverseEngineerDecoder(softmc::MemoryController &mc,
+                                    RowAddr scan_rows = 16);
+
+/**
+ * Estimate each column's sense threshold position: the smallest
+ * number of Fracs (from all ones) after which the column reads zero.
+ * Columns that flip early sit above (positive-offset) sense amps;
+ * columns that never flip within @p max_fracs get max_fracs + 1.
+ *
+ * @return per-column flip point, a monotone proxy of the threshold
+ */
+std::vector<int> estimateSenseFlipPoints(softmc::MemoryController &mc,
+                                         BankAddr bank, RowAddr row,
+                                         int max_fracs = 12);
+
+} // namespace fracdram::analysis
+
+#endif // FRACDRAM_ANALYSIS_REVERSE_HH

@@ -1,0 +1,86 @@
+#include "analysis/tau_estimate.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/frac_op.hh"
+#include "core/retention.hh"
+
+namespace fracdram::analysis
+{
+
+std::size_t
+TauEstimate::resolvedCount() const
+{
+    std::size_t n = 0;
+    for (const bool r : resolved)
+        n += r;
+    return n;
+}
+
+TauEstimate
+estimateCellTau(softmc::MemoryController &mc, BankAddr bank,
+                RowAddr row, const TauEstimateParams &params)
+{
+    panic_if(params.fracLadder.empty(), "need at least one rung");
+    fatal_if(!mc.chip().profile().supportsFrac,
+             "tau estimation needs Frac support");
+
+    const std::size_t cols = mc.chip().dramParams().colsPerRow;
+    const Volt vdd = mc.chip().env().vdd;
+    const Volt half = vdd / 2.0;
+    const Volt v_th = params.thresholdFraction * vdd;
+
+    core::RetentionProfiler profiler(mc, bank, row);
+
+    // Least-squares fit of t_ret = tau * depth through the origin:
+    // tau = sum(t*depth) / sum(depth^2). Deeper rungs (larger
+    // V0 - V_th) are less sensitive to per-cell offset noise and
+    // dominate the fit automatically.
+    std::vector<double> td_sum(cols, 0.0);
+    std::vector<double> dd_sum(cols, 0.0);
+    std::vector<int> tau_n(cols, 0);
+
+    for (const int rung : params.fracLadder) {
+        // Reconstructed starting voltage of this rung (population
+        // model; per-cell alpha variation is the method's noise).
+        const Volt v0 =
+            half + half * std::pow(params.attenuationPerFrac, rung);
+        if (v0 <= v_th)
+            continue; // below threshold; retention would be zero
+        const double depth = std::log(v0 / v_th);
+
+        const auto buckets = profiler.profile(
+            [&] {
+                mc.fillRowVoltage(bank, row, true);
+                core::frac(mc, bank, row, rung);
+            },
+            params.probes);
+
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::size_t b = buckets[c];
+            if (b == 0 || b >= params.probes.size())
+                continue; // dead immediately or beyond the horizon
+            // Bracketed: died between probes[b-1] and probes[b];
+            // take the geometric midpoint as the retention time.
+            const double t_ret = std::sqrt(params.probes[b - 1] *
+                                           params.probes[b]);
+            td_sum[c] += t_ret * depth;
+            dd_sum[c] += depth * depth;
+            ++tau_n[c];
+        }
+    }
+
+    TauEstimate out;
+    out.tauSeconds.assign(cols, 0.0);
+    out.resolved.assign(cols, false);
+    for (std::size_t c = 0; c < cols; ++c) {
+        if (tau_n[c] > 0) {
+            out.tauSeconds[c] = td_sum[c] / dd_sum[c];
+            out.resolved[c] = true;
+        }
+    }
+    return out;
+}
+
+} // namespace fracdram::analysis

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Per-cell leakage characterization with fractional values (paper
+ * Sec. VI-C: "store different levels of fractional value and measure
+ * the retention time of each, thereby roughly tracing the voltage
+ * change during leakage").
+ *
+ * Binary writes give exactly one point of a cell's V(t) curve (full
+ * V_dd). Frac gives a ladder of starting voltages, and the retention
+ * time measured from each rung brackets the cell's leakage time
+ * constant: t_ret(k) ~ tau * ln(V0(k) / V_th). The estimator combines
+ * the rungs into a per-cell tau.
+ */
+
+#ifndef FRACDRAM_ANALYSIS_TAU_ESTIMATE_HH
+#define FRACDRAM_ANALYSIS_TAU_ESTIMATE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "softmc/controller.hh"
+
+namespace fracdram::analysis
+{
+
+/** Per-cell leakage estimates for one row. */
+struct TauEstimate
+{
+    /** Estimated leakage time constant per column (seconds). */
+    std::vector<Seconds> tauSeconds;
+    /**
+     * Whether the estimate is resolved: at least one rung produced a
+     * finite retention bracket. Cells that survive every probe at
+     * every level cannot be characterized within the time horizon.
+     */
+    std::vector<bool> resolved;
+
+    /** Count of resolved cells. */
+    std::size_t resolvedCount() const;
+};
+
+/** Tuning knobs of the estimator. */
+struct TauEstimateParams
+{
+    /**
+     * Frac ladder: retention measured after each of these counts.
+     * Deep rungs only by default: shallow rungs park the cell within
+     * a per-cell offset of the threshold, where the reconstructed
+     * depth - and with it the tau estimate - is noise-dominated.
+     */
+    std::vector<int> fracLadder = {1, 2};
+    /** Probe times per rung (seconds, strictly increasing). */
+    std::vector<Seconds> probes = {
+        1.0,          60.0,          600.0,        3600.0,
+        4.0 * 3600.0, 12.0 * 3600.0, 48.0 * 3600.0, 168.0 * 3600.0,
+    };
+    /**
+     * Assumed per-Frac attenuation of (V - V_dd/2): the population
+     * mean of 1 - alpha * C_b / (C_b + C_c). Used to reconstruct the
+     * ladder's starting voltages.
+     */
+    double attenuationPerFrac = 0.40;
+    /** Assumed sense threshold as a fraction of V_dd. */
+    double thresholdFraction = 0.502;
+};
+
+/**
+ * Estimate the leakage time constant of every cell in a row.
+ *
+ * @param mc controller (enforcement off; the module must Frac)
+ * @param bank bank of the row
+ * @param row row to characterize
+ * @param params estimator knobs
+ */
+TauEstimate estimateCellTau(softmc::MemoryController &mc,
+                            BankAddr bank, RowAddr row,
+                            const TauEstimateParams &params =
+                                TauEstimateParams{});
+
+} // namespace fracdram::analysis
+
+#endif // FRACDRAM_ANALYSIS_TAU_ESTIMATE_HH

@@ -1,0 +1,135 @@
+#include "common/bitvec.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace fracdram
+{
+
+BitVector::BitVector(std::size_t n, bool value) : size_(n)
+{
+    words_.assign((n + bitsPerWord - 1) / bitsPerWord,
+                  value ? ~std::uint64_t{0} : 0);
+    maskTail();
+}
+
+BitVector
+BitVector::fromString(const std::string &s)
+{
+    BitVector v(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        panic_if(s[i] != '0' && s[i] != '1',
+                 "BitVector::fromString: bad char '%c'", s[i]);
+        v.set(i, s[i] == '1');
+    }
+    return v;
+}
+
+void
+BitVector::maskTail()
+{
+    const std::size_t rem = size_ % bitsPerWord;
+    if (rem != 0 && !words_.empty())
+        words_.back() &= (std::uint64_t{1} << rem) - 1;
+}
+
+bool
+BitVector::get(std::size_t i) const
+{
+    panic_if(i >= size_, "BitVector::get(%zu) out of range %zu", i, size_);
+    return (words_[i / bitsPerWord] >> (i % bitsPerWord)) & 1;
+}
+
+void
+BitVector::set(std::size_t i, bool value)
+{
+    panic_if(i >= size_, "BitVector::set(%zu) out of range %zu", i, size_);
+    const std::uint64_t mask = std::uint64_t{1} << (i % bitsPerWord);
+    if (value)
+        words_[i / bitsPerWord] |= mask;
+    else
+        words_[i / bitsPerWord] &= ~mask;
+}
+
+void
+BitVector::pushBack(bool value)
+{
+    if (size_ % bitsPerWord == 0)
+        words_.push_back(0);
+    ++size_;
+    set(size_ - 1, value);
+}
+
+void
+BitVector::append(const BitVector &other)
+{
+    for (std::size_t i = 0; i < other.size(); ++i)
+        pushBack(other.get(i));
+}
+
+void
+BitVector::fill(bool value)
+{
+    for (auto &w : words_)
+        w = value ? ~std::uint64_t{0} : 0;
+    maskTail();
+}
+
+std::size_t
+BitVector::popcount() const
+{
+    std::size_t n = 0;
+    for (const auto w : words_)
+        n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+}
+
+double
+BitVector::hammingWeight() const
+{
+    if (size_ == 0)
+        return 0.0;
+    return static_cast<double>(popcount()) / static_cast<double>(size_);
+}
+
+std::size_t
+BitVector::hammingDistance(const BitVector &other) const
+{
+    panic_if(size_ != other.size_,
+             "hammingDistance: size mismatch %zu vs %zu", size_,
+             other.size_);
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        n += static_cast<std::size_t>(
+            std::popcount(words_[i] ^ other.words_[i]));
+    return n;
+}
+
+BitVector
+BitVector::operator^(const BitVector &other) const
+{
+    panic_if(size_ != other.size_, "operator^: size mismatch");
+    BitVector out(size_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        out.words_[i] = words_[i] ^ other.words_[i];
+    return out;
+}
+
+bool
+BitVector::operator==(const BitVector &other) const
+{
+    return size_ == other.size_ && words_ == other.words_;
+}
+
+std::string
+BitVector::toString() const
+{
+    std::string s(size_, '0');
+    for (std::size_t i = 0; i < size_; ++i)
+        if (get(i))
+            s[i] = '1';
+    return s;
+}
+
+} // namespace fracdram

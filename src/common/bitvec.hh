@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A compact bit vector used for row data, PUF responses and the NIST
+ * bit streams.
+ */
+
+#ifndef FRACDRAM_COMMON_BITVEC_HH
+#define FRACDRAM_COMMON_BITVEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fracdram
+{
+
+/**
+ * Dynamically sized vector of bits with word-level storage.
+ */
+class BitVector
+{
+  public:
+    BitVector() = default;
+
+    /** @param n number of bits, all initialized to @p value. */
+    explicit BitVector(std::size_t n, bool value = false);
+
+    /** Build from a string of '0'/'1' characters. */
+    static BitVector fromString(const std::string &s);
+
+    /** Number of bits. */
+    std::size_t size() const { return size_; }
+
+    /** Whether the vector holds no bits. */
+    bool empty() const { return size_ == 0; }
+
+    /** Read bit i. */
+    bool get(std::size_t i) const;
+
+    /** Write bit i. */
+    void set(std::size_t i, bool value);
+
+    /** Append one bit. */
+    void pushBack(bool value);
+
+    /** Append all bits of another vector. */
+    void append(const BitVector &other);
+
+    /** Set every bit to @p value. */
+    void fill(bool value);
+
+    /** Number of one bits. */
+    std::size_t popcount() const;
+
+    /** Fraction of one bits (Hamming weight); 0 when empty. */
+    double hammingWeight() const;
+
+    /**
+     * Number of differing bits against @p other.
+     * Requires equal sizes.
+     */
+    std::size_t hammingDistance(const BitVector &other) const;
+
+    /** XOR with another vector of equal size. */
+    BitVector operator^(const BitVector &other) const;
+
+    /** Bitwise equality. */
+    bool operator==(const BitVector &other) const;
+
+    /** Render as a '0'/'1' string (head bits first). */
+    std::string toString() const;
+
+  private:
+    static constexpr std::size_t bitsPerWord = 64;
+
+    std::size_t wordCount() const
+    {
+        return (size_ + bitsPerWord - 1) / bitsPerWord;
+    }
+
+    void maskTail();
+
+    std::vector<std::uint64_t> words_;
+    std::size_t size_ = 0;
+};
+
+} // namespace fracdram
+
+#endif // FRACDRAM_COMMON_BITVEC_HH

@@ -1,0 +1,77 @@
+#include "common/csv.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace fracdram
+{
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    panic_if(headers_.empty(), "CSV needs at least one column");
+}
+
+void
+CsvWriter::addRow(std::vector<std::string> cells)
+{
+    panic_if(cells.size() != headers_.size(),
+             "CSV row width %zu != header width %zu", cells.size(),
+             headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    const bool needs_quoting =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quoting)
+        return cell;
+    std::string out = "\"";
+    for (const char c : cell) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+std::string
+CsvWriter::render() const
+{
+    auto line = [](const std::vector<std::string> &cells) {
+        std::string out;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                out += ",";
+            out += escape(cells[i]);
+        }
+        return out + "\n";
+    };
+    std::string out = line(headers_);
+    for (const auto &row : rows_)
+        out += line(row);
+    return out;
+}
+
+bool
+CsvWriter::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot write %s", path.c_str());
+        return false;
+    }
+    const std::string content = render();
+    const bool ok =
+        std::fwrite(content.data(), 1, content.size(), f) ==
+        content.size();
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace fracdram

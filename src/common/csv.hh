@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal CSV writer so the bench binaries can dump plot-ready data
+ * (`--csv <dir>` on the figure benches).
+ */
+
+#ifndef FRACDRAM_COMMON_CSV_HH
+#define FRACDRAM_COMMON_CSV_HH
+
+#include <string>
+#include <vector>
+
+namespace fracdram
+{
+
+/**
+ * Accumulates rows and writes an RFC-4180-ish CSV file.
+ */
+class CsvWriter
+{
+  public:
+    /** @param headers column names (first line of the file). */
+    explicit CsvWriter(std::vector<std::string> headers);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the CSV contents. */
+    std::string render() const;
+
+    /**
+     * Write to @p path.
+     * @return whether the file was written
+     */
+    bool writeFile(const std::string &path) const;
+
+    /** Quote/escape a single cell per RFC 4180. */
+    static std::string escape(const std::string &cell);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fracdram
+
+#endif // FRACDRAM_COMMON_CSV_HH

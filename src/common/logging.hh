@@ -1,0 +1,64 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic()  - an internal invariant was violated (a library bug); aborts.
+ * fatal()  - the user asked for something impossible (bad config); exits.
+ * warn()   - something is off but the run can continue.
+ * inform() - plain status output.
+ */
+
+#ifndef FRACDRAM_COMMON_LOGGING_HH
+#define FRACDRAM_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace fracdram
+{
+
+/** Printf-style formatting into a std::string. */
+std::string vstrprintf(const char *fmt, va_list ap);
+
+/** Printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+void warnImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Toggle warn()/inform() output (benches silence chatter). */
+void setVerbose(bool verbose);
+
+/** @return whether warn()/inform() currently print. */
+bool verbose();
+
+} // namespace fracdram
+
+#define panic(...) \
+    ::fracdram::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) \
+    ::fracdram::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::fracdram::warnImpl(__VA_ARGS__)
+#define inform(...) ::fracdram::informImpl(__VA_ARGS__)
+
+/** Assert an invariant with a formatted message on failure. */
+#define panic_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond)                                                         \
+            panic(__VA_ARGS__);                                          \
+    } while (0)
+
+#define fatal_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond)                                                         \
+            fatal(__VA_ARGS__);                                          \
+    } while (0)
+
+#endif // FRACDRAM_COMMON_LOGGING_HH

@@ -1,0 +1,162 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace fracdram
+{
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t tag)
+{
+    return splitmix64(seed ^ splitmix64(tag + 0x632be59bd9b4e019ULL));
+}
+
+namespace
+{
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed) : spare_(0.0), hasSpare_(false)
+{
+    // Seed all four lanes through SplitMix64 as the xoshiro authors
+    // recommend; guards against the all-zero state.
+    std::uint64_t x = seed;
+    for (auto &lane : s_) {
+        x = splitmix64(x);
+        lane = x;
+    }
+    if (!(s_[0] | s_[1] | s_[2] | s_[3]))
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+double
+Rng::gaussian()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spare_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    spare_ = r * std::sin(theta);
+    hasSpare_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double sigma)
+{
+    return mean + sigma * gaussian();
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::exp(gaussian(mu, sigma));
+}
+
+double
+Rng::gamma(double k)
+{
+    panic_if(k <= 0.0, "gamma shape must be positive, got %f", k);
+    if (k < 1.0) {
+        // Boost to shape >= 1, then apply the standard correction.
+        const double u = uniform();
+        return gamma(k + 1.0) * std::pow(u, 1.0 / k);
+    }
+    // Marsaglia-Tsang squeeze method.
+    const double d = k - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+        double x, v;
+        do {
+            x = gaussian();
+            v = 1.0 + c * x;
+        } while (v <= 0.0);
+        v = v * v * v;
+        const double u = uniform();
+        if (u < 1.0 - 0.0331 * x * x * x * x)
+            return d * v;
+        if (u > 0.0 && std::log(u) < 0.5 * x * x +
+                d * (1.0 - v + std::log(v))) {
+            return d * v;
+        }
+    }
+}
+
+double
+Rng::beta(double a, double b)
+{
+    const double x = gamma(a);
+    const double y = gamma(b);
+    return x / (x + y);
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t n)
+{
+    panic_if(n == 0, "Rng::below(0)");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+    std::uint64_t x;
+    do {
+        x = next();
+    } while (x >= limit);
+    return x % n;
+}
+
+} // namespace fracdram

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic random-number infrastructure.
+ *
+ * Process variation must be reproducible: the same (chip serial, bank,
+ * row, column) must always yield the same manufacturing parameters, no
+ * matter in which order experiments touch them. RngFactory hands out
+ * independent streams keyed by a hierarchy of integer tags, all derived
+ * from one root seed via SplitMix64 hashing.
+ */
+
+#ifndef FRACDRAM_COMMON_RNG_HH
+#define FRACDRAM_COMMON_RNG_HH
+
+#include <cstdint>
+#include <random>
+
+namespace fracdram
+{
+
+/** SplitMix64 hash step; good avalanche, cheap, reproducible. */
+std::uint64_t splitmix64(std::uint64_t x);
+
+/** Combine a seed with a tag into a new independent seed. */
+std::uint64_t mixSeed(std::uint64_t seed, std::uint64_t tag);
+
+/**
+ * A small, fast PRNG (xoshiro256**) with distribution helpers.
+ *
+ * Not cryptographic; used only for simulating device physics.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed);
+
+    /** Raw 64 random bits. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Standard normal via Box-Muller (cached spare). */
+    double gaussian();
+
+    /** Normal with given mean and standard deviation. */
+    double gaussian(double mean, double sigma);
+
+    /** Lognormal: exp(N(mu, sigma)). */
+    double lognormal(double mu, double sigma);
+
+    /** Beta(a, b) via two gamma draws. */
+    double beta(double a, double b);
+
+    /** Gamma(shape k, scale 1) via Marsaglia-Tsang. */
+    double gamma(double k);
+
+    /** Bernoulli trial. */
+    bool chance(double p);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t below(std::uint64_t n);
+
+  private:
+    std::uint64_t s_[4];
+    double spare_;
+    bool hasSpare_;
+};
+
+/**
+ * Factory producing independent, reproducible Rng streams from
+ * hierarchical integer tags.
+ */
+class RngFactory
+{
+  public:
+    explicit RngFactory(std::uint64_t root_seed) : seed_(root_seed) {}
+
+    /** Derive a sub-factory for a component (e.g. a bank). */
+    RngFactory sub(std::uint64_t tag) const
+    {
+        return RngFactory(mixSeed(seed_, tag));
+    }
+
+    /** Materialize a stream for a leaf entity. */
+    Rng stream(std::uint64_t tag) const { return Rng(mixSeed(seed_, tag)); }
+
+    /** Root seed of this factory. */
+    std::uint64_t seed() const { return seed_; }
+
+  private:
+    std::uint64_t seed_;
+};
+
+} // namespace fracdram
+
+#endif // FRACDRAM_COMMON_RNG_HH

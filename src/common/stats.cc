@@ -1,0 +1,269 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace fracdram
+{
+
+void
+OnlineStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+OnlineStats::merge(const OnlineStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double n_total = na + nb;
+    mean_ += delta * nb / n_total;
+    m2_ += other.m2_ + delta * delta * na * nb / n_total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+double
+OnlineStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+OnlineStats::stderror() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double
+OnlineStats::ciHalfWidth(double z) const
+{
+    return z * stderror();
+}
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges))
+{
+    panic_if(edges_.empty(), "Histogram needs at least one edge");
+    for (std::size_t i = 1; i < edges_.size(); ++i) {
+        panic_if(edges_[i] <= edges_[i - 1],
+                 "Histogram edges must be strictly increasing");
+    }
+    counts_.assign(edges_.size() + 1, 0);
+}
+
+std::size_t
+Histogram::bucketOf(double x) const
+{
+    // First bucket holds x < edges_[0]; bucket i holds
+    // edges_[i-1] <= x < edges_[i]; last bucket holds x >= edges_.back().
+    const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+    std::size_t idx =
+        static_cast<std::size_t>(std::distance(edges_.begin(), it));
+    if (idx > 0 && x == edges_[idx - 1]) {
+        // upper_bound already placed equal values to the right; nothing
+        // more to do, but keep the branch for clarity of the contract.
+    }
+    return idx;
+}
+
+void
+Histogram::add(double x)
+{
+    ++counts_[bucketOf(x)];
+    ++total_;
+}
+
+double
+Histogram::fraction(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) /
+           static_cast<double>(total_);
+}
+
+std::vector<double>
+Histogram::pdf() const
+{
+    std::vector<double> out(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        out[i] = fraction(i);
+    return out;
+}
+
+void
+EmpiricalCdf::add(double x)
+{
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+void
+EmpiricalCdf::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+EmpiricalCdf::at(double x) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(std::distance(samples_.begin(), it)) /
+           static_cast<double>(samples_.size());
+}
+
+double
+EmpiricalCdf::quantile(double q) const
+{
+    panic_if(samples_.empty(), "quantile of empty CDF");
+    panic_if(q < 0.0 || q > 1.0, "quantile q=%f out of [0,1]", q);
+    ensureSorted();
+    if (q >= 1.0)
+        return samples_.back();
+    const double pos = q * static_cast<double>(samples_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= samples_.size())
+        return samples_.back();
+    return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+std::vector<double>
+EmpiricalCdf::sorted() const
+{
+    ensureSorted();
+    return samples_;
+}
+
+double
+lgammaSafe(double x)
+{
+    return std::lgamma(x);
+}
+
+double
+erfcSafe(double x)
+{
+    return std::erfc(x);
+}
+
+double
+normalCdf(double x)
+{
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+namespace
+{
+
+// Continued-fraction evaluation of Q(a,x), valid for x > a + 1.
+double
+igamcContinuedFraction(double a, double x)
+{
+    const double eps = 1e-15;
+    const double fpmin = std::numeric_limits<double>::min() / eps;
+    double b = x + 1.0 - a;
+    double c = 1.0 / fpmin;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i <= 1000; ++i) {
+        const double an = -static_cast<double>(i) *
+                          (static_cast<double>(i) - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::fabs(d) < fpmin)
+            d = fpmin;
+        c = b + an / c;
+        if (std::fabs(c) < fpmin)
+            c = fpmin;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < eps)
+            break;
+    }
+    return std::exp(-x + a * std::log(x) - lgammaSafe(a)) * h;
+}
+
+// Series evaluation of P(a,x), valid for x <= a + 1.
+double
+igamSeries(double a, double x)
+{
+    if (x <= 0.0)
+        return 0.0;
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int i = 0; i < 1000; ++i) {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if (std::fabs(del) < std::fabs(sum) * 1e-15)
+            break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - lgammaSafe(a));
+}
+
+} // namespace
+
+double
+igam(double a, double x)
+{
+    panic_if(a <= 0.0, "igam: a must be positive");
+    if (x <= 0.0)
+        return 0.0;
+    if (x < a + 1.0)
+        return igamSeries(a, x);
+    return 1.0 - igamcContinuedFraction(a, x);
+}
+
+double
+igamc(double a, double x)
+{
+    panic_if(a <= 0.0, "igamc: a must be positive");
+    if (x <= 0.0)
+        return 1.0;
+    if (x < a + 1.0)
+        return 1.0 - igamSeries(a, x);
+    return igamcContinuedFraction(a, x);
+}
+
+} // namespace fracdram

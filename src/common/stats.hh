@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Small statistics toolkit used by the experiment harnesses: streaming
+ * moments, fixed-bucket histograms, empirical CDFs, and confidence
+ * intervals.
+ */
+
+#ifndef FRACDRAM_COMMON_STATS_HH
+#define FRACDRAM_COMMON_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fracdram
+{
+
+/**
+ * Streaming mean/variance accumulator (Welford's algorithm).
+ */
+class OnlineStats
+{
+  public:
+    OnlineStats() = default;
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const OnlineStats &other);
+
+    /** Number of samples seen. */
+    std::size_t count() const { return n_; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Standard error of the mean. */
+    double stderror() const;
+
+    /**
+     * Half-width of the normal-approximation confidence interval.
+     * @param z z-score (1.96 for 95%).
+     */
+    double ciHalfWidth(double z = 1.96) const;
+
+    /** Smallest sample seen; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest sample seen; -inf when empty. */
+    double max() const { return max_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_;
+    double max_;
+};
+
+/**
+ * Histogram with caller-supplied bucket edges.
+ *
+ * A sample x lands in bucket i when edge[i] <= x < edge[i+1]; values
+ * below the first edge go to bucket 0 underflow, values at or above the
+ * last edge to the overflow bucket.
+ */
+class Histogram
+{
+  public:
+    /** @param edges strictly increasing internal bucket edges. */
+    explicit Histogram(std::vector<double> edges);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Bucket index a value would land in (including under/overflow). */
+    std::size_t bucketOf(double x) const;
+
+    /** Number of buckets (edges.size() + 1). */
+    std::size_t numBuckets() const { return counts_.size(); }
+
+    /** Raw count in bucket i. */
+    std::size_t count(std::size_t i) const { return counts_.at(i); }
+
+    /** Total samples. */
+    std::size_t total() const { return total_; }
+
+    /** Bucket count as a fraction of the total (a PDF column). */
+    double fraction(std::size_t i) const;
+
+    /** All fractions, one per bucket. */
+    std::vector<double> pdf() const;
+
+  private:
+    std::vector<double> edges_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/**
+ * Empirical CDF over a stored sample set.
+ */
+class EmpiricalCdf
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Fraction of samples <= x. */
+    double at(double x) const;
+
+    /** q-th quantile (0 <= q <= 1) of the sample set. */
+    double quantile(double q) const;
+
+    /** Number of samples. */
+    std::size_t count() const { return samples_.size(); }
+
+    /** Sorted copy of the samples. */
+    std::vector<double> sorted() const;
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+};
+
+/** Regularized upper incomplete gamma Q(a, x); used by the NIST tests. */
+double igamc(double a, double x);
+
+/** Regularized lower incomplete gamma P(a, x). */
+double igam(double a, double x);
+
+/** Complementary error function wrapper (for NIST p-values). */
+double erfcSafe(double x);
+
+/** Natural log of the gamma function. */
+double lgammaSafe(double x);
+
+/** Standard normal CDF. */
+double normalCdf(double x);
+
+} // namespace fracdram
+
+#endif // FRACDRAM_COMMON_STATS_HH

@@ -1,0 +1,77 @@
+#include "common/table.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace fracdram
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    panic_if(headers_.empty(), "TextTable needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    panic_if(cells.size() != headers_.size(),
+             "TextTable row width %zu != header width %zu", cells.size(),
+             headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int prec)
+{
+    return strprintf("%.*f", prec, v);
+}
+
+std::string
+TextTable::pct(double fraction, int prec)
+{
+    return strprintf("%.*f%%", prec, fraction * 100.0);
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            line.append(width[c] - row[c].size(), ' ');
+            if (c + 1 < row.size())
+                line += "  ";
+        }
+        // Trim trailing padding.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out = emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    out += std::string(total, '-') + "\n";
+    for (const auto &row : rows_)
+        out += emit_row(row);
+    return out;
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace fracdram

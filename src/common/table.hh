@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Plain-text table printer used by the bench binaries to emit the
+ * paper's tables and figure series as aligned rows.
+ */
+
+#ifndef FRACDRAM_COMMON_TABLE_HH
+#define FRACDRAM_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace fracdram
+{
+
+/**
+ * Column-aligned text table with a header row.
+ */
+class TextTable
+{
+  public:
+    /** @param headers column titles. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p prec decimals. */
+    static std::string num(double v, int prec = 3);
+
+    /** Convenience: format a percentage with @p prec decimals. */
+    static std::string pct(double fraction, int prec = 1);
+
+    /** Render the table with padding and a separator line. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fracdram
+
+#endif // FRACDRAM_COMMON_TABLE_HH

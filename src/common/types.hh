@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared scalar types used across the FracDRAM libraries.
+ */
+
+#ifndef FRACDRAM_COMMON_TYPES_HH
+#define FRACDRAM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace fracdram
+{
+
+/** Cell / bit-line voltage in volts. */
+using Volt = double;
+
+/** Wall-clock time in seconds (retention experiments). */
+using Seconds = double;
+
+/** Memory-controller cycle count. One cycle is 2.5 ns (SoftMC @400MHz). */
+using Cycles = std::uint64_t;
+
+/** Row index inside a bank. */
+using RowAddr = std::uint32_t;
+
+/** Column (bit) index inside a row. */
+using ColAddr = std::uint32_t;
+
+/** Bank index inside a chip. */
+using BankAddr = std::uint32_t;
+
+/** Duration of one SoftMC memory cycle in nanoseconds. */
+inline constexpr double memCycleNs = 2.5;
+
+/** Nominal DDR3 supply voltage in volts. */
+inline constexpr Volt nominalVdd = 1.5;
+
+} // namespace fracdram
+
+#endif // FRACDRAM_COMMON_TYPES_HH

@@ -1,0 +1,146 @@
+#include "compute/adder.hh"
+
+#include "common/logging.hh"
+
+namespace fracdram::compute
+{
+
+PlanarVector::PlanarVector(BitwiseEngine &engine, std::size_t width)
+    : engine_(&engine)
+{
+    panic_if(width == 0, "planar vector needs at least one bit");
+    planes_.reserve(width);
+    for (std::size_t i = 0; i < width; ++i)
+        planes_.push_back(engine.alloc());
+}
+
+PlanarVector::PlanarVector(BitwiseEngine &engine,
+                           std::vector<Value> planes)
+    : engine_(&engine), planes_(std::move(planes))
+{
+    panic_if(planes_.empty(), "planar vector needs at least one bit");
+}
+
+void
+PlanarVector::store(const std::vector<std::uint64_t> &values)
+{
+    const std::size_t lanes = engine_->lanes();
+    panic_if(values.size() > lanes, "more values (%zu) than lanes "
+                                    "(%zu)",
+             values.size(), lanes);
+    for (std::size_t i = 0; i < planes_.size(); ++i) {
+        BitVector bits(lanes);
+        for (std::size_t l = 0; l < values.size(); ++l)
+            bits.set(l, (values[l] >> i) & 1);
+        engine_->write(planes_[i], bits);
+    }
+}
+
+std::vector<std::uint64_t>
+PlanarVector::load()
+{
+    const std::size_t lanes = engine_->lanes();
+    std::vector<std::uint64_t> out(lanes, 0);
+    for (std::size_t i = 0; i < planes_.size(); ++i) {
+        const BitVector bits = engine_->read(planes_[i]);
+        for (std::size_t l = 0; l < lanes; ++l) {
+            if (bits.get(l))
+                out[l] |= std::uint64_t{1} << i;
+        }
+    }
+    return out;
+}
+
+void
+PlanarVector::release()
+{
+    for (const auto &p : planes_)
+        engine_->release(p);
+    planes_.clear();
+}
+
+PlanarVector
+addVectors(BitwiseEngine &engine, const PlanarVector &a,
+           const PlanarVector &b)
+{
+    panic_if(a.width() != b.width(),
+             "operand widths differ (%zu vs %zu)", a.width(),
+             b.width());
+    const std::size_t width = a.width();
+    std::vector<Value> sum_planes;
+    sum_planes.reserve(width + 1);
+
+    // Bit 0: half adder.
+    Value carry = engine.opAnd(a.planes()[0], b.planes()[0]);
+    sum_planes.push_back(
+        engine.opXor(a.planes()[0], b.planes()[0]));
+
+    // Bits 1..width-1: full adders. The carry is ONE in-DRAM MAJ3.
+    for (std::size_t i = 1; i < width; ++i) {
+        const Value ab = engine.opXor(a.planes()[i], b.planes()[i]);
+        sum_planes.push_back(engine.opXor(ab, carry));
+        Value next_carry =
+            engine.opMaj(a.planes()[i], b.planes()[i], carry);
+        engine.release(ab);
+        engine.release(carry);
+        carry = next_carry;
+    }
+    sum_planes.push_back(carry); // carry out
+    return PlanarVector(engine, std::move(sum_planes));
+}
+
+PlanarVector
+shiftLeft(BitwiseEngine &engine, const PlanarVector &a,
+          std::size_t amount)
+{
+    std::vector<Value> planes;
+    planes.reserve(a.width() + amount);
+    const BitVector zeros(engine.lanes(), false);
+    for (std::size_t i = 0; i < amount; ++i) {
+        const Value z = engine.alloc();
+        engine.write(z, zeros);
+        planes.push_back(z);
+    }
+    for (const auto &p : a.planes())
+        planes.push_back(engine.opCopy(p));
+    return PlanarVector(engine, std::move(planes));
+}
+
+PlanarVector
+mulConstant(BitwiseEngine &engine, const PlanarVector &a,
+            std::uint64_t k)
+{
+    panic_if(k == 0, "multiply by zero: just allocate zeros");
+    // Decompose k into set bits; accumulate shifted copies.
+    std::vector<std::size_t> shifts;
+    for (std::size_t bit = 0; bit < 64; ++bit)
+        if ((k >> bit) & 1)
+            shifts.push_back(bit);
+
+    PlanarVector acc = shiftLeft(engine, a, shifts[0]);
+    for (std::size_t i = 1; i < shifts.size(); ++i) {
+        PlanarVector term = shiftLeft(engine, a, shifts[i]);
+        // Align widths by zero-extending the narrower operand.
+        while (term.width() < acc.width()) {
+            const Value z = engine.alloc();
+            engine.write(z, BitVector(engine.lanes(), false));
+            auto planes = term.planes();
+            planes.push_back(z);
+            term = PlanarVector(engine, std::move(planes));
+        }
+        while (acc.width() < term.width()) {
+            const Value z = engine.alloc();
+            engine.write(z, BitVector(engine.lanes(), false));
+            auto planes = acc.planes();
+            planes.push_back(z);
+            acc = PlanarVector(engine, std::move(planes));
+        }
+        PlanarVector sum = addVectors(engine, acc, term);
+        acc.release();
+        term.release();
+        acc = std::move(sum);
+    }
+    return acc;
+}
+
+} // namespace fracdram::compute

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Bulk vector addition in DRAM: thousands of independent adders, one
+ * per column, built from the in-memory majority.
+ *
+ * Numbers are stored bit-planar (plane i holds bit i of every lane).
+ * A ripple-carry step per bit position:
+ *
+ *   carry_out = MAJ(a_i, b_i, carry)   <- a single in-DRAM MAJ3!
+ *   sum_i     = a_i XOR b_i XOR carry
+ *
+ * The majority operation the paper characterizes *is* the full-adder
+ * carry, which is why in-memory MAJ3/F-MAJ enables arithmetic, not
+ * just AND/OR.
+ */
+
+#ifndef FRACDRAM_COMPUTE_ADDER_HH
+#define FRACDRAM_COMPUTE_ADDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compute/engine.hh"
+
+namespace fracdram::compute
+{
+
+/**
+ * A vector of unsigned integers stored bit-planar in DRAM.
+ */
+class PlanarVector
+{
+  public:
+    /**
+     * Allocate a @p width-bit planar vector on the engine.
+     */
+    PlanarVector(BitwiseEngine &engine, std::size_t width);
+
+    /** Adopt existing plane handles (used by the in-DRAM operators). */
+    PlanarVector(BitwiseEngine &engine, std::vector<Value> planes);
+
+    /** Store host integers (one per lane; truncated to the width). */
+    void store(const std::vector<std::uint64_t> &values);
+
+    /** Read the lanes back as integers. */
+    std::vector<std::uint64_t> load();
+
+    /** Bit planes, LSB first. */
+    const std::vector<Value> &planes() const { return planes_; }
+
+    std::size_t width() const { return planes_.size(); }
+
+    /** Release all planes back to the engine. */
+    void release();
+
+  private:
+    BitwiseEngine *engine_;
+    std::vector<Value> planes_;
+};
+
+/**
+ * Bulk add: c = a + b over every lane, fully in-DRAM.
+ *
+ * @return a fresh planar vector of width max(a,b)+1 (carry out).
+ */
+PlanarVector addVectors(BitwiseEngine &engine, const PlanarVector &a,
+                        const PlanarVector &b);
+
+/**
+ * Shift every lane left by @p amount bits (multiply by 2^amount).
+ * Bit-planar layout makes this cheap: the planes are copied up and
+ * the low planes are filled with in-DRAM zeros.
+ */
+PlanarVector shiftLeft(BitwiseEngine &engine, const PlanarVector &a,
+                       std::size_t amount);
+
+/**
+ * Multiply every lane by a small unsigned constant via shift-and-add
+ * (one in-DRAM addition per set bit of @p k beyond the first).
+ */
+PlanarVector mulConstant(BitwiseEngine &engine, const PlanarVector &a,
+                         std::uint64_t k);
+
+} // namespace fracdram::compute
+
+#endif // FRACDRAM_COMPUTE_ADDER_HH

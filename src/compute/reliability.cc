@@ -1,0 +1,102 @@
+#include "compute/reliability.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/maj3.hh"
+
+namespace fracdram::compute
+{
+
+BitVector
+LaneProfile::reliableLanes(double threshold) const
+{
+    BitVector mask(successRate.size());
+    for (std::size_t i = 0; i < successRate.size(); ++i)
+        mask.set(i, successRate[i] >= threshold);
+    return mask;
+}
+
+std::size_t
+LaneProfile::reliableCount(double threshold) const
+{
+    return reliableLanes(threshold).popcount();
+}
+
+LaneProfile
+profileLanes(BitwiseEngine &engine, int trials, std::uint64_t seed)
+{
+    panic_if(trials < 1, "need at least one profiling trial");
+    const std::size_t lanes = engine.lanes();
+    Rng rng(mixSeed(seed, 0x1a9e5));
+
+    const Value a = engine.alloc();
+    const Value b = engine.alloc();
+    const Value c = engine.alloc();
+    std::vector<std::size_t> good(lanes, 0);
+
+    for (int t = 0; t < trials; ++t) {
+        BitVector av(lanes), bv(lanes), cv(lanes);
+        for (std::size_t i = 0; i < lanes; ++i) {
+            av.set(i, rng.chance(0.5));
+            bv.set(i, rng.chance(0.5));
+            cv.set(i, rng.chance(0.5));
+        }
+        engine.write(a, av);
+        engine.write(b, bv);
+        engine.write(c, cv);
+        const Value r = engine.opMaj(a, b, c);
+        const BitVector result = engine.read(r);
+        engine.release(r);
+        const BitVector expected = core::softwareMaj3(av, bv, cv);
+        for (std::size_t i = 0; i < lanes; ++i)
+            good[i] += result.get(i) == expected.get(i);
+    }
+    engine.release(a);
+    engine.release(b);
+    engine.release(c);
+
+    LaneProfile profile;
+    profile.successRate.resize(lanes);
+    for (std::size_t i = 0; i < lanes; ++i) {
+        profile.successRate[i] = static_cast<double>(good[i]) /
+                                 static_cast<double>(trials);
+    }
+    return profile;
+}
+
+BitVector
+compactToLanes(const BitVector &data, const BitVector &lane_mask)
+{
+    panic_if(data.size() > lane_mask.popcount(),
+             "data (%zu bits) exceeds reliable lanes (%zu)",
+             data.size(), lane_mask.popcount());
+    BitVector out(lane_mask.size(), false);
+    std::size_t next = 0;
+    for (std::size_t lane = 0;
+         lane < lane_mask.size() && next < data.size(); ++lane) {
+        if (lane_mask.get(lane))
+            out.set(lane, data.get(next++));
+    }
+    return out;
+}
+
+BitVector
+expandFromLanes(const BitVector &lanes, const BitVector &lane_mask,
+                std::size_t logical_size)
+{
+    panic_if(lanes.size() != lane_mask.size(),
+             "lane vector and mask sizes differ");
+    BitVector out(logical_size);
+    std::size_t next = 0;
+    for (std::size_t lane = 0;
+         lane < lane_mask.size() && next < logical_size; ++lane) {
+        if (lane_mask.get(lane))
+            out.set(next++, lanes.get(lane));
+    }
+    panic_if(next < logical_size,
+             "mask has fewer lanes (%zu) than requested bits (%zu)",
+             next, logical_size);
+    return out;
+}
+
+} // namespace fracdram::compute

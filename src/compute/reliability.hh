@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Lane-reliability profiling for the compute engine.
+ *
+ * The paper's Fig. 10 shows that some columns are flaky under
+ * repeated in-memory majority. A deployment therefore profiles its
+ * lanes once and maps data onto the reliable ones (exactly like the
+ * paper picks best configurations per group). This header provides
+ * the profiling pass and the host-side compact/expand helpers.
+ */
+
+#ifndef FRACDRAM_COMPUTE_RELIABILITY_HH
+#define FRACDRAM_COMPUTE_RELIABILITY_HH
+
+#include <vector>
+
+#include "compute/engine.hh"
+
+namespace fracdram::compute
+{
+
+/** Per-lane success statistics of repeated in-DRAM majorities. */
+struct LaneProfile
+{
+    /** Success rate per lane over the profiling trials. */
+    std::vector<double> successRate;
+
+    /** Lanes meeting a success threshold (default: always correct). */
+    BitVector reliableLanes(double threshold = 1.0) const;
+
+    /** Count of lanes meeting the threshold. */
+    std::size_t reliableCount(double threshold = 1.0) const;
+};
+
+/**
+ * Profile the engine's lanes with @p trials random majority
+ * operations (uses and releases three temporary values).
+ */
+LaneProfile profileLanes(BitwiseEngine &engine, int trials = 16,
+                         std::uint64_t seed = 1);
+
+/**
+ * Pack @p data (one bit per *logical* position) onto the set lanes of
+ * @p lane_mask: logical bit i lands on the i-th reliable lane.
+ * Requires data.size() <= popcount(lane_mask).
+ */
+BitVector compactToLanes(const BitVector &data,
+                         const BitVector &lane_mask);
+
+/**
+ * Inverse of compactToLanes: extract the bits on the set lanes of
+ * @p lane_mask, in lane order, truncated to @p logical_size.
+ */
+BitVector expandFromLanes(const BitVector &lanes,
+                          const BitVector &lane_mask,
+                          std::size_t logical_size);
+
+} // namespace fracdram::compute
+
+#endif // FRACDRAM_COMPUTE_RELIABILITY_HH

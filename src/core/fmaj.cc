@@ -1,0 +1,108 @@
+#include "core/fmaj.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "core/frac_op.hh"
+#include "core/multi_row.hh"
+
+namespace fracdram::core
+{
+
+FMajConfig
+bestFMajConfig(sim::DramGroup group)
+{
+    // Fitted from the Fig. 9 coverage sweeps. Rows follow the paper:
+    // {8,1} opens {0,1,8,9} on group B; {1,2} opens {0,1,2,3} on
+    // groups C and D.
+    FMajConfig cfg;
+    switch (group) {
+      case sim::DramGroup::B:
+        cfg.actFirst = 8;
+        cfg.actSecond = 1;
+        cfg.fracRow = 1; // R2, the primary row of group B
+        cfg.fracInitOnes = true;
+        cfg.numFracs = 3;
+        return cfg;
+      case sim::DramGroup::C:
+        cfg.actFirst = 1;
+        cfg.actSecond = 2;
+        cfg.fracRow = 1; // R1, the primary row of group C
+        cfg.fracInitOnes = true;
+        cfg.numFracs = 3;
+        return cfg;
+      case sim::DramGroup::D:
+        cfg.actFirst = 1;
+        cfg.actSecond = 2;
+        cfg.fracRow = 3; // R4, the dominant implicit row of group D
+        cfg.fracInitOnes = false;
+        cfg.numFracs = 3;
+        return cfg;
+      case sim::DramGroup::M:
+        // DDR4 extension: first-activated row dominates, like group C.
+        cfg.actFirst = 1;
+        cfg.actSecond = 2;
+        cfg.fracRow = 1;
+        cfg.fracInitOnes = true;
+        cfg.numFracs = 3;
+        return cfg;
+      default:
+        fatal("group %s cannot open four rows; F-MAJ unavailable",
+              groupName(group).c_str());
+    }
+}
+
+std::vector<RowAddr>
+fmajOperandRows(const sim::DramChip &chip, const FMajConfig &cfg)
+{
+    const auto opened =
+        plannedOpenedRows(chip, cfg.actFirst, cfg.actSecond);
+    fatal_if(opened.size() != 4,
+             "F-MAJ needs a four-row activation; pair (%u,%u) opens "
+             "%zu row(s) on this module",
+             cfg.actFirst, cfg.actSecond, opened.size());
+    std::vector<RowAddr> rows;
+    bool has_frac_row = false;
+    for (const auto &o : opened) {
+        if (o.row == cfg.fracRow)
+            has_frac_row = true;
+        else
+            rows.push_back(o.row);
+    }
+    fatal_if(!has_frac_row,
+             "fracRow %u is not among the opened rows", cfg.fracRow);
+    std::sort(rows.begin(), rows.end());
+    return rows;
+}
+
+void
+fmajPrepareFracRow(softmc::MemoryController &mc, BankAddr bank,
+                   const FMajConfig &cfg)
+{
+    // Initialization to a solid rail makes the fractional value even
+    // across the row (Sec. VI-A1, step 2).
+    mc.fillRowVoltage(bank, cfg.fracRow, cfg.fracInitOnes);
+    if (cfg.numFracs > 0)
+        frac(mc, bank, cfg.fracRow, cfg.numFracs);
+}
+
+BitVector
+fmajWithPreparedFracRow(softmc::MemoryController &mc, BankAddr bank,
+                        const FMajConfig &cfg,
+                        const std::array<BitVector, 3> &operands)
+{
+    const auto rows = fmajOperandRows(mc.chip(), cfg);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        mc.writeRowVoltage(bank, rows[i], operands[i]);
+    return multiRowActivate(mc, bank, cfg.actFirst, cfg.actSecond);
+}
+
+BitVector
+fmaj(softmc::MemoryController &mc, BankAddr bank, const FMajConfig &cfg,
+     const std::array<BitVector, 3> &operands)
+{
+    fmajPrepareFracRow(mc, bank, cfg);
+    return fmajWithPreparedFracRow(mc, bank, cfg, operands);
+}
+
+} // namespace fracdram::core

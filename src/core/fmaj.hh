@@ -1,0 +1,94 @@
+/**
+ * @file
+ * F-MAJ (paper Sec. VI-A): majority-of-three built on a *four*-row
+ * activation by parking a fractional value in one of the four rows.
+ *
+ * The fractional row sits near V_dd/2 and barely influences the
+ * bit-line, so the sense amplifiers latch the majority of the other
+ * three rows. This extends ComputeDRAM-style majority to modules that
+ * can only open four rows (groups C, D and DDR4-like parts), and -
+ * when the fractional value is parked in the activation's "primary"
+ * row - makes the operation more symmetric and more reliable than
+ * the original three-row MAJ3.
+ */
+
+#ifndef FRACDRAM_CORE_FMAJ_HH
+#define FRACDRAM_CORE_FMAJ_HH
+
+#include <array>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/types.hh"
+#include "sim/chip.hh"
+#include "sim/vendor.hh"
+#include "softmc/controller.hh"
+
+namespace fracdram::core
+{
+
+/**
+ * Configuration of one F-MAJ operation.
+ */
+struct FMajConfig
+{
+    RowAddr actFirst = 1;  //!< R1 of the activation sequence
+    RowAddr actSecond = 2; //!< R2 of the activation sequence
+    /** Which opened row holds the fractional value. */
+    RowAddr fracRow = 0;
+    /**
+     * Initial fill of the fractional row before Frac: true = all ones
+     * (fractional value approaches V_dd/2 from above).
+     */
+    bool fracInitOnes = true;
+    /** Number of Frac operations to issue. */
+    int numFracs = 2;
+};
+
+/**
+ * Best known configuration per vendor group (fitted from the Fig. 9
+ * sweeps; see bench_fig9_fmaj_coverage).
+ */
+FMajConfig bestFMajConfig(sim::DramGroup group);
+
+/**
+ * The three operand rows of a configuration: the opened rows minus
+ * the fractional row, in ascending row order.
+ */
+std::vector<RowAddr> fmajOperandRows(const sim::DramChip &chip,
+                                     const FMajConfig &cfg);
+
+/**
+ * Prepare the fractional row only (fill + Frac). Exposed separately
+ * so sweeps can reuse one preparation across operand sets.
+ */
+void fmajPrepareFracRow(softmc::MemoryController &mc, BankAddr bank,
+                        const FMajConfig &cfg);
+
+/**
+ * Full F-MAJ: prepare the fractional row, stage the three operands,
+ * run the four-row activation.
+ *
+ * @param mc controller (enforcement must be off)
+ * @param bank target bank
+ * @param cfg configuration; the activation pair must open 4 rows
+ * @param operands voltage-domain operands for the three non-frac
+ *        rows, in ascending row order
+ * @return voltage-domain majority bits
+ */
+BitVector fmaj(softmc::MemoryController &mc, BankAddr bank,
+               const FMajConfig &cfg,
+               const std::array<BitVector, 3> &operands);
+
+/**
+ * F-MAJ without re-preparing the fractional row (the caller already
+ * ran fmajPrepareFracRow and has not destroyed the fractional value).
+ */
+BitVector fmajWithPreparedFracRow(softmc::MemoryController &mc,
+                                  BankAddr bank, const FMajConfig &cfg,
+                                  const std::array<BitVector, 3> &
+                                      operands);
+
+} // namespace fracdram::core
+
+#endif // FRACDRAM_CORE_FMAJ_HH

@@ -1,0 +1,37 @@
+#include "core/frac_op.hh"
+
+#include "common/logging.hh"
+
+namespace fracdram::core
+{
+
+softmc::CommandSequence
+buildFracSequence(BankAddr bank, RowAddr row, int count, Cycles t_rp)
+{
+    panic_if(count < 1, "Frac count must be >= 1, got %d", count);
+    softmc::CommandSequence seq;
+    // Step 1 (Fig. 3): make sure the bank is closed and the bit-lines
+    // sit at V_dd/2.
+    seq.pre(bank);
+    seq.idle(t_rp - 1);
+    for (int i = 0; i < count; ++i) {
+        // Steps 2-3: ACT then PRE back-to-back interrupts the
+        // activation before the sense amplifier enables.
+        seq.act(bank, row);
+        seq.pre(bank);
+        // Step 4: wait for the PRECHARGE to finish before the next
+        // Frac. Total: 2 command + 5 idle = 7 cycles per Frac.
+        seq.idle(t_rp);
+    }
+    return seq;
+}
+
+void
+frac(softmc::MemoryController &mc, BankAddr bank, RowAddr row, int count)
+{
+    fatal_if(mc.enforcesSpec(),
+             "Frac violates tRAS; disable JEDEC enforcement first");
+    mc.execute(buildFracSequence(bank, row, count), "frac");
+}
+
+} // namespace fracdram::core

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The Frac primitive (paper Sec. III-A): store a fractional voltage in
+ * an entire DRAM row by interrupting its activation.
+ *
+ * One Frac operation is ACTIVATE(row) immediately followed by
+ * PRECHARGE; the precharge lands before the sense amplifier enables,
+ * so the cells are disconnected while holding the (partial) charge-
+ * sharing equilibrium - a voltage strictly between the rail they held
+ * and V_dd/2. Issuing more Frac operations walks the voltage
+ * geometrically toward V_dd/2.
+ */
+
+#ifndef FRACDRAM_CORE_FRAC_OP_HH
+#define FRACDRAM_CORE_FRAC_OP_HH
+
+#include "common/types.hh"
+#include "softmc/command.hh"
+#include "softmc/controller.hh"
+
+namespace fracdram::core
+{
+
+/**
+ * Latency of one Frac operation: two command cycles plus five idle
+ * cycles for the interrupting PRECHARGE to complete (Sec. III-A).
+ */
+inline constexpr Cycles fracOpCycles = 7;
+
+/**
+ * Build the command sequence for @p count back-to-back Frac
+ * operations on one row. The sequence starts with a bank precharge so
+ * the bit-lines are at V_dd/2 (step 1 of Fig. 3).
+ *
+ * @param bank target bank
+ * @param row target row
+ * @param count number of Frac operations (>= 1)
+ * @param t_rp cycles to wait after each PRECHARGE
+ */
+softmc::CommandSequence buildFracSequence(BankAddr bank, RowAddr row,
+                                          int count, Cycles t_rp = 5);
+
+/**
+ * Issue @p count Frac operations to a row.
+ *
+ * Deliberately violates tRAS (the activation is interrupted); the
+ * controller must not be in spec-enforcing mode.
+ */
+void frac(softmc::MemoryController &mc, BankAddr bank, RowAddr row,
+          int count = 1);
+
+} // namespace fracdram::core
+
+#endif // FRACDRAM_CORE_FRAC_OP_HH

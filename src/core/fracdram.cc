@@ -1,0 +1,125 @@
+#include "core/fracdram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "core/frac_op.hh"
+#include "core/half_m.hh"
+#include "core/maj3.hh"
+#include "core/multi_row.hh"
+
+namespace fracdram::core
+{
+
+FracDram::FracDram(sim::DramGroup group, std::uint64_t serial,
+                   const sim::DramParams &params)
+    : chip_(std::make_unique<sim::DramChip>(group, serial, params)),
+      mc_(std::make_unique<softmc::MemoryController>(*chip_, false)),
+      refresh_(std::make_unique<RefreshManager>(*mc_))
+{
+}
+
+const sim::VendorProfile &
+FracDram::profile() const
+{
+    return chip_->profile();
+}
+
+bool
+FracDram::canFrac() const
+{
+    return profile().supportsFrac;
+}
+
+bool
+FracDram::canThreeRowActivate() const
+{
+    return profile().supportsThreeRow;
+}
+
+bool
+FracDram::canFourRowActivate() const
+{
+    return profile().supportsFourRow;
+}
+
+bool
+FracDram::canMajority() const
+{
+    return canThreeRowActivate() ||
+           (canFourRowActivate() && canFrac());
+}
+
+void
+FracDram::frac(BankAddr bank, RowAddr row, int count)
+{
+    fatal_if(!canFrac(), "group %s drops out-of-spec sequences; Frac "
+                         "is unavailable",
+             groupName(profile().group).c_str());
+    core::frac(*mc_, bank, row, count);
+}
+
+void
+FracDram::storeHalfMasked(BankAddr bank, const BitVector &half_mask,
+                          bool background)
+{
+    fatal_if(!canFourRowActivate(),
+             "Half-m needs a four-row activation");
+    const RowAddr r1 = 8, r2 = 1; // opens {0, 1, 8, 9}
+    const auto opened = plannedOpenedRows(*chip_, r1, r2);
+    halfM(*mc_, bank, r1, r2,
+          halfMInitPatterns(opened, half_mask, background));
+}
+
+BitVector
+FracDram::majority(BankAddr bank,
+                   const std::array<BitVector, 3> &operands)
+{
+    if (canThreeRowActivate()) {
+        // Original ComputeDRAM MAJ3: ACT(1)-PRE-ACT(2) opens {0,1,2}.
+        const RowAddr r1 = 1, r2 = 2;
+        const auto opened = plannedOpenedRows(*chip_, r1, r2);
+        panic_if(opened.size() != 3, "expected a three-row activation");
+        std::vector<RowAddr> rows;
+        for (const auto &o : opened)
+            rows.push_back(o.row);
+        std::sort(rows.begin(), rows.end());
+        std::map<RowAddr, BitVector> staged;
+        for (std::size_t i = 0; i < rows.size(); ++i)
+            staged.emplace(rows[i], operands[i]);
+        return maj3(*mc_, bank, r1, r2, staged);
+    }
+    return majorityFMaj(bank, operands);
+}
+
+BitVector
+FracDram::majorityFMaj(BankAddr bank,
+                       const std::array<BitVector, 3> &operands)
+{
+    fatal_if(!canFourRowActivate() || !canFrac(),
+             "F-MAJ needs Frac and a four-row activation");
+    return fmaj(*mc_, bank, bestFMajConfig(profile().group), operands);
+}
+
+void
+FracDram::writeRow(BankAddr bank, RowAddr row, const BitVector &bits)
+{
+    mc_->writeRow(bank, row, bits);
+}
+
+BitVector
+FracDram::readRow(BankAddr bank, RowAddr row)
+{
+    return mc_->readRow(bank, row);
+}
+
+BitVector
+FracDram::fracReadout(BankAddr bank, RowAddr row, int num_fracs)
+{
+    fatal_if(!canFrac(), "fracReadout needs Frac support");
+    mc_->fillRowVoltage(bank, row, true);
+    core::frac(*mc_, bank, row, num_fracs);
+    return mc_->readRowVoltage(bank, row);
+}
+
+} // namespace fracdram::core

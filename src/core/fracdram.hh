@@ -1,0 +1,112 @@
+/**
+ * @file
+ * FracDram: the library facade. Owns a simulated module and its
+ * SoftMC controller and exposes the paper's primitives and use-case
+ * entry points behind one object. Examples and applications start
+ * here; experiment harnesses typically reach for the lower layers.
+ */
+
+#ifndef FRACDRAM_CORE_FRACDRAM_HH
+#define FRACDRAM_CORE_FRACDRAM_HH
+
+#include <array>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/types.hh"
+#include "core/fmaj.hh"
+#include "core/refresh.hh"
+#include "sim/chip.hh"
+#include "sim/vendor.hh"
+#include "softmc/controller.hh"
+
+namespace fracdram::core
+{
+
+/**
+ * One FracDRAM-capable module with its controller.
+ */
+class FracDram
+{
+  public:
+    /**
+     * @param group vendor group to instantiate (Table I)
+     * @param serial module serial (distinct silicon per value)
+     * @param params geometry overrides
+     */
+    explicit FracDram(sim::DramGroup group, std::uint64_t serial = 1,
+                      const sim::DramParams &params =
+                          sim::DramParams{});
+
+    /** @name Capability queries (Table I semantics) */
+    /// @{
+    /** Whether Frac stores fractional values on this module. */
+    bool canFrac() const;
+    /** Whether the module opens three rows (original MAJ3). */
+    bool canThreeRowActivate() const;
+    /** Whether the module opens four rows (Half-m, F-MAJ). */
+    bool canFourRowActivate() const;
+    /** Whether any in-memory majority operation is available. */
+    bool canMajority() const;
+    /// @}
+
+    /** @name Primitives */
+    /// @{
+    /** Issue @p count Frac operations to a row (Sec. III-A). */
+    void frac(BankAddr bank, RowAddr row, int count = 1);
+
+    /**
+     * Store Half values to masked bits (Sec. III-B). Columns selected
+     * by @p half_mask end near V_dd/2; the others hold a weak copy of
+     * @p background. Uses the paper's rows {8,1} -> {0,1,8,9}.
+     */
+    void storeHalfMasked(BankAddr bank, const BitVector &half_mask,
+                         bool background);
+    /// @}
+
+    /** @name In-memory majority */
+    /// @{
+    /**
+     * In-memory majority of three voltage-domain operands. Uses the
+     * original three-row MAJ3 when available, otherwise F-MAJ on a
+     * four-row activation (fatal if neither is supported).
+     */
+    BitVector majority(BankAddr bank,
+                       const std::array<BitVector, 3> &operands);
+
+    /** Force the F-MAJ path with this module's best configuration. */
+    BitVector majorityFMaj(BankAddr bank,
+                           const std::array<BitVector, 3> &operands);
+    /// @}
+
+    /** @name Host data path (JEDEC-compliant) */
+    /// @{
+    void writeRow(BankAddr bank, RowAddr row, const BitVector &bits);
+    BitVector readRow(BankAddr bank, RowAddr row);
+    /// @}
+
+    /**
+     * Generate a PUF-style fractional readout of a row: initialize to
+     * all-high, issue @p num_fracs Frac operations, read the row back
+     * (the sense amplifiers resolve ~V_dd/2 by their per-column
+     * offsets). This is the paper's Sec. VI-B response primitive.
+     */
+    BitVector fracReadout(BankAddr bank, RowAddr row,
+                          int num_fracs = 10);
+
+    sim::DramChip &chip() { return *chip_; }
+    softmc::MemoryController &controller() { return *mc_; }
+    RefreshManager &refreshManager() { return *refresh_; }
+    const sim::VendorProfile &profile() const;
+
+  private:
+    std::unique_ptr<sim::DramChip> chip_;
+    std::unique_ptr<softmc::MemoryController> mc_;
+    std::unique_ptr<RefreshManager> refresh_;
+};
+
+} // namespace fracdram::core
+
+#endif // FRACDRAM_CORE_FRACDRAM_HH

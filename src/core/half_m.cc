@@ -1,0 +1,43 @@
+#include "core/half_m.hh"
+
+#include "common/logging.hh"
+#include "core/multi_row.hh"
+
+namespace fracdram::core
+{
+
+void
+halfM(softmc::MemoryController &mc, BankAddr bank, RowAddr r1,
+      RowAddr r2, const std::map<RowAddr, BitVector> &inits)
+{
+    for (const auto &[row, bits] : inits)
+        mc.writeRowVoltage(bank, row, bits);
+    multiRowActivateInterrupted(mc, bank, r1, r2);
+}
+
+std::map<RowAddr, BitVector>
+halfMInitPatterns(const std::vector<sim::OpenedRow> &opened,
+                  const BitVector &half_mask, bool background)
+{
+    panic_if(opened.size() != 4,
+             "Half-m needs a four-row activation, got %zu rows",
+             opened.size());
+
+    // The paper stores one to R1/R3 and zero to R2/R4 in Half columns.
+    auto high_for = [](sim::RowRole role) {
+        return role == sim::RowRole::FirstAct ||
+               role == sim::RowRole::ImplicitAnd;
+    };
+
+    std::map<RowAddr, BitVector> inits;
+    for (const auto &o : opened) {
+        BitVector bits(half_mask.size());
+        for (std::size_t c = 0; c < half_mask.size(); ++c)
+            bits.set(c, half_mask.get(c) ? high_for(o.role)
+                                         : background);
+        inits.emplace(o.row, std::move(bits));
+    }
+    return inits;
+}
+
+} // namespace fracdram::core

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The Half-m primitive (paper Sec. III-B): store Half values on masked
+ * bits of a row by interrupting a four-row activation.
+ *
+ * Four rows are opened by ACT(R1)-PRE-ACT(R2) (the decoder glitch) and
+ * a trailing back-to-back PRECHARGE disconnects them before the sense
+ * amplifiers fully recover the values. Columns whose four initial
+ * values are two ones and two zeros end near V_dd/2 (a Half value);
+ * all-ones / all-zeros columns end as "weak" ones / zeros.
+ */
+
+#ifndef FRACDRAM_CORE_HALF_M_HH
+#define FRACDRAM_CORE_HALF_M_HH
+
+#include <map>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/types.hh"
+#include "sim/row_decoder.hh"
+#include "softmc/controller.hh"
+
+namespace fracdram::core
+{
+
+/**
+ * Stage initial values and run Half-m.
+ *
+ * @param mc controller (enforcement must be off)
+ * @param bank target bank
+ * @param r1 first activated row (e.g. 8)
+ * @param r2 second activated row (e.g. 1)
+ * @param inits voltage-domain initial data per row; the mask of Half
+ *        vs weak-one vs weak-zero columns is whatever these patterns
+ *        encode (two-high-two-low columns become Half values)
+ */
+void halfM(softmc::MemoryController &mc, BankAddr bank, RowAddr r1,
+           RowAddr r2, const std::map<RowAddr, BitVector> &inits);
+
+/**
+ * Build the per-row initial patterns that generate a Half value in
+ * the columns selected by @p half_mask and a weak copy of
+ * @p background in the rest.
+ *
+ * Half columns get the checker assignment the paper uses (one in R1
+ * and R3, zero in R2 and R4); other columns get @p background in all
+ * four rows.
+ *
+ * @param opened the four opened rows (from plannedOpenedRows)
+ * @param half_mask columns that should hold Half values
+ * @param background value for non-masked columns
+ * @return voltage-domain init per row address
+ */
+std::map<RowAddr, BitVector>
+halfMInitPatterns(const std::vector<sim::OpenedRow> &opened,
+                  const BitVector &half_mask, bool background);
+
+} // namespace fracdram::core
+
+#endif // FRACDRAM_CORE_HALF_M_HH

@@ -1,0 +1,40 @@
+#include "core/maj3.hh"
+
+#include "common/logging.hh"
+#include "core/multi_row.hh"
+
+namespace fracdram::core
+{
+
+BitVector
+softwareMaj3(const BitVector &a, const BitVector &b, const BitVector &c)
+{
+    panic_if(a.size() != b.size() || b.size() != c.size(),
+             "softwareMaj3: operand sizes differ");
+    BitVector out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const int ones = static_cast<int>(a.get(i)) +
+                         static_cast<int>(b.get(i)) +
+                         static_cast<int>(c.get(i));
+        out.set(i, ones >= 2);
+    }
+    return out;
+}
+
+BitVector
+maj3(softmc::MemoryController &mc, BankAddr bank, RowAddr r1, RowAddr r2,
+     const std::map<RowAddr, BitVector> &operands)
+{
+    for (const auto &[row, bits] : operands)
+        mc.writeRowVoltage(bank, row, bits);
+    return maj3InPlace(mc, bank, r1, r2);
+}
+
+BitVector
+maj3InPlace(softmc::MemoryController &mc, BankAddr bank, RowAddr r1,
+            RowAddr r2)
+{
+    return multiRowActivate(mc, bank, r1, r2);
+}
+
+} // namespace fracdram::core

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ComputeDRAM-style in-memory majority-of-three (the paper's baseline
+ * operation, Sec. II-D / VI-A).
+ *
+ * Three rows of a sub-array are opened simultaneously by the
+ * out-of-spec sequence ACT(R1)-PRE-ACT(R2); the charge they share on
+ * the bit-lines makes the sense amplifiers latch the majority of the
+ * three stored values, which is then restored into all opened rows.
+ *
+ * All operands and results are in the *voltage* domain (bit=1 means
+ * the cell physically holds a high level) - the paper's Sec. II-C
+ * convention; the controller's voltage-domain helpers take care of
+ * anti-cell rows.
+ */
+
+#ifndef FRACDRAM_CORE_MAJ3_HH
+#define FRACDRAM_CORE_MAJ3_HH
+
+#include <map>
+
+#include "common/bitvec.hh"
+#include "common/types.hh"
+#include "softmc/controller.hh"
+
+namespace fracdram::core
+{
+
+/** Reference software majority-of-three (bitwise). */
+BitVector softwareMaj3(const BitVector &a, const BitVector &b,
+                       const BitVector &c);
+
+/**
+ * Stage operands onto rows and run the in-memory MAJ3.
+ *
+ * @param mc controller (JEDEC enforcement must be off)
+ * @param bank target bank
+ * @param r1 first activated row of the sequence
+ * @param r2 second activated row of the sequence
+ * @param operands voltage-domain data per row address; every row that
+ *        the sequence opens and that appears here is written first
+ * @return voltage-domain majority bits (also restored in the rows)
+ */
+BitVector maj3(softmc::MemoryController &mc, BankAddr bank, RowAddr r1,
+               RowAddr r2,
+               const std::map<RowAddr, BitVector> &operands);
+
+/**
+ * Run the in-memory MAJ3 on whatever the rows currently hold
+ * (no operand staging).
+ */
+BitVector maj3InPlace(softmc::MemoryController &mc, BankAddr bank,
+                      RowAddr r1, RowAddr r2);
+
+} // namespace fracdram::core
+
+#endif // FRACDRAM_CORE_MAJ3_HH

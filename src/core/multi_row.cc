@@ -1,0 +1,71 @@
+#include "core/multi_row.hh"
+
+#include "common/logging.hh"
+
+namespace fracdram::core
+{
+
+std::vector<sim::OpenedRow>
+plannedOpenedRows(const sim::DramChip &chip, RowAddr r1, RowAddr r2)
+{
+    if (chip.profile().ignoresOutOfSpecTiming) {
+        // The second ACT is dropped by the timing checker; only R1
+        // ends up open.
+        return {{r1, sim::RowRole::FirstAct}};
+    }
+    return sim::glitchOpenedRows(chip.profile(), r1, r2,
+                                 chip.dramParams().rowsPerSubarray);
+}
+
+softmc::CommandSequence
+buildMultiRowSequence(BankAddr bank, RowAddr r1, RowAddr r2,
+                      bool interrupted, Cycles t_rp)
+{
+    softmc::CommandSequence seq;
+    seq.pre(bank);
+    seq.idle(t_rp - 1);
+    seq.act(bank, r1);
+    seq.pre(bank);
+    seq.act(bank, r2);
+    if (interrupted) {
+        // Half-m: interrupt before the sense amplifiers enable.
+        seq.pre(bank);
+        seq.idle(t_rp);
+    } else {
+        // Let the activation complete (sense + restore), read the
+        // result out, then close.
+        seq.idle(8);
+        seq.read(bank);
+        seq.idle(4);
+        seq.pre(bank);
+        seq.idle(t_rp);
+    }
+    return seq;
+}
+
+BitVector
+multiRowActivate(softmc::MemoryController &mc, BankAddr bank, RowAddr r1,
+                 RowAddr r2)
+{
+    fatal_if(mc.enforcesSpec(), "multi-row activation violates JEDEC "
+                                "timing; disable enforcement first");
+    auto result = mc.execute(buildMultiRowSequence(bank, r1, r2, false),
+                             "multiRowActivate");
+    panic_if(result.reads.size() != 1,
+             "multiRowActivate expected one read");
+    // The buffer holds logic bits relative to R2; convert back to the
+    // physical (voltage) domain the charge sharing works in.
+    return mc.toVoltageDomain(bank, r2, result.reads[0]);
+}
+
+void
+multiRowActivateInterrupted(softmc::MemoryController &mc, BankAddr bank,
+                            RowAddr r1, RowAddr r2)
+{
+    fatal_if(mc.enforcesSpec(), "multi-row activation violates JEDEC "
+                                "timing; disable enforcement first");
+    mc.execute(buildMultiRowSequence(bank, r1, r2, true),
+               "multiRowActivateInterrupted");
+}
+
+} // namespace fracdram::core

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Multi-row activation (paper Sec. II-D): the out-of-spec sequence
+ * ACTIVATE(R1)-PRECHARGE-ACTIVATE(R2), issued back-to-back, that opens
+ * several rows of a sub-array simultaneously. The full (sensed)
+ * variant is the substrate of MAJ3/F-MAJ; the interrupted variant
+ * (with a trailing back-to-back PRECHARGE) is the Half-m mechanism.
+ */
+
+#ifndef FRACDRAM_CORE_MULTI_ROW_HH
+#define FRACDRAM_CORE_MULTI_ROW_HH
+
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/types.hh"
+#include "sim/chip.hh"
+#include "sim/row_decoder.hh"
+#include "softmc/command.hh"
+#include "softmc/controller.hh"
+
+namespace fracdram::core
+{
+
+/**
+ * Predict which rows ACT(r1)-PRE-ACT(r2) opens on a module.
+ * A single-element result {r2} means the glitch does not fire.
+ */
+std::vector<sim::OpenedRow> plannedOpenedRows(const sim::DramChip &chip,
+                                              RowAddr r1, RowAddr r2);
+
+/**
+ * Build ACT(r1)-PRE-ACT(r2), optionally with a trailing back-to-back
+ * PRECHARGE that interrupts the multi-row activation (Half-m).
+ *
+ * @param bank target bank
+ * @param r1 first row
+ * @param r2 second row
+ * @param interrupted append the trailing PRE (Half-m) when true
+ * @param t_rp trailing precharge wait
+ */
+softmc::CommandSequence buildMultiRowSequence(BankAddr bank, RowAddr r1,
+                                              RowAddr r2,
+                                              bool interrupted,
+                                              Cycles t_rp = 5);
+
+/**
+ * Run the full multi-row activation and return the charge-sharing
+ * result in the voltage domain (bit=1 means bit-line sensed high).
+ * The result is also restored into every opened row.
+ */
+BitVector multiRowActivate(softmc::MemoryController &mc, BankAddr bank,
+                           RowAddr r1, RowAddr r2);
+
+/**
+ * Run the interrupted multi-row activation (the core of Half-m):
+ * the opened cells keep fractional voltages, nothing is sensed.
+ */
+void multiRowActivateInterrupted(softmc::MemoryController &mc,
+                                 BankAddr bank, RowAddr r1, RowAddr r2);
+
+} // namespace fracdram::core
+
+#endif // FRACDRAM_CORE_MULTI_ROW_HH

@@ -1,0 +1,52 @@
+#include "core/refresh.hh"
+
+#include "common/logging.hh"
+
+namespace fracdram::core
+{
+
+RefreshManager::RefreshManager(softmc::MemoryController &mc,
+                               Seconds interval)
+    : mc_(mc), interval_(interval), lastRefresh_(mc.chip().now())
+{
+    panic_if(interval <= 0.0, "refresh interval must be positive");
+}
+
+Seconds
+RefreshManager::sinceLast() const
+{
+    return mc_.chip().now() - lastRefresh_;
+}
+
+bool
+RefreshManager::tick()
+{
+    if (suspended() || !due())
+        return false;
+    refreshNow();
+    return true;
+}
+
+void
+RefreshManager::refreshNow()
+{
+    mc_.refreshAll();
+    lastRefresh_ = mc_.chip().now();
+}
+
+void
+RefreshManager::suspend()
+{
+    ++suspendDepth_;
+}
+
+void
+RefreshManager::resume()
+{
+    panic_if(suspendDepth_ == 0, "resume() without matching suspend()");
+    --suspendDepth_;
+    if (suspendDepth_ == 0 && due())
+        refreshNow();
+}
+
+} // namespace fracdram::core

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Refresh management (paper Sec. III-C).
+ *
+ * Any row activation - including the internal ones REFRESH performs -
+ * destroys a stored fractional value, so applications must hold
+ * refresh off while fractional values are live, and the 64 ms refresh
+ * interval bounds how long that is safe for the *normal* data stored
+ * alongside. RefreshManager tracks the due time and supports the
+ * suspend/resume discipline the paper describes.
+ */
+
+#ifndef FRACDRAM_CORE_REFRESH_HH
+#define FRACDRAM_CORE_REFRESH_HH
+
+#include "common/types.hh"
+#include "softmc/controller.hh"
+
+namespace fracdram::core
+{
+
+/**
+ * Tracks and issues periodic refresh for one module.
+ */
+class RefreshManager
+{
+  public:
+    /**
+     * @param mc controller of the module
+     * @param interval refresh interval (DDR3: 64 ms per row)
+     */
+    explicit RefreshManager(softmc::MemoryController &mc,
+                            Seconds interval = 0.064);
+
+    /**
+     * Issue a refresh if one is due and refresh is not suspended.
+     * @return whether a refresh was issued
+     */
+    bool tick();
+
+    /** Force a refresh now (regardless of the schedule). */
+    void refreshNow();
+
+    /**
+     * Suspend refresh while fractional values are live. Nested calls
+     * must be balanced with resume().
+     */
+    void suspend();
+
+    /** Resume refresh; issues one immediately if it became overdue. */
+    void resume();
+
+    /** Whether refresh is currently suspended. */
+    bool suspended() const { return suspendDepth_ > 0; }
+
+    /** Seconds since the last issued refresh. */
+    Seconds sinceLast() const;
+
+    /** Whether the interval has elapsed since the last refresh. */
+    bool due() const { return sinceLast() >= interval_; }
+
+    /**
+     * Whether normal data is at risk: refresh is suspended and the
+     * interval has already been exceeded.
+     */
+    bool overdue() const { return suspended() && due(); }
+
+    Seconds interval() const { return interval_; }
+
+  private:
+    softmc::MemoryController &mc_;
+    Seconds interval_;
+    Seconds lastRefresh_ = 0.0;
+    int suspendDepth_ = 0;
+};
+
+} // namespace fracdram::core
+
+#endif // FRACDRAM_CORE_REFRESH_HH

@@ -1,0 +1,70 @@
+#include "core/retention.hh"
+
+#include "common/logging.hh"
+
+namespace fracdram::core
+{
+
+const std::vector<Seconds> &
+RetentionBuckets::probeTimes()
+{
+    // "Dead immediately" is probed at one second; the rest follow the
+    // paper's ranges.
+    static const std::vector<Seconds> probes = {
+        1.0, 10.0 * 60.0, 30.0 * 60.0, 60.0 * 60.0, 12.0 * 3600.0,
+    };
+    return probes;
+}
+
+std::size_t
+RetentionBuckets::numBuckets()
+{
+    return probeTimes().size() + 1;
+}
+
+std::string
+RetentionBuckets::label(std::size_t bucket)
+{
+    static const char *labels[] = {
+        "0", "0-10min", "10-30min", "30-60min", "1-12h", ">12h",
+    };
+    panic_if(bucket >= numBuckets(), "bad bucket %zu", bucket);
+    return labels[bucket];
+}
+
+RetentionProfiler::RetentionProfiler(softmc::MemoryController &mc,
+                                     BankAddr bank, RowAddr row)
+    : mc_(mc), bank_(bank), row_(row)
+{
+}
+
+std::vector<std::size_t>
+RetentionProfiler::profile(const std::function<void()> &prepare,
+                           const std::vector<Seconds> &probes)
+{
+    panic_if(probes.empty(), "need at least one probe time");
+    for (std::size_t i = 1; i < probes.size(); ++i) {
+        panic_if(probes[i] <= probes[i - 1],
+                 "probe times must be strictly increasing");
+    }
+
+    const std::size_t cols = mc_.chip().dramParams().colsPerRow;
+    // Survived-all-probes bucket by default.
+    std::vector<std::size_t> bucket(cols, probes.size());
+    std::vector<bool> resolved(cols, false);
+
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+        prepare();
+        mc_.waitSeconds(probes[p]);
+        const BitVector alive = mc_.readRowVoltage(bank_, row_);
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (!resolved[c] && !alive.get(c)) {
+                bucket[c] = p;
+                resolved[c] = true;
+            }
+        }
+    }
+    return bucket;
+}
+
+} // namespace fracdram::core

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Retention-time profiling (paper Sec. IV-B1 / V-A): the destructive
+ * readout used to verify that Frac really lowered a cell's voltage.
+ *
+ * For each probe time t: prepare the row (store a pattern, optionally
+ * Frac it), let the charge leak for t seconds with refresh paused,
+ * then read the row back and record which bits survived. A cell's
+ * retention bucket is the first probe at which it lost its data;
+ * higher initial voltage implies a later bucket (monotonicity), which
+ * is what makes retention a voltage probe.
+ */
+
+#ifndef FRACDRAM_CORE_RETENTION_HH
+#define FRACDRAM_CORE_RETENTION_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "softmc/controller.hh"
+
+namespace fracdram::core
+{
+
+/**
+ * The paper's six retention ranges: 0, (0,10 min], (10,30 min],
+ * (30,60 min], (1,12 h], > 12 h.
+ */
+struct RetentionBuckets
+{
+    /** Probe times (seconds) marking the bucket edges. */
+    static const std::vector<Seconds> &probeTimes();
+
+    /** Number of buckets (probes + 1 for "longer than all probes"). */
+    static std::size_t numBuckets();
+
+    /** Human-readable label of a bucket. */
+    static std::string label(std::size_t bucket);
+};
+
+/**
+ * Collects per-column retention buckets for one row.
+ */
+class RetentionProfiler
+{
+  public:
+    /**
+     * @param mc controller driving the module
+     * @param bank bank of the profiled row
+     * @param row profiled row
+     */
+    RetentionProfiler(softmc::MemoryController &mc, BankAddr bank,
+                      RowAddr row);
+
+    /**
+     * Profile the row.
+     *
+     * @param prepare stores the pattern under test (all-high plus any
+     *        Frac operations); called once per probe time
+     * @param probes probe times in seconds, strictly increasing;
+     *        defaults to RetentionBuckets::probeTimes()
+     * @return per-column bucket index: i if the bit first died at
+     *         probes[i], probes.size() if it survived every probe
+     */
+    std::vector<std::size_t>
+    profile(const std::function<void()> &prepare,
+            const std::vector<Seconds> &probes =
+                RetentionBuckets::probeTimes());
+
+  private:
+    softmc::MemoryController &mc_;
+    BankAddr bank_;
+    RowAddr row_;
+};
+
+} // namespace fracdram::core
+
+#endif // FRACDRAM_CORE_RETENTION_HH

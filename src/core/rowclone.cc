@@ -1,0 +1,37 @@
+#include "core/rowclone.hh"
+
+#include "common/logging.hh"
+
+namespace fracdram::core
+{
+
+softmc::CommandSequence
+buildRowCopySequence(BankAddr bank, RowAddr src, RowAddr dst,
+                     Cycles sa_enable, Cycles t_rp)
+{
+    softmc::CommandSequence seq;
+    seq.pre(bank);
+    seq.idle(t_rp - 1);
+    seq.act(bank, src);
+    // Wait until the sense amplifiers have latched the source data.
+    seq.idle(sa_enable);
+    // PRE then immediate ACT(dst): the still-driven bit-lines write
+    // the source data into the destination cells.
+    seq.pre(bank);
+    seq.act(bank, dst);
+    seq.idle(1);
+    seq.pre(bank);
+    seq.idle(t_rp);
+    return seq;
+}
+
+void
+rowCopy(softmc::MemoryController &mc, BankAddr bank, RowAddr src,
+        RowAddr dst)
+{
+    fatal_if(mc.enforcesSpec(),
+             "row copy violates tRAS/tRP; disable enforcement first");
+    mc.execute(buildRowCopySequence(bank, src, dst), "rowCopy");
+}
+
+} // namespace fracdram::core

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * In-DRAM row copy (ComputeDRAM-style): activate the source row fully,
+ * precharge, and re-activate the destination while the sense amps are
+ * still driving the bit-lines. Used to stage MAJ3/F-MAJ operands and
+ * to initialize rows before Frac (paper Sec. VI-A1).
+ */
+
+#ifndef FRACDRAM_CORE_ROWCLONE_HH
+#define FRACDRAM_CORE_ROWCLONE_HH
+
+#include "common/types.hh"
+#include "softmc/command.hh"
+#include "softmc/controller.hh"
+
+namespace fracdram::core
+{
+
+/** Latency of one in-DRAM row copy (ComputeDRAM reports 18 cycles). */
+inline constexpr Cycles rowCopyCycles = 18;
+
+/**
+ * Build the row-copy sequence src -> dst within one bank.
+ *
+ * @param bank target bank
+ * @param src source row (fully activated first)
+ * @param dst destination row (latches the driven bit-lines)
+ * @param sa_enable cycles after ACT at which the sense amps enable
+ * @param t_rp trailing precharge wait
+ */
+softmc::CommandSequence buildRowCopySequence(BankAddr bank, RowAddr src,
+                                             RowAddr dst,
+                                             Cycles sa_enable = 3,
+                                             Cycles t_rp = 5);
+
+/**
+ * Copy one row onto another inside the DRAM array (no data transfer
+ * over the bus). Violates tRAS/tRP; enforcement must be off.
+ *
+ * @note On modules whose row decoder glitches for the (src, dst) pair
+ *       the copy also lands in the implicitly opened rows - pick
+ *       pairs outside the glitch window when that matters.
+ */
+void rowCopy(softmc::MemoryController &mc, BankAddr bank, RowAddr src,
+             RowAddr dst);
+
+} // namespace fracdram::core
+
+#endif // FRACDRAM_CORE_ROWCLONE_HH

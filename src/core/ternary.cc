@@ -1,0 +1,169 @@
+#include "core/ternary.hh"
+
+#include "common/logging.hh"
+#include "core/half_m.hh"
+#include "core/multi_row.hh"
+#include "core/rowclone.hh"
+
+namespace fracdram::core
+{
+
+namespace
+{
+
+bool
+rowHoldsHighForTrit(sim::RowRole role, int trit)
+{
+    switch (trit) {
+      case 0:
+        return false;
+      case 2:
+        return true;
+      case 1:
+        // The paper's checker assignment: ones in R1 and R3.
+        return role == sim::RowRole::FirstAct ||
+               role == sim::RowRole::ImplicitAnd;
+      default:
+        panic("trit out of range: %d", trit);
+    }
+}
+
+} // namespace
+
+TernaryStore::TernaryStore(softmc::MemoryController &mc, BankAddr bank,
+                           RowAddr r1, RowAddr r2, RowAddr probe_row,
+                           RowAddr backup_base)
+    : mc_(mc), bank_(bank), r1_(r1), r2_(r2), probeRow_(probe_row),
+      backupBase_(backup_base),
+      opened_(plannedOpenedRows(mc.chip(), r1, r2)),
+      usable_(mc.chip().dramParams().colsPerRow)
+{
+    fatal_if(opened_.size() != 4,
+             "ternary storage needs a four-row activation");
+    // The destructive readout probes with a *three*-row MAJ3 (rows
+    // {R3, R2, probe}); decoders that always open power-of-two row
+    // counts would drag a fourth, unrelated row into the probe.
+    fatal_if(!mc.chip().profile().supportsThreeRow,
+             "the MAJ3 readout needs three-row activation (group B)");
+    for (const auto &o : opened_) {
+        fatal_if(o.row == probe_row,
+                 "probe row %u collides with the quadruple", probe_row);
+        for (RowAddr b = 0; b < 4; ++b) {
+            fatal_if(o.row == backup_base + b,
+                     "backup rows collide with the quadruple");
+        }
+    }
+}
+
+void
+TernaryStore::generateFromBackups()
+{
+    // Re-create the analog state from the binary backups: copy each
+    // backup row onto its quadruple row in-DRAM, then interrupt the
+    // four-row activation.
+    for (std::size_t i = 0; i < opened_.size(); ++i)
+        rowCopy(mc_, bank_, backupBase_ + static_cast<RowAddr>(i),
+                opened_[i].row);
+    multiRowActivateInterrupted(mc_, bank_, r1_, r2_);
+}
+
+void
+TernaryStore::store(const std::vector<int> &trits)
+{
+    fatal_if(!profiled_, "profileColumns() must run before store()");
+    fatal_if(trits.size() > capacity_,
+             "payload of %zu trits exceeds capacity %zu", trits.size(),
+             capacity_);
+    const std::size_t cols = mc_.chip().dramParams().colsPerRow;
+
+    // Expand the payload onto the usable columns.
+    std::vector<int> column_trit(cols, 0);
+    std::size_t next = 0;
+    for (ColAddr c = 0; c < cols && next < trits.size(); ++c) {
+        if (usable_.get(c))
+            column_trit[c] = trits[next++];
+    }
+
+    // Write the four binary init patterns to the backup rows, then
+    // generate the analog state.
+    for (std::size_t i = 0; i < opened_.size(); ++i) {
+        BitVector bits(cols);
+        for (ColAddr c = 0; c < cols; ++c) {
+            bits.set(c, rowHoldsHighForTrit(opened_[i].role,
+                                            column_trit[c]));
+        }
+        mc_.writeRowVoltage(bank_,
+                            backupBase_ + static_cast<RowAddr>(i),
+                            bits);
+    }
+    generateFromBackups();
+    storedTrits_ = trits.size();
+    hasPayload_ = true;
+}
+
+std::vector<int>
+TernaryStore::load()
+{
+    fatal_if(!hasPayload_, "nothing stored");
+    // First probe destroys the analog state; re-generate in between.
+    mc_.fillRowVoltage(bank_, probeRow_, true);
+    const BitVector x1 =
+        multiRowActivate(mc_, bank_, opened_[1].row, probeRow_);
+    generateFromBackups();
+    mc_.fillRowVoltage(bank_, probeRow_, false);
+    const BitVector x2 =
+        multiRowActivate(mc_, bank_, opened_[1].row, probeRow_);
+    hasPayload_ = false;
+
+    std::vector<int> out;
+    out.reserve(storedTrits_);
+    const std::size_t cols = mc_.chip().dramParams().colsPerRow;
+    for (ColAddr c = 0; c < cols && out.size() < storedTrits_; ++c) {
+        if (usable_.get(c))
+            out.push_back(static_cast<int>(x1.get(c)) + x2.get(c));
+    }
+    return out;
+}
+
+void
+TernaryStore::profileColumns(int trials)
+{
+    panic_if(trials < 1, "need at least one profiling trial");
+    const std::size_t cols = mc_.chip().dramParams().colsPerRow;
+    usable_.fill(true);
+
+    // Start from every column and keep only those that decode all
+    // three symbols correctly in every trial: the Half symbol filters
+    // for a distinguishable mid-level (the paper's ~16%), the rail
+    // symbols weed out columns that only decode "1" by per-trial
+    // flakiness.
+    profiled_ = true;
+    capacity_ = cols;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<int> pattern(capacity_);
+        for (std::size_t i = 0; i < pattern.size(); ++i) {
+            pattern[i] = t == 0 ? 1
+                                : static_cast<int>(
+                                      (i + static_cast<std::size_t>(
+                                               t)) %
+                                      3);
+        }
+        store(pattern);
+        const auto back = load();
+        BitVector next(cols);
+        std::size_t idx = 0;
+        for (ColAddr c = 0; c < cols; ++c) {
+            if (usable_.get(c)) {
+                next.set(c, back[idx] == pattern[idx]);
+                ++idx;
+            }
+        }
+        usable_ = next;
+        capacity_ = usable_.popcount();
+        fatal_if(capacity_ == 0,
+                 "no distinguishable Half columns on this module");
+    }
+    hasPayload_ = false;
+}
+
+} // namespace fracdram::core

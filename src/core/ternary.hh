@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Ternary storage on Half-m (paper Sec. VI-C): each usable column of
+ * a row quadruple stores one trit {0, 1, 2} - rails for 0/2, a Half
+ * value for 1.
+ *
+ * The paper is explicit that the readout mechanism "is not mature
+ * yet": it needs four binary copies of the data (the MAJ3 probe
+ * destroys the stored values, so they must be re-generated between
+ * the two probes) and only the columns with a distinguishable Half
+ * value - around 16% - can carry the middle symbol. TernaryStore
+ * implements exactly that contract: a one-time profiling pass finds
+ * the usable columns, store() keeps the four binary init patterns in
+ * backup rows, and load() runs the two-probe readout with an
+ * in-between re-generation.
+ */
+
+#ifndef FRACDRAM_CORE_TERNARY_HH
+#define FRACDRAM_CORE_TERNARY_HH
+
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/types.hh"
+#include "sim/row_decoder.hh"
+#include "softmc/controller.hh"
+
+namespace fracdram::core
+{
+
+/**
+ * A ternary store over one sub-array's row quadruple.
+ */
+class TernaryStore
+{
+  public:
+    /**
+     * @param mc controller (enforcement must be off); the module must
+     *        support four-row activation
+     * @param bank bank to use
+     * @param r1 first activated row (default 8: quadruple {0,1,8,9})
+     * @param r2 second activated row
+     * @param probe_row row used for the MAJ3 readout probes
+     * @param backup_base first of four consecutive rows holding the
+     *        binary init patterns between the two probes
+     */
+    TernaryStore(softmc::MemoryController &mc, BankAddr bank = 0,
+                 RowAddr r1 = 8, RowAddr r2 = 1,
+                 RowAddr probe_row = 2, RowAddr backup_base = 16);
+
+    /**
+     * One-time profiling: find the columns whose Half value is
+     * distinguishable (decodes as 1) across @p trials repetitions.
+     * Must be called before store()/load().
+     */
+    void profileColumns(int trials = 3);
+
+    /** Columns usable for trits (profiling result). */
+    const BitVector &usableColumns() const { return usable_; }
+
+    /** Number of trits one store() can hold. */
+    std::size_t capacityTrits() const { return capacity_; }
+
+    /** Whether profiling has run. */
+    bool profiled() const { return profiled_; }
+
+    /**
+     * Store a trit vector (size <= capacityTrits()). Trit i lands in
+     * the i-th usable column; other columns carry no payload.
+     */
+    void store(const std::vector<int> &trits);
+
+    /**
+     * Destructive readout of the stored trits. Internally runs the
+     * two MAJ3 probes with a re-generation from the backup rows in
+     * between (the paper's four-copies overhead).
+     */
+    std::vector<int> load();
+
+  private:
+    /** Write init patterns for the current payload and run Half-m. */
+    void generateFromBackups();
+
+    softmc::MemoryController &mc_;
+    BankAddr bank_;
+    RowAddr r1_, r2_, probeRow_, backupBase_;
+    std::vector<sim::OpenedRow> opened_;
+    BitVector usable_;
+    std::size_t capacity_ = 0;
+    bool profiled_ = false;
+    std::size_t storedTrits_ = 0;
+    bool hasPayload_ = false;
+};
+
+} // namespace fracdram::core
+
+#endif // FRACDRAM_CORE_TERNARY_HH

@@ -1,0 +1,80 @@
+#include "core/verify.hh"
+
+#include "common/logging.hh"
+#include "core/frac_op.hh"
+#include "core/multi_row.hh"
+
+namespace fracdram::core
+{
+
+BitVector
+FracVerifyResult::provenFractional() const
+{
+    panic_if(x1.size() != x2.size(), "X1/X2 size mismatch");
+    BitVector out(x1.size());
+    for (std::size_t c = 0; c < x1.size(); ++c)
+        out.set(c, x1.get(c) && !x2.get(c));
+    return out;
+}
+
+double
+FracVerifyResult::provenFraction() const
+{
+    return provenFractional().hammingWeight();
+}
+
+std::vector<double>
+FracVerifyResult::comboFractions() const
+{
+    panic_if(x1.size() != x2.size(), "X1/X2 size mismatch");
+    std::vector<std::size_t> counts(4, 0);
+    for (std::size_t c = 0; c < x1.size(); ++c) {
+        const std::size_t idx = (x1.get(c) ? 0u : 2u) +
+                                (x2.get(c) ? 0u : 1u);
+        ++counts[idx];
+    }
+    std::vector<double> out(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+        out[i] = x1.empty() ? 0.0
+                            : static_cast<double>(counts[i]) /
+                                  static_cast<double>(x1.size());
+    }
+    return out;
+}
+
+namespace
+{
+
+BitVector
+probeOnce(softmc::MemoryController &mc, BankAddr bank,
+          RowAddr act_first, RowAddr act_second,
+          const std::vector<RowAddr> &frac_rows, RowAddr probe_row,
+          int num_fracs, bool frac_init_ones, bool probe_value)
+{
+    for (const auto row : frac_rows) {
+        mc.fillRowVoltage(bank, row, frac_init_ones);
+        if (num_fracs > 0)
+            frac(mc, bank, row, num_fracs);
+    }
+    mc.fillRowVoltage(bank, probe_row, probe_value);
+    return multiRowActivate(mc, bank, act_first, act_second);
+}
+
+} // namespace
+
+FracVerifyResult
+maj3FracProbe(softmc::MemoryController &mc, BankAddr bank,
+              RowAddr act_first, RowAddr act_second,
+              const std::vector<RowAddr> &frac_rows, RowAddr probe_row,
+              int num_fracs, bool frac_init_ones)
+{
+    panic_if(frac_rows.empty(), "need at least one fractional row");
+    FracVerifyResult result;
+    result.x1 = probeOnce(mc, bank, act_first, act_second, frac_rows,
+                          probe_row, num_fracs, frac_init_ones, true);
+    result.x2 = probeOnce(mc, bank, act_first, act_second, frac_rows,
+                          probe_row, num_fracs, frac_init_ones, false);
+    return result;
+}
+
+} // namespace fracdram::core

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * MAJ3-based fractional-value verification (paper Sec. IV-B2).
+ *
+ * Store the fractional value in two of three openable rows, put a
+ * known probe value (first all ones, then all zeros) in the third,
+ * and run MAJ3 twice. If the "fractional" rows actually held a rail
+ * value, both results would equal that rail regardless of the probe;
+ * observing X1=1 and X2=0 on a column proves its stored value is
+ * neither rail - a fractional value near V_dd/2.
+ */
+
+#ifndef FRACDRAM_CORE_VERIFY_HH
+#define FRACDRAM_CORE_VERIFY_HH
+
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/types.hh"
+#include "softmc/controller.hh"
+
+namespace fracdram::core
+{
+
+/** The two MAJ3 probe results of the verification procedure. */
+struct FracVerifyResult
+{
+    BitVector x1; //!< MAJ3 result with the probe row holding ones
+    BitVector x2; //!< MAJ3 result with the probe row holding zeros
+
+    /** Columns proven fractional: X1 high and X2 low. */
+    BitVector provenFractional() const;
+
+    /** Fraction of columns proven fractional. */
+    double provenFraction() const;
+
+    /**
+     * Per-column counts of the four (X1, X2) combinations, in the
+     * order (1,1), (1,0), (0,1), (0,0) - the bars of the paper's
+     * Fig. 7.
+     */
+    std::vector<double> comboFractions() const;
+};
+
+/**
+ * Run the verification procedure.
+ *
+ * @param mc controller (enforcement must be off)
+ * @param bank target bank
+ * @param act_first R1 of the MAJ3 sequence
+ * @param act_second R2 of the MAJ3 sequence
+ * @param frac_rows rows receiving the fractional value
+ * @param probe_row row receiving the all-ones / all-zeros probe
+ * @param num_fracs Frac operations per fractional row (0 = none, the
+ *        baseline case)
+ * @param frac_init_ones initial fill of the fractional rows
+ */
+FracVerifyResult maj3FracProbe(softmc::MemoryController &mc,
+                               BankAddr bank, RowAddr act_first,
+                               RowAddr act_second,
+                               const std::vector<RowAddr> &frac_rows,
+                               RowAddr probe_row, int num_fracs,
+                               bool frac_init_ones);
+
+} // namespace fracdram::core
+
+#endif // FRACDRAM_CORE_VERIFY_HH

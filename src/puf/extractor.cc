@@ -1,0 +1,25 @@
+#include "puf/extractor.hh"
+
+namespace fracdram::puf
+{
+
+BitVector
+VonNeumannExtractor::extract(const BitVector &input)
+{
+    BitVector out;
+    for (std::size_t i = 0; i + 1 < input.size(); i += 2) {
+        const bool a = input.get(i);
+        const bool b = input.get(i + 1);
+        if (a != b)
+            out.pushBack(a);
+    }
+    return out;
+}
+
+double
+VonNeumannExtractor::expectedYield(double p)
+{
+    return p * (1.0 - p);
+}
+
+} // namespace fracdram::puf

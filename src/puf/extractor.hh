@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Von Neumann randomness extractor (the whitening step the paper
+ * applies before the NIST suite, Sec. VI-B2).
+ *
+ * Consecutive non-overlapping bit pairs are mapped 01 -> 0, 10 -> 1,
+ * and 00/11 are discarded; the output is unbiased whenever the input
+ * bits are independent, regardless of their bias.
+ */
+
+#ifndef FRACDRAM_PUF_EXTRACTOR_HH
+#define FRACDRAM_PUF_EXTRACTOR_HH
+
+#include "common/bitvec.hh"
+
+namespace fracdram::puf
+{
+
+/**
+ * Classic Von Neumann extractor.
+ */
+class VonNeumannExtractor
+{
+  public:
+    /** Whiten a bit stream. Output length varies with the input. */
+    static BitVector extract(const BitVector &input);
+
+    /**
+     * Expected output/input length ratio for an i.i.d. input with
+     * one-probability @p p: p(1-p) output bits per input bit pair.
+     */
+    static double expectedYield(double p);
+};
+
+} // namespace fracdram::puf
+
+#endif // FRACDRAM_PUF_EXTRACTOR_HH

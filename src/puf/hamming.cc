@@ -1,0 +1,54 @@
+#include "puf/hamming.hh"
+
+#include "common/logging.hh"
+
+namespace fracdram::puf
+{
+
+double
+normalizedHammingDistance(const BitVector &a, const BitVector &b)
+{
+    panic_if(a.size() != b.size() || a.empty(),
+             "normalizedHammingDistance: bad sizes %zu / %zu", a.size(),
+             b.size());
+    return static_cast<double>(a.hammingDistance(b)) /
+           static_cast<double>(a.size());
+}
+
+std::vector<double>
+HammingStudy::pairwiseDistances(const std::vector<BitVector> &responses)
+{
+    std::vector<double> out;
+    for (std::size_t i = 0; i < responses.size(); ++i)
+        for (std::size_t j = i + 1; j < responses.size(); ++j)
+            out.push_back(
+                normalizedHammingDistance(responses[i], responses[j]));
+    return out;
+}
+
+std::vector<double>
+HammingStudy::pairedDistances(const std::vector<BitVector> &a,
+                              const std::vector<BitVector> &b)
+{
+    panic_if(a.size() != b.size(),
+             "pairedDistances: set sizes differ (%zu vs %zu)", a.size(),
+             b.size());
+    std::vector<double> out;
+    out.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out.push_back(normalizedHammingDistance(a[i], b[i]));
+    return out;
+}
+
+double
+HammingStudy::meanHammingWeight(const std::vector<BitVector> &responses)
+{
+    if (responses.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : responses)
+        sum += r.hammingWeight();
+    return sum / static_cast<double>(responses.size());
+}
+
+} // namespace fracdram::puf

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Hamming-distance metrics for PUF evaluation (paper Sec. VI-B2).
+ *
+ * Intra-HD: distance between two responses of the *same* device to
+ * the same challenge (ideally 0). Inter-HD: distance between
+ * responses of *different* devices to the same challenge (ideally
+ * 0.5). Hamming weight: fraction of ones in a response; groups whose
+ * weight sits away from 0.5 show clustered inter-HDs.
+ */
+
+#ifndef FRACDRAM_PUF_HAMMING_HH
+#define FRACDRAM_PUF_HAMMING_HH
+
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/stats.hh"
+
+namespace fracdram::puf
+{
+
+/** Normalized Hamming distance between two equal-length responses. */
+double normalizedHammingDistance(const BitVector &a, const BitVector &b);
+
+/**
+ * Pairwise statistics over a set of responses to the same challenge.
+ */
+struct HammingStudy
+{
+    /**
+     * All pairwise normalized distances within @p responses.
+     */
+    static std::vector<double>
+    pairwiseDistances(const std::vector<BitVector> &responses);
+
+    /**
+     * Distances between corresponding responses of two sets (same
+     * challenge order); used for cross-environment intra-HD.
+     */
+    static std::vector<double>
+    pairedDistances(const std::vector<BitVector> &a,
+                    const std::vector<BitVector> &b);
+
+    /** Mean Hamming weight of a response set. */
+    static double meanHammingWeight(
+        const std::vector<BitVector> &responses);
+};
+
+} // namespace fracdram::puf
+
+#endif // FRACDRAM_PUF_HAMMING_HH

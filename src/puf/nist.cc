@@ -1,0 +1,854 @@
+#include "puf/nist.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace fracdram::puf::nist
+{
+
+bool
+TestResult::passed(double alpha) const
+{
+    if (!applicable)
+        return true;
+    for (const double p : pValues)
+        if (p < alpha)
+            return false;
+    return true;
+}
+
+double
+TestResult::minP() const
+{
+    double m = 1.0;
+    for (const double p : pValues)
+        m = std::min(m, p);
+    return m;
+}
+
+namespace
+{
+
+double
+bitSign(bool b)
+{
+    return b ? 1.0 : -1.0;
+}
+
+TestResult
+notApplicable(const char *name)
+{
+    TestResult r;
+    r.name = name;
+    r.applicable = false;
+    return r;
+}
+
+} // namespace
+
+TestResult
+frequency(const BitVector &bits)
+{
+    TestResult r;
+    r.name = "frequency";
+    const std::size_t n = bits.size();
+    if (n < 100)
+        return notApplicable("frequency");
+    const double s =
+        2.0 * static_cast<double>(bits.popcount()) -
+        static_cast<double>(n);
+    const double s_obs = std::fabs(s) / std::sqrt(static_cast<double>(n));
+    r.pValues.push_back(erfcSafe(s_obs / std::sqrt(2.0)));
+    return r;
+}
+
+TestResult
+blockFrequency(const BitVector &bits, std::size_t block)
+{
+    TestResult r;
+    r.name = "block-frequency";
+    const std::size_t n = bits.size();
+    const std::size_t num_blocks = n / block;
+    if (num_blocks < 1)
+        return notApplicable("block-frequency");
+    double chi2 = 0.0;
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+        std::size_t ones = 0;
+        for (std::size_t i = 0; i < block; ++i)
+            ones += bits.get(b * block + i);
+        const double pi = static_cast<double>(ones) /
+                          static_cast<double>(block);
+        chi2 += (pi - 0.5) * (pi - 0.5);
+    }
+    chi2 *= 4.0 * static_cast<double>(block);
+    r.pValues.push_back(
+        igamc(static_cast<double>(num_blocks) / 2.0, chi2 / 2.0));
+    return r;
+}
+
+TestResult
+runs(const BitVector &bits)
+{
+    TestResult r;
+    r.name = "runs";
+    const std::size_t n = bits.size();
+    if (n < 100)
+        return notApplicable("runs");
+    const double pi = bits.hammingWeight();
+    // Pre-test: the frequency test must be passable.
+    if (std::fabs(pi - 0.5) >= 2.0 / std::sqrt(static_cast<double>(n))) {
+        r.pValues.push_back(0.0);
+        return r;
+    }
+    std::size_t v = 1;
+    for (std::size_t i = 1; i < n; ++i)
+        v += bits.get(i) != bits.get(i - 1);
+    const double nn = static_cast<double>(n);
+    const double num =
+        std::fabs(static_cast<double>(v) - 2.0 * nn * pi * (1.0 - pi));
+    const double den =
+        2.0 * std::sqrt(2.0 * nn) * pi * (1.0 - pi);
+    r.pValues.push_back(erfcSafe(num / den));
+    return r;
+}
+
+TestResult
+longestRunOfOnes(const BitVector &bits)
+{
+    TestResult r;
+    r.name = "longest-run";
+    const std::size_t n = bits.size();
+    if (n < 128)
+        return notApplicable("longest-run");
+
+    std::size_t m;                //!< block length
+    std::vector<double> pi;       //!< class probabilities
+    std::vector<std::size_t> vcls; //!< class boundaries (longest run)
+    if (n < 6272) {
+        m = 8;
+        vcls = {1, 2, 3, 4};
+        pi = {0.2148, 0.3672, 0.2305, 0.1875};
+    } else if (n < 750000) {
+        m = 128;
+        vcls = {4, 5, 6, 7, 8, 9};
+        pi = {0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124};
+    } else {
+        m = 10000;
+        vcls = {10, 11, 12, 13, 14, 15, 16};
+        pi = {0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727};
+    }
+    const std::size_t num_blocks = n / m;
+    std::vector<std::size_t> nu(vcls.size(), 0);
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+        std::size_t longest = 0, run = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+            if (bits.get(b * m + i)) {
+                ++run;
+                longest = std::max(longest, run);
+            } else {
+                run = 0;
+            }
+        }
+        std::size_t cls = vcls.size() - 1;
+        for (std::size_t k = 0; k < vcls.size(); ++k) {
+            if (longest <= vcls[k]) {
+                cls = k;
+                break;
+            }
+        }
+        ++nu[cls];
+    }
+    double chi2 = 0.0;
+    for (std::size_t k = 0; k < vcls.size(); ++k) {
+        const double expect =
+            static_cast<double>(num_blocks) * pi[k];
+        const double d = static_cast<double>(nu[k]) - expect;
+        chi2 += d * d / expect;
+    }
+    r.pValues.push_back(
+        igamc(static_cast<double>(vcls.size() - 1) / 2.0, chi2 / 2.0));
+    return r;
+}
+
+namespace
+{
+
+/** Rank of a bit matrix over GF(2); rows are 64-bit limb vectors. */
+std::size_t
+gf2Rank(std::vector<std::uint64_t> rows, std::size_t ncols)
+{
+    std::size_t rank = 0;
+    for (std::size_t col = 0; col < ncols && rank < rows.size(); ++col) {
+        const std::uint64_t mask = std::uint64_t{1} << col;
+        std::size_t pivot = rank;
+        while (pivot < rows.size() && !(rows[pivot] & mask))
+            ++pivot;
+        if (pivot == rows.size())
+            continue;
+        std::swap(rows[rank], rows[pivot]);
+        for (std::size_t i = 0; i < rows.size(); ++i)
+            if (i != rank && (rows[i] & mask))
+                rows[i] ^= rows[rank];
+        ++rank;
+    }
+    return rank;
+}
+
+} // namespace
+
+TestResult
+binaryMatrixRank(const BitVector &bits)
+{
+    TestResult r;
+    r.name = "matrix-rank";
+    constexpr std::size_t m = 32;
+    const std::size_t n = bits.size();
+    const std::size_t num_matrices = n / (m * m);
+    if (num_matrices < 38)
+        return notApplicable("matrix-rank");
+
+    std::size_t full = 0, minus1 = 0;
+    for (std::size_t mat = 0; mat < num_matrices; ++mat) {
+        std::vector<std::uint64_t> rows(m, 0);
+        for (std::size_t i = 0; i < m; ++i)
+            for (std::size_t j = 0; j < m; ++j)
+                if (bits.get(mat * m * m + i * m + j))
+                    rows[i] |= std::uint64_t{1} << j;
+        const std::size_t rank = gf2Rank(std::move(rows), m);
+        if (rank == m)
+            ++full;
+        else if (rank == m - 1)
+            ++minus1;
+    }
+    const double nmat = static_cast<double>(num_matrices);
+    const double p_full = 0.2888, p_m1 = 0.5776, p_rest = 0.1336;
+    const double rest =
+        nmat - static_cast<double>(full) - static_cast<double>(minus1);
+    double chi2 = 0.0;
+    chi2 += std::pow(static_cast<double>(full) - p_full * nmat, 2) /
+            (p_full * nmat);
+    chi2 += std::pow(static_cast<double>(minus1) - p_m1 * nmat, 2) /
+            (p_m1 * nmat);
+    chi2 += std::pow(rest - p_rest * nmat, 2) / (p_rest * nmat);
+    r.pValues.push_back(std::exp(-chi2 / 2.0));
+    return r;
+}
+
+namespace
+{
+
+/** In-place iterative radix-2 FFT. Size must be a power of two. */
+void
+fft(std::vector<std::complex<double>> &a)
+{
+    const std::size_t n = a.size();
+    panic_if(n == 0 || (n & (n - 1)) != 0, "FFT size must be 2^k");
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(a[i], a[j]);
+    }
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double ang = -2.0 * M_PI / static_cast<double>(len);
+        const std::complex<double> wl(std::cos(ang), std::sin(ang));
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const auto u = a[i + k];
+                const auto v = a[i + k + len / 2] * w;
+                a[i + k] = u + v;
+                a[i + k + len / 2] = u - v;
+                w *= wl;
+            }
+        }
+    }
+}
+
+} // namespace
+
+TestResult
+discreteFourierTransform(const BitVector &bits)
+{
+    TestResult r;
+    r.name = "dft";
+    // Truncate to the largest power of two for the radix-2 FFT.
+    std::size_t n = 1;
+    while (n * 2 <= bits.size())
+        n *= 2;
+    if (n < 1024)
+        return notApplicable("dft");
+
+    std::vector<std::complex<double>> x(n);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = bitSign(bits.get(i));
+    fft(x);
+
+    const double nn = static_cast<double>(n);
+    const double threshold = std::sqrt(std::log(1.0 / 0.05) * nn);
+    std::size_t below = 0;
+    for (std::size_t i = 0; i < n / 2; ++i)
+        below += std::abs(x[i]) < threshold;
+    const double n0 = 0.95 * nn / 2.0;
+    const double n1 = static_cast<double>(below);
+    const double d =
+        (n1 - n0) / std::sqrt(nn * 0.95 * 0.05 / 4.0);
+    r.pValues.push_back(erfcSafe(std::fabs(d) / std::sqrt(2.0)));
+    return r;
+}
+
+std::vector<BitVector>
+aperiodicTemplates(std::size_t m, std::size_t count)
+{
+    // A template B is aperiodic when no proper shift of B matches
+    // itself (it cannot overlap with itself in the stream).
+    auto aperiodic = [m](std::uint32_t pattern) {
+        for (std::size_t shift = 1; shift < m; ++shift) {
+            bool match = true;
+            for (std::size_t i = 0; i + shift < m; ++i) {
+                const bool a = (pattern >> i) & 1;
+                const bool b = (pattern >> (i + shift)) & 1;
+                if (a != b) {
+                    match = false;
+                    break;
+                }
+            }
+            if (match)
+                return false;
+        }
+        return true;
+    };
+    std::vector<BitVector> out;
+    for (std::uint32_t pat = 0;
+         pat < (std::uint32_t{1} << m) && out.size() < count; ++pat) {
+        if (!aperiodic(pat))
+            continue;
+        BitVector t(m);
+        for (std::size_t i = 0; i < m; ++i)
+            t.set(i, (pat >> i) & 1);
+        out.push_back(std::move(t));
+    }
+    return out;
+}
+
+TestResult
+nonOverlappingTemplate(const BitVector &bits, std::size_t template_len,
+                       std::size_t num_templates)
+{
+    TestResult r;
+    r.name = "non-overlapping-template";
+    const std::size_t n = bits.size();
+    constexpr std::size_t num_blocks = 8;
+    const std::size_t block = n / num_blocks;
+    if (block < template_len * 10)
+        return notApplicable("non-overlapping-template");
+
+    const auto templates = aperiodicTemplates(template_len,
+                                              num_templates);
+    const double mm = static_cast<double>(block);
+    const double m = static_cast<double>(template_len);
+    const double mu =
+        (mm - m + 1.0) / std::pow(2.0, m);
+    const double sigma2 =
+        mm * (1.0 / std::pow(2.0, m) -
+              (2.0 * m - 1.0) / std::pow(2.0, 2.0 * m));
+
+    for (const auto &tpl : templates) {
+        double chi2 = 0.0;
+        for (std::size_t b = 0; b < num_blocks; ++b) {
+            std::size_t hits = 0;
+            std::size_t i = 0;
+            while (i + template_len <= block) {
+                bool match = true;
+                for (std::size_t k = 0; k < template_len; ++k) {
+                    if (bits.get(b * block + i + k) != tpl.get(k)) {
+                        match = false;
+                        break;
+                    }
+                }
+                if (match) {
+                    ++hits;
+                    i += template_len; // non-overlapping scan
+                } else {
+                    ++i;
+                }
+            }
+            const double d = static_cast<double>(hits) - mu;
+            chi2 += d * d / sigma2;
+        }
+        r.pValues.push_back(
+            igamc(static_cast<double>(num_blocks) / 2.0, chi2 / 2.0));
+    }
+    return r;
+}
+
+TestResult
+overlappingTemplate(const BitVector &bits, std::size_t template_len)
+{
+    TestResult r;
+    r.name = "overlapping-template";
+    const std::size_t n = bits.size();
+    constexpr std::size_t block = 1032;
+    constexpr std::size_t k = 5;
+    const std::size_t num_blocks = n / block;
+    if (num_blocks < 100)
+        return notApplicable("overlapping-template");
+
+    // SP 800-22 probabilities for m=9, M=1032.
+    const double pi[k + 1] = {0.364091, 0.185659, 0.139381,
+                              0.100571, 0.070432, 0.139865};
+    std::vector<std::size_t> nu(k + 1, 0);
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+        std::size_t hits = 0;
+        for (std::size_t i = 0; i + template_len <= block; ++i) {
+            bool match = true;
+            for (std::size_t j = 0; j < template_len; ++j) {
+                if (!bits.get(b * block + i + j)) { // all-ones template
+                    match = false;
+                    break;
+                }
+            }
+            hits += match;
+        }
+        ++nu[std::min(hits, k)];
+    }
+    double chi2 = 0.0;
+    for (std::size_t i = 0; i <= k; ++i) {
+        const double expect =
+            static_cast<double>(num_blocks) * pi[i];
+        const double d = static_cast<double>(nu[i]) - expect;
+        chi2 += d * d / expect;
+    }
+    r.pValues.push_back(igamc(static_cast<double>(k) / 2.0, chi2 / 2.0));
+    return r;
+}
+
+TestResult
+universal(const BitVector &bits)
+{
+    TestResult r;
+    r.name = "universal";
+    const std::size_t n = bits.size();
+
+    // SP 800-22 table: expected value and variance of the per-block
+    // log2 distance, indexed by L.
+    struct Row
+    {
+        std::size_t minN;
+        std::size_t l;
+        double expected;
+        double variance;
+    };
+    static const Row table[] = {
+        {387840, 6, 5.2177052, 2.954},
+        {904960, 7, 6.1962507, 3.125},
+        {2068480, 8, 7.1836656, 3.238},
+        {4654080, 9, 8.1764248, 3.311},
+        {10342400, 10, 9.1723243, 3.356},
+    };
+    std::size_t l = 0;
+    double expected = 0.0, variance = 0.0;
+    for (const auto &row : table) {
+        if (n >= row.minN) {
+            l = row.l;
+            expected = row.expected;
+            variance = row.variance;
+        }
+    }
+    if (l == 0)
+        return notApplicable("universal");
+
+    const std::size_t q = 10u << l; // 10 * 2^L initialization blocks
+    const std::size_t num_blocks = n / l;
+    if (num_blocks <= q)
+        return notApplicable("universal");
+    const std::size_t kk = num_blocks - q;
+
+    std::vector<std::size_t> last_seen(std::size_t{1} << l, 0);
+    auto block_value = [&](std::size_t b) {
+        std::size_t v = 0;
+        for (std::size_t i = 0; i < l; ++i)
+            v = (v << 1) | bits.get(b * l + i);
+        return v;
+    };
+    for (std::size_t b = 0; b < q; ++b)
+        last_seen[block_value(b)] = b + 1;
+    double sum = 0.0;
+    for (std::size_t b = q; b < num_blocks; ++b) {
+        const std::size_t v = block_value(b);
+        sum += std::log2(static_cast<double>(b + 1 - last_seen[v]));
+        last_seen[v] = b + 1;
+    }
+    const double fn = sum / static_cast<double>(kk);
+    // Finite-size correction factor of SP 800-22.
+    const double c =
+        0.7 - 0.8 / static_cast<double>(l) +
+        (4.0 + 32.0 / static_cast<double>(l)) *
+            std::pow(static_cast<double>(kk),
+                     -3.0 / static_cast<double>(l)) /
+            15.0;
+    const double sigma =
+        c * std::sqrt(variance / static_cast<double>(kk));
+    r.pValues.push_back(
+        erfcSafe(std::fabs(fn - expected) / (std::sqrt(2.0) * sigma)));
+    return r;
+}
+
+namespace
+{
+
+/** Berlekamp-Massey linear complexity of a GF(2) sequence. */
+std::size_t
+berlekampMassey(const std::vector<std::uint8_t> &s)
+{
+    const std::size_t n = s.size();
+    std::vector<std::uint8_t> c(n, 0), b(n, 0);
+    c[0] = 1;
+    b[0] = 1;
+    std::size_t l = 0;
+    std::size_t m_idx = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint8_t d = s[i];
+        for (std::size_t j = 1; j <= l; ++j)
+            d ^= c[j] & s[i - j];
+        if (d) {
+            const std::vector<std::uint8_t> t = c;
+            const std::size_t shift = i - m_idx;
+            for (std::size_t j = 0; j + shift < n; ++j)
+                c[j + shift] ^= b[j];
+            if (2 * l <= i) {
+                l = i + 1 - l;
+                m_idx = i;
+                b = t;
+            }
+        }
+    }
+    return l;
+}
+
+} // namespace
+
+TestResult
+linearComplexity(const BitVector &bits, std::size_t block)
+{
+    TestResult r;
+    r.name = "linear-complexity";
+    const std::size_t n = bits.size();
+    const std::size_t num_blocks = n / block;
+    if (num_blocks < 200)
+        return notApplicable("linear-complexity");
+
+    constexpr std::size_t k = 6;
+    const double pi[k + 1] = {0.010417, 0.03125, 0.125, 0.5,
+                              0.25, 0.0625, 0.020833};
+    const double mm = static_cast<double>(block);
+    const double mu =
+        mm / 2.0 + (9.0 + (block % 2 ? -1.0 : 1.0)) / 36.0 -
+        (mm / 3.0 + 2.0 / 9.0) / std::pow(2.0, mm);
+
+    std::vector<std::size_t> nu(k + 1, 0);
+    std::vector<std::uint8_t> s(block);
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+        for (std::size_t i = 0; i < block; ++i)
+            s[i] = bits.get(b * block + i);
+        const double l = static_cast<double>(berlekampMassey(s));
+        const double sign = (block % 2) ? -1.0 : 1.0;
+        const double t = sign * (l - mu) + 2.0 / 9.0;
+        std::size_t cls;
+        if (t <= -2.5)
+            cls = 0;
+        else if (t <= -1.5)
+            cls = 1;
+        else if (t <= -0.5)
+            cls = 2;
+        else if (t <= 0.5)
+            cls = 3;
+        else if (t <= 1.5)
+            cls = 4;
+        else if (t <= 2.5)
+            cls = 5;
+        else
+            cls = 6;
+        ++nu[cls];
+    }
+    double chi2 = 0.0;
+    for (std::size_t i = 0; i <= k; ++i) {
+        const double expect =
+            static_cast<double>(num_blocks) * pi[i];
+        const double d = static_cast<double>(nu[i]) - expect;
+        chi2 += d * d / expect;
+    }
+    r.pValues.push_back(igamc(static_cast<double>(k) / 2.0, chi2 / 2.0));
+    return r;
+}
+
+namespace
+{
+
+/** psi^2_m statistic of the serial test. */
+double
+psiSquared(const BitVector &bits, std::size_t m)
+{
+    if (m == 0)
+        return 0.0;
+    const std::size_t n = bits.size();
+    std::vector<std::uint32_t> counts(std::size_t{1} << m, 0);
+    const std::uint32_t mask = (std::uint32_t{1} << m) - 1;
+    std::uint32_t v = 0;
+    // Prime the window with the first m-1 bits (with wraparound later).
+    for (std::size_t i = 0; i < m - 1; ++i)
+        v = ((v << 1) | bits.get(i)) & mask;
+    for (std::size_t i = m - 1; i < n + m - 1; ++i) {
+        v = ((v << 1) | bits.get(i % n)) & mask;
+        ++counts[v];
+    }
+    double sum = 0.0;
+    for (const auto c : counts)
+        sum += static_cast<double>(c) * static_cast<double>(c);
+    const double nn = static_cast<double>(n);
+    return sum * std::pow(2.0, static_cast<double>(m)) / nn - nn;
+}
+
+} // namespace
+
+TestResult
+serial(const BitVector &bits, std::size_t m)
+{
+    TestResult r;
+    r.name = "serial";
+    if (bits.size() < (std::size_t{1} << (m + 2)))
+        return notApplicable("serial");
+    const double psi_m = psiSquared(bits, m);
+    const double psi_m1 = psiSquared(bits, m - 1);
+    const double psi_m2 = psiSquared(bits, m - 2);
+    const double d1 = psi_m - psi_m1;
+    const double d2 = psi_m - 2.0 * psi_m1 + psi_m2;
+    r.pValues.push_back(
+        igamc(std::pow(2.0, static_cast<double>(m) - 2.0), d1 / 2.0));
+    r.pValues.push_back(
+        igamc(std::pow(2.0, static_cast<double>(m) - 3.0), d2 / 2.0));
+    return r;
+}
+
+TestResult
+approximateEntropy(const BitVector &bits, std::size_t m)
+{
+    TestResult r;
+    r.name = "approximate-entropy";
+    const std::size_t n = bits.size();
+    if (n < (std::size_t{1} << (m + 5)))
+        return notApplicable("approximate-entropy");
+
+    auto phi = [&bits, n](std::size_t mm) {
+        if (mm == 0)
+            return 0.0;
+        std::vector<std::uint32_t> counts(std::size_t{1} << mm, 0);
+        const std::uint32_t mask = (std::uint32_t{1} << mm) - 1;
+        std::uint32_t v = 0;
+        for (std::size_t i = 0; i < mm - 1; ++i)
+            v = ((v << 1) | bits.get(i)) & mask;
+        for (std::size_t i = mm - 1; i < n + mm - 1; ++i) {
+            v = ((v << 1) | bits.get(i % n)) & mask;
+            ++counts[v];
+        }
+        double sum = 0.0;
+        const double nn = static_cast<double>(n);
+        for (const auto c : counts) {
+            if (c) {
+                const double p = static_cast<double>(c) / nn;
+                sum += p * std::log(p);
+            }
+        }
+        return sum;
+    };
+
+    const double ap_en = phi(m) - phi(m + 1);
+    const double chi2 =
+        2.0 * static_cast<double>(n) * (std::log(2.0) - ap_en);
+    r.pValues.push_back(
+        igamc(std::pow(2.0, static_cast<double>(m) - 1.0), chi2 / 2.0));
+    return r;
+}
+
+TestResult
+cumulativeSums(const BitVector &bits)
+{
+    TestResult r;
+    r.name = "cumulative-sums";
+    const std::size_t n = bits.size();
+    if (n < 100)
+        return notApplicable("cumulative-sums");
+
+    auto p_value = [n](double z) {
+        const double nn = static_cast<double>(n);
+        const double sqn = std::sqrt(nn);
+        double sum1 = 0.0, sum2 = 0.0;
+        const long k_lo1 =
+            static_cast<long>(std::floor((-nn / z + 1.0) / 4.0));
+        const long k_hi1 =
+            static_cast<long>(std::floor((nn / z - 1.0) / 4.0));
+        for (long k = k_lo1; k <= k_hi1; ++k) {
+            const double kk = static_cast<double>(k);
+            sum1 += normalCdf((4.0 * kk + 1.0) * z / sqn) -
+                    normalCdf((4.0 * kk - 1.0) * z / sqn);
+        }
+        const long k_lo2 =
+            static_cast<long>(std::floor((-nn / z - 3.0) / 4.0));
+        const long k_hi2 =
+            static_cast<long>(std::floor((nn / z - 1.0) / 4.0));
+        for (long k = k_lo2; k <= k_hi2; ++k) {
+            const double kk = static_cast<double>(k);
+            sum2 += normalCdf((4.0 * kk + 3.0) * z / sqn) -
+                    normalCdf((4.0 * kk + 1.0) * z / sqn);
+        }
+        return 1.0 - sum1 + sum2;
+    };
+
+    // Forward and backward modes.
+    for (const bool forward : {true, false}) {
+        double s = 0.0, zmax = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t idx = forward ? i : n - 1 - i;
+            s += bitSign(bits.get(idx));
+            zmax = std::max(zmax, std::fabs(s));
+        }
+        r.pValues.push_back(p_value(zmax));
+    }
+    return r;
+}
+
+namespace
+{
+
+/** Zero-crossing cycles of the +/-1 random walk. */
+std::vector<std::vector<long>>
+walkCycles(const BitVector &bits)
+{
+    std::vector<std::vector<long>> cycles;
+    std::vector<long> cycle;
+    long s = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        s += bits.get(i) ? 1 : -1;
+        cycle.push_back(s);
+        if (s == 0) {
+            cycles.push_back(std::move(cycle));
+            cycle.clear();
+        }
+    }
+    if (!cycle.empty()) {
+        cycle.push_back(0); // walk forced back to zero at the end
+        cycles.push_back(std::move(cycle));
+    }
+    return cycles;
+}
+
+} // namespace
+
+TestResult
+randomExcursions(const BitVector &bits)
+{
+    TestResult r;
+    r.name = "random-excursions";
+    const auto cycles = walkCycles(bits);
+    const double j = static_cast<double>(cycles.size());
+    if (cycles.size() < 500)
+        return notApplicable("random-excursions");
+
+    // pi_k(x): probability of exactly k visits to state x per cycle.
+    auto pi = [](long x, std::size_t k) {
+        const double ax = std::fabs(static_cast<double>(x));
+        if (k == 0)
+            return 1.0 - 1.0 / (2.0 * ax);
+        const double base = 1.0 - 1.0 / (2.0 * ax);
+        const double p1 = 1.0 / (4.0 * ax * ax);
+        if (k < 5)
+            return p1 * std::pow(base, static_cast<double>(k - 1));
+        // k >= 5 bucket
+        return (1.0 / (2.0 * ax)) *
+               std::pow(base, 4.0);
+    };
+
+    const long states[] = {-4, -3, -2, -1, 1, 2, 3, 4};
+    for (const long x : states) {
+        std::vector<std::size_t> nu(6, 0);
+        for (const auto &cycle : cycles) {
+            std::size_t visits = 0;
+            for (const long s : cycle)
+                visits += s == x;
+            ++nu[std::min<std::size_t>(visits, 5)];
+        }
+        double chi2 = 0.0;
+        for (std::size_t k = 0; k < 6; ++k) {
+            const double expect = j * pi(x, k);
+            const double d = static_cast<double>(nu[k]) - expect;
+            chi2 += d * d / expect;
+        }
+        r.pValues.push_back(igamc(5.0 / 2.0, chi2 / 2.0));
+    }
+    return r;
+}
+
+TestResult
+randomExcursionsVariant(const BitVector &bits)
+{
+    TestResult r;
+    r.name = "random-excursions-variant";
+    const auto cycles = walkCycles(bits);
+    const double j = static_cast<double>(cycles.size());
+    if (cycles.size() < 500)
+        return notApplicable("random-excursions-variant");
+
+    for (long x = -9; x <= 9; ++x) {
+        if (x == 0)
+            continue;
+        double xi = 0.0;
+        for (const auto &cycle : cycles)
+            for (const long s : cycle)
+                xi += s == x;
+        const double ax = std::fabs(static_cast<double>(x));
+        // SP 800-22: p = erfc(|xi - J| / sqrt(2 J (4|x| - 2))).
+        const double denom = std::sqrt(2.0 * j * (4.0 * ax - 2.0));
+        r.pValues.push_back(erfcSafe(std::fabs(xi - j) / denom));
+    }
+    return r;
+}
+
+std::vector<TestResult>
+runAll(const BitVector &bits)
+{
+    return {
+        frequency(bits),
+        blockFrequency(bits),
+        runs(bits),
+        longestRunOfOnes(bits),
+        binaryMatrixRank(bits),
+        discreteFourierTransform(bits),
+        nonOverlappingTemplate(bits),
+        overlappingTemplate(bits),
+        universal(bits),
+        linearComplexity(bits),
+        serial(bits),
+        approximateEntropy(bits),
+        cumulativeSums(bits),
+        randomExcursions(bits),
+        randomExcursionsVariant(bits),
+    };
+}
+
+bool
+allPassed(const std::vector<TestResult> &results, double alpha)
+{
+    for (const auto &r : results)
+        if (!r.passed(alpha))
+            return false;
+    return true;
+}
+
+} // namespace fracdram::puf::nist

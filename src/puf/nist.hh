@@ -1,0 +1,78 @@
+/**
+ * @file
+ * NIST SP 800-22 statistical test suite (all 15 tests), implemented
+ * from scratch for the paper's randomness row (Sec. VI-B2: one
+ * million whitened PUF bits per module pass all 15 tests).
+ *
+ * Each test returns one or more p-values; a stream passes a test at
+ * significance alpha (default 0.01) when every p-value is >= alpha.
+ * Tests that need more structure than the stream provides (e.g. too
+ * few zero-crossing cycles for the random-excursions tests) report
+ * themselves as not applicable rather than failing.
+ */
+
+#ifndef FRACDRAM_PUF_NIST_HH
+#define FRACDRAM_PUF_NIST_HH
+
+#include <string>
+#include <vector>
+
+#include "common/bitvec.hh"
+
+namespace fracdram::puf::nist
+{
+
+/** Outcome of one SP 800-22 test. */
+struct TestResult
+{
+    std::string name;
+    std::vector<double> pValues;
+    bool applicable = true;
+
+    /** Whether every p-value clears the significance level. */
+    bool passed(double alpha = 0.01) const;
+
+    /** Smallest p-value (1.0 when empty). */
+    double minP() const;
+};
+
+/** @name The fifteen SP 800-22 tests */
+/// @{
+TestResult frequency(const BitVector &bits);
+TestResult blockFrequency(const BitVector &bits, std::size_t block = 128);
+TestResult runs(const BitVector &bits);
+TestResult longestRunOfOnes(const BitVector &bits);
+TestResult binaryMatrixRank(const BitVector &bits);
+TestResult discreteFourierTransform(const BitVector &bits);
+TestResult nonOverlappingTemplate(const BitVector &bits,
+                                  std::size_t template_len = 9,
+                                  std::size_t num_templates = 8);
+TestResult overlappingTemplate(const BitVector &bits,
+                               std::size_t template_len = 9);
+TestResult universal(const BitVector &bits);
+TestResult linearComplexity(const BitVector &bits,
+                            std::size_t block = 500);
+TestResult serial(const BitVector &bits, std::size_t m = 16);
+TestResult approximateEntropy(const BitVector &bits, std::size_t m = 10);
+TestResult cumulativeSums(const BitVector &bits);
+TestResult randomExcursions(const BitVector &bits);
+TestResult randomExcursionsVariant(const BitVector &bits);
+/// @}
+
+/** Run the full suite in SP 800-22 order. */
+std::vector<TestResult> runAll(const BitVector &bits);
+
+/** Whether every applicable test in @p results passed. */
+bool allPassed(const std::vector<TestResult> &results,
+               double alpha = 0.01);
+
+/**
+ * Generate the first @p count aperiodic templates of length @p m
+ * (used by the non-overlapping template test).
+ */
+std::vector<BitVector> aperiodicTemplates(std::size_t m,
+                                          std::size_t count);
+
+} // namespace fracdram::puf::nist
+
+#endif // FRACDRAM_PUF_NIST_HH

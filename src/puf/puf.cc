@@ -1,0 +1,105 @@
+#include "puf/puf.hh"
+
+#include "common/logging.hh"
+#include "core/frac_op.hh"
+#include "core/rowclone.hh"
+
+namespace fracdram::puf
+{
+
+FracPuf::FracPuf(softmc::MemoryController &mc, int num_fracs)
+    : mc_(mc), numFracs_(num_fracs)
+{
+    panic_if(num_fracs < 1, "PUF needs at least one Frac operation");
+    fatal_if(!mc.chip().profile().supportsFrac,
+             "group %s cannot Frac; no PUF on this module",
+             sim::groupName(mc.chip().group()).c_str());
+}
+
+RowAddr
+FracPuf::reservedOnesRow() const
+{
+    return mc_.chip().dramParams().rowsPerBank() - 1;
+}
+
+void
+FracPuf::setUseInDramInit(bool use)
+{
+    useInDramInit_ = use;
+    if (use) {
+        onesRowReady_.assign(mc_.chip().dramParams().numBanks, false);
+    }
+}
+
+BitVector
+FracPuf::evaluate(const Challenge &challenge)
+{
+    // Initialize the segment to all ones - either one in-DRAM row
+    // copy from a reserved all-ones row (the paper's 88-cycle
+    // preparation) or a plain bus write - then drive the cells
+    // toward V_dd/2 and read out.
+    if (useInDramInit_) {
+        const RowAddr src = reservedOnesRow();
+        panic_if(challenge.row == src,
+                 "challenge row collides with the reserved ones row");
+        if (!onesRowReady_.at(challenge.bank)) {
+            mc_.fillRowVoltage(challenge.bank, src, true);
+            onesRowReady_[challenge.bank] = true;
+        }
+        core::rowCopy(mc_, challenge.bank, src, challenge.row);
+    } else {
+        mc_.fillRowVoltage(challenge.bank, challenge.row, true);
+    }
+    core::frac(mc_, challenge.bank, challenge.row, numFracs_);
+    BitVector response =
+        mc_.readRowVoltage(challenge.bank, challenge.row);
+    if (discardAfterEvaluate_)
+        mc_.chip().bank(challenge.bank).discardRow(challenge.row);
+    return response;
+}
+
+std::vector<BitVector>
+FracPuf::evaluateAll(const std::vector<Challenge> &challenges)
+{
+    std::vector<BitVector> out;
+    out.reserve(challenges.size());
+    for (const auto &c : challenges)
+        out.push_back(evaluate(c));
+    return out;
+}
+
+std::vector<Challenge>
+FracPuf::makeChallenges(std::size_t count) const
+{
+    const auto &params = mc_.chip().dramParams();
+    // The last row of each bank is reserved for the in-DRAM all-ones
+    // source (setUseInDramInit).
+    const RowAddr usable_rows = params.rowsPerBank() - 1;
+    panic_if(count > std::size_t{params.numBanks} * usable_rows,
+             "more challenges than rows");
+    std::vector<Challenge> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        Challenge c;
+        c.bank = static_cast<BankAddr>(i % params.numBanks);
+        c.row = static_cast<RowAddr>((i / params.numBanks) %
+                                     usable_rows);
+        out.push_back(c);
+    }
+    return out;
+}
+
+Cycles
+FracPuf::preparationCycles() const
+{
+    return core::rowCopyCycles +
+           static_cast<Cycles>(numFracs_) * core::fracOpCycles;
+}
+
+Cycles
+FracPuf::evaluationCycles() const
+{
+    return preparationCycles() + mc_.readRowCycles();
+}
+
+} // namespace fracdram::puf

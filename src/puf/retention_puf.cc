@@ -1,0 +1,27 @@
+#include "puf/retention_puf.hh"
+
+#include "common/logging.hh"
+
+namespace fracdram::puf
+{
+
+RetentionPuf::RetentionPuf(softmc::MemoryController &mc,
+                           Seconds decay_window)
+    : mc_(mc), decayWindow_(decay_window)
+{
+    panic_if(decay_window <= 0.0, "decay window must be positive");
+}
+
+BitVector
+RetentionPuf::evaluate(const Challenge &challenge)
+{
+    mc_.fillRowVoltage(challenge.bank, challenge.row, true);
+    // Refresh stays off for the whole window (the scheme's cost).
+    mc_.waitSeconds(decayWindow_);
+    const BitVector alive =
+        mc_.readRowVoltage(challenge.bank, challenge.row);
+    BitVector decayed(alive.size(), true);
+    return decayed ^ alive;
+}
+
+} // namespace fracdram::puf

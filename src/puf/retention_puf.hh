@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Retention-failure DRAM PUF - the *prior-work baseline* the paper
+ * compares against (Sec. VI-B1: "past DRAM-based PUFs have several
+ * drawbacks such as long evaluation time [and] sensitivity to
+ * environmental changes").
+ *
+ * The signature is the bitmap of cells that lose their data within a
+ * fixed decay window with refresh paused (Keller'14 / D-PUF /
+ * Xiong'16 style). Evaluation inherently takes the full decay window
+ * (tens of seconds), and because leakage is strongly
+ * temperature-dependent the set of decayed cells shifts with
+ * temperature - both weaknesses the Frac-PUF avoids.
+ */
+
+#ifndef FRACDRAM_PUF_RETENTION_PUF_HH
+#define FRACDRAM_PUF_RETENTION_PUF_HH
+
+#include "common/bitvec.hh"
+#include "common/types.hh"
+#include "puf/puf.hh"
+#include "softmc/controller.hh"
+
+namespace fracdram::puf
+{
+
+/**
+ * Retention-failure PUF over one module (baseline design).
+ */
+class RetentionPuf
+{
+  public:
+    /**
+     * @param mc controller of the module
+     * @param decay_window seconds of refresh-paused decay per
+     *        evaluation (typical prior work: 60-120 s)
+     */
+    explicit RetentionPuf(softmc::MemoryController &mc,
+                          Seconds decay_window = 120.0);
+
+    /**
+     * Evaluate one challenge: write all ones, pause for the decay
+     * window, read back; response bit = 1 where the cell decayed.
+     */
+    BitVector evaluate(const Challenge &challenge);
+
+    /** Wall-clock evaluation time (dominated by the decay window). */
+    Seconds evaluationSeconds() const { return decayWindow_; }
+
+    Seconds decayWindow() const { return decayWindow_; }
+
+  private:
+    softmc::MemoryController &mc_;
+    Seconds decayWindow_;
+};
+
+} // namespace fracdram::puf
+
+#endif // FRACDRAM_PUF_RETENTION_PUF_HH

@@ -1,0 +1,564 @@
+#include "sim/bank.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace fracdram::sim
+{
+
+namespace
+{
+
+// JEDEC minimum spacings (in 2.5 ns cycles at the SoftMC command
+// clock) used by the timing-checker vendors (groups J-L) to reject
+// too-close commands. Approximations of DDR3-1333 values.
+constexpr Cycles checkerTRas = 14;
+constexpr Cycles checkerTRc = 20;
+
+} // namespace
+
+Bank::Bank(ModuleContext &ctx, BankAddr index)
+    : ctx_(ctx), index_(index), rowBuffer_(ctx.params.colsPerRow)
+{
+}
+
+bool
+Bank::rowIsAnti(RowAddr row) const
+{
+    return ctx_.profile.oddRowsAntiCells && (row & 1u);
+}
+
+Volt
+Bank::saOffset(ColAddr col)
+{
+    if (saOffsets_.empty()) {
+        saOffsets_.resize(ctx_.params.colsPerRow);
+        for (ColAddr c = 0; c < ctx_.params.colsPerRow; ++c) {
+            saOffsets_[c] =
+                static_cast<float>(ctx_.variation.saOffset(index_, c));
+        }
+    }
+    return saOffsets_.at(col);
+}
+
+Bank::RowStore &
+Bank::ensureRow(RowAddr row)
+{
+    panic_if(row >= ctx_.params.rowsPerBank(),
+             "row %u out of range (bank has %u rows)", row,
+             ctx_.params.rowsPerBank());
+    auto it = rows_.find(row);
+    if (it != rows_.end())
+        return it->second;
+
+    const auto cols = ctx_.params.colsPerRow;
+    RowStore store;
+    store.volts.resize(cols);
+    store.alpha.resize(cols);
+    store.tau.resize(cols);
+    store.coupling.resize(cols);
+    store.fracOff.resize(cols);
+    store.vrt.resize(cols);
+    store.lastTouch = ctx_.now;
+    const auto &var = ctx_.variation;
+    for (ColAddr c = 0; c < cols; ++c) {
+        store.volts[c] = var.startupBit(index_, row, c)
+                             ? static_cast<float>(ctx_.env.vdd)
+                             : 0.0f;
+        store.alpha[c] = static_cast<float>(var.cellAlpha(index_, row, c));
+        store.tau[c] = static_cast<float>(var.cellTau(index_, row, c));
+        store.coupling[c] =
+            static_cast<float>(var.cellCoupling(index_, row, c));
+        store.fracOff[c] =
+            static_cast<float>(var.cellFracOffset(index_, row, c));
+        store.vrt[c] = var.cellIsVrt(index_, row, c) ? 1 : 0;
+    }
+    return rows_.emplace(row, std::move(store)).first->second;
+}
+
+void
+Bank::applyLeakage(RowAddr row)
+{
+    auto &store = ensureRow(row);
+    const double dt = ctx_.now - store.lastTouch;
+    if (dt <= 0.0)
+        return;
+    const double scale = ctx_.env.leakageScale();
+    for (std::size_t c = 0; c < store.volts.size(); ++c) {
+        double tau = store.tau[c];
+        if (store.vrt[c] && ctx_.trialRng.chance(0.5))
+            tau *= ctx_.profile.vrtFastRatio;
+        store.volts[c] = static_cast<float>(
+            store.volts[c] * std::exp(-dt * scale / tau));
+    }
+    store.lastTouch = ctx_.now;
+}
+
+void
+Bank::checkCols(const BitVector &bits) const
+{
+    panic_if(bits.size() != ctx_.params.colsPerRow,
+             "row data has %zu bits, expected %u", bits.size(),
+             ctx_.params.colsPerRow);
+}
+
+bool
+Bank::checkerDropsAct(Cycles cycle) const
+{
+    if (!ctx_.profile.ignoresOutOfSpecTiming)
+        return false;
+    if (phase_ != Phase::Idle)
+        return true; // no (accepted) PRE since the last ACT
+    return everActivated_ && cycle < lastActCycle_ + checkerTRc;
+}
+
+bool
+Bank::checkerDropsPre(Cycles cycle) const
+{
+    if (!ctx_.profile.ignoresOutOfSpecTiming)
+        return false;
+    if (phase_ == Phase::Idle)
+        return false; // precharging a closed bank is harmless
+    return cycle < lastActCycle_ + checkerTRas;
+}
+
+void
+Bank::resolve(Cycles cycle)
+{
+    if (phase_ == Phase::ActPending &&
+        cycle >= actCycle_ + ctx_.params.saEnableCycles) {
+        fullActivate();
+        phase_ = Phase::Open;
+    } else if (phase_ == Phase::ClosePending &&
+               cycle > preCycle_ + ctx_.params.glitchAbortCycles) {
+        interruptedClose();
+        phase_ = Phase::Idle;
+    }
+}
+
+void
+Bank::commandAct(Cycles cycle, RowAddr row)
+{
+    panic_if(row >= ctx_.params.rowsPerBank(), "ACT row %u out of range",
+             row);
+    if (checkerDropsAct(cycle))
+        return;
+
+    if (phase_ == Phase::Idle && preFromOpenValid_ && rowBufferValid_ &&
+        cycle <= preFromOpenCycle_ + ctx_.params.glitchAbortCycles) {
+        // Row copy: the sense amps are still driving the bit-lines
+        // from the previous activation; the newly raised wordline(s)
+        // latch that data (ComputeDRAM row copy).
+        preFromOpenValid_ = false;
+        auto opened = glitchOpenedRows(ctx_.profile, preFromOpenRow_,
+                                       row, ctx_.params.rowsPerSubarray);
+        bool has_src = false;
+        for (const auto &o : opened)
+            has_src |= o.row == preFromOpenRow_;
+        if (!has_src)
+            opened.push_back({preFromOpenRow_, RowRole::SecondAct});
+
+        const bool old_anti = rowIsAnti(refRow_);
+        const Volt vdd = ctx_.env.vdd;
+        for (const auto &o : opened) {
+            auto &store = ensureRow(o.row);
+            for (std::size_t c = 0; c < store.volts.size(); ++c) {
+                const bool high = rowBuffer_.get(c) ^ old_anti;
+                store.volts[c] = high ? static_cast<float>(vdd) : 0.0f;
+            }
+            store.lastTouch = ctx_.now;
+        }
+        openRows_ = std::move(opened);
+        refRow_ = row;
+        actCycle_ = cycle;
+        lastActCycle_ = cycle;
+        wasRowCopy_ = true;
+        phase_ = Phase::Open;
+        if (rowIsAnti(row) != old_anti) {
+            BitVector mask(rowBuffer_.size(), true);
+            rowBuffer_ = rowBuffer_ ^ mask;
+        }
+        return;
+    }
+
+    if (phase_ == Phase::ClosePending &&
+        cycle <= preCycle_ + ctx_.params.glitchAbortCycles) {
+        // The in-flight PRECHARGE is aborted: the previously-activated
+        // row stays open and the row decoder glitches (Sec. II-D).
+        openRows_ = glitchOpenedRows(ctx_.profile, refRow_, row,
+                                     ctx_.params.rowsPerSubarray);
+        refRow_ = row;
+        actCycle_ = cycle;
+        lastActCycle_ = cycle;
+        everActivated_ = true;
+        wasRowCopy_ = false;
+        phase_ = Phase::ActPending;
+        rowBufferValid_ = false;
+        return;
+    }
+
+    resolve(cycle);
+    preFromOpenValid_ = false;
+
+    if (phase_ == Phase::ActPending) {
+        // ACT-ACT back-to-back without a PRE: the second wordline
+        // also rises while the first activation is still settling,
+        // so both rows join the charge sharing.
+        warn("ACT during pending activation on bank %u; row %u joins",
+             index_, row);
+        bool present = false;
+        for (const auto &o : openRows_)
+            present |= o.row == row;
+        if (!present)
+            openRows_.push_back({row, RowRole::SecondAct});
+        refRow_ = row;
+        lastActCycle_ = cycle;
+        return;
+    }
+    if (phase_ == Phase::Open) {
+        // ACT on an open bank is a JEDEC violation outside the
+        // behaviours this model reproduces; treat as implicit close.
+        warn("ACT on open bank %u; forcing close", index_);
+        openRows_.clear();
+        phase_ = Phase::Idle;
+    }
+    panic_if(phase_ != Phase::Idle, "ACT in unexpected phase");
+
+    openRows_ = {{row, RowRole::FirstAct}};
+    refRow_ = row;
+    actCycle_ = cycle;
+    lastActCycle_ = cycle;
+    everActivated_ = true;
+    wasRowCopy_ = false;
+    phase_ = Phase::ActPending;
+    rowBufferValid_ = false;
+}
+
+void
+Bank::commandPre(Cycles cycle)
+{
+    if (checkerDropsPre(cycle))
+        return;
+
+    if (phase_ == Phase::ClosePending) {
+        // A second PRE: the first close commits now.
+        interruptedClose();
+        phase_ = Phase::Idle;
+        return;
+    }
+
+    resolve(cycle);
+
+    switch (phase_) {
+      case Phase::Idle:
+        return; // re-precharging closed bit-lines
+      case Phase::ActPending:
+        // PRE before the sense amp enabled: interrupt pending.
+        preCycle_ = cycle;
+        phase_ = Phase::ClosePending;
+        return;
+      case Phase::Open:
+        // Restore truncation: the sense amps drive the cells back to
+        // the rail over ~tRAS; closing earlier freezes a partial
+        // level (refs [17,18] of the paper).
+        applyRestoreTruncation(cycle);
+        // The sense amps keep driving the bit-lines for a short while
+        // after PRE; an immediate ACT can latch their data into a new
+        // row (ComputeDRAM's row copy).
+        preFromOpenCycle_ = cycle;
+        preFromOpenValid_ = true;
+        preFromOpenRow_ = refRow_;
+        openRows_.clear();
+        phase_ = Phase::Idle;
+        return;
+      case Phase::ClosePending:
+        break;
+    }
+    panic("PRE in unexpected phase");
+}
+
+const BitVector &
+Bank::commandRead(Cycles cycle)
+{
+    resolve(cycle);
+    if (phase_ != Phase::Open || !rowBufferValid_) {
+        warn("READ on bank %u without a completed activation", index_);
+        zeroBuffer_ = BitVector(ctx_.params.colsPerRow, false);
+        return zeroBuffer_;
+    }
+    return rowBuffer_;
+}
+
+void
+Bank::commandWrite(Cycles cycle, const BitVector &logic_bits)
+{
+    checkCols(logic_bits);
+    resolve(cycle);
+    if (phase_ != Phase::Open) {
+        warn("WRITE on bank %u without a completed activation; dropped",
+             index_);
+        return;
+    }
+    // Data flows buffer -> bit-lines -> every open cell. The bit-line
+    // voltage for logic bit b is b XOR anti(reference row).
+    const bool anti = rowIsAnti(refRow_);
+    const Volt vdd = ctx_.env.vdd;
+    for (const auto &open : openRows_) {
+        auto &store = ensureRow(open.row);
+        for (std::size_t c = 0; c < store.volts.size(); ++c) {
+            const bool high = logic_bits.get(c) ^ anti;
+            store.volts[c] = high ? static_cast<float>(vdd) : 0.0f;
+        }
+        store.lastTouch = ctx_.now;
+    }
+    rowBuffer_ = logic_bits;
+    rowBufferValid_ = true;
+}
+
+void
+Bank::flush(Cycles cycle)
+{
+    resolve(cycle);
+    if (phase_ == Phase::ClosePending) {
+        interruptedClose();
+        phase_ = Phase::Idle;
+    } else if (phase_ == Phase::ActPending) {
+        fullActivate();
+        phase_ = Phase::Open;
+    }
+}
+
+void
+Bank::fullActivate()
+{
+    panic_if(openRows_.empty(), "fullActivate with no open rows");
+    const auto cols = ctx_.params.colsPerRow;
+    const Volt vdd = ctx_.env.vdd;
+    const Volt half = vdd / 2.0;
+    const double cb = ctx_.params.bitlineCapRatio;
+    const double noise_sigma =
+        ctx_.profile.saNoiseSigma * ctx_.env.noiseScale();
+
+    struct OpenState
+    {
+        RowStore *store;
+        double weight; // role weight x per-trial jitter
+    };
+    std::vector<OpenState> open;
+    open.reserve(openRows_.size());
+    for (const auto &o : openRows_) {
+        applyLeakage(o.row);
+        const double jitter = ctx_.trialRng.lognormal(
+            0.0, ctx_.profile.trialJitterSigma);
+        open.push_back(
+            {&ensureRow(o.row),
+             ctx_.profile.roleWeight(o.role) * jitter});
+    }
+
+    const bool anti = rowIsAnti(refRow_);
+    for (ColAddr c = 0; c < cols; ++c) {
+        double num = cb * half;
+        double den = cb;
+        for (const auto &s : open) {
+            const double w = s.weight * s.store->coupling[c];
+            num += w * s.store->volts[c];
+            den += w;
+        }
+        const double veq = num / den;
+        const double delta = veq - half;
+        const bool decision =
+            delta > saOffset(c) + ctx_.trialRng.gaussian(0, noise_sigma);
+        const float rail = decision ? static_cast<float>(vdd) : 0.0f;
+        for (const auto &s : open)
+            s.store->volts[c] = rail;
+        rowBuffer_.set(c, decision ^ anti);
+    }
+    for (const auto &s : open)
+        s.store->lastTouch = ctx_.now;
+    rowBufferValid_ = true;
+}
+
+void
+Bank::interruptedClose()
+{
+    panic_if(openRows_.empty(), "interruptedClose with no open rows");
+    const auto cols = ctx_.params.colsPerRow;
+    const Volt vdd = ctx_.env.vdd;
+    const Volt half = vdd / 2.0;
+    const double cb = ctx_.params.bitlineCapRatio;
+    const bool multi_row = openRows_.size() > 1;
+    const double noise_sigma =
+        ctx_.profile.saNoiseSigma * ctx_.env.noiseScale();
+    const double cell_noise =
+        ctx_.profile.cellNoiseSigma * ctx_.env.noiseScale();
+
+    if (halfClean_.empty() && multi_row) {
+        halfClean_.resize(cols);
+        for (ColAddr c = 0; c < cols; ++c)
+            halfClean_[c] = ctx_.variation.halfMClean(index_, c) ? 1 : 0;
+    }
+
+    struct OpenState
+    {
+        RowStore *store;
+        double weight;
+    };
+    std::vector<OpenState> open;
+    open.reserve(openRows_.size());
+    for (const auto &o : openRows_) {
+        applyLeakage(o.row);
+        const double jitter = ctx_.trialRng.lognormal(
+            0.0, ctx_.profile.trialJitterSigma);
+        open.push_back(
+            {&ensureRow(o.row),
+             ctx_.profile.roleWeight(o.role) * jitter});
+    }
+
+    for (ColAddr c = 0; c < cols; ++c) {
+        double num = cb * half;
+        double den = cb;
+        for (const auto &s : open) {
+            const double w = s.weight * s.store->coupling[c];
+            num += w * s.store->volts[c];
+            den += w;
+        }
+        const double veq =
+            num / den + ctx_.trialRng.gaussian(0, cell_noise);
+        // The sense amp engages when the column either lost its
+        // "clean" draw or developed a large delta early (all-same
+        // initial values) - see VendorProfile::halfMEngageDelta.
+        const bool sa_engages =
+            multi_row &&
+            (!halfClean_[c] ||
+             std::fabs(veq - half) > ctx_.profile.halfMEngageDelta);
+        if (sa_engages) {
+            // The final PRE of an interrupted multi-row activation
+            // lands right at the sense-enable point: for most columns
+            // the SA partially engages and drags the cells toward its
+            // decision rail (see DESIGN.md / VendorProfile docs).
+            const double delta = veq - half;
+            const bool decision =
+                delta >
+                saOffset(c) + ctx_.trialRng.gaussian(0, noise_sigma);
+            const double rail = decision ? vdd : 0.0;
+            for (const auto &s : open) {
+                const double v = s.store->volts[c];
+                s.store->volts[c] = static_cast<float>(
+                    v + ctx_.profile.halfMSaDrive * (rail - v));
+            }
+        } else {
+            for (const auto &s : open) {
+                const double a0 = s.store->alpha[c];
+                // Multi-row interruptions give the cells roughly three
+                // cycles of wordline overlap instead of one.
+                const double a =
+                    multi_row ? 1.0 - std::pow(1.0 - a0, 3.0) : a0;
+                const double v = s.store->volts[c];
+                // Each cell settles toward its own equilibrium: the
+                // shared bit-line level plus a per-cell offset from
+                // junction/coupling asymmetries.
+                const double target = veq + s.store->fracOff[c];
+                s.store->volts[c] =
+                    static_cast<float>(v + a * (target - v));
+            }
+        }
+    }
+    for (const auto &s : open)
+        s.store->lastTouch = ctx_.now;
+    openRows_.clear();
+    rowBufferValid_ = false;
+}
+
+void
+Bank::applyRestoreTruncation(Cycles close_cycle)
+{
+    const Cycles full = ctx_.params.fullRestoreCycles;
+    const Cycles sa = ctx_.params.saEnableCycles;
+    if (close_cycle >= actCycle_ + full || full <= sa)
+        return; // restore had time to complete
+    if (wasRowCopy_)
+        return; // copy path: cells driven directly by the latched SAs
+    const double ramp =
+        static_cast<double>(close_cycle - actCycle_ - sa) /
+        static_cast<double>(full - sa);
+    const double r = std::min(1.0, std::max(0.15, ramp));
+    const Volt half = ctx_.env.vdd / 2.0;
+    for (const auto &o : openRows_) {
+        auto &store = ensureRow(o.row);
+        for (std::size_t c = 0; c < store.volts.size(); ++c) {
+            const double v = store.volts[c];
+            store.volts[c] =
+                static_cast<float>(half + (v - half) * r);
+        }
+        store.lastTouch = ctx_.now;
+    }
+}
+
+void
+Bank::refreshAllRows()
+{
+    panic_if(phase_ != Phase::Idle, "REFRESH on a non-idle bank");
+    // Internally activate-restore each allocated row, exactly like a
+    // normal single-row activation (destroys fractional values,
+    // Sec. III-C).
+    const Volt vdd = ctx_.env.vdd;
+    const Volt half = vdd / 2.0;
+    const double cb = ctx_.params.bitlineCapRatio;
+    const double noise_sigma =
+        ctx_.profile.saNoiseSigma * ctx_.env.noiseScale();
+    for (auto &[row, store] : rows_) {
+        applyLeakage(row);
+        const double jitter = ctx_.trialRng.lognormal(
+            0.0, ctx_.profile.trialJitterSigma);
+        const double role_w =
+            ctx_.profile.roleWeight(RowRole::FirstAct) * jitter;
+        for (std::size_t c = 0; c < store.volts.size(); ++c) {
+            const double w = role_w * store.coupling[c];
+            const double veq =
+                (cb * half + w * store.volts[c]) / (cb + w);
+            const bool decision =
+                veq - half > saOffset(static_cast<ColAddr>(c)) +
+                                 ctx_.trialRng.gaussian(0, noise_sigma);
+            store.volts[c] = decision ? static_cast<float>(vdd) : 0.0f;
+        }
+        store.lastTouch = ctx_.now;
+    }
+}
+
+Volt
+Bank::cellVoltage(RowAddr row, ColAddr col)
+{
+    panic_if(col >= ctx_.params.colsPerRow, "col %u out of range", col);
+    applyLeakage(row);
+    return ensureRow(row).volts[col];
+}
+
+void
+Bank::setCellVoltage(RowAddr row, ColAddr col, Volt v)
+{
+    panic_if(col >= ctx_.params.colsPerRow, "col %u out of range", col);
+    auto &store = ensureRow(row);
+    applyLeakage(row);
+    store.volts[col] = static_cast<float>(v);
+}
+
+bool
+Bank::rowAllocated(RowAddr row) const
+{
+    return rows_.count(row) != 0;
+}
+
+void
+Bank::discardRow(RowAddr row)
+{
+    rows_.erase(row);
+}
+
+void
+Bank::discardAllRows()
+{
+    rows_.clear();
+}
+
+} // namespace fracdram::sim

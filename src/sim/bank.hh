@@ -1,0 +1,190 @@
+/**
+ * @file
+ * One DRAM bank: cell storage, bit-lines, sense amplifiers, and the
+ * small state machine that recognizes in-spec and out-of-spec command
+ * timings.
+ *
+ * The FSM is what turns command sequences into analog behaviour:
+ *
+ *  - ACT, then >= saEnableCycles idle: normal activation. Charge
+ *    sharing, sense amplification, full restore, row buffer capture.
+ *  - ACT, PRE back-to-back: the close is *pending*; if nothing follows
+ *    within glitchAbortCycles the activation was interrupted before
+ *    the sense amplifier enabled and the cells keep a fractional
+ *    voltage (the Frac mechanism, paper Sec. III-A).
+ *  - ACT, PRE, ACT back-to-back: the pending close is aborted, the
+ *    row decoder glitches, and multiple rows open together (paper
+ *    Sec. II-D). A trailing back-to-back PRE then interrupts the
+ *    multi-row activation (the Half-m mechanism, Sec. III-B).
+ *
+ * Cell state is allocated lazily per row; every manufacturing
+ * parameter is materialized from the module's VariationMap when a row
+ * is first touched.
+ */
+
+#ifndef FRACDRAM_SIM_BANK_HH
+#define FRACDRAM_SIM_BANK_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "sim/environment.hh"
+#include "sim/params.hh"
+#include "sim/row_decoder.hh"
+#include "sim/variation.hh"
+#include "sim/vendor.hh"
+
+namespace fracdram::sim
+{
+
+/**
+ * Shared mutable context of a module, owned by DramChip and referenced
+ * by its banks.
+ */
+struct ModuleContext
+{
+    ModuleContext(const DramParams &p, const VendorProfile &prof,
+                  std::uint64_t serial)
+        : params(p), profile(prof), variation(prof, serial),
+          trialRng(mixSeed(serial, 0x7261746eULL))
+    {
+    }
+
+    DramParams params;
+    const VendorProfile &profile;
+    Environment env;
+    VariationMap variation;
+    Rng trialRng;       //!< per-operation (non-manufacturing) noise
+    Seconds now = 0.0;  //!< simulated wall-clock time
+};
+
+/**
+ * A single bank with lazily allocated rows.
+ */
+class Bank
+{
+  public:
+    Bank(ModuleContext &ctx, BankAddr index);
+
+    /** @name Command interface (cycles are absolute and monotone) */
+    /// @{
+    void commandAct(Cycles cycle, RowAddr row);
+    void commandPre(Cycles cycle);
+    /** Capture of the row buffer in logic domain. */
+    const BitVector &commandRead(Cycles cycle);
+    /** Overwrite the open row(s) and buffer with logic data. */
+    void commandWrite(Cycles cycle, const BitVector &logic_bits);
+    /** Resolve any pending activation/close at sequence end. */
+    void flush(Cycles cycle);
+    /// @}
+
+    /** Internally activate-restore every allocated row (REFRESH). */
+    void refreshAllRows();
+
+    /** Whether the bank is fully closed (after flush). */
+    bool isIdle() const { return phase_ == Phase::Idle; }
+
+    /** Rows currently open (valid in the Open phase). */
+    const std::vector<OpenedRow> &openRows() const { return openRows_; }
+
+    /** @name White-box access (tests, analysis harnesses) */
+    /// @{
+    /** Cell voltage with leakage applied up to the current time. */
+    Volt cellVoltage(RowAddr row, ColAddr col);
+    /** Force a cell voltage (test hook). */
+    void setCellVoltage(RowAddr row, ColAddr col, Volt v);
+    bool rowAllocated(RowAddr row) const;
+    /** Drop a row's storage (contents become don't-care). */
+    void discardRow(RowAddr row);
+    void discardAllRows();
+    /// @}
+
+    /** Whether a row holds anti-cells (Vdd reads as logic 0). */
+    bool rowIsAnti(RowAddr row) const;
+
+    /** Sense-amp offset of a column (volts, delta domain). */
+    Volt saOffset(ColAddr col);
+
+  private:
+    enum class Phase
+    {
+        Idle,         //!< all rows closed, bit-lines precharged
+        ActPending,   //!< ACT issued, sense amp not yet enabled
+        ClosePending, //!< PRE issued during ActPending, not resolved
+        Open,         //!< activation complete, row buffer valid
+    };
+
+    struct RowStore
+    {
+        std::vector<float> volts;
+        std::vector<float> alpha;    //!< settling fraction per cell
+        std::vector<float> tau;      //!< leakage time constant (s)
+        std::vector<float> coupling; //!< static coupling multiplier
+        std::vector<float> fracOff;  //!< settling-equilibrium offset
+        std::vector<std::uint8_t> vrt;
+        Seconds lastTouch = 0.0;
+    };
+
+    RowStore &ensureRow(RowAddr row);
+    void applyLeakage(RowAddr row);
+    void checkCols(const BitVector &bits) const;
+
+    /** Move pending state forward given the current cycle. */
+    void resolve(Cycles cycle);
+
+    /** Complete activation: charge share, sense, restore, buffer. */
+    void fullActivate();
+
+    /** Commit an interrupted close: partial settle, no full sense. */
+    void interruptedClose();
+
+    /**
+     * Scale the open rows' cells back toward V_dd/2 when the row is
+     * closed before the restore completed (tRAS truncation).
+     */
+    void applyRestoreTruncation(Cycles close_cycle);
+
+    /** True when the profile's timing checker drops this command. */
+    bool checkerDropsAct(Cycles cycle) const;
+    bool checkerDropsPre(Cycles cycle) const;
+
+    ModuleContext &ctx_;
+    BankAddr index_;
+
+    Phase phase_ = Phase::Idle;
+    std::vector<OpenedRow> openRows_;
+    RowAddr refRow_ = 0;     //!< last explicitly activated row
+    Cycles actCycle_ = 0;    //!< cycle of the pending ACT
+    Cycles preCycle_ = 0;    //!< cycle of the pending PRE
+    Cycles lastActCycle_ = 0;
+    bool everActivated_ = false;
+
+    /**
+     * Cycle of the last PRE issued on a *fully open* bank. An ACT
+     * arriving within glitchAbortCycles of it reconnects new rows to
+     * bit-lines the sense amps are still driving - ComputeDRAM's
+     * in-DRAM row copy.
+     */
+    Cycles preFromOpenCycle_ = 0;
+    bool preFromOpenValid_ = false;
+    RowAddr preFromOpenRow_ = 0;
+
+    /** Whether the current open set came from the row-copy path. */
+    bool wasRowCopy_ = false;
+
+    BitVector rowBuffer_;
+    BitVector zeroBuffer_; //!< returned for reads on a closed bank
+    bool rowBufferValid_ = false;
+
+    std::unordered_map<RowAddr, RowStore> rows_;
+    std::vector<float> saOffsets_; //!< lazy per-column cache
+    std::vector<std::uint8_t> halfClean_;
+};
+
+} // namespace fracdram::sim
+
+#endif // FRACDRAM_SIM_BANK_HH

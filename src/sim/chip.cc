@@ -1,0 +1,98 @@
+#include "sim/chip.hh"
+
+#include "common/logging.hh"
+
+namespace fracdram::sim
+{
+
+DramChip::DramChip(DramGroup group, std::uint64_t serial,
+                   const DramParams &params)
+    : serial_(serial), ctx_(params, vendorProfile(group), serial)
+{
+    panic_if(params.numBanks == 0, "module needs at least one bank");
+    panic_if(params.colsPerRow == 0, "rows need at least one column");
+    panic_if(params.rowsPerSubarray == 0 || params.subarraysPerBank == 0,
+             "bank needs at least one row");
+    banks_.reserve(params.numBanks);
+    for (BankAddr b = 0; b < params.numBanks; ++b)
+        banks_.push_back(std::make_unique<Bank>(ctx_, b));
+}
+
+Bank &
+DramChip::bank(BankAddr b)
+{
+    panic_if(b >= banks_.size(), "bank %u out of range", b);
+    return *banks_[b];
+}
+
+void
+DramChip::act(Cycles cycle, BankAddr b, RowAddr row)
+{
+    bank(b).commandAct(cycle, row);
+}
+
+void
+DramChip::pre(Cycles cycle, BankAddr b)
+{
+    bank(b).commandPre(cycle);
+}
+
+void
+DramChip::preAll(Cycles cycle)
+{
+    for (auto &b : banks_)
+        b->commandPre(cycle);
+}
+
+const BitVector &
+DramChip::read(Cycles cycle, BankAddr b)
+{
+    return bank(b).commandRead(cycle);
+}
+
+void
+DramChip::write(Cycles cycle, BankAddr b, const BitVector &bits)
+{
+    bank(b).commandWrite(cycle, bits);
+}
+
+void
+DramChip::refresh(Cycles cycle)
+{
+    for (auto &b : banks_) {
+        b->flush(cycle);
+        panic_if(!b->isIdle(),
+                 "REFRESH requires all banks precharged");
+        b->refreshAllRows();
+    }
+}
+
+void
+DramChip::flushAll(Cycles cycle)
+{
+    for (auto &b : banks_)
+        b->flush(cycle);
+}
+
+void
+DramChip::advanceTime(Seconds dt)
+{
+    panic_if(dt < 0.0, "time cannot move backwards");
+    ctx_.now += dt;
+}
+
+bool
+DramChip::rowIsAnti(BankAddr b, RowAddr row) const
+{
+    panic_if(b >= banks_.size(), "bank %u out of range", b);
+    return banks_[b]->rowIsAnti(row);
+}
+
+void
+DramChip::discardAllRows()
+{
+    for (auto &b : banks_)
+        b->discardAllRows();
+}
+
+} // namespace fracdram::sim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Operating environment of a DRAM module: supply voltage and ambient
+ * temperature. Used by the PUF robustness experiments (paper Fig. 12).
+ */
+
+#ifndef FRACDRAM_SIM_ENVIRONMENT_HH
+#define FRACDRAM_SIM_ENVIRONMENT_HH
+
+#include <cmath>
+
+#include "common/types.hh"
+
+namespace fracdram::sim
+{
+
+/**
+ * Ambient conditions under which a module operates.
+ */
+struct Environment
+{
+    /** Supply voltage (DDR3 nominal: 1.5 V). */
+    Volt vdd = nominalVdd;
+
+    /** Ambient temperature in Celsius. */
+    double temperatureC = 20.0;
+
+    /**
+     * Leakage acceleration relative to 20 C. DRAM retention roughly
+     * halves for every +10 C (Liu et al., ISCA'13).
+     */
+    double leakageScale() const
+    {
+        return std::exp2((temperatureC - 20.0) / 10.0);
+    }
+
+    /**
+     * Thermal-noise scaling of the sense amplifier relative to 20 C.
+     * A mild linear increase: the comparator itself is ratiometric
+     * (the property the CODIC/Frac PUFs rely on), only its noise floor
+     * moves with temperature.
+     */
+    double noiseScale() const
+    {
+        const double s = 1.0 + 0.02 * (temperatureC - 20.0);
+        return s > 0.25 ? s : 0.25;
+    }
+};
+
+} // namespace fracdram::sim
+
+#endif // FRACDRAM_SIM_ENVIRONMENT_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Geometry and physics parameters of the behavioural DRAM model.
+ *
+ * The simulator replaces the paper's real DDR3 chips (the hardware the
+ * reproduction cannot access). All analog behaviour is derived from the
+ * quantities below; per-vendor-group overrides live in VendorProfile
+ * (vendor.hh).
+ */
+
+#ifndef FRACDRAM_SIM_PARAMS_HH
+#define FRACDRAM_SIM_PARAMS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace fracdram::sim
+{
+
+/**
+ * Module geometry and shared physics constants.
+ *
+ * A "chip" in this simulator corresponds to one DRAM *module* of the
+ * paper (the unit SoftMC drives); a row therefore spans the full module
+ * width (8 KB = 65536 bits on the paper's platform; configurable here
+ * so experiments can trade width for runtime).
+ */
+struct DramParams
+{
+    /** Banks per module (DDR3: 8). */
+    std::uint32_t numBanks = 8;
+
+    /** Sub-arrays per bank. */
+    std::uint32_t subarraysPerBank = 2;
+
+    /** Rows per sub-array. */
+    std::uint32_t rowsPerSubarray = 64;
+
+    /** Bits per row (module width x columns). Paper: 65536 (8 KB). */
+    std::uint32_t colsPerRow = 1024;
+
+    /**
+     * Bit-line to cell capacitance ratio C_b / C_c. Sets the charge
+     * injected per opened row and the per-Frac attenuation toward
+     * V_dd/2. Typical DRAM: 5-8.
+     */
+    double bitlineCapRatio = 6.0;
+
+    /**
+     * Cycles after ACTIVATE at which the sense amplifier is enabled.
+     * A PRECHARGE arriving strictly earlier interrupts the activation
+     * (the Frac mechanism).
+     */
+    Cycles saEnableCycles = 3;
+
+    /**
+     * Cycles after an interrupting PRECHARGE during which a second
+     * ACTIVATE aborts the close and triggers the row-decoder glitch
+     * (multi-row activation).
+     */
+    Cycles glitchAbortCycles = 2;
+
+    /** Cycles for a PRECHARGE to complete (tRP at 400 MHz). */
+    Cycles prechargeCycles = 5;
+
+    /**
+     * Cycles after ACTIVATE at which the restore of the cells is
+     * complete (the tRAS floor). Closing a row earlier leaves its
+     * cells *partially* restored - the charge-level tradeoff the
+     * restore-truncation line of work exploits (paper refs [17,18]).
+     */
+    Cycles fullRestoreCycles = 14;
+
+    /** Total rows per bank. */
+    std::uint32_t rowsPerBank() const
+    {
+        return subarraysPerBank * rowsPerSubarray;
+    }
+
+    /** Total number of cells in the module. */
+    std::uint64_t totalCells() const
+    {
+        return std::uint64_t{numBanks} * rowsPerBank() * colsPerRow;
+    }
+
+    /**
+     * Geometry of a DDR4 module (16 banks in 4 bank groups). The
+     * sub-array analog model is unchanged; QUAC-TRNG showed the
+     * four-row activation carries over.
+     */
+    static DramParams ddr4()
+    {
+        DramParams p;
+        p.numBanks = 16;
+        p.rowsPerSubarray = 64;
+        p.subarraysPerBank = 2;
+        p.colsPerRow = 1024;
+        return p;
+    }
+};
+
+} // namespace fracdram::sim
+
+#endif // FRACDRAM_SIM_PARAMS_HH

@@ -1,0 +1,94 @@
+#include "sim/row_decoder.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace fracdram::sim
+{
+
+std::vector<OpenedRow>
+glitchOpenedRows(const VendorProfile &profile, RowAddr r1, RowAddr r2,
+                 std::uint32_t rows_per_subarray)
+{
+    const std::vector<OpenedRow> no_glitch = {
+        {r2, RowRole::FirstAct},
+    };
+
+    if (r1 == r2)
+        return no_glitch;
+    if (!profile.supportsThreeRow && !profile.supportsFourRow)
+        return no_glitch;
+
+    // The glitch is sub-array local.
+    if (r1 / rows_per_subarray != r2 / rows_per_subarray)
+        return no_glitch;
+
+    const std::uint32_t diff = r1 ^ r2;
+    const int k = std::popcount(diff);
+
+    // Only pairs whose differing bits all fall inside the decoder's
+    // glitch window open extra rows ("not all combinations of R1 and
+    // R2 that have k different bits can open 2^k rows").
+    const std::uint32_t local1 = r1 % rows_per_subarray;
+    const std::uint32_t local2 = r2 % rows_per_subarray;
+    const std::uint32_t local_diff = local1 ^ local2;
+    const std::uint32_t window =
+        (std::uint32_t{1} << profile.glitchWindowBits) - 1;
+    if ((local_diff & ~window) != 0)
+        return no_glitch;
+
+    const RowAddr base = r1 & ~diff; // differing bits cleared
+
+    if (k == 1) {
+        // Two rows open; R1 stays open alongside R2.
+        return {
+            {r1, RowRole::FirstAct},
+            {r2, RowRole::SecondAct},
+        };
+    }
+
+    if (profile.dropsOrRowForAdjacentPairs && k == 2 &&
+        (local_diff & 0x3) == local_diff) {
+        // Group B, adjacent pair (differing bits 0 and 1): the OR-term
+        // row fails to open -> three-row activation, e.g.
+        // ACT(1)-PRE-ACT(2) opens rows {0, 1, 2}. When the AND term
+        // coincides with one of the explicit rows (e.g. ACT(4)-PRE-
+        // ACT(7)) only the two explicit rows open.
+        std::vector<OpenedRow> out = {
+            {r1, RowRole::FirstAct},
+            {r2, RowRole::SecondAct},
+        };
+        if (base != r1 && base != r2)
+            out.push_back({base, RowRole::ImplicitAnd});
+        return out;
+    }
+
+    if (!profile.supportsFourRow)
+        return no_glitch;
+
+    // Enumerate all 2^k combinations of the differing bits.
+    std::vector<OpenedRow> out;
+    out.reserve(std::size_t{1} << k);
+    // Iterate over subsets of 'diff' (standard subset-walk trick, also
+    // visiting the empty subset).
+    std::uint32_t sub = 0;
+    do {
+        const RowAddr row = base | sub;
+        RowRole role;
+        if (row == r1)
+            role = RowRole::FirstAct;
+        else if (row == r2)
+            role = RowRole::SecondAct;
+        else if (row == base)
+            role = RowRole::ImplicitAnd;
+        else
+            role = RowRole::ImplicitOther;
+        out.push_back({row, role});
+        sub = (sub - diff) & diff;
+    } while (sub != 0);
+
+    return out;
+}
+
+} // namespace fracdram::sim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Row-decoder glitch model for multi-row activation.
+ *
+ * ComputeDRAM (and QUAC-TRNG) observed that ACTIVATE(R1)-PRECHARGE-
+ * ACTIVATE(R2) issued back-to-back leaves R1 open and implicitly opens
+ * additional rows. FracDRAM Sec. VI-A1 characterizes the behaviour:
+ * only 2^k rows can open where k = popcount(R1 ^ R2), the opened rows
+ * enumerate all combinations of the differing address bits, and not
+ * every k-bit-different pair works. Group B's decoder additionally
+ * drops the OR-term row for adjacent pairs, producing the three-row
+ * activation that ComputeDRAM's MAJ3 uses.
+ */
+
+#ifndef FRACDRAM_SIM_ROW_DECODER_HH
+#define FRACDRAM_SIM_ROW_DECODER_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/vendor.hh"
+
+namespace fracdram::sim
+{
+
+/** One row opened by an activation, together with its charge role. */
+struct OpenedRow
+{
+    RowAddr row;
+    RowRole role;
+
+    bool operator==(const OpenedRow &o) const
+    {
+        return row == o.row && role == o.role;
+    }
+};
+
+/**
+ * Compute the set of rows opened by the back-to-back sequence
+ * ACT(r1)-PRE-ACT(r2) on a module with the given profile.
+ *
+ * Both addresses must be inside the same sub-array for the glitch to
+ * fire (the paper only reports sub-array-local multi-row activation).
+ * When the glitch does not fire the result is just {r2} - the second
+ * activation proceeds alone.
+ *
+ * @param profile vendor group behaviour flags
+ * @param r1 first (interrupted) row address
+ * @param r2 second row address
+ * @param rows_per_subarray sub-array size for the same-subarray check
+ * @return opened rows with roles; never empty
+ */
+std::vector<OpenedRow> glitchOpenedRows(const VendorProfile &profile,
+                                        RowAddr r1, RowAddr r2,
+                                        std::uint32_t rows_per_subarray);
+
+} // namespace fracdram::sim
+
+#endif // FRACDRAM_SIM_ROW_DECODER_HH

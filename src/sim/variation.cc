@@ -1,0 +1,139 @@
+#include "sim/variation.hh"
+
+#include <cmath>
+
+namespace fracdram::sim
+{
+
+namespace
+{
+
+// Purpose tags keep the derived streams independent of each other.
+enum Purpose : std::uint64_t
+{
+    kAlpha = 1,
+    kSlow,
+    kTau,
+    kVrt,
+    kLeaky,
+    kCoupling,
+    kFracOffset,
+    kSaOffset,
+    kHalfClean,
+    kStartup,
+};
+
+} // namespace
+
+VariationMap::VariationMap(const VendorProfile &profile,
+                           std::uint64_t serial)
+    : profile_(profile), serial_(serial),
+      rootSeed_(mixSeed(0xf4acd4a3ULL,
+                        mixSeed(static_cast<std::uint64_t>(profile.group),
+                                serial)))
+{
+}
+
+Rng
+VariationMap::cellStream(std::uint64_t purpose, BankAddr bank,
+                         RowAddr row, ColAddr col) const
+{
+    std::uint64_t s = mixSeed(rootSeed_, purpose);
+    s = mixSeed(s, bank);
+    s = mixSeed(s, row);
+    s = mixSeed(s, col);
+    return Rng(s);
+}
+
+Rng
+VariationMap::colStream(std::uint64_t purpose, BankAddr bank,
+                        ColAddr col) const
+{
+    std::uint64_t s = mixSeed(rootSeed_, purpose);
+    s = mixSeed(s, bank);
+    s = mixSeed(s, col);
+    return Rng(s);
+}
+
+bool
+VariationMap::cellIsSlow(BankAddr bank, RowAddr row, ColAddr col) const
+{
+    Rng r = cellStream(kSlow, bank, row, col);
+    return r.chance(profile_.slowCellFraction);
+}
+
+double
+VariationMap::cellAlpha(BankAddr bank, RowAddr row, ColAddr col) const
+{
+    Rng r = cellStream(kAlpha, bank, row, col);
+    if (cellIsSlow(bank, row, col)) {
+        // Slow access transistor: hardly connects within one cycle.
+        return profile_.slowCellAlpha * (0.5 + r.uniform());
+    }
+    return r.beta(profile_.settleAlphaA, profile_.settleAlphaB);
+}
+
+Seconds
+VariationMap::cellTau(BankAddr bank, RowAddr row, ColAddr col) const
+{
+    Rng r = cellStream(kTau, bank, row, col);
+    const double median_s = profile_.tauMedianHours * 3600.0;
+    double tau = median_s * std::exp(profile_.tauSigma * r.gaussian());
+    if (cellIsSlow(bank, row, col))
+        tau *= profile_.slowCellTauBoost;
+    if (cellIsLeaky(bank, row, col))
+        tau *= profile_.leakyTauScale;
+    return tau;
+}
+
+bool
+VariationMap::cellIsLeaky(BankAddr bank, RowAddr row, ColAddr col) const
+{
+    Rng r = cellStream(kLeaky, bank, row, col);
+    return r.chance(profile_.leakyCellFraction);
+}
+
+bool
+VariationMap::cellIsVrt(BankAddr bank, RowAddr row, ColAddr col) const
+{
+    Rng r = cellStream(kVrt, bank, row, col);
+    return r.chance(profile_.vrtFraction);
+}
+
+double
+VariationMap::cellCoupling(BankAddr bank, RowAddr row, ColAddr col) const
+{
+    Rng r = cellStream(kCoupling, bank, row, col);
+    return r.lognormal(0.0, profile_.couplingSigma);
+}
+
+Volt
+VariationMap::cellFracOffset(BankAddr bank, RowAddr row,
+                             ColAddr col) const
+{
+    Rng r = cellStream(kFracOffset, bank, row, col);
+    return r.gaussian(0.0, profile_.cellFracOffsetSigma);
+}
+
+Volt
+VariationMap::saOffset(BankAddr bank, ColAddr col) const
+{
+    Rng r = colStream(kSaOffset, bank, col);
+    return r.gaussian(profile_.saOffsetMean, profile_.saOffsetSigma);
+}
+
+bool
+VariationMap::halfMClean(BankAddr bank, ColAddr col) const
+{
+    Rng r = colStream(kHalfClean, bank, col);
+    return r.chance(profile_.halfMCleanFraction);
+}
+
+bool
+VariationMap::startupBit(BankAddr bank, RowAddr row, ColAddr col) const
+{
+    Rng r = cellStream(kStartup, bank, row, col);
+    return r.chance(0.5);
+}
+
+} // namespace fracdram::sim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic process-variation map.
+ *
+ * Every manufacturing-time parameter of a module (per-cell settling
+ * speed, leakage time constant, coupling strength, per-column sense-amp
+ * offset, ...) is a pure function of the module serial and the cell
+ * coordinates, derived by hashing. This keeps memory usage independent
+ * of the array size and guarantees that experiments touching cells in
+ * any order see identical silicon.
+ */
+
+#ifndef FRACDRAM_SIM_VARIATION_HH
+#define FRACDRAM_SIM_VARIATION_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "sim/vendor.hh"
+
+namespace fracdram::sim
+{
+
+/**
+ * Per-module process variation, derived deterministically from the
+ * module serial number.
+ */
+class VariationMap
+{
+  public:
+    /**
+     * @param profile vendor group the module belongs to
+     * @param serial unique module serial (distinct silicon per value)
+     */
+    VariationMap(const VendorProfile &profile, std::uint64_t serial);
+
+    /** Settling fraction toward equilibrium per interrupted cycle. */
+    double cellAlpha(BankAddr bank, RowAddr row, ColAddr col) const;
+
+    /** Whether the cell's access transistor is slow (high V_th). */
+    bool cellIsSlow(BankAddr bank, RowAddr row, ColAddr col) const;
+
+    /**
+     * Leakage time constant in seconds at 20 C. Slow cells leak less
+     * (same V_th controls both effects).
+     */
+    Seconds cellTau(BankAddr bank, RowAddr row, ColAddr col) const;
+
+    /** Whether the cell exhibits variable retention time. */
+    bool cellIsVrt(BankAddr bank, RowAddr row, ColAddr col) const;
+
+    /** Whether the cell is pathologically leaky (seconds retention). */
+    bool cellIsLeaky(BankAddr bank, RowAddr row, ColAddr col) const;
+
+    /** Static coupling-strength multiplier of the cell (lognormal). */
+    double cellCoupling(BankAddr bank, RowAddr row, ColAddr col) const;
+
+    /**
+     * Deviation of the cell's interrupted-settling equilibrium from
+     * the bit-line midpoint, in volts.
+     */
+    Volt cellFracOffset(BankAddr bank, RowAddr row, ColAddr col) const;
+
+    /** Sense-amplifier offset of a column, in volts (delta domain). */
+    Volt saOffset(BankAddr bank, ColAddr col) const;
+
+    /**
+     * Whether the column's sense amplifier stays disengaged during an
+     * interrupted multi-row activation (clean Half-m column).
+     */
+    bool halfMClean(BankAddr bank, ColAddr col) const;
+
+    /** Manufacturing-time power-up content of a cell. */
+    bool startupBit(BankAddr bank, RowAddr row, ColAddr col) const;
+
+    /** The module serial this map was derived from. */
+    std::uint64_t serial() const { return serial_; }
+
+  private:
+    Rng cellStream(std::uint64_t purpose, BankAddr bank, RowAddr row,
+                   ColAddr col) const;
+    Rng colStream(std::uint64_t purpose, BankAddr bank,
+                  ColAddr col) const;
+
+    const VendorProfile &profile_;
+    std::uint64_t serial_;
+    std::uint64_t rootSeed_;
+};
+
+} // namespace fracdram::sim
+
+#endif // FRACDRAM_SIM_VARIATION_HH

@@ -1,0 +1,226 @@
+#include "sim/vendor.hh"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace fracdram::sim
+{
+
+const std::array<DramGroup, 12> &
+allGroups()
+{
+    static const std::array<DramGroup, 12> groups = {
+        DramGroup::A, DramGroup::B, DramGroup::C, DramGroup::D,
+        DramGroup::E, DramGroup::F, DramGroup::G, DramGroup::H,
+        DramGroup::I, DramGroup::J, DramGroup::K, DramGroup::L,
+    };
+    return groups;
+}
+
+const std::array<DramGroup, 2> &
+ddr4Groups()
+{
+    static const std::array<DramGroup, 2> groups = {
+        DramGroup::M,
+        DramGroup::N,
+    };
+    return groups;
+}
+
+std::string
+groupName(DramGroup g)
+{
+    static const char *names = "ABCDEFGHIJKLMN";
+    return std::string(1, names[static_cast<int>(g)]);
+}
+
+bool
+isDdr4(DramGroup g)
+{
+    return g == DramGroup::M || g == DramGroup::N;
+}
+
+double
+VendorProfile::roleWeight(RowRole role) const
+{
+    switch (role) {
+      case RowRole::FirstAct:
+        return weightFirstAct;
+      case RowRole::SecondAct:
+        return weightSecondAct;
+      case RowRole::ImplicitAnd:
+        return weightImplicitAnd;
+      case RowRole::ImplicitOther:
+        return weightImplicitOther;
+    }
+    panic("unknown RowRole");
+}
+
+namespace
+{
+
+/**
+ * Build the profile table. Capability flags copy Table I verbatim;
+ * analog values are fitted so the benches reproduce the shapes of the
+ * paper's Figs 6-12 (see DESIGN.md for the fitting rationale).
+ *
+ * saOffsetMean sets the group's PUF Hamming weight via
+ * HW ~= Phi(-mean/sigma); the HW targets are taken from Fig 11
+ * (group A: 21% is quoted in the text; the others are plausible
+ * values consistent with the figure's inter-HD clusters).
+ */
+std::unordered_map<DramGroup, VendorProfile>
+buildProfiles()
+{
+    std::unordered_map<DramGroup, VendorProfile> m;
+
+    auto add = [&m](DramGroup g, const char *vendor, int freq, int chips,
+                    bool frac, bool three, bool four, bool checker) {
+        VendorProfile p;
+        p.group = g;
+        p.vendor = vendor;
+        p.freqMhz = freq;
+        p.numChips = chips;
+        p.numModules = chips / 8;
+        p.supportsFrac = frac;
+        p.supportsThreeRow = three;
+        p.supportsFourRow = four;
+        p.ignoresOutOfSpecTiming = checker;
+        m.emplace(g, p);
+        return &m.at(g);
+    };
+
+    // Hamming-weight bias in units of saOffsetSigma: HW = Phi(-z).
+    // HW = Phi(-z) against the *effective* decision sigma, which
+    // combines the per-column SA offset with the per-cell settling
+    // offset attenuated by the capacitive divider (C_b/C_c = 6 ->
+    // factor 7).
+    auto hwBias = [](VendorProfile *p, double z) {
+        const double cell_part = p->cellFracOffsetSigma / 7.0;
+        const double eff =
+            std::sqrt(p->saOffsetSigma * p->saOffsetSigma +
+                      cell_part * cell_part);
+        p->saOffsetMean = z * eff;
+    };
+
+    //                 vendor      freq  chips frac  3row   4row  checker
+    auto *a = add(DramGroup::A, "SK Hynix", 1066, 16, true, false, false,
+                  false);
+    hwBias(a, 0.81); // HW ~ 0.21 (quoted in the paper)
+
+    auto *b = add(DramGroup::B, "SK Hynix", 1333, 80, true, true, true,
+                  false);
+    hwBias(b, 0.52); // HW ~ 0.30
+    // The second-activated row is group B's "primary" row: the paper's
+    // best F-MAJ configuration parks the fractional value in R2.
+    b->weightFirstAct = 1.00;
+    b->weightSecondAct = 1.40;
+    b->weightImplicitAnd = 0.95;
+    b->weightImplicitOther = 0.90;
+    b->dropsOrRowForAdjacentPairs = true; // three-row activation
+
+    auto *c = add(DramGroup::C, "SK Hynix", 1333, 160, true, false, true,
+                  false);
+    hwBias(c, 0.13); // HW ~ 0.45
+    // First-activated row is primary; noisier silicon than group B
+    // (stability 33%-85.2% always-correct in Fig 10c).
+    c->weightFirstAct = 1.45;
+    c->weightSecondAct = 1.00;
+    c->weightImplicitAnd = 0.90;
+    c->weightImplicitOther = 0.85;
+    c->couplingSigma = 0.22;
+    c->trialJitterSigma = 0.06;
+
+    auto *d = add(DramGroup::D, "SK Hynix", 1600, 16, true, false, true,
+                  false);
+    hwBias(d, 0.05); // HW ~ 0.48
+    // The last implicitly-opened row dominates; best config stores a
+    // below-Vdd/2 fractional value in R4 (paper Fig 9c).
+    d->weightFirstAct = 1.00;
+    d->weightSecondAct = 1.05;
+    d->weightImplicitAnd = 0.90;
+    d->weightImplicitOther = 1.50;
+    d->couplingSigma = 0.19;
+    d->trialJitterSigma = 0.05;
+
+    auto *e = add(DramGroup::E, "Samsung", 1066, 32, true, false, false,
+                  false);
+    hwBias(e, 0.39); // HW ~ 0.35
+
+    auto *f = add(DramGroup::F, "Samsung", 1333, 48, true, false, false,
+                  false);
+    hwBias(f, -0.05); // HW ~ 0.52
+
+    auto *g = add(DramGroup::G, "Samsung", 1600, 32, true, false, false,
+                  false);
+    hwBias(g, 0.08); // HW ~ 0.47
+    // Group G shows the largest intra-HD in Fig 11 (0.051): noisier SA.
+    g->saNoiseSigma = 0.00035;
+
+    auto *h = add(DramGroup::H, "TimeTec", 1333, 32, true, false, false,
+                  false);
+    hwBias(h, -0.13); // HW ~ 0.55
+
+    auto *i = add(DramGroup::I, "Corsair", 1333, 32, true, false, false,
+                  false);
+    hwBias(i, 0.0); // HW ~ 0.50
+
+    // Groups J-L implement command-timing checkers: out-of-spec
+    // sequences are silently dropped, so neither Frac nor multi-row
+    // activation has any effect (paper Sec. V-A).
+    add(DramGroup::J, "Micron", 1333, 16, false, false, false, true);
+    add(DramGroup::K, "Elpida", 1333, 32, false, false, false, true);
+    add(DramGroup::L, "Nanya", 1333, 32, false, false, false, true);
+
+    // DDR4 extension groups (not in Table I). QUAC-TRNG demonstrated
+    // four-row activation on commodity DDR4; the paper hypothesizes
+    // Frac, F-MAJ and Half-m carry over (Secs. VI-A1, VII).
+    auto *m4 = add(DramGroup::M, "SK Hynix DDR4", 2400, 16, true,
+                   false, true, false);
+    hwBias(m4, 0.20); // HW ~ 0.42
+    m4->weightFirstAct = 1.35;
+    m4->weightSecondAct = 1.00;
+    m4->weightImplicitAnd = 0.92;
+    m4->weightImplicitOther = 0.88;
+    m4->couplingSigma = 0.18;
+    m4->trialJitterSigma = 0.05;
+    add(DramGroup::N, "Micron DDR4", 2400, 16, false, false, false,
+        true);
+
+    return m;
+}
+
+} // namespace
+
+const VendorProfile &
+vendorProfile(DramGroup g)
+{
+    static const auto profiles = buildProfiles();
+    const auto it = profiles.find(g);
+    panic_if(it == profiles.end(), "unknown DRAM group");
+    return it->second;
+}
+
+std::vector<DramGroup>
+fracCapableGroups()
+{
+    std::vector<DramGroup> out;
+    for (const auto g : allGroups())
+        if (vendorProfile(g).supportsFrac)
+            out.push_back(g);
+    return out;
+}
+
+std::vector<DramGroup>
+fourRowCapableGroups()
+{
+    std::vector<DramGroup> out;
+    for (const auto g : allGroups())
+        if (vendorProfile(g).supportsFourRow)
+            out.push_back(g);
+    return out;
+}
+
+} // namespace fracdram::sim

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Vendor-group profiles: the per-group behavioural parameters that
+ * stand in for the 582 real DDR3 chips of the paper's Table I.
+ *
+ * Each group (A-L) gets a VendorProfile whose capability flags mirror
+ * Table I exactly and whose analog parameters are fitted so that the
+ * evaluation benches reproduce the *shapes* of Figs 6-12.
+ */
+
+#ifndef FRACDRAM_SIM_VENDOR_HH
+#define FRACDRAM_SIM_VENDOR_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fracdram::sim
+{
+
+/**
+ * The twelve DDR3 groups of Table I, plus two DDR4 extension groups
+ * (M, N) modeled after QUAC-TRNG's finding that commodity DDR4 chips
+ * open four rows with the same command sequence - the paper's
+ * "potentially DDR4" direction (Secs. VI-A1, VII).
+ */
+enum class DramGroup
+{
+    A, B, C, D, E, F, G, H, I, J, K, L,
+    M, //!< DDR4, four-row capable (QUAC-TRNG-style part)
+    N, //!< DDR4 with command-timing checkers
+};
+
+/** The twelve groups of Table I, in table order (DDR3 only). */
+const std::array<DramGroup, 12> &allGroups();
+
+/** The DDR4 extension groups (not part of Table I). */
+const std::array<DramGroup, 2> &ddr4Groups();
+
+/** One-letter name of a group. */
+std::string groupName(DramGroup g);
+
+/** Whether a group models a DDR4 part. */
+bool isDdr4(DramGroup g);
+
+/**
+ * Role a row plays in a (multi-)row activation; determines its charge
+ * sharing weight. The first-activated row stays connected longest and
+ * is the paper's "primary" row (Sec. VI-A2).
+ */
+enum class RowRole
+{
+    FirstAct,      //!< R1: explicitly activated first
+    SecondAct,     //!< R2: explicitly activated second
+    ImplicitAnd,   //!< glitch-opened row at R1 & R2 (common low bits)
+    ImplicitOther, //!< any further glitch-opened row
+};
+
+/**
+ * Behavioural profile of one vendor group.
+ *
+ * Capability flags come straight from Table I; analog parameters are
+ * the model's fitted stand-ins for silicon characteristics.
+ */
+struct VendorProfile
+{
+    DramGroup group;
+    std::string vendor;
+    int freqMhz;
+    int numChips;   //!< chips characterized in the paper
+    int numModules; //!< modules we instantiate (chips / 8)
+
+    /** @name Capabilities (Table I) */
+    /// @{
+    bool supportsFrac;
+    bool supportsThreeRow;
+    bool supportsFourRow;
+    /**
+     * Timing-check circuits drop commands that arrive closer than the
+     * JEDEC minimum (groups J, K, L) - out-of-spec sequences have no
+     * effect at all.
+     */
+    bool ignoresOutOfSpecTiming;
+    /// @}
+
+    /** @name Row-decoder glitch model */
+    /// @{
+    /**
+     * The decoder glitch only fires when all differing address bits of
+     * (R1, R2) fall inside this low-bit window (models "not all
+     * combinations with k different bits can open 2^k rows").
+     */
+    int glitchWindowBits = 4;
+    /**
+     * When true and R1 ^ R2 == 0b11 (same aligned-4 block), the OR-term
+     * row fails to open, yielding a *three*-row activation (group B's
+     * ComputeDRAM behaviour). Otherwise all 2^k combinations open.
+     */
+    bool dropsOrRowForAdjacentPairs = false;
+    /// @}
+
+    /** @name Charge-sharing weights */
+    /// @{
+    double weightFirstAct = 1.0;
+    double weightSecondAct = 1.0;
+    double weightImplicitAnd = 1.0;
+    double weightImplicitOther = 1.0;
+    /** Lognormal sigma of the per-cell coupling multiplier. */
+    double couplingSigma = 0.14;
+    /**
+     * Lognormal sigma of the per-trial, per-row coupling jitter
+     * (wordline-overlap timing varies between executions). Source of
+     * the flaky columns behind the paper's 9.1% MAJ3 error rate.
+     */
+    double trialJitterSigma = 0.036;
+    /// @}
+
+    /** @name Sense amplifier */
+    /// @{
+    /**
+     * Per-column offset mean in volts (bit-line delta domain). Sets the
+     * group's PUF Hamming weight: HW ~= Phi(-mean / sigma).
+     */
+    double saOffsetMean = 0.0;
+    /** Per-column offset sigma in volts. */
+    double saOffsetSigma = 0.001;
+    /**
+     * Per-cell deviation of the interrupted-settling equilibrium from
+     * the bit-line midpoint, in volts (junction and coupling
+     * asymmetries). Seen by the sense amp divided by (C_b+C_c)/C_c,
+     * it dominates the per-column offset - which is what makes
+     * different rows of the same bank give *independent* PUF
+     * responses (the paper's large challenge space and NIST row).
+     */
+    double cellFracOffsetSigma = 0.020;
+    /** Per-operation thermal noise sigma in volts (at 20 C). */
+    double saNoiseSigma = 0.00015;
+    /**
+     * Per-cell thermal noise of one charge-sharing event in volts.
+     * Sets the residual jitter of repeated Frac operations and thereby
+     * the PUF's (small, nonzero) intra-HD.
+     */
+    double cellNoiseSigma = 0.0008;
+    /// @}
+
+    /** @name Interrupted-activation settling */
+    /// @{
+    /**
+     * Beta distribution of per-cell settling fraction alpha. Mean
+     * ~0.65: two Fracs reliably park any cell near V_dd/2 (Fig. 7
+     * shows the proof combination becoming the only result at two
+     * Fracs), while one Frac leaves a column-dependent mix.
+     */
+    double settleAlphaA = 8.0;
+    double settleAlphaB = 3.5;
+    /**
+     * Small fraction of cells whose wordline rises too slowly for the
+     * 1-cycle window; adds realistic tails without contradicting the
+     * paper's "fractional values can be stored in almost every bit".
+     */
+    double slowCellFraction = 0.01;
+    /** Settling fraction of slow cells. */
+    double slowCellAlpha = 0.05;
+    /**
+     * In an interrupted *multi*-row activation (Half-m) the final
+     * PRECHARGE lands right at the sense-amplifier enable point; for
+     * most columns the SA partially engages and drags the cells toward
+     * its decision rail instead of leaving them at the equilibrium
+     * voltage. This is the fraction of columns whose SA stays out
+     * (clean Half value; the paper's 16% "distinguishable" bits).
+     */
+    double halfMCleanFraction = 0.04;
+    /** How far (0..1) the partially-engaged SA drives cells to rail. */
+    double halfMSaDrive = 0.9;
+    /**
+     * Bit-line delta (volts) above which the SA engages regardless of
+     * the column's halfMCleanFraction draw: strongly driven columns
+     * (all-same initial values) cross the sense threshold early, so
+     * "weak" ones/zeros get restored toward the rail - which is why
+     * they behave like normal values in the paper's Fig. 8.
+     */
+    double halfMEngageDelta = 0.12;
+    /// @}
+
+    /** @name Leakage */
+    /// @{
+    /**
+     * Lognormal median of the cell leakage time constant, in hours.
+     * Deliberately heavy: Fig. 6's ~44% "long retention" category are
+     * cells that keep a >12h retention even after five Fracs, which
+     * requires tau in the several-hundred-hour range once the cell
+     * sits a few tens of mV above its sense threshold.
+     */
+    double tauMedianHours = 800.0;
+    /** Lognormal sigma (natural log domain). */
+    double tauSigma = 1.8;
+    /**
+     * Fraction of pathologically leaky cells (retention down to
+     * seconds; the paper cites <1e-4 of cells). These are what
+     * retention-failure DRAM PUFs key on.
+     */
+    double leakyCellFraction = 3e-4;
+    /** Tau multiplier of leaky cells (seconds-scale retention). */
+    double leakyTauScale = 1e-4;
+    /** Fraction of variable-retention-time cells. */
+    double vrtFraction = 5e-3;
+    /** VRT fast-state tau as a fraction of the cell's nominal tau. */
+    double vrtFastRatio = 0.02;
+    /**
+     * Slow cells (high access-transistor V_th) also leak less - the
+     * same V_th controls both the wordline response and subthreshold
+     * leakage. Multiplier on their tau median.
+     */
+    double slowCellTauBoost = 20.0;
+    /// @}
+
+    /** @name Cell polarity layout */
+    /// @{
+    /** Odd rows hold anti-cells when true (see paper Sec. II-C). */
+    bool oddRowsAntiCells = true;
+    /// @}
+
+    /** Charge-sharing weight for a role. */
+    double roleWeight(RowRole role) const;
+};
+
+/** Profile for one group; data mirrors Table I. */
+const VendorProfile &vendorProfile(DramGroup g);
+
+/** Groups that support Frac (A-I). */
+std::vector<DramGroup> fracCapableGroups();
+
+/** Groups that support four-row activation (B, C, D). */
+std::vector<DramGroup> fourRowCapableGroups();
+
+} // namespace fracdram::sim
+
+#endif // FRACDRAM_SIM_VENDOR_HH

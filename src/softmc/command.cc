@@ -1,0 +1,112 @@
+#include "softmc/command.hh"
+
+#include "common/logging.hh"
+
+namespace fracdram::softmc
+{
+
+std::string
+commandKindName(CommandKind kind)
+{
+    switch (kind) {
+      case CommandKind::Act:
+        return "ACT";
+      case CommandKind::Pre:
+        return "PRE";
+      case CommandKind::PreAll:
+        return "PREA";
+      case CommandKind::Read:
+        return "RD";
+      case CommandKind::Write:
+        return "WR";
+      case CommandKind::Refresh:
+        return "REF";
+      case CommandKind::Nop:
+        return "NOP";
+    }
+    panic("unknown CommandKind");
+}
+
+CommandSequence &
+CommandSequence::push(Command cmd)
+{
+    cmds_.push_back({cursor_, cmd});
+    ++cursor_;
+    return *this;
+}
+
+CommandSequence &
+CommandSequence::act(BankAddr bank, RowAddr row)
+{
+    return push({CommandKind::Act, bank, row, -1});
+}
+
+CommandSequence &
+CommandSequence::pre(BankAddr bank)
+{
+    return push({CommandKind::Pre, bank, 0, -1});
+}
+
+CommandSequence &
+CommandSequence::preAll()
+{
+    return push({CommandKind::PreAll, 0, 0, -1});
+}
+
+CommandSequence &
+CommandSequence::read(BankAddr bank)
+{
+    return push({CommandKind::Read, bank, 0, -1});
+}
+
+CommandSequence &
+CommandSequence::write(BankAddr bank, BitVector data)
+{
+    payloads_.push_back(std::move(data));
+    return push({CommandKind::Write, bank, 0,
+                 static_cast<int>(payloads_.size()) - 1});
+}
+
+CommandSequence &
+CommandSequence::refresh()
+{
+    return push({CommandKind::Refresh, 0, 0, -1});
+}
+
+CommandSequence &
+CommandSequence::idle(Cycles cycles)
+{
+    cursor_ += cycles;
+    return *this;
+}
+
+const BitVector &
+CommandSequence::payload(int index) const
+{
+    panic_if(index < 0 ||
+                 static_cast<std::size_t>(index) >= payloads_.size(),
+             "bad payload index %d", index);
+    return payloads_[static_cast<std::size_t>(index)];
+}
+
+std::string
+CommandSequence::toString() const
+{
+    std::string out;
+    for (const auto &tc : cmds_) {
+        out += strprintf("@%llu %s",
+                         static_cast<unsigned long long>(tc.cycle),
+                         commandKindName(tc.cmd.kind).c_str());
+        if (tc.cmd.kind == CommandKind::Act) {
+            out += strprintf("(b%u,r%u)", tc.cmd.bank, tc.cmd.row);
+        } else if (tc.cmd.kind == CommandKind::Pre ||
+                   tc.cmd.kind == CommandKind::Read ||
+                   tc.cmd.kind == CommandKind::Write) {
+            out += strprintf("(b%u)", tc.cmd.bank);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace fracdram::softmc

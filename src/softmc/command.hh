@@ -1,0 +1,112 @@
+/**
+ * @file
+ * DRAM command encoding and timed command sequences.
+ *
+ * SoftMC exposes the raw DDR command bus to software: a program is a
+ * list of commands with explicit cycle offsets, which is exactly how
+ * FracDRAM's primitives are expressed. CommandSequence is a small
+ * builder over that representation.
+ */
+
+#ifndef FRACDRAM_SOFTMC_COMMAND_HH
+#define FRACDRAM_SOFTMC_COMMAND_HH
+
+#include <string>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/types.hh"
+
+namespace fracdram::softmc
+{
+
+/** DDR3 command kinds used by this controller. */
+enum class CommandKind
+{
+    Act,     //!< ACTIVATE(bank, row)
+    Pre,     //!< PRECHARGE(bank)
+    PreAll,  //!< PRECHARGE all banks
+    Read,    //!< READ burst (whole row in this model)
+    Write,   //!< WRITE burst (whole row in this model)
+    Refresh, //!< REFRESH (all banks)
+    Nop,     //!< explicit idle marker (timing only)
+};
+
+/** Printable name of a command kind. */
+std::string commandKindName(CommandKind kind);
+
+/**
+ * One command with its operands. Write data is stored by index into
+ * the owning sequence's payload table to keep Command cheap to copy.
+ */
+struct Command
+{
+    CommandKind kind = CommandKind::Nop;
+    BankAddr bank = 0;
+    RowAddr row = 0;
+    int payload = -1; //!< index into CommandSequence write payloads
+};
+
+/** A command scheduled at an absolute cycle within a sequence. */
+struct TimedCommand
+{
+    Cycles cycle = 0;
+    Command cmd;
+};
+
+/**
+ * Builder for timed command sequences.
+ *
+ * Commands are appended at the current cursor, which advances by one
+ * cycle per command (back-to-back issue, the FracDRAM default);
+ * idle() inserts extra dead cycles.
+ */
+class CommandSequence
+{
+  public:
+    CommandSequence() = default;
+
+    /** @name Builder interface (each returns *this for chaining) */
+    /// @{
+    CommandSequence &act(BankAddr bank, RowAddr row);
+    CommandSequence &pre(BankAddr bank);
+    CommandSequence &preAll();
+    CommandSequence &read(BankAddr bank);
+    CommandSequence &write(BankAddr bank, BitVector data);
+    CommandSequence &refresh();
+    /** Insert @p cycles idle cycles before the next command. */
+    CommandSequence &idle(Cycles cycles);
+    /// @}
+
+    /** Scheduled commands, in issue order. */
+    const std::vector<TimedCommand> &commands() const { return cmds_; }
+
+    /** Write payload for a command's payload index. */
+    const BitVector &payload(int index) const;
+
+    /** Cycle at which the next command would be issued. */
+    Cycles cursor() const { return cursor_; }
+
+    /** End-to-end length of the sequence in cycles. */
+    Cycles lengthCycles() const { return cursor_; }
+
+    /** Number of scheduled commands. */
+    std::size_t size() const { return cmds_.size(); }
+
+    /** Whether the sequence holds no commands. */
+    bool empty() const { return cmds_.empty(); }
+
+    /** Render as a compact textual trace (for logs and tests). */
+    std::string toString() const;
+
+  private:
+    CommandSequence &push(Command cmd);
+
+    std::vector<TimedCommand> cmds_;
+    std::vector<BitVector> payloads_;
+    Cycles cursor_ = 0;
+};
+
+} // namespace fracdram::softmc
+
+#endif // FRACDRAM_SOFTMC_COMMAND_HH

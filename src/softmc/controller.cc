@@ -1,0 +1,227 @@
+#include "softmc/controller.hh"
+
+#include "common/logging.hh"
+
+namespace fracdram::softmc
+{
+
+void
+CycleAccountant::add(const std::string &label, Cycles cycles)
+{
+    cycles_[label] += cycles;
+    counts_[label] += 1;
+}
+
+Cycles
+CycleAccountant::of(const std::string &label) const
+{
+    const auto it = cycles_.find(label);
+    return it == cycles_.end() ? 0 : it->second;
+}
+
+std::size_t
+CycleAccountant::countOf(const std::string &label) const
+{
+    const auto it = counts_.find(label);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+Cycles
+CycleAccountant::total() const
+{
+    Cycles t = 0;
+    for (const auto &[label, c] : cycles_)
+        t += c;
+    return t;
+}
+
+void
+CycleAccountant::clear()
+{
+    cycles_.clear();
+    counts_.clear();
+}
+
+MemoryController::MemoryController(sim::DramChip &chip, bool enforce_spec)
+    : chip_(chip), spec_(TimingSpec::ddr3()), enforceSpec_(enforce_spec)
+{
+}
+
+MemoryController::ExecResult
+MemoryController::execute(const CommandSequence &seq,
+                          const std::string &label)
+{
+    if (enforceSpec_) {
+        const auto violations =
+            spec_.check(seq, chip_.dramParams().numBanks);
+        if (!violations.empty()) {
+            fatal("sequence '%s' violates JEDEC timing: @%llu %s "
+                  "(+%zu more)",
+                  label.c_str(),
+                  static_cast<unsigned long long>(violations[0].cycle),
+                  violations[0].what.c_str(), violations.size() - 1);
+        }
+    }
+
+    ExecResult result;
+    for (const auto &tc : seq.commands()) {
+        const Cycles cycle = clock_ + tc.cycle;
+        const auto &cmd = tc.cmd;
+        switch (cmd.kind) {
+          case CommandKind::Act:
+            chip_.act(cycle, cmd.bank, cmd.row);
+            break;
+          case CommandKind::Pre:
+            chip_.pre(cycle, cmd.bank);
+            break;
+          case CommandKind::PreAll:
+            chip_.preAll(cycle);
+            break;
+          case CommandKind::Read:
+            result.reads.push_back(chip_.read(cycle, cmd.bank));
+            break;
+          case CommandKind::Write:
+            chip_.write(cycle, cmd.bank, seq.payload(cmd.payload));
+            break;
+          case CommandKind::Refresh:
+            chip_.refresh(cycle);
+            break;
+          case CommandKind::Nop:
+            break;
+        }
+    }
+
+    const Cycles len = seq.lengthCycles();
+    // The bus goes quiet after the sequence: give the module enough
+    // cycles for any pending activation or close to resolve.
+    const Cycles margin = chip_.dramParams().saEnableCycles +
+                          chip_.dramParams().glitchAbortCycles + 2;
+    chip_.flushAll(clock_ + len + margin);
+    clock_ += len + margin;
+    chip_.advanceTime(static_cast<Seconds>(len + margin) * memCycleNs *
+                      1e-9);
+    accountant_.add(label, len);
+    result.cycles = len;
+    return result;
+}
+
+namespace
+{
+
+void
+idleUntil(CommandSequence &seq, Cycles target)
+{
+    panic_if(target < seq.cursor(),
+             "idleUntil target %llu before cursor %llu",
+             static_cast<unsigned long long>(target),
+             static_cast<unsigned long long>(seq.cursor()));
+    seq.idle(target - seq.cursor());
+}
+
+} // namespace
+
+Cycles
+MemoryController::readRowCycles() const
+{
+    // One x64 BL8 burst moves 512 bits.
+    const std::uint32_t cols = chip_.dramParams().colsPerRow;
+    const Cycles bursts = (cols + 511) / 512;
+    return bursts * cyclesPerBurst_;
+}
+
+void
+MemoryController::writeRow(BankAddr bank, RowAddr row,
+                           const BitVector &bits)
+{
+    CommandSequence seq;
+    seq.act(bank, row);
+    idleUntil(seq, spec_.tRcd);
+    seq.write(bank, bits);
+    const Cycles write_done = seq.cursor() + readRowCycles();
+    const Cycles pre_at =
+        std::max(write_done + spec_.tWr, spec_.tRas);
+    idleUntil(seq, pre_at);
+    seq.pre(bank);
+    idleUntil(seq, pre_at + spec_.tRp);
+    execute(seq, "writeRow");
+}
+
+BitVector
+MemoryController::readRow(BankAddr bank, RowAddr row)
+{
+    CommandSequence seq;
+    seq.act(bank, row);
+    idleUntil(seq, spec_.tRcd);
+    seq.read(bank);
+    const Cycles read_done = seq.cursor() + readRowCycles();
+    const Cycles pre_at =
+        std::max(read_done + spec_.tRtp, spec_.tRas);
+    idleUntil(seq, pre_at);
+    seq.pre(bank);
+    idleUntil(seq, pre_at + spec_.tRp);
+    auto result = execute(seq, "readRow");
+    panic_if(result.reads.size() != 1, "readRow expected one read");
+    return std::move(result.reads[0]);
+}
+
+BitVector
+MemoryController::toVoltageDomain(BankAddr bank, RowAddr row,
+                                  const BitVector &logic) const
+{
+    if (!chip_.rowIsAnti(bank, row))
+        return logic;
+    BitVector mask(logic.size(), true);
+    return logic ^ mask;
+}
+
+void
+MemoryController::writeRowVoltage(BankAddr bank, RowAddr row,
+                                  const BitVector &high_bits)
+{
+    // Anti-cell rows get complemented logic data so every cell holds
+    // the requested physical level (paper Sec. II-C).
+    writeRow(bank, row, toVoltageDomain(bank, row, high_bits));
+}
+
+BitVector
+MemoryController::readRowVoltage(BankAddr bank, RowAddr row)
+{
+    return toVoltageDomain(bank, row, readRow(bank, row));
+}
+
+void
+MemoryController::fillRowVoltage(BankAddr bank, RowAddr row, bool high)
+{
+    writeRowVoltage(
+        bank, row, BitVector(chip_.dramParams().colsPerRow, high));
+}
+
+void
+MemoryController::refreshAll()
+{
+    CommandSequence seq;
+    seq.preAll();
+    idleUntil(seq, spec_.tRp);
+    seq.refresh();
+    idleUntil(seq, spec_.tRp + spec_.tRfc);
+    execute(seq, "refresh");
+}
+
+void
+MemoryController::prechargeAllBanks()
+{
+    CommandSequence seq;
+    // Leave tRAS room in case a bank was (re)opened recently.
+    seq.idle(spec_.tRas);
+    seq.preAll();
+    idleUntil(seq, spec_.tRas + 1 + spec_.tRp);
+    execute(seq, "prechargeAll");
+}
+
+void
+MemoryController::waitSeconds(Seconds s)
+{
+    chip_.advanceTime(s);
+}
+
+} // namespace fracdram::softmc

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * SoftMC-style software memory controller.
+ *
+ * The controller executes timed command sequences against a simulated
+ * module, keeps a global cycle clock, converts elapsed cycles into
+ * simulated wall-clock time (so leakage is honest), and accounts
+ * cycles per labeled operation for the paper's latency numbers.
+ *
+ * It also provides the JEDEC-compliant host helpers (read/write a
+ * row) in both the logic and the voltage domain. The voltage-domain
+ * helpers implement the paper's Sec. II-C convention: anti-cell rows
+ * get complemented data so all cells physically hold the same voltage.
+ */
+
+#ifndef FRACDRAM_SOFTMC_CONTROLLER_HH
+#define FRACDRAM_SOFTMC_CONTROLLER_HH
+
+#include <map>
+#include <string>
+
+#include "common/bitvec.hh"
+#include "common/types.hh"
+#include "sim/chip.hh"
+#include "softmc/command.hh"
+#include "softmc/timing.hh"
+
+namespace fracdram::softmc
+{
+
+/**
+ * Accumulates memory cycles per labeled operation class.
+ */
+class CycleAccountant
+{
+  public:
+    /** Charge @p cycles to @p label. */
+    void add(const std::string &label, Cycles cycles);
+
+    /** Cycles charged to a label (0 when never charged). */
+    Cycles of(const std::string &label) const;
+
+    /** Number of executions charged to a label. */
+    std::size_t countOf(const std::string &label) const;
+
+    /** Total cycles across all labels. */
+    Cycles total() const;
+
+    /** Reset all counters. */
+    void clear();
+
+    /** Labeled totals, sorted by label. */
+    const std::map<std::string, Cycles> &byLabel() const
+    {
+        return cycles_;
+    }
+
+  private:
+    std::map<std::string, Cycles> cycles_;
+    std::map<std::string, std::size_t> counts_;
+};
+
+/**
+ * The software memory controller driving one module.
+ */
+class MemoryController
+{
+  public:
+    /**
+     * @param chip module to drive
+     * @param enforce_spec refuse sequences that violate JEDEC timing
+     *        (host-helper mode); primitives need this off
+     */
+    explicit MemoryController(sim::DramChip &chip,
+                              bool enforce_spec = false);
+
+    /** Result of executing one sequence. */
+    struct ExecResult
+    {
+        std::vector<BitVector> reads; //!< data of READ commands
+        Cycles cycles = 0;            //!< sequence length
+    };
+
+    /**
+     * Execute a sequence against the module.
+     *
+     * All pending activations/closes are resolved at the end of the
+     * sequence (the bus goes quiet), and simulated time advances by
+     * the sequence length.
+     *
+     * @param seq sequence to run
+     * @param label accountant label to charge
+     */
+    ExecResult execute(const CommandSequence &seq,
+                       const std::string &label = "sequence");
+
+    /** @name JEDEC-compliant host helpers (logic domain) */
+    /// @{
+    /** Write a full row of logic data. */
+    void writeRow(BankAddr bank, RowAddr row, const BitVector &bits);
+    /** Read a full row of logic data (normal destructive-restore). */
+    BitVector readRow(BankAddr bank, RowAddr row);
+    /// @}
+
+    /** @name Voltage-domain helpers (paper Sec. II-C convention) */
+    /// @{
+    /** Write so that bit=1 means the cell holds V_dd. */
+    void writeRowVoltage(BankAddr bank, RowAddr row,
+                         const BitVector &high_bits);
+    /** Read where bit=1 means the cell held a high voltage. */
+    BitVector readRowVoltage(BankAddr bank, RowAddr row);
+    /** Fill a row with one physical level. */
+    void fillRowVoltage(BankAddr bank, RowAddr row, bool high);
+    /// @}
+
+    /** Issue a REFRESH to the module (all banks). */
+    void refreshAll();
+
+    /**
+     * JEDEC-compliant precharge-all. Useful after out-of-spec
+     * sequences on timing-checker modules, which can leave a bank
+     * open when they drop the sequence's (too-early) PRECHARGE.
+     */
+    void prechargeAllBanks();
+
+    /** Let simulated wall-clock time pass (no commands issued). */
+    void waitSeconds(Seconds s);
+
+    /** Convert logic bits to/from the voltage domain for a row. */
+    BitVector toVoltageDomain(BankAddr bank, RowAddr row,
+                              const BitVector &logic) const;
+
+    /** Cycles a full-row readout costs, including burst transfers. */
+    Cycles readRowCycles() const;
+
+    /** Cycles of one burst transfer (default 4; optimized MCs: 2). */
+    void setCyclesPerBurst(Cycles c) { cyclesPerBurst_ = c; }
+    Cycles cyclesPerBurst() const { return cyclesPerBurst_; }
+
+    /** Whether JEDEC timing is being enforced on execute(). */
+    bool enforcesSpec() const { return enforceSpec_; }
+    void setEnforceSpec(bool enforce) { enforceSpec_ = enforce; }
+
+    const TimingSpec &spec() const { return spec_; }
+    CycleAccountant &accountant() { return accountant_; }
+    sim::DramChip &chip() { return chip_; }
+
+    /** Global cycle clock (monotone across sequences). */
+    Cycles nowCycles() const { return clock_; }
+
+  private:
+    sim::DramChip &chip_;
+    TimingSpec spec_;
+    bool enforceSpec_;
+    Cycles clock_ = 0;
+    Cycles cyclesPerBurst_ = 4;
+    CycleAccountant accountant_;
+};
+
+} // namespace fracdram::softmc
+
+#endif // FRACDRAM_SOFTMC_CONTROLLER_HH

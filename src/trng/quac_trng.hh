@@ -1,0 +1,93 @@
+/**
+ * @file
+ * QUAC-TRNG-style true random number generator on the four-row
+ * activation (Olgun et al., ISCA'21 - the related work whose DDR4
+ * findings the paper builds on, Secs. II-D and VII).
+ *
+ * Initializing the four simultaneously-opened rows with two ones and
+ * two zeros parks the bit-lines near the sense threshold; columns
+ * whose static margin is inside the noise band resolve *differently
+ * on every activation*. Per-activation randomness has two parts:
+ * independent per-column sense noise, and wordline-timing jitter
+ * shared by all columns of one activation - so raw samples carry
+ * real but *correlated* entropy. Like the original QUAC-TRNG, the
+ * generator therefore conditions blocks of raw samples with SHA-256,
+ * assuming a deliberately conservative entropy per sample.
+ */
+
+#ifndef FRACDRAM_TRNG_QUAC_TRNG_HH
+#define FRACDRAM_TRNG_QUAC_TRNG_HH
+
+#include <cstddef>
+
+#include "common/bitvec.hh"
+#include "common/types.hh"
+#include "softmc/controller.hh"
+
+namespace fracdram::trng
+{
+
+/**
+ * True random number generator over one module.
+ */
+class QuacTrng
+{
+  public:
+    /**
+     * @param mc controller (enforcement must be off); the module must
+     *        support four-row activation (groups B, C, D, M)
+     * @param bank bank holding the generator quadruple
+     * @param r1 first activated row (default 8: quadruple {0,1,8,9})
+     * @param r2 second activated row
+     */
+    explicit QuacTrng(softmc::MemoryController &mc, BankAddr bank = 0,
+                      RowAddr r1 = 8, RowAddr r2 = 1);
+
+    /**
+     * One raw sample: re-initialize the quadruple with the two-ones/
+     * two-zeros pattern, run the full four-row activation, read the
+     * sensed result. Deterministic columns repeat; metastable columns
+     * flip randomly.
+     */
+    BitVector rawSample();
+
+    /**
+     * Generate @p bits unbiased random bits: SHA-256 over blocks of
+     * raw samples, sized by the assumed entropy per sample.
+     */
+    BitVector generate(std::size_t bits);
+
+    /**
+     * Conservative entropy assumption (bits per raw sample) used to
+     * size the conditioning blocks. Default 4.
+     */
+    void setAssumedEntropyPerSample(double bits);
+
+    /** Raw samples conditioned into each 256-bit output block. */
+    std::size_t samplesPerBlock() const;
+
+    /** Raw samples consumed by the last generate() call. */
+    std::size_t rawSamplesUsed() const { return rawSamplesUsed_; }
+
+    /** Memory cycles one raw sample costs on the bus. */
+    Cycles cyclesPerSample() const;
+
+    /**
+     * Model throughput in Mbit/s: extracted bits per DRAM bus time,
+     * measured over the last generate() call.
+     */
+    double throughputMbps() const;
+
+  private:
+    softmc::MemoryController &mc_;
+    BankAddr bank_;
+    RowAddr r1_, r2_;
+    std::vector<RowAddr> openedRows_;
+    double assumedEntropyPerSample_ = 4.0;
+    std::size_t rawSamplesUsed_ = 0;
+    std::size_t bitsGenerated_ = 0;
+};
+
+} // namespace fracdram::trng
+
+#endif // FRACDRAM_TRNG_QUAC_TRNG_HH

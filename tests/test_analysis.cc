@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests of the analysis harnesses at miniature scale: they must
+ * reproduce the paper's qualitative reading of each figure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/capability.hh"
+#include "analysis/fmaj_study.hh"
+#include "analysis/halfm_study.hh"
+#include "analysis/maj3_study.hh"
+#include "analysis/puf_study.hh"
+#include "analysis/retention_study.hh"
+#include "common/logging.hh"
+
+using namespace fracdram;
+using namespace fracdram::analysis;
+
+namespace
+{
+
+struct Quiet
+{
+    Quiet() { setVerbose(false); }
+} quiet;
+
+} // namespace
+
+TEST(CapabilityScan, MatchesTableI)
+{
+    const auto rows = scanAllGroups();
+    ASSERT_EQ(rows.size(), 12u);
+    for (const auto &row : rows) {
+        const auto &p = sim::vendorProfile(row.group);
+        EXPECT_EQ(row.probed.frac, p.supportsFrac)
+            << sim::groupName(row.group);
+        EXPECT_EQ(row.probed.threeRow, p.supportsThreeRow)
+            << sim::groupName(row.group);
+        EXPECT_EQ(row.probed.fourRow, p.supportsFourRow)
+            << sim::groupName(row.group);
+    }
+}
+
+TEST(RetentionStudyTest, MonotonicCategoryDominates)
+{
+    RetentionStudyParams params;
+    params.modules = 1;
+    params.rowsPerModule = 2;
+    params.dram.colsPerRow = 256;
+    const auto heat = retentionStudy(sim::DramGroup::B, params);
+    EXPECT_EQ(heat.cells, 2u * 256u);
+    EXPECT_NEAR(heat.fracLongRetention + heat.fracMonotonicDecrease +
+                    heat.fracOther,
+                1.0, 1e-9);
+    EXPECT_GT(heat.fracMonotonicDecrease, 0.3);
+    EXPECT_LT(heat.fracOther, 0.15);
+    // PDF columns normalized.
+    for (const auto &col : heat.pdf) {
+        double sum = 0.0;
+        for (const double f : col)
+            sum += f;
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+}
+
+TEST(Maj3StudyTest, ProofComboGrowsWithFracs)
+{
+    Maj3StudyParams params;
+    params.modules = 1;
+    params.subarraysPerModule = 1;
+    params.dram.colsPerRow = 256;
+    params.maxFracs = 3;
+    const auto series = maj3Study(params);
+    ASSERT_EQ(series.size(), 4u);
+    for (const auto &s : series) {
+        // Baseline: no proof; with Fracs the proof combo dominates.
+        EXPECT_LT(s.combos[0][maj3ProofComboIndex], 0.1) << s.label;
+        EXPECT_GT(s.combos[3][maj3ProofComboIndex], 0.8) << s.label;
+    }
+}
+
+TEST(HalfMStudyTest, MinorityDistinguishable)
+{
+    HalfMStudyParams params;
+    params.modules = 1;
+    params.subarraysPerModule = 2;
+    params.dram.colsPerRow = 256;
+    const auto r = halfMStudy(params);
+    EXPECT_GT(r.distinguishableHalf, 0.03);
+    EXPECT_LT(r.distinguishableHalf, 0.5);
+    // Weak values behave like rails.
+    EXPECT_GT(r.maj3WeakOnes[0], 0.5);
+    EXPECT_GT(r.maj3WeakZeros[3], 0.5);
+    // Normal ones retain; the references are populated.
+    EXPECT_GT(r.retentionNormalOne.back(), 0.8);
+    ASSERT_EQ(r.retentionFrac5.size(), 6u);
+}
+
+TEST(FMajStudyTest, CoverageImprovesWithFracs)
+{
+    FMajStudyParams params;
+    params.modules = 1;
+    params.subarraysPerModule = 1;
+    params.dram.colsPerRow = 128;
+    params.maxFracs = 3;
+    const auto r = fmajCoverageStudy(sim::DramGroup::C, params);
+    ASSERT_EQ(r.series.size(), 8u);
+    EXPECT_FALSE(r.hasBaseline);
+    for (const auto &s : r.series) {
+        EXPECT_LT(s.byNumFracs[0].mean, 0.5);
+        EXPECT_GT(s.byNumFracs[3].mean, s.byNumFracs[0].mean);
+    }
+}
+
+TEST(FMajStudyTest, GroupBHasBaseline)
+{
+    FMajStudyParams params;
+    params.modules = 1;
+    params.subarraysPerModule = 1;
+    params.dram.colsPerRow = 128;
+    params.maxFracs = 2;
+    const auto r = fmajCoverageStudy(sim::DramGroup::B, params);
+    EXPECT_TRUE(r.hasBaseline);
+    EXPECT_GT(r.baselineMaj3, 0.8);
+}
+
+TEST(FMajStudyTest, NonFourRowGroupRejected)
+{
+    FMajStudyParams params;
+    EXPECT_DEATH(fmajCoverageStudy(sim::DramGroup::E, params),
+                 "four rows");
+}
+
+TEST(FMajStabilityTest, FMajBeatsBaseline)
+{
+    FMajStabilityParams params;
+    params.modules = 1;
+    params.subarrays = 2;
+    params.trials = 60;
+    params.dram.colsPerRow = 128;
+    const auto base =
+        fmajStabilityStudy(sim::DramGroup::B, true, params);
+    const auto fm =
+        fmajStabilityStudy(sim::DramGroup::B, false, params);
+    EXPECT_LT(fm.meanErrorRate, base.meanErrorRate);
+    ASSERT_EQ(base.columnSuccess.size(), 1u);
+    // CDF data sorted ascending.
+    const auto &cs = base.columnSuccess[0];
+    for (std::size_t i = 1; i < cs.size(); ++i)
+        EXPECT_GE(cs[i], cs[i - 1]);
+}
+
+TEST(FMajStabilityTest, BaselineRequiresGroupB)
+{
+    FMajStabilityParams params;
+    EXPECT_DEATH(fmajStabilityStudy(sim::DramGroup::C, true, params),
+                 "group B");
+}
+
+TEST(PufStudyTest, IntraFarBelowInter)
+{
+    PufStudyParams params;
+    params.challenges = 4;
+    params.dram.colsPerRow = 512;
+    const auto r = pufStudy(params);
+    EXPECT_EQ(r.groups.size(), 9u); // frac-capable groups A-I
+    EXPECT_LT(r.maxIntraHd, 0.15);
+    EXPECT_GT(r.minInterHd, 0.2);
+    EXPECT_FALSE(r.crossGroupInterHd.empty());
+}
+
+TEST(PufEnvStudyTest, RobustAcrossEnvironment)
+{
+    PufStudyParams params;
+    params.modulesPerGroup = 1;
+    params.challenges = 3;
+    params.dram.colsPerRow = 512;
+    const auto r = pufEnvStudy(params);
+    EXPECT_LT(r.maxIntraVdd, 0.2);
+    EXPECT_GT(r.minInterVdd, 0.3);
+    ASSERT_EQ(r.temperatures.size(), 3u);
+    EXPECT_LE(r.temperatures[0].meanIntraHd,
+              r.temperatures[2].meanIntraHd + 0.02);
+}

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * White-box tests of the bank state machine and analog model: normal
+ * activation, interrupted activation (Frac), multi-row activation,
+ * row copy, leakage, and the timing-checker vendors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "sim/chip.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+
+namespace
+{
+
+DramParams
+smallParams()
+{
+    DramParams p;
+    p.numBanks = 2;
+    p.subarraysPerBank = 2;
+    p.rowsPerSubarray = 32;
+    p.colsPerRow = 256;
+    return p;
+}
+
+/** Write a full row (voltage domain) through the command interface. */
+void
+writeRowHigh(DramChip &chip, Cycles &t, BankAddr bank, RowAddr row,
+             bool high)
+{
+    BitVector bits(chip.dramParams().colsPerRow,
+                   high ^ chip.rowIsAnti(bank, row));
+    chip.act(t, bank, row);
+    t += 6;
+    chip.write(t, bank, bits);
+    t += 10;
+    chip.pre(t, bank);
+    t += 6;
+}
+
+double
+meanVoltage(DramChip &chip, BankAddr bank, RowAddr row)
+{
+    OnlineStats s;
+    for (ColAddr c = 0; c < chip.dramParams().colsPerRow; ++c)
+        s.add(chip.bank(bank).cellVoltage(row, c));
+    return s.mean();
+}
+
+} // namespace
+
+class BankTest : public ::testing::Test
+{
+  protected:
+    DramChip chip{DramGroup::B, 1, smallParams()};
+    Cycles t = 100;
+};
+
+TEST_F(BankTest, WriteSetsFullRails)
+{
+    writeRowHigh(chip, t, 0, 4, true);
+    for (ColAddr c = 0; c < 16; ++c)
+        EXPECT_DOUBLE_EQ(chip.bank(0).cellVoltage(4, c), 1.5);
+    writeRowHigh(chip, t, 0, 4, false);
+    for (ColAddr c = 0; c < 16; ++c)
+        EXPECT_DOUBLE_EQ(chip.bank(0).cellVoltage(4, c), 0.0);
+}
+
+TEST_F(BankTest, NormalActivationRestoresAndReads)
+{
+    writeRowHigh(chip, t, 0, 4, true);
+    chip.act(t, 0, 4);
+    t += 6;
+    const BitVector data = chip.read(t, 0);
+    t += 8; // close at tRAS so the restore completes
+    chip.pre(t, 0);
+    t += 6;
+    // Row 4 is a true-cell row: high voltage reads as logic one.
+    EXPECT_DOUBLE_EQ(data.hammingWeight(), 1.0);
+    // The activation restored the full level.
+    EXPECT_DOUBLE_EQ(chip.bank(0).cellVoltage(4, 0), 1.5);
+}
+
+TEST_F(BankTest, InterruptedActivationStoresFractionalValue)
+{
+    writeRowHigh(chip, t, 0, 4, true);
+    // Frac: ACT then PRE back-to-back.
+    chip.pre(t, 0);
+    t += 5;
+    chip.act(t, 0, 4);
+    chip.pre(t + 1, 0);
+    t += 10;
+    chip.flushAll(t);
+    const double mean = meanVoltage(chip, 0, 4);
+    EXPECT_LT(mean, 1.45);
+    EXPECT_GT(mean, 0.75);
+}
+
+TEST_F(BankTest, RepeatedFracConvergesTowardHalfVdd)
+{
+    writeRowHigh(chip, t, 0, 4, true);
+    double prev = meanVoltage(chip, 0, 4);
+    for (int i = 0; i < 5; ++i) {
+        chip.pre(t, 0);
+        t += 5;
+        chip.act(t, 0, 4);
+        chip.pre(t + 1, 0);
+        t += 10;
+        chip.flushAll(t);
+        const double mean = meanVoltage(chip, 0, 4);
+        EXPECT_LT(mean, prev) << "iteration " << i;
+        EXPECT_GT(mean, 0.75);
+        prev = mean;
+    }
+    // Five Fracs get the fast cells close to V_dd/2; slow cells keep
+    // the row average above it.
+    EXPECT_LT(prev, 1.2);
+}
+
+TEST_F(BankTest, FracFromZerosApproachesFromBelow)
+{
+    writeRowHigh(chip, t, 0, 4, false);
+    for (int i = 0; i < 3; ++i) {
+        chip.pre(t, 0);
+        t += 5;
+        chip.act(t, 0, 4);
+        chip.pre(t + 1, 0);
+        t += 10;
+    }
+    chip.flushAll(t);
+    const double mean = meanVoltage(chip, 0, 4);
+    EXPECT_GT(mean, 0.05);
+    EXPECT_LT(mean, 0.75);
+}
+
+TEST_F(BankTest, PerCellFracMonotonicity)
+{
+    // Voltage of every individual cell decreases monotonically with
+    // more Fracs (initial value all ones) - the property behind the
+    // paper's Fig. 6 category 2.
+    writeRowHigh(chip, t, 0, 4, true);
+    std::vector<double> prev(16);
+    for (ColAddr c = 0; c < 16; ++c)
+        prev[c] = chip.bank(0).cellVoltage(4, c);
+    for (int i = 0; i < 4; ++i) {
+        chip.pre(t, 0);
+        t += 5;
+        chip.act(t, 0, 4);
+        chip.pre(t + 1, 0);
+        t += 10;
+        chip.flushAll(t);
+        for (ColAddr c = 0; c < 16; ++c) {
+            const double v = chip.bank(0).cellVoltage(4, c);
+            EXPECT_LE(v, prev[c] + 0.01) << "col " << c;
+            // Cells settle toward V_dd/2 plus their own (small)
+            // equilibrium offset.
+            EXPECT_GE(v, 0.75 - 4.0 *
+                             chip.profile().cellFracOffsetSigma);
+            prev[c] = v;
+        }
+    }
+}
+
+TEST_F(BankTest, MultiRowActivationComputesSharedResult)
+{
+    // Rows {0,1,2} open together on group B; all-ones operands give
+    // an all-high result restored in every opened row.
+    for (const RowAddr r : {0u, 1u, 2u})
+        writeRowHigh(chip, t, 0, r, true);
+    chip.pre(t, 0);
+    t += 5;
+    chip.act(t, 0, 1);
+    chip.pre(t + 1, 0);
+    chip.act(t + 2, 0, 2);
+    t += 12;
+    chip.flushAll(t);
+    for (const RowAddr r : {0u, 1u, 2u})
+        EXPECT_GT(meanVoltage(chip, 0, r), 1.45) << "row " << r;
+}
+
+TEST_F(BankTest, InterruptedMultiRowLeavesFractionalCells)
+{
+    // Half-m with two high and two low rows: opened cells end away
+    // from the rails.
+    writeRowHigh(chip, t, 0, 8, true);  // R1
+    writeRowHigh(chip, t, 0, 0, true);  // R3
+    writeRowHigh(chip, t, 0, 1, false); // R2
+    writeRowHigh(chip, t, 0, 9, false); // R4
+    chip.pre(t, 0);
+    t += 5;
+    chip.act(t, 0, 8);
+    chip.pre(t + 1, 0);
+    chip.act(t + 2, 0, 1);
+    chip.pre(t + 3, 0);
+    t += 12;
+    chip.flushAll(t);
+    // Rows stay between the rails on average.
+    const double v0 = meanVoltage(chip, 0, 0);
+    EXPECT_GT(v0, 0.05);
+    EXPECT_LT(v0, 1.45);
+}
+
+TEST_F(BankTest, RowCopy)
+{
+    // Copy row 20 (all high) -> row 21 (all low). The pair differs in
+    // one bit, so the second ACT reconnects both rows to the
+    // still-driven bit-lines and row 21 latches row 20's data.
+    writeRowHigh(chip, t, 0, 20, true);
+    writeRowHigh(chip, t, 0, 21, false);
+    chip.pre(t, 0);
+    t += 5;
+    chip.act(t, 0, 20);
+    t += 4; // let the sense amps latch
+    chip.pre(t, 0);
+    chip.act(t + 1, 0, 21); // 20^21=1: opens {20,21}, copies into 21
+    t += 3;
+    chip.pre(t, 0);
+    t += 6;
+    chip.flushAll(t);
+    EXPECT_GT(meanVoltage(chip, 0, 21), 1.45);
+}
+
+TEST_F(BankTest, LeakageDischargesCells)
+{
+    writeRowHigh(chip, t, 0, 4, true);
+    const double before = meanVoltage(chip, 0, 4);
+    chip.advanceTime(3600.0 * 3000.0); // far beyond the tau median
+    const double after = meanVoltage(chip, 0, 4);
+    EXPECT_LT(after, before * 0.7);
+}
+
+TEST_F(BankTest, RefreshRestoresLeakedCells)
+{
+    writeRowHigh(chip, t, 0, 4, true);
+    chip.advanceTime(600.0); // well within retention for most cells
+    chip.refresh(t);
+    // Most cells should be back at full level.
+    OnlineStats s;
+    for (ColAddr c = 0; c < chip.dramParams().colsPerRow; ++c)
+        s.add(chip.bank(0).cellVoltage(4, c));
+    EXPECT_GT(s.mean(), 1.4);
+}
+
+TEST_F(BankTest, RefreshDestroysFractionalValues)
+{
+    writeRowHigh(chip, t, 0, 4, true);
+    for (int i = 0; i < 3; ++i) {
+        chip.pre(t, 0);
+        t += 5;
+        chip.act(t, 0, 4);
+        chip.pre(t + 1, 0);
+        t += 10;
+    }
+    chip.flushAll(t);
+    ASSERT_LT(meanVoltage(chip, 0, 4), 1.2);
+    chip.refresh(t);
+    // Every cell snapped back to a rail.
+    for (ColAddr c = 0; c < 32; ++c) {
+        const double v = chip.bank(0).cellVoltage(4, c);
+        EXPECT_TRUE(v < 0.01 || v > 1.49) << "col " << c << " v=" << v;
+    }
+}
+
+TEST_F(BankTest, AntiRowsStoreComplementVoltage)
+{
+    // Row 5 is odd -> anti cells: logic one is stored as 0 V.
+    BitVector ones(chip.dramParams().colsPerRow, true);
+    chip.act(t, 0, 5);
+    t += 6;
+    chip.write(t, 0, ones);
+    t += 10;
+    chip.pre(t, 0);
+    t += 6;
+    EXPECT_DOUBLE_EQ(chip.bank(0).cellVoltage(5, 0), 0.0);
+    // And reads back as logic one.
+    chip.act(t, 0, 5);
+    t += 6;
+    const BitVector data = chip.read(t, 0);
+    EXPECT_TRUE(data.get(0));
+}
+
+TEST(BankChecker, TimingCheckerDropsFrac)
+{
+    DramChip chip(DramGroup::J, 1, smallParams());
+    Cycles t = 100;
+    writeRowHigh(chip, t, 0, 4, true);
+    // Attempt a Frac: the PRE is dropped (tRAS unmet), the activation
+    // completes normally, the cells stay at full level.
+    chip.pre(t, 0);
+    t += 5;
+    chip.act(t, 0, 4);
+    chip.pre(t + 1, 0); // dropped
+    t += 30;
+    chip.pre(t, 0); // legal close (tRAS satisfied)
+    t += 6;
+    chip.flushAll(t);
+    EXPECT_DOUBLE_EQ(chip.bank(0).cellVoltage(4, 0), 1.5);
+}
+
+TEST(BankChecker, TimingCheckerBlocksMultiRow)
+{
+    DramChip chip(DramGroup::J, 1, smallParams());
+    Cycles t = 100;
+    writeRowHigh(chip, t, 0, 1, true);
+    writeRowHigh(chip, t, 0, 2, false);
+    chip.pre(t, 0);
+    t += 5;
+    chip.act(t, 0, 1);
+    chip.pre(t + 1, 0);    // dropped
+    chip.act(t + 2, 0, 2); // dropped (bank still open)
+    t += 30;
+    chip.pre(t, 0);
+    t += 6;
+    chip.flushAll(t);
+    // Nothing shared: both rows keep their data.
+    EXPECT_GT(meanVoltage(chip, 0, 1), 1.45);
+    EXPECT_LT(meanVoltage(chip, 0, 2), 0.05);
+}
+
+TEST_F(BankTest, DiscardRowForgetsState)
+{
+    writeRowHigh(chip, t, 0, 4, true);
+    EXPECT_TRUE(chip.bank(0).rowAllocated(4));
+    chip.bank(0).discardRow(4);
+    EXPECT_FALSE(chip.bank(0).rowAllocated(4));
+}
+
+TEST_F(BankTest, StartupContentIsMixed)
+{
+    // Never-written rows power up with arbitrary (but deterministic)
+    // data.
+    OnlineStats s;
+    for (ColAddr c = 0; c < chip.dramParams().colsPerRow; ++c)
+        s.add(chip.bank(1).cellVoltage(30, c));
+    EXPECT_GT(s.mean(), 0.3);
+    EXPECT_LT(s.mean(), 1.2);
+}
+
+TEST_F(BankTest, RestoreTruncationLeavesPartialCharge)
+{
+    // Closing a row before tRAS freezes a partial restore level
+    // (refs [17,18] of the paper); a full-tRAS close restores fully.
+    writeRowHigh(chip, t, 0, 4, true);
+    chip.act(t, 0, 4);
+    chip.pre(t + 6, 0); // well before fullRestoreCycles (14)
+    t += 20;
+    chip.flushAll(t);
+    const double truncated = meanVoltage(chip, 0, 4);
+    EXPECT_GT(truncated, 0.8);
+    EXPECT_LT(truncated, 1.45);
+
+    chip.act(t, 0, 4);
+    chip.pre(t + 14, 0); // exactly tRAS
+    t += 30;
+    chip.flushAll(t);
+    EXPECT_GT(meanVoltage(chip, 0, 4), 1.45);
+}
+
+TEST_F(BankTest, RestoreTruncationMonotoneInOpenTime)
+{
+    writeRowHigh(chip, t, 0, 4, true);
+    double prev = 0.0;
+    for (const Cycles open_for : {4u, 6u, 9u, 12u, 14u}) {
+        chip.act(t, 0, 4);
+        chip.pre(t + open_for, 0);
+        t += open_for + 20;
+        chip.flushAll(t);
+        const double v = meanVoltage(chip, 0, 4);
+        EXPECT_GE(v, prev - 1e-9) << "open for " << open_for;
+        prev = v;
+    }
+    EXPECT_GT(prev, 1.45); // full restore at tRAS
+}

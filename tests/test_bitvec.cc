@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for BitVector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitvec.hh"
+
+using namespace fracdram;
+
+TEST(BitVector, ConstructAndFill)
+{
+    BitVector v(100, false);
+    EXPECT_EQ(v.size(), 100u);
+    EXPECT_EQ(v.popcount(), 0u);
+    v.fill(true);
+    EXPECT_EQ(v.popcount(), 100u);
+    EXPECT_DOUBLE_EQ(v.hammingWeight(), 1.0);
+}
+
+TEST(BitVector, SetGet)
+{
+    BitVector v(130);
+    v.set(0, true);
+    v.set(64, true); // word boundary
+    v.set(129, true);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_TRUE(v.get(64));
+    EXPECT_TRUE(v.get(129));
+    EXPECT_FALSE(v.get(1));
+    EXPECT_EQ(v.popcount(), 3u);
+    v.set(64, false);
+    EXPECT_FALSE(v.get(64));
+}
+
+TEST(BitVector, PushBackAcrossWords)
+{
+    BitVector v;
+    for (int i = 0; i < 200; ++i)
+        v.pushBack(i % 3 == 0);
+    EXPECT_EQ(v.size(), 200u);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(v.get(i), i % 3 == 0) << i;
+}
+
+TEST(BitVector, Append)
+{
+    BitVector a = BitVector::fromString("101");
+    BitVector b = BitVector::fromString("0011");
+    a.append(b);
+    EXPECT_EQ(a.toString(), "1010011");
+}
+
+TEST(BitVector, FromToString)
+{
+    const std::string s = "1100101110";
+    EXPECT_EQ(BitVector::fromString(s).toString(), s);
+}
+
+TEST(BitVector, HammingDistance)
+{
+    const auto a = BitVector::fromString("10101");
+    const auto b = BitVector::fromString("10010");
+    EXPECT_EQ(a.hammingDistance(b), 3u);
+    EXPECT_EQ(a.hammingDistance(a), 0u);
+}
+
+TEST(BitVector, Xor)
+{
+    const auto a = BitVector::fromString("1100");
+    const auto b = BitVector::fromString("1010");
+    EXPECT_EQ((a ^ b).toString(), "0110");
+}
+
+TEST(BitVector, Equality)
+{
+    const auto a = BitVector::fromString("111");
+    const auto b = BitVector::fromString("111");
+    const auto c = BitVector::fromString("110");
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(BitVector, TailMasking)
+{
+    // A 65-bit vector filled with ones must report exactly 65.
+    BitVector v(65, true);
+    EXPECT_EQ(v.popcount(), 65u);
+    v.fill(false);
+    v.fill(true);
+    EXPECT_EQ(v.popcount(), 65u);
+}
+
+TEST(BitVector, HammingWeightEmpty)
+{
+    BitVector v;
+    EXPECT_DOUBLE_EQ(v.hammingWeight(), 0.0);
+}

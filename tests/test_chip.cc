@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for DramChip: construction, routing, environment, time.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/chip.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+
+namespace
+{
+
+DramParams
+tinyParams()
+{
+    DramParams p;
+    p.numBanks = 4;
+    p.subarraysPerBank = 2;
+    p.rowsPerSubarray = 16;
+    p.colsPerRow = 64;
+    return p;
+}
+
+} // namespace
+
+TEST(DramChip, GeometryAccessors)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    EXPECT_EQ(chip.dramParams().numBanks, 4u);
+    EXPECT_EQ(chip.dramParams().rowsPerBank(), 32u);
+    EXPECT_EQ(chip.dramParams().totalCells(), 4u * 32u * 64u);
+    EXPECT_EQ(chip.group(), DramGroup::B);
+    EXPECT_EQ(chip.serial(), 1u);
+    EXPECT_EQ(chip.profile().vendor, "SK Hynix");
+}
+
+TEST(DramChip, TimeAdvances)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    EXPECT_DOUBLE_EQ(chip.now(), 0.0);
+    chip.advanceTime(2.5);
+    EXPECT_DOUBLE_EQ(chip.now(), 2.5);
+    EXPECT_DEATH(chip.advanceTime(-1.0), "backwards");
+}
+
+TEST(DramChip, EnvironmentDefaults)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    EXPECT_DOUBLE_EQ(chip.env().vdd, 1.5);
+    EXPECT_DOUBLE_EQ(chip.env().temperatureC, 20.0);
+    EXPECT_DOUBLE_EQ(chip.env().leakageScale(), 1.0);
+}
+
+TEST(Environment, LeakageDoublesPerTenDegrees)
+{
+    Environment env;
+    env.temperatureC = 30.0;
+    EXPECT_NEAR(env.leakageScale(), 2.0, 1e-12);
+    env.temperatureC = 40.0;
+    EXPECT_NEAR(env.leakageScale(), 4.0, 1e-12);
+    env.temperatureC = 10.0;
+    EXPECT_NEAR(env.leakageScale(), 0.5, 1e-12);
+}
+
+TEST(Environment, NoiseScaleMildAndBounded)
+{
+    Environment env;
+    env.temperatureC = 60.0;
+    EXPECT_GT(env.noiseScale(), 1.0);
+    EXPECT_LT(env.noiseScale(), 3.0);
+    env.temperatureC = -60.0;
+    EXPECT_GE(env.noiseScale(), 0.25);
+}
+
+TEST(DramChip, LowerVddScalesWrites)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    chip.env().vdd = 1.4;
+    Cycles t = 10;
+    BitVector ones(64, true);
+    chip.act(t, 0, 0);
+    chip.write(t + 6, 0, ones);
+    chip.pre(t + 20, 0);
+    chip.flushAll(t + 30);
+    EXPECT_NEAR(chip.bank(0).cellVoltage(0, 0), 1.4, 1e-6);
+}
+
+TEST(DramChip, BankIndexChecked)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    EXPECT_DEATH(chip.bank(99), "out of range");
+}
+
+TEST(DramChip, RowIsAntiFollowsParity)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    EXPECT_FALSE(chip.rowIsAnti(0, 0));
+    EXPECT_TRUE(chip.rowIsAnti(0, 1));
+    EXPECT_FALSE(chip.rowIsAnti(1, 2));
+}
+
+TEST(DramChip, DiscardAllRows)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    chip.bank(0).cellVoltage(3, 0); // allocates
+    ASSERT_TRUE(chip.bank(0).rowAllocated(3));
+    chip.discardAllRows();
+    EXPECT_FALSE(chip.bank(0).rowAllocated(3));
+}
+
+TEST(DramChip, DistinctSerialsDistinctStartup)
+{
+    DramChip a(DramGroup::B, 1, tinyParams());
+    DramChip b(DramGroup::B, 2, tinyParams());
+    int same = 0;
+    for (ColAddr c = 0; c < 64; ++c) {
+        same += (a.bank(0).cellVoltage(0, c) > 0.75) ==
+                (b.bank(0).cellVoltage(0, c) > 0.75);
+    }
+    EXPECT_LT(same, 56);
+    EXPECT_GT(same, 8);
+}

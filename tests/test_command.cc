@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for command encoding and the sequence builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "softmc/command.hh"
+
+using namespace fracdram;
+using namespace fracdram::softmc;
+
+TEST(CommandSequence, CursorAdvancesPerCommand)
+{
+    CommandSequence seq;
+    seq.act(0, 5).pre(0).act(0, 6);
+    ASSERT_EQ(seq.size(), 3u);
+    EXPECT_EQ(seq.commands()[0].cycle, 0u);
+    EXPECT_EQ(seq.commands()[1].cycle, 1u);
+    EXPECT_EQ(seq.commands()[2].cycle, 2u);
+    EXPECT_EQ(seq.lengthCycles(), 3u);
+}
+
+TEST(CommandSequence, IdleInsertsGaps)
+{
+    CommandSequence seq;
+    seq.act(1, 2).idle(5).pre(1);
+    EXPECT_EQ(seq.commands()[1].cycle, 6u);
+    EXPECT_EQ(seq.lengthCycles(), 7u);
+}
+
+TEST(CommandSequence, OperandsPreserved)
+{
+    CommandSequence seq;
+    seq.act(3, 17);
+    const auto &cmd = seq.commands()[0].cmd;
+    EXPECT_EQ(cmd.kind, CommandKind::Act);
+    EXPECT_EQ(cmd.bank, 3u);
+    EXPECT_EQ(cmd.row, 17u);
+}
+
+TEST(CommandSequence, WritePayloads)
+{
+    CommandSequence seq;
+    BitVector a = BitVector::fromString("101");
+    BitVector b = BitVector::fromString("010");
+    seq.write(0, a).write(1, b);
+    EXPECT_EQ(seq.payload(seq.commands()[0].cmd.payload).toString(),
+              "101");
+    EXPECT_EQ(seq.payload(seq.commands()[1].cmd.payload).toString(),
+              "010");
+}
+
+TEST(CommandSequence, BadPayloadIndexDies)
+{
+    CommandSequence seq;
+    EXPECT_DEATH(seq.payload(0), "payload");
+}
+
+TEST(CommandSequence, EmptySequence)
+{
+    CommandSequence seq;
+    EXPECT_TRUE(seq.empty());
+    EXPECT_EQ(seq.lengthCycles(), 0u);
+}
+
+TEST(CommandSequence, ToStringTrace)
+{
+    CommandSequence seq;
+    seq.act(0, 1).pre(0).refresh();
+    const auto s = seq.toString();
+    EXPECT_NE(s.find("ACT(b0,r1)"), std::string::npos);
+    EXPECT_NE(s.find("PRE(b0)"), std::string::npos);
+    EXPECT_NE(s.find("REF"), std::string::npos);
+}
+
+TEST(CommandKindNames, AllNamed)
+{
+    EXPECT_EQ(commandKindName(CommandKind::Act), "ACT");
+    EXPECT_EQ(commandKindName(CommandKind::Pre), "PRE");
+    EXPECT_EQ(commandKindName(CommandKind::PreAll), "PREA");
+    EXPECT_EQ(commandKindName(CommandKind::Read), "RD");
+    EXPECT_EQ(commandKindName(CommandKind::Write), "WR");
+    EXPECT_EQ(commandKindName(CommandKind::Refresh), "REF");
+    EXPECT_EQ(commandKindName(CommandKind::Nop), "NOP");
+}

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Tests of the bulk bitwise compute engine and the planar adder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "compute/adder.hh"
+#include "compute/engine.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+using namespace fracdram::softmc;
+using namespace fracdram::compute;
+
+namespace
+{
+
+DramParams
+engineParams()
+{
+    DramParams p;
+    p.numBanks = 1;
+    p.subarraysPerBank = 1;
+    p.rowsPerSubarray = 128; // room for home rows
+    p.colsPerRow = 256;
+    return p;
+}
+
+BitVector
+randomBits(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    BitVector v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v.set(i, rng.chance(0.5));
+    return v;
+}
+
+/** Fraction of matching lanes between two vectors. */
+double
+agreement(const BitVector &a, const BitVector &b)
+{
+    return 1.0 - static_cast<double>(a.hammingDistance(b)) /
+                     static_cast<double>(a.size());
+}
+
+} // namespace
+
+class ComputeEngineTest : public ::testing::TestWithParam<DramGroup>
+{
+  protected:
+    ComputeEngineTest()
+        : chip(GetParam(), 1, engineParams()), mc(chip, false),
+          engine(mc)
+    {
+    }
+
+    DramChip chip;
+    MemoryController mc;
+    BitwiseEngine engine;
+};
+
+TEST_P(ComputeEngineTest, WriteReadRoundTrip)
+{
+    const auto bits = randomBits(engine.lanes(), 1);
+    const Value v = engine.alloc();
+    engine.write(v, bits);
+    EXPECT_TRUE(engine.read(v) == bits);
+}
+
+TEST_P(ComputeEngineTest, NotIsFreeAndExact)
+{
+    const auto bits = randomBits(engine.lanes(), 2);
+    const Value v = engine.alloc();
+    engine.write(v, bits);
+    const auto inverted = engine.read(engine.opNot(v));
+    EXPECT_EQ(inverted.hammingDistance(bits), bits.size());
+    EXPECT_EQ(engine.majOpsIssued(), 0u);
+}
+
+TEST_P(ComputeEngineTest, AndOrMostlyCorrect)
+{
+    const auto a_bits = randomBits(engine.lanes(), 3);
+    const auto b_bits = randomBits(engine.lanes(), 4);
+    const Value a = engine.alloc(), b = engine.alloc();
+    engine.write(a, a_bits);
+    engine.write(b, b_bits);
+
+    const auto and_result = engine.read(engine.opAnd(a, b));
+    const auto or_result = engine.read(engine.opOr(a, b));
+    BitVector and_expect(engine.lanes()), or_expect(engine.lanes());
+    for (std::size_t i = 0; i < engine.lanes(); ++i) {
+        and_expect.set(i, a_bits.get(i) && b_bits.get(i));
+        or_expect.set(i, a_bits.get(i) || b_bits.get(i));
+    }
+    EXPECT_GT(agreement(and_result, and_expect), 0.9);
+    EXPECT_GT(agreement(or_result, or_expect), 0.9);
+}
+
+TEST_P(ComputeEngineTest, XorMostlyCorrect)
+{
+    const auto a_bits = randomBits(engine.lanes(), 5);
+    const auto b_bits = randomBits(engine.lanes(), 6);
+    const Value a = engine.alloc(), b = engine.alloc();
+    engine.write(a, a_bits);
+    engine.write(b, b_bits);
+    const auto result = engine.read(engine.opXor(a, b));
+    EXPECT_GT(agreement(result, a_bits ^ b_bits), 0.85);
+}
+
+TEST_P(ComputeEngineTest, MajThreeOperands)
+{
+    const auto a_bits = randomBits(engine.lanes(), 7);
+    const auto b_bits = randomBits(engine.lanes(), 8);
+    const auto c_bits = randomBits(engine.lanes(), 9);
+    const Value a = engine.alloc(), b = engine.alloc(),
+                c = engine.alloc();
+    engine.write(a, a_bits);
+    engine.write(b, b_bits);
+    engine.write(c, c_bits);
+    const auto result = engine.read(engine.opMaj(a, b, c));
+    BitVector expect(engine.lanes());
+    for (std::size_t i = 0; i < engine.lanes(); ++i) {
+        expect.set(i, static_cast<int>(a_bits.get(i)) + b_bits.get(i) +
+                              c_bits.get(i) >=
+                          2);
+    }
+    EXPECT_GT(agreement(result, expect), 0.9);
+}
+
+TEST_P(ComputeEngineTest, CopyPreservesBothRails)
+{
+    const auto bits = randomBits(engine.lanes(), 10);
+    const Value v = engine.alloc();
+    engine.write(v, bits);
+    const Value c = engine.opCopy(v);
+    EXPECT_TRUE(engine.read(c) == bits);
+    const auto neg = engine.read(engine.opNot(c));
+    EXPECT_EQ(neg.hammingDistance(bits), bits.size());
+}
+
+TEST_P(ComputeEngineTest, AllocatorRecyclesRows)
+{
+    const std::size_t before = engine.freeRows();
+    const Value v = engine.alloc();
+    EXPECT_EQ(engine.freeRows(), before - 2);
+    engine.release(v);
+    EXPECT_EQ(engine.freeRows(), before);
+}
+
+TEST_P(ComputeEngineTest, CyclesAccumulate)
+{
+    const Value a = engine.alloc(), b = engine.alloc();
+    engine.write(a, BitVector(engine.lanes(), true));
+    engine.write(b, BitVector(engine.lanes(), false));
+    const Cycles before = engine.cyclesUsed();
+    engine.opAnd(a, b);
+    EXPECT_GT(engine.cyclesUsed(), before);
+    EXPECT_EQ(engine.majOpsIssued(), 2u); // both rails
+}
+
+INSTANTIATE_TEST_SUITE_P(MajorityCapableGroups, ComputeEngineTest,
+                         ::testing::Values(DramGroup::B, DramGroup::C,
+                                           DramGroup::M),
+                         [](const auto &info) {
+                             return groupName(info.param);
+                         });
+
+TEST(ComputeEngineValidation, RejectsNonMajorityGroups)
+{
+    DramChip chip(DramGroup::E, 1, engineParams());
+    MemoryController mc(chip, false);
+    EXPECT_DEATH(BitwiseEngine{mc}, "majority");
+}
+
+TEST(PlanarAdder, StoreLoadRoundTrip)
+{
+    DramChip chip(DramGroup::B, 1, engineParams());
+    MemoryController mc(chip, false);
+    BitwiseEngine engine(mc);
+    PlanarVector vec(engine, 8);
+    std::vector<std::uint64_t> values(engine.lanes());
+    Rng rng(11);
+    for (auto &v : values)
+        v = rng.below(256);
+    vec.store(values);
+    const auto back = vec.load();
+    std::size_t ok = 0;
+    for (std::size_t i = 0; i < values.size(); ++i)
+        ok += back[i] == values[i];
+    EXPECT_EQ(ok, values.size());
+}
+
+TEST(PlanarAdder, BulkAdditionMostlyExact)
+{
+    DramChip chip(DramGroup::B, 1, engineParams());
+    MemoryController mc(chip, false);
+    BitwiseEngine engine(mc);
+
+    PlanarVector a(engine, 6), b(engine, 6);
+    std::vector<std::uint64_t> av(engine.lanes()), bv(engine.lanes());
+    Rng rng(13);
+    for (std::size_t i = 0; i < av.size(); ++i) {
+        av[i] = rng.below(64);
+        bv[i] = rng.below(64);
+    }
+    a.store(av);
+    b.store(bv);
+
+    auto sum = addVectors(engine, a, b);
+    EXPECT_EQ(sum.width(), 7u);
+    const auto result = sum.load();
+    std::size_t exact = 0;
+    for (std::size_t i = 0; i < av.size(); ++i)
+        exact += result[i] == av[i] + bv[i];
+    // Every lane runs ~16 in-DRAM ops; per-op errors compound, so
+    // demand a solid majority of exact lanes rather than perfection.
+    EXPECT_GT(static_cast<double>(exact) /
+                  static_cast<double>(av.size()),
+              0.5);
+}
+
+TEST(PlanarAdder, WidthMismatchDies)
+{
+    DramChip chip(DramGroup::B, 1, engineParams());
+    MemoryController mc(chip, false);
+    BitwiseEngine engine(mc);
+    PlanarVector a(engine, 4), b(engine, 5);
+    EXPECT_DEATH(addVectors(engine, a, b), "widths");
+}
+
+TEST(PlanarShift, ShiftLeftMultipliesByPowerOfTwo)
+{
+    DramChip chip(DramGroup::B, 5, engineParams());
+    MemoryController mc(chip, false);
+    BitwiseEngine engine(mc);
+    PlanarVector v(engine, 4);
+    std::vector<std::uint64_t> values(engine.lanes());
+    for (std::size_t i = 0; i < values.size(); ++i)
+        values[i] = i % 16;
+    v.store(values);
+    auto shifted = shiftLeft(engine, v, 3);
+    EXPECT_EQ(shifted.width(), 7u);
+    const auto back = shifted.load();
+    std::size_t ok = 0;
+    for (std::size_t i = 0; i < values.size(); ++i)
+        ok += back[i] == values[i] * 8;
+    EXPECT_EQ(ok, values.size()); // shifts involve no analog majority
+}
+
+TEST(PlanarMul, MulByConstantMostlyExact)
+{
+    DramChip chip(DramGroup::B, 6, engineParams());
+    MemoryController mc(chip, false);
+    BitwiseEngine engine(mc);
+    PlanarVector v(engine, 4);
+    std::vector<std::uint64_t> values(engine.lanes());
+    Rng rng(21);
+    for (auto &x : values)
+        x = rng.below(16);
+    v.store(values);
+    auto result = mulConstant(engine, v, 5); // 5 = 101b: one addition
+    const auto back = result.load();
+    std::size_t exact = 0;
+    for (std::size_t i = 0; i < values.size(); ++i)
+        exact += back[i] == values[i] * 5;
+    EXPECT_GT(static_cast<double>(exact) /
+                  static_cast<double>(values.size()),
+              0.6);
+}
+
+TEST(PlanarMul, MulByPowerOfTwoIsExact)
+{
+    DramChip chip(DramGroup::B, 7, engineParams());
+    MemoryController mc(chip, false);
+    BitwiseEngine engine(mc);
+    PlanarVector v(engine, 4);
+    std::vector<std::uint64_t> values(engine.lanes(), 9);
+    v.store(values);
+    auto result = mulConstant(engine, v, 4);
+    const auto back = result.load();
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(back[i], 36u) << i;
+}
+
+TEST(PlanarMul, MulByZeroDies)
+{
+    DramChip chip(DramGroup::B, 8, engineParams());
+    MemoryController mc(chip, false);
+    BitwiseEngine engine(mc);
+    PlanarVector v(engine, 2);
+    EXPECT_DEATH(mulConstant(engine, v, 0), "zero");
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unit tests for the CSV writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/csv.hh"
+
+using namespace fracdram;
+
+TEST(Csv, BasicRender)
+{
+    CsvWriter csv({"a", "b"});
+    csv.addRow({"1", "2"});
+    csv.addRow({"3", "4"});
+    EXPECT_EQ(csv.render(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Csv, EscapingRules)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+    EXPECT_EQ(CsvWriter::escape("with\"quote"), "\"with\"\"quote\"");
+    EXPECT_EQ(CsvWriter::escape("multi\nline"), "\"multi\nline\"");
+}
+
+TEST(Csv, EscapedCellsInRender)
+{
+    CsvWriter csv({"name", "value"});
+    csv.addRow({"x,y", "he said \"hi\""});
+    EXPECT_EQ(csv.render(),
+              "name,value\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, RowWidthChecked)
+{
+    CsvWriter csv({"a", "b"});
+    EXPECT_DEATH(csv.addRow({"only"}), "width");
+}
+
+TEST(Csv, WriteFileRoundTrip)
+{
+    CsvWriter csv({"k", "v"});
+    csv.addRow({"x", "1"});
+    const std::string path = "/tmp/fracdram_csv_test.csv";
+    ASSERT_TRUE(csv.writeFile(path));
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "k,v\nx,1\n");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, WriteFileBadPath)
+{
+    CsvWriter csv({"a"});
+    EXPECT_FALSE(csv.writeFile("/nonexistent-dir/x.csv"));
+}

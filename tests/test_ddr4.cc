@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests of the DDR4 extension groups (M, N).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fmaj.hh"
+#include "core/fracdram.hh"
+#include "core/multi_row.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+using namespace fracdram::core;
+
+TEST(Ddr4, GroupsAndNames)
+{
+    EXPECT_EQ(ddr4Groups().size(), 2u);
+    EXPECT_EQ(groupName(DramGroup::M), "M");
+    EXPECT_EQ(groupName(DramGroup::N), "N");
+    EXPECT_TRUE(isDdr4(DramGroup::M));
+    EXPECT_TRUE(isDdr4(DramGroup::N));
+    EXPECT_FALSE(isDdr4(DramGroup::B));
+    // Not part of Table I.
+    for (const auto g : allGroups())
+        EXPECT_FALSE(isDdr4(g));
+}
+
+TEST(Ddr4, GeometryHasSixteenBanks)
+{
+    const auto p = DramParams::ddr4();
+    EXPECT_EQ(p.numBanks, 16u);
+    DramChip chip(DramGroup::M, 1, p);
+    EXPECT_EQ(chip.dramParams().numBanks, 16u);
+    chip.bank(15).cellVoltage(0, 0); // accessible
+}
+
+TEST(Ddr4, CapabilitiesMatchQuacFindings)
+{
+    const auto &m = vendorProfile(DramGroup::M);
+    EXPECT_TRUE(m.supportsFrac);
+    EXPECT_FALSE(m.supportsThreeRow); // four rows, never three
+    EXPECT_TRUE(m.supportsFourRow);
+    const auto &n = vendorProfile(DramGroup::N);
+    EXPECT_TRUE(n.ignoresOutOfSpecTiming);
+}
+
+TEST(Ddr4, FourRowActivationOpensQuadruple)
+{
+    DramChip chip(DramGroup::M, 1, DramParams::ddr4());
+    const auto opened = plannedOpenedRows(chip, 8, 1);
+    ASSERT_EQ(opened.size(), 4u);
+    const auto adjacent = plannedOpenedRows(chip, 1, 2);
+    EXPECT_EQ(adjacent.size(), 4u); // {0,1,2,3}, like groups C/D
+}
+
+TEST(Ddr4, FMajWorks)
+{
+    DramChip chip(DramGroup::M, 1, DramParams::ddr4());
+    softmc::MemoryController mc(chip, false);
+    const auto cfg = bestFMajConfig(DramGroup::M);
+    const std::size_t cols = chip.dramParams().colsPerRow;
+    const std::array<BitVector, 3> ops = {BitVector(cols, true),
+                                          BitVector(cols, true),
+                                          BitVector(cols, false)};
+    const auto result = fmaj(mc, 0, cfg, ops);
+    EXPECT_GT(result.hammingWeight(), 0.8);
+}
+
+TEST(Ddr4, FacadeDispatchesToFMaj)
+{
+    FracDram dram(DramGroup::M, 1, DramParams::ddr4());
+    EXPECT_TRUE(dram.canMajority());
+    EXPECT_FALSE(dram.canThreeRowActivate());
+    const std::size_t cols = dram.chip().dramParams().colsPerRow;
+    const std::array<BitVector, 3> ops = {BitVector(cols, false),
+                                          BitVector(cols, true),
+                                          BitVector(cols, false)};
+    EXPECT_LT(dram.majority(0, ops).hammingWeight(), 0.2);
+}
+
+TEST(Ddr4, CheckerGroupInert)
+{
+    FracDram dram(DramGroup::N, 1, DramParams::ddr4());
+    EXPECT_FALSE(dram.canFrac());
+    EXPECT_FALSE(dram.canMajority());
+}

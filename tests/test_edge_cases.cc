@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Edge-case tests for the command layer and the bank FSM: paths a
+ * well-behaved controller rarely exercises but the model must handle
+ * gracefully (reads on closed banks, writes without activation,
+ * degenerate geometries, sequence corner cases).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/frac_op.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+using namespace fracdram::softmc;
+
+namespace
+{
+
+DramParams
+tinyParams()
+{
+    DramParams p;
+    p.numBanks = 1;
+    p.subarraysPerBank = 1;
+    p.rowsPerSubarray = 16;
+    p.colsPerRow = 64;
+    return p;
+}
+
+struct Quiet
+{
+    Quiet() { setVerbose(false); }
+} quiet;
+
+} // namespace
+
+TEST(EdgeCases, ReadOnClosedBankReturnsZeros)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    const BitVector data = chip.read(10, 0);
+    EXPECT_EQ(data.size(), 64u);
+    EXPECT_EQ(data.popcount(), 0u);
+}
+
+TEST(EdgeCases, WriteOnClosedBankIsDropped)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    chip.bank(0).setCellVoltage(3, 0, 1.5);
+    chip.write(10, 0, BitVector(64, false));
+    // Cell untouched: the write had no open row to land in.
+    EXPECT_DOUBLE_EQ(chip.bank(0).cellVoltage(3, 0), 1.5);
+}
+
+TEST(EdgeCases, DoublePrechargeHarmless)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    Cycles t = 10;
+    chip.pre(t, 0);
+    chip.pre(t + 1, 0);
+    chip.pre(t + 30, 0);
+    EXPECT_TRUE(chip.bank(0).isIdle());
+}
+
+TEST(EdgeCases, EmptySequenceExecutes)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    CommandSequence seq;
+    const auto result = mc.execute(seq, "empty");
+    EXPECT_EQ(result.cycles, 0u);
+    EXPECT_TRUE(result.reads.empty());
+}
+
+TEST(EdgeCases, NopOnlySequence)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    CommandSequence seq;
+    seq.idle(100);
+    const auto result = mc.execute(seq, "idle");
+    EXPECT_EQ(result.cycles, 100u);
+}
+
+TEST(EdgeCases, ActOutOfRangeRowDies)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    EXPECT_DEATH(chip.act(10, 0, 999), "out of range");
+}
+
+TEST(EdgeCases, WriteWrongWidthDies)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    Cycles t = 10;
+    chip.act(t, 0, 1);
+    EXPECT_DEATH(chip.write(t + 6, 0, BitVector(8, true)),
+                 "expected");
+}
+
+TEST(EdgeCases, MinimalGeometry)
+{
+    DramParams p;
+    p.numBanks = 1;
+    p.subarraysPerBank = 1;
+    p.rowsPerSubarray = 2;
+    p.colsPerRow = 1;
+    DramChip chip(DramGroup::B, 1, p);
+    MemoryController mc(chip, false);
+    mc.writeRow(0, 0, BitVector(1, true));
+    EXPECT_TRUE(mc.readRow(0, 0).get(0));
+}
+
+TEST(EdgeCases, ZeroGeometryRejected)
+{
+    DramParams p;
+    p.numBanks = 0;
+    EXPECT_DEATH(DramChip(DramGroup::B, 1, p), "bank");
+    p = DramParams{};
+    p.colsPerRow = 0;
+    EXPECT_DEATH(DramChip(DramGroup::B, 1, p), "column");
+    p = DramParams{};
+    p.rowsPerSubarray = 0;
+    EXPECT_DEATH(DramChip(DramGroup::B, 1, p), "row");
+}
+
+TEST(EdgeCases, RefreshOnOpenBankDies)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    Cycles t = 10;
+    chip.act(t, 0, 1);
+    chip.flushAll(t + 10);
+    EXPECT_DEATH(chip.refresh(t + 20), "precharged");
+}
+
+TEST(EdgeCases, FracOnLastRowOfBank)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    const RowAddr last = chip.dramParams().rowsPerBank() - 1;
+    mc.fillRowVoltage(0, last, true);
+    core::frac(mc, 0, last, 3);
+    double sum = 0.0;
+    for (ColAddr c = 0; c < 64; ++c)
+        sum += chip.bank(0).cellVoltage(last, c);
+    EXPECT_LT(sum / 64.0, 1.2);
+}
+
+TEST(EdgeCases, InterruptThenLongIdleCommits)
+{
+    // A Frac whose sequence ends immediately: the flush must commit
+    // the interrupted close.
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    mc.fillRowVoltage(0, 4, true);
+    CommandSequence seq;
+    seq.act(0, 4);
+    seq.pre(0); // back-to-back; no trailing idle at all
+    mc.execute(seq, "abrupt");
+    EXPECT_LT(chip.bank(0).cellVoltage(4, 0), 1.45);
+    EXPECT_TRUE(chip.bank(0).isIdle());
+}
+
+TEST(EdgeCases, SequencePayloadsOutliveExecution)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    CommandSequence seq;
+    {
+        BitVector data(64, true);
+        seq.act(0, 2);
+        seq.idle(5);
+        seq.write(0, std::move(data));
+        seq.idle(10);
+        seq.pre(0);
+        seq.idle(5);
+    }
+    mc.execute(seq, "payload");
+    EXPECT_DOUBLE_EQ(mc.readRow(0, 2).hammingWeight(), 1.0);
+}
+
+TEST(EdgeCases, VoltageDomainWithAntiCellsDisabled)
+{
+    // A profile without anti-cell rows: logic and voltage domains
+    // coincide everywhere. Verified through group B's even rows
+    // (true cells) against an odd (anti) row.
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    const BitVector bits(64, true);
+    mc.writeRowVoltage(0, 2, bits);
+    mc.writeRowVoltage(0, 3, bits);
+    EXPECT_DOUBLE_EQ(mc.readRow(0, 2).hammingWeight(), 1.0);
+    EXPECT_DOUBLE_EQ(mc.readRow(0, 3).hammingWeight(), 0.0);
+}
+
+TEST(EdgeCases, CellVoltageColumnRangeChecked)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    EXPECT_DEATH(chip.bank(0).cellVoltage(0, 9999), "out of range");
+    EXPECT_DEATH(chip.bank(0).setCellVoltage(0, 9999, 1.0),
+                 "out of range");
+}
+
+TEST(EdgeCases, ManySequencesKeepClockMonotone)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    Cycles prev = mc.nowCycles();
+    for (int i = 0; i < 50; ++i) {
+        mc.readRow(0, static_cast<RowAddr>(i % 16));
+        EXPECT_GT(mc.nowCycles(), prev);
+        prev = mc.nowCycles();
+    }
+}

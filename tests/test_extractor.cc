@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests of the Von Neumann extractor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "puf/extractor.hh"
+
+using namespace fracdram;
+using namespace fracdram::puf;
+
+TEST(VonNeumann, KnownVectors)
+{
+    // Pairs: 10 -> 1, 01 -> 0, 11/00 discarded.
+    EXPECT_EQ(VonNeumannExtractor::extract(
+                  BitVector::fromString("100111"))
+                  .toString(),
+              "10");
+    EXPECT_EQ(VonNeumannExtractor::extract(
+                  BitVector::fromString("0000"))
+                  .toString(),
+              "");
+    EXPECT_EQ(VonNeumannExtractor::extract(
+                  BitVector::fromString("01"))
+                  .toString(),
+              "0");
+}
+
+TEST(VonNeumann, OddTailIgnored)
+{
+    // The trailing unpaired bit must not contribute.
+    const auto a =
+        VonNeumannExtractor::extract(BitVector::fromString("10011"));
+    const auto b =
+        VonNeumannExtractor::extract(BitVector::fromString("1001"));
+    EXPECT_TRUE(a == b);
+}
+
+TEST(VonNeumann, EmptyInput)
+{
+    EXPECT_TRUE(VonNeumannExtractor::extract(BitVector()).empty());
+}
+
+TEST(VonNeumann, UnbiasesBiasedStream)
+{
+    Rng rng(5);
+    BitVector biased(100000);
+    for (std::size_t i = 0; i < biased.size(); ++i)
+        biased.set(i, rng.chance(0.2)); // heavily biased input
+    const auto out = VonNeumannExtractor::extract(biased);
+    EXPECT_NEAR(out.hammingWeight(), 0.5, 0.02);
+    // Yield ~ p(1-p) per input bit pair -> 0.16 per pair = 0.08/bit...
+    // output/input = p(1-p).
+    const double yield = static_cast<double>(out.size()) /
+                         static_cast<double>(biased.size());
+    EXPECT_NEAR(yield, VonNeumannExtractor::expectedYield(0.2), 0.02);
+}
+
+TEST(VonNeumann, ExpectedYieldFormula)
+{
+    EXPECT_DOUBLE_EQ(VonNeumannExtractor::expectedYield(0.5), 0.25);
+    EXPECT_DOUBLE_EQ(VonNeumannExtractor::expectedYield(0.0), 0.0);
+    EXPECT_NEAR(VonNeumannExtractor::expectedYield(0.21),
+                0.21 * 0.79, 1e-12);
+}
+
+TEST(VonNeumann, OutputOrderPreservesFirstBitOfPair)
+{
+    // 10 maps to 1 and 01 maps to 0 (first bit of the pair).
+    EXPECT_EQ(VonNeumannExtractor::extract(
+                  BitVector::fromString("10"))
+                  .toString(),
+              "1");
+    EXPECT_EQ(VonNeumannExtractor::extract(
+                  BitVector::fromString("0110"))
+                  .toString(),
+              "01");
+}

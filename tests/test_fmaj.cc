@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests of F-MAJ: majority-of-three on a four-row activation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/fmaj.hh"
+#include "core/maj3.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+using namespace fracdram::softmc;
+using namespace fracdram::core;
+
+namespace
+{
+
+DramParams
+tinyParams()
+{
+    DramParams p;
+    p.numBanks = 1;
+    p.subarraysPerBank = 1;
+    p.rowsPerSubarray = 32;
+    p.colsPerRow = 512;
+    return p;
+}
+
+BitVector
+randomBits(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    BitVector v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v.set(i, rng.chance(0.5));
+    return v;
+}
+
+} // namespace
+
+TEST(FMajConfigTest, BestConfigsMatchPaper)
+{
+    const auto b = bestFMajConfig(DramGroup::B);
+    EXPECT_EQ(b.actFirst, 8u);
+    EXPECT_EQ(b.actSecond, 1u);
+    EXPECT_EQ(b.fracRow, 1u); // R2
+    EXPECT_TRUE(b.fracInitOnes);
+
+    const auto c = bestFMajConfig(DramGroup::C);
+    EXPECT_EQ(c.fracRow, c.actFirst); // R1
+    EXPECT_TRUE(c.fracInitOnes);
+
+    const auto d = bestFMajConfig(DramGroup::D);
+    EXPECT_EQ(d.fracRow, 3u); // R4
+    EXPECT_FALSE(d.fracInitOnes);
+}
+
+TEST(FMajConfigTest, NonFourRowGroupFatal)
+{
+    EXPECT_DEATH(bestFMajConfig(DramGroup::A), "four rows");
+}
+
+TEST(FMajConfigTest, OperandRowsExcludeFracRow)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    const auto cfg = bestFMajConfig(DramGroup::B);
+    const auto rows = fmajOperandRows(chip, cfg);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0], 0u);
+    EXPECT_EQ(rows[1], 8u);
+    EXPECT_EQ(rows[2], 9u);
+}
+
+TEST(FMajConfigTest, BadFracRowFatal)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    auto cfg = bestFMajConfig(DramGroup::B);
+    cfg.fracRow = 5; // not among {0,1,8,9}
+    EXPECT_DEATH(fmajOperandRows(chip, cfg), "not among");
+}
+
+TEST(FMajConfigTest, NonGlitchPairFatal)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    FMajConfig cfg;
+    cfg.actFirst = 0;
+    cfg.actSecond = 16; // outside the glitch window
+    EXPECT_DEATH(fmajOperandRows(chip, cfg), "opens");
+}
+
+class FMajGroupTest : public ::testing::TestWithParam<DramGroup>
+{
+};
+
+TEST_P(FMajGroupTest, AllSixCombosMostlyCorrect)
+{
+    DramChip chip(GetParam(), 1, tinyParams());
+    MemoryController mc(chip, false);
+    const auto cfg = bestFMajConfig(GetParam());
+    const std::size_t cols = 512;
+
+    const bool combos[6][3] = {
+        {1, 0, 0}, {0, 1, 0}, {0, 0, 1},
+        {0, 1, 1}, {1, 0, 1}, {1, 1, 0},
+    };
+    for (const auto &combo : combos) {
+        const std::array<BitVector, 3> ops = {
+            BitVector(cols, combo[0]),
+            BitVector(cols, combo[1]),
+            BitVector(cols, combo[2]),
+        };
+        const bool expected =
+            static_cast<int>(combo[0]) + combo[1] + combo[2] >= 2;
+        const auto result = fmaj(mc, 0, cfg, ops);
+        const double hw = result.hammingWeight();
+        if (expected)
+            EXPECT_GT(hw, 0.8) << combo[0] << combo[1] << combo[2];
+        else
+            EXPECT_LT(hw, 0.2) << combo[0] << combo[1] << combo[2];
+    }
+}
+
+TEST_P(FMajGroupTest, RandomOperandsTrackSoftwareMajority)
+{
+    DramChip chip(GetParam(), 2, tinyParams());
+    MemoryController mc(chip, false);
+    const auto cfg = bestFMajConfig(GetParam());
+    const auto a = randomBits(512, 10);
+    const auto b = randomBits(512, 20);
+    const auto c = randomBits(512, 30);
+    const auto result = fmaj(mc, 0, cfg, {a, b, c});
+    const auto expected = softwareMaj3(a, b, c);
+    const double err =
+        static_cast<double>(result.hammingDistance(expected)) / 512.0;
+    EXPECT_LT(err, 0.2) << groupName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(FourRowGroups, FMajGroupTest,
+                         ::testing::Values(DramGroup::B, DramGroup::C,
+                                           DramGroup::D),
+                         [](const auto &info) {
+                             return groupName(info.param);
+                         });
+
+TEST(FMajTest, WithoutFracsActsLikeFourOperandSharing)
+{
+    // With zero Fracs the "fractional" row is a full rail and biases
+    // the operation - exactly the failure the paper diagnoses.
+    DramChip chip(DramGroup::C, 3, tinyParams());
+    MemoryController mc(chip, false);
+    auto cfg = bestFMajConfig(DramGroup::C);
+    cfg.numFracs = 0;
+    cfg.fracInitOnes = true;
+    const std::size_t cols = 512;
+    // Majority says 0, but the rail-one frac row flips many columns.
+    const std::array<BitVector, 3> ops = {BitVector(cols, true),
+                                          BitVector(cols, false),
+                                          BitVector(cols, false)};
+    const auto result = fmaj(mc, 0, cfg, ops);
+    EXPECT_GT(result.hammingWeight(), 0.5);
+}
+
+TEST(FMajTest, PreparedFracRowReuseRequiresRePreparation)
+{
+    // The activation destroys the fractional value: a second F-MAJ
+    // without re-preparation must behave like the no-frac case.
+    DramChip chip(DramGroup::B, 4, tinyParams());
+    MemoryController mc(chip, false);
+    const auto cfg = bestFMajConfig(DramGroup::B);
+    const std::size_t cols = 512;
+    const std::array<BitVector, 3> ops = {BitVector(cols, true),
+                                          BitVector(cols, false),
+                                          BitVector(cols, false)};
+
+    fmajPrepareFracRow(mc, 0, cfg);
+    const auto first = fmajWithPreparedFracRow(mc, 0, cfg, ops);
+    EXPECT_LT(first.hammingWeight(), 0.2); // correct majority 0
+
+    // Frac row now holds the restored result, not a fractional value.
+    const std::array<BitVector, 3> ops2 = {BitVector(cols, true),
+                                           BitVector(cols, true),
+                                           BitVector(cols, false)};
+    const auto second = fmajWithPreparedFracRow(mc, 0, cfg, ops2);
+    // Majority is 1 and the stale frac row (all zeros after the first
+    // op) fights it: noticeably worse than a prepared run.
+    fmajPrepareFracRow(mc, 0, cfg);
+    const auto prepared = fmajWithPreparedFracRow(mc, 0, cfg, ops2);
+    EXPECT_GT(prepared.hammingWeight(), second.hammingWeight());
+}

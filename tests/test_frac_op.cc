@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests of the Frac primitive through the public controller API
+ * (paper Sec. III-A behaviour).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "core/frac_op.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+using namespace fracdram::softmc;
+using namespace fracdram::core;
+
+namespace
+{
+
+DramParams
+tinyParams()
+{
+    DramParams p;
+    p.numBanks = 2;
+    p.subarraysPerBank = 1;
+    p.rowsPerSubarray = 16;
+    p.colsPerRow = 256;
+    return p;
+}
+
+double
+meanVoltage(DramChip &chip, BankAddr bank, RowAddr row)
+{
+    OnlineStats s;
+    for (ColAddr c = 0; c < chip.dramParams().colsPerRow; ++c)
+        s.add(chip.bank(bank).cellVoltage(row, c));
+    return s.mean();
+}
+
+} // namespace
+
+TEST(FracOp, SequenceLayout)
+{
+    const auto seq = buildFracSequence(0, 3, 1);
+    // PRE, idle, ACT, PRE back-to-back, 5 idle.
+    ASSERT_EQ(seq.size(), 3u);
+    EXPECT_EQ(seq.commands()[1].cmd.kind, CommandKind::Act);
+    EXPECT_EQ(seq.commands()[2].cmd.kind, CommandKind::Pre);
+    EXPECT_EQ(seq.commands()[2].cycle, seq.commands()[1].cycle + 1);
+    // Each Frac costs exactly 7 cycles beyond the setup precharge.
+    const auto seq2 = buildFracSequence(0, 3, 2);
+    EXPECT_EQ(seq2.lengthCycles() - seq.lengthCycles(), fracOpCycles);
+}
+
+TEST(FracOp, StoresFractionalVoltage)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    mc.fillRowVoltage(0, 4, true);
+    frac(mc, 0, 4, 1);
+    const double v = meanVoltage(chip, 0, 4);
+    EXPECT_GT(v, 0.75);
+    EXPECT_LT(v, 1.45);
+}
+
+TEST(FracOp, MoreFracsCloserToHalfVdd)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    double prev_gap = 0.75; // |V - Vdd/2| upper bound at full level
+    for (const int n : {1, 2, 3, 5, 10}) {
+        mc.fillRowVoltage(0, 4, true);
+        frac(mc, 0, 4, n);
+        // Fast cells only: slow cells barely move by design.
+        OnlineStats gap;
+        for (ColAddr c = 0; c < 256; ++c) {
+            if (!chip.variation().cellIsSlow(0, 4, c))
+                gap.add(chip.bank(0).cellVoltage(4, c) - 0.75);
+        }
+        EXPECT_LT(gap.mean(), prev_gap) << n;
+        EXPECT_GT(gap.mean(), -0.01) << n;
+        prev_gap = gap.mean();
+    }
+    EXPECT_LT(prev_gap, 0.02); // ten Fracs: very close to Vdd/2
+}
+
+TEST(FracOp, InitialZerosApproachFromBelow)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    mc.fillRowVoltage(0, 4, false);
+    frac(mc, 0, 4, 3);
+    const double v = meanVoltage(chip, 0, 4);
+    EXPECT_GT(v, 0.02);
+    EXPECT_LT(v, 0.75);
+}
+
+TEST(FracOp, CheckerGroupUnaffected)
+{
+    DramChip chip(DramGroup::J, 1, tinyParams());
+    MemoryController mc(chip, false);
+    mc.fillRowVoltage(0, 4, true);
+    frac(mc, 0, 4, 5);
+    EXPECT_DOUBLE_EQ(meanVoltage(chip, 0, 4), 1.5);
+    // Reads back all ones.
+    EXPECT_DOUBLE_EQ(mc.readRowVoltage(0, 4).hammingWeight(), 1.0);
+}
+
+TEST(FracOp, ReadDestroysFractionalValue)
+{
+    // Destructive readout: a normal activation snaps the fractional
+    // cells to rails (Sec. IV-B).
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    mc.fillRowVoltage(0, 4, true);
+    frac(mc, 0, 4, 5);
+    mc.readRow(0, 4);
+    for (ColAddr c = 0; c < 32; ++c) {
+        const double v = chip.bank(0).cellVoltage(4, c);
+        EXPECT_TRUE(v < 0.01 || v > 1.49) << c;
+    }
+}
+
+TEST(FracOp, CountValidation)
+{
+    EXPECT_DEATH(buildFracSequence(0, 1, 0), "count");
+}

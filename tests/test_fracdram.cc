@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests of the FracDram facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fracdram.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+using namespace fracdram::core;
+
+namespace
+{
+
+DramParams
+tinyParams()
+{
+    DramParams p;
+    p.numBanks = 2;
+    p.subarraysPerBank = 1;
+    p.rowsPerSubarray = 32;
+    p.colsPerRow = 256;
+    return p;
+}
+
+} // namespace
+
+TEST(FracDramFacade, CapabilitiesFollowProfile)
+{
+    FracDram b(DramGroup::B, 1, tinyParams());
+    EXPECT_TRUE(b.canFrac());
+    EXPECT_TRUE(b.canThreeRowActivate());
+    EXPECT_TRUE(b.canFourRowActivate());
+    EXPECT_TRUE(b.canMajority());
+
+    FracDram c(DramGroup::C, 1, tinyParams());
+    EXPECT_TRUE(c.canFrac());
+    EXPECT_FALSE(c.canThreeRowActivate());
+    EXPECT_TRUE(c.canMajority()); // via F-MAJ
+
+    FracDram e(DramGroup::E, 1, tinyParams());
+    EXPECT_FALSE(e.canMajority());
+
+    FracDram j(DramGroup::J, 1, tinyParams());
+    EXPECT_FALSE(j.canFrac());
+    EXPECT_FALSE(j.canMajority());
+}
+
+TEST(FracDramFacade, WriteReadRoundTrip)
+{
+    FracDram dram(DramGroup::B, 1, tinyParams());
+    BitVector data(256);
+    for (std::size_t i = 0; i < 256; ++i)
+        data.set(i, (i * 7) % 5 < 2);
+    dram.writeRow(1, 9, data);
+    EXPECT_TRUE(dram.readRow(1, 9) == data);
+}
+
+TEST(FracDramFacade, MajorityDispatchesPerCapability)
+{
+    const std::array<BitVector, 3> ops = {BitVector(256, true),
+                                          BitVector(256, true),
+                                          BitVector(256, false)};
+    // Group B: three-row path.
+    FracDram b(DramGroup::B, 1, tinyParams());
+    EXPECT_GT(b.majority(0, ops).hammingWeight(), 0.85);
+    // Group C: F-MAJ path.
+    FracDram c(DramGroup::C, 1, tinyParams());
+    EXPECT_GT(c.majority(0, ops).hammingWeight(), 0.75);
+}
+
+TEST(FracDramFacade, MajorityUnavailableFatal)
+{
+    FracDram e(DramGroup::E, 1, tinyParams());
+    const std::array<BitVector, 3> ops = {BitVector(256, true),
+                                          BitVector(256, true),
+                                          BitVector(256, false)};
+    EXPECT_DEATH(e.majorityFMaj(0, ops), "F-MAJ");
+}
+
+TEST(FracDramFacade, FracOnCheckerGroupFatal)
+{
+    FracDram j(DramGroup::J, 1, tinyParams());
+    EXPECT_DEATH(j.frac(0, 1, 1), "unavailable");
+}
+
+TEST(FracDramFacade, FracReadoutIsStablePerDevice)
+{
+    FracDram dram(DramGroup::B, 7, tinyParams());
+    const auto r1 = dram.fracReadout(0, 4, 10);
+    const auto r2 = dram.fracReadout(0, 4, 10);
+    const double intra =
+        static_cast<double>(r1.hammingDistance(r2)) / 256.0;
+    EXPECT_LT(intra, 0.1);
+}
+
+TEST(FracDramFacade, FracReadoutDiffersAcrossDevices)
+{
+    FracDram a(DramGroup::B, 1, tinyParams());
+    FracDram b(DramGroup::B, 2, tinyParams());
+    const auto ra = a.fracReadout(0, 4, 10);
+    const auto rb = b.fracReadout(0, 4, 10);
+    const double inter =
+        static_cast<double>(ra.hammingDistance(rb)) / 256.0;
+    EXPECT_GT(inter, 0.25);
+}
+
+TEST(FracDramFacade, StoreHalfMasked)
+{
+    FracDram dram(DramGroup::B, 3, tinyParams());
+    BitVector mask(256, false);
+    for (std::size_t i = 0; i < 256; i += 4)
+        mask.set(i, true);
+    dram.storeHalfMasked(0, mask, /*background=*/true);
+    // Background columns of row 0 stay readable as high.
+    const auto v = dram.controller().readRowVoltage(0, 0);
+    std::size_t bg_high = 0, bg_total = 0;
+    for (std::size_t i = 0; i < 256; ++i) {
+        if (!mask.get(i)) {
+            bg_high += v.get(i);
+            ++bg_total;
+        }
+    }
+    EXPECT_GT(static_cast<double>(bg_high) /
+                  static_cast<double>(bg_total),
+              0.9);
+}
+
+TEST(FracDramFacade, StoreHalfMaskedNeedsFourRows)
+{
+    FracDram e(DramGroup::E, 1, tinyParams());
+    EXPECT_DEATH(e.storeHalfMasked(0, BitVector(256, true), false),
+                 "four-row");
+}
+
+TEST(FracDramFacade, RefreshManagerWired)
+{
+    FracDram dram(DramGroup::B, 1, tinyParams());
+    dram.controller().waitSeconds(0.1);
+    EXPECT_TRUE(dram.refreshManager().due());
+    EXPECT_TRUE(dram.refreshManager().tick());
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Fuzz-style robustness tests: random command streams - including
+ * timings no sane controller would issue - must never crash the bank
+ * state machine, corrupt its invariants, or push any cell outside
+ * the physical envelope.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "sim/chip.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+
+namespace
+{
+
+DramParams
+tinyParams()
+{
+    DramParams p;
+    p.numBanks = 2;
+    p.subarraysPerBank = 1;
+    p.rowsPerSubarray = 32;
+    p.colsPerRow = 64;
+    return p;
+}
+
+void
+fuzzOneChip(DramGroup group, std::uint64_t seed, int steps)
+{
+    DramChip chip(group, seed, tinyParams());
+    Rng rng(mixSeed(seed, 0xf022));
+    Cycles t = 10;
+
+    for (int step = 0; step < steps; ++step) {
+        const BankAddr bank = static_cast<BankAddr>(rng.below(2));
+        const RowAddr row = static_cast<RowAddr>(rng.below(32));
+        // Adversarial gap distribution: mostly back-to-back, with
+        // occasional long idles.
+        t += rng.chance(0.7) ? 1 : rng.below(40) + 1;
+
+        switch (rng.below(6)) {
+          case 0:
+          case 1:
+            chip.act(t, bank, row);
+            break;
+          case 2:
+            chip.pre(t, bank);
+            break;
+          case 3:
+            chip.read(t, bank);
+            break;
+          case 4: {
+            BitVector bits(64);
+            for (std::size_t i = 0; i < 64; ++i)
+                bits.set(i, rng.chance(0.5));
+            chip.write(t, bank, bits);
+            break;
+          }
+          case 5:
+            chip.preAll(t);
+            break;
+        }
+
+        if (step % 16 == 0) {
+            // Envelope invariant on a sampled row.
+            chip.flushAll(t + 10);
+            t += 10;
+            for (ColAddr c = 0; c < 8; ++c) {
+                const double v = chip.bank(bank).cellVoltage(row, c);
+                ASSERT_GE(v, -0.05) << "step " << step;
+                ASSERT_LE(v, 1.60) << "step " << step;
+            }
+        }
+    }
+    // The chip must still work normally afterwards.
+    chip.flushAll(t + 100);
+    t += 100;
+    chip.preAll(t);
+    t += 10;
+    BitVector data(64, true);
+    chip.act(t, 0, 5);
+    chip.write(t + 6, 0, data);
+    chip.pre(t + 20, 0);
+    chip.act(t + 30, 0, 5);
+    const BitVector back = chip.read(t + 36, 0);
+    chip.pre(t + 50, 0);
+    EXPECT_TRUE(back == data) << "chip wedged after fuzzing";
+}
+
+} // namespace
+
+class FuzzFsm : public ::testing::TestWithParam<DramGroup>
+{
+};
+
+TEST_P(FuzzFsm, SurvivesRandomCommandStreams)
+{
+    setVerbose(false); // the streams provoke plenty of warnings
+    for (std::uint64_t seed = 1; seed <= 4; ++seed)
+        fuzzOneChip(GetParam(), seed, 400);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RepresentativeGroups, FuzzFsm,
+    ::testing::Values(DramGroup::B, DramGroup::C, DramGroup::E,
+                      DramGroup::J, DramGroup::M),
+    [](const auto &info) { return groupName(info.param); });
+
+TEST(FuzzRefresh, RandomRefreshInterleaving)
+{
+    setVerbose(false);
+    DramChip chip(DramGroup::B, 9, tinyParams());
+    Rng rng(77);
+    Cycles t = 10;
+    for (int step = 0; step < 100; ++step) {
+        chip.preAll(t);
+        t += 10;
+        if (rng.chance(0.3)) {
+            chip.refresh(t);
+            t += 70;
+        }
+        chip.act(t, 0, static_cast<RowAddr>(rng.below(32)));
+        t += rng.below(20) + 1;
+        chip.pre(t, 0);
+        t += 6;
+        chip.advanceTime(rng.uniform(0.0, 0.1));
+    }
+    SUCCEED();
+}

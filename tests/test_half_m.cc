@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests of the Half-m primitive.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "core/half_m.hh"
+#include "core/multi_row.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+using namespace fracdram::softmc;
+using namespace fracdram::core;
+
+namespace
+{
+
+DramParams
+tinyParams()
+{
+    DramParams p;
+    p.numBanks = 1;
+    p.subarraysPerBank = 1;
+    p.rowsPerSubarray = 32;
+    p.colsPerRow = 512;
+    return p;
+}
+
+} // namespace
+
+class HalfMTest : public ::testing::Test
+{
+  protected:
+    DramChip chip{DramGroup::B, 1, tinyParams()};
+    MemoryController mc{chip, false};
+    std::vector<OpenedRow> opened = plannedOpenedRows(chip, 8, 1);
+};
+
+TEST_F(HalfMTest, OpensTheFourPaperRows)
+{
+    ASSERT_EQ(opened.size(), 4u);
+    std::set<RowAddr> rows;
+    for (const auto &o : opened)
+        rows.insert(o.row);
+    EXPECT_EQ(rows, (std::set<RowAddr>{0, 1, 8, 9}));
+}
+
+TEST_F(HalfMTest, InitPatternsCheckerAssignment)
+{
+    // Half columns: one in R1/R3, zero in R2/R4.
+    BitVector mask(512, true);
+    const auto inits = halfMInitPatterns(opened, mask, false);
+    ASSERT_EQ(inits.size(), 4u);
+    EXPECT_DOUBLE_EQ(inits.at(8).hammingWeight(), 1.0);  // R1
+    EXPECT_DOUBLE_EQ(inits.at(0).hammingWeight(), 1.0);  // R3
+    EXPECT_DOUBLE_EQ(inits.at(1).hammingWeight(), 0.0);  // R2
+    EXPECT_DOUBLE_EQ(inits.at(9).hammingWeight(), 0.0);  // R4
+}
+
+TEST_F(HalfMTest, InitPatternsBackground)
+{
+    BitVector mask(512, false);
+    mask.set(0, true);
+    const auto ones = halfMInitPatterns(opened, mask, true);
+    // Non-masked columns hold the background in all four rows.
+    for (const auto &[row, bits] : ones) {
+        for (std::size_t c = 1; c < 16; ++c)
+            EXPECT_TRUE(bits.get(c)) << "row " << row;
+    }
+    const auto zeros = halfMInitPatterns(opened, mask, false);
+    for (const auto &[row, bits] : zeros) {
+        for (std::size_t c = 1; c < 16; ++c)
+            EXPECT_FALSE(bits.get(c)) << "row " << row;
+    }
+}
+
+TEST_F(HalfMTest, InitPatternsRequireFourRows)
+{
+    std::vector<OpenedRow> three(opened.begin(), opened.end() - 1);
+    EXPECT_DEATH(halfMInitPatterns(three, BitVector(512, true), false),
+                 "four-row");
+}
+
+TEST_F(HalfMTest, HalfColumnsLandBetweenRails)
+{
+    BitVector mask(512, true);
+    halfM(mc, 0, 8, 1, halfMInitPatterns(opened, mask, false));
+    // Voltage of the result rows is neither rail on average.
+    OnlineStats s;
+    for (ColAddr c = 0; c < 512; ++c)
+        s.add(chip.bank(0).cellVoltage(0, c));
+    EXPECT_GT(s.mean(), 0.02);
+    EXPECT_LT(s.mean(), 1.2);
+}
+
+TEST_F(HalfMTest, WeakOnesStayReadableAsOnes)
+{
+    std::map<RowAddr, BitVector> inits;
+    for (const auto &o : opened)
+        inits.emplace(o.row, BitVector(512, true));
+    halfM(mc, 0, 8, 1, inits);
+    // Weak ones read back as ones on the vast majority of columns.
+    for (const auto &o : opened) {
+        EXPECT_GT(mc.readRowVoltage(0, o.row).hammingWeight(), 0.9)
+            << "row " << o.row;
+    }
+}
+
+TEST_F(HalfMTest, WeakZerosStayReadableAsZeros)
+{
+    std::map<RowAddr, BitVector> inits;
+    for (const auto &o : opened)
+        inits.emplace(o.row, BitVector(512, false));
+    halfM(mc, 0, 8, 1, inits);
+    for (const auto &o : opened) {
+        EXPECT_LT(mc.readRowVoltage(0, o.row).hammingWeight(), 0.1)
+            << "row " << o.row;
+    }
+}
+
+TEST_F(HalfMTest, MixedMaskProducesMixedOutcome)
+{
+    // Half columns end near Vdd/2, background columns near the rail.
+    BitVector mask(512, false);
+    for (ColAddr c = 0; c < 512; c += 2)
+        mask.set(c, true);
+    halfM(mc, 0, 8, 1, halfMInitPatterns(opened, mask, true));
+    OnlineStats half_cols, bg_cols;
+    for (ColAddr c = 0; c < 512; ++c) {
+        const double v = chip.bank(0).cellVoltage(0, c);
+        (mask.get(c) ? half_cols : bg_cols).add(v);
+    }
+    EXPECT_GT(bg_cols.mean(), 1.0);
+    EXPECT_LT(half_cols.mean(), bg_cols.mean() - 0.2);
+}
+
+TEST(HalfMGroupC, WorksOnFourRowOnlyGroups)
+{
+    // Groups C/D cannot do three-row MAJ3 but do support Half-m.
+    DramChip chip(DramGroup::C, 1, tinyParams());
+    MemoryController mc(chip, false);
+    const auto opened = plannedOpenedRows(chip, 8, 1);
+    ASSERT_EQ(opened.size(), 4u);
+    BitVector mask(512, true);
+    halfM(mc, 0, 8, 1, halfMInitPatterns(opened, mask, false));
+    // Group C's strong first-row weight biases the partially-engaged
+    // sense amps toward one, but the cells stay off the full rail.
+    OnlineStats s;
+    for (ColAddr c = 0; c < 512; ++c)
+        s.add(chip.bank(0).cellVoltage(0, c));
+    EXPECT_GT(s.mean(), 0.02);
+    EXPECT_LT(s.mean(), 1.45);
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tests of the Hamming-distance metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "puf/hamming.hh"
+
+using namespace fracdram;
+using namespace fracdram::puf;
+
+TEST(Hamming, Normalized)
+{
+    const auto a = BitVector::fromString("1111");
+    const auto b = BitVector::fromString("1001");
+    EXPECT_DOUBLE_EQ(normalizedHammingDistance(a, b), 0.5);
+    EXPECT_DOUBLE_EQ(normalizedHammingDistance(a, a), 0.0);
+}
+
+TEST(Hamming, SizeMismatchDies)
+{
+    const auto a = BitVector::fromString("11");
+    const auto b = BitVector::fromString("111");
+    EXPECT_DEATH(normalizedHammingDistance(a, b), "sizes");
+}
+
+TEST(HammingStudyTest, PairwiseCount)
+{
+    const std::vector<BitVector> rs = {
+        BitVector::fromString("00"),
+        BitVector::fromString("01"),
+        BitVector::fromString("11"),
+    };
+    const auto d = HammingStudy::pairwiseDistances(rs);
+    ASSERT_EQ(d.size(), 3u); // C(3,2)
+    EXPECT_DOUBLE_EQ(d[0], 0.5); // 00 vs 01
+    EXPECT_DOUBLE_EQ(d[1], 1.0); // 00 vs 11
+    EXPECT_DOUBLE_EQ(d[2], 0.5); // 01 vs 11
+}
+
+TEST(HammingStudyTest, PairedDistances)
+{
+    const std::vector<BitVector> a = {BitVector::fromString("0000")};
+    const std::vector<BitVector> b = {BitVector::fromString("0011")};
+    const auto d = HammingStudy::pairedDistances(a, b);
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_DOUBLE_EQ(d[0], 0.5);
+    EXPECT_DEATH(HammingStudy::pairedDistances(a, {}), "sizes differ");
+}
+
+TEST(HammingStudyTest, MeanWeight)
+{
+    const std::vector<BitVector> rs = {
+        BitVector::fromString("1111"),
+        BitVector::fromString("0000"),
+    };
+    EXPECT_DOUBLE_EQ(HammingStudy::meanHammingWeight(rs), 0.5);
+    EXPECT_DOUBLE_EQ(HammingStudy::meanHammingWeight({}), 0.0);
+}

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Integration tests: full multi-module flows spanning the command
+ * layer, the primitives, and the use cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/fracdram.hh"
+#include "core/frac_op.hh"
+#include "core/maj3.hh"
+#include "core/multi_row.hh"
+#include "core/rowclone.hh"
+#include "puf/extractor.hh"
+#include "puf/hamming.hh"
+#include "puf/nist.hh"
+#include "puf/puf.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+using namespace fracdram::core;
+
+namespace
+{
+
+DramParams
+smallParams()
+{
+    DramParams p;
+    p.numBanks = 2;
+    p.subarraysPerBank = 1;
+    p.rowsPerSubarray = 32;
+    p.colsPerRow = 512;
+    return p;
+}
+
+BitVector
+randomBits(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    BitVector v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v.set(i, rng.chance(0.5));
+    return v;
+}
+
+} // namespace
+
+TEST(Integration, ComputePipelineWithOperandStaging)
+{
+    // ComputeDRAM-style flow: stage operands with in-DRAM copies from
+    // "home" rows into the reserved compute rows, run MAJ3, copy the
+    // result back out.
+    FracDram dram(DramGroup::B, 1, smallParams());
+    auto &mc = dram.controller();
+    const std::size_t cols = 512;
+
+    const auto a = randomBits(cols, 1);
+    const auto b = randomBits(cols, 2);
+    const auto c = randomBits(cols, 3);
+    // Home rows outside the compute sub-array block.
+    mc.writeRowVoltage(0, 16, a);
+    mc.writeRowVoltage(0, 17, b);
+    mc.writeRowVoltage(0, 18, c);
+
+    // Stage into rows {0,1,2} with in-DRAM copies (no bus data).
+    rowCopy(mc, 0, 16, 0);
+    rowCopy(mc, 0, 17, 1);
+    rowCopy(mc, 0, 18, 2);
+    const auto result = maj3InPlace(mc, 0, 1, 2);
+    // Copy result out to a home row and read it from there.
+    rowCopy(mc, 0, 0, 20);
+    const auto out = mc.readRowVoltage(0, 20);
+
+    const auto expected = softwareMaj3(a, b, c);
+    const double err =
+        static_cast<double>(out.hammingDistance(expected)) /
+        static_cast<double>(cols);
+    EXPECT_LT(err, 0.15);
+    EXPECT_TRUE(out == result);
+}
+
+TEST(Integration, PufEnrollmentSurvivesRefreshAndTime)
+{
+    // A realistic lifecycle: enroll, serve normal traffic with
+    // periodic refresh, authenticate much later.
+    FracDram dram(DramGroup::F, 9, smallParams());
+    auto &mc = dram.controller();
+    puf::FracPuf device_puf(mc, 10);
+    const puf::Challenge challenge{1, 7};
+    const auto enrolled = device_puf.evaluate(challenge);
+
+    // Normal operation: user data + refresh ticks for ~1 second.
+    const auto user_data = randomBits(512, 4);
+    dram.writeRow(0, 3, user_data);
+    for (int i = 0; i < 16; ++i) {
+        mc.waitSeconds(0.064);
+        dram.refreshManager().tick();
+    }
+    EXPECT_TRUE(dram.readRow(0, 3) == user_data);
+
+    // Authentication after the wait: same fingerprint.
+    const auto response = device_puf.evaluate(challenge);
+    EXPECT_LT(puf::normalizedHammingDistance(enrolled, response),
+              0.1);
+}
+
+TEST(Integration, WhitenedResponsesLookRandomAtSmallScale)
+{
+    // End-to-end PUF -> Von Neumann -> basic NIST subset.
+    DramParams params = smallParams();
+    params.colsPerRow = 4096;
+    sim::DramChip chip(DramGroup::A, 3, params);
+    softmc::MemoryController mc(chip, false);
+    puf::FracPuf device_puf(mc, 10);
+    device_puf.setDiscardAfterEvaluate(true);
+
+    BitVector whitened;
+    for (const auto &c : device_puf.makeChallenges(60)) {
+        whitened.append(puf::VonNeumannExtractor::extract(
+            device_puf.evaluate(c)));
+        if (whitened.size() > 30000)
+            break;
+    }
+    ASSERT_GT(whitened.size(), 30000u);
+    EXPECT_TRUE(puf::nist::frequency(whitened).passed());
+    EXPECT_TRUE(puf::nist::runs(whitened).passed());
+    EXPECT_TRUE(puf::nist::blockFrequency(whitened).passed());
+    EXPECT_TRUE(puf::nist::serial(whitened, 8).passed());
+}
+
+TEST(Integration, FracValuesSurviveOtherRowTraffic)
+{
+    // Activity on other rows of the same bank must not disturb a
+    // stored fractional value (only activations of its own row do).
+    FracDram dram(DramGroup::B, 2, smallParams());
+    auto &mc = dram.controller();
+    mc.fillRowVoltage(0, 10, true);
+    frac(mc, 0, 10, 10);
+    const auto before = [&] {
+        double sum = 0.0;
+        for (ColAddr c = 0; c < 64; ++c)
+            sum += dram.chip().bank(0).cellVoltage(10, c);
+        return sum;
+    }();
+
+    for (int i = 0; i < 8; ++i) {
+        dram.writeRow(0, 20 + (i % 4), randomBits(512, 100 + i));
+        dram.readRow(0, 20 + (i % 4));
+    }
+
+    double after = 0.0;
+    for (ColAddr c = 0; c < 64; ++c)
+        after += dram.chip().bank(0).cellVoltage(10, c);
+    EXPECT_NEAR(after, before, 0.5); // only leakage-scale change
+}
+
+TEST(Integration, CrossGroupPortability)
+{
+    // The same application code runs on every Frac-capable group.
+    for (const auto g : fracCapableGroups()) {
+        FracDram dram(g, 11, smallParams());
+        const auto data = randomBits(512, 5);
+        dram.writeRow(0, 2, data);
+        ASSERT_TRUE(dram.readRow(0, 2) == data) << groupName(g);
+        const auto fp1 = dram.fracReadout(0, 4, 10);
+        const auto fp2 = dram.fracReadout(0, 4, 10);
+        EXPECT_LT(puf::normalizedHammingDistance(fp1, fp2), 0.1)
+            << groupName(g);
+        if (dram.canMajority()) {
+            const std::array<BitVector, 3> ops = {
+                BitVector(512, true), BitVector(512, false),
+                BitVector(512, true)};
+            EXPECT_GT(dram.majority(0, ops).hammingWeight(), 0.75)
+                << groupName(g);
+        }
+    }
+}
+
+TEST(Integration, TimingCheckerGroupIsFracProof)
+{
+    // The full primitive arsenal bounces off a checker vendor: data
+    // stays exactly as written.
+    sim::DramChip chip(DramGroup::K, 1, smallParams());
+    softmc::MemoryController mc(chip, false);
+    const auto data = randomBits(512, 6);
+    mc.writeRow(0, 1, data);
+    mc.writeRow(0, 2, data);
+
+    frac(mc, 0, 1, 5);
+    multiRowActivate(mc, 0, 1, 2);
+    multiRowActivateInterrupted(mc, 0, 8, 1);
+    // The checker dropped the sequences' too-early PRECHARGEs, which
+    // can leave a bank open; close it the compliant way.
+    mc.prechargeAllBanks();
+
+    EXPECT_TRUE(mc.readRow(0, 1) == data);
+    EXPECT_TRUE(mc.readRow(0, 2) == data);
+}

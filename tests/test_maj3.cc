@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests of the ComputeDRAM-style in-memory MAJ3 on group B.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/maj3.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+using namespace fracdram::softmc;
+using namespace fracdram::core;
+
+namespace
+{
+
+DramParams
+tinyParams()
+{
+    DramParams p;
+    p.numBanks = 1;
+    p.subarraysPerBank = 1;
+    p.rowsPerSubarray = 32;
+    p.colsPerRow = 512;
+    return p;
+}
+
+BitVector
+randomBits(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    BitVector v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v.set(i, rng.chance(0.5));
+    return v;
+}
+
+} // namespace
+
+TEST(SoftwareMaj3, TruthTable)
+{
+    const auto a = BitVector::fromString("00001111");
+    const auto b = BitVector::fromString("00110011");
+    const auto c = BitVector::fromString("01010101");
+    EXPECT_EQ(softwareMaj3(a, b, c).toString(), "00010111");
+}
+
+TEST(SoftwareMaj3, SizeMismatchDies)
+{
+    const auto a = BitVector::fromString("01");
+    const auto b = BitVector::fromString("011");
+    EXPECT_DEATH(softwareMaj3(a, b, a), "sizes");
+}
+
+TEST(InMemoryMaj3, ConstantOperandCombos)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    const std::size_t cols = 512;
+
+    // All six non-trivial constant combinations must yield the right
+    // majority on the overwhelming majority of columns.
+    const bool combos[6][3] = {
+        {1, 0, 0}, {0, 1, 0}, {0, 0, 1},
+        {0, 1, 1}, {1, 0, 1}, {1, 1, 0},
+    };
+    for (const auto &combo : combos) {
+        std::map<RowAddr, BitVector> ops;
+        ops.emplace(0, BitVector(cols, combo[0]));
+        ops.emplace(1, BitVector(cols, combo[1]));
+        ops.emplace(2, BitVector(cols, combo[2]));
+        const auto result = maj3(mc, 0, 1, 2, ops);
+        const int ones = static_cast<int>(combo[0]) + combo[1] +
+                         combo[2];
+        const double expected = ones >= 2 ? 1.0 : 0.0;
+        EXPECT_NEAR(result.hammingWeight(), expected, 0.12)
+            << combo[0] << combo[1] << combo[2];
+    }
+}
+
+TEST(InMemoryMaj3, RandomOperandsMatchSoftwareOnMostColumns)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    const auto a = randomBits(512, 1);
+    const auto b = randomBits(512, 2);
+    const auto c = randomBits(512, 3);
+    std::map<RowAddr, BitVector> ops;
+    ops.emplace(0, a);
+    ops.emplace(1, b);
+    ops.emplace(2, c);
+    const auto result = maj3(mc, 0, 1, 2, ops);
+    const auto expected = softwareMaj3(a, b, c);
+    const double err =
+        static_cast<double>(result.hammingDistance(expected)) / 512.0;
+    // The baseline operation is imperfect by design (the paper's 9.1%
+    // error rate story) but must be clearly majority-computing.
+    EXPECT_LT(err, 0.15);
+}
+
+TEST(InMemoryMaj3, ResultVisibleInAllThreeRows)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    std::map<RowAddr, BitVector> ops;
+    ops.emplace(0, BitVector(512, true));
+    ops.emplace(1, BitVector(512, true));
+    ops.emplace(2, BitVector(512, false));
+    maj3(mc, 0, 1, 2, ops);
+    for (const RowAddr r : {0u, 1u, 2u}) {
+        EXPECT_GT(mc.readRowVoltage(0, r).hammingWeight(), 0.85)
+            << "row " << r;
+    }
+}

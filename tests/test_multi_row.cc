@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests of multi-row activation through the public API.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "core/multi_row.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+using namespace fracdram::softmc;
+using namespace fracdram::core;
+
+namespace
+{
+
+DramParams
+tinyParams()
+{
+    DramParams p;
+    p.numBanks = 1;
+    p.subarraysPerBank = 1;
+    p.rowsPerSubarray = 32;
+    p.colsPerRow = 256;
+    return p;
+}
+
+} // namespace
+
+TEST(MultiRow, PlannedRowsMatchDecoder)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    const auto rows = plannedOpenedRows(chip, 1, 2);
+    EXPECT_EQ(rows.size(), 3u);
+    const auto rows4 = plannedOpenedRows(chip, 8, 1);
+    EXPECT_EQ(rows4.size(), 4u);
+}
+
+TEST(MultiRow, PlannedRowsOnCheckerIsFirstRowOnly)
+{
+    DramChip chip(DramGroup::J, 1, tinyParams());
+    const auto rows = plannedOpenedRows(chip, 1, 2);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].row, 1u);
+}
+
+TEST(MultiRow, AllOnesSharesToAllOnes)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    for (const RowAddr r : {0u, 1u, 2u})
+        mc.fillRowVoltage(0, r, true);
+    const auto result = multiRowActivate(mc, 0, 1, 2);
+    EXPECT_GT(result.hammingWeight(), 0.99);
+}
+
+TEST(MultiRow, AllZerosSharesToAllZeros)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    for (const RowAddr r : {0u, 1u, 2u})
+        mc.fillRowVoltage(0, r, false);
+    const auto result = multiRowActivate(mc, 0, 1, 2);
+    EXPECT_LT(result.hammingWeight(), 0.01);
+}
+
+TEST(MultiRow, ResultRestoredInAllOpenedRows)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    for (const RowAddr r : {0u, 1u, 2u})
+        mc.fillRowVoltage(0, r, true);
+    multiRowActivate(mc, 0, 1, 2);
+    for (const RowAddr r : {0u, 1u, 2u}) {
+        EXPECT_GT(mc.readRowVoltage(0, r).hammingWeight(), 0.99)
+            << "row " << r;
+    }
+}
+
+TEST(MultiRow, InterruptedLeavesRowsUnsensed)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    // Two high, two low: rows {0,1,8,9}.
+    mc.fillRowVoltage(0, 8, true);
+    mc.fillRowVoltage(0, 0, true);
+    mc.fillRowVoltage(0, 1, false);
+    mc.fillRowVoltage(0, 9, false);
+    multiRowActivateInterrupted(mc, 0, 8, 1);
+    // Cell voltages sit between the rails for most columns.
+    OnlineStats s;
+    for (ColAddr c = 0; c < 256; ++c)
+        s.add(chip.bank(0).cellVoltage(0, c));
+    EXPECT_GT(s.mean(), 0.1);
+    EXPECT_LT(s.mean(), 1.4);
+}
+
+TEST(MultiRow, SequenceShape)
+{
+    const auto seq = buildMultiRowSequence(0, 1, 2, false);
+    // PRE, idle, ACT, PRE, ACT back-to-back ...
+    const auto &cmds = seq.commands();
+    ASSERT_GE(cmds.size(), 5u);
+    EXPECT_EQ(cmds[1].cmd.kind, CommandKind::Act);
+    EXPECT_EQ(cmds[2].cmd.kind, CommandKind::Pre);
+    EXPECT_EQ(cmds[3].cmd.kind, CommandKind::Act);
+    EXPECT_EQ(cmds[2].cycle, cmds[1].cycle + 1);
+    EXPECT_EQ(cmds[3].cycle, cmds[2].cycle + 1);
+}
+
+TEST(MultiRow, InterruptedSequenceHasTrailingPre)
+{
+    const auto seq = buildMultiRowSequence(0, 8, 1, true);
+    const auto &cmds = seq.commands();
+    ASSERT_EQ(cmds.size(), 5u);
+    EXPECT_EQ(cmds[4].cmd.kind, CommandKind::Pre);
+    EXPECT_EQ(cmds[4].cycle, cmds[3].cycle + 1);
+}
+
+TEST(MultiRow, NonCapableGroupActsAsSingleActivation)
+{
+    DramChip chip(DramGroup::E, 1, tinyParams());
+    MemoryController mc(chip, false);
+    mc.fillRowVoltage(0, 1, true);
+    mc.fillRowVoltage(0, 2, false);
+    multiRowActivate(mc, 0, 1, 2);
+    // No charge sharing: both rows keep their values.
+    EXPECT_GT(mc.readRowVoltage(0, 1).hammingWeight(), 0.99);
+    EXPECT_LT(mc.readRowVoltage(0, 2).hammingWeight(), 0.01);
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests of the NIST SP 800-22 implementation: a good PRNG stream must
+ * pass every test; pathological streams must fail the right ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "puf/nist.hh"
+
+using namespace fracdram;
+using namespace fracdram::puf::nist;
+
+namespace
+{
+
+BitVector
+prngStream(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    BitVector v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v.set(i, rng.chance(0.5));
+    return v;
+}
+
+BitVector
+alternatingStream(std::size_t n)
+{
+    BitVector v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v.set(i, i % 2);
+    return v;
+}
+
+BitVector
+biasedStream(std::size_t n, double p, std::uint64_t seed)
+{
+    Rng rng(seed);
+    BitVector v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v.set(i, rng.chance(p));
+    return v;
+}
+
+} // namespace
+
+class NistGoodStream : public ::testing::Test
+{
+  protected:
+    static const BitVector &
+    stream()
+    {
+        static const BitVector s = prngStream(1 << 20, 7);
+        return s;
+    }
+};
+
+TEST_F(NistGoodStream, AllFifteenPass)
+{
+    const auto results = runAll(stream());
+    ASSERT_EQ(results.size(), 15u);
+    for (const auto &r : results)
+        EXPECT_TRUE(r.passed()) << r.name << " minP=" << r.minP();
+    EXPECT_TRUE(allPassed(results));
+}
+
+TEST_F(NistGoodStream, PValuesInRange)
+{
+    for (const auto &r : runAll(stream())) {
+        for (const double p : r.pValues) {
+            EXPECT_GE(p, 0.0) << r.name;
+            EXPECT_LE(p, 1.0 + 1e-9) << r.name;
+        }
+    }
+}
+
+TEST(NistBadStreams, AllZerosFailsFrequency)
+{
+    const BitVector zeros(200000, false);
+    EXPECT_FALSE(frequency(zeros).passed());
+    EXPECT_FALSE(cumulativeSums(zeros).passed());
+}
+
+TEST(NistBadStreams, AlternatingFailsRunsButNotFrequency)
+{
+    const auto alt = alternatingStream(200000);
+    EXPECT_TRUE(frequency(alt).passed()); // perfectly balanced
+    EXPECT_FALSE(runs(alt).passed());     // way too many runs
+    // The default m=16 needs n >= 2^18; use a window the stream
+    // length supports.
+    EXPECT_FALSE(serial(alt, 12).passed());
+    EXPECT_FALSE(approximateEntropy(alt).passed());
+}
+
+TEST(NistBadStreams, BiasedStreamFailsFrequency)
+{
+    const auto biased = biasedStream(200000, 0.45, 3);
+    EXPECT_FALSE(frequency(biased).passed());
+}
+
+TEST(NistBadStreams, PeriodicFailsDft)
+{
+    // Period-8 pattern: huge spectral peaks.
+    BitVector v(1 << 17);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v.set(i, (i % 8) < 3);
+    EXPECT_FALSE(discreteFourierTransform(v).passed());
+}
+
+TEST(NistBadStreams, LowComplexityFailsBerlekampMassey)
+{
+    // An LFSR-like (period 4) stream has tiny linear complexity.
+    BitVector v(200000);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v.set(i, (i % 4) == 0);
+    EXPECT_FALSE(linearComplexity(v).passed());
+}
+
+TEST(NistBadStreams, ConstantBlocksFailBlockFrequency)
+{
+    // First half ones, second half zeros: balanced overall.
+    BitVector v(200000);
+    for (std::size_t i = 0; i < 100000; ++i)
+        v.set(i, true);
+    EXPECT_TRUE(frequency(v).passed());
+    EXPECT_FALSE(blockFrequency(v).passed());
+    EXPECT_FALSE(longestRunOfOnes(v).passed());
+}
+
+TEST(NistApplicability, ShortStreamsNotApplicable)
+{
+    const auto tiny = prngStream(64, 1);
+    EXPECT_FALSE(frequency(tiny).applicable);
+    EXPECT_FALSE(universal(tiny).applicable);
+    EXPECT_FALSE(binaryMatrixRank(tiny).applicable);
+    // Not-applicable counts as passed (cannot judge).
+    EXPECT_TRUE(frequency(tiny).passed());
+}
+
+TEST(NistHelpers, AperiodicTemplates)
+{
+    const auto ts = aperiodicTemplates(9, 8);
+    ASSERT_EQ(ts.size(), 8u);
+    for (const auto &t : ts) {
+        EXPECT_EQ(t.size(), 9u);
+        // No proper self-overlap: shifting the template over itself
+        // never matches.
+        for (std::size_t shift = 1; shift < 9; ++shift) {
+            bool match = true;
+            for (std::size_t i = 0; i + shift < 9; ++i)
+                match &= t.get(i) == t.get(i + shift);
+            EXPECT_FALSE(match);
+        }
+    }
+}
+
+TEST(NistHelpers, TestResultMinP)
+{
+    TestResult r;
+    r.name = "x";
+    r.pValues = {0.5, 0.02, 0.9};
+    EXPECT_DOUBLE_EQ(r.minP(), 0.02);
+    EXPECT_TRUE(r.passed(0.01));
+    EXPECT_FALSE(r.passed(0.05));
+}
+
+TEST(NistKnownAnswer, FrequencySmallExample)
+{
+    // SP 800-22 Sec. 2.1.8 example: eps = 1011010101, n = 10,
+    // s_obs = 0.632455, P-value = 0.527089. (Our implementation
+    // requires n >= 100; check via a repeated-draw equivalent by
+    // computing on the exact example with the guard relaxed is not
+    // possible, so verify the erfc formula directly.)
+    const double s_obs = 0.632455532;
+    const double p = std::erfc(s_obs / std::sqrt(2.0));
+    EXPECT_NEAR(p, 0.527089, 1e-5);
+}

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Property-based tests (parameterized sweeps) over the simulator's
+ * invariants:
+ *
+ *  - charge sharing never leaves the rail envelope
+ *  - the decoder's opened sets are power-of-two sized, sub-array
+ *    local, and always contain R2
+ *  - Frac walks voltages monotonically toward V_dd/2 on every
+ *    Frac-capable group
+ *  - voltage-domain round trips hold for every row polarity
+ *  - leakage is monotone in time and temperature
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "core/frac_op.hh"
+#include "core/multi_row.hh"
+#include "sim/chip.hh"
+#include "sim/row_decoder.hh"
+#include "softmc/controller.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+using namespace fracdram::softmc;
+
+namespace
+{
+
+DramParams
+tinyParams()
+{
+    DramParams p;
+    p.numBanks = 1;
+    p.subarraysPerBank = 2;
+    p.rowsPerSubarray = 32;
+    p.colsPerRow = 128;
+    return p;
+}
+
+std::string
+paramGroupName(const ::testing::TestParamInfo<DramGroup> &info)
+{
+    return groupName(info.param);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Decoder properties, swept over all multi-row-capable groups and
+// many row pairs.
+// ---------------------------------------------------------------
+
+class DecoderProperty : public ::testing::TestWithParam<DramGroup>
+{
+};
+
+TEST_P(DecoderProperty, OpenedSetInvariants)
+{
+    const auto &profile = vendorProfile(GetParam());
+    constexpr std::uint32_t rows_per_subarray = 64;
+    for (RowAddr r1 = 0; r1 < 24; ++r1) {
+        for (RowAddr r2 = 0; r2 < 24; ++r2) {
+            const auto opened =
+                glitchOpenedRows(profile, r1, r2, rows_per_subarray);
+            // Non-empty; power-of-two sized except for group B's
+            // three-row sets (the dropped OR-term row).
+            ASSERT_FALSE(opened.empty());
+            const bool three_ok =
+                profile.dropsOrRowForAdjacentPairs &&
+                opened.size() == 3;
+            EXPECT_TRUE(std::has_single_bit(opened.size()) || three_ok)
+                << r1 << "," << r2;
+            // R2 always opens; everything stays in R2's sub-array.
+            bool has_r2 = false;
+            std::set<RowAddr> unique;
+            for (const auto &o : opened) {
+                has_r2 |= o.row == r2;
+                unique.insert(o.row);
+                EXPECT_EQ(o.row / rows_per_subarray,
+                          r2 / rows_per_subarray);
+            }
+            EXPECT_TRUE(has_r2) << r1 << "," << r2;
+            EXPECT_EQ(unique.size(), opened.size());
+            // At most one FirstAct / SecondAct role.
+            int first = 0, second = 0;
+            for (const auto &o : opened) {
+                first += o.role == RowRole::FirstAct;
+                second += o.role == RowRole::SecondAct;
+            }
+            EXPECT_LE(first, 1);
+            EXPECT_LE(second, 1);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGroups, DecoderProperty,
+                         ::testing::Values(DramGroup::A, DramGroup::B,
+                                           DramGroup::C, DramGroup::D,
+                                           DramGroup::E),
+                         paramGroupName);
+
+// ---------------------------------------------------------------
+// Frac monotonicity on every Frac-capable group.
+// ---------------------------------------------------------------
+
+class FracProperty : public ::testing::TestWithParam<DramGroup>
+{
+};
+
+TEST_P(FracProperty, VoltageWalksTowardHalfVdd)
+{
+    DramChip chip(GetParam(), 3, tinyParams());
+    MemoryController mc(chip, false);
+    mc.fillRowVoltage(0, 4, true);
+    double prev_gap = 0.75;
+    for (int n = 1; n <= 4; ++n) {
+        core::frac(mc, 0, 4, 1);
+        OnlineStats gap;
+        for (ColAddr c = 0; c < 128; ++c)
+            gap.add(std::abs(chip.bank(0).cellVoltage(4, c) - 0.75));
+        EXPECT_LT(gap.mean(), prev_gap) << "frac " << n;
+        prev_gap = gap.mean();
+    }
+    EXPECT_LT(prev_gap, 0.12);
+}
+
+TEST_P(FracProperty, VoltageEnvelopeRespected)
+{
+    // Cells never exceed the rail envelope, regardless of the
+    // operation mix.
+    DramChip chip(GetParam(), 4, tinyParams());
+    MemoryController mc(chip, false);
+    Rng rng(17);
+    for (int step = 0; step < 30; ++step) {
+        const RowAddr row = static_cast<RowAddr>(rng.below(8));
+        switch (rng.below(3)) {
+          case 0:
+            mc.fillRowVoltage(0, row, rng.chance(0.5));
+            break;
+          case 1:
+            core::frac(mc, 0, row, 1 + static_cast<int>(rng.below(3)));
+            break;
+          default:
+            mc.readRow(0, row);
+            break;
+        }
+        for (ColAddr c = 0; c < 16; ++c) {
+            const double v = chip.bank(0).cellVoltage(row, c);
+            EXPECT_GE(v, -0.01);
+            EXPECT_LE(v, 1.51);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(FracCapable, FracProperty,
+                         ::testing::Values(DramGroup::A, DramGroup::B,
+                                           DramGroup::C, DramGroup::D,
+                                           DramGroup::E, DramGroup::F,
+                                           DramGroup::G, DramGroup::H,
+                                           DramGroup::I),
+                         paramGroupName);
+
+// ---------------------------------------------------------------
+// Voltage-domain round trips for both polarities, all groups.
+// ---------------------------------------------------------------
+
+class PolarityProperty : public ::testing::TestWithParam<DramGroup>
+{
+};
+
+TEST_P(PolarityProperty, LogicRoundTripBothPolarities)
+{
+    DramChip chip(GetParam(), 5, tinyParams());
+    MemoryController mc(chip, false);
+    Rng rng(23);
+    for (const RowAddr row : {6u, 7u}) { // true row and anti row
+        BitVector data(128);
+        for (std::size_t i = 0; i < 128; ++i)
+            data.set(i, rng.chance(0.5));
+        mc.writeRow(0, row, data);
+        EXPECT_TRUE(mc.readRow(0, row) == data) << "row " << row;
+        // Voltage domain: logic and physical agree only on true rows.
+        const auto v = mc.readRowVoltage(0, row);
+        mc.writeRow(0, row, data);
+        if (chip.rowIsAnti(0, row))
+            EXPECT_EQ(v.hammingDistance(data), data.size());
+        else
+            EXPECT_TRUE(v == data);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGroups, PolarityProperty,
+                         ::testing::Values(DramGroup::B, DramGroup::E,
+                                           DramGroup::J),
+                         paramGroupName);
+
+// ---------------------------------------------------------------
+// Leakage monotonicity.
+// ---------------------------------------------------------------
+
+TEST(LeakageProperty, MonotoneInTime)
+{
+    DramChip chip(DramGroup::B, 6, tinyParams());
+    MemoryController mc(chip, false);
+    mc.fillRowVoltage(0, 4, true);
+    double prev = 1.6;
+    for (int step = 0; step < 6; ++step) {
+        OnlineStats s;
+        for (ColAddr c = 0; c < 128; ++c)
+            s.add(chip.bank(0).cellVoltage(4, c));
+        EXPECT_LE(s.mean(), prev + 1e-9);
+        prev = s.mean();
+        mc.waitSeconds(3600.0 * 500.0);
+    }
+}
+
+TEST(LeakageProperty, MonotoneInTemperature)
+{
+    double prev_mean = 2.0;
+    for (const double temp : {20.0, 45.0, 70.0}) {
+        DramChip chip(DramGroup::B, 7, tinyParams());
+        MemoryController mc(chip, false);
+        chip.env().temperatureC = temp;
+        mc.fillRowVoltage(0, 4, true);
+        mc.waitSeconds(3600.0 * 500.0);
+        OnlineStats s;
+        for (ColAddr c = 0; c < 128; ++c)
+            s.add(chip.bank(0).cellVoltage(4, c));
+        EXPECT_LT(s.mean(), prev_mean) << temp;
+        prev_mean = s.mean();
+    }
+}
+
+// ---------------------------------------------------------------
+// Charge sharing stays within the operand envelope.
+// ---------------------------------------------------------------
+
+TEST(ChargeShareProperty, SharedVoltageWithinEnvelope)
+{
+    DramChip chip(DramGroup::B, 8, tinyParams());
+    MemoryController mc(chip, false);
+    Rng rng(31);
+    for (int trial = 0; trial < 10; ++trial) {
+        // Random rail pattern in the four rows, then Half-m.
+        for (const RowAddr r : {0u, 1u, 8u, 9u}) {
+            BitVector bits(128);
+            for (std::size_t i = 0; i < 128; ++i)
+                bits.set(i, rng.chance(0.5));
+            mc.writeRowVoltage(0, r, bits);
+        }
+        core::multiRowActivateInterrupted(mc, 0, 8, 1);
+        for (const RowAddr r : {0u, 1u, 8u, 9u}) {
+            for (ColAddr c = 0; c < 128; ++c) {
+                const double v = chip.bank(0).cellVoltage(r, c);
+                EXPECT_GE(v, -0.05);
+                EXPECT_LE(v, 1.55);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Determinism: identical serial numbers replay identical behaviour.
+// ---------------------------------------------------------------
+
+TEST(DeterminismProperty, SameSerialSameBehaviour)
+{
+    auto run = [] {
+        DramChip chip(DramGroup::B, 77, tinyParams());
+        MemoryController mc(chip, false);
+        mc.fillRowVoltage(0, 4, true);
+        core::frac(mc, 0, 4, 10);
+        return mc.readRowVoltage(0, 4);
+    };
+    EXPECT_TRUE(run() == run());
+}
+
+// ---------------------------------------------------------------
+// PUF Hamming weight tracks each group's fitted sense-amp bias.
+// ---------------------------------------------------------------
+
+class HammingWeightProperty : public ::testing::TestWithParam<DramGroup>
+{
+};
+
+TEST_P(HammingWeightProperty, MatchesProfileBias)
+{
+    DramParams params = tinyParams();
+    params.colsPerRow = 4096;
+    DramChip chip(GetParam(), 21, params);
+    MemoryController mc(chip, false);
+    // Ten Fracs from all ones, read out: HW ~ Phi(-mean/sigma_eff).
+    mc.fillRowVoltage(0, 4, true);
+    core::frac(mc, 0, 4, 10);
+    const double hw = mc.readRowVoltage(0, 4).hammingWeight();
+
+    const auto &p = chip.profile();
+    const double cell_part =
+        p.cellFracOffsetSigma / (params.bitlineCapRatio + 1.0);
+    const double eff = std::sqrt(p.saOffsetSigma * p.saOffsetSigma +
+                                 cell_part * cell_part);
+    const double expected = normalCdf(-p.saOffsetMean / eff);
+    EXPECT_NEAR(hw, expected, 0.08) << groupName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(FracCapable, HammingWeightProperty,
+                         ::testing::Values(DramGroup::A, DramGroup::B,
+                                           DramGroup::C, DramGroup::E,
+                                           DramGroup::G, DramGroup::H,
+                                           DramGroup::I, DramGroup::M),
+                         paramGroupName);

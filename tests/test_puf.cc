@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests of the Frac-based PUF.
+ */
+
+#include <gtest/gtest.h>
+
+#include "puf/hamming.hh"
+#include "puf/puf.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+using namespace fracdram::softmc;
+using namespace fracdram::puf;
+
+namespace
+{
+
+DramParams
+tinyParams()
+{
+    DramParams p;
+    p.numBanks = 4;
+    p.subarraysPerBank = 1;
+    p.rowsPerSubarray = 16;
+    p.colsPerRow = 1024;
+    return p;
+}
+
+} // namespace
+
+class PufTest : public ::testing::Test
+{
+  protected:
+    DramChip chip{DramGroup::E, 1, tinyParams()};
+    MemoryController mc{chip, false};
+    FracPuf puf{mc, 10};
+};
+
+TEST_F(PufTest, ChallengesSpreadOverBanks)
+{
+    const auto cs = puf.makeChallenges(8);
+    ASSERT_EQ(cs.size(), 8u);
+    std::set<BankAddr> banks;
+    for (const auto &c : cs)
+        banks.insert(c.bank);
+    EXPECT_EQ(banks.size(), 4u);
+    // All distinct.
+    for (std::size_t i = 0; i < cs.size(); ++i)
+        for (std::size_t j = i + 1; j < cs.size(); ++j)
+            EXPECT_FALSE(cs[i] == cs[j]);
+}
+
+TEST_F(PufTest, TooManyChallengesDies)
+{
+    EXPECT_DEATH(puf.makeChallenges(4 * 16 + 1), "more challenges");
+}
+
+TEST_F(PufTest, ResponseLengthMatchesRow)
+{
+    const auto r = puf.evaluate({0, 3});
+    EXPECT_EQ(r.size(), 1024u);
+}
+
+TEST_F(PufTest, SameChallengeNearIdenticalResponse)
+{
+    const Challenge c{1, 5};
+    const auto r1 = puf.evaluate(c);
+    const auto r2 = puf.evaluate(c);
+    EXPECT_LT(normalizedHammingDistance(r1, r2), 0.08);
+}
+
+TEST_F(PufTest, DifferentChallengesIndependentResponses)
+{
+    const auto r1 = puf.evaluate({0, 3});
+    const auto r2 = puf.evaluate({0, 7});
+    const double hd = normalizedHammingDistance(r1, r2);
+    EXPECT_GT(hd, 0.3);
+}
+
+TEST_F(PufTest, DifferentModulesIndependentResponses)
+{
+    DramChip other(DramGroup::E, 99, tinyParams());
+    MemoryController mc2(other, false);
+    FracPuf puf2(mc2, 10);
+    const Challenge c{0, 3};
+    const double hd =
+        normalizedHammingDistance(puf.evaluate(c), puf2.evaluate(c));
+    EXPECT_GT(hd, 0.3);
+}
+
+TEST_F(PufTest, EvaluationCycleModel)
+{
+    // 88 preparation cycles (copy + 10 Fracs) + burst readout.
+    EXPECT_EQ(puf.preparationCycles(), 88u);
+    EXPECT_EQ(puf.evaluationCycles(),
+              88u + mc.readRowCycles());
+}
+
+TEST_F(PufTest, DiscardAfterEvaluateFreesRows)
+{
+    puf.setDiscardAfterEvaluate(true);
+    puf.evaluate({2, 9});
+    EXPECT_FALSE(chip.bank(2).rowAllocated(9));
+    puf.setDiscardAfterEvaluate(false);
+    puf.evaluate({2, 9});
+    EXPECT_TRUE(chip.bank(2).rowAllocated(9));
+}
+
+TEST_F(PufTest, FewerFracsWeakerFingerprint)
+{
+    // With one Frac the residual data dependence is strong: the
+    // response is biased toward the all-ones initialization.
+    FracPuf weak(mc, 1);
+    const auto r = weak.evaluate({0, 2});
+    const auto strong = puf.evaluate({0, 2});
+    EXPECT_GT(r.hammingWeight(), strong.hammingWeight());
+}
+
+TEST(PufValidation, RejectsCheckerGroups)
+{
+    DramChip chip(DramGroup::J, 1, tinyParams());
+    MemoryController mc(chip, false);
+    EXPECT_DEATH(FracPuf(mc, 10), "cannot Frac");
+}
+
+TEST(PufValidation, RejectsZeroFracs)
+{
+    DramChip chip(DramGroup::E, 1, tinyParams());
+    MemoryController mc(chip, false);
+    EXPECT_DEATH(FracPuf(mc, 0), "at least one");
+}
+
+TEST(PufHammingWeight, GroupBiasVisible)
+{
+    // Group A's sense amps are biased: far fewer ones than group I.
+    DramParams p = tinyParams();
+    DramChip chip_a(DramGroup::A, 1, p);
+    MemoryController mc_a(chip_a, false);
+    FracPuf puf_a(mc_a, 10);
+    DramChip chip_i(DramGroup::I, 1, p);
+    MemoryController mc_i(chip_i, false);
+    FracPuf puf_i(mc_i, 10);
+    const double hw_a = puf_a.evaluate({0, 3}).hammingWeight();
+    const double hw_i = puf_i.evaluate({0, 3}).hammingWeight();
+    EXPECT_LT(hw_a, 0.35);
+    EXPECT_GT(hw_i, 0.4);
+    EXPECT_LT(hw_i, 0.6);
+}
+
+TEST_F(PufTest, InDramInitMatchesBusInit)
+{
+    // The 88-cycle preparation path (in-DRAM copy from a reserved
+    // all-ones row) must produce the same fingerprint as a bus write.
+    const Challenge c{0, 3};
+    const auto bus = puf.evaluate(c);
+    puf.setUseInDramInit(true);
+    const auto indram = puf.evaluate(c);
+    EXPECT_LT(normalizedHammingDistance(bus, indram), 0.08);
+    puf.setUseInDramInit(false);
+}
+
+TEST_F(PufTest, InDramInitRejectsReservedRow)
+{
+    puf.setUseInDramInit(true);
+    const RowAddr reserved = chip.dramParams().rowsPerBank() - 1;
+    EXPECT_DEATH(puf.evaluate({0, reserved}), "reserved");
+}
+
+TEST_F(PufTest, ChallengesAvoidReservedRow)
+{
+    const RowAddr reserved = chip.dramParams().rowsPerBank() - 1;
+    for (const auto &c : puf.makeChallenges(40))
+        EXPECT_NE(c.row, reserved);
+}

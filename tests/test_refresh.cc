@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests of the refresh manager (paper Sec. III-C discipline).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/frac_op.hh"
+#include "core/refresh.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+using namespace fracdram::softmc;
+using namespace fracdram::core;
+
+namespace
+{
+
+DramParams
+tinyParams()
+{
+    DramParams p;
+    p.numBanks = 1;
+    p.subarraysPerBank = 1;
+    p.rowsPerSubarray = 16;
+    p.colsPerRow = 128;
+    return p;
+}
+
+} // namespace
+
+class RefreshTest : public ::testing::Test
+{
+  protected:
+    DramChip chip{DramGroup::B, 1, tinyParams()};
+    MemoryController mc{chip, false};
+    RefreshManager mgr{mc};
+};
+
+TEST_F(RefreshTest, NotDueInitially)
+{
+    EXPECT_FALSE(mgr.due());
+    EXPECT_FALSE(mgr.tick());
+    EXPECT_DOUBLE_EQ(mgr.interval(), 0.064);
+}
+
+TEST_F(RefreshTest, DueAfterInterval)
+{
+    mc.waitSeconds(0.065);
+    EXPECT_TRUE(mgr.due());
+    EXPECT_TRUE(mgr.tick());
+    // Refresh happened; no longer due.
+    EXPECT_FALSE(mgr.due());
+    EXPECT_LT(mgr.sinceLast(), 0.001);
+}
+
+TEST_F(RefreshTest, SuspendBlocksTick)
+{
+    mgr.suspend();
+    mc.waitSeconds(0.1);
+    EXPECT_TRUE(mgr.due());
+    EXPECT_FALSE(mgr.tick());
+    EXPECT_TRUE(mgr.overdue());
+    mgr.resume(); // issues the overdue refresh immediately
+    EXPECT_FALSE(mgr.due());
+    EXPECT_FALSE(mgr.overdue());
+}
+
+TEST_F(RefreshTest, NestedSuspendBalanced)
+{
+    mgr.suspend();
+    mgr.suspend();
+    mgr.resume();
+    EXPECT_TRUE(mgr.suspended());
+    mgr.resume();
+    EXPECT_FALSE(mgr.suspended());
+    EXPECT_DEATH(mgr.resume(), "matching suspend");
+}
+
+TEST_F(RefreshTest, RefreshPreservesLogicalData)
+{
+    BitVector data(128);
+    for (std::size_t i = 0; i < 128; ++i)
+        data.set(i, i % 3 == 0);
+    mc.writeRow(0, 3, data);
+    mc.waitSeconds(0.065);
+    mgr.tick();
+    EXPECT_TRUE(mc.readRow(0, 3) == data);
+}
+
+TEST_F(RefreshTest, RefreshDestroysFractionalValues)
+{
+    mc.fillRowVoltage(0, 4, true);
+    frac(mc, 0, 4, 5);
+    // The fractional row reads as a mixed pattern before refresh...
+    const double hw_before = chip.bank(0).cellVoltage(4, 0);
+    EXPECT_LT(hw_before, 1.2);
+    mgr.refreshNow();
+    // ...and as solid rails after (the paper's reason to suspend).
+    for (ColAddr c = 0; c < 32; ++c) {
+        const double v = chip.bank(0).cellVoltage(4, c);
+        EXPECT_TRUE(v < 0.01 || v > 1.49) << c;
+    }
+}
+
+TEST_F(RefreshTest, TypicalFracApplicationFitsInWindow)
+{
+    // The paper's point: 64 ms is plenty for a Frac application.
+    // A full PUF evaluation costs ~1.5 us of bus time.
+    mgr.suspend();
+    mc.fillRowVoltage(0, 4, true);
+    frac(mc, 0, 4, 10);
+    mc.readRowVoltage(0, 4);
+    mgr.resume();
+    EXPECT_LT(mgr.sinceLast(), 0.064); // never became overdue
+}
+
+TEST(RefreshValidation, BadInterval)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    EXPECT_DEATH(RefreshManager(mc, 0.0), "positive");
+}

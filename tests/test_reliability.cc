@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests of compute-lane reliability profiling and the host-side
+ * compact/expand helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "compute/reliability.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+using namespace fracdram::softmc;
+using namespace fracdram::compute;
+
+namespace
+{
+
+DramParams
+engineParams()
+{
+    DramParams p;
+    p.numBanks = 1;
+    p.subarraysPerBank = 1;
+    p.rowsPerSubarray = 128;
+    p.colsPerRow = 256;
+    return p;
+}
+
+} // namespace
+
+TEST(LaneProfiling, MostLanesReliable)
+{
+    DramChip chip(DramGroup::B, 1, engineParams());
+    MemoryController mc(chip, false);
+    BitwiseEngine engine(mc);
+    const auto profile = profileLanes(engine, 8);
+    ASSERT_EQ(profile.successRate.size(), engine.lanes());
+    const double frac =
+        static_cast<double>(profile.reliableCount(1.0)) /
+        static_cast<double>(engine.lanes());
+    EXPECT_GT(frac, 0.7);
+    EXPECT_LT(frac, 1.0 + 1e-9);
+    for (const double r : profile.successRate) {
+        EXPECT_GE(r, 0.0);
+        EXPECT_LE(r, 1.0);
+    }
+}
+
+TEST(LaneProfiling, ThresholdMonotone)
+{
+    DramChip chip(DramGroup::C, 1, engineParams());
+    MemoryController mc(chip, false);
+    BitwiseEngine engine(mc);
+    const auto profile = profileLanes(engine, 6);
+    EXPECT_GE(profile.reliableCount(0.8), profile.reliableCount(1.0));
+    EXPECT_EQ(profile.reliableCount(0.0), engine.lanes());
+}
+
+TEST(LaneProfiling, ProfilingReleasesItsRows)
+{
+    DramChip chip(DramGroup::B, 2, engineParams());
+    MemoryController mc(chip, false);
+    BitwiseEngine engine(mc);
+    const std::size_t before = engine.freeRows();
+    profileLanes(engine, 2);
+    EXPECT_EQ(engine.freeRows(), before);
+}
+
+TEST(CompactExpand, RoundTrip)
+{
+    BitVector mask(16, false);
+    for (const std::size_t lane : {1u, 4u, 5u, 9u, 14u})
+        mask.set(lane, true);
+    const auto data = BitVector::fromString("10110");
+    const auto lanes = compactToLanes(data, mask);
+    EXPECT_EQ(lanes.size(), 16u);
+    EXPECT_TRUE(lanes.get(1));
+    EXPECT_FALSE(lanes.get(4));
+    EXPECT_TRUE(lanes.get(5));
+    EXPECT_TRUE(lanes.get(9));
+    EXPECT_FALSE(lanes.get(14));
+    // Unmasked lanes carry zero.
+    EXPECT_FALSE(lanes.get(0));
+    const auto back = expandFromLanes(lanes, mask, 5);
+    EXPECT_TRUE(back == data);
+}
+
+TEST(CompactExpand, CapacityChecks)
+{
+    BitVector mask(8, false);
+    mask.set(0, true);
+    EXPECT_DEATH(compactToLanes(BitVector(2, true), mask), "exceeds");
+    EXPECT_DEATH(expandFromLanes(BitVector(8), mask, 2),
+                 "fewer lanes");
+    EXPECT_DEATH(expandFromLanes(BitVector(4), mask, 1),
+                 "sizes differ");
+}
+
+TEST(CompactExpand, EndToEndWithEngine)
+{
+    // Full flow: profile, place payload on reliable lanes, compute,
+    // read back only the reliable lanes - zero errors.
+    DramChip chip(DramGroup::B, 3, engineParams());
+    MemoryController mc(chip, false);
+    BitwiseEngine engine(mc);
+    const auto mask = profileLanes(engine, 10).reliableLanes(1.0);
+    const std::size_t payload = std::min<std::size_t>(
+        64, mask.popcount());
+
+    Rng rng(9);
+    BitVector a_data(payload), b_data(payload);
+    for (std::size_t i = 0; i < payload; ++i) {
+        a_data.set(i, rng.chance(0.5));
+        b_data.set(i, rng.chance(0.5));
+    }
+    const Value a = engine.alloc(), b = engine.alloc();
+    engine.write(a, compactToLanes(a_data, mask));
+    engine.write(b, compactToLanes(b_data, mask));
+    const Value r = engine.opAnd(a, b);
+    const auto result =
+        expandFromLanes(engine.read(r), mask, payload);
+    std::size_t errors = 0;
+    for (std::size_t i = 0; i < payload; ++i) {
+        errors +=
+            result.get(i) != (a_data.get(i) && b_data.get(i));
+    }
+    // Reliable lanes were selected for exactly this stability.
+    EXPECT_LE(errors, payload / 20);
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests of the retention profiler (the destructive voltage probe).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/frac_op.hh"
+#include "core/retention.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+using namespace fracdram::softmc;
+using namespace fracdram::core;
+
+namespace
+{
+
+DramParams
+tinyParams()
+{
+    DramParams p;
+    p.numBanks = 1;
+    p.subarraysPerBank = 1;
+    p.rowsPerSubarray = 16;
+    p.colsPerRow = 512;
+    return p;
+}
+
+} // namespace
+
+TEST(RetentionBuckets, PaperRanges)
+{
+    EXPECT_EQ(RetentionBuckets::numBuckets(), 6u);
+    EXPECT_EQ(RetentionBuckets::label(0), "0");
+    EXPECT_EQ(RetentionBuckets::label(1), "0-10min");
+    EXPECT_EQ(RetentionBuckets::label(5), ">12h");
+    const auto &probes = RetentionBuckets::probeTimes();
+    ASSERT_EQ(probes.size(), 5u);
+    EXPECT_DOUBLE_EQ(probes.back(), 12.0 * 3600.0);
+    EXPECT_DEATH(RetentionBuckets::label(6), "bucket");
+}
+
+TEST(RetentionProfiler, FullCellsMostlyTopBucket)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    RetentionProfiler profiler(mc, 0, 4);
+    const auto buckets = profiler.profile(
+        [&] { mc.fillRowVoltage(0, 4, true); });
+    std::size_t top = 0;
+    for (const auto b : buckets)
+        top += b == 5;
+    EXPECT_GT(static_cast<double>(top) /
+                  static_cast<double>(buckets.size()),
+              0.8);
+}
+
+TEST(RetentionProfiler, FracShortensRetention)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    RetentionProfiler profiler(mc, 0, 4);
+    const auto base = profiler.profile(
+        [&] { mc.fillRowVoltage(0, 4, true); });
+    const auto frac5 = profiler.profile([&] {
+        mc.fillRowVoltage(0, 4, true);
+        frac(mc, 0, 4, 5);
+    });
+    double base_mean = 0.0, frac_mean = 0.0;
+    for (std::size_t c = 0; c < base.size(); ++c) {
+        base_mean += static_cast<double>(base[c]);
+        frac_mean += static_cast<double>(frac5[c]);
+    }
+    EXPECT_LT(frac_mean, base_mean * 0.8);
+}
+
+TEST(RetentionProfiler, MoreFracsNeverLengthenRetentionMuch)
+{
+    // Per-cell monotonicity, allowing the odd VRT cell.
+    DramChip chip(DramGroup::B, 2, tinyParams());
+    MemoryController mc(chip, false);
+    RetentionProfiler profiler(mc, 0, 4);
+    std::vector<std::size_t> prev;
+    int violations = 0;
+    for (const int n : {0, 2, 4}) {
+        const auto buckets = profiler.profile([&] {
+            mc.fillRowVoltage(0, 4, true);
+            if (n > 0)
+                frac(mc, 0, 4, n);
+        });
+        if (!prev.empty()) {
+            for (std::size_t c = 0; c < buckets.size(); ++c)
+                violations += buckets[c] > prev[c];
+        }
+        prev = buckets;
+    }
+    EXPECT_LT(violations, 30); // < ~3% of 2x512 comparisons
+}
+
+TEST(RetentionProfiler, ZeroCellsDieImmediately)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    RetentionProfiler profiler(mc, 0, 4);
+    const auto buckets = profiler.profile(
+        [&] { mc.fillRowVoltage(0, 4, false); });
+    for (const auto b : buckets)
+        EXPECT_EQ(b, 0u);
+}
+
+TEST(RetentionProfiler, CustomProbeTimes)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    RetentionProfiler profiler(mc, 0, 4);
+    const auto buckets = profiler.profile(
+        [&] { mc.fillRowVoltage(0, 4, true); }, {1.0, 10.0});
+    for (const auto b : buckets)
+        EXPECT_LE(b, 2u);
+}
+
+TEST(RetentionProfiler, ProbeTimesMustIncrease)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    RetentionProfiler profiler(mc, 0, 4);
+    const auto prep = [&] { mc.fillRowVoltage(0, 4, true); };
+    EXPECT_DEATH(profiler.profile(prep, {10.0, 5.0}), "increasing");
+    EXPECT_DEATH(profiler.profile(prep, {}), "probe");
+}
+
+TEST(RetentionProfiler, HotterMeansShorterRetention)
+{
+    DramChip chip(DramGroup::B, 3, tinyParams());
+    MemoryController mc(chip, false);
+    RetentionProfiler profiler(mc, 0, 4);
+    const auto prep = [&] { mc.fillRowVoltage(0, 4, true); };
+
+    chip.env().temperatureC = 20.0;
+    const auto cold = profiler.profile(prep);
+    chip.env().temperatureC = 80.0;
+    const auto hot = profiler.profile(prep);
+    double cold_mean = 0.0, hot_mean = 0.0;
+    for (std::size_t c = 0; c < cold.size(); ++c) {
+        cold_mean += static_cast<double>(cold[c]);
+        hot_mean += static_cast<double>(hot[c]);
+    }
+    EXPECT_LT(hot_mean, cold_mean);
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests of the retention-failure PUF baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "puf/hamming.hh"
+#include "puf/retention_puf.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+using namespace fracdram::softmc;
+using namespace fracdram::puf;
+
+namespace
+{
+
+DramParams
+wideParams()
+{
+    DramParams p;
+    p.numBanks = 1;
+    p.subarraysPerBank = 1;
+    p.rowsPerSubarray = 16;
+    p.colsPerRow = 16384; // sparse signatures need wide rows
+    return p;
+}
+
+} // namespace
+
+TEST(RetentionPufTest, SignatureIsSparse)
+{
+    DramChip chip(DramGroup::B, 1, wideParams());
+    MemoryController mc(chip, false);
+    RetentionPuf rpuf(mc, 120.0);
+    const auto sig = rpuf.evaluate({0, 3});
+    // Only the pathological leaky cells decay within the window.
+    EXPECT_GT(sig.popcount(), 0u);
+    EXPECT_LT(sig.hammingWeight(), 0.01);
+}
+
+TEST(RetentionPufTest, SignatureRepeatable)
+{
+    DramChip chip(DramGroup::B, 1, wideParams());
+    MemoryController mc(chip, false);
+    RetentionPuf rpuf(mc, 120.0);
+    const auto a = rpuf.evaluate({0, 3});
+    const auto b = rpuf.evaluate({0, 3});
+    // Most decayed cells repeat (same leaky population).
+    const auto diff = a.hammingDistance(b);
+    EXPECT_LT(diff, a.popcount() / 2 + 2);
+}
+
+TEST(RetentionPufTest, SignatureUniquePerModule)
+{
+    DramChip chip_a(DramGroup::B, 1, wideParams());
+    MemoryController mc_a(chip_a, false);
+    DramChip chip_b(DramGroup::B, 2, wideParams());
+    MemoryController mc_b(chip_b, false);
+    RetentionPuf puf_a(mc_a, 120.0), puf_b(mc_b, 120.0);
+    const auto a = puf_a.evaluate({0, 3});
+    const auto b = puf_b.evaluate({0, 3});
+    // Different leaky populations: the signatures barely overlap.
+    std::size_t overlap = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        overlap += a.get(i) && b.get(i);
+    EXPECT_LT(overlap, std::min(a.popcount(), b.popcount()) / 2 + 1);
+}
+
+TEST(RetentionPufTest, TemperatureShiftsSignature)
+{
+    // The baseline's weakness: heating accelerates leakage, so many
+    // more cells decay within the same window.
+    DramChip chip(DramGroup::B, 3, wideParams());
+    MemoryController mc(chip, false);
+    RetentionPuf rpuf(mc, 120.0);
+    const auto cold = rpuf.evaluate({0, 3});
+    chip.env().temperatureC = 45.0;
+    const auto hot = rpuf.evaluate({0, 3});
+    EXPECT_GT(hot.popcount(), cold.popcount());
+}
+
+TEST(RetentionPufTest, LongerWindowMoreDecay)
+{
+    DramChip chip(DramGroup::B, 4, wideParams());
+    MemoryController mc(chip, false);
+    RetentionPuf fast(mc, 30.0), slow(mc, 600.0);
+    const auto few = fast.evaluate({0, 3});
+    const auto many = slow.evaluate({0, 3});
+    EXPECT_GE(many.popcount(), few.popcount());
+}
+
+TEST(RetentionPufTest, EvaluationTimeIsTheWindow)
+{
+    DramChip chip(DramGroup::B, 1, wideParams());
+    MemoryController mc(chip, false);
+    RetentionPuf rpuf(mc, 77.0);
+    EXPECT_DOUBLE_EQ(rpuf.evaluationSeconds(), 77.0);
+    EXPECT_DEATH(RetentionPuf(mc, 0.0), "positive");
+}

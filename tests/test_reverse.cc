@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests of the reverse-engineering tools (paper Sec. VI-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/reverse.hh"
+#include "common/logging.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+using namespace fracdram::softmc;
+using namespace fracdram::analysis;
+
+namespace
+{
+
+DramParams
+tinyParams()
+{
+    DramParams p;
+    p.numBanks = 1;
+    p.subarraysPerBank = 1;
+    p.rowsPerSubarray = 64;
+    p.colsPerRow = 256;
+    return p;
+}
+
+struct Quiet
+{
+    Quiet() { setVerbose(false); }
+} quiet;
+
+} // namespace
+
+TEST(ReverseDecoder, GroupBShowsThreeRowSets)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    const auto model = reverseEngineerDecoder(mc, 16);
+    EXPECT_TRUE(model.hasThreeRowSets);
+    EXPECT_EQ(model.maxOpenedRows, 16u); // distance-4 pairs in window
+    EXPECT_EQ(model.inferredWindowBits, 4);
+}
+
+TEST(ReverseDecoder, GroupCIsPowerOfTwoOnly)
+{
+    DramChip chip(DramGroup::C, 1, tinyParams());
+    MemoryController mc(chip, false);
+    const auto model = reverseEngineerDecoder(mc, 16);
+    EXPECT_FALSE(model.hasThreeRowSets);
+    EXPECT_TRUE(model.powerOfTwoOnly);
+    EXPECT_GE(model.maxOpenedRows, 4u);
+    // Distance-2 pairs open 4 rows (the paper's C/D diagnosis).
+    bool any_four = false;
+    for (const auto size : model.sizesByDistance.at(2))
+        any_four |= size == 4;
+    EXPECT_TRUE(any_four);
+}
+
+TEST(ReverseDecoder, NonMultiRowGroupStaysSingle)
+{
+    DramChip chip(DramGroup::E, 1, tinyParams());
+    MemoryController mc(chip, false);
+    const auto model = reverseEngineerDecoder(mc, 8);
+    EXPECT_EQ(model.maxOpenedRows, 1u);
+    EXPECT_FALSE(model.hasThreeRowSets);
+}
+
+TEST(ReverseSense, FlipPointsMonotoneInThreshold)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    const RowAddr row = 4;
+    const auto flips = estimateSenseFlipPoints(mc, 0, row, 12);
+    ASSERT_EQ(flips.size(), 256u);
+
+    // Columns with higher effective thresholds (SA offset minus the
+    // cell's settling offset seen through the divider) must flip
+    // earlier. Check rank agreement on clearly separated pairs.
+    const auto &var = chip.variation();
+    const double divider =
+        chip.dramParams().bitlineCapRatio + 1.0;
+    auto threshold = [&](ColAddr c) {
+        return var.saOffset(0, c) -
+               var.cellFracOffset(0, row, c) / divider;
+    };
+    std::size_t agree = 0, total = 0;
+    for (ColAddr a = 0; a < 256; a += 3) {
+        for (ColAddr b = a + 1; b < 256; b += 7) {
+            const double ta = threshold(a), tb = threshold(b);
+            if (std::abs(ta - tb) < 0.002)
+                continue; // too close to rank reliably
+            if (flips[a] == flips[b])
+                continue;
+            ++total;
+            agree += (ta > tb) == (flips[a] < flips[b]);
+        }
+    }
+    ASSERT_GT(total, 50u);
+    EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total),
+              0.8);
+}
+
+TEST(ReverseSense, AllRailOnCheckerChips)
+{
+    // Frac has no effect: nothing flips within the budget.
+    DramChip chip(DramGroup::J, 1, tinyParams());
+    MemoryController mc(chip, false);
+    const auto flips = estimateSenseFlipPoints(mc, 0, 4, 6);
+    for (const int f : flips)
+        EXPECT_EQ(f, 7);
+}

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG infrastructure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hh"
+
+using namespace fracdram;
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMean)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.gaussian();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianShifted)
+{
+    Rng r(17);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += r.gaussian(3.0, 0.5);
+    EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, LognormalMedian)
+{
+    Rng r(19);
+    std::vector<double> xs;
+    for (int i = 0; i < 50001; ++i)
+        xs.push_back(r.lognormal(0.0, 1.0));
+    std::nth_element(xs.begin(), xs.begin() + 25000, xs.end());
+    EXPECT_NEAR(xs[25000], 1.0, 0.05);
+}
+
+TEST(Rng, BetaRangeAndMean)
+{
+    Rng r(23);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.beta(6.0, 4.0);
+        EXPECT_GT(x, 0.0);
+        EXPECT_LT(x, 1.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, 0.6, 0.01); // mean a/(a+b)
+}
+
+TEST(Rng, GammaMean)
+{
+    Rng r(29);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += r.gamma(2.5);
+    EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, GammaSmallShape)
+{
+    Rng r(31);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += r.gamma(0.5);
+    EXPECT_NEAR(sum / n, 0.5, 0.03);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng r(37);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BelowBounds)
+{
+    Rng r(41);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto x = r.below(10);
+        EXPECT_LT(x, 10u);
+        seen.insert(x);
+    }
+    EXPECT_EQ(seen.size(), 10u); // all values reachable
+}
+
+TEST(RngFactory, StreamsIndependentOfQueryOrder)
+{
+    RngFactory f(99);
+    const auto a1 = f.stream(5).next();
+    const auto b1 = f.stream(6).next();
+    const auto b2 = f.stream(6).next();
+    const auto a2 = f.stream(5).next();
+    EXPECT_EQ(a1, a2);
+    EXPECT_EQ(b1, b2);
+}
+
+TEST(RngFactory, SubFactoriesIndependent)
+{
+    RngFactory f(123);
+    const auto x = f.sub(1).stream(7).next();
+    const auto y = f.sub(2).stream(7).next();
+    EXPECT_NE(x, y);
+}
+
+TEST(RngFactory, MixSeedAvalanche)
+{
+    // Neighbouring tags must produce uncorrelated seeds.
+    const auto a = mixSeed(0, 1);
+    const auto b = mixSeed(0, 2);
+    int differing = std::popcount(a ^ b);
+    EXPECT_GT(differing, 16);
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the row-decoder glitch model: the opened-row sets the
+ * paper reports (Secs. II-D, III-B, VI-A1) must come out exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sim/row_decoder.hh"
+#include "sim/vendor.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+
+namespace
+{
+
+std::set<RowAddr>
+rowSet(const std::vector<OpenedRow> &rows)
+{
+    std::set<RowAddr> s;
+    for (const auto &r : rows)
+        s.insert(r.row);
+    return s;
+}
+
+RowRole
+roleOf(const std::vector<OpenedRow> &rows, RowAddr row)
+{
+    for (const auto &r : rows)
+        if (r.row == row)
+            return r.role;
+    ADD_FAILURE() << "row " << row << " not opened";
+    return RowRole::ImplicitOther;
+}
+
+constexpr std::uint32_t kRowsPerSubarray = 64;
+
+} // namespace
+
+TEST(RowDecoder, GroupBAdjacentPairOpensThreeRows)
+{
+    // Paper Sec. V-B: ACT(1)-PRE-ACT(2) opens rows {0, 1, 2}.
+    const auto &p = vendorProfile(DramGroup::B);
+    const auto rows = glitchOpenedRows(p, 1, 2, kRowsPerSubarray);
+    EXPECT_EQ(rowSet(rows), (std::set<RowAddr>{0, 1, 2}));
+    EXPECT_EQ(roleOf(rows, 1), RowRole::FirstAct);
+    EXPECT_EQ(roleOf(rows, 2), RowRole::SecondAct);
+    EXPECT_EQ(roleOf(rows, 0), RowRole::ImplicitAnd);
+}
+
+TEST(RowDecoder, GroupBSpreadPairOpensFourRows)
+{
+    // Paper Sec. III-B: ACT(8)-PRE-ACT(1) opens rows {0, 1, 8, 9}.
+    const auto &p = vendorProfile(DramGroup::B);
+    const auto rows = glitchOpenedRows(p, 8, 1, kRowsPerSubarray);
+    EXPECT_EQ(rowSet(rows), (std::set<RowAddr>{0, 1, 8, 9}));
+    EXPECT_EQ(roleOf(rows, 8), RowRole::FirstAct);
+    EXPECT_EQ(roleOf(rows, 1), RowRole::SecondAct);
+    EXPECT_EQ(roleOf(rows, 0), RowRole::ImplicitAnd);
+    EXPECT_EQ(roleOf(rows, 9), RowRole::ImplicitOther);
+}
+
+TEST(RowDecoder, GroupCAdjacentPairOpensFourRows)
+{
+    // Paper Sec. VI-A1: groups C/D cannot open exactly three rows;
+    // (1,2) opens the whole aligned block {0, 1, 2, 3}.
+    const auto &p = vendorProfile(DramGroup::C);
+    const auto rows = glitchOpenedRows(p, 1, 2, kRowsPerSubarray);
+    EXPECT_EQ(rowSet(rows), (std::set<RowAddr>{0, 1, 2, 3}));
+}
+
+TEST(RowDecoder, PowersOfTwoOnly)
+{
+    // Every opened set on group C has power-of-two size.
+    const auto &p = vendorProfile(DramGroup::C);
+    for (RowAddr r1 = 0; r1 < 16; ++r1) {
+        for (RowAddr r2 = 0; r2 < 16; ++r2) {
+            if (r1 == r2)
+                continue;
+            const auto n =
+                glitchOpenedRows(p, r1, r2, kRowsPerSubarray).size();
+            EXPECT_TRUE(n == 1 || n == 2 || n == 4 || n == 8 || n == 16)
+                << "r1=" << r1 << " r2=" << r2 << " -> " << n;
+        }
+    }
+}
+
+TEST(RowDecoder, KDifferingBitsOpenTwoToTheK)
+{
+    const auto &p = vendorProfile(DramGroup::C);
+    // 3 differing bits inside the window -> 8 rows.
+    const auto rows = glitchOpenedRows(p, 0, 7, kRowsPerSubarray);
+    EXPECT_EQ(rows.size(), 8u);
+    EXPECT_EQ(rowSet(rows),
+              (std::set<RowAddr>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(RowDecoder, OutsideGlitchWindowNoGlitch)
+{
+    // Differing bit above the glitch window: no extra rows open.
+    const auto &p = vendorProfile(DramGroup::B);
+    ASSERT_EQ(p.glitchWindowBits, 4);
+    const auto rows = glitchOpenedRows(p, 0, 32, kRowsPerSubarray);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].row, 32u);
+}
+
+TEST(RowDecoder, CrossSubarrayNoGlitch)
+{
+    const auto &p = vendorProfile(DramGroup::B);
+    // Rows 63 and 64 sit in different sub-arrays.
+    const auto rows = glitchOpenedRows(p, 63, 64, kRowsPerSubarray);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].row, 64u);
+}
+
+TEST(RowDecoder, SingleBitDifferenceOpensPair)
+{
+    const auto &p = vendorProfile(DramGroup::C);
+    const auto rows = glitchOpenedRows(p, 4, 5, kRowsPerSubarray);
+    EXPECT_EQ(rowSet(rows), (std::set<RowAddr>{4, 5}));
+    EXPECT_EQ(roleOf(rows, 4), RowRole::FirstAct);
+    EXPECT_EQ(roleOf(rows, 5), RowRole::SecondAct);
+}
+
+TEST(RowDecoder, SameRowNoGlitch)
+{
+    const auto &p = vendorProfile(DramGroup::B);
+    const auto rows = glitchOpenedRows(p, 3, 3, kRowsPerSubarray);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].row, 3u);
+}
+
+TEST(RowDecoder, NonMultiRowGroupsNeverGlitch)
+{
+    for (const auto g : {DramGroup::A, DramGroup::E, DramGroup::F,
+                         DramGroup::G, DramGroup::H, DramGroup::I}) {
+        const auto &p = vendorProfile(g);
+        const auto rows = glitchOpenedRows(p, 1, 2, kRowsPerSubarray);
+        ASSERT_EQ(rows.size(), 1u) << groupName(g);
+        EXPECT_EQ(rows[0].row, 2u);
+    }
+}
+
+TEST(RowDecoder, GroupBNonAlignedAdjacentPair)
+{
+    // (5, 6) differ in bits 0..1 but span an aligned-4 boundary:
+    // 5 ^ 6 = 3, base = 4 -> {4, 5, 6} with the OR row 7 dropped.
+    const auto &p = vendorProfile(DramGroup::B);
+    const auto rows = glitchOpenedRows(p, 5, 6, kRowsPerSubarray);
+    EXPECT_EQ(rowSet(rows), (std::set<RowAddr>{4, 5, 6}));
+}

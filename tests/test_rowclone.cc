@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests of the in-DRAM row copy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/rowclone.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+using namespace fracdram::softmc;
+using namespace fracdram::core;
+
+namespace
+{
+
+DramParams
+tinyParams()
+{
+    DramParams p;
+    p.numBanks = 1;
+    p.subarraysPerBank = 1;
+    p.rowsPerSubarray = 64;
+    p.colsPerRow = 256;
+    return p;
+}
+
+BitVector
+randomBits(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    BitVector v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v.set(i, rng.chance(0.5));
+    return v;
+}
+
+} // namespace
+
+TEST(RowCopy, CopiesDataWithinBank)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    const auto pattern = randomBits(256, 42);
+    mc.writeRowVoltage(0, 20, pattern);
+    mc.fillRowVoltage(0, 21, false);
+    rowCopy(mc, 0, 20, 21);
+    EXPECT_TRUE(mc.readRowVoltage(0, 21) == pattern);
+    // Source intact.
+    EXPECT_TRUE(mc.readRowVoltage(0, 20) == pattern);
+}
+
+TEST(RowCopy, CopyAcrossPolarity)
+{
+    // Copying from a true-cell row to an anti-cell row moves the
+    // *voltage*; the logic view of the destination is complemented.
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    const auto pattern = randomBits(256, 7);
+    mc.writeRowVoltage(0, 20, pattern);
+    rowCopy(mc, 0, 20, 21);
+    const auto logic = mc.readRow(0, 21); // row 21 is anti
+    const auto voltage = mc.readRowVoltage(0, 21);
+    EXPECT_TRUE(voltage == pattern);
+    EXPECT_EQ(logic.hammingDistance(pattern), pattern.size());
+}
+
+TEST(RowCopy, SequenceLengthMatchesPaper)
+{
+    const auto seq = buildRowCopySequence(0, 20, 21);
+    EXPECT_EQ(seq.lengthCycles(), rowCopyCycles);
+}
+
+TEST(RowCopy, AllOnesInitForFMaj)
+{
+    // The F-MAJ preparation path: reserved all-ones row copied onto
+    // the future fractional row.
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    mc.fillRowVoltage(0, 16, true);
+    mc.fillRowVoltage(0, 17, false);
+    rowCopy(mc, 0, 16, 17);
+    EXPECT_DOUBLE_EQ(mc.readRowVoltage(0, 17).hammingWeight(), 1.0);
+}

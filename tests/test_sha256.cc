@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Known-answer tests for the from-scratch SHA-256 (FIPS 180-4
+ * vectors).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/sha256.hh"
+
+using namespace fracdram;
+
+namespace
+{
+
+std::string
+hashHex(const std::string &msg)
+{
+    return Sha256::toHex(Sha256::hash(
+        reinterpret_cast<const std::uint8_t *>(msg.data()),
+        msg.size()));
+}
+
+} // namespace
+
+TEST(Sha256Test, EmptyString)
+{
+    EXPECT_EQ(hashHex(""),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b"
+              "7852b855");
+}
+
+TEST(Sha256Test, Abc)
+{
+    EXPECT_EQ(hashHex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61"
+              "f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage)
+{
+    EXPECT_EQ(hashHex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmno"
+                      "mnopnopq"),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd4"
+              "19db06c1");
+}
+
+TEST(Sha256Test, MillionAs)
+{
+    Sha256 h;
+    const std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) {
+        h.update(reinterpret_cast<const std::uint8_t *>(chunk.data()),
+                 chunk.size());
+    }
+    EXPECT_EQ(Sha256::toHex(h.finish()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39cc"
+              "c7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot)
+{
+    const std::string msg = "the quick brown fox jumps over the lazy "
+                            "dog and keeps going for a while";
+    Sha256 h;
+    for (const char c : msg)
+        h.update(reinterpret_cast<const std::uint8_t *>(&c), 1);
+    EXPECT_EQ(Sha256::toHex(h.finish()), hashHex(msg));
+}
+
+TEST(Sha256Test, PaddingBoundaries)
+{
+    // Lengths around the 55/56/64-byte padding edges.
+    for (const std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u}) {
+        const std::string msg(len, 'x');
+        Sha256 a;
+        a.update(reinterpret_cast<const std::uint8_t *>(msg.data()),
+                 len);
+        Sha256 b;
+        b.update(reinterpret_cast<const std::uint8_t *>(msg.data()),
+                 len / 2);
+        b.update(reinterpret_cast<const std::uint8_t *>(msg.data()) +
+                     len / 2,
+                 len - len / 2);
+        EXPECT_EQ(Sha256::toHex(a.finish()), Sha256::toHex(b.finish()))
+            << len;
+    }
+}
+
+TEST(Sha256Test, HashBitsDistinct)
+{
+    BitVector a(100, false);
+    BitVector b(100, false);
+    b.set(99, true);
+    EXPECT_NE(Sha256::toHex(Sha256::hashBits(a)),
+              Sha256::toHex(Sha256::hashBits(b)));
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the statistics toolkit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hh"
+
+using namespace fracdram;
+
+TEST(OnlineStats, Empty)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownValues)
+{
+    OnlineStats s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential)
+{
+    OnlineStats a, b, all;
+    for (int i = 0; i < 100; ++i) {
+        const double x = std::sin(i * 0.7) * 3 + i * 0.01;
+        (i < 40 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, CiShrinksWithSamples)
+{
+    OnlineStats small, large;
+    for (int i = 0; i < 10; ++i)
+        small.add(i % 3);
+    for (int i = 0; i < 1000; ++i)
+        large.add(i % 3);
+    EXPECT_GT(small.ciHalfWidth(), large.ciHalfWidth());
+}
+
+TEST(Histogram, Bucketing)
+{
+    Histogram h({0.0, 1.0, 2.0});
+    h.add(-0.5); // below first edge
+    h.add(0.0);  // [0,1)
+    h.add(0.9);
+    h.add(1.5); // [1,2)
+    h.add(2.0); // >= 2
+    h.add(7.0);
+    EXPECT_EQ(h.numBuckets(), 4u);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.count(3), 2u);
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 2.0 / 6.0);
+}
+
+TEST(Histogram, PdfSumsToOne)
+{
+    Histogram h({1.0, 2.0, 3.0});
+    for (int i = 0; i < 50; ++i)
+        h.add(i * 0.1);
+    double sum = 0.0;
+    for (const double f : h.pdf())
+        sum += f;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(EmpiricalCdf, AtAndQuantile)
+{
+    EmpiricalCdf c;
+    for (const double x : {1.0, 2.0, 3.0, 4.0})
+        c.add(x);
+    EXPECT_DOUBLE_EQ(c.at(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(c.at(2.0), 0.5);
+    EXPECT_DOUBLE_EQ(c.at(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(c.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(c.quantile(1.0), 4.0);
+    EXPECT_DOUBLE_EQ(c.quantile(0.5), 2.5);
+}
+
+TEST(SpecialFunctions, IgamComplementarity)
+{
+    for (const double a : {0.5, 1.0, 2.5, 10.0}) {
+        for (const double x : {0.1, 1.0, 5.0, 20.0}) {
+            EXPECT_NEAR(igam(a, x) + igamc(a, x), 1.0, 1e-10)
+                << "a=" << a << " x=" << x;
+        }
+    }
+}
+
+TEST(SpecialFunctions, IgamcKnownValues)
+{
+    // Q(1, x) = exp(-x).
+    EXPECT_NEAR(igamc(1.0, 2.0), std::exp(-2.0), 1e-10);
+    // Q(0.5, x) = erfc(sqrt(x)).
+    EXPECT_NEAR(igamc(0.5, 1.44), std::erfc(1.2), 1e-10);
+}
+
+TEST(SpecialFunctions, NormalCdf)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.96), 0.975, 1e-3);
+    EXPECT_NEAR(normalCdf(-1.96), 0.025, 1e-3);
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests of per-cell leakage characterization: the estimates must
+ * rank-correlate with the simulator's ground-truth time constants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/tau_estimate.hh"
+#include "common/logging.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+using namespace fracdram::softmc;
+using namespace fracdram::analysis;
+
+namespace
+{
+
+DramParams
+tinyParams()
+{
+    DramParams p;
+    p.numBanks = 1;
+    p.subarraysPerBank = 1;
+    p.rowsPerSubarray = 16;
+    p.colsPerRow = 512;
+    return p;
+}
+
+/** Spearman-style rank correlation over paired samples. */
+double
+rankCorrelation(const std::vector<double> &x,
+                const std::vector<double> &y)
+{
+    const std::size_t n = x.size();
+    auto ranks = [n](const std::vector<double> &v) {
+        std::vector<std::size_t> idx(n);
+        for (std::size_t i = 0; i < n; ++i)
+            idx[i] = i;
+        std::sort(idx.begin(), idx.end(),
+                  [&v](std::size_t a, std::size_t b) {
+                      return v[a] < v[b];
+                  });
+        std::vector<double> r(n);
+        for (std::size_t i = 0; i < n; ++i)
+            r[idx[i]] = static_cast<double>(i);
+        return r;
+    };
+    const auto rx = ranks(x), ry = ranks(y);
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        d2 += (rx[i] - ry[i]) * (rx[i] - ry[i]);
+    const double nn = static_cast<double>(n);
+    return 1.0 - 6.0 * d2 / (nn * (nn * nn - 1.0));
+}
+
+} // namespace
+
+TEST(TauEstimate, ResolvesASubstantialFraction)
+{
+    setVerbose(false);
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    const auto est = estimateCellTau(mc, 0, 4);
+    ASSERT_EQ(est.tauSeconds.size(), 512u);
+    // Cells with tau beyond the 12 h horizon stay unresolved; the
+    // rest must be characterized.
+    EXPECT_GT(est.resolvedCount(), 50u);
+    EXPECT_LT(est.resolvedCount(), 512u);
+}
+
+TEST(TauEstimate, CorrelatesWithGroundTruth)
+{
+    setVerbose(false);
+    DramChip chip(DramGroup::B, 2, tinyParams());
+    MemoryController mc(chip, false);
+    const auto est = estimateCellTau(mc, 0, 4);
+
+    std::vector<double> measured, truth;
+    for (ColAddr c = 0; c < 512; ++c) {
+        if (!est.resolved[c])
+            continue;
+        measured.push_back(est.tauSeconds[c]);
+        truth.push_back(chip.variation().cellTau(0, 4, c));
+    }
+    ASSERT_GT(measured.size(), 50u);
+    EXPECT_GT(rankCorrelation(measured, truth), 0.5);
+}
+
+TEST(TauEstimate, EstimatesArePositiveAndFinite)
+{
+    setVerbose(false);
+    DramChip chip(DramGroup::B, 3, tinyParams());
+    MemoryController mc(chip, false);
+    const auto est = estimateCellTau(mc, 0, 4);
+    for (std::size_t c = 0; c < est.tauSeconds.size(); ++c) {
+        if (est.resolved[c]) {
+            EXPECT_GT(est.tauSeconds[c], 0.0);
+            EXPECT_LT(est.tauSeconds[c], 1e9);
+        }
+    }
+}
+
+TEST(TauEstimate, RejectsCheckerGroups)
+{
+    setVerbose(false);
+    DramChip chip(DramGroup::J, 1, tinyParams());
+    MemoryController mc(chip, false);
+    EXPECT_DEATH(estimateCellTau(mc, 0, 4), "Frac");
+}
+
+TEST(TauEstimate, EmptyLadderDies)
+{
+    setVerbose(false);
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    TauEstimateParams params;
+    params.fracLadder.clear();
+    EXPECT_DEATH(estimateCellTau(mc, 0, 4, params), "rung");
+}

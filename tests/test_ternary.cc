@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests of the ternary store (Half-m based, paper Sec. VI-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/ternary.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+using namespace fracdram::softmc;
+using namespace fracdram::core;
+
+namespace
+{
+
+DramParams
+tinyParams()
+{
+    DramParams p;
+    p.numBanks = 1;
+    p.subarraysPerBank = 1;
+    p.rowsPerSubarray = 32;
+    p.colsPerRow = 1024;
+    return p;
+}
+
+} // namespace
+
+class TernaryTest : public ::testing::Test
+{
+  protected:
+    DramChip chip{DramGroup::B, 1, tinyParams()};
+    MemoryController mc{chip, false};
+    TernaryStore store{mc};
+};
+
+TEST_F(TernaryTest, ProfilingFindsMinorityOfColumns)
+{
+    store.profileColumns(2);
+    EXPECT_TRUE(store.profiled());
+    const double frac =
+        static_cast<double>(store.capacityTrits()) / 1024.0;
+    // Paper: ~16% of bits hold a distinguishable Half value; the
+    // stability filter keeps a subset of those.
+    EXPECT_GT(frac, 0.02);
+    EXPECT_LT(frac, 0.35);
+}
+
+TEST_F(TernaryTest, RoundTripOnProfiledColumns)
+{
+    store.profileColumns(4);
+    Rng rng(3);
+    std::vector<int> trits(store.capacityTrits());
+    for (auto &t : trits)
+        t = static_cast<int>(rng.below(3));
+    store.store(trits);
+    const auto back = store.load();
+    ASSERT_EQ(back.size(), trits.size());
+    std::size_t ok = 0;
+    for (std::size_t i = 0; i < trits.size(); ++i)
+        ok += back[i] == trits[i];
+    // The paper itself flags the readout as "not mature yet":
+    // weak-margin columns stay flaky trial-to-trial, so profiling
+    // cannot remove all of them. Expect clearly-better-than-chance
+    // (chance = 1/3) with a solid majority correct.
+    EXPECT_GT(static_cast<double>(ok) /
+                  static_cast<double>(trits.size()),
+              0.75);
+}
+
+TEST_F(TernaryTest, PartialPayload)
+{
+    store.profileColumns(1);
+    const std::vector<int> trits = {2, 1, 0, 1, 2};
+    store.store(trits);
+    const auto back = store.load();
+    ASSERT_EQ(back.size(), 5u);
+    EXPECT_EQ(back[0], 2);
+    EXPECT_EQ(back[2], 0);
+    EXPECT_EQ(back[4], 2);
+}
+
+TEST_F(TernaryTest, LoadIsDestructive)
+{
+    store.profileColumns(1);
+    store.store({1, 1});
+    store.load();
+    EXPECT_DEATH(store.load(), "nothing stored");
+}
+
+TEST_F(TernaryTest, UsageErrors)
+{
+    EXPECT_DEATH(store.store({1}), "profileColumns");
+    store.profileColumns(1);
+    std::vector<int> too_big(store.capacityTrits() + 1, 0);
+    EXPECT_DEATH(store.store(too_big), "exceeds capacity");
+}
+
+TEST(TernaryValidation, RequiresThreeRowReadout)
+{
+    DramChip chip(DramGroup::C, 1, tinyParams());
+    MemoryController mc(chip, false);
+    EXPECT_DEATH(TernaryStore{mc}, "three-row");
+}
+
+TEST(TernaryValidation, RowCollisions)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    EXPECT_DEATH(TernaryStore(mc, 0, 8, 1, /*probe=*/8), "collides");
+    EXPECT_DEATH(TernaryStore(mc, 0, 8, 1, 2, /*backup=*/6),
+                 "collide");
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the vendor-group profiles: the capability flags must
+ * copy the paper's Table I exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/vendor.hh"
+
+using namespace fracdram::sim;
+
+TEST(Vendor, TwelveGroups)
+{
+    EXPECT_EQ(allGroups().size(), 12u);
+    EXPECT_EQ(groupName(DramGroup::A), "A");
+    EXPECT_EQ(groupName(DramGroup::L), "L");
+}
+
+TEST(Vendor, TableICapabilities)
+{
+    struct Expect
+    {
+        DramGroup g;
+        bool frac, three, four;
+    };
+    const Expect table[] = {
+        {DramGroup::A, true, false, false},
+        {DramGroup::B, true, true, true},
+        {DramGroup::C, true, false, true},
+        {DramGroup::D, true, false, true},
+        {DramGroup::E, true, false, false},
+        {DramGroup::F, true, false, false},
+        {DramGroup::G, true, false, false},
+        {DramGroup::H, true, false, false},
+        {DramGroup::I, true, false, false},
+        {DramGroup::J, false, false, false},
+        {DramGroup::K, false, false, false},
+        {DramGroup::L, false, false, false},
+    };
+    for (const auto &e : table) {
+        const auto &p = vendorProfile(e.g);
+        EXPECT_EQ(p.supportsFrac, e.frac) << groupName(e.g);
+        EXPECT_EQ(p.supportsThreeRow, e.three) << groupName(e.g);
+        EXPECT_EQ(p.supportsFourRow, e.four) << groupName(e.g);
+    }
+}
+
+TEST(Vendor, TableIChipCounts)
+{
+    EXPECT_EQ(vendorProfile(DramGroup::A).numChips, 16);
+    EXPECT_EQ(vendorProfile(DramGroup::B).numChips, 80);
+    EXPECT_EQ(vendorProfile(DramGroup::C).numChips, 160);
+    EXPECT_EQ(vendorProfile(DramGroup::D).numChips, 16);
+    EXPECT_EQ(vendorProfile(DramGroup::E).numChips, 32);
+    EXPECT_EQ(vendorProfile(DramGroup::F).numChips, 48);
+    EXPECT_EQ(vendorProfile(DramGroup::G).numChips, 32);
+    EXPECT_EQ(vendorProfile(DramGroup::H).numChips, 32);
+    EXPECT_EQ(vendorProfile(DramGroup::I).numChips, 32);
+    EXPECT_EQ(vendorProfile(DramGroup::J).numChips, 16);
+    EXPECT_EQ(vendorProfile(DramGroup::K).numChips, 32);
+    EXPECT_EQ(vendorProfile(DramGroup::L).numChips, 32);
+    // 582 chips are *cited*; Table I itself lists 528.
+    int total = 0;
+    for (const auto g : allGroups())
+        total += vendorProfile(g).numChips;
+    EXPECT_EQ(total, 528);
+}
+
+TEST(Vendor, TableIVendorsAndFrequencies)
+{
+    EXPECT_EQ(vendorProfile(DramGroup::A).vendor, "SK Hynix");
+    EXPECT_EQ(vendorProfile(DramGroup::E).vendor, "Samsung");
+    EXPECT_EQ(vendorProfile(DramGroup::H).vendor, "TimeTec");
+    EXPECT_EQ(vendorProfile(DramGroup::I).vendor, "Corsair");
+    EXPECT_EQ(vendorProfile(DramGroup::J).vendor, "Micron");
+    EXPECT_EQ(vendorProfile(DramGroup::K).vendor, "Elpida");
+    EXPECT_EQ(vendorProfile(DramGroup::L).vendor, "Nanya");
+    EXPECT_EQ(vendorProfile(DramGroup::A).freqMhz, 1066);
+    EXPECT_EQ(vendorProfile(DramGroup::D).freqMhz, 1600);
+}
+
+TEST(Vendor, TimingCheckersAreJKL)
+{
+    for (const auto g : allGroups()) {
+        const bool checker = vendorProfile(g).ignoresOutOfSpecTiming;
+        const bool is_jkl = g == DramGroup::J || g == DramGroup::K ||
+                            g == DramGroup::L;
+        EXPECT_EQ(checker, is_jkl) << groupName(g);
+    }
+}
+
+TEST(Vendor, CapableGroupHelpers)
+{
+    EXPECT_EQ(fracCapableGroups().size(), 9u);
+    const auto four = fourRowCapableGroups();
+    ASSERT_EQ(four.size(), 3u);
+    EXPECT_EQ(four[0], DramGroup::B);
+    EXPECT_EQ(four[1], DramGroup::C);
+    EXPECT_EQ(four[2], DramGroup::D);
+}
+
+TEST(Vendor, RoleWeightsDistinct)
+{
+    // The multi-row-capable groups must have a dominant "primary"
+    // row - it drives both the MAJ3 error story and the best F-MAJ
+    // configuration.
+    const auto &b = vendorProfile(DramGroup::B);
+    EXPECT_GT(b.roleWeight(RowRole::SecondAct),
+              b.roleWeight(RowRole::FirstAct));
+    const auto &c = vendorProfile(DramGroup::C);
+    EXPECT_GT(c.roleWeight(RowRole::FirstAct),
+              c.roleWeight(RowRole::SecondAct));
+    const auto &d = vendorProfile(DramGroup::D);
+    EXPECT_GT(d.roleWeight(RowRole::ImplicitOther),
+              d.roleWeight(RowRole::FirstAct));
+}
+
+TEST(Vendor, ModuleCounts)
+{
+    // One module is eight x8 chips.
+    for (const auto g : allGroups()) {
+        const auto &p = vendorProfile(g);
+        EXPECT_EQ(p.numModules, p.numChips / 8) << groupName(g);
+        EXPECT_GE(p.numModules, 2) << groupName(g);
+    }
+}

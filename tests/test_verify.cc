@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests of the MAJ3-based fractional-value verification procedure
+ * (paper Sec. IV-B2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/verify.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+using namespace fracdram::softmc;
+using namespace fracdram::core;
+
+namespace
+{
+
+DramParams
+tinyParams()
+{
+    DramParams p;
+    p.numBanks = 1;
+    p.subarraysPerBank = 1;
+    p.rowsPerSubarray = 32;
+    p.colsPerRow = 512;
+    return p;
+}
+
+} // namespace
+
+TEST(FracVerifyResult, ComboMath)
+{
+    FracVerifyResult r;
+    r.x1 = BitVector::fromString("1100");
+    r.x2 = BitVector::fromString("1010");
+    // columns: (1,1) (1,0) (0,1) (0,0)
+    const auto combos = r.comboFractions();
+    EXPECT_DOUBLE_EQ(combos[0], 0.25);
+    EXPECT_DOUBLE_EQ(combos[1], 0.25);
+    EXPECT_DOUBLE_EQ(combos[2], 0.25);
+    EXPECT_DOUBLE_EQ(combos[3], 0.25);
+    EXPECT_EQ(r.provenFractional().toString(), "0100");
+    EXPECT_DOUBLE_EQ(r.provenFraction(), 0.25);
+}
+
+TEST(Maj3FracProbe, NoFracsMeansNoProof)
+{
+    // Without Frac the "fractional" rows hold rails: both probes
+    // return the stored value; nothing is proven fractional.
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    const auto r = maj3FracProbe(mc, 0, 1, 2, {1u, 2u}, 0,
+                                 /*num_fracs=*/0,
+                                 /*frac_init_ones=*/true);
+    EXPECT_LT(r.provenFraction(), 0.05);
+    EXPECT_GT(r.x1.hammingWeight(), 0.95);
+    EXPECT_GT(r.x2.hammingWeight(), 0.95);
+}
+
+TEST(Maj3FracProbe, TwoFracsProveFractionalAlmostEverywhere)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    const auto r = maj3FracProbe(mc, 0, 1, 2, {1u, 2u}, 0, 2, true);
+    EXPECT_GT(r.provenFraction(), 0.9);
+}
+
+TEST(Maj3FracProbe, WorksFromZerosInit)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    const auto zero_base =
+        maj3FracProbe(mc, 0, 1, 2, {1u, 2u}, 0, 0, false);
+    EXPECT_LT(zero_base.x1.hammingWeight(), 0.05);
+    const auto r = maj3FracProbe(mc, 0, 1, 2, {1u, 2u}, 0, 3, false);
+    EXPECT_GT(r.provenFraction(), 0.9);
+}
+
+TEST(Maj3FracProbe, AlternateFracRowsR1R3)
+{
+    // The paper's configurations (c)/(d): fractional values in R1 and
+    // R3, probe in R2.
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    const auto r = maj3FracProbe(mc, 0, 1, 2, {1u, 0u}, 2, 3, true);
+    EXPECT_GT(r.provenFraction(), 0.85);
+}
+
+TEST(Maj3FracProbe, NothingProvenOnTimingCheckerChips)
+{
+    // Groups J-L: Frac has no effect, the probes return the stored
+    // rail values.
+    DramChip chip(DramGroup::J, 1, tinyParams());
+    MemoryController mc(chip, false);
+    const auto r = maj3FracProbe(mc, 0, 1, 2, {1u, 2u}, 0, 5, true);
+    EXPECT_LT(r.provenFraction(), 0.05);
+}
+
+TEST(Maj3FracProbe, RequiresFracRows)
+{
+    DramChip chip(DramGroup::B, 1, tinyParams());
+    MemoryController mc(chip, false);
+    EXPECT_DEATH(maj3FracProbe(mc, 0, 1, 2, {}, 0, 1, true),
+                 "fractional row");
+}
