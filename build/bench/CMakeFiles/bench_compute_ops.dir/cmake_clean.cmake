@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compute_ops.dir/bench_compute_ops.cc.o"
+  "CMakeFiles/bench_compute_ops.dir/bench_compute_ops.cc.o.d"
+  "bench_compute_ops"
+  "bench_compute_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compute_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

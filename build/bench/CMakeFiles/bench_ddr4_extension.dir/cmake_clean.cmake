@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ddr4_extension.dir/bench_ddr4_extension.cc.o"
+  "CMakeFiles/bench_ddr4_extension.dir/bench_ddr4_extension.cc.o.d"
+  "bench_ddr4_extension"
+  "bench_ddr4_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ddr4_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_puf.dir/bench_fig11_puf.cc.o"
+  "CMakeFiles/bench_fig11_puf.dir/bench_fig11_puf.cc.o.d"
+  "bench_fig11_puf"
+  "bench_fig11_puf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_puf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

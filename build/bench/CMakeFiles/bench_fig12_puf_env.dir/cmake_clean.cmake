@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_puf_env.dir/bench_fig12_puf_env.cc.o"
+  "CMakeFiles/bench_fig12_puf_env.dir/bench_fig12_puf_env.cc.o.d"
+  "bench_fig12_puf_env"
+  "bench_fig12_puf_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_puf_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

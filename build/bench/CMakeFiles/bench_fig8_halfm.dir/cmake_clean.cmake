@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_halfm.dir/bench_fig8_halfm.cc.o"
+  "CMakeFiles/bench_fig8_halfm.dir/bench_fig8_halfm.cc.o.d"
+  "bench_fig8_halfm"
+  "bench_fig8_halfm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_halfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

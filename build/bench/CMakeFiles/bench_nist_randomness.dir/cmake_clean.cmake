@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nist_randomness.dir/bench_nist_randomness.cc.o"
+  "CMakeFiles/bench_nist_randomness.dir/bench_nist_randomness.cc.o.d"
+  "bench_nist_randomness"
+  "bench_nist_randomness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nist_randomness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

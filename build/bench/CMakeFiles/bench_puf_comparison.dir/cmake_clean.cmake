@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_puf_comparison.dir/bench_puf_comparison.cc.o"
+  "CMakeFiles/bench_puf_comparison.dir/bench_puf_comparison.cc.o.d"
+  "bench_puf_comparison"
+  "bench_puf_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_puf_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_capability.dir/bench_table1_capability.cc.o"
+  "CMakeFiles/bench_table1_capability.dir/bench_table1_capability.cc.o.d"
+  "bench_table1_capability"
+  "bench_table1_capability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_capability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

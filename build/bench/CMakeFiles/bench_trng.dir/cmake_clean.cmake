@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trng.dir/bench_trng.cc.o"
+  "CMakeFiles/bench_trng.dir/bench_trng.cc.o.d"
+  "bench_trng"
+  "bench_trng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

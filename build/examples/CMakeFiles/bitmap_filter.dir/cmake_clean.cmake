@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitmap_filter.dir/bitmap_filter.cpp.o"
+  "CMakeFiles/bitmap_filter.dir/bitmap_filter.cpp.o.d"
+  "bitmap_filter"
+  "bitmap_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitmap_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

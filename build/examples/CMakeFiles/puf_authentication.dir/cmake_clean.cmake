@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/puf_authentication.dir/puf_authentication.cpp.o"
+  "CMakeFiles/puf_authentication.dir/puf_authentication.cpp.o.d"
+  "puf_authentication"
+  "puf_authentication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/puf_authentication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_numbers.dir/random_numbers.cpp.o"
+  "CMakeFiles/random_numbers.dir/random_numbers.cpp.o.d"
+  "random_numbers"
+  "random_numbers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_numbers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

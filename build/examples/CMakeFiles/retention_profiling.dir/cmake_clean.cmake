@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retention_profiling.dir/retention_profiling.cpp.o"
+  "CMakeFiles/retention_profiling.dir/retention_profiling.cpp.o.d"
+  "retention_profiling"
+  "retention_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retention_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ternary_storage.dir/ternary_storage.cpp.o"
+  "CMakeFiles/ternary_storage.dir/ternary_storage.cpp.o.d"
+  "ternary_storage"
+  "ternary_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ternary_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_add.dir/vector_add.cpp.o"
+  "CMakeFiles/vector_add.dir/vector_add.cpp.o.d"
+  "vector_add"
+  "vector_add.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_add.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

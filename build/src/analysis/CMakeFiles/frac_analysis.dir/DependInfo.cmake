@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/capability.cc" "src/analysis/CMakeFiles/frac_analysis.dir/capability.cc.o" "gcc" "src/analysis/CMakeFiles/frac_analysis.dir/capability.cc.o.d"
+  "/root/repo/src/analysis/fmaj_study.cc" "src/analysis/CMakeFiles/frac_analysis.dir/fmaj_study.cc.o" "gcc" "src/analysis/CMakeFiles/frac_analysis.dir/fmaj_study.cc.o.d"
+  "/root/repo/src/analysis/halfm_study.cc" "src/analysis/CMakeFiles/frac_analysis.dir/halfm_study.cc.o" "gcc" "src/analysis/CMakeFiles/frac_analysis.dir/halfm_study.cc.o.d"
+  "/root/repo/src/analysis/maj3_study.cc" "src/analysis/CMakeFiles/frac_analysis.dir/maj3_study.cc.o" "gcc" "src/analysis/CMakeFiles/frac_analysis.dir/maj3_study.cc.o.d"
+  "/root/repo/src/analysis/puf_study.cc" "src/analysis/CMakeFiles/frac_analysis.dir/puf_study.cc.o" "gcc" "src/analysis/CMakeFiles/frac_analysis.dir/puf_study.cc.o.d"
+  "/root/repo/src/analysis/retention_study.cc" "src/analysis/CMakeFiles/frac_analysis.dir/retention_study.cc.o" "gcc" "src/analysis/CMakeFiles/frac_analysis.dir/retention_study.cc.o.d"
+  "/root/repo/src/analysis/reverse.cc" "src/analysis/CMakeFiles/frac_analysis.dir/reverse.cc.o" "gcc" "src/analysis/CMakeFiles/frac_analysis.dir/reverse.cc.o.d"
+  "/root/repo/src/analysis/tau_estimate.cc" "src/analysis/CMakeFiles/frac_analysis.dir/tau_estimate.cc.o" "gcc" "src/analysis/CMakeFiles/frac_analysis.dir/tau_estimate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/frac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/puf/CMakeFiles/frac_puf.dir/DependInfo.cmake"
+  "/root/repo/build/src/softmc/CMakeFiles/frac_softmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/frac_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/frac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frac_analysis.dir/capability.cc.o"
+  "CMakeFiles/frac_analysis.dir/capability.cc.o.d"
+  "CMakeFiles/frac_analysis.dir/fmaj_study.cc.o"
+  "CMakeFiles/frac_analysis.dir/fmaj_study.cc.o.d"
+  "CMakeFiles/frac_analysis.dir/halfm_study.cc.o"
+  "CMakeFiles/frac_analysis.dir/halfm_study.cc.o.d"
+  "CMakeFiles/frac_analysis.dir/maj3_study.cc.o"
+  "CMakeFiles/frac_analysis.dir/maj3_study.cc.o.d"
+  "CMakeFiles/frac_analysis.dir/puf_study.cc.o"
+  "CMakeFiles/frac_analysis.dir/puf_study.cc.o.d"
+  "CMakeFiles/frac_analysis.dir/retention_study.cc.o"
+  "CMakeFiles/frac_analysis.dir/retention_study.cc.o.d"
+  "CMakeFiles/frac_analysis.dir/reverse.cc.o"
+  "CMakeFiles/frac_analysis.dir/reverse.cc.o.d"
+  "CMakeFiles/frac_analysis.dir/tau_estimate.cc.o"
+  "CMakeFiles/frac_analysis.dir/tau_estimate.cc.o.d"
+  "libfrac_analysis.a"
+  "libfrac_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frac_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

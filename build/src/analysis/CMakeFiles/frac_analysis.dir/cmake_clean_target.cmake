@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfrac_analysis.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frac_common.dir/bitvec.cc.o"
+  "CMakeFiles/frac_common.dir/bitvec.cc.o.d"
+  "CMakeFiles/frac_common.dir/csv.cc.o"
+  "CMakeFiles/frac_common.dir/csv.cc.o.d"
+  "CMakeFiles/frac_common.dir/logging.cc.o"
+  "CMakeFiles/frac_common.dir/logging.cc.o.d"
+  "CMakeFiles/frac_common.dir/rng.cc.o"
+  "CMakeFiles/frac_common.dir/rng.cc.o.d"
+  "CMakeFiles/frac_common.dir/sha256.cc.o"
+  "CMakeFiles/frac_common.dir/sha256.cc.o.d"
+  "CMakeFiles/frac_common.dir/stats.cc.o"
+  "CMakeFiles/frac_common.dir/stats.cc.o.d"
+  "CMakeFiles/frac_common.dir/table.cc.o"
+  "CMakeFiles/frac_common.dir/table.cc.o.d"
+  "libfrac_common.a"
+  "libfrac_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frac_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frac_compute.dir/adder.cc.o"
+  "CMakeFiles/frac_compute.dir/adder.cc.o.d"
+  "CMakeFiles/frac_compute.dir/engine.cc.o"
+  "CMakeFiles/frac_compute.dir/engine.cc.o.d"
+  "CMakeFiles/frac_compute.dir/reliability.cc.o"
+  "CMakeFiles/frac_compute.dir/reliability.cc.o.d"
+  "libfrac_compute.a"
+  "libfrac_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frac_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

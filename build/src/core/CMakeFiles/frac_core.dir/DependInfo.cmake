@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fmaj.cc" "src/core/CMakeFiles/frac_core.dir/fmaj.cc.o" "gcc" "src/core/CMakeFiles/frac_core.dir/fmaj.cc.o.d"
+  "/root/repo/src/core/frac_op.cc" "src/core/CMakeFiles/frac_core.dir/frac_op.cc.o" "gcc" "src/core/CMakeFiles/frac_core.dir/frac_op.cc.o.d"
+  "/root/repo/src/core/fracdram.cc" "src/core/CMakeFiles/frac_core.dir/fracdram.cc.o" "gcc" "src/core/CMakeFiles/frac_core.dir/fracdram.cc.o.d"
+  "/root/repo/src/core/half_m.cc" "src/core/CMakeFiles/frac_core.dir/half_m.cc.o" "gcc" "src/core/CMakeFiles/frac_core.dir/half_m.cc.o.d"
+  "/root/repo/src/core/maj3.cc" "src/core/CMakeFiles/frac_core.dir/maj3.cc.o" "gcc" "src/core/CMakeFiles/frac_core.dir/maj3.cc.o.d"
+  "/root/repo/src/core/multi_row.cc" "src/core/CMakeFiles/frac_core.dir/multi_row.cc.o" "gcc" "src/core/CMakeFiles/frac_core.dir/multi_row.cc.o.d"
+  "/root/repo/src/core/refresh.cc" "src/core/CMakeFiles/frac_core.dir/refresh.cc.o" "gcc" "src/core/CMakeFiles/frac_core.dir/refresh.cc.o.d"
+  "/root/repo/src/core/retention.cc" "src/core/CMakeFiles/frac_core.dir/retention.cc.o" "gcc" "src/core/CMakeFiles/frac_core.dir/retention.cc.o.d"
+  "/root/repo/src/core/rowclone.cc" "src/core/CMakeFiles/frac_core.dir/rowclone.cc.o" "gcc" "src/core/CMakeFiles/frac_core.dir/rowclone.cc.o.d"
+  "/root/repo/src/core/ternary.cc" "src/core/CMakeFiles/frac_core.dir/ternary.cc.o" "gcc" "src/core/CMakeFiles/frac_core.dir/ternary.cc.o.d"
+  "/root/repo/src/core/verify.cc" "src/core/CMakeFiles/frac_core.dir/verify.cc.o" "gcc" "src/core/CMakeFiles/frac_core.dir/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/softmc/CMakeFiles/frac_softmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/frac_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/frac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

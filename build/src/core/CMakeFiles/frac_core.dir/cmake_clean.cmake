@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frac_core.dir/fmaj.cc.o"
+  "CMakeFiles/frac_core.dir/fmaj.cc.o.d"
+  "CMakeFiles/frac_core.dir/frac_op.cc.o"
+  "CMakeFiles/frac_core.dir/frac_op.cc.o.d"
+  "CMakeFiles/frac_core.dir/fracdram.cc.o"
+  "CMakeFiles/frac_core.dir/fracdram.cc.o.d"
+  "CMakeFiles/frac_core.dir/half_m.cc.o"
+  "CMakeFiles/frac_core.dir/half_m.cc.o.d"
+  "CMakeFiles/frac_core.dir/maj3.cc.o"
+  "CMakeFiles/frac_core.dir/maj3.cc.o.d"
+  "CMakeFiles/frac_core.dir/multi_row.cc.o"
+  "CMakeFiles/frac_core.dir/multi_row.cc.o.d"
+  "CMakeFiles/frac_core.dir/refresh.cc.o"
+  "CMakeFiles/frac_core.dir/refresh.cc.o.d"
+  "CMakeFiles/frac_core.dir/retention.cc.o"
+  "CMakeFiles/frac_core.dir/retention.cc.o.d"
+  "CMakeFiles/frac_core.dir/rowclone.cc.o"
+  "CMakeFiles/frac_core.dir/rowclone.cc.o.d"
+  "CMakeFiles/frac_core.dir/ternary.cc.o"
+  "CMakeFiles/frac_core.dir/ternary.cc.o.d"
+  "CMakeFiles/frac_core.dir/verify.cc.o"
+  "CMakeFiles/frac_core.dir/verify.cc.o.d"
+  "libfrac_core.a"
+  "libfrac_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frac_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

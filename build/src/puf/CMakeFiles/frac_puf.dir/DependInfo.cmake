@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/puf/extractor.cc" "src/puf/CMakeFiles/frac_puf.dir/extractor.cc.o" "gcc" "src/puf/CMakeFiles/frac_puf.dir/extractor.cc.o.d"
+  "/root/repo/src/puf/hamming.cc" "src/puf/CMakeFiles/frac_puf.dir/hamming.cc.o" "gcc" "src/puf/CMakeFiles/frac_puf.dir/hamming.cc.o.d"
+  "/root/repo/src/puf/nist.cc" "src/puf/CMakeFiles/frac_puf.dir/nist.cc.o" "gcc" "src/puf/CMakeFiles/frac_puf.dir/nist.cc.o.d"
+  "/root/repo/src/puf/puf.cc" "src/puf/CMakeFiles/frac_puf.dir/puf.cc.o" "gcc" "src/puf/CMakeFiles/frac_puf.dir/puf.cc.o.d"
+  "/root/repo/src/puf/retention_puf.cc" "src/puf/CMakeFiles/frac_puf.dir/retention_puf.cc.o" "gcc" "src/puf/CMakeFiles/frac_puf.dir/retention_puf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/frac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/softmc/CMakeFiles/frac_softmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/frac_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/frac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frac_puf.dir/extractor.cc.o"
+  "CMakeFiles/frac_puf.dir/extractor.cc.o.d"
+  "CMakeFiles/frac_puf.dir/hamming.cc.o"
+  "CMakeFiles/frac_puf.dir/hamming.cc.o.d"
+  "CMakeFiles/frac_puf.dir/nist.cc.o"
+  "CMakeFiles/frac_puf.dir/nist.cc.o.d"
+  "CMakeFiles/frac_puf.dir/puf.cc.o"
+  "CMakeFiles/frac_puf.dir/puf.cc.o.d"
+  "CMakeFiles/frac_puf.dir/retention_puf.cc.o"
+  "CMakeFiles/frac_puf.dir/retention_puf.cc.o.d"
+  "libfrac_puf.a"
+  "libfrac_puf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frac_puf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

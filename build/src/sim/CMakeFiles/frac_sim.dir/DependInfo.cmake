@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bank.cc" "src/sim/CMakeFiles/frac_sim.dir/bank.cc.o" "gcc" "src/sim/CMakeFiles/frac_sim.dir/bank.cc.o.d"
+  "/root/repo/src/sim/chip.cc" "src/sim/CMakeFiles/frac_sim.dir/chip.cc.o" "gcc" "src/sim/CMakeFiles/frac_sim.dir/chip.cc.o.d"
+  "/root/repo/src/sim/row_decoder.cc" "src/sim/CMakeFiles/frac_sim.dir/row_decoder.cc.o" "gcc" "src/sim/CMakeFiles/frac_sim.dir/row_decoder.cc.o.d"
+  "/root/repo/src/sim/variation.cc" "src/sim/CMakeFiles/frac_sim.dir/variation.cc.o" "gcc" "src/sim/CMakeFiles/frac_sim.dir/variation.cc.o.d"
+  "/root/repo/src/sim/vendor.cc" "src/sim/CMakeFiles/frac_sim.dir/vendor.cc.o" "gcc" "src/sim/CMakeFiles/frac_sim.dir/vendor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/frac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frac_sim.dir/bank.cc.o"
+  "CMakeFiles/frac_sim.dir/bank.cc.o.d"
+  "CMakeFiles/frac_sim.dir/chip.cc.o"
+  "CMakeFiles/frac_sim.dir/chip.cc.o.d"
+  "CMakeFiles/frac_sim.dir/row_decoder.cc.o"
+  "CMakeFiles/frac_sim.dir/row_decoder.cc.o.d"
+  "CMakeFiles/frac_sim.dir/variation.cc.o"
+  "CMakeFiles/frac_sim.dir/variation.cc.o.d"
+  "CMakeFiles/frac_sim.dir/vendor.cc.o"
+  "CMakeFiles/frac_sim.dir/vendor.cc.o.d"
+  "libfrac_sim.a"
+  "libfrac_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frac_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/softmc/command.cc" "src/softmc/CMakeFiles/frac_softmc.dir/command.cc.o" "gcc" "src/softmc/CMakeFiles/frac_softmc.dir/command.cc.o.d"
+  "/root/repo/src/softmc/controller.cc" "src/softmc/CMakeFiles/frac_softmc.dir/controller.cc.o" "gcc" "src/softmc/CMakeFiles/frac_softmc.dir/controller.cc.o.d"
+  "/root/repo/src/softmc/timing.cc" "src/softmc/CMakeFiles/frac_softmc.dir/timing.cc.o" "gcc" "src/softmc/CMakeFiles/frac_softmc.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/frac_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/frac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frac_softmc.dir/command.cc.o"
+  "CMakeFiles/frac_softmc.dir/command.cc.o.d"
+  "CMakeFiles/frac_softmc.dir/controller.cc.o"
+  "CMakeFiles/frac_softmc.dir/controller.cc.o.d"
+  "CMakeFiles/frac_softmc.dir/timing.cc.o"
+  "CMakeFiles/frac_softmc.dir/timing.cc.o.d"
+  "libfrac_softmc.a"
+  "libfrac_softmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frac_softmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frac_trng.dir/quac_trng.cc.o"
+  "CMakeFiles/frac_trng.dir/quac_trng.cc.o.d"
+  "libfrac_trng.a"
+  "libfrac_trng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frac_trng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_command.dir/test_command.cc.o"
+  "CMakeFiles/test_command.dir/test_command.cc.o.d"
+  "test_command"
+  "test_command.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_command.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddr4.dir/test_ddr4.cc.o"
+  "CMakeFiles/test_ddr4.dir/test_ddr4.cc.o.d"
+  "test_ddr4"
+  "test_ddr4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddr4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fmaj.dir/test_fmaj.cc.o"
+  "CMakeFiles/test_fmaj.dir/test_fmaj.cc.o.d"
+  "test_fmaj"
+  "test_fmaj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fmaj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

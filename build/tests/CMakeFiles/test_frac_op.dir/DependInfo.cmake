@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_frac_op.cc" "tests/CMakeFiles/test_frac_op.dir/test_frac_op.cc.o" "gcc" "tests/CMakeFiles/test_frac_op.dir/test_frac_op.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/frac_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/puf/CMakeFiles/frac_puf.dir/DependInfo.cmake"
+  "/root/repo/build/src/trng/CMakeFiles/frac_trng.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/frac_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/frac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/softmc/CMakeFiles/frac_softmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/frac_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/frac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frac_op.dir/test_frac_op.cc.o"
+  "CMakeFiles/test_frac_op.dir/test_frac_op.cc.o.d"
+  "test_frac_op"
+  "test_frac_op.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frac_op.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_frac_op.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fracdram.dir/test_fracdram.cc.o"
+  "CMakeFiles/test_fracdram.dir/test_fracdram.cc.o.d"
+  "test_fracdram"
+  "test_fracdram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fracdram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

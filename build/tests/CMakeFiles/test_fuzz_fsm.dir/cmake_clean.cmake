@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_fsm.dir/test_fuzz_fsm.cc.o"
+  "CMakeFiles/test_fuzz_fsm.dir/test_fuzz_fsm.cc.o.d"
+  "test_fuzz_fsm"
+  "test_fuzz_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_half_m.dir/test_half_m.cc.o"
+  "CMakeFiles/test_half_m.dir/test_half_m.cc.o.d"
+  "test_half_m"
+  "test_half_m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_half_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maj3.dir/test_maj3.cc.o"
+  "CMakeFiles/test_maj3.dir/test_maj3.cc.o.d"
+  "test_maj3"
+  "test_maj3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maj3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_row.dir/test_multi_row.cc.o"
+  "CMakeFiles/test_multi_row.dir/test_multi_row.cc.o.d"
+  "test_multi_row"
+  "test_multi_row.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_row.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nist.dir/test_nist.cc.o"
+  "CMakeFiles/test_nist.dir/test_nist.cc.o.d"
+  "test_nist"
+  "test_nist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_puf.dir/test_puf.cc.o"
+  "CMakeFiles/test_puf.dir/test_puf.cc.o.d"
+  "test_puf"
+  "test_puf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_puf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refresh.dir/test_refresh.cc.o"
+  "CMakeFiles/test_refresh.dir/test_refresh.cc.o.d"
+  "test_refresh"
+  "test_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retention_puf.dir/test_retention_puf.cc.o"
+  "CMakeFiles/test_retention_puf.dir/test_retention_puf.cc.o.d"
+  "test_retention_puf"
+  "test_retention_puf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retention_puf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reverse.dir/test_reverse.cc.o"
+  "CMakeFiles/test_reverse.dir/test_reverse.cc.o.d"
+  "test_reverse"
+  "test_reverse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

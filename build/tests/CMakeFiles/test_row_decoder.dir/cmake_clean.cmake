@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_row_decoder.dir/test_row_decoder.cc.o"
+  "CMakeFiles/test_row_decoder.dir/test_row_decoder.cc.o.d"
+  "test_row_decoder"
+  "test_row_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_row_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

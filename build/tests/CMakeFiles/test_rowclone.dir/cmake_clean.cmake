@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rowclone.dir/test_rowclone.cc.o"
+  "CMakeFiles/test_rowclone.dir/test_rowclone.cc.o.d"
+  "test_rowclone"
+  "test_rowclone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rowclone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tau_estimate.dir/test_tau_estimate.cc.o"
+  "CMakeFiles/test_tau_estimate.dir/test_tau_estimate.cc.o.d"
+  "test_tau_estimate"
+  "test_tau_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tau_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ternary.dir/test_ternary.cc.o"
+  "CMakeFiles/test_ternary.dir/test_ternary.cc.o.d"
+  "test_ternary"
+  "test_ternary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ternary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trng.dir/test_trng.cc.o"
+  "CMakeFiles/test_trng.dir/test_trng.cc.o.d"
+  "test_trng"
+  "test_trng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

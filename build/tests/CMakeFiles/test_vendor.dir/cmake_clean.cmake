@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vendor.dir/test_vendor.cc.o"
+  "CMakeFiles/test_vendor.dir/test_vendor.cc.o.d"
+  "test_vendor"
+  "test_vendor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vendor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fracdram.dir/fracdram_cli.cc.o"
+  "CMakeFiles/fracdram.dir/fracdram_cli.cc.o.d"
+  "fracdram"
+  "fracdram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fracdram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
