@@ -14,6 +14,7 @@
 #include "analysis/fmaj_study.hh"
 #include "common/csv.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 
 using namespace fracdram;
@@ -32,6 +33,10 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--csv") == 0 &&
                    i + 1 < argc) {
             csv_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            parallel::setThreads(static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10)));
         }
     }
 

@@ -6,18 +6,26 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "analysis/capability.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "sim/vendor.hh"
 
 using namespace fracdram;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            parallel::setThreads(static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10)));
+    }
     std::puts("Table I: evaluated DRAM chips and their capability of "
               "performing");
     std::puts("Frac, three-row-activation, and four-row-activation "

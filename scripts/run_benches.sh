@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Times every bench_* driver in the build tree and writes the results
+# to BENCH_PR1.json as an array of {bench, seconds, threads} records.
+#
+# Usage: scripts/run_benches.sh [build_dir] [output.json]
+#
+# The thread count recorded is what the parallel engine resolves:
+# FRACDRAM_THREADS if set, otherwise the machine's hardware
+# concurrency. Set FRACDRAM_THREADS=1 to time the serial baseline.
+#
+# bench_timing is skipped: it is a google-benchmark microbenchmark
+# harness with its own timing loop, not a fixed-work driver.
+
+set -euo pipefail
+
+build_dir="${1:-build}"
+out="${2:-BENCH_PR1.json}"
+bench_dir="${build_dir}/bench"
+
+if [[ ! -d "${bench_dir}" ]]; then
+    echo "error: ${bench_dir} not found (build the project first)" >&2
+    exit 1
+fi
+
+threads="${FRACDRAM_THREADS:-$(nproc 2>/dev/null || echo 1)}"
+
+# Quick-mode flags keep total wall time reasonable; the relative
+# serial-vs-parallel ratio is what matters, not absolute run length.
+declare -A extra_args=(
+    [bench_fig9_fmaj_coverage]="--quick"
+)
+
+records=()
+for bin in "${bench_dir}"/bench_*; do
+    [[ -x "${bin}" ]] || continue
+    name="$(basename "${bin}")"
+    [[ "${name}" == "bench_timing" ]] && continue
+
+    args="${extra_args[${name}]:-}"
+    echo "timing ${name} ${args} (threads=${threads})" >&2
+
+    start=$(date +%s.%N)
+    # shellcheck disable=SC2086
+    "${bin}" ${args} > /dev/null || {
+        echo "warning: ${name} exited non-zero; recording anyway" >&2
+    }
+    end=$(date +%s.%N)
+    seconds=$(awk -v a="${start}" -v b="${end}" \
+        'BEGIN { printf "%.3f", b - a }')
+
+    records+=("  {\"bench\": \"${name}\", \"seconds\": ${seconds}, \"threads\": ${threads}}")
+done
+
+{
+    echo "["
+    for i in "${!records[@]}"; do
+        sep=","
+        [[ "${i}" -eq $((${#records[@]} - 1)) ]] && sep=""
+        echo "${records[${i}]}${sep}"
+    done
+    echo "]"
+} > "${out}"
+
+echo "wrote ${out} (${#records[@]} benches, threads=${threads})" >&2

@@ -1,5 +1,6 @@
 #include "analysis/capability.hh"
 
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "core/frac_op.hh"
 #include "core/multi_row.hh"
@@ -83,20 +84,23 @@ probeCapability(softmc::MemoryController &mc)
 std::vector<CapabilityRow>
 scanAllGroups(const sim::DramParams &params)
 {
-    std::vector<CapabilityRow> rows;
-    for (const auto group : sim::allGroups()) {
-        const auto &profile = sim::vendorProfile(group);
-        sim::DramChip chip(group, /*serial=*/1, params);
-        softmc::MemoryController mc(chip, /*enforce_spec=*/false);
-        CapabilityRow row;
-        row.group = group;
-        row.vendor = profile.vendor;
-        row.freqMhz = profile.freqMhz;
-        row.numChips = profile.numChips;
-        row.probed = probeCapability(mc);
-        rows.push_back(std::move(row));
-    }
-    return rows;
+    // Every group probes a freshly constructed module, so the scan
+    // fans out one task per group; results land in group order.
+    const auto groups = sim::allGroups();
+    return parallel::parallelMap(
+        groups.size(), [&](std::size_t i) {
+            const auto group = groups[i];
+            const auto &profile = sim::vendorProfile(group);
+            sim::DramChip chip(group, /*serial=*/1, params);
+            softmc::MemoryController mc(chip, /*enforce_spec=*/false);
+            CapabilityRow row;
+            row.group = group;
+            row.vendor = profile.vendor;
+            row.freqMhz = profile.freqMhz;
+            row.numChips = profile.numChips;
+            row.probed = probeCapability(mc);
+            return row;
+        });
 }
 
 } // namespace fracdram::analysis

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "core/maj3.hh"
@@ -161,48 +162,71 @@ fmajCoverageStudy(sim::DramGroup group, const FMajStudyParams &params)
         result.series.size(), std::vector<OnlineStats>(runs));
     OnlineStats baseline_stats;
 
-    for (int m = 0; m < params.modules; ++m) {
-        sim::DramChip chip(group, params.seedBase + m, params.dram);
-        softmc::MemoryController mc(chip, false);
-        const auto subs =
-            subarrays(params.dram, params.subarraysPerModule);
+    // Modules are independent trials (each seeds its own chip from
+    // seedBase + m), so they fan out across the trial engine; the
+    // per-module coverage values merge below in module order, which
+    // keeps every statistic bit-identical to a serial sweep.
+    struct ModuleOutcome
+    {
+        std::vector<std::vector<double>> coverage; // [series][fracs]
+        double baseline = 0.0;
+    };
+    const auto outcomes = parallel::parallelMap(
+        static_cast<std::size_t>(params.modules), [&](std::size_t m) {
+            ModuleOutcome out;
+            out.coverage.assign(result.series.size(),
+                                std::vector<double>(runs, 0.0));
+            sim::DramChip chip(group, params.seedBase + m, params.dram);
+            softmc::MemoryController mc(chip, false);
+            const auto subs =
+                subarrays(params.dram, params.subarraysPerModule);
 
-        for (std::size_t si = 0; si < result.series.size(); ++si) {
-            const auto &series = result.series[si];
-            for (std::size_t n = 0; n < runs; ++n) {
+            for (std::size_t si = 0; si < result.series.size(); ++si) {
+                const auto &series = result.series[si];
+                for (std::size_t n = 0; n < runs; ++n) {
+                    std::size_t pass = 0, total = 0;
+                    for (const auto &sub : subs) {
+                        core::FMajConfig cfg;
+                        cfg.actFirst = r1;
+                        cfg.actSecond = r2;
+                        cfg.fracRow = series.fracRow;
+                        cfg.fracInitOnes = series.initOnes;
+                        cfg.numFracs = static_cast<int>(n);
+                        const auto cols = coverageColumns(
+                            mc, sub.bank, offsetConfig(cfg, sub.base));
+                        for (const bool p : cols) {
+                            pass += p;
+                            ++total;
+                        }
+                    }
+                    out.coverage[si][n] =
+                        static_cast<double>(pass) /
+                        static_cast<double>(total);
+                }
+            }
+
+            if (group == sim::DramGroup::B) {
                 std::size_t pass = 0, total = 0;
                 for (const auto &sub : subs) {
-                    core::FMajConfig cfg;
-                    cfg.actFirst = r1;
-                    cfg.actSecond = r2;
-                    cfg.fracRow = series.fracRow;
-                    cfg.fracInitOnes = series.initOnes;
-                    cfg.numFracs = static_cast<int>(n);
-                    const auto cols = coverageColumns(
-                        mc, sub.bank, offsetConfig(cfg, sub.base));
+                    const auto cols =
+                        baselineCoverageColumns(mc, sub.bank, sub.base);
                     for (const bool p : cols) {
                         pass += p;
                         ++total;
                     }
                 }
-                stats[si][n].add(static_cast<double>(pass) /
-                                 static_cast<double>(total));
+                out.baseline = static_cast<double>(pass) /
+                               static_cast<double>(total);
             }
-        }
+            return out;
+        });
 
-        if (group == sim::DramGroup::B) {
-            std::size_t pass = 0, total = 0;
-            for (const auto &sub : subs) {
-                const auto cols =
-                    baselineCoverageColumns(mc, sub.bank, sub.base);
-                for (const bool p : cols) {
-                    pass += p;
-                    ++total;
-                }
-            }
-            baseline_stats.add(static_cast<double>(pass) /
-                               static_cast<double>(total));
-        }
+    for (const auto &out : outcomes) {
+        for (std::size_t si = 0; si < result.series.size(); ++si)
+            for (std::size_t n = 0; n < runs; ++n)
+                stats[si][n].add(out.coverage[si][n]);
+        if (group == sim::DramGroup::B)
+            baseline_stats.add(out.baseline);
     }
 
     for (std::size_t si = 0; si < result.series.size(); ++si) {
@@ -235,41 +259,65 @@ fmajComboBreakdown(sim::DramGroup group, const core::FMajConfig &config,
     std::vector<std::size_t> all_ok(runs, 0);
     std::size_t total = 0;
 
-    for (int m = 0; m < params.modules; ++m) {
-        sim::DramChip chip(group, params.seedBase + m, params.dram);
-        softmc::MemoryController mc(chip, false);
-        const auto subs =
-            subarrays(params.dram, params.subarraysPerModule);
-        const std::size_t cols = params.dram.colsPerRow;
+    // One independent counting task per module; integer counts sum to
+    // the same totals in any order, merged in module order anyway.
+    struct ModuleCounts
+    {
+        std::vector<std::array<std::size_t, 6>> ok;
+        std::vector<std::size_t> allOk;
+        std::size_t total = 0;
+    };
+    const auto counts = parallel::parallelMap(
+        static_cast<std::size_t>(params.modules), [&](std::size_t m) {
+            ModuleCounts mod;
+            mod.ok.assign(runs, std::array<std::size_t, 6>{});
+            mod.allOk.assign(runs, 0);
+            sim::DramChip chip(group, params.seedBase + m, params.dram);
+            softmc::MemoryController mc(chip, false);
+            const auto subs =
+                subarrays(params.dram, params.subarraysPerModule);
+            const std::size_t cols = params.dram.colsPerRow;
 
-        for (const auto &sub : subs) {
-            total += cols;
-            for (std::size_t n = 0; n < runs; ++n) {
-                core::FMajConfig cfg = offsetConfig(config, sub.base);
-                cfg.numFracs = static_cast<int>(n);
-                std::vector<bool> pass_all(cols, true);
-                for (std::size_t k = 0; k < 6; ++k) {
-                    std::array<BitVector, 3> ops = {
-                        BitVector(cols, kCombos[k][0]),
-                        BitVector(cols, kCombos[k][1]),
-                        BitVector(cols, kCombos[k][2]),
-                    };
-                    const bool expected =
-                        static_cast<int>(kCombos[k][0]) +
-                            kCombos[k][1] + kCombos[k][2] >=
-                        2;
-                    const auto result =
-                        core::fmaj(mc, sub.bank, cfg, ops);
-                    for (std::size_t c = 0; c < cols; ++c) {
-                        const bool good = result.get(c) == expected;
-                        ok[n][k] += good;
-                        pass_all[c] = pass_all[c] && good;
+            for (const auto &sub : subs) {
+                mod.total += cols;
+                for (std::size_t n = 0; n < runs; ++n) {
+                    core::FMajConfig cfg =
+                        offsetConfig(config, sub.base);
+                    cfg.numFracs = static_cast<int>(n);
+                    std::vector<bool> pass_all(cols, true);
+                    for (std::size_t k = 0; k < 6; ++k) {
+                        std::array<BitVector, 3> ops = {
+                            BitVector(cols, kCombos[k][0]),
+                            BitVector(cols, kCombos[k][1]),
+                            BitVector(cols, kCombos[k][2]),
+                        };
+                        const bool expected =
+                            static_cast<int>(kCombos[k][0]) +
+                                kCombos[k][1] + kCombos[k][2] >=
+                            2;
+                        const auto result =
+                            core::fmaj(mc, sub.bank, cfg, ops);
+                        for (std::size_t c = 0; c < cols; ++c) {
+                            const bool good =
+                                result.get(c) == expected;
+                            mod.ok[n][k] += good;
+                            pass_all[c] = pass_all[c] && good;
+                        }
                     }
+                    for (const bool p : pass_all)
+                        mod.allOk[n] += p;
                 }
-                for (const bool p : pass_all)
-                    all_ok[n] += p;
             }
+            return mod;
+        });
+
+    for (const auto &mod : counts) {
+        for (std::size_t n = 0; n < runs; ++n) {
+            for (std::size_t k = 0; k < 6; ++k)
+                ok[n][k] += mod.ok[n][k];
+            all_ok[n] += mod.allOk[n];
         }
+        total += mod.total;
     }
 
     for (std::size_t n = 0; n < runs; ++n) {
@@ -297,66 +345,81 @@ fmajStabilityStudy(sim::DramGroup group, bool baseline_maj3,
     result.baselineMaj3 = baseline_maj3;
 
     const std::size_t cols = params.dram.colsPerRow;
-    Rng input_rng(mixSeed(params.seedBase, 0x57ab1e));
 
-    auto random_bits = [&input_rng, cols]() {
-        BitVector v(cols);
-        for (std::size_t c = 0; c < cols; ++c)
-            v.set(c, input_rng.chance(0.5));
-        return v;
+    // Each module draws its random inputs from its own stream keyed by
+    // the module index, so modules are fully independent trials and
+    // the fan-out below cannot perturb any other module's inputs.
+    struct ModuleOutcome
+    {
+        std::vector<double> columnSuccess;
+        double fracAlways = 0.0;
     };
+    const auto outcomes = parallel::parallelMap(
+        static_cast<std::size_t>(params.modules), [&](std::size_t m) {
+            Rng input_rng(
+                mixSeed(mixSeed(params.seedBase, 0x57ab1e), m));
+            auto random_bits = [&input_rng, cols]() {
+                BitVector v(cols);
+                for (std::size_t c = 0; c < cols; ++c)
+                    v.set(c, input_rng.chance(0.5));
+                return v;
+            };
+
+            sim::DramChip chip(group, params.seedBase + m, params.dram);
+            softmc::MemoryController mc(chip, false);
+            const auto subs = subarrays(params.dram, params.subarrays);
+
+            ModuleOutcome out;
+            std::size_t always = 0, col_total = 0;
+
+            for (const auto &sub : subs) {
+                std::vector<std::size_t> good(cols, 0);
+                for (int t = 0; t < params.trials; ++t) {
+                    const auto a = random_bits();
+                    const auto b = random_bits();
+                    const auto c3 = random_bits();
+                    const auto expected = core::softwareMaj3(a, b, c3);
+                    BitVector result_bits;
+                    if (baseline_maj3) {
+                        std::map<RowAddr, BitVector> ops;
+                        ops.emplace(sub.base + 0, a);
+                        ops.emplace(sub.base + 1, b);
+                        ops.emplace(sub.base + 2, c3);
+                        result_bits = core::maj3(mc, sub.bank,
+                                                 sub.base + 1,
+                                                 sub.base + 2, ops);
+                    } else {
+                        const auto cfg = offsetConfig(
+                            core::bestFMajConfig(group), sub.base);
+                        result_bits = core::fmaj(mc, sub.bank, cfg,
+                                                 {a, b, c3});
+                    }
+                    for (std::size_t c = 0; c < cols; ++c)
+                        good[c] +=
+                            result_bits.get(c) == expected.get(c);
+                }
+                for (std::size_t c = 0; c < cols; ++c) {
+                    const double rate =
+                        static_cast<double>(good[c]) /
+                        static_cast<double>(params.trials);
+                    out.columnSuccess.push_back(rate);
+                    always += good[c] ==
+                              static_cast<std::size_t>(params.trials);
+                    ++col_total;
+                }
+            }
+            std::sort(out.columnSuccess.begin(),
+                      out.columnSuccess.end());
+            out.fracAlways = static_cast<double>(always) /
+                             static_cast<double>(col_total);
+            return out;
+        });
 
     OnlineStats err;
-    for (int m = 0; m < params.modules; ++m) {
-        sim::DramChip chip(group, params.seedBase + m, params.dram);
-        softmc::MemoryController mc(chip, false);
-        const auto subs = subarrays(params.dram, params.subarrays);
-
-        std::vector<double> column_success;
-        std::size_t always = 0, col_total = 0;
-
-        for (const auto &sub : subs) {
-            std::vector<std::size_t> good(cols, 0);
-            for (int t = 0; t < params.trials; ++t) {
-                const auto a = random_bits();
-                const auto b = random_bits();
-                const auto c3 = random_bits();
-                const auto expected = core::softwareMaj3(a, b, c3);
-                BitVector result_bits;
-                if (baseline_maj3) {
-                    std::map<RowAddr, BitVector> ops;
-                    ops.emplace(sub.base + 0, a);
-                    ops.emplace(sub.base + 1, b);
-                    ops.emplace(sub.base + 2, c3);
-                    result_bits = core::maj3(mc, sub.bank,
-                                             sub.base + 1,
-                                             sub.base + 2, ops);
-                } else {
-                    const auto cfg = offsetConfig(
-                        core::bestFMajConfig(group), sub.base);
-                    result_bits = core::fmaj(mc, sub.bank, cfg,
-                                             {a, b, c3});
-                }
-                for (std::size_t c = 0; c < cols; ++c)
-                    good[c] += result_bits.get(c) == expected.get(c);
-            }
-            for (std::size_t c = 0; c < cols; ++c) {
-                const double rate =
-                    static_cast<double>(good[c]) /
-                    static_cast<double>(params.trials);
-                column_success.push_back(rate);
-                always += good[c] ==
-                          static_cast<std::size_t>(params.trials);
-                ++col_total;
-            }
-        }
-        std::sort(column_success.begin(), column_success.end());
-        result.columnSuccess.push_back(std::move(column_success));
-        const double frac_always =
-            static_cast<double>(always) /
-            static_cast<double>(col_total);
-        result.alwaysCorrect.push_back(frac_always);
-        err.add(1.0 - frac_always);
+    for (auto &out : outcomes) {
+        result.columnSuccess.push_back(out.columnSuccess);
+        result.alwaysCorrect.push_back(out.fracAlways);
+        err.add(1.0 - out.fracAlways);
     }
     result.meanErrorRate = err.mean();
     return result;

@@ -1,6 +1,7 @@
 #include "analysis/halfm_study.hh"
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "core/frac_op.hh"
 #include "core/half_m.hh"
 #include "core/multi_row.hh"
@@ -29,6 +30,14 @@ struct BucketCounter
             ++counts[b];
             ++total;
         }
+    }
+
+    void
+    merge(const BucketCounter &other)
+    {
+        for (std::size_t i = 0; i < counts.size(); ++i)
+            counts[i] += other.counts[i];
+        total += other.total;
     }
 
     std::vector<double>
@@ -60,6 +69,14 @@ struct ComboCounter
         }
     }
 
+    void
+    merge(const ComboCounter &other)
+    {
+        for (std::size_t i = 0; i < 4; ++i)
+            counts[i] += other.counts[i];
+        total += other.total;
+    }
+
     std::array<double, 4>
     fractions() const
     {
@@ -73,17 +90,28 @@ struct ComboCounter
     }
 };
 
-} // namespace
-
-HalfMStudyResult
-halfMStudy(const HalfMStudyParams &params)
+/** All counters one module contributes; summed in module order. */
+struct HalfMModuleCounts
 {
-    BucketCounter ret_half, ret_weak_one, ret_normal_one, ret_frac5;
-    ComboCounter maj_half, maj_weak_ones, maj_weak_zeros;
+    BucketCounter retHalf, retWeakOne, retNormalOne, retFrac5;
+    ComboCounter majHalf, majWeakOnes, majWeakZeros;
+};
+
+HalfMModuleCounts
+halfMModule(const HalfMStudyParams &params, std::size_t m)
+{
+    HalfMModuleCounts out;
+    BucketCounter &ret_half = out.retHalf;
+    BucketCounter &ret_weak_one = out.retWeakOne;
+    BucketCounter &ret_normal_one = out.retNormalOne;
+    BucketCounter &ret_frac5 = out.retFrac5;
+    ComboCounter &maj_half = out.majHalf;
+    ComboCounter &maj_weak_ones = out.majWeakOnes;
+    ComboCounter &maj_weak_zeros = out.majWeakZeros;
 
     const std::size_t cols = params.dram.colsPerRow;
 
-    for (int m = 0; m < params.modules; ++m) {
+    {
         sim::DramChip chip(sim::DramGroup::B, params.seedBase + m,
                            params.dram);
         softmc::MemoryController mc(chip, false);
@@ -144,15 +172,39 @@ halfMStudy(const HalfMStudyParams &params)
             maj_probe([&] { prepare_weak(false); }, maj_weak_zeros);
         }
     }
+    return out;
+}
+
+} // namespace
+
+HalfMStudyResult
+halfMStudy(const HalfMStudyParams &params)
+{
+    // One task per module (independent chips); the histogram counters
+    // are plain integer sums, merged in module order.
+    const auto partials = parallel::parallelMap(
+        static_cast<std::size_t>(params.modules),
+        [&](std::size_t m) { return halfMModule(params, m); });
+
+    HalfMModuleCounts sum;
+    for (const auto &p : partials) {
+        sum.retHalf.merge(p.retHalf);
+        sum.retWeakOne.merge(p.retWeakOne);
+        sum.retNormalOne.merge(p.retNormalOne);
+        sum.retFrac5.merge(p.retFrac5);
+        sum.majHalf.merge(p.majHalf);
+        sum.majWeakOnes.merge(p.majWeakOnes);
+        sum.majWeakZeros.merge(p.majWeakZeros);
+    }
 
     HalfMStudyResult result;
-    result.retentionHalf = ret_half.pdf();
-    result.retentionWeakOne = ret_weak_one.pdf();
-    result.retentionNormalOne = ret_normal_one.pdf();
-    result.retentionFrac5 = ret_frac5.pdf();
-    result.maj3Half = maj_half.fractions();
-    result.maj3WeakOnes = maj_weak_ones.fractions();
-    result.maj3WeakZeros = maj_weak_zeros.fractions();
+    result.retentionHalf = sum.retHalf.pdf();
+    result.retentionWeakOne = sum.retWeakOne.pdf();
+    result.retentionNormalOne = sum.retNormalOne.pdf();
+    result.retentionFrac5 = sum.retFrac5.pdf();
+    result.maj3Half = sum.majHalf.fractions();
+    result.maj3WeakOnes = sum.majWeakOnes.fractions();
+    result.maj3WeakZeros = sum.majWeakZeros.fractions();
     result.distinguishableHalf = result.maj3Half[1]; // (X1,X2)=(1,0)
     return result;
 }

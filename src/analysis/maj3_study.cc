@@ -1,6 +1,7 @@
 #include "analysis/maj3_study.hh"
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "core/verify.hh"
 #include "sim/chip.hh"
 #include "softmc/controller.hh"
@@ -26,19 +27,24 @@ maj3Study(const Maj3StudyParams &params)
 
     const std::size_t runs =
         static_cast<std::size_t>(params.maxFracs) + 1;
-    std::vector<Maj3StudySeries> out;
 
-    for (const auto &cfg : configs) {
-        Maj3StudySeries series;
-        series.label = cfg.label;
-        series.fracInR1R2 = cfg.frac_r1r2;
-        series.initOnes = cfg.init_ones;
-        series.combos.assign(runs, {0.0, 0.0, 0.0, 0.0});
-        std::vector<std::array<std::size_t, 4>> counts(
-            runs, {0, 0, 0, 0});
-        std::size_t cols_total = 0;
+    // Every (configuration, module) pair owns a freshly seeded chip,
+    // so the whole grid fans out at once; the integer combo counts
+    // merge per configuration afterwards.
+    struct TaskCounts
+    {
+        std::vector<std::array<std::size_t, 4>> counts;
+        std::size_t colsTotal = 0;
+    };
+    const std::size_t modules =
+        static_cast<std::size_t>(params.modules);
+    const auto partials = parallel::parallelMap(
+        4 * modules, [&](std::size_t task) {
+            const auto &cfg = configs[task / modules];
+            const std::size_t m = task % modules;
+            TaskCounts out;
+            out.counts.assign(runs, {0, 0, 0, 0});
 
-        for (int m = 0; m < params.modules; ++m) {
             sim::DramChip chip(sim::DramGroup::B,
                                params.seedBase + m, params.dram);
             softmc::MemoryController mc(chip, false);
@@ -67,12 +73,32 @@ maj3Study(const Maj3StudyParams &params)
                         const std::size_t idx =
                             (res.x1.get(c) ? 0u : 2u) +
                             (res.x2.get(c) ? 0u : 1u);
-                        ++counts[n][idx];
+                        ++out.counts[n][idx];
                     }
                     if (n == 0)
-                        cols_total += res.x1.size();
+                        out.colsTotal += res.x1.size();
                 }
             }
+            return out;
+        });
+
+    std::vector<Maj3StudySeries> out;
+    for (std::size_t ci = 0; ci < 4; ++ci) {
+        const auto &cfg = configs[ci];
+        Maj3StudySeries series;
+        series.label = cfg.label;
+        series.fracInR1R2 = cfg.frac_r1r2;
+        series.initOnes = cfg.init_ones;
+        series.combos.assign(runs, {0.0, 0.0, 0.0, 0.0});
+        std::vector<std::array<std::size_t, 4>> counts(
+            runs, {0, 0, 0, 0});
+        std::size_t cols_total = 0;
+        for (std::size_t m = 0; m < modules; ++m) {
+            const auto &p = partials[ci * modules + m];
+            for (std::size_t n = 0; n < runs; ++n)
+                for (std::size_t k = 0; k < 4; ++k)
+                    counts[n][k] += p.counts[n][k];
+            cols_total += p.colsTotal;
         }
 
         for (std::size_t n = 0; n < runs; ++n) {

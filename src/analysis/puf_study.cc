@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "puf/hamming.hh"
 #include "puf/puf.hh"
 #include "sim/chip.hh"
@@ -61,19 +62,54 @@ pufStudy(const PufStudyParams &params)
     std::vector<std::vector<std::vector<BitVector>>> responses;
     std::vector<sim::DramGroup> groups = sim::fracCapableGroups();
 
+    // Flatten the (group, module) grid: every pair evaluates an
+    // independent chip, so the whole characterization campaign fans
+    // out at once (the platform's 582-concurrent-chip analogue).
+    struct TaskSpec
+    {
+        sim::DramGroup g;
+        int m;
+    };
+    std::vector<TaskSpec> specs;
+    std::vector<int> modulesPerGroup;
     for (const auto g : groups) {
-        PufGroupResult gr;
-        gr.group = g;
-        std::vector<std::vector<BitVector>> module_responses;
         const int modules =
             std::min(params.modulesPerGroup,
                      sim::vendorProfile(g).numModules);
-        for (int m = 0; m < modules; ++m) {
-            ModuleUnderTest mut(g, params.seedBase + m, params);
-            const auto set1 = mut.collect(params.challenges);
+        modulesPerGroup.push_back(modules);
+        for (int m = 0; m < modules; ++m)
+            specs.push_back({g, m});
+    }
+
+    struct ModuleData
+    {
+        std::vector<double> intraHd;
+        std::vector<BitVector> set1;
+    };
+    const auto collected = parallel::parallelMap(
+        specs.size(), [&](std::size_t i) {
+            const auto &spec = specs[i];
+            ModuleUnderTest mut(spec.g, params.seedBase + spec.m,
+                                params);
+            ModuleData data;
+            data.set1 = mut.collect(params.challenges);
             const auto set2 = mut.collect(params.challenges);
-            appendPairedHd(gr.intraHd, set1, set2);
-            module_responses.push_back(set1);
+            data.intraHd =
+                puf::HammingStudy::pairedDistances(data.set1, set2);
+            return data;
+        });
+
+    std::size_t flat = 0;
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        const auto g = groups[gi];
+        PufGroupResult gr;
+        gr.group = g;
+        std::vector<std::vector<BitVector>> module_responses;
+        for (int m = 0; m < modulesPerGroup[gi]; ++m, ++flat) {
+            const auto &data = collected[flat];
+            gr.intraHd.insert(gr.intraHd.end(), data.intraHd.begin(),
+                              data.intraHd.end());
+            module_responses.push_back(data.set1);
         }
         gr.hammingWeight = 0.0;
         for (const auto &set : module_responses) {
@@ -123,28 +159,40 @@ pufEnvStudy(const PufStudyParams &params)
         std::unique_ptr<ModuleUnderTest> mut;
         std::vector<BitVector> baseline;
     };
-    std::vector<ModuleSets> modules;
 
+    // Instantiate and baseline every module in parallel; each owns
+    // its chip, so later environment phases also fan out per module.
+    struct ModuleSpec
+    {
+        sim::DramGroup g;
+        int m;
+    };
+    std::vector<ModuleSpec> specs;
     for (const auto g : sim::fracCapableGroups()) {
         const int count = std::min(params.modulesPerGroup,
                                    sim::vendorProfile(g).numModules);
-        for (int m = 0; m < count; ++m) {
+        for (int m = 0; m < count; ++m)
+            specs.push_back({g, m});
+    }
+    auto modules = parallel::parallelMap(
+        specs.size(), [&](std::size_t i) {
             ModuleSets ms;
             ms.mut = std::make_unique<ModuleUnderTest>(
-                g, params.seedBase + m, params);
+                specs[i].g, params.seedBase + specs[i].m, params);
             ms.baseline = ms.mut->collect(params.challenges);
-            modules.push_back(std::move(ms));
-        }
-    }
+            return ms;
+        });
 
     // (a) Ten days later, at 1.4 V supply.
-    std::vector<std::vector<BitVector>> vdd_sets;
-    for (auto &ms : modules) {
-        ms.mut->mc->waitSeconds(10.0 * 24.0 * 3600.0);
-        ms.mut->chip->env().vdd = 1.4;
-        vdd_sets.push_back(ms.mut->collect(params.challenges));
-        ms.mut->chip->env().vdd = 1.5;
-    }
+    const auto vdd_sets = parallel::parallelMap(
+        modules.size(), [&](std::size_t i) {
+            auto &ms = modules[i];
+            ms.mut->mc->waitSeconds(10.0 * 24.0 * 3600.0);
+            ms.mut->chip->env().vdd = 1.4;
+            auto set = ms.mut->collect(params.challenges);
+            ms.mut->chip->env().vdd = 1.5;
+            return set;
+        });
     for (std::size_t i = 0; i < modules.size(); ++i) {
         appendPairedHd(result.intraVdd, modules[i].baseline,
                        vdd_sets[i]);
@@ -166,12 +214,14 @@ pufEnvStudy(const PufStudyParams &params)
     for (const double temp : {20.0, 40.0, 60.0}) {
         PufEnvStudyResult::TempPoint point;
         point.temperatureC = temp;
-        std::vector<std::vector<BitVector>> temp_sets;
-        for (auto &ms : modules) {
-            ms.mut->chip->env().temperatureC = temp;
-            temp_sets.push_back(ms.mut->collect(params.challenges));
-            ms.mut->chip->env().temperatureC = 20.0;
-        }
+        const auto temp_sets = parallel::parallelMap(
+            modules.size(), [&](std::size_t i) {
+                auto &ms = modules[i];
+                ms.mut->chip->env().temperatureC = temp;
+                auto set = ms.mut->collect(params.challenges);
+                ms.mut->chip->env().temperatureC = 20.0;
+                return set;
+            });
         for (std::size_t i = 0; i < modules.size(); ++i) {
             appendPairedHd(point.intraHd, modules[i].baseline,
                            temp_sets[i]);

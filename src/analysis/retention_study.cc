@@ -1,6 +1,7 @@
 #include "analysis/retention_study.hh"
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "core/frac_op.hh"
 #include "core/retention.hh"
 #include "sim/chip.hh"
@@ -46,50 +47,72 @@ retentionStudy(sim::DramGroup group, const RetentionStudyParams &params)
 
     std::size_t n_long = 0, n_mono = 0, n_other = 0;
 
-    for (int m = 0; m < params.modules; ++m) {
-        sim::DramChip chip(group, params.seedBase + m, params.dram);
-        softmc::MemoryController mc(chip, false);
-        for (const auto &[bank, row] :
-             sampleRows(params.dram, params.rowsPerModule)) {
-            core::RetentionProfiler profiler(mc, bank, row);
-            // bucket[num_fracs][col]
-            std::vector<std::vector<std::size_t>> buckets;
-            for (std::size_t n = 0; n < runs; ++n) {
-                buckets.push_back(profiler.profile([&] {
-                    mc.fillRowVoltage(bank, row, true);
-                    if (n > 0)
-                        core::frac(mc, bank, row,
-                                   static_cast<int>(n));
-                }));
-            }
-            const std::size_t cols = params.dram.colsPerRow;
-            for (std::size_t c = 0; c < cols; ++c) {
-                bool always_top = true;
-                bool non_increasing = true;
-                bool strictly_decreased = false;
+    // Timing-checker groups: one module suffices to show the flat
+    // profile.
+    const std::size_t modules =
+        profile.supportsFrac ? static_cast<std::size_t>(params.modules)
+                             : 1;
+
+    struct ModuleCounts
+    {
+        std::vector<std::vector<std::size_t>> counts;
+        std::size_t nLong = 0, nMono = 0, nOther = 0, cells = 0;
+    };
+    const auto partials = parallel::parallelMap(
+        modules, [&](std::size_t m) {
+            ModuleCounts mod;
+            mod.counts.assign(
+                runs, std::vector<std::size_t>(num_buckets, 0));
+            sim::DramChip chip(group, params.seedBase + m, params.dram);
+            softmc::MemoryController mc(chip, false);
+            for (const auto &[bank, row] :
+                 sampleRows(params.dram, params.rowsPerModule)) {
+                core::RetentionProfiler profiler(mc, bank, row);
+                // bucket[num_fracs][col]
+                std::vector<std::vector<std::size_t>> buckets;
                 for (std::size_t n = 0; n < runs; ++n) {
-                    const std::size_t b = buckets[n][c];
-                    ++counts[n][b];
-                    always_top &= b == num_buckets - 1;
-                    if (n > 0) {
-                        non_increasing &= b <= buckets[n - 1][c];
-                        strictly_decreased |= b < buckets[n - 1][c];
-                    }
+                    buckets.push_back(profiler.profile([&] {
+                        mc.fillRowVoltage(bank, row, true);
+                        if (n > 0)
+                            core::frac(mc, bank, row,
+                                       static_cast<int>(n));
+                    }));
                 }
-                if (always_top)
-                    ++n_long;
-                else if (non_increasing && strictly_decreased)
-                    ++n_mono;
-                else
-                    ++n_other;
-                ++heat.cells;
+                const std::size_t cols = params.dram.colsPerRow;
+                for (std::size_t c = 0; c < cols; ++c) {
+                    bool always_top = true;
+                    bool non_increasing = true;
+                    bool strictly_decreased = false;
+                    for (std::size_t n = 0; n < runs; ++n) {
+                        const std::size_t b = buckets[n][c];
+                        ++mod.counts[n][b];
+                        always_top &= b == num_buckets - 1;
+                        if (n > 0) {
+                            non_increasing &= b <= buckets[n - 1][c];
+                            strictly_decreased |=
+                                b < buckets[n - 1][c];
+                        }
+                    }
+                    if (always_top)
+                        ++mod.nLong;
+                    else if (non_increasing && strictly_decreased)
+                        ++mod.nMono;
+                    else
+                        ++mod.nOther;
+                    ++mod.cells;
+                }
             }
-        }
-        if (!profile.supportsFrac) {
-            // Timing-checker groups: one module suffices to show the
-            // flat profile.
-            break;
-        }
+            return mod;
+        });
+
+    for (const auto &mod : partials) {
+        for (std::size_t n = 0; n < runs; ++n)
+            for (std::size_t b = 0; b < num_buckets; ++b)
+                counts[n][b] += mod.counts[n][b];
+        n_long += mod.nLong;
+        n_mono += mod.nMono;
+        n_other += mod.nOther;
+        heat.cells += mod.cells;
     }
 
     // Each cell contributes one bucket observation per run, so each
@@ -115,13 +138,17 @@ retentionStudy(sim::DramGroup group, const RetentionStudyParams &params)
 std::vector<RetentionHeatmap>
 retentionStudyAllGroups(const RetentionStudyParams &params)
 {
-    std::vector<RetentionHeatmap> out;
+    std::vector<sim::DramGroup> groups;
     for (const auto g : sim::allGroups()) {
         if (!sim::vendorProfile(g).supportsFrac)
             continue; // paper omits J-L: Frac has no effect there
-        out.push_back(retentionStudy(g, params));
+        groups.push_back(g);
     }
-    return out;
+    // Fan out over groups; each group's module sweep then runs inline
+    // on its worker (nested parallelFor degrades to serial).
+    return parallel::parallelMap(groups.size(), [&](std::size_t i) {
+        return retentionStudy(groups[i], params);
+    });
 }
 
 } // namespace fracdram::analysis

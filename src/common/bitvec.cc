@@ -76,6 +76,14 @@ BitVector::fill(bool value)
     maskTail();
 }
 
+void
+BitVector::invert()
+{
+    for (auto &w : words_)
+        w = ~w;
+    maskTail();
+}
+
 std::size_t
 BitVector::popcount() const
 {

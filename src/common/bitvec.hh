@@ -50,6 +50,9 @@ class BitVector
     /** Set every bit to @p value. */
     void fill(bool value);
 
+    /** Flip every bit in place (no temporary mask allocation). */
+    void invert();
+
     /** Number of one bits. */
     std::size_t popcount() const;
 

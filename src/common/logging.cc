@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -9,7 +10,9 @@ namespace fracdram
 
 namespace
 {
-bool verboseFlag = true;
+// Atomic so parallel trial workers can consult it without racing a
+// driver's setVerbose() call.
+std::atomic<bool> verboseFlag{true};
 } // namespace
 
 std::string
@@ -61,7 +64,7 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
 void
 warnImpl(const char *fmt, ...)
 {
-    if (!verboseFlag)
+    if (!verboseFlag.load(std::memory_order_relaxed))
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -73,7 +76,7 @@ warnImpl(const char *fmt, ...)
 void
 informImpl(const char *fmt, ...)
 {
-    if (!verboseFlag)
+    if (!verboseFlag.load(std::memory_order_relaxed))
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -85,13 +88,13 @@ informImpl(const char *fmt, ...)
 void
 setVerbose(bool verbose)
 {
-    verboseFlag = verbose;
+    verboseFlag.store(verbose, std::memory_order_relaxed);
 }
 
 bool
 verbose()
 {
-    return verboseFlag;
+    return verboseFlag.load(std::memory_order_relaxed);
 }
 
 } // namespace fracdram

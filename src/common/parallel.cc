@@ -1,0 +1,182 @@
+#include "common/parallel.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+
+namespace fracdram::parallel
+{
+
+namespace
+{
+
+thread_local bool tlsInsideWorker = false;
+
+/** Explicit override from setThreads(); 0 means "resolve automatically". */
+std::atomic<unsigned> configuredThreads{0};
+
+unsigned
+resolveAutoThreads()
+{
+    if (const char *env = std::getenv("FRACDRAM_THREADS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+/** The engine's shared pool, rebuilt when the thread count changes. */
+std::mutex poolMutex;
+std::unique_ptr<ThreadPool> pool;
+
+ThreadPool &
+acquirePool(unsigned want)
+{
+    std::lock_guard<std::mutex> lock(poolMutex);
+    if (!pool || pool->threadCount() != want)
+        pool = std::make_unique<ThreadPool>(want);
+    return *pool;
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> task)
+{
+    if (insideWorker()) {
+        throw std::logic_error(
+            "ThreadPool::submit from a worker thread (nested submit "
+            "rejected; use parallelFor, which degrades to serial)");
+    }
+    std::packaged_task<void()> wrapped(std::move(task));
+    auto future = wrapped.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_)
+            throw std::logic_error("submit on a stopped ThreadPool");
+        queue_.push_back(std::move(wrapped));
+    }
+    cv_.notify_one();
+    return future;
+}
+
+bool
+ThreadPool::insideWorker()
+{
+    return tlsInsideWorker;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tlsInsideWorker = true;
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ with a drained queue
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+setThreads(unsigned n)
+{
+    configuredThreads.store(n, std::memory_order_relaxed);
+}
+
+unsigned
+threads()
+{
+    const unsigned n = configuredThreads.load(std::memory_order_relaxed);
+    return n ? n : resolveAutoThreads();
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+
+    const unsigned want = threads();
+    if (want <= 1 || n == 1 || ThreadPool::insideWorker()) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    ThreadPool &tp = acquirePool(want);
+
+    // Dynamic index claiming: no per-worker partition, so stragglers
+    // never idle the pool, and since each index touches only its own
+    // state the results are scheduling-independent.
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    auto firstError = std::make_shared<std::atomic<bool>>(false);
+    auto errorPtr = std::make_shared<std::exception_ptr>();
+    auto errorMutex = std::make_shared<std::mutex>();
+
+    auto claimLoop = [n, &fn, next, firstError, errorPtr, errorMutex] {
+        for (;;) {
+            if (firstError->load(std::memory_order_relaxed))
+                return; // fail fast; caller rethrows anyway
+            const std::size_t i =
+                next->fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(*errorMutex);
+                if (!firstError->exchange(true))
+                    *errorPtr = std::current_exception();
+                return;
+            }
+        }
+    };
+
+    const std::size_t helpers =
+        std::min<std::size_t>(tp.threadCount(), n) - 1;
+    std::vector<std::future<void>> futures;
+    futures.reserve(helpers);
+    for (std::size_t t = 0; t < helpers; ++t)
+        futures.push_back(tp.submit(claimLoop));
+
+    claimLoop(); // the calling thread participates
+
+    for (auto &f : futures)
+        f.get();
+
+    if (firstError->load(std::memory_order_acquire) && *errorPtr)
+        std::rethrow_exception(*errorPtr);
+}
+
+} // namespace fracdram::parallel

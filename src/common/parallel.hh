@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Deterministic parallel trial engine.
+ *
+ * The experiment harnesses sweep embarrassingly parallel axes (vendor
+ * group, module serial, sub-array); the real FracDRAM platform ran 582
+ * chips concurrently on FPGA hosts. This subsystem provides the host
+ * substitute: a fixed-size, work-stealing-free thread pool plus
+ * parallelFor/parallelMap helpers whose results are *bit-identical* to
+ * a serial run.
+ *
+ * Determinism contract: every index i of a parallelFor must be a pure
+ * function of i and of state reachable only through i (e.g. a chip
+ * seeded from mixSeed(root, i)). Workers claim indices dynamically,
+ * but because no state is shared between indices and results land in
+ * index-order slots, the merged output never depends on scheduling.
+ *
+ * Thread count resolution order:
+ *   1. setThreads(n) with n >= 1 (the CLI --threads flag),
+ *   2. the FRACDRAM_THREADS environment variable,
+ *   3. std::thread::hardware_concurrency().
+ *
+ * Nested parallelism is defined but degenerate: a parallelFor issued
+ * from inside a worker runs serially inline on that worker, while a
+ * raw ThreadPool::submit from a worker throws (deadlock guard).
+ */
+
+#ifndef FRACDRAM_COMMON_PARALLEL_HH
+#define FRACDRAM_COMMON_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fracdram::parallel
+{
+
+/**
+ * A fixed-size FIFO thread pool. Tasks run in submission order (one
+ * queue, no stealing); completion order depends on task durations.
+ */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(unsigned threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Enqueue a task; the future reports completion or rethrows the
+     * task's exception.
+     * @throws std::logic_error when called from a pool worker (a
+     *         nested submit could deadlock waiting on its own queue).
+     */
+    std::future<void> submit(std::function<void()> task);
+
+    /** Whether the calling thread is a worker of *any* pool. */
+    static bool insideWorker();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::packaged_task<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+/**
+ * Configure the trial engine's thread count.
+ * @param n worker count; 0 restores automatic resolution
+ *          (FRACDRAM_THREADS env var, then hardware concurrency).
+ */
+void setThreads(unsigned n);
+
+/** Resolved thread count the next parallelFor will use. */
+unsigned threads();
+
+/**
+ * Run fn(0) ... fn(n-1), spread over the engine's threads.
+ *
+ * Blocks until every index completed. The first exception thrown by
+ * any fn(i) is rethrown on the calling thread (remaining indices may
+ * be skipped). Runs serially inline when threads() == 1, when n < 2,
+ * or when called from inside a worker (nested parallelism).
+ */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+/**
+ * Map i -> fn(i) for i in [0, n), preserving index order in the
+ * returned vector regardless of scheduling.
+ */
+template <typename Fn>
+auto
+parallelMap(std::size_t n, Fn &&fn)
+    -> std::vector<decltype(fn(std::size_t{}))>
+{
+    using T = decltype(fn(std::size_t{}));
+    std::vector<T> out(n);
+    parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+} // namespace fracdram::parallel
+
+#endif // FRACDRAM_COMMON_PARALLEL_HH

@@ -29,17 +29,23 @@ Bank::rowIsAnti(RowAddr row) const
     return ctx_.profile.oddRowsAntiCells && (row & 1u);
 }
 
+void
+Bank::ensureSaOffsets()
+{
+    if (!saOffsets_.empty())
+        return;
+    saOffsets_.resize(ctx_.params.colsPerRow);
+    for (ColAddr c = 0; c < ctx_.params.colsPerRow; ++c) {
+        saOffsets_[c] =
+            static_cast<float>(ctx_.variation.saOffset(index_, c));
+    }
+}
+
 Volt
 Bank::saOffset(ColAddr col)
 {
-    if (saOffsets_.empty()) {
-        saOffsets_.resize(ctx_.params.colsPerRow);
-        for (ColAddr c = 0; c < ctx_.params.colsPerRow; ++c) {
-            saOffsets_[c] =
-                static_cast<float>(ctx_.variation.saOffset(index_, c));
-        }
-    }
-    return saOffsets_.at(col);
+    ensureSaOffsets();
+    return saOffsets_[col];
 }
 
 Bank::RowStore &
@@ -48,12 +54,14 @@ Bank::ensureRow(RowAddr row)
     panic_if(row >= ctx_.params.rowsPerBank(),
              "row %u out of range (bank has %u rows)", row,
              ctx_.params.rowsPerBank());
-    auto it = rows_.find(row);
-    if (it != rows_.end())
-        return it->second;
+    // Single hash probe: default-construct in place, materialize the
+    // manufacturing parameters only on first touch.
+    auto [it, inserted] = rows_.try_emplace(row);
+    RowStore &store = it->second;
+    if (!inserted)
+        return store;
 
     const auto cols = ctx_.params.colsPerRow;
-    RowStore store;
     store.volts.resize(cols);
     store.alpha.resize(cols);
     store.tau.resize(cols);
@@ -62,10 +70,9 @@ Bank::ensureRow(RowAddr row)
     store.vrt.resize(cols);
     store.lastTouch = ctx_.now;
     const auto &var = ctx_.variation;
+    const float vdd = static_cast<float>(ctx_.env.vdd);
     for (ColAddr c = 0; c < cols; ++c) {
-        store.volts[c] = var.startupBit(index_, row, c)
-                             ? static_cast<float>(ctx_.env.vdd)
-                             : 0.0f;
+        store.volts[c] = var.startupBit(index_, row, c) ? vdd : 0.0f;
         store.alpha[c] = static_cast<float>(var.cellAlpha(index_, row, c));
         store.tau[c] = static_cast<float>(var.cellTau(index_, row, c));
         store.coupling[c] =
@@ -74,23 +81,34 @@ Bank::ensureRow(RowAddr row)
             static_cast<float>(var.cellFracOffset(index_, row, c));
         store.vrt[c] = var.cellIsVrt(index_, row, c) ? 1 : 0;
     }
-    return rows_.emplace(row, std::move(store)).first->second;
+    return store;
 }
 
 void
 Bank::applyLeakage(RowAddr row)
 {
-    auto &store = ensureRow(row);
+    applyLeakage(ensureRow(row));
+}
+
+void
+Bank::applyLeakage(RowStore &store)
+{
     const double dt = ctx_.now - store.lastTouch;
     if (dt <= 0.0)
-        return;
-    const double scale = ctx_.env.leakageScale();
-    for (std::size_t c = 0; c < store.volts.size(); ++c) {
+        return; // just touched: nothing decayed, skip the exp() loop
+    const double factor = -dt * ctx_.env.leakageScale();
+    const std::size_t cols = store.volts.size();
+    for (std::size_t c = 0; c < cols; ++c) {
         double tau = store.tau[c];
+        // The VRT coin flip must be drawn for every VRT cell to keep
+        // the trial RNG stream identical to the reference model, even
+        // when the voltage below is already zero.
         if (store.vrt[c] && ctx_.trialRng.chance(0.5))
             tau *= ctx_.profile.vrtFastRatio;
-        store.volts[c] = static_cast<float>(
-            store.volts[c] * std::exp(-dt * scale / tau));
+        const float v = store.volts[c];
+        if (v != 0.0f)
+            store.volts[c] =
+                static_cast<float>(v * std::exp(factor / tau));
     }
     store.lastTouch = ctx_.now;
 }
@@ -175,10 +193,8 @@ Bank::commandAct(Cycles cycle, RowAddr row)
         lastActCycle_ = cycle;
         wasRowCopy_ = true;
         phase_ = Phase::Open;
-        if (rowIsAnti(row) != old_anti) {
-            BitVector mask(rowBuffer_.size(), true);
-            rowBuffer_ = rowBuffer_ ^ mask;
-        }
+        if (rowIsAnti(row) != old_anti)
+            rowBuffer_.invert();
         return;
     }
 
@@ -205,8 +221,10 @@ Bank::commandAct(Cycles cycle, RowAddr row)
         // ACT-ACT back-to-back without a PRE: the second wordline
         // also rises while the first activation is still settling,
         // so both rows join the charge sharing.
-        warn("ACT during pending activation on bank %u; row %u joins",
-             index_, row);
+        if (verbose())
+            warn("ACT during pending activation on bank %u; row %u "
+                 "joins",
+                 index_, row);
         bool present = false;
         for (const auto &o : openRows_)
             present |= o.row == row;
@@ -219,7 +237,8 @@ Bank::commandAct(Cycles cycle, RowAddr row)
     if (phase_ == Phase::Open) {
         // ACT on an open bank is a JEDEC violation outside the
         // behaviours this model reproduces; treat as implicit close.
-        warn("ACT on open bank %u; forcing close", index_);
+        if (verbose())
+            warn("ACT on open bank %u; forcing close", index_);
         openRows_.clear();
         phase_ = Phase::Idle;
     }
@@ -283,7 +302,9 @@ Bank::commandRead(Cycles cycle)
 {
     resolve(cycle);
     if (phase_ != Phase::Open || !rowBufferValid_) {
-        warn("READ on bank %u without a completed activation", index_);
+        if (verbose())
+            warn("READ on bank %u without a completed activation",
+                 index_);
         zeroBuffer_ = BitVector(ctx_.params.colsPerRow, false);
         return zeroBuffer_;
     }
@@ -296,8 +317,10 @@ Bank::commandWrite(Cycles cycle, const BitVector &logic_bits)
     checkCols(logic_bits);
     resolve(cycle);
     if (phase_ != Phase::Open) {
-        warn("WRITE on bank %u without a completed activation; dropped",
-             index_);
+        if (verbose())
+            warn("WRITE on bank %u without a completed activation; "
+                 "dropped",
+                 index_);
         return;
     }
     // Data flows buffer -> bit-lines -> every open cell. The bit-line
@@ -348,14 +371,16 @@ Bank::fullActivate()
     std::vector<OpenState> open;
     open.reserve(openRows_.size());
     for (const auto &o : openRows_) {
-        applyLeakage(o.row);
+        RowStore &store = ensureRow(o.row);
+        applyLeakage(store);
         const double jitter = ctx_.trialRng.lognormal(
             0.0, ctx_.profile.trialJitterSigma);
         open.push_back(
-            {&ensureRow(o.row),
-             ctx_.profile.roleWeight(o.role) * jitter});
+            {&store, ctx_.profile.roleWeight(o.role) * jitter});
     }
 
+    ensureSaOffsets();
+    const float *sa = saOffsets_.data();
     const bool anti = rowIsAnti(refRow_);
     for (ColAddr c = 0; c < cols; ++c) {
         double num = cb * half;
@@ -368,7 +393,7 @@ Bank::fullActivate()
         const double veq = num / den;
         const double delta = veq - half;
         const bool decision =
-            delta > saOffset(c) + ctx_.trialRng.gaussian(0, noise_sigma);
+            delta > sa[c] + ctx_.trialRng.gaussian(0, noise_sigma);
         const float rail = decision ? static_cast<float>(vdd) : 0.0f;
         for (const auto &s : open)
             s.store->volts[c] = rail;
@@ -407,14 +432,18 @@ Bank::interruptedClose()
     std::vector<OpenState> open;
     open.reserve(openRows_.size());
     for (const auto &o : openRows_) {
-        applyLeakage(o.row);
+        RowStore &store = ensureRow(o.row);
+        applyLeakage(store);
         const double jitter = ctx_.trialRng.lognormal(
             0.0, ctx_.profile.trialJitterSigma);
         open.push_back(
-            {&ensureRow(o.row),
-             ctx_.profile.roleWeight(o.role) * jitter});
+            {&store, ctx_.profile.roleWeight(o.role) * jitter});
     }
 
+    ensureSaOffsets();
+    const float *sa = saOffsets_.data();
+    const std::uint8_t *half_clean =
+        halfClean_.empty() ? nullptr : halfClean_.data();
     for (ColAddr c = 0; c < cols; ++c) {
         double num = cb * half;
         double den = cb;
@@ -430,7 +459,7 @@ Bank::interruptedClose()
         // initial values) - see VendorProfile::halfMEngageDelta.
         const bool sa_engages =
             multi_row &&
-            (!halfClean_[c] ||
+            (!half_clean[c] ||
              std::fabs(veq - half) > ctx_.profile.halfMEngageDelta);
         if (sa_engages) {
             // The final PRE of an interrupted multi-row activation
@@ -439,8 +468,7 @@ Bank::interruptedClose()
             // decision rail (see DESIGN.md / VendorProfile docs).
             const double delta = veq - half;
             const bool decision =
-                delta >
-                saOffset(c) + ctx_.trialRng.gaussian(0, noise_sigma);
+                delta > sa[c] + ctx_.trialRng.gaussian(0, noise_sigma);
             const double rail = decision ? vdd : 0.0;
             for (const auto &s : open) {
                 const double v = s.store->volts[c];
@@ -507,8 +535,10 @@ Bank::refreshAllRows()
     const double cb = ctx_.params.bitlineCapRatio;
     const double noise_sigma =
         ctx_.profile.saNoiseSigma * ctx_.env.noiseScale();
+    ensureSaOffsets();
+    const float *sa = saOffsets_.data();
     for (auto &[row, store] : rows_) {
-        applyLeakage(row);
+        applyLeakage(store);
         const double jitter = ctx_.trialRng.lognormal(
             0.0, ctx_.profile.trialJitterSigma);
         const double role_w =
@@ -518,8 +548,8 @@ Bank::refreshAllRows()
             const double veq =
                 (cb * half + w * store.volts[c]) / (cb + w);
             const bool decision =
-                veq - half > saOffset(static_cast<ColAddr>(c)) +
-                                 ctx_.trialRng.gaussian(0, noise_sigma);
+                veq - half >
+                sa[c] + ctx_.trialRng.gaussian(0, noise_sigma);
             store.volts[c] = decision ? static_cast<float>(vdd) : 0.0f;
         }
         store.lastTouch = ctx_.now;
@@ -530,16 +560,17 @@ Volt
 Bank::cellVoltage(RowAddr row, ColAddr col)
 {
     panic_if(col >= ctx_.params.colsPerRow, "col %u out of range", col);
-    applyLeakage(row);
-    return ensureRow(row).volts[col];
+    RowStore &store = ensureRow(row);
+    applyLeakage(store);
+    return store.volts[col];
 }
 
 void
 Bank::setCellVoltage(RowAddr row, ColAddr col, Volt v)
 {
     panic_if(col >= ctx_.params.colsPerRow, "col %u out of range", col);
-    auto &store = ensureRow(row);
-    applyLeakage(row);
+    RowStore &store = ensureRow(row);
+    applyLeakage(store);
     store.volts[col] = static_cast<float>(v);
 }
 

@@ -131,6 +131,10 @@ class Bank
 
     RowStore &ensureRow(RowAddr row);
     void applyLeakage(RowAddr row);
+    /** Leakage on an already-resolved store (saves the row lookup). */
+    void applyLeakage(RowStore &store);
+    /** Materialize the per-column sense-amp offset cache. */
+    void ensureSaOffsets();
     void checkCols(const BitVector &bits) const;
 
     /** Move pending state forward given the current cycle. */

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Linked into every test binary. The default "fast" death-test style
+ * plain-fork()s; once the parallel trial engine's worker threads
+ * exist, the forked child can inherit a locked mutex and deadlock
+ * (observed under TSan with FRACDRAM_THREADS > 1). The "threadsafe"
+ * style fork+execs, which is safe in a multithreaded process.
+ */
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+struct ThreadsafeDeathTests
+{
+    ThreadsafeDeathTests()
+    {
+        testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    }
+} forceThreadsafeStyle;
+
+} // namespace

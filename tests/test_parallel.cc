@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests of the deterministic parallel trial engine: pool mechanics
+ * (exception propagation, nested-submit rejection), the thread-count
+ * resolution chain, and the bit-identical-results contract the
+ * analysis studies rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+
+#include "analysis/capability.hh"
+#include "analysis/fmaj_study.hh"
+#include "common/logging.hh"
+#include "common/parallel.hh"
+
+using namespace fracdram;
+using namespace fracdram::parallel;
+
+namespace
+{
+
+struct Quiet
+{
+    Quiet() { setVerbose(false); }
+} quiet;
+
+/** Restore automatic thread resolution after each test. */
+struct ThreadGuard
+{
+    ~ThreadGuard()
+    {
+        setThreads(0);
+        unsetenv("FRACDRAM_THREADS");
+    }
+};
+
+} // namespace
+
+TEST(ThreadPoolTest, RunsSubmittedTasks)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.threadCount(), 3u);
+    std::atomic<int> sum{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 1; i <= 10; ++i)
+        futures.push_back(pool.submit([&sum, i] { sum += i; }));
+    for (auto &f : futures)
+        f.get();
+    EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedSubmitRejected)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit([&pool] {
+        // A worker enqueueing into its own pool can deadlock; the
+        // pool refuses instead.
+        pool.submit([] {});
+    });
+    EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce)
+{
+    ThreadGuard guard;
+    setThreads(4);
+    std::vector<std::atomic<int>> hits(257);
+    parallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, PropagatesTheFirstException)
+{
+    ThreadGuard guard;
+    setThreads(4);
+    EXPECT_THROW(
+        parallelFor(64,
+                    [](std::size_t i) {
+                        if (i == 13)
+                            throw std::runtime_error("index 13");
+                    }),
+        std::runtime_error);
+}
+
+TEST(ParallelForTest, NestedCallDegradesToSerial)
+{
+    ThreadGuard guard;
+    setThreads(4);
+    std::vector<std::atomic<int>> hits(8 * 8);
+    parallelFor(8, [&](std::size_t outer) {
+        // Inside a worker: must run inline, not deadlock or throw.
+        parallelFor(8, [&](std::size_t inner) {
+            ++hits[outer * 8 + inner];
+        });
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelMapTest, PreservesIndexOrder)
+{
+    ThreadGuard guard;
+    setThreads(8);
+    const auto out = parallelMap(
+        100, [](std::size_t i) { return 3 * static_cast<int>(i); });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], 3 * static_cast<int>(i));
+}
+
+TEST(ThreadConfigTest, EnvOverrideAndSetThreads)
+{
+    ThreadGuard guard;
+    setenv("FRACDRAM_THREADS", "3", 1);
+    setThreads(0); // automatic: the env var wins
+    EXPECT_EQ(threads(), 3u);
+    setThreads(5); // explicit configuration beats the env var
+    EXPECT_EQ(threads(), 5u);
+    setThreads(0);
+    setenv("FRACDRAM_THREADS", "nonsense", 1);
+    EXPECT_GE(threads(), 1u); // bad env falls back to hardware
+}
+
+namespace
+{
+
+analysis::FMajStudyParams
+tinyStudyParams()
+{
+    analysis::FMajStudyParams params;
+    params.modules = 3;
+    params.subarraysPerModule = 1;
+    params.maxFracs = 2;
+    params.dram.colsPerRow = 64;
+    return params;
+}
+
+/** Exact (bitwise) equality of two study results. */
+void
+expectIdentical(const analysis::FMajCoverageResult &a,
+                const analysis::FMajCoverageResult &b)
+{
+    ASSERT_EQ(a.series.size(), b.series.size());
+    for (std::size_t s = 0; s < a.series.size(); ++s) {
+        ASSERT_EQ(a.series[s].byNumFracs.size(),
+                  b.series[s].byNumFracs.size());
+        for (std::size_t n = 0; n < a.series[s].byNumFracs.size();
+             ++n) {
+            EXPECT_EQ(a.series[s].byNumFracs[n].mean,
+                      b.series[s].byNumFracs[n].mean);
+            EXPECT_EQ(a.series[s].byNumFracs[n].ciHalf,
+                      b.series[s].byNumFracs[n].ciHalf);
+        }
+    }
+    EXPECT_EQ(a.baselineMaj3, b.baselineMaj3);
+}
+
+} // namespace
+
+TEST(DeterminismTest, StudyBitIdenticalAcrossThreadCounts)
+{
+    ThreadGuard guard;
+    const auto params = tinyStudyParams();
+
+    setThreads(1);
+    const auto serial =
+        analysis::fmajCoverageStudy(sim::DramGroup::B, params);
+    setThreads(2);
+    const auto two =
+        analysis::fmajCoverageStudy(sim::DramGroup::B, params);
+    setThreads(8);
+    const auto eight =
+        analysis::fmajCoverageStudy(sim::DramGroup::B, params);
+
+    expectIdentical(serial, two);
+    expectIdentical(serial, eight);
+}
+
+TEST(DeterminismTest, EnvSerialOverrideMatchesParallel)
+{
+    ThreadGuard guard;
+    const auto params = tinyStudyParams();
+
+    setenv("FRACDRAM_THREADS", "1", 1);
+    setThreads(0);
+    ASSERT_EQ(threads(), 1u);
+    const auto env_serial =
+        analysis::fmajCoverageStudy(sim::DramGroup::B, params);
+
+    unsetenv("FRACDRAM_THREADS");
+    setThreads(4);
+    const auto parallel_run =
+        analysis::fmajCoverageStudy(sim::DramGroup::B, params);
+
+    expectIdentical(env_serial, parallel_run);
+}
+
+TEST(DeterminismTest, CapabilityScanBitIdentical)
+{
+    ThreadGuard guard;
+    sim::DramParams params;
+    params.colsPerRow = 128;
+
+    setThreads(1);
+    const auto serial = analysis::scanAllGroups(params);
+    setThreads(6);
+    const auto parallel_run = analysis::scanAllGroups(params);
+
+    ASSERT_EQ(serial.size(), parallel_run.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].group, parallel_run[i].group);
+        EXPECT_EQ(serial[i].probed.frac, parallel_run[i].probed.frac);
+        EXPECT_EQ(serial[i].probed.threeRow,
+                  parallel_run[i].probed.threeRow);
+        EXPECT_EQ(serial[i].probed.fourRow,
+                  parallel_run[i].probed.fourRow);
+    }
+}

@@ -16,7 +16,9 @@
  *                               retention-bucket histogram
  *   decoder     [--group X]     reverse-engineer the row decoder
  *
- * Every subcommand accepts --serial N (module serial, default 1).
+ * Every subcommand accepts --serial N (module serial, default 1) and
+ * --threads N (parallel trial engine workers; 0 = auto-detect, also
+ * settable via the FRACDRAM_THREADS environment variable).
  */
 
 #include <cstdio>
@@ -28,6 +30,7 @@
 #include "analysis/capability.hh"
 #include "analysis/reverse.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "core/frac_op.hh"
@@ -51,6 +54,7 @@ struct Options
     int fracs = 5;
     int challenges = 8;
     std::size_t bits = 256;
+    unsigned threads = 0; //!< 0 = auto (env var / hardware)
 };
 
 sim::DramGroup
@@ -82,6 +86,9 @@ parseOptions(int argc, char **argv, int first)
             opt.challenges = std::atoi(next().c_str());
         else if (arg == "--bits")
             opt.bits = std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--threads")
+            opt.threads = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
         else
             fatal("unknown option '%s'", arg.c_str());
     }
@@ -324,7 +331,8 @@ usage()
         "commands: info capability frac maj puf trng retention "
         "decoder\n"
         "options:  --group A..N  --serial N  --fracs N  "
-        "--challenges N  --bits N");
+        "--challenges N  --bits N  --threads N (0 = auto; also "
+        "FRACDRAM_THREADS)");
 }
 
 } // namespace
@@ -339,6 +347,7 @@ main(int argc, char **argv)
     }
     const std::string cmd = argv[1];
     const Options opt = parseOptions(argc, argv, 2);
+    parallel::setThreads(opt.threads);
     if (cmd == "info")
         return cmdInfo();
     if (cmd == "capability")
