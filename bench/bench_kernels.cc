@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Micro-benchmarks of the columnar kernel layer (sim/kernels) and the
+ * batched RNG primitives feeding it: per-kernel nanosecond timings at
+ * the row widths the simulator actually runs (one 16 K-column row, as
+ * in the NIST/PUF benches, plus a small 1 K row for cache-resident
+ * numbers). These are the building blocks whose sum bounds every
+ * Bank hot path; when a full-bench number moves, this is where to
+ * look first.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/rng_buffer.hh"
+#include "sim/kernels.hh"
+#include "sim/variation.hh"
+#include "sim/vendor.hh"
+
+using namespace fracdram;
+using namespace fracdram::sim;
+
+namespace
+{
+
+constexpr double kVdd = 1.0;
+constexpr double kHalf = kVdd / 2.0;
+constexpr double kCb = 4.0;
+
+/** Deterministically filled working set for one row width. */
+struct RowFixture
+{
+    explicit RowFixture(std::size_t n)
+        : volts(n), alpha(n), coupling(n), fracOff(n), sa(n), dec(n),
+          num(n), den(n), eq(n), noise(n), mul(n),
+          words((n + 63) / 64)
+    {
+        Rng rng(0x5eedULL + n);
+        for (std::size_t i = 0; i < n; ++i) {
+            volts[i] = static_cast<float>(rng.uniform(0.0, kVdd));
+            alpha[i] = static_cast<float>(rng.uniform(0.05, 0.95));
+            coupling[i] = static_cast<float>(rng.uniform(0.8, 1.2));
+            fracOff[i] = static_cast<float>(rng.uniform(-0.01, 0.01));
+            sa[i] = static_cast<float>(rng.uniform(-0.005, 0.005));
+            noise[i] = rng.uniform(-0.01, 0.01);
+            mul[i] = rng.uniform(0.99, 1.0);
+            num[i] = kCb * kHalf;
+            den[i] = kCb;
+        }
+        for (auto &w : words)
+            w = rng.next();
+    }
+
+    std::vector<float> volts, alpha, coupling, fracOff, sa;
+    std::vector<std::uint8_t> dec;
+    std::vector<double> num, den, eq, noise, mul;
+    std::vector<std::uint64_t> words;
+};
+
+void
+rowArgs(benchmark::internal::Benchmark *b)
+{
+    b->Arg(1024)->Arg(16384);
+}
+
+void
+BM_decayMultiply(benchmark::State &state)
+{
+    RowFixture f(state.range(0));
+    for (auto _ : state) {
+        kernels::decayMultiply(f.volts.data(), f.mul.data(),
+                               f.volts.size());
+        benchmark::DoNotOptimize(f.volts.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_chargeAccumulate(benchmark::State &state)
+{
+    RowFixture f(state.range(0));
+    for (auto _ : state) {
+        kernels::chargeAccumulate(f.num.data(), f.den.data(),
+                                  f.volts.data(), f.coupling.data(),
+                                  1.0, f.volts.size());
+        benchmark::DoNotOptimize(f.num.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_equilibrium(benchmark::State &state)
+{
+    RowFixture f(state.range(0));
+    for (auto _ : state) {
+        kernels::equilibrium(f.eq.data(), f.num.data(), f.den.data(),
+                             f.eq.size());
+        benchmark::DoNotOptimize(f.eq.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_senseDecide(benchmark::State &state)
+{
+    RowFixture f(state.range(0));
+    for (auto _ : state) {
+        kernels::senseDecide(f.dec.data(), f.eq.data(), f.sa.data(),
+                             f.noise.data(), kHalf, f.dec.size());
+        benchmark::DoNotOptimize(f.dec.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_driveRails(benchmark::State &state)
+{
+    RowFixture f(state.range(0));
+    for (auto _ : state) {
+        kernels::driveRails(f.volts.data(), f.dec.data(),
+                            static_cast<float>(kVdd), f.volts.size());
+        benchmark::DoNotOptimize(f.volts.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_settleToward(benchmark::State &state)
+{
+    RowFixture f(state.range(0));
+    for (auto _ : state) {
+        kernels::settleToward(f.volts.data(), f.alpha.data(),
+                              f.eq.data(), f.fracOff.data(),
+                              f.volts.size());
+        benchmark::DoNotOptimize(f.volts.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_fracSettle(benchmark::State &state)
+{
+    RowFixture f(state.range(0));
+    for (auto _ : state) {
+        kernels::fracSettle(f.volts.data(), f.alpha.data(),
+                            f.coupling.data(), f.fracOff.data(),
+                            f.noise.data(), 1.0, kCb * kHalf, kCb,
+                            f.volts.size());
+        benchmark::DoNotOptimize(f.volts.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_restoreTruncate(benchmark::State &state)
+{
+    RowFixture f(state.range(0));
+    for (auto _ : state) {
+        kernels::restoreTruncate(f.volts.data(), kHalf, 0.8,
+                                 f.volts.size());
+        benchmark::DoNotOptimize(f.volts.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_fillFromBits(benchmark::State &state)
+{
+    RowFixture f(state.range(0));
+    for (auto _ : state) {
+        kernels::fillFromBits(f.volts.data(), f.words.data(), false,
+                              static_cast<float>(kVdd),
+                              f.volts.size());
+        benchmark::DoNotOptimize(f.volts.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_packDecisions(benchmark::State &state)
+{
+    RowFixture f(state.range(0));
+    for (auto _ : state) {
+        kernels::packDecisions(f.words.data(), f.dec.data(), false,
+                               f.dec.size());
+        benchmark::DoNotOptimize(f.words.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_rngFillGaussian(benchmark::State &state)
+{
+    Rng rng(0x5eedULL);
+    RngBuffer buf;
+    const std::size_t n = state.range(0);
+    for (auto _ : state) {
+        const auto span = buf.gaussian(rng, n, 0.0, 1.0);
+        benchmark::DoNotOptimize(span.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+
+void
+BM_rngSkipGaussians(benchmark::State &state)
+{
+    Rng rng(0x5eedULL);
+    const std::size_t n = state.range(0);
+    for (auto _ : state) {
+        rng.skipGaussians(n);
+        benchmark::DoNotOptimize(&rng);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+
+void
+BM_rngFillChance(benchmark::State &state)
+{
+    Rng rng(0x5eedULL);
+    std::vector<std::uint8_t> dst(state.range(0));
+    for (auto _ : state) {
+        rng.fillChance({dst.data(), dst.size()}, 0.5);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_materializeRow(benchmark::State &state)
+{
+    const VendorProfile &profile =
+        vendorProfile(sim::DramGroup::A);
+    VariationMap variation(profile, 1);
+    const std::size_t n = state.range(0);
+    std::vector<std::uint8_t> startup(n), vrt(n);
+    std::vector<double> alpha(n), tau(n), coupling(n), fracOff(n);
+    RowAddr row = 0;
+    for (auto _ : state) {
+        variation.materializeRow(0, row++, n, startup.data(),
+                                 alpha.data(), tau.data(),
+                                 coupling.data(), fracOff.data(),
+                                 vrt.data());
+        benchmark::DoNotOptimize(alpha.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+
+BENCHMARK(BM_decayMultiply)->Apply(rowArgs);
+BENCHMARK(BM_chargeAccumulate)->Apply(rowArgs);
+BENCHMARK(BM_equilibrium)->Apply(rowArgs);
+BENCHMARK(BM_senseDecide)->Apply(rowArgs);
+BENCHMARK(BM_driveRails)->Apply(rowArgs);
+BENCHMARK(BM_settleToward)->Apply(rowArgs);
+BENCHMARK(BM_fracSettle)->Apply(rowArgs);
+BENCHMARK(BM_restoreTruncate)->Apply(rowArgs);
+BENCHMARK(BM_fillFromBits)->Apply(rowArgs);
+BENCHMARK(BM_packDecisions)->Apply(rowArgs);
+BENCHMARK(BM_rngFillGaussian)->Apply(rowArgs);
+BENCHMARK(BM_rngSkipGaussians)->Apply(rowArgs);
+BENCHMARK(BM_rngFillChance)->Apply(rowArgs);
+BENCHMARK(BM_materializeRow)->Apply(rowArgs);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,20 +1,57 @@
 #!/usr/bin/env bash
 # Times every bench_* driver in the build tree and writes the results
-# to BENCH_PR1.json as an array of {bench, seconds, threads} records.
+# to a JSON array of {bench, seconds, threads} records.
 #
-# Usage: scripts/run_benches.sh [build_dir] [output.json]
+# Usage: scripts/run_benches.sh [options] [build_dir] [output.json]
+#
+# Options:
+#   --filter <regex>  only run benches whose name matches the (grep -E)
+#                     regex, e.g. --filter 'trng|nist'
+#   --out <file>      output JSON path (same as the second positional
+#                     argument; the flag wins if both are given)
 #
 # The thread count recorded is what the parallel engine resolves:
 # FRACDRAM_THREADS if set, otherwise the machine's hardware
 # concurrency. Set FRACDRAM_THREADS=1 to time the serial baseline.
 #
-# bench_timing is skipped: it is a google-benchmark microbenchmark
-# harness with its own timing loop, not a fixed-work driver.
+# bench_timing and bench_kernels are skipped: they are
+# google-benchmark microbenchmark harnesses with their own timing
+# loops, not fixed-work drivers.
 
 set -euo pipefail
 
-build_dir="${1:-build}"
-out="${2:-BENCH_PR1.json}"
+filter=""
+out_flag=""
+positional=()
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --filter)
+            [[ $# -ge 2 ]] || { echo "error: --filter needs a regex" >&2; exit 1; }
+            filter="$2"
+            shift 2
+            ;;
+        --out)
+            [[ $# -ge 2 ]] || { echo "error: --out needs a path" >&2; exit 1; }
+            out_flag="$2"
+            shift 2
+            ;;
+        --help|-h)
+            sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
+            exit 0
+            ;;
+        --*)
+            echo "error: unknown option $1" >&2
+            exit 1
+            ;;
+        *)
+            positional+=("$1")
+            shift
+            ;;
+    esac
+done
+
+build_dir="${positional[0]:-build}"
+out="${out_flag:-${positional[1]:-BENCH_PR1.json}}"
 bench_dir="${build_dir}/bench"
 
 if [[ ! -d "${bench_dir}" ]]; then
@@ -34,7 +71,11 @@ records=()
 for bin in "${bench_dir}"/bench_*; do
     [[ -x "${bin}" ]] || continue
     name="$(basename "${bin}")"
-    [[ "${name}" == "bench_timing" ]] && continue
+    [[ "${name}" == "bench_timing" || "${name}" == "bench_kernels" ]] \
+        && continue
+    if [[ -n "${filter}" ]] && ! grep -qE "${filter}" <<< "${name}"; then
+        continue
+    fi
 
     args="${extra_args[${name}]:-}"
     echo "timing ${name} ${args} (threads=${threads})" >&2
@@ -50,6 +91,11 @@ for bin in "${bench_dir}"/bench_*; do
 
     records+=("  {\"bench\": \"${name}\", \"seconds\": ${seconds}, \"threads\": ${threads}}")
 done
+
+if [[ ${#records[@]} -eq 0 ]]; then
+    echo "error: no benches matched (filter: '${filter:-<none>}')" >&2
+    exit 1
+fi
 
 {
     echo "["

@@ -74,6 +74,23 @@ class BitVector
     /** Render as a '0'/'1' string (head bits first). */
     std::string toString() const;
 
+    /**
+     * Raw word storage: bit i lives in word i/64 at position i%64,
+     * so the byte image (little-endian words) packs bit i into byte
+     * i/8, position i%8. Bits past size() are zero.
+     */
+    const std::uint64_t *words() const { return words_.data(); }
+
+    /** Number of storage words backing words(). */
+    std::size_t numWords() const { return wordCount(); }
+
+    /**
+     * Mutable word storage for bulk writers (sim kernels). Callers
+     * must keep the bits past size() zero - every other member
+     * relies on that invariant.
+     */
+    std::uint64_t *mutableWords() { return words_.data(); }
+
   private:
     static constexpr std::size_t bitsPerWord = 64;
 

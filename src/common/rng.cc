@@ -7,69 +7,15 @@
 namespace fracdram
 {
 
-std::uint64_t
-splitmix64(std::uint64_t x)
-{
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-}
-
-std::uint64_t
-mixSeed(std::uint64_t seed, std::uint64_t tag)
-{
-    return splitmix64(seed ^ splitmix64(tag + 0x632be59bd9b4e019ULL));
-}
-
-namespace
-{
-
-inline std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-} // namespace
-
-Rng::Rng(std::uint64_t seed) : spare_(0.0), hasSpare_(false)
-{
-    // Seed all four lanes through SplitMix64 as the xoshiro authors
-    // recommend; guards against the all-zero state.
-    std::uint64_t x = seed;
-    for (auto &lane : s_) {
-        x = splitmix64(x);
-        lane = x;
-    }
-    if (!(s_[0] | s_[1] | s_[2] | s_[3]))
-        s_[0] = 1;
-}
-
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
 double
-Rng::uniform()
+Rng::materializeSpare()
 {
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-double
-Rng::uniform(double lo, double hi)
-{
-    return lo + (hi - lo) * uniform();
+    // Exactly the spare computation of the eager pair below, replayed
+    // from the stashed uniforms of a pair that skipGaussians deferred.
+    const double r = std::sqrt(-2.0 * std::log(spareU1_));
+    const double theta = 2.0 * M_PI * spareU2_;
+    spareLazy_ = false;
+    return r * std::sin(theta);
 }
 
 double
@@ -77,24 +23,84 @@ Rng::gaussian()
 {
     if (hasSpare_) {
         hasSpare_ = false;
-        return spare_;
+        return spareLazy_ ? materializeSpare() : spare_;
     }
-    double u1, u2;
-    do {
-        u1 = uniform();
-    } while (u1 <= 0.0);
-    u2 = uniform();
+    const double u1 = drawU1();
+    const double u2 = uniform();
     const double r = std::sqrt(-2.0 * std::log(u1));
     const double theta = 2.0 * M_PI * u2;
     spare_ = r * std::sin(theta);
+    spareLazy_ = false;
     hasSpare_ = true;
     return r * std::cos(theta);
 }
 
 double
-Rng::gaussian(double mean, double sigma)
+Rng::gaussianNoSpare()
 {
-    return mean + sigma * gaussian();
+    const double u1 = drawU1();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    return r * std::cos(theta);
+}
+
+void
+Rng::fillGaussian(std::span<double> dst, double mean, double sigma)
+{
+    std::size_t i = 0;
+    const std::size_t n = dst.size();
+    if (i < n && hasSpare_) {
+        hasSpare_ = false;
+        dst[i++] = mean + sigma *
+                              (spareLazy_ ? materializeSpare() : spare_);
+    }
+    while (i < n) {
+        const double u1 = drawU1();
+        const double u2 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * M_PI * u2;
+        // Keep the scalar path's evaluation order: the sine (spare)
+        // before the cosine (returned first). glibc computes both
+        // from the same argument, so order only matters for the
+        // stream-equivalence reasoning, not the values.
+        const double sine = r * std::sin(theta);
+        const double cosine = r * std::cos(theta);
+        dst[i++] = mean + sigma * cosine;
+        if (i < n) {
+            dst[i++] = mean + sigma * sine;
+        } else {
+            spare_ = sine;
+            spareLazy_ = false;
+            hasSpare_ = true;
+        }
+    }
+}
+
+void
+Rng::fillChance(std::span<std::uint8_t> dst, double p)
+{
+    for (auto &slot : dst)
+        slot = uniform() < p ? 1 : 0;
+}
+
+void
+Rng::skipGaussians(std::size_t n)
+{
+    while (n > 0) {
+        if (hasSpare_) {
+            hasSpare_ = false;
+            --n;
+            continue;
+        }
+        // Consume a whole pair without the log/sqrt/sincos; stash the
+        // uniforms so a later live draw can still recover the spare.
+        spareU1_ = drawU1();
+        spareU2_ = uniform();
+        spareLazy_ = true;
+        hasSpare_ = true;
+        --n;
+    }
 }
 
 double
@@ -138,12 +144,6 @@ Rng::beta(double a, double b)
     const double x = gamma(a);
     const double y = gamma(b);
     return x / (x + y);
-}
-
-bool
-Rng::chance(double p)
-{
-    return uniform() < p;
 }
 
 std::uint64_t

@@ -7,22 +7,65 @@
  * matter in which order experiments touch them. RngFactory hands out
  * independent streams keyed by a hierarchy of integer tags, all derived
  * from one root seed via SplitMix64 hashing.
+ *
+ * Batched draws: the columnar kernels (sim/kernels) consume noise a
+ * whole row at a time through fillGaussian/fillChance. These are
+ * *stream-equivalent* to the scalar loops they replace: fillGaussian
+ * over n slots advances the engine exactly as n gaussian(mean, sigma)
+ * calls would, bit for bit, including the Box-Muller spare cache. See
+ * DESIGN.md ("Columnar kernels") before touching any of this.
+ *
+ * skipGaussians advances the stream without paying for the
+ * transcendentals; the half-drawn pair it may leave behind is stored
+ * lazily (as its two uniforms) and only materialized if a later live
+ * draw consumes it, so skipping is value-identical to drawing and
+ * discarding.
  */
 
 #ifndef FRACDRAM_COMMON_RNG_HH
 #define FRACDRAM_COMMON_RNG_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <random>
+#include <span>
 
 namespace fracdram
 {
 
 /** SplitMix64 hash step; good avalanche, cheap, reproducible. */
-std::uint64_t splitmix64(std::uint64_t x);
+inline std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * The tag-dependent half of mixSeed. mixSeed(seed, tag) ==
+ * mixSeedWithTag(seed, mixTag(tag)); hoisting mixTag pays the tag
+ * hash once when one tag combines with many seeds (e.g. one column
+ * against every per-purpose stream prefix).
+ */
+inline std::uint64_t
+mixTag(std::uint64_t tag)
+{
+    return splitmix64(tag + 0x632be59bd9b4e019ULL);
+}
+
+inline std::uint64_t
+mixSeedWithTag(std::uint64_t seed, std::uint64_t tag_hash)
+{
+    return splitmix64(seed ^ tag_hash);
+}
 
 /** Combine a seed with a tag into a new independent seed. */
-std::uint64_t mixSeed(std::uint64_t seed, std::uint64_t tag);
+inline std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t tag)
+{
+    return mixSeedWithTag(seed, mixTag(tag));
+}
 
 /**
  * A small, fast PRNG (xoshiro256**) with distribution helpers.
@@ -32,22 +75,84 @@ std::uint64_t mixSeed(std::uint64_t seed, std::uint64_t tag);
 class Rng
 {
   public:
-    explicit Rng(std::uint64_t seed);
+    explicit Rng(std::uint64_t seed)
+        : spare_(0.0), spareU1_(0.0), spareU2_(0.0), hasSpare_(false),
+          spareLazy_(false)
+    {
+        // Seed all four lanes through SplitMix64 as the xoshiro
+        // authors recommend; guards against the all-zero state.
+        std::uint64_t x = seed;
+        for (auto &lane : s_) {
+            x = splitmix64(x);
+            lane = x;
+        }
+        if (!(s_[0] | s_[1] | s_[2] | s_[3]))
+            s_[0] = 1;
+    }
+
+    /**
+     * The first next() a fresh Rng(seed) would return, without
+     * paying for the full four-lane seeding. Exact for every seed:
+     * the first output reads only lane 1, and the all-zero guard
+     * rewrites lane 0, which the first output never touches.
+     */
+    static std::uint64_t firstDraw(std::uint64_t seed)
+    {
+        const std::uint64_t s1 = splitmix64(splitmix64(seed));
+        return rotl(s1 * 5, 7) * 9;
+    }
+
+    /** chance(p) of a fresh Rng(seed), via firstDraw. */
+    static bool firstChance(std::uint64_t seed, double p)
+    {
+        return static_cast<double>(firstDraw(seed) >> 11) *
+                   0x1.0p-53 <
+               p;
+    }
 
     /** Raw 64 random bits. */
-    std::uint64_t next();
+    std::uint64_t next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Uniform double in [lo, hi). */
-    double uniform(double lo, double hi);
+    double uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
 
     /** Standard normal via Box-Muller (cached spare). */
     double gaussian();
 
+    /**
+     * Standard normal, identical to gaussian() on a stream with no
+     * cached spare, but without computing or storing the pair's
+     * second half. Only valid on a stream whose spare cache is empty
+     * and that will never draw another gaussian afterwards (throwaway
+     * hashed streams, e.g. VariationMap's per-cell streams).
+     */
+    double gaussianNoSpare();
+
     /** Normal with given mean and standard deviation. */
-    double gaussian(double mean, double sigma);
+    double gaussian(double mean, double sigma)
+    {
+        return mean + sigma * gaussian();
+    }
 
     /** Lognormal: exp(N(mu, sigma)). */
     double lognormal(double mu, double sigma);
@@ -59,15 +164,56 @@ class Rng
     double gamma(double k);
 
     /** Bernoulli trial. */
-    bool chance(double p);
+    bool chance(double p) { return uniform() < p; }
 
     /** Uniform integer in [0, n). Requires n > 0. */
     std::uint64_t below(std::uint64_t n);
 
+    /**
+     * Fill @p dst with draws identical to dst[i] = gaussian(mean,
+     * sigma) in index order (stream-equivalent batching).
+     */
+    void fillGaussian(std::span<double> dst, double mean,
+                      double sigma);
+
+    /**
+     * Fill @p dst with Bernoulli draws identical to dst[i] =
+     * chance(p) ? 1 : 0 in index order.
+     */
+    void fillChance(std::span<std::uint8_t> dst, double p);
+
+    /**
+     * Advance the stream exactly as @p n gaussian() draws would -
+     * same next() consumption, same spare-cache hand-off to later
+     * draws - without computing the discarded values.
+     */
+    void skipGaussians(std::size_t n);
+
   private:
+    static std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    /** First uniform of a Box-Muller pair (rejects exact zero). */
+    double drawU1()
+    {
+        double u1;
+        do {
+            u1 = uniform();
+        } while (u1 <= 0.0);
+        return u1;
+    }
+
+    /** Compute the deferred spare of a pair skipped lazily. */
+    double materializeSpare();
+
     std::uint64_t s_[4];
-    double spare_;
+    double spare_;     //!< eager spare value (valid when !spareLazy_)
+    double spareU1_;   //!< uniforms of a lazily skipped pair
+    double spareU2_;
     bool hasSpare_;
+    bool spareLazy_;
 };
 
 /**

@@ -1,0 +1,26 @@
+#include "common/rng_buffer.hh"
+
+namespace fracdram
+{
+
+std::span<const double>
+RngBuffer::gaussian(Rng &rng, std::size_t n, double mean, double sigma)
+{
+    if (gauss_.size() < n)
+        gauss_.resize(n);
+    const std::span<double> dst(gauss_.data(), n);
+    rng.fillGaussian(dst, mean, sigma);
+    return dst;
+}
+
+std::span<const std::uint8_t>
+RngBuffer::chance(Rng &rng, std::size_t n, double p)
+{
+    if (coins_.size() < n)
+        coins_.resize(n);
+    const std::span<std::uint8_t> dst(coins_.data(), n);
+    rng.fillChance(dst, p);
+    return dst;
+}
+
+} // namespace fracdram

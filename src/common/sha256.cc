@@ -150,15 +150,33 @@ Sha256::hash(const std::uint8_t *data, std::size_t len)
     return h.finish();
 }
 
+void
+Sha256::updateBits(const BitVector &bits)
+{
+    // Bits past size() are zero by BitVector invariant, so the last
+    // partial byte comes out zero-padded exactly like the bit-by-bit
+    // packing this replaces.
+    const std::size_t nbytes = (bits.size() + 7) / 8;
+    const std::uint64_t *w = bits.words();
+    std::uint8_t chunk[64];
+    std::size_t i = 0;
+    while (i < nbytes) {
+        const std::size_t lim =
+            nbytes - i < sizeof(chunk) ? nbytes - i : sizeof(chunk);
+        for (std::size_t b = 0; b < lim; ++b)
+            chunk[b] = static_cast<std::uint8_t>(
+                w[(i + b) / 8] >> (((i + b) % 8) * 8));
+        update(chunk, lim);
+        i += lim;
+    }
+}
+
 Sha256::Digest
 Sha256::hashBits(const BitVector &bits)
 {
-    std::vector<std::uint8_t> bytes((bits.size() + 7) / 8, 0);
-    for (std::size_t i = 0; i < bits.size(); ++i) {
-        if (bits.get(i))
-            bytes[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
-    }
-    return hash(bytes.data(), bytes.size());
+    Sha256 h;
+    h.updateBits(bits);
+    return h.finish();
 }
 
 std::string

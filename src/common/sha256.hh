@@ -35,6 +35,14 @@ class Sha256
     /** Absorb a byte vector. */
     void update(const std::vector<std::uint8_t> &data);
 
+    /**
+     * Absorb a bit vector as its packed byte image (bit i -> byte
+     * i/8, position i%8; the tail byte zero-padded). Identical to
+     * packing the bits into a byte array and calling update, but
+     * emitted word-wise from the BitVector's backing storage.
+     */
+    void updateBits(const BitVector &bits);
+
     /** Finalize and return the digest (object becomes unusable). */
     Digest finish();
 

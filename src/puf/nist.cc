@@ -360,27 +360,49 @@ nonOverlappingTemplate(const BitVector &bits, std::size_t template_len,
         mm * (1.0 / std::pow(2.0, m) -
               (2.0 * m - 1.0) / std::pow(2.0, 2.0 * m));
 
+    // Bucket every in-block position by its template_len-bit window
+    // value in one rolling pass; each template then walks only its
+    // own (sparse, ascending) candidate list. The counting semantics
+    // - per-block ascending scan, skip template_len positions after a
+    // hit - are unchanged, so the chi-square inputs are identical to
+    // the naive per-template scan.
+    const std::size_t npat = std::size_t{1} << template_len;
+    std::vector<std::vector<std::uint32_t>> buckets(npat);
+    std::uint32_t win = 0;
+    for (std::size_t k = 1; k < template_len; ++k)
+        win |= static_cast<std::uint32_t>(bits.get(k - 1)) << (k - 1);
+    for (std::size_t i = 0; i + template_len <= num_blocks * block;
+         ++i) {
+        win = (win >> 1) |
+              (static_cast<std::uint32_t>(
+                   bits.get(i + template_len - 1))
+               << (template_len - 1));
+        if (i % block + template_len <= block)
+            buckets[win].push_back(static_cast<std::uint32_t>(i));
+    }
+
+    std::vector<std::size_t> hits(num_blocks);
     for (const auto &tpl : templates) {
+        std::uint32_t pat = 0;
+        for (std::size_t k = 0; k < template_len; ++k)
+            pat |= static_cast<std::uint32_t>(tpl.get(k)) << k;
+        hits.assign(num_blocks, 0);
+        std::size_t cur_b = num_blocks; // skip state resets per block
+        std::size_t next_allowed = 0;
+        for (const std::uint32_t pos : buckets[pat]) {
+            const std::size_t b = pos / block;
+            if (b != cur_b) {
+                cur_b = b;
+                next_allowed = 0;
+            }
+            if (pos < next_allowed)
+                continue;
+            ++hits[b];
+            next_allowed = pos + template_len;
+        }
         double chi2 = 0.0;
         for (std::size_t b = 0; b < num_blocks; ++b) {
-            std::size_t hits = 0;
-            std::size_t i = 0;
-            while (i + template_len <= block) {
-                bool match = true;
-                for (std::size_t k = 0; k < template_len; ++k) {
-                    if (bits.get(b * block + i + k) != tpl.get(k)) {
-                        match = false;
-                        break;
-                    }
-                }
-                if (match) {
-                    ++hits;
-                    i += template_len; // non-overlapping scan
-                } else {
-                    ++i;
-                }
-            }
-            const double d = static_cast<double>(hits) - mu;
+            const double d = static_cast<double>(hits[b]) - mu;
             chi2 += d * d / sigma2;
         }
         r.pValues.push_back(
@@ -504,33 +526,78 @@ universal(const BitVector &bits)
 namespace
 {
 
-/** Berlekamp-Massey linear complexity of a GF(2) sequence. */
+/**
+ * Berlekamp-Massey linear complexity of a GF(2) sequence, word
+ * parallel. Polynomials live as bit sets (bit j of word j/64 is the
+ * coefficient of x^j); the discrepancy d = s[i] ^ XOR_j c[j]&s[i-j]
+ * becomes the parity of (c >> 1) AND a reversed window w whose bit k
+ * is s[i-1-k]. BM keeps deg(c) <= l, so folding over all words equals
+ * the scalar j = 1..l sum.
+ */
 std::size_t
-berlekampMassey(const std::vector<std::uint8_t> &s)
+berlekampMassey(const std::uint64_t *s, std::size_t n)
 {
-    const std::size_t n = s.size();
-    std::vector<std::uint8_t> c(n, 0), b(n, 0);
+    const std::size_t words = (n + 63) / 64;
+    std::vector<std::uint64_t> c(words, 0), b(words, 0), t(words, 0);
+    std::vector<std::uint64_t> w(words, 0);
     c[0] = 1;
     b[0] = 1;
     std::size_t l = 0;
     std::size_t m_idx = 0;
     for (std::size_t i = 0; i < n; ++i) {
-        std::uint8_t d = s[i];
-        for (std::size_t j = 1; j <= l; ++j)
-            d ^= c[j] & s[i - j];
+        const std::uint64_t si = (s[i >> 6] >> (i & 63)) & 1;
+        std::uint64_t acc = 0;
+        for (std::size_t k = 0; k < words; ++k) {
+            const std::uint64_t down =
+                (c[k] >> 1) |
+                (k + 1 < words ? c[k + 1] << 63 : std::uint64_t{0});
+            acc ^= down & w[k];
+        }
+        const std::uint64_t d =
+            si ^ static_cast<std::uint64_t>(
+                     __builtin_parityll(acc));
         if (d) {
-            const std::vector<std::uint8_t> t = c;
+            t = c;
             const std::size_t shift = i - m_idx;
-            for (std::size_t j = 0; j + shift < n; ++j)
-                c[j + shift] ^= b[j];
+            const std::size_t q = shift >> 6;
+            const std::size_t rs = shift & 63;
+            for (std::size_t k = words; k-- > q;) {
+                std::uint64_t add = b[k - q] << rs;
+                if (rs && k - q > 0)
+                    add |= b[k - q - 1] >> (64 - rs);
+                c[k] ^= add;
+            }
             if (2 * l <= i) {
                 l = i + 1 - l;
                 m_idx = i;
-                b = t;
+                b.swap(t);
             }
         }
+        for (std::size_t k = words; k-- > 1;)
+            w[k] = (w[k] << 1) | (w[k - 1] >> 63);
+        w[0] = (w[0] << 1) | si;
     }
     return l;
+}
+
+/** Copy bits [start, start + len) into bit-0-aligned words. */
+void
+extractBits(const BitVector &bits, std::size_t start, std::size_t len,
+            std::uint64_t *out)
+{
+    const std::uint64_t *w = bits.words();
+    const std::size_t q = start >> 6;
+    const std::size_t rs = start & 63;
+    const std::size_t out_words = (len + 63) / 64;
+    for (std::size_t k = 0; k < out_words; ++k) {
+        std::uint64_t v = w[q + k] >> rs;
+        if (rs && q + k + 1 < bits.numWords())
+            v |= w[q + k + 1] << (64 - rs);
+        out[k] = v;
+    }
+    const std::size_t tail = len & 63;
+    if (tail)
+        out[out_words - 1] &= (std::uint64_t{1} << tail) - 1;
 }
 
 } // namespace
@@ -554,11 +621,11 @@ linearComplexity(const BitVector &bits, std::size_t block)
         (mm / 3.0 + 2.0 / 9.0) / std::pow(2.0, mm);
 
     std::vector<std::size_t> nu(k + 1, 0);
-    std::vector<std::uint8_t> s(block);
+    std::vector<std::uint64_t> s((block + 63) / 64);
     for (std::size_t b = 0; b < num_blocks; ++b) {
-        for (std::size_t i = 0; i < block; ++i)
-            s[i] = bits.get(b * block + i);
-        const double l = static_cast<double>(berlekampMassey(s));
+        extractBits(bits, b * block, block, s.data());
+        const double l =
+            static_cast<double>(berlekampMassey(s.data(), block));
         const double sign = (block % 2) ? -1.0 : 1.0;
         const double t = sign * (l - mu) + 2.0 / 9.0;
         std::size_t cls;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "sim/kernels.hh"
 
 namespace fracdram::sim
 {
@@ -49,7 +50,7 @@ Bank::saOffset(ColAddr col)
 }
 
 Bank::RowStore &
-Bank::ensureRow(RowAddr row)
+Bank::ensureRow(RowAddr row, bool values_dead)
 {
     panic_if(row >= ctx_.params.rowsPerBank(),
              "row %u out of range (bank has %u rows)", row,
@@ -69,17 +70,31 @@ Bank::ensureRow(RowAddr row)
     store.fracOff.resize(cols);
     store.vrt.resize(cols);
     store.lastTouch = ctx_.now;
-    const auto &var = ctx_.variation;
+    matStartup_.resize(cols);
+    matAlpha_.resize(cols);
+    matTau_.resize(cols);
+    matCpl_.resize(cols);
+    matOff_.resize(cols);
+    matVrt_.resize(cols);
+    // A row whose first touch is a write-resolved activation never
+    // exposes its power-up contents; skip that (independent) stream.
+    ctx_.variation.materializeRow(
+        index_, row, cols,
+        values_dead ? nullptr : matStartup_.data(), matAlpha_.data(),
+        matTau_.data(), matCpl_.data(), matOff_.data(),
+        matVrt_.data());
     const float vdd = static_cast<float>(ctx_.env.vdd);
     for (ColAddr c = 0; c < cols; ++c) {
-        store.volts[c] = var.startupBit(index_, row, c) ? vdd : 0.0f;
-        store.alpha[c] = static_cast<float>(var.cellAlpha(index_, row, c));
-        store.tau[c] = static_cast<float>(var.cellTau(index_, row, c));
-        store.coupling[c] =
-            static_cast<float>(var.cellCoupling(index_, row, c));
-        store.fracOff[c] =
-            static_cast<float>(var.cellFracOffset(index_, row, c));
-        store.vrt[c] = var.cellIsVrt(index_, row, c) ? 1 : 0;
+        if (!values_dead)
+            store.volts[c] = matStartup_[c] ? vdd : 0.0f;
+        store.alpha[c] = static_cast<float>(matAlpha_[c]);
+        store.tau[c] = static_cast<float>(matTau_[c]);
+        store.coupling[c] = static_cast<float>(matCpl_[c]);
+        store.fracOff[c] = static_cast<float>(matOff_[c]);
+        if (matVrt_[c]) {
+            store.vrt[c] = 1;
+            store.vrtIdx.push_back(c);
+        }
     }
     return store;
 }
@@ -90,6 +105,43 @@ Bank::applyLeakage(RowAddr row)
     applyLeakage(ensureRow(row));
 }
 
+const Bank::DecayEntry &
+Bank::decayEntry(RowStore &store, double factor)
+{
+    auto &cache = store.decay;
+    for (std::size_t i = 0; i < cache.size(); ++i) {
+        if (cache[i].factor == factor) {
+            if (i != 0)
+                std::swap(cache[i], cache[0]); // move-to-front
+            return cache[0];
+        }
+    }
+    // Miss: build into a fresh slot, or recycle the coldest (back)
+    // one once the cache is full. Sequences driven by the controller
+    // advance ctx_.now by the same amount per executed program, so a
+    // handful of distinct factors covers a whole study's inner loop.
+    constexpr std::size_t cap = 4;
+    if (cache.size() < cap)
+        cache.emplace_back();
+    DecayEntry &e = cache.back();
+    e.factor = factor;
+    const std::size_t cols = store.tau.size();
+    e.mul.resize(cols);
+    for (std::size_t c = 0; c < cols; ++c)
+        e.mul[c] =
+            std::exp(factor / static_cast<double>(store.tau[c]));
+    const double ratio = ctx_.profile.vrtFastRatio;
+    const std::size_t nvrt = store.vrtIdx.size();
+    e.fastMul.resize(nvrt);
+    for (std::size_t k = 0; k < nvrt; ++k) {
+        const double tau =
+            static_cast<double>(store.tau[store.vrtIdx[k]]) * ratio;
+        e.fastMul[k] = std::exp(factor / tau);
+    }
+    std::swap(cache.back(), cache.front()); // new entry is hottest
+    return cache[0];
+}
+
 void
 Bank::applyLeakage(RowStore &store)
 {
@@ -97,20 +149,40 @@ Bank::applyLeakage(RowStore &store)
     if (dt <= 0.0)
         return; // just touched: nothing decayed, skip the exp() loop
     const double factor = -dt * ctx_.env.leakageScale();
-    const std::size_t cols = store.volts.size();
-    for (std::size_t c = 0; c < cols; ++c) {
-        double tau = store.tau[c];
-        // The VRT coin flip must be drawn for every VRT cell to keep
-        // the trial RNG stream identical to the reference model, even
-        // when the voltage below is already zero.
-        if (store.vrt[c] && ctx_.trialRng.chance(0.5))
-            tau *= ctx_.profile.vrtFastRatio;
-        const float v = store.volts[c];
-        if (v != 0.0f)
-            store.volts[c] =
-                static_cast<float>(v * std::exp(factor / tau));
+    const std::size_t nvrt = store.vrtIdx.size();
+    // The VRT coin flip must be drawn for every VRT cell (ascending
+    // column order) to keep the trial RNG stream identical to the
+    // reference model, even where the voltage is already zero.
+    std::span<const std::uint8_t> coins;
+    if (nvrt != 0)
+        coins = rngBuf_.chance(ctx_.trialRng, nvrt, 0.5);
+    const DecayEntry &entry = decayEntry(store, factor);
+    // Multiplying a zero cell by the decay factor keeps value and
+    // sign, so the scalar v != 0 skip needs no branch here. VRT cells
+    // are patched up from their pre-decay voltage below.
+    vrtOrig_.resize(nvrt);
+    for (std::size_t k = 0; k < nvrt; ++k)
+        vrtOrig_[k] = store.volts[store.vrtIdx[k]];
+    kernels::decayMultiply(store.volts.data(), entry.mul.data(),
+                           store.volts.size());
+    for (std::size_t k = 0; k < nvrt; ++k) {
+        if (coins[k]) {
+            store.volts[store.vrtIdx[k]] = static_cast<float>(
+                static_cast<double>(vrtOrig_[k]) * entry.fastMul[k]);
+        }
     }
     store.lastTouch = ctx_.now;
+}
+
+void
+Bank::leakageStreamOnly(RowStore &store)
+{
+    const double dt = ctx_.now - store.lastTouch;
+    if (dt <= 0.0)
+        return; // the live path draws nothing either
+    const std::size_t nvrt = store.vrtIdx.size();
+    for (std::size_t k = 0; k < nvrt; ++k)
+        (void)ctx_.trialRng.chance(0.5);
 }
 
 void
@@ -142,11 +214,11 @@ Bank::checkerDropsPre(Cycles cycle) const
 }
 
 void
-Bank::resolve(Cycles cycle)
+Bank::resolve(Cycles cycle, bool for_write)
 {
     if (phase_ == Phase::ActPending &&
         cycle >= actCycle_ + ctx_.params.saEnableCycles) {
-        fullActivate();
+        fullActivate(for_write);
         phase_ = Phase::Open;
     } else if (phase_ == Phase::ClosePending &&
                cycle > preCycle_ + ctx_.params.glitchAbortCycles) {
@@ -178,13 +250,12 @@ Bank::commandAct(Cycles cycle, RowAddr row)
             opened.push_back({preFromOpenRow_, RowRole::SecondAct});
 
         const bool old_anti = rowIsAnti(refRow_);
-        const Volt vdd = ctx_.env.vdd;
+        const float vdd = static_cast<float>(ctx_.env.vdd);
         for (const auto &o : opened) {
-            auto &store = ensureRow(o.row);
-            for (std::size_t c = 0; c < store.volts.size(); ++c) {
-                const bool high = rowBuffer_.get(c) ^ old_anti;
-                store.volts[c] = high ? static_cast<float>(vdd) : 0.0f;
-            }
+            auto &store = ensureRow(o.row, /*values_dead=*/true);
+            kernels::fillFromBits(store.volts.data(),
+                                  rowBuffer_.words(), old_anti, vdd,
+                                  store.volts.size());
             store.lastTouch = ctx_.now;
         }
         openRows_ = std::move(opened);
@@ -315,7 +386,10 @@ void
 Bank::commandWrite(Cycles cycle, const BitVector &logic_bits)
 {
     checkCols(logic_bits);
-    resolve(cycle);
+    // A pending activation completing here may discard its sensed
+    // values: this WRITE overwrites every open cell and the row
+    // buffer before anything can observe them.
+    resolve(cycle, /*for_write=*/true);
     if (phase_ != Phase::Open) {
         if (verbose())
             warn("WRITE on bank %u without a completed activation; "
@@ -326,13 +400,11 @@ Bank::commandWrite(Cycles cycle, const BitVector &logic_bits)
     // Data flows buffer -> bit-lines -> every open cell. The bit-line
     // voltage for logic bit b is b XOR anti(reference row).
     const bool anti = rowIsAnti(refRow_);
-    const Volt vdd = ctx_.env.vdd;
+    const float vdd = static_cast<float>(ctx_.env.vdd);
     for (const auto &open : openRows_) {
         auto &store = ensureRow(open.row);
-        for (std::size_t c = 0; c < store.volts.size(); ++c) {
-            const bool high = logic_bits.get(c) ^ anti;
-            store.volts[c] = high ? static_cast<float>(vdd) : 0.0f;
-        }
+        kernels::fillFromBits(store.volts.data(), logic_bits.words(),
+                              anti, vdd, store.volts.size());
         store.lastTouch = ctx_.now;
     }
     rowBuffer_ = logic_bits;
@@ -353,53 +425,75 @@ Bank::flush(Cycles cycle)
 }
 
 void
-Bank::fullActivate()
+Bank::gatherOpenRows()
+{
+    open_.clear();
+    for (const auto &o : openRows_) {
+        RowStore &store = ensureRow(o.row);
+        applyLeakage(store);
+        const double jitter = ctx_.trialRng.lognormal(
+            0.0, ctx_.profile.trialJitterSigma);
+        open_.push_back(
+            {&store, ctx_.profile.roleWeight(o.role) * jitter});
+    }
+}
+
+void
+Bank::fullActivate(bool discard_values)
 {
     panic_if(openRows_.empty(), "fullActivate with no open rows");
     const auto cols = ctx_.params.colsPerRow;
+
+    if (discard_values) {
+        // Advance the RNG streams exactly as the live path below
+        // would - per row the leakage coins and one jitter gaussian,
+        // then one sense-noise gaussian per column - without paying
+        // for the physics nobody can observe.
+        for (const auto &o : openRows_) {
+            RowStore &store = ensureRow(o.row, /*values_dead=*/true);
+            leakageStreamOnly(store);
+            ctx_.trialRng.skipGaussians(1); // lognormal jitter
+            store.lastTouch = ctx_.now;
+        }
+        ctx_.trialRng.skipGaussians(cols);
+        rowBufferValid_ = true; // caller overwrites the buffer next
+        return;
+    }
+
     const Volt vdd = ctx_.env.vdd;
     const Volt half = vdd / 2.0;
     const double cb = ctx_.params.bitlineCapRatio;
     const double noise_sigma =
         ctx_.profile.saNoiseSigma * ctx_.env.noiseScale();
 
-    struct OpenState
-    {
-        RowStore *store;
-        double weight; // role weight x per-trial jitter
-    };
-    std::vector<OpenState> open;
-    open.reserve(openRows_.size());
-    for (const auto &o : openRows_) {
-        RowStore &store = ensureRow(o.row);
-        applyLeakage(store);
-        const double jitter = ctx_.trialRng.lognormal(
-            0.0, ctx_.profile.trialJitterSigma);
-        open.push_back(
-            {&store, ctx_.profile.roleWeight(o.role) * jitter});
-    }
-
+    gatherOpenRows();
     ensureSaOffsets();
-    const float *sa = saOffsets_.data();
-    const bool anti = rowIsAnti(refRow_);
-    for (ColAddr c = 0; c < cols; ++c) {
-        double num = cb * half;
-        double den = cb;
-        for (const auto &s : open) {
-            const double w = s.weight * s.store->coupling[c];
-            num += w * s.store->volts[c];
-            den += w;
-        }
-        const double veq = num / den;
-        const double delta = veq - half;
-        const bool decision =
-            delta > sa[c] + ctx_.trialRng.gaussian(0, noise_sigma);
-        const float rail = decision ? static_cast<float>(vdd) : 0.0f;
-        for (const auto &s : open)
-            s.store->volts[c] = rail;
-        rowBuffer_.set(c, decision ^ anti);
-    }
-    for (const auto &s : open)
+    // Row-wide sense noise: same draws, same order as the scalar
+    // per-column loop (nothing else draws between columns).
+    const auto noise =
+        rngBuf_.gaussian(ctx_.trialRng, cols, 0.0, noise_sigma);
+
+    num_.assign(cols, cb * half);
+    den_.assign(cols, cb);
+    // Row-outer accumulation keeps each column's additions in the
+    // same order as the scalar row-inner loop.
+    for (const auto &s : open_)
+        kernels::chargeAccumulate(num_.data(), den_.data(),
+                                  s.store->volts.data(),
+                                  s.store->coupling.data(), s.weight,
+                                  cols);
+    eq_.resize(cols);
+    kernels::equilibrium(eq_.data(), num_.data(), den_.data(), cols);
+    dec_.resize(cols);
+    kernels::senseDecide(dec_.data(), eq_.data(), saOffsets_.data(),
+                         noise.data(), half, cols);
+    const float vddf = static_cast<float>(vdd);
+    for (const auto &s : open_)
+        kernels::driveRails(s.store->volts.data(), dec_.data(), vddf,
+                            cols);
+    kernels::packDecisions(rowBuffer_.mutableWords(), dec_.data(),
+                           rowIsAnti(refRow_), cols);
+    for (const auto &s : open_)
         s.store->lastTouch = ctx_.now;
     rowBufferValid_ = true;
 }
@@ -424,43 +518,51 @@ Bank::interruptedClose()
             halfClean_[c] = ctx_.variation.halfMClean(index_, c) ? 1 : 0;
     }
 
-    struct OpenState
-    {
-        RowStore *store;
-        double weight;
-    };
-    std::vector<OpenState> open;
-    open.reserve(openRows_.size());
-    for (const auto &o : openRows_) {
-        RowStore &store = ensureRow(o.row);
-        applyLeakage(store);
-        const double jitter = ctx_.trialRng.lognormal(
-            0.0, ctx_.profile.trialJitterSigma);
-        open.push_back(
-            {&store, ctx_.profile.roleWeight(o.role) * jitter});
+    gatherOpenRows();
+    ensureSaOffsets();
+
+    if (!multi_row) {
+        // Frac path: with one open row the sense amp never engages,
+        // so every column draws exactly one cell-noise gaussian -
+        // batch the draws and run the whole charge-share + settle
+        // chain as one fused pass.
+        RowStore &store = *open_[0].store;
+        const auto noise =
+            rngBuf_.gaussian(ctx_.trialRng, cols, 0.0, cell_noise);
+        kernels::fracSettle(store.volts.data(), store.alpha.data(),
+                            store.coupling.data(),
+                            store.fracOff.data(), noise.data(),
+                            open_[0].weight, cb * half, cb, cols);
+        store.lastTouch = ctx_.now;
+        openRows_.clear();
+        rowBufferValid_ = false;
+        return;
     }
 
-    ensureSaOffsets();
+    num_.assign(cols, cb * half);
+    den_.assign(cols, cb);
+    for (const auto &s : open_)
+        kernels::chargeAccumulate(num_.data(), den_.data(),
+                                  s.store->volts.data(),
+                                  s.store->coupling.data(), s.weight,
+                                  cols);
+    eq_.resize(cols);
+    kernels::equilibrium(eq_.data(), num_.data(), den_.data(), cols);
+
+    // Half-m path: the per-column draw count depends on the engage
+    // decision, so this loop stays scalar (the charge sharing above
+    // is still columnar).
     const float *sa = saOffsets_.data();
-    const std::uint8_t *half_clean =
-        halfClean_.empty() ? nullptr : halfClean_.data();
+    const std::uint8_t *half_clean = halfClean_.data();
     for (ColAddr c = 0; c < cols; ++c) {
-        double num = cb * half;
-        double den = cb;
-        for (const auto &s : open) {
-            const double w = s.weight * s.store->coupling[c];
-            num += w * s.store->volts[c];
-            den += w;
-        }
         const double veq =
-            num / den + ctx_.trialRng.gaussian(0, cell_noise);
+            eq_[c] + ctx_.trialRng.gaussian(0, cell_noise);
         // The sense amp engages when the column either lost its
         // "clean" draw or developed a large delta early (all-same
         // initial values) - see VendorProfile::halfMEngageDelta.
         const bool sa_engages =
-            multi_row &&
-            (!half_clean[c] ||
-             std::fabs(veq - half) > ctx_.profile.halfMEngageDelta);
+            !half_clean[c] ||
+            std::fabs(veq - half) > ctx_.profile.halfMEngageDelta;
         if (sa_engages) {
             // The final PRE of an interrupted multi-row activation
             // lands right at the sense-enable point: for most columns
@@ -470,18 +572,17 @@ Bank::interruptedClose()
             const bool decision =
                 delta > sa[c] + ctx_.trialRng.gaussian(0, noise_sigma);
             const double rail = decision ? vdd : 0.0;
-            for (const auto &s : open) {
+            for (const auto &s : open_) {
                 const double v = s.store->volts[c];
                 s.store->volts[c] = static_cast<float>(
                     v + ctx_.profile.halfMSaDrive * (rail - v));
             }
         } else {
-            for (const auto &s : open) {
+            for (const auto &s : open_) {
                 const double a0 = s.store->alpha[c];
                 // Multi-row interruptions give the cells roughly three
                 // cycles of wordline overlap instead of one.
-                const double a =
-                    multi_row ? 1.0 - std::pow(1.0 - a0, 3.0) : a0;
+                const double a = 1.0 - std::pow(1.0 - a0, 3.0);
                 const double v = s.store->volts[c];
                 // Each cell settles toward its own equilibrium: the
                 // shared bit-line level plus a per-cell offset from
@@ -492,7 +593,7 @@ Bank::interruptedClose()
             }
         }
     }
-    for (const auto &s : open)
+    for (const auto &s : open_)
         s.store->lastTouch = ctx_.now;
     openRows_.clear();
     rowBufferValid_ = false;
@@ -514,11 +615,8 @@ Bank::applyRestoreTruncation(Cycles close_cycle)
     const Volt half = ctx_.env.vdd / 2.0;
     for (const auto &o : openRows_) {
         auto &store = ensureRow(o.row);
-        for (std::size_t c = 0; c < store.volts.size(); ++c) {
-            const double v = store.volts[c];
-            store.volts[c] =
-                static_cast<float>(half + (v - half) * r);
-        }
+        kernels::restoreTruncate(store.volts.data(), half, r,
+                                 store.volts.size());
         store.lastTouch = ctx_.now;
     }
 }
@@ -531,27 +629,35 @@ Bank::refreshAllRows()
     // normal single-row activation (destroys fractional values,
     // Sec. III-C).
     const Volt vdd = ctx_.env.vdd;
+    const float vddf = static_cast<float>(vdd);
     const Volt half = vdd / 2.0;
     const double cb = ctx_.params.bitlineCapRatio;
     const double noise_sigma =
         ctx_.profile.saNoiseSigma * ctx_.env.noiseScale();
     ensureSaOffsets();
-    const float *sa = saOffsets_.data();
     for (auto &[row, store] : rows_) {
         applyLeakage(store);
         const double jitter = ctx_.trialRng.lognormal(
             0.0, ctx_.profile.trialJitterSigma);
         const double role_w =
             ctx_.profile.roleWeight(RowRole::FirstAct) * jitter;
-        for (std::size_t c = 0; c < store.volts.size(); ++c) {
-            const double w = role_w * store.coupling[c];
-            const double veq =
-                (cb * half + w * store.volts[c]) / (cb + w);
-            const bool decision =
-                veq - half >
-                sa[c] + ctx_.trialRng.gaussian(0, noise_sigma);
-            store.volts[c] = decision ? static_cast<float>(vdd) : 0.0f;
-        }
+        const std::size_t cols = store.volts.size();
+        const auto noise =
+            rngBuf_.gaussian(ctx_.trialRng, cols, 0.0, noise_sigma);
+        num_.assign(cols, cb * half);
+        den_.assign(cols, cb);
+        kernels::chargeAccumulate(num_.data(), den_.data(),
+                                  store.volts.data(),
+                                  store.coupling.data(), role_w, cols);
+        eq_.resize(cols);
+        kernels::equilibrium(eq_.data(), num_.data(), den_.data(),
+                             cols);
+        dec_.resize(cols);
+        kernels::senseDecide(dec_.data(), eq_.data(),
+                             saOffsets_.data(), noise.data(), half,
+                             cols);
+        kernels::driveRails(store.volts.data(), dec_.data(), vddf,
+                            cols);
         store.lastTouch = ctx_.now;
     }
 }

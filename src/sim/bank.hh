@@ -20,6 +20,14 @@
  * Cell state is allocated lazily per row; every manufacturing
  * parameter is materialized from the module's VariationMap when a row
  * is first touched.
+ *
+ * The analog hot paths run on the columnar kernels (sim/kernels):
+ * noise is drawn row-wide through the module's RngBuffer in exactly
+ * the order the scalar reference loops drew it (DESIGN.md, "Columnar
+ * kernels"), leakage decay factors are cached per row and exp factor,
+ * and an activation that is resolved by a WRITE - whose sensed values
+ * nothing can observe before the write overwrites them - advances the
+ * RNG streams without paying for the physics.
  */
 
 #ifndef FRACDRAM_SIM_BANK_HH
@@ -31,6 +39,7 @@
 
 #include "common/bitvec.hh"
 #include "common/rng.hh"
+#include "common/rng_buffer.hh"
 #include "common/types.hh"
 #include "sim/environment.hh"
 #include "sim/params.hh"
@@ -118,6 +127,20 @@ class Bank
         Open,         //!< activation complete, row buffer valid
     };
 
+    /**
+     * Cached per-cell decay multipliers for one leakage exp factor
+     * (factor = -dt * leakageScale): mul[c] = exp(factor / tau[c]),
+     * fastMul[k] = exp(factor / (tau[vrtIdx[k]] * vrtFastRatio)).
+     * tau is immutable after row materialization, so entries stay
+     * valid for the row's lifetime.
+     */
+    struct DecayEntry
+    {
+        double factor = 0.0;
+        std::vector<double> mul;
+        std::vector<double> fastMul;
+    };
+
     struct RowStore
     {
         std::vector<float> volts;
@@ -126,22 +149,53 @@ class Bank
         std::vector<float> coupling; //!< static coupling multiplier
         std::vector<float> fracOff;  //!< settling-equilibrium offset
         std::vector<std::uint8_t> vrt;
+        std::vector<std::uint32_t> vrtIdx; //!< columns with vrt set
+        std::vector<DecayEntry> decay; //!< tiny LRU, front = hottest
         Seconds lastTouch = 0.0;
     };
 
-    RowStore &ensureRow(RowAddr row);
+    /** One open row's contribution to the charge sharing. */
+    struct OpenState
+    {
+        RowStore *store;
+        double weight; //!< role weight x per-trial jitter
+    };
+
+    /**
+     * Find or materialize a row's storage. With @p values_dead the
+     * caller guarantees every cell voltage is overwritten before any
+     * observation, so the (independent) power-up stream is skipped.
+     */
+    RowStore &ensureRow(RowAddr row, bool values_dead = false);
     void applyLeakage(RowAddr row);
     /** Leakage on an already-resolved store (saves the row lookup). */
     void applyLeakage(RowStore &store);
+    /**
+     * Consume the RNG draws of applyLeakage without touching the
+     * voltages (write-resolve path: every cell is overwritten before
+     * the next observation).
+     */
+    void leakageStreamOnly(RowStore &store);
+    /** Find or build the decay-multiplier cache entry for a factor. */
+    const DecayEntry &decayEntry(RowStore &store, double factor);
     /** Materialize the per-column sense-amp offset cache. */
     void ensureSaOffsets();
     void checkCols(const BitVector &bits) const;
 
-    /** Move pending state forward given the current cycle. */
-    void resolve(Cycles cycle);
+    /**
+     * Move pending state forward given the current cycle.
+     * @param for_write the caller is a WRITE that will overwrite all
+     *        open cells and the row buffer, so a completing
+     *        activation may discard its sensed values
+     */
+    void resolve(Cycles cycle, bool for_write = false);
 
-    /** Complete activation: charge share, sense, restore, buffer. */
-    void fullActivate();
+    /**
+     * Complete activation: charge share, sense, restore, buffer.
+     * With @p discard_values, advance the RNG streams exactly as the
+     * live path would but skip the (unobservable) physics.
+     */
+    void fullActivate(bool discard_values = false);
 
     /** Commit an interrupted close: partial settle, no full sense. */
     void interruptedClose();
@@ -151,6 +205,9 @@ class Bank
      * closed before the restore completed (tRAS truncation).
      */
     void applyRestoreTruncation(Cycles close_cycle);
+
+    /** Leak, jitter-weigh and collect the open rows into scratch. */
+    void gatherOpenRows();
 
     /** True when the profile's timing checker drops this command. */
     bool checkerDropsAct(Cycles cycle) const;
@@ -187,6 +244,18 @@ class Bank
     std::unordered_map<RowAddr, RowStore> rows_;
     std::vector<float> saOffsets_; //!< lazy per-column cache
     std::vector<std::uint8_t> halfClean_;
+
+    /** @name Row-wide scratch (reused across operations) */
+    /// @{
+    RngBuffer rngBuf_;
+    std::vector<OpenState> open_;
+    std::vector<double> num_, den_, eq_;
+    std::vector<std::uint8_t> dec_;
+    std::vector<float> vrtOrig_; //!< VRT cells' pre-decay voltages
+    /** Staging arrays for VariationMap::materializeRow. */
+    std::vector<double> matAlpha_, matTau_, matCpl_, matOff_;
+    std::vector<std::uint8_t> matStartup_, matVrt_;
+    /// @}
 };
 
 } // namespace fracdram::sim

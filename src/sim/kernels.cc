@@ -1,0 +1,117 @@
+#include "sim/kernels.hh"
+
+namespace fracdram::sim::kernels
+{
+
+void
+decayMultiply(float *volts, const double *mul, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        volts[i] = static_cast<float>(volts[i] * mul[i]);
+}
+
+void
+chargeAccumulate(double *num, double *den, const float *volts,
+                 const float *coupling, double weight, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const double w = weight * coupling[i];
+        num[i] += w * volts[i];
+        den[i] += w;
+    }
+}
+
+void
+equilibrium(double *eq, const double *num, const double *den,
+            std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        eq[i] = num[i] / den[i];
+}
+
+void
+senseDecide(std::uint8_t *dec, const double *eq, const float *sa,
+            const double *noise, double half, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dec[i] = (eq[i] - half) > sa[i] + noise[i] ? 1 : 0;
+}
+
+void
+driveRails(float *volts, const std::uint8_t *dec, float vdd,
+           std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        volts[i] = dec[i] ? vdd : 0.0f;
+}
+
+void
+settleToward(float *volts, const float *alpha, const double *veq,
+             const float *off, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = alpha[i];
+        const double v = volts[i];
+        const double target = veq[i] + off[i];
+        volts[i] = static_cast<float>(v + a * (target - v));
+    }
+}
+
+void
+fracSettle(float *volts, const float *alpha, const float *coupling,
+           const float *off, const double *noise, double weight,
+           double base_num, double base_den, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const double w = weight * coupling[i];
+        const double num = base_num + w * volts[i];
+        const double den = base_den + w;
+        const double eq = num / den + noise[i];
+        const double a = alpha[i];
+        const double v = volts[i];
+        const double target = eq + off[i];
+        volts[i] = static_cast<float>(v + a * (target - v));
+    }
+}
+
+void
+restoreTruncate(float *volts, double half, double r, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const double v = volts[i];
+        volts[i] = static_cast<float>(half + (v - half) * r);
+    }
+}
+
+void
+fillFromBits(float *volts, const std::uint64_t *words, bool invert,
+             float vdd, std::size_t n)
+{
+    const std::uint64_t flip = invert ? ~std::uint64_t{0} : 0;
+    for (std::size_t w = 0; w * 64 < n; ++w) {
+        const std::uint64_t bits = words[w] ^ flip;
+        const std::size_t base = w * 64;
+        const std::size_t lim = n - base < 64 ? n - base : 64;
+        for (std::size_t b = 0; b < lim; ++b)
+            volts[base + b] = (bits >> b) & 1 ? vdd : 0.0f;
+    }
+}
+
+void
+packDecisions(std::uint64_t *words, const std::uint8_t *dec,
+              bool invert, std::size_t n)
+{
+    const std::uint64_t flipBit = invert ? 1 : 0;
+    for (std::size_t w = 0; w * 64 < n; ++w) {
+        const std::size_t base = w * 64;
+        const std::size_t lim = n - base < 64 ? n - base : 64;
+        std::uint64_t word = 0;
+        for (std::size_t b = 0; b < lim; ++b)
+            word |= static_cast<std::uint64_t>(
+                        (dec[base + b] ^ flipBit) & 1)
+                    << b;
+        words[w] = word;
+    }
+}
+
+} // namespace fracdram::sim::kernels

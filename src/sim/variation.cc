@@ -136,4 +136,80 @@ VariationMap::startupBit(BankAddr bank, RowAddr row, ColAddr col) const
     return r.chance(0.5);
 }
 
+void
+VariationMap::materializeRow(BankAddr bank, RowAddr row,
+                             std::size_t cols, std::uint8_t *startup,
+                             double *alpha, double *tau,
+                             double *coupling, double *frac_off,
+                             std::uint8_t *vrt) const
+{
+    // Row-invariant prefixes of the per-cell seed chains; appending
+    // the column below reproduces cellStream() bit for bit.
+    const auto prefix = [&](std::uint64_t purpose) {
+        return mixSeed(mixSeed(mixSeed(rootSeed_, purpose), bank),
+                       row);
+    };
+    const std::uint64_t p_startup = prefix(kStartup);
+    const std::uint64_t p_slow = prefix(kSlow);
+    const std::uint64_t p_alpha = prefix(kAlpha);
+    const std::uint64_t p_tau = prefix(kTau);
+    const std::uint64_t p_leaky = prefix(kLeaky);
+    const std::uint64_t p_vrt = prefix(kVrt);
+    const std::uint64_t p_coupling = prefix(kCoupling);
+    const std::uint64_t p_frac = prefix(kFracOffset);
+
+    const double median_s = profile_.tauMedianHours * 3600.0;
+
+    for (std::size_t c = 0; c < cols; ++c) {
+        // One column tag hash shared by all eight seed chains. The
+        // one-draw Bernoulli streams go through Rng::firstChance,
+        // which produces the identical draw without the full
+        // four-lane seeding.
+        const std::uint64_t ct = mixTag(c);
+        if (startup)
+            startup[c] = Rng::firstChance(
+                             mixSeedWithTag(p_startup, ct), 0.5)
+                             ? 1
+                             : 0;
+        const bool slow = Rng::firstChance(mixSeedWithTag(p_slow, ct),
+                                           profile_.slowCellFraction);
+        {
+            Rng r(mixSeedWithTag(p_alpha, ct));
+            alpha[c] = slow ? profile_.slowCellAlpha *
+                                  (0.5 + r.uniform())
+                            : r.beta(profile_.settleAlphaA,
+                                     profile_.settleAlphaB);
+        }
+        const bool leaky =
+            Rng::firstChance(mixSeedWithTag(p_leaky, ct),
+                             profile_.leakyCellFraction);
+        {
+            Rng r(mixSeedWithTag(p_tau, ct));
+            double t = median_s *
+                       std::exp(profile_.tauSigma *
+                                r.gaussianNoSpare());
+            if (slow)
+                t *= profile_.slowCellTauBoost;
+            if (leaky)
+                t *= profile_.leakyTauScale;
+            tau[c] = t;
+        }
+        {
+            // lognormal(0, sigma) = exp(0 + sigma * N(0, 1)).
+            Rng r(mixSeedWithTag(p_coupling, ct));
+            coupling[c] = std::exp(
+                0.0 + profile_.couplingSigma * r.gaussianNoSpare());
+        }
+        {
+            Rng r(mixSeedWithTag(p_frac, ct));
+            frac_off[c] = 0.0 + profile_.cellFracOffsetSigma *
+                                    r.gaussianNoSpare();
+        }
+        vrt[c] = Rng::firstChance(mixSeedWithTag(p_vrt, ct),
+                                  profile_.vrtFraction)
+                     ? 1
+                     : 0;
+    }
+}
+
 } // namespace fracdram::sim

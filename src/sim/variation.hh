@@ -14,6 +14,7 @@
 #define FRACDRAM_SIM_VARIATION_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.hh"
 #include "common/types.hh"
@@ -73,6 +74,23 @@ class VariationMap
 
     /** Manufacturing-time power-up content of a cell. */
     bool startupBit(BankAddr bank, RowAddr row, ColAddr col) const;
+
+    /**
+     * Materialize every per-cell parameter of one row in a single
+     * pass. Produces exactly the values of the per-cell accessors
+     * above (same hashed streams, same draw order), but hoists the
+     * row-invariant prefix of each stream's seed chain and computes
+     * the shared slow/leaky draws once per cell instead of once per
+     * accessor. Every output array must hold @p cols elements.
+     * @p startup may be null to skip the power-up-content stream
+     * entirely (legal because the streams are independent hashes; use
+     * when the row's initial voltages are known to be overwritten
+     * before anything observes them).
+     */
+    void materializeRow(BankAddr bank, RowAddr row, std::size_t cols,
+                        std::uint8_t *startup, double *alpha,
+                        double *tau, double *coupling,
+                        double *frac_off, std::uint8_t *vrt) const;
 
     /** The module serial this map was derived from. */
     std::uint64_t serial() const { return serial_; }

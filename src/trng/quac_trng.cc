@@ -21,21 +21,20 @@ QuacTrng::QuacTrng(softmc::MemoryController &mc, BankAddr bank,
              sim::groupName(mc.chip().group()).c_str());
     for (const auto &o : opened) {
         // The two-ones/two-zeros pattern: ones in R1 and the AND row.
-        openedRows_.push_back(o.row);
+        initRows_.push_back(
+            {o.row, o.role == sim::RowRole::FirstAct ||
+                        o.role == sim::RowRole::ImplicitAnd});
     }
 }
 
 BitVector
 QuacTrng::rawSample()
 {
-    const std::size_t cols = mc_.chip().dramParams().colsPerRow;
-    const auto opened = core::plannedOpenedRows(mc_.chip(), r1_, r2_);
-    for (const auto &o : opened) {
-        const bool high = o.role == sim::RowRole::FirstAct ||
-                          o.role == sim::RowRole::ImplicitAnd;
-        mc_.fillRowVoltage(bank_, o.row, high);
-        (void)cols;
-    }
+    // The activation plan is a pure function of the chip geometry and
+    // the row pair; reuse the one computed at construction instead of
+    // re-planning per sample.
+    for (const auto &r : initRows_)
+        mc_.fillRowVoltage(bank_, r.row, r.high);
     return core::multiRowActivate(mc_, bank_, r1_, r2_);
 }
 
@@ -73,14 +72,7 @@ QuacTrng::generate(std::size_t bits)
             if (!prev.empty())
                 any_flip |= !(sample == prev);
             prev = sample;
-            std::vector<std::uint8_t> bytes((sample.size() + 7) / 8,
-                                            0);
-            for (std::size_t i = 0; i < sample.size(); ++i) {
-                if (sample.get(i))
-                    bytes[i / 8] |=
-                        static_cast<std::uint8_t>(1u << (i % 8));
-            }
-            hasher.update(bytes);
+            hasher.updateBits(sample);
         }
         // A fully deterministic array carries no entropy; refuse to
         // emit "random" bits from it.

@@ -79,10 +79,17 @@ class QuacTrng
     double throughputMbps() const;
 
   private:
+    /** One row of the activated quadruple and its init pattern. */
+    struct InitRow
+    {
+        RowAddr row;
+        bool high; //!< ones in R1 and the AND row, zeros elsewhere
+    };
+
     softmc::MemoryController &mc_;
     BankAddr bank_;
     RowAddr r1_, r2_;
-    std::vector<RowAddr> openedRows_;
+    std::vector<InitRow> initRows_; //!< cached activation plan
     double assumedEntropyPerSample_ = 4.0;
     std::size_t rawSamplesUsed_ = 0;
     std::size_t bitsGenerated_ = 0;

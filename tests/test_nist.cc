@@ -4,6 +4,8 @@
  * pass every test; pathological streams must fail the right ones.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.hh"

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the batched-RNG layer: RngBuffer fills, the
+ * Rng::fillGaussian / fillChance / skipGaussians stream-equivalence
+ * contract the columnar kernels rely on, the firstDraw shortcut, and
+ * the interaction with the trial engine's mixSeed-based seeding at
+ * several thread counts.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "common/rng_buffer.hh"
+
+using namespace fracdram;
+
+namespace
+{
+
+constexpr std::uint64_t kSeed = 0x5eedULL;
+
+/** n scalar gaussian(mean, sigma) draws from a fresh stream. */
+std::vector<double>
+scalarGaussians(std::uint64_t seed, std::size_t n, double mean,
+                double sigma)
+{
+    Rng rng(seed);
+    std::vector<double> out(n);
+    for (auto &v : out)
+        v = rng.gaussian(mean, sigma);
+    return out;
+}
+
+} // namespace
+
+TEST(RngBuffer, GaussianMatchesScalarDraws)
+{
+    for (const std::size_t n : {std::size_t{1}, std::size_t{2},
+                                std::size_t{7}, std::size_t{128},
+                                std::size_t{1001}}) {
+        Rng rng(kSeed);
+        RngBuffer buf;
+        const auto span = buf.gaussian(rng, n, 0.25, 1.5);
+        ASSERT_EQ(span.size(), n);
+        const auto ref = scalarGaussians(kSeed, n, 0.25, 1.5);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(span[i], ref[i]) << "n=" << n << " i=" << i;
+    }
+}
+
+TEST(RngBuffer, ChanceMatchesScalarDraws)
+{
+    Rng a(kSeed);
+    Rng b(kSeed);
+    RngBuffer buf;
+    const auto span = buf.chance(a, 513, 0.3);
+    ASSERT_EQ(span.size(), 513u);
+    for (std::size_t i = 0; i < span.size(); ++i)
+        EXPECT_EQ(span[i], b.chance(0.3) ? 1 : 0) << "i=" << i;
+}
+
+TEST(RngBuffer, ConsecutiveFillsContinueTheStream)
+{
+    // Two buffered fills back to back must equal one scalar sequence:
+    // the buffer only stores, it never re-seeds or skips.
+    Rng rng(kSeed);
+    RngBuffer buf;
+    std::vector<double> got;
+    for (const std::size_t n : {std::size_t{5}, std::size_t{8}}) {
+        const auto span = buf.gaussian(rng, n, 0.0, 1.0);
+        got.insert(got.end(), span.begin(), span.end());
+    }
+    const auto ref = scalarGaussians(kSeed, 13, 0.0, 1.0);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], ref[i]) << "i=" << i;
+}
+
+TEST(RngBuffer, PartialFillTailHandsSpareToNextDraw)
+{
+    // An odd-length fill leaves half a Box-Muller pair cached; the
+    // next draw (buffered or scalar) must consume that spare exactly
+    // like the scalar stream would.
+    for (const std::size_t odd : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{255}}) {
+        Rng rng(kSeed);
+        RngBuffer buf;
+        const auto head = buf.gaussian(rng, odd, 0.0, 1.0);
+        ASSERT_EQ(head.size(), odd);
+        const double next = rng.gaussian();
+        Rng ref(kSeed);
+        for (std::size_t i = 0; i < odd; ++i)
+            (void)ref.gaussian();
+        EXPECT_EQ(next, ref.gaussian()) << "odd=" << odd;
+    }
+}
+
+TEST(RngBuffer, SkipGaussiansAdvancesLikeDrawing)
+{
+    // skipGaussians(n) then a live draw == n discarded draws then a
+    // live draw, for even and odd skip counts (the odd case exercises
+    // the lazily-materialized spare).
+    for (const std::size_t skip : {std::size_t{0}, std::size_t{1},
+                                   std::size_t{2}, std::size_t{9},
+                                   std::size_t{100}}) {
+        Rng fast(kSeed);
+        fast.skipGaussians(skip);
+        Rng slow(kSeed);
+        for (std::size_t i = 0; i < skip; ++i)
+            (void)slow.gaussian();
+        // Compare a few follow-up draws, crossing pair boundaries.
+        for (int i = 0; i < 4; ++i)
+            EXPECT_EQ(fast.gaussian(), slow.gaussian())
+                << "skip=" << skip << " follow-up " << i;
+    }
+}
+
+TEST(RngBuffer, SkipInterleavesWithFills)
+{
+    // skip / fill / skip / fill must track the pure-draw stream.
+    Rng fast(kSeed);
+    RngBuffer buf;
+    std::vector<double> got;
+    fast.skipGaussians(3);
+    for (const auto &v : buf.gaussian(fast, 4, 0.0, 1.0))
+        got.push_back(v);
+    fast.skipGaussians(1);
+    for (const auto &v : buf.gaussian(fast, 5, 0.0, 1.0))
+        got.push_back(v);
+
+    Rng slow(kSeed);
+    std::vector<double> ref;
+    for (int i = 0; i < 3; ++i)
+        (void)slow.gaussian();
+    for (int i = 0; i < 4; ++i)
+        ref.push_back(slow.gaussian());
+    (void)slow.gaussian();
+    for (int i = 0; i < 5; ++i)
+        ref.push_back(slow.gaussian());
+
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], ref[i]) << "i=" << i;
+}
+
+TEST(RngBuffer, FirstDrawMatchesFullSeeding)
+{
+    // The firstDraw/firstChance shortcut must agree with a fully
+    // seeded Rng for arbitrary seeds, including the all-zero-state
+    // guard corner.
+    for (const std::uint64_t seed :
+         {std::uint64_t{0}, std::uint64_t{1}, kSeed,
+          std::uint64_t{0xffffffffffffffffULL},
+          mixSeed(kSeed, 42)}) {
+        Rng rng(seed);
+        EXPECT_EQ(Rng::firstDraw(seed), rng.next()) << "seed=" << seed;
+        Rng rng2(seed);
+        EXPECT_EQ(Rng::firstChance(seed, 0.3), rng2.chance(0.3))
+            << "seed=" << seed;
+    }
+}
+
+TEST(RngBuffer, MixSeedStreamsIndependentOfThreadCount)
+{
+    // The trial engine seeds stream i as mixSeed(root, i); buffered
+    // draws inside a parallelMap must give bit-identical results at
+    // any thread count (scheduling never touches the streams).
+    constexpr std::size_t kTrials = 32;
+    constexpr std::size_t kDraws = 101;
+
+    const auto run = [](unsigned threads) {
+        parallel::setThreads(threads);
+        return parallel::parallelMap(kTrials, [](std::size_t i) {
+            Rng rng(mixSeed(kSeed, i));
+            RngBuffer buf;
+            const auto span = buf.gaussian(rng, kDraws, 0.0, 1.0);
+            return std::vector<double>(span.begin(), span.end());
+        });
+    };
+
+    const auto serial = run(1);
+    for (const unsigned threads : {2u, 8u}) {
+        const auto par = run(threads);
+        ASSERT_EQ(par.size(), serial.size()) << threads << " threads";
+        for (std::size_t i = 0; i < kTrials; ++i)
+            EXPECT_EQ(par[i], serial[i])
+                << threads << " threads, trial " << i;
+    }
+    parallel::setThreads(0); // restore automatic resolution
+
+    // And the serial run itself must equal direct scalar draws.
+    for (std::size_t i = 0; i < kTrials; ++i)
+        EXPECT_EQ(serial[i],
+                  scalarGaussians(mixSeed(kSeed, i), kDraws, 0.0, 1.0))
+            << "trial " << i;
+}

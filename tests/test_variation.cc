@@ -3,6 +3,8 @@
  * Unit tests for the deterministic process-variation map.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "common/stats.hh"
