@@ -24,6 +24,7 @@
 #include "puf/puf.hh"
 #include "sim/chip.hh"
 #include "softmc/controller.hh"
+#include "telemetry/report.hh"
 
 using namespace fracdram;
 
@@ -211,6 +212,7 @@ ablateRestoreTruncation()
 int
 main()
 {
+    telemetry::RunScope telem("bench_ablation");
     setVerbose(false);
     ablateCapRatio();
     ablateProofVsFracs();

@@ -21,6 +21,7 @@
 #include "core/maj3.hh"
 #include "sim/chip.hh"
 #include "softmc/controller.hh"
+#include "telemetry/report.hh"
 
 using namespace fracdram;
 using namespace fracdram::compute;
@@ -99,6 +100,7 @@ measureXor(BitwiseEngine &engine, Rng &rng)
 int
 main()
 {
+    telemetry::RunScope telem("bench_compute_ops");
     setVerbose(false);
     std::puts("bulk bitwise compute: per-op cost and accuracy by "
               "substrate\n");

@@ -20,12 +20,14 @@
 #include "puf/puf.hh"
 #include "sim/chip.hh"
 #include "softmc/controller.hh"
+#include "telemetry/report.hh"
 
 using namespace fracdram;
 
 int
 main()
 {
+    telemetry::RunScope telem("bench_ddr4_extension");
     setVerbose(false);
     std::puts("DDR4 extension (group M, 16 banks; QUAC-TRNG-style "
               "part)\n");

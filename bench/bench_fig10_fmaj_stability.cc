@@ -13,6 +13,7 @@
 #include "analysis/fmaj_study.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "telemetry/report.hh"
 
 using namespace fracdram;
 
@@ -47,6 +48,7 @@ printCdfSummary(const char *name,
 int
 main(int argc, char **argv)
 {
+    telemetry::RunScope telem("bench_fig10_fmaj_stability");
     setVerbose(false);
     analysis::FMajStudyParams combo_params;
     analysis::FMajStabilityParams stab_params;

@@ -18,6 +18,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "telemetry/report.hh"
 
 using namespace fracdram;
 
@@ -40,6 +41,7 @@ describe(const std::vector<double> &xs)
 int
 main(int argc, char **argv)
 {
+    telemetry::RunScope telem("bench_fig11_puf");
     setVerbose(false);
     analysis::PufStudyParams params;
     std::string csv_dir;

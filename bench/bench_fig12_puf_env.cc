@@ -14,12 +14,14 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "telemetry/report.hh"
 
 using namespace fracdram;
 
 int
 main(int argc, char **argv)
 {
+    telemetry::RunScope telem("bench_fig12_puf_env");
     setVerbose(false);
     analysis::PufStudyParams params;
     params.modulesPerGroup = 1; // env study spans all nine groups

@@ -21,6 +21,7 @@
 #include "core/multi_row.hh"
 #include "sim/chip.hh"
 #include "softmc/controller.hh"
+#include "telemetry/report.hh"
 
 using namespace fracdram;
 
@@ -53,6 +54,7 @@ meanV(sim::DramChip &chip, RowAddr row)
 int
 main()
 {
+    telemetry::RunScope telem("bench_fig3_fig4_traces");
     setVerbose(false);
 
     // ---- Fig. 3: cell voltage during consecutive Frac operations ----

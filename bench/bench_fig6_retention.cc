@@ -20,12 +20,14 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "core/retention.hh"
+#include "telemetry/report.hh"
 
 using namespace fracdram;
 
 int
 main(int argc, char **argv)
 {
+    telemetry::RunScope telem("bench_fig6_retention");
     setVerbose(false);
     analysis::RetentionStudyParams params;
     std::string csv_dir;

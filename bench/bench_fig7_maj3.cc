@@ -13,12 +13,14 @@
 #include "analysis/maj3_study.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "telemetry/report.hh"
 
 using namespace fracdram;
 
 int
 main(int argc, char **argv)
 {
+    telemetry::RunScope telem("bench_fig7_maj3");
     setVerbose(false);
     analysis::Maj3StudyParams params;
     if (argc > 1 && std::strcmp(argv[1], "--quick") == 0) {

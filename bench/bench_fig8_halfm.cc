@@ -15,12 +15,14 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "core/retention.hh"
+#include "telemetry/report.hh"
 
 using namespace fracdram;
 
 int
 main(int argc, char **argv)
 {
+    telemetry::RunScope telem("bench_fig8_halfm");
     setVerbose(false);
     analysis::HalfMStudyParams params;
     if (argc > 1 && std::strcmp(argv[1], "--quick") == 0) {

@@ -16,12 +16,14 @@
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/table.hh"
+#include "telemetry/report.hh"
 
 using namespace fracdram;
 
 int
 main(int argc, char **argv)
 {
+    telemetry::RunScope telem("bench_fig9_fmaj_coverage");
     setVerbose(false);
     analysis::FMajStudyParams params;
     std::string csv_dir;

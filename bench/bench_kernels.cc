@@ -19,6 +19,7 @@
 #include "sim/kernels.hh"
 #include "sim/variation.hh"
 #include "sim/vendor.hh"
+#include "telemetry/report.hh"
 
 using namespace fracdram;
 using namespace fracdram::sim;
@@ -265,4 +266,16 @@ BENCHMARK(BM_materializeRow)->Apply(rowArgs);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with a telemetry run scope around the
+// benchmark loop (reports land wherever FRACDRAM_TELEMETRY points).
+int
+main(int argc, char **argv)
+{
+    fracdram::telemetry::RunScope telem("bench_kernels");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -15,6 +15,7 @@
 #include "puf/puf.hh"
 #include "sim/chip.hh"
 #include "softmc/controller.hh"
+#include "telemetry/report.hh"
 
 using namespace fracdram;
 
@@ -59,6 +60,7 @@ collectWhitened(sim::DramGroup group, std::uint64_t serial,
 int
 main(int argc, char **argv)
 {
+    telemetry::RunScope telem("bench_nist_randomness");
     setVerbose(false);
     std::size_t bits = 1000000; // paper: one million bits per module
     if (argc > 1 && std::strcmp(argv[1], "--quick") == 0)

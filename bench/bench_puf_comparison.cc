@@ -21,6 +21,7 @@
 #include "puf/retention_puf.hh"
 #include "sim/chip.hh"
 #include "softmc/controller.hh"
+#include "telemetry/report.hh"
 
 using namespace fracdram;
 
@@ -71,6 +72,7 @@ measure(sim::DramGroup group, double eval_seconds,
 int
 main()
 {
+    telemetry::RunScope telem("bench_puf_comparison");
     setVerbose(false);
     std::puts("Frac-PUF vs retention-failure PUF (prior-work "
               "baseline), group B modules, 8 Kbit segment\n");

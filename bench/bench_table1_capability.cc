@@ -14,12 +14,14 @@
 #include "common/parallel.hh"
 #include "common/table.hh"
 #include "sim/vendor.hh"
+#include "telemetry/report.hh"
 
 using namespace fracdram;
 
 int
 main(int argc, char **argv)
 {
+    telemetry::RunScope telem("bench_table1_capability");
     setVerbose(false);
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)

@@ -27,6 +27,7 @@
 #include "puf/puf.hh"
 #include "sim/chip.hh"
 #include "softmc/controller.hh"
+#include "telemetry/report.hh"
 
 using namespace fracdram;
 
@@ -217,6 +218,7 @@ BENCHMARK(BM_PufEvaluate);
 int
 main(int argc, char **argv)
 {
+    telemetry::RunScope telem("bench_timing");
     setVerbose(false);
     printPaperRows();
     // Swallow the suite-wide --quick flag (unknown to

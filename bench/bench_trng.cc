@@ -16,6 +16,7 @@
 #include "puf/nist.hh"
 #include "sim/chip.hh"
 #include "softmc/controller.hh"
+#include "telemetry/report.hh"
 #include "trng/quac_trng.hh"
 
 using namespace fracdram;
@@ -23,6 +24,7 @@ using namespace fracdram;
 int
 main(int argc, char **argv)
 {
+    telemetry::RunScope telem("bench_trng");
     setVerbose(false);
     std::size_t bits = 200000;
     if (argc > 1 && std::strcmp(argv[1], "--quick") == 0)

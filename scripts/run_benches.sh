@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Times every bench_* driver in the build tree and writes the results
-# to a JSON array of {bench, seconds, threads} records.
+# to a JSON array of {bench, seconds, peak_rss_kib, threads} records.
+# Wall time and peak RSS come from a python3 getrusage wrapper (the
+# container has no /usr/bin/time); without python3 the RSS is
+# recorded as 0 and timing falls back to date +%s.%N.
 #
 # Usage: scripts/run_benches.sh [options] [build_dir] [output.json]
 #
@@ -61,6 +64,23 @@ fi
 
 threads="${FRACDRAM_THREADS:-$(nproc 2>/dev/null || echo 1)}"
 
+have_python=0
+command -v python3 > /dev/null 2>&1 && have_python=1
+
+# Runs "$@" with stdout discarded and prints "<wall_s> <peak_rss_kib>
+# <exit_code>". RUSAGE_CHILDREN's ru_maxrss is the max over all
+# children, so each bench runs in its own wrapper process.
+measure() {
+    python3 - "$@" <<'PY'
+import resource, subprocess, sys, time
+start = time.monotonic()
+rc = subprocess.call(sys.argv[1:], stdout=subprocess.DEVNULL)
+wall = time.monotonic() - start
+rss = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+print(f"{wall:.3f} {rss} {rc}")
+PY
+}
+
 # Quick-mode flags keep total wall time reasonable; the relative
 # serial-vs-parallel ratio is what matters, not absolute run length.
 declare -A extra_args=(
@@ -80,16 +100,25 @@ for bin in "${bench_dir}"/bench_*; do
     args="${extra_args[${name}]:-}"
     echo "timing ${name} ${args} (threads=${threads})" >&2
 
-    start=$(date +%s.%N)
-    # shellcheck disable=SC2086
-    "${bin}" ${args} > /dev/null || {
-        echo "warning: ${name} exited non-zero; recording anyway" >&2
-    }
-    end=$(date +%s.%N)
-    seconds=$(awk -v a="${start}" -v b="${end}" \
-        'BEGIN { printf "%.3f", b - a }')
+    if [[ "${have_python}" -eq 1 ]]; then
+        # shellcheck disable=SC2086
+        read -r seconds rss_kib rc < <(measure "${bin}" ${args})
+        [[ "${rc}" -eq 0 ]] || {
+            echo "warning: ${name} exited non-zero; recording anyway" >&2
+        }
+    else
+        start=$(date +%s.%N)
+        # shellcheck disable=SC2086
+        "${bin}" ${args} > /dev/null || {
+            echo "warning: ${name} exited non-zero; recording anyway" >&2
+        }
+        end=$(date +%s.%N)
+        seconds=$(awk -v a="${start}" -v b="${end}" \
+            'BEGIN { printf "%.3f", b - a }')
+        rss_kib=0
+    fi
 
-    records+=("  {\"bench\": \"${name}\", \"seconds\": ${seconds}, \"threads\": ${threads}}")
+    records+=("  {\"bench\": \"${name}\", \"seconds\": ${seconds}, \"peak_rss_kib\": ${rss_kib}, \"threads\": ${threads}}")
 done
 
 if [[ ${#records[@]} -eq 0 ]]; then

@@ -1,5 +1,6 @@
 #include "analysis/capability.hh"
 
+#include "analysis/study_telemetry.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "core/frac_op.hh"
@@ -87,8 +88,10 @@ scanAllGroups(const sim::DramParams &params)
     // Every group probes a freshly constructed module, so the scan
     // fans out one task per group; results land in group order.
     const auto groups = sim::allGroups();
+    const StudyScope study("capability_scan", groups.size());
     return parallel::parallelMap(
         groups.size(), [&](std::size_t i) {
+            const ModuleScope scope("capability_scan");
             const auto group = groups[i];
             const auto &profile = sim::vendorProfile(group);
             sim::DramChip chip(group, /*serial=*/1, params);

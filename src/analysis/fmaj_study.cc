@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/study_telemetry.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
@@ -171,8 +172,11 @@ fmajCoverageStudy(sim::DramGroup group, const FMajStudyParams &params)
         std::vector<std::vector<double>> coverage; // [series][fracs]
         double baseline = 0.0;
     };
+    const StudyScope study("fmaj_coverage",
+                           static_cast<std::uint64_t>(params.modules));
     const auto outcomes = parallel::parallelMap(
         static_cast<std::size_t>(params.modules), [&](std::size_t m) {
+            const ModuleScope scope("fmaj_coverage");
             ModuleOutcome out;
             out.coverage.assign(result.series.size(),
                                 std::vector<double>(runs, 0.0));
@@ -267,8 +271,11 @@ fmajComboBreakdown(sim::DramGroup group, const core::FMajConfig &config,
         std::vector<std::size_t> allOk;
         std::size_t total = 0;
     };
+    const StudyScope study("fmaj_combo",
+                           static_cast<std::uint64_t>(params.modules));
     const auto counts = parallel::parallelMap(
         static_cast<std::size_t>(params.modules), [&](std::size_t m) {
+            const ModuleScope scope("fmaj_combo");
             ModuleCounts mod;
             mod.ok.assign(runs, std::array<std::size_t, 6>{});
             mod.allOk.assign(runs, 0);
@@ -354,8 +361,11 @@ fmajStabilityStudy(sim::DramGroup group, bool baseline_maj3,
         std::vector<double> columnSuccess;
         double fracAlways = 0.0;
     };
+    const StudyScope study("fmaj_stability",
+                           static_cast<std::uint64_t>(params.modules));
     const auto outcomes = parallel::parallelMap(
         static_cast<std::size_t>(params.modules), [&](std::size_t m) {
+            const ModuleScope scope("fmaj_stability");
             Rng input_rng(
                 mixSeed(mixSeed(params.seedBase, 0x57ab1e), m));
             auto random_bits = [&input_rng, cols]() {

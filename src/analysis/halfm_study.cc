@@ -1,5 +1,6 @@
 #include "analysis/halfm_study.hh"
 
+#include "analysis/study_telemetry.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "core/frac_op.hh"
@@ -182,9 +183,13 @@ halfMStudy(const HalfMStudyParams &params)
 {
     // One task per module (independent chips); the histogram counters
     // are plain integer sums, merged in module order.
+    const StudyScope study("halfm",
+                           static_cast<std::uint64_t>(params.modules));
     const auto partials = parallel::parallelMap(
-        static_cast<std::size_t>(params.modules),
-        [&](std::size_t m) { return halfMModule(params, m); });
+        static_cast<std::size_t>(params.modules), [&](std::size_t m) {
+            const ModuleScope scope("halfm");
+            return halfMModule(params, m);
+        });
 
     HalfMModuleCounts sum;
     for (const auto &p : partials) {

@@ -1,5 +1,6 @@
 #include "analysis/maj3_study.hh"
 
+#include "analysis/study_telemetry.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "core/verify.hh"
@@ -38,8 +39,10 @@ maj3Study(const Maj3StudyParams &params)
     };
     const std::size_t modules =
         static_cast<std::size_t>(params.modules);
+    const StudyScope study("maj3", 4 * modules);
     const auto partials = parallel::parallelMap(
         4 * modules, [&](std::size_t task) {
+            const ModuleScope scope("maj3");
             const auto &cfg = configs[task / modules];
             const std::size_t m = task % modules;
             TaskCounts out;

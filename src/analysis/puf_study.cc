@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "analysis/study_telemetry.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "puf/hamming.hh"
@@ -86,8 +87,10 @@ pufStudy(const PufStudyParams &params)
         std::vector<double> intraHd;
         std::vector<BitVector> set1;
     };
+    const StudyScope study("puf", specs.size());
     const auto collected = parallel::parallelMap(
         specs.size(), [&](std::size_t i) {
+            const ModuleScope scope("puf");
             const auto &spec = specs[i];
             ModuleUnderTest mut(spec.g, params.seedBase + spec.m,
                                 params);
@@ -174,8 +177,10 @@ pufEnvStudy(const PufStudyParams &params)
         for (int m = 0; m < count; ++m)
             specs.push_back({g, m});
     }
+    const StudyScope study("puf_env", specs.size());
     auto modules = parallel::parallelMap(
         specs.size(), [&](std::size_t i) {
+            const ModuleScope scope("puf_env");
             ModuleSets ms;
             ms.mut = std::make_unique<ModuleUnderTest>(
                 specs[i].g, params.seedBase + specs[i].m, params);

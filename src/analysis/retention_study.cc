@@ -1,5 +1,6 @@
 #include "analysis/retention_study.hh"
 
+#include "analysis/study_telemetry.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "core/frac_op.hh"
@@ -58,8 +59,11 @@ retentionStudy(sim::DramGroup group, const RetentionStudyParams &params)
         std::vector<std::vector<std::size_t>> counts;
         std::size_t nLong = 0, nMono = 0, nOther = 0, cells = 0;
     };
+    const StudyScope study("retention",
+                           static_cast<std::uint64_t>(modules));
     const auto partials = parallel::parallelMap(
         modules, [&](std::size_t m) {
+            const ModuleScope scope("retention");
             ModuleCounts mod;
             mod.counts.assign(
                 runs, std::vector<std::size_t>(num_buckets, 0));

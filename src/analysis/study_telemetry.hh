@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared observability helpers for the analysis studies.
+ *
+ * Every study entry point opens a StudyScope (one wall-clock trace
+ * span plus run/work-item counters) and every per-module task inside
+ * a parallelMap opens a ModuleScope (per-item span plus a duration
+ * histogram), so a single run report shows which study dominated and
+ * how its modules were distributed over the worker lanes. Both scopes
+ * are free when telemetry is disabled.
+ */
+
+#ifndef FRACDRAM_ANALYSIS_STUDY_TELEMETRY_HH
+#define FRACDRAM_ANALYSIS_STUDY_TELEMETRY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
+
+namespace fracdram::analysis
+{
+
+/**
+ * RAII study-level scope: a trace span named after the study plus
+ * `analysis.study.<name>` (runs) and `analysis.modules` (work items).
+ */
+class StudyScope
+{
+  public:
+    /**
+     * @param study literal study name (outlives the trace sink)
+     * @param items work items (modules/groups) the study fans out over
+     */
+    explicit StudyScope(const char *study, std::uint64_t items = 1)
+        : span_(study)
+    {
+        if (telemetry::enabled()) {
+            telemetry::countNamed(std::string("analysis.study.") +
+                                  study);
+            telemetry::countNamed("analysis.modules", items);
+        }
+    }
+
+  private:
+    telemetry::TraceSpan span_;
+};
+
+/**
+ * RAII per-work-item scope for a study's parallelMap lambda: a trace
+ * span on the executing worker's lane plus an
+ * `analysis.<study>.module_ns` duration histogram.
+ */
+class ModuleScope
+{
+  public:
+    /** @param study literal study name (outlives the trace sink) */
+    explicit ModuleScope(const char *study)
+        : study_(study), span_(study), armed_(telemetry::enabled()),
+          start_(armed_ ? telemetry::nowNs() : 0)
+    {
+    }
+    ~ModuleScope()
+    {
+        if (!armed_)
+            return;
+        // Interning per item is fine: items run for milliseconds,
+        // not nanoseconds.
+        const auto id = telemetry::Metrics::instance().histogram(
+            std::string("analysis.") + study_ + ".module_ns");
+        telemetry::observe(id, telemetry::nowNs() - start_);
+    }
+    ModuleScope(const ModuleScope &) = delete;
+    ModuleScope &operator=(const ModuleScope &) = delete;
+
+  private:
+    const char *study_;
+    telemetry::TraceSpan span_;
+    bool armed_;
+    std::uint64_t start_;
+};
+
+} // namespace fracdram::analysis
+
+#endif // FRACDRAM_ANALYSIS_STUDY_TELEMETRY_HH

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace fracdram
@@ -13,7 +14,33 @@ namespace
 // Atomic so parallel trial workers can consult it without racing a
 // driver's setVerbose() call.
 std::atomic<bool> verboseFlag{true};
+
+// One writer lock for every stderr line. Each message is formatted
+// into a single buffer first and written with one stdio call under
+// the lock, so warn()/inform() lines from parallel trial workers
+// never interleave mid-line.
+std::mutex &
+writerMutex()
+{
+    static std::mutex *m = new std::mutex(); // leaked: usable during
+    return *m;                               // static destruction
+}
 } // namespace
+
+void
+logLine(const char *prefix, const std::string &msg)
+{
+    std::string line;
+    line.reserve(msg.size() + 16);
+    if (prefix != nullptr && prefix[0] != '\0') {
+        line += prefix;
+        line += ": ";
+    }
+    line += msg;
+    line += '\n';
+    std::lock_guard<std::mutex> lock(writerMutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
 
 std::string
 vstrprintf(const char *fmt, va_list ap)
@@ -46,7 +73,7 @@ panicImpl(const char *file, int line, const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrprintf(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: %s @ %s:%d\n", msg.c_str(), file, line);
+    logLine("panic", strprintf("%s @ %s:%d", msg.c_str(), file, line));
     std::abort();
 }
 
@@ -57,7 +84,7 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrprintf(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "fatal: %s @ %s:%d\n", msg.c_str(), file, line);
+    logLine("fatal", strprintf("%s @ %s:%d", msg.c_str(), file, line));
     std::exit(1);
 }
 
@@ -70,7 +97,7 @@ warnImpl(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrprintf(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    logLine("warn", msg);
 }
 
 void
@@ -82,7 +109,7 @@ informImpl(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrprintf(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    logLine("info", msg);
 }
 
 void

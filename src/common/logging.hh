@@ -33,6 +33,14 @@ void warnImpl(const char *fmt, ...)
 void informImpl(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/**
+ * Write one complete line ("prefix: msg\n") to stderr under the
+ * process-wide writer lock. All logging helpers route through this,
+ * so multi-threaded output never interleaves mid-line; telemetry's
+ * human-readable summary uses the same writer.
+ */
+void logLine(const char *prefix, const std::string &msg);
+
 /** Toggle warn()/inform() output (benches silence chatter). */
 void setVerbose(bool verbose);
 

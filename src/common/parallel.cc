@@ -5,6 +5,10 @@
 #include <memory>
 #include <stdexcept>
 
+#include "common/logging.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
+
 namespace fracdram::parallel
 {
 
@@ -12,6 +16,23 @@ namespace
 {
 
 thread_local bool tlsInsideWorker = false;
+
+/** Shared task histograms (queue wait / execution, nanoseconds). */
+telemetry::HistogramId
+queueWaitHist()
+{
+    static const auto id = telemetry::Metrics::instance().histogram(
+        "parallel.task.queue_wait_ns");
+    return id;
+}
+
+telemetry::HistogramId
+execHist()
+{
+    static const auto id = telemetry::Metrics::instance().histogram(
+        "parallel.task.exec_ns");
+    return id;
+}
 
 /** Explicit override from setThreads(); 0 means "resolve automatically". */
 std::atomic<unsigned> configuredThreads{0};
@@ -37,8 +58,13 @@ ThreadPool &
 acquirePool(unsigned want)
 {
     std::lock_guard<std::mutex> lock(poolMutex);
-    if (!pool || pool->threadCount() != want)
+    if (!pool || pool->threadCount() != want) {
         pool = std::make_unique<ThreadPool>(want);
+        static const auto threads_gauge =
+            telemetry::Metrics::instance().gauge("parallel.threads");
+        telemetry::setGauge(threads_gauge,
+                            static_cast<std::int64_t>(want));
+    }
     return *pool;
 }
 
@@ -50,7 +76,7 @@ ThreadPool::ThreadPool(unsigned threads)
         threads = 1;
     workers_.reserve(threads);
     for (unsigned t = 0; t < threads; ++t)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, t] { workerLoop(t); });
 }
 
 ThreadPool::~ThreadPool()
@@ -74,11 +100,13 @@ ThreadPool::submit(std::function<void()> task)
     }
     std::packaged_task<void()> wrapped(std::move(task));
     auto future = wrapped.get_future();
+    QueueItem item{std::move(wrapped),
+                   telemetry::enabled() ? telemetry::nowNs() : 0};
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (stop_)
             throw std::logic_error("submit on a stopped ThreadPool");
-        queue_.push_back(std::move(wrapped));
+        queue_.push_back(std::move(item));
     }
     cv_.notify_one();
     return future;
@@ -91,20 +119,44 @@ ThreadPool::insideWorker()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned index)
 {
     tlsInsideWorker = true;
+    // Per-worker lane + counters: the worker ordinal (not the OS
+    // thread id) keys the metric names, so reports stay comparable
+    // across runs and pool rebuilds.
+    if (telemetry::enabled())
+        telemetry::setThreadName(strprintf("worker-%u", index));
+    auto &metrics = telemetry::Metrics::instance();
+    const auto tasks_id = metrics.counter(
+        strprintf("parallel.worker.%u.tasks", index));
+    const auto busy_id = metrics.counter(
+        strprintf("parallel.worker.%u.busy_ns", index));
     for (;;) {
-        std::packaged_task<void()> task;
+        QueueItem item;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
             if (queue_.empty())
                 return; // stop_ with a drained queue
-            task = std::move(queue_.front());
+            item = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();
+        std::uint64_t start = 0;
+        if (telemetry::enabled()) {
+            start = telemetry::nowNs();
+            if (item.enqueueNs != 0)
+                telemetry::observe(queueWaitHist(),
+                                   start - item.enqueueNs);
+        }
+        item.task();
+        if (start != 0) {
+            const std::uint64_t dur = telemetry::nowNs() - start;
+            telemetry::count(tasks_id);
+            telemetry::count(busy_id, dur);
+            telemetry::observe(execHist(), dur);
+            telemetry::traceSpan("pool task", start, dur);
+        }
     }
 }
 
@@ -126,6 +178,17 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
 {
     if (n == 0)
         return;
+
+    static const auto calls_id =
+        telemetry::Metrics::instance().counter("parallel.for.calls");
+    static const auto indices_id =
+        telemetry::Metrics::instance().counter("parallel.for.indices");
+    static const auto for_hist =
+        telemetry::Metrics::instance().histogram("parallel.for.ns");
+    telemetry::count(calls_id);
+    telemetry::count(indices_id, n);
+    telemetry::ScopedTimer for_timer(for_hist);
+    telemetry::TraceSpan for_span("parallelFor");
 
     const unsigned want = threads();
     if (want <= 1 || n == 1 || ThreadPool::insideWorker()) {

@@ -30,6 +30,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -71,10 +72,18 @@ class ThreadPool
     static bool insideWorker();
 
   private:
-    void workerLoop();
+    /** @param index worker ordinal, used for telemetry lane names */
+    void workerLoop(unsigned index);
+
+    /** A queued task plus its enqueue timestamp (0 = untimed). */
+    struct QueueItem
+    {
+        std::packaged_task<void()> task;
+        std::uint64_t enqueueNs = 0;
+    };
 
     std::vector<std::thread> workers_;
-    std::deque<std::packaged_task<void()>> queue_;
+    std::deque<QueueItem> queue_;
     std::mutex mutex_;
     std::condition_variable cv_;
     bool stop_ = false;

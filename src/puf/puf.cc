@@ -3,9 +3,36 @@
 #include "common/logging.hh"
 #include "core/frac_op.hh"
 #include "core/rowclone.hh"
+#include "telemetry/metrics.hh"
 
 namespace fracdram::puf
 {
+
+namespace
+{
+
+/** FracPUF pipeline counters. */
+struct PufCounters
+{
+    telemetry::CounterId evaluations;
+    telemetry::HistogramId evaluateNs;
+
+    PufCounters()
+    {
+        auto &m = telemetry::Metrics::instance();
+        evaluations = m.counter("puf.evaluations");
+        evaluateNs = m.histogram("puf.evaluate_ns");
+    }
+};
+
+const PufCounters &
+pufCounters()
+{
+    static const PufCounters c;
+    return c;
+}
+
+} // namespace
 
 FracPuf::FracPuf(softmc::MemoryController &mc, int num_fracs)
     : mc_(mc), numFracs_(num_fracs)
@@ -34,6 +61,9 @@ FracPuf::setUseInDramInit(bool use)
 BitVector
 FracPuf::evaluate(const Challenge &challenge)
 {
+    const auto &pc = pufCounters();
+    telemetry::count(pc.evaluations);
+    const telemetry::ScopedTimer timer(pc.evaluateNs);
     // Initialize the segment to all ones - either one in-DRAM row
     // copy from a reserved all-ones row (the paper's 88-cycle
     // preparation) or a plain bus write - then drive the cells

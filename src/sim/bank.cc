@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "sim/kernels.hh"
+#include "telemetry/metrics.hh"
 
 namespace fracdram::sim
 {
@@ -16,6 +17,58 @@ namespace
 // too-close commands. Approximations of DDR3-1333 values.
 constexpr Cycles checkerTRas = 14;
 constexpr Cycles checkerTRc = 20;
+
+/**
+ * Per-kernel observability: invocation counts, cells touched, and
+ * flip/engagement counts. Everything here is recorded *after* the
+ * physics with values already computed, so the RNG streams and cell
+ * voltages are bit-identical with telemetry on or off.
+ */
+struct BankCounters
+{
+    telemetry::CounterId fullActivate, fullActivateCells, senseFlips;
+    telemetry::CounterId fracSettle, fracSettleCells, fracCells;
+    telemetry::CounterId halfmClose, halfmCells, halfmEngaged;
+    telemetry::CounterId decay, decayCells;
+    telemetry::CounterId restoreTruncate, restoreTruncateCells;
+    telemetry::CounterId refreshRows, rowCopy, glitchOpen;
+    telemetry::CounterId checkerDropAct, checkerDropPre;
+    telemetry::CounterId discardedActivate;
+
+    BankCounters()
+    {
+        auto &m = telemetry::Metrics::instance();
+        fullActivate = m.counter("sim.kernel.full_activate");
+        fullActivateCells =
+            m.counter("sim.kernel.full_activate.cells");
+        senseFlips = m.counter("sim.kernel.sense.flips");
+        fracSettle = m.counter("sim.kernel.frac_settle");
+        fracSettleCells = m.counter("sim.kernel.frac_settle.cells");
+        fracCells = m.counter("sim.kernel.frac_settle.fractional");
+        halfmClose = m.counter("sim.kernel.halfm_close");
+        halfmCells = m.counter("sim.kernel.halfm_close.cells");
+        halfmEngaged = m.counter("sim.kernel.halfm_close.engaged");
+        decay = m.counter("sim.kernel.decay");
+        decayCells = m.counter("sim.kernel.decay.cells");
+        restoreTruncate = m.counter("sim.kernel.restore_truncate");
+        restoreTruncateCells =
+            m.counter("sim.kernel.restore_truncate.cells");
+        refreshRows = m.counter("sim.bank.refresh_rows");
+        rowCopy = m.counter("sim.bank.row_copy");
+        glitchOpen = m.counter("sim.bank.glitch_open");
+        checkerDropAct = m.counter("sim.bank.checker_drop_act");
+        checkerDropPre = m.counter("sim.bank.checker_drop_pre");
+        discardedActivate =
+            m.counter("sim.bank.write_resolved_activate");
+    }
+};
+
+const BankCounters &
+bankCounters()
+{
+    static const BankCounters c;
+    return c;
+}
 
 } // namespace
 
@@ -157,6 +210,11 @@ Bank::applyLeakage(RowStore &store)
     if (nvrt != 0)
         coins = rngBuf_.chance(ctx_.trialRng, nvrt, 0.5);
     const DecayEntry &entry = decayEntry(store, factor);
+    if (telemetry::enabled()) {
+        const auto &bc = bankCounters();
+        telemetry::count(bc.decay);
+        telemetry::count(bc.decayCells, store.volts.size());
+    }
     // Multiplying a zero cell by the decay factor keeps value and
     // sign, so the scalar v != 0 skip needs no branch here. VRT cells
     // are patched up from their pre-decay voltage below.
@@ -232,8 +290,11 @@ Bank::commandAct(Cycles cycle, RowAddr row)
 {
     panic_if(row >= ctx_.params.rowsPerBank(), "ACT row %u out of range",
              row);
-    if (checkerDropsAct(cycle))
+    if (checkerDropsAct(cycle)) {
+        if (telemetry::enabled())
+            telemetry::count(bankCounters().checkerDropAct);
         return;
+    }
 
     if (phase_ == Phase::Idle && preFromOpenValid_ && rowBufferValid_ &&
         cycle <= preFromOpenCycle_ + ctx_.params.glitchAbortCycles) {
@@ -248,6 +309,8 @@ Bank::commandAct(Cycles cycle, RowAddr row)
             has_src |= o.row == preFromOpenRow_;
         if (!has_src)
             opened.push_back({preFromOpenRow_, RowRole::SecondAct});
+        if (telemetry::enabled())
+            telemetry::count(bankCounters().rowCopy);
 
         const bool old_anti = rowIsAnti(refRow_);
         const float vdd = static_cast<float>(ctx_.env.vdd);
@@ -275,6 +338,8 @@ Bank::commandAct(Cycles cycle, RowAddr row)
         // row stays open and the row decoder glitches (Sec. II-D).
         openRows_ = glitchOpenedRows(ctx_.profile, refRow_, row,
                                      ctx_.params.rowsPerSubarray);
+        if (telemetry::enabled())
+            telemetry::count(bankCounters().glitchOpen);
         refRow_ = row;
         actCycle_ = cycle;
         lastActCycle_ = cycle;
@@ -328,8 +393,11 @@ Bank::commandAct(Cycles cycle, RowAddr row)
 void
 Bank::commandPre(Cycles cycle)
 {
-    if (checkerDropsPre(cycle))
+    if (checkerDropsPre(cycle)) {
+        if (telemetry::enabled())
+            telemetry::count(bankCounters().checkerDropPre);
         return;
+    }
 
     if (phase_ == Phase::ClosePending) {
         // A second PRE: the first close commits now.
@@ -457,6 +525,8 @@ Bank::fullActivate(bool discard_values)
         }
         ctx_.trialRng.skipGaussians(cols);
         rowBufferValid_ = true; // caller overwrites the buffer next
+        if (telemetry::enabled())
+            telemetry::count(bankCounters().discardedActivate);
         return;
     }
 
@@ -496,6 +566,19 @@ Bank::fullActivate(bool discard_values)
     for (const auto &s : open_)
         s.store->lastTouch = ctx_.now;
     rowBufferValid_ = true;
+    if (telemetry::enabled()) {
+        const auto &bc = bankCounters();
+        telemetry::count(bc.fullActivate);
+        telemetry::count(bc.fullActivateCells,
+                         static_cast<std::uint64_t>(cols) *
+                             open_.size());
+        // Columns where SA offset + noise flipped the decision away
+        // from the ideal comparator's sign(eq - vdd/2).
+        std::uint64_t flips = 0;
+        for (ColAddr c = 0; c < cols; ++c)
+            flips += (dec_[c] != 0) != (eq_[c] > half);
+        telemetry::count(bc.senseFlips, flips);
+    }
 }
 
 void
@@ -536,6 +619,19 @@ Bank::interruptedClose()
         store.lastTouch = ctx_.now;
         openRows_.clear();
         rowBufferValid_ = false;
+        if (telemetry::enabled()) {
+            const auto &bc = bankCounters();
+            telemetry::count(bc.fracSettle);
+            telemetry::count(bc.fracSettleCells, cols);
+            // Cells that landed in the fractional band (0.2..0.8 Vdd)
+            // - the values the paper's capability studies harvest.
+            const float lo = static_cast<float>(0.2 * vdd);
+            const float hi = static_cast<float>(0.8 * vdd);
+            std::uint64_t frac = 0;
+            for (ColAddr c = 0; c < cols; ++c)
+                frac += store.volts[c] > lo && store.volts[c] < hi;
+            telemetry::count(bc.fracCells, frac);
+        }
         return;
     }
 
@@ -554,6 +650,7 @@ Bank::interruptedClose()
     // is still columnar).
     const float *sa = saOffsets_.data();
     const std::uint8_t *half_clean = halfClean_.data();
+    std::uint64_t engaged = 0;
     for (ColAddr c = 0; c < cols; ++c) {
         const double veq =
             eq_[c] + ctx_.trialRng.gaussian(0, cell_noise);
@@ -563,6 +660,7 @@ Bank::interruptedClose()
         const bool sa_engages =
             !half_clean[c] ||
             std::fabs(veq - half) > ctx_.profile.halfMEngageDelta;
+        engaged += sa_engages;
         if (sa_engages) {
             // The final PRE of an interrupted multi-row activation
             // lands right at the sense-enable point: for most columns
@@ -597,6 +695,14 @@ Bank::interruptedClose()
         s.store->lastTouch = ctx_.now;
     openRows_.clear();
     rowBufferValid_ = false;
+    if (telemetry::enabled()) {
+        const auto &bc = bankCounters();
+        telemetry::count(bc.halfmClose);
+        telemetry::count(bc.halfmCells,
+                         static_cast<std::uint64_t>(cols) *
+                             open_.size());
+        telemetry::count(bc.halfmEngaged, engaged);
+    }
 }
 
 void
@@ -618,6 +724,14 @@ Bank::applyRestoreTruncation(Cycles close_cycle)
         kernels::restoreTruncate(store.volts.data(), half, r,
                                  store.volts.size());
         store.lastTouch = ctx_.now;
+    }
+    if (telemetry::enabled()) {
+        const auto &bc = bankCounters();
+        telemetry::count(bc.restoreTruncate);
+        telemetry::count(bc.restoreTruncateCells,
+                         static_cast<std::uint64_t>(
+                             ctx_.params.colsPerRow) *
+                             openRows_.size());
     }
 }
 
@@ -660,6 +774,8 @@ Bank::refreshAllRows()
                             cols);
         store.lastTouch = ctx_.now;
     }
+    if (telemetry::enabled())
+        telemetry::count(bankCounters().refreshRows, rows_.size());
 }
 
 Volt

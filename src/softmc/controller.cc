@@ -1,9 +1,67 @@
 #include "softmc/controller.hh"
 
+#include <atomic>
+
 #include "common/logging.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 
 namespace fracdram::softmc
 {
+
+namespace
+{
+
+/** Per-opcode command counters (see CommandKind). */
+struct CommandCounters
+{
+    telemetry::CounterId act, pre, preAll, read, write, refresh, nop;
+    telemetry::CounterId sequences, cycles, violations;
+    telemetry::HistogramId seqLen;
+
+    CommandCounters()
+    {
+        auto &m = telemetry::Metrics::instance();
+        act = m.counter("softmc.cmd.act");
+        pre = m.counter("softmc.cmd.pre");
+        preAll = m.counter("softmc.cmd.pre_all");
+        read = m.counter("softmc.cmd.read");
+        write = m.counter("softmc.cmd.write");
+        refresh = m.counter("softmc.cmd.refresh");
+        nop = m.counter("softmc.cmd.nop");
+        sequences = m.counter("softmc.sequences");
+        cycles = m.counter("softmc.cycles");
+        violations = m.counter("softmc.timing_violations");
+        seqLen = m.histogram("softmc.seq.len_cycles");
+    }
+};
+
+const CommandCounters &
+commandCounters()
+{
+    static const CommandCounters c;
+    return c;
+}
+
+const char *
+commandName(CommandKind kind)
+{
+    switch (kind) {
+      case CommandKind::Act: return "ACT";
+      case CommandKind::Pre: return "PRE";
+      case CommandKind::PreAll: return "PREA";
+      case CommandKind::Read: return "READ";
+      case CommandKind::Write: return "WRITE";
+      case CommandKind::Refresh: return "REF";
+      case CommandKind::Nop: return "NOP";
+    }
+    return "?";
+}
+
+/** Distinct trace lane per controller instance. */
+std::atomic<std::uint32_t> nextLane{1};
+
+} // namespace
 
 void
 CycleAccountant::add(const std::string &label, Cycles cycles)
@@ -43,7 +101,8 @@ CycleAccountant::clear()
 }
 
 MemoryController::MemoryController(sim::DramChip &chip, bool enforce_spec)
-    : chip_(chip), spec_(TimingSpec::ddr3()), enforceSpec_(enforce_spec)
+    : chip_(chip), spec_(TimingSpec::ddr3()), enforceSpec_(enforce_spec),
+      telemetryLane_(nextLane.fetch_add(1, std::memory_order_relaxed))
 {
 }
 
@@ -63,10 +122,33 @@ MemoryController::execute(const CommandSequence &seq,
         }
     }
 
+    const bool telem = telemetry::enabled();
+    std::size_t tally[7] = {};
+    if (telem) {
+        const auto &tc = commandCounters();
+        telemetry::count(tc.sequences);
+        // Out-of-spec sequences are the platform's whole point; when
+        // observing, document exactly how many constraints each one
+        // deliberately violates (enforcing mode already fataled).
+        if (!enforceSpec_) {
+            const auto violations =
+                spec_.check(seq, chip_.dramParams().numBanks);
+            if (!violations.empty()) {
+                telemetry::count(tc.violations, violations.size());
+                telemetry::traceInstant("timing violation");
+            }
+        }
+    }
+
     ExecResult result;
     for (const auto &tc : seq.commands()) {
         const Cycles cycle = clock_ + tc.cycle;
         const auto &cmd = tc.cmd;
+        if (telem) {
+            ++tally[static_cast<std::size_t>(cmd.kind)];
+            telemetry::traceCommand(commandName(cmd.kind), cycle, 1,
+                                    telemetryLane_);
+        }
         switch (cmd.kind) {
           case CommandKind::Act:
             chip_.act(cycle, cmd.bank, cmd.row);
@@ -97,6 +179,22 @@ MemoryController::execute(const CommandSequence &seq,
     const Cycles margin = chip_.dramParams().saEnableCycles +
                           chip_.dramParams().glitchAbortCycles + 2;
     chip_.flushAll(clock_ + len + margin);
+    if (telem) {
+        const auto &tc = commandCounters();
+        const telemetry::CounterId by_kind[7] = {
+            tc.act, tc.pre, tc.preAll, tc.read,
+            tc.write, tc.refresh, tc.nop};
+        for (std::size_t k = 0; k < 7; ++k)
+            if (tally[k] != 0)
+                telemetry::count(by_kind[k], tally[k]);
+        telemetry::count(tc.cycles, len);
+        telemetry::observe(tc.seqLen, len);
+        // The accountant's labels double as metric names, so the
+        // per-operation cycle budget shows up in every run report.
+        telemetry::countNamed("softmc.cycles." + label, len);
+        telemetry::traceCommand(telemetry::internName(label), clock_,
+                                len, telemetryLane_);
+    }
     clock_ += len + margin;
     chip_.advanceTime(static_cast<Seconds>(len + margin) * memCycleNs *
                       1e-9);

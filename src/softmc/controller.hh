@@ -155,6 +155,9 @@ class MemoryController
     Cycles clock_ = 0;
     Cycles cyclesPerBurst_ = 4;
     CycleAccountant accountant_;
+    /** Telemetry lane on the DRAM-cycle trace timeline; controllers
+     *  get distinct lanes so parallel trials don't interleave. */
+    std::uint32_t telemetryLane_;
 };
 
 } // namespace fracdram::softmc

@@ -1,0 +1,300 @@
+#include "telemetry/metrics.hh"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <chrono>
+#include <cstdlib>
+
+namespace fracdram::telemetry
+{
+
+namespace
+{
+
+#ifdef FRACDRAM_TELEMETRY_DEFAULT
+std::atomic<bool> gEnabled{true};
+#else
+std::atomic<bool> gEnabled{false};
+#endif
+
+} // namespace
+
+bool
+enabled()
+{
+    return gEnabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    gEnabled.store(on, std::memory_order_relaxed);
+}
+
+std::string
+initFromEnv()
+{
+    const char *env = std::getenv("FRACDRAM_TELEMETRY");
+    if (env == nullptr) {
+        // Unset keeps the build's default (off, unless configured
+        // with FRACDRAM_TELEMETRY_DEFAULT).
+        return "";
+    }
+    if (env[0] == '\0' || (env[0] == '0' && env[1] == '\0')) {
+        setEnabled(false);
+        return "";
+    }
+    setEnabled(true);
+    if (env[0] == '1' && env[1] == '\0')
+        return ""; // record in memory, no file output
+    return env;    // value doubles as the report directory
+}
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::uint64_t
+HistogramSnapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t k = 0; k < buckets.size(); ++k) {
+        seen += buckets[k];
+        if (seen > target) {
+            // Upper bound of bucket k: values with bit width k.
+            return k == 0 ? 0
+                          : (k >= 64 ? UINT64_MAX
+                                     : (std::uint64_t{1} << k) - 1);
+        }
+    }
+    return max;
+}
+
+/**
+ * One thread's private slice of every metric. Writers touch only
+ * their own shard with relaxed atomics; the snapshot walker reads the
+ * same atomics, so no lock is needed between them. Slot arrays are
+ * fully pre-sized: a shard's addresses never move after construction.
+ */
+struct Metrics::Shard
+{
+    struct HistSlot
+    {
+        std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+        std::atomic<std::uint64_t> sum{0};
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<std::uint64_t> min{UINT64_MAX};
+        std::atomic<std::uint64_t> max{0};
+    };
+
+    std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+    std::vector<HistSlot> histograms =
+        std::vector<HistSlot>(kMaxHistograms);
+};
+
+Metrics &
+Metrics::instance()
+{
+    // Leaked singleton: worker threads may record during static
+    // destruction of other objects; a destructed registry would be a
+    // use-after-free, a leaked one is not.
+    static Metrics *m = new Metrics();
+    return *m;
+}
+
+Metrics::Shard &
+Metrics::localShard()
+{
+    // The shard outlives its thread (the registry keeps the pointer
+    // and reads it on snapshot), so it is heap-allocated and leaked
+    // alongside the registry rather than stored thread_local
+    // by value.
+    thread_local Shard *shard = [this] {
+        auto *s = new Shard();
+        std::lock_guard<std::mutex> lock(mutex_);
+        shards_.push_back(s);
+        return s;
+    }();
+    return *shard;
+}
+
+CounterId
+Metrics::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = counterNames_.try_emplace(
+        name, static_cast<std::uint32_t>(counterNames_.size()));
+    if (inserted && counterNames_.size() > kMaxCounters) {
+        counterNames_.erase(it);
+        return {}; // capacity exhausted: drop, don't crash
+    }
+    return {it->second};
+}
+
+HistogramId
+Metrics::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = histogramNames_.try_emplace(
+        name, static_cast<std::uint32_t>(histogramNames_.size()));
+    if (inserted && histogramNames_.size() > kMaxHistograms) {
+        histogramNames_.erase(it);
+        return {};
+    }
+    return {it->second};
+}
+
+GaugeId
+Metrics::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = gaugeNames_.try_emplace(
+        name, static_cast<std::uint32_t>(gaugeNames_.size()));
+    if (inserted) {
+        if (gaugeNames_.size() > kMaxGauges) {
+            gaugeNames_.erase(it);
+            return {};
+        }
+        gauges_.push_back(new std::atomic<std::int64_t>(0));
+    }
+    return {it->second};
+}
+
+void
+Metrics::add(CounterId id, std::uint64_t n)
+{
+    if (!id.valid())
+        return;
+    localShard().counters[id.index].fetch_add(
+        n, std::memory_order_relaxed);
+}
+
+void
+Metrics::observe(HistogramId id, std::uint64_t value)
+{
+    if (!id.valid())
+        return;
+    auto &slot = localShard().histograms[id.index];
+    const auto k = static_cast<std::size_t>(std::bit_width(value));
+    slot.buckets[k].fetch_add(1, std::memory_order_relaxed);
+    slot.sum.fetch_add(value, std::memory_order_relaxed);
+    slot.count.fetch_add(1, std::memory_order_relaxed);
+    // min/max: CAS loops, but each shard is single-writer so the loop
+    // effectively never retries.
+    std::uint64_t cur = slot.min.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !slot.min.compare_exchange_weak(cur, value,
+                                           std::memory_order_relaxed))
+        ;
+    cur = slot.max.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !slot.max.compare_exchange_weak(cur, value,
+                                           std::memory_order_relaxed))
+        ;
+}
+
+void
+Metrics::set(GaugeId id, std::int64_t value)
+{
+    if (!id.valid())
+        return;
+    std::atomic<std::int64_t> *slot = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        slot = gauges_[id.index];
+    }
+    slot->store(value, std::memory_order_relaxed);
+}
+
+void
+Metrics::addGauge(GaugeId id, std::int64_t delta)
+{
+    if (!id.valid())
+        return;
+    std::atomic<std::int64_t> *slot = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        slot = gauges_[id.index];
+    }
+    slot->fetch_add(delta, std::memory_order_relaxed);
+}
+
+MetricsSnapshot
+Metrics::snapshot() const
+{
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, idx] : counterNames_) {
+        std::uint64_t total = 0;
+        for (const Shard *s : shards_)
+            total +=
+                s->counters[idx].load(std::memory_order_relaxed);
+        snap.counters.emplace(name, total);
+    }
+    for (const auto &[name, idx] : gaugeNames_) {
+        snap.gauges.emplace(
+            name, gauges_[idx]->load(std::memory_order_relaxed));
+    }
+    for (const auto &[name, idx] : histogramNames_) {
+        HistogramSnapshot h;
+        h.buckets.assign(kBuckets, 0);
+        h.min = UINT64_MAX;
+        for (const Shard *s : shards_) {
+            const auto &slot = s->histograms[idx];
+            h.count += slot.count.load(std::memory_order_relaxed);
+            h.sum += slot.sum.load(std::memory_order_relaxed);
+            h.min = std::min(
+                h.min, slot.min.load(std::memory_order_relaxed));
+            h.max = std::max(
+                h.max, slot.max.load(std::memory_order_relaxed));
+            for (std::size_t k = 0; k < kBuckets; ++k)
+                h.buckets[k] += slot.buckets[k].load(
+                    std::memory_order_relaxed);
+        }
+        if (h.count == 0)
+            h.min = 0;
+        snap.histograms.emplace(name, std::move(h));
+    }
+    return snap;
+}
+
+void
+Metrics::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Shard *s : shards_) {
+        for (auto &c : s->counters)
+            c.store(0, std::memory_order_relaxed);
+        for (auto &hist : s->histograms) {
+            for (auto &b : hist.buckets)
+                b.store(0, std::memory_order_relaxed);
+            hist.sum.store(0, std::memory_order_relaxed);
+            hist.count.store(0, std::memory_order_relaxed);
+            hist.min.store(UINT64_MAX, std::memory_order_relaxed);
+            hist.max.store(0, std::memory_order_relaxed);
+        }
+    }
+    for (auto *g : gauges_)
+        g->store(0, std::memory_order_relaxed);
+}
+
+void
+countNamed(const std::string &name, std::uint64_t n)
+{
+    if (!enabled())
+        return;
+    auto &m = Metrics::instance();
+    m.add(m.counter(name), n);
+}
+
+} // namespace fracdram::telemetry

@@ -5,9 +5,39 @@
 
 #include "common/sha256.hh"
 #include "core/multi_row.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 
 namespace fracdram::trng
 {
+
+namespace
+{
+
+/** QUAC-TRNG pipeline counters. */
+struct TrngCounters
+{
+    telemetry::CounterId rawSamples, bits, blocks;
+    telemetry::HistogramId generateNs;
+
+    TrngCounters()
+    {
+        auto &m = telemetry::Metrics::instance();
+        rawSamples = m.counter("trng.raw_samples");
+        bits = m.counter("trng.bits");
+        blocks = m.counter("trng.blocks");
+        generateNs = m.histogram("trng.generate_ns");
+    }
+};
+
+const TrngCounters &
+trngCounters()
+{
+    static const TrngCounters c;
+    return c;
+}
+
+} // namespace
 
 QuacTrng::QuacTrng(softmc::MemoryController &mc, BankAddr bank,
                    RowAddr r1, RowAddr r2)
@@ -58,11 +88,15 @@ QuacTrng::samplesPerBlock() const
 BitVector
 QuacTrng::generate(std::size_t bits)
 {
+    const auto &tc = trngCounters();
+    const telemetry::ScopedTimer timer(tc.generateNs);
+    const telemetry::TraceSpan span("trng generate");
     BitVector out;
     rawSamplesUsed_ = 0;
     const std::size_t per_block = samplesPerBlock();
 
     while (out.size() < bits) {
+        telemetry::count(tc.blocks);
         Sha256 hasher;
         bool any_flip = false;
         BitVector prev;
@@ -85,6 +119,10 @@ QuacTrng::generate(std::size_t bits)
         }
     }
     bitsGenerated_ = out.size();
+    if (telemetry::enabled()) {
+        telemetry::count(tc.rawSamples, rawSamplesUsed_);
+        telemetry::count(tc.bits, bitsGenerated_);
+    }
     return out;
 }
 

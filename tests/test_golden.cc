@@ -32,6 +32,11 @@
 #include "common/logging.hh"
 #include "common/sha256.hh"
 #include "common/table.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
+#include "trng/quac_trng.hh"
 
 using namespace fracdram;
 
@@ -155,4 +160,89 @@ TEST(Golden, PufStudy)
     for (const double d : r.crossGroupInterHd)
         csv.addRow({"cross", "inter", TextTable::num(d, 6)});
     checkDigest("kGoldenPuf", kGoldenPuf, csv);
+}
+
+namespace
+{
+
+/** Run telemetry on and off; the guard restores the off state. */
+struct TelemetryToggle
+{
+    explicit TelemetryToggle(bool on) { telemetry::setEnabled(on); }
+    ~TelemetryToggle()
+    {
+        telemetry::setEnabled(false);
+        telemetry::Metrics::instance().reset();
+        telemetry::resetTrace();
+    }
+};
+
+std::string
+capabilityDigest()
+{
+    CsvWriter csv({"group", "frac", "three_row", "four_row"});
+    for (const auto &row : analysis::scanAllGroups()) {
+        csv.addRow({sim::groupName(row.group),
+                    row.probed.frac ? "1" : "0",
+                    row.probed.threeRow ? "1" : "0",
+                    row.probed.fourRow ? "1" : "0"});
+    }
+    return digestOf(csv);
+}
+
+std::string
+trngDigest()
+{
+    sim::DramChip chip(sim::DramGroup::B, /*serial=*/1);
+    softmc::MemoryController mc(chip, false);
+    trng::QuacTrng gen(mc);
+    const auto bits = gen.generate(2048);
+    std::string text;
+    for (std::size_t i = 0; i < bits.size(); ++i)
+        text.push_back(bits.get(i) ? '1' : '0');
+    return Sha256::toHex(Sha256::hash(
+        reinterpret_cast<const std::uint8_t *>(text.data()),
+        text.size()));
+}
+
+} // namespace
+
+// Telemetry records clocks and counts but never draws from any RNG,
+// so every study output must be bit-identical with recording on or
+// off (FRACDRAM_TELEMETRY=0 vs =1). These run the same pipeline
+// under both states and compare digests directly - they hold on any
+// build flags, native included.
+
+TEST(Golden, CapabilityUnchangedByTelemetry)
+{
+    setVerbose(false);
+    std::string off, on;
+    {
+        TelemetryToggle toggle(false);
+        off = capabilityDigest();
+    }
+    {
+        TelemetryToggle toggle(true);
+        on = capabilityDigest();
+    }
+    EXPECT_EQ(off, on)
+        << "telemetry recording perturbed the capability scan; the "
+        << "instrumentation must stay off the RNG streams";
+}
+
+TEST(Golden, TrngUnchangedByTelemetry)
+{
+    setVerbose(false);
+    std::string off, on;
+    {
+        TelemetryToggle toggle(false);
+        off = trngDigest();
+    }
+    {
+        TelemetryToggle toggle(true);
+        on = trngDigest();
+    }
+    EXPECT_EQ(off, on)
+        << "telemetry recording perturbed the TRNG bit stream; the "
+        << "instrumentation must stay off the RNG streams";
 }

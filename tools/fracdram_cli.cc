@@ -16,9 +16,11 @@
  *                               retention-bucket histogram
  *   decoder     [--group X]     reverse-engineer the row decoder
  *
- * Every subcommand accepts --serial N (module serial, default 1) and
+ * Every subcommand accepts --serial N (module serial, default 1),
  * --threads N (parallel trial engine workers; 0 = auto-detect, also
- * settable via the FRACDRAM_THREADS environment variable).
+ * settable via the FRACDRAM_THREADS environment variable), and
+ * --telemetry-out DIR (write metrics.json / metrics.csv / trace.json
+ * run reports into DIR; also settable via FRACDRAM_TELEMETRY).
  */
 
 #include <cstdio>
@@ -40,6 +42,7 @@
 #include "puf/puf.hh"
 #include "sim/chip.hh"
 #include "softmc/controller.hh"
+#include "telemetry/report.hh"
 #include "trng/quac_trng.hh"
 
 using namespace fracdram;
@@ -54,7 +57,8 @@ struct Options
     int fracs = 5;
     int challenges = 8;
     std::size_t bits = 256;
-    unsigned threads = 0; //!< 0 = auto (env var / hardware)
+    unsigned threads = 0;     //!< 0 = auto (env var / hardware)
+    std::string telemetryOut; //!< run-report directory ("" = env)
 };
 
 sim::DramGroup
@@ -89,6 +93,8 @@ parseOptions(int argc, char **argv, int first)
         else if (arg == "--threads")
             opt.threads = static_cast<unsigned>(
                 std::strtoul(next().c_str(), nullptr, 10));
+        else if (arg == "--telemetry-out")
+            opt.telemetryOut = next();
         else
             fatal("unknown option '%s'", arg.c_str());
     }
@@ -332,7 +338,9 @@ usage()
         "decoder\n"
         "options:  --group A..N  --serial N  --fracs N  "
         "--challenges N  --bits N  --threads N (0 = auto; also "
-        "FRACDRAM_THREADS)");
+        "FRACDRAM_THREADS)\n"
+        "          --telemetry-out DIR (write metrics.json / "
+        "metrics.csv / trace.json; also FRACDRAM_TELEMETRY)");
 }
 
 } // namespace
@@ -348,6 +356,7 @@ main(int argc, char **argv)
     const std::string cmd = argv[1];
     const Options opt = parseOptions(argc, argv, 2);
     parallel::setThreads(opt.threads);
+    telemetry::RunScope telem("fracdram_" + cmd, opt.telemetryOut);
     if (cmd == "info")
         return cmdInfo();
     if (cmd == "capability")
