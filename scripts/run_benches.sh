@@ -20,6 +20,15 @@
 # bench_timing and bench_kernels are skipped: they are
 # google-benchmark microbenchmark harnesses with their own timing
 # loops, not fixed-work drivers.
+#
+# The serving pair (fracdram_serve + fracdram_loadgen) is recorded as
+# the "bench_service" entry: the daemon is started on an ephemeral
+# port, a loadgen burst is timed, and the loadgen summary (req/s,
+# p50/p95/p99 latency) is embedded in the record's "loadgen" field.
+#
+# Any bench that exits non-zero (or a daemon that fails to shut down
+# cleanly) makes this script exit non-zero after writing the JSON, so
+# CI cannot mistake a partial BENCH file for a healthy run.
 
 set -euo pipefail
 
@@ -88,6 +97,7 @@ declare -A extra_args=(
 )
 
 records=()
+failures=0
 for bin in "${bench_dir}"/bench_*; do
     [[ -x "${bin}" ]] || continue
     name="$(basename "${bin}")"
@@ -100,26 +110,77 @@ for bin in "${bench_dir}"/bench_*; do
     args="${extra_args[${name}]:-}"
     echo "timing ${name} ${args} (threads=${threads})" >&2
 
+    rc=0
     if [[ "${have_python}" -eq 1 ]]; then
         # shellcheck disable=SC2086
         read -r seconds rss_kib rc < <(measure "${bin}" ${args})
-        [[ "${rc}" -eq 0 ]] || {
-            echo "warning: ${name} exited non-zero; recording anyway" >&2
-        }
     else
         start=$(date +%s.%N)
         # shellcheck disable=SC2086
-        "${bin}" ${args} > /dev/null || {
-            echo "warning: ${name} exited non-zero; recording anyway" >&2
-        }
+        "${bin}" ${args} > /dev/null || rc=$?
         end=$(date +%s.%N)
         seconds=$(awk -v a="${start}" -v b="${end}" \
             'BEGIN { printf "%.3f", b - a }')
         rss_kib=0
     fi
+    if [[ "${rc}" -ne 0 ]]; then
+        echo "error: ${name} exited with ${rc}" >&2
+        failures=$((failures + 1))
+    fi
 
-    records+=("  {\"bench\": \"${name}\", \"seconds\": ${seconds}, \"peak_rss_kib\": ${rss_kib}, \"threads\": ${threads}}")
+    records+=("  {\"bench\": \"${name}\", \"seconds\": ${seconds}, \"peak_rss_kib\": ${rss_kib}, \"threads\": ${threads}, \"exit_code\": ${rc}}")
 done
+
+# The serving pair: daemon on an ephemeral port + a timed loadgen
+# burst, recorded as one first-class bench entry.
+serve_bin="${build_dir}/tools/fracdram_serve"
+loadgen_bin="${build_dir}/tools/fracdram_loadgen"
+if [[ -x "${serve_bin}" && -x "${loadgen_bin}" ]] &&
+    { [[ -z "${filter}" ]] || grep -qE "${filter}" <<< "bench_service"; }; then
+    echo "timing bench_service (serve + loadgen)" >&2
+    port_file="$(mktemp)" loadgen_json="$(mktemp)"
+    rm -f "${port_file}"
+    "${serve_bin}" --port 0 --shards 4 --port-file "${port_file}" \
+        --quiet > /dev/null 2>&1 &
+    serve_pid=$!
+    for _ in $(seq 1 100); do
+        [[ -s "${port_file}" ]] && break
+        sleep 0.1
+    done
+    if [[ ! -s "${port_file}" ]]; then
+        echo "error: fracdram_serve never published its port" >&2
+        kill "${serve_pid}" 2> /dev/null || true
+        failures=$((failures + 1))
+    else
+        port="$(cat "${port_file}")"
+        rc=0
+        if [[ "${have_python}" -eq 1 ]]; then
+            read -r seconds rss_kib rc < <(measure "${loadgen_bin}" \
+                --port "${port}" --conns 4 --window 16 --duration 4 \
+                --bytes 32 --warmup-ms 500 --json-out "${loadgen_json}")
+        else
+            start=$(date +%s.%N)
+            "${loadgen_bin}" --port "${port}" --conns 4 --window 16 \
+                --duration 4 --bytes 32 --warmup-ms 500 \
+                --json-out "${loadgen_json}" > /dev/null || rc=$?
+            end=$(date +%s.%N)
+            seconds=$(awk -v a="${start}" -v b="${end}" \
+                'BEGIN { printf "%.3f", b - a }')
+            rss_kib=0
+        fi
+        kill -TERM "${serve_pid}" 2> /dev/null || true
+        serve_rc=0
+        wait "${serve_pid}" || serve_rc=$?
+        if [[ "${rc}" -ne 0 || "${serve_rc}" -ne 0 ]]; then
+            echo "error: bench_service failed (loadgen=${rc}, serve=${serve_rc})" >&2
+            failures=$((failures + 1))
+        fi
+        loadgen_summary="null"
+        [[ -s "${loadgen_json}" ]] && loadgen_summary="$(cat "${loadgen_json}")"
+        records+=("  {\"bench\": \"bench_service\", \"seconds\": ${seconds}, \"peak_rss_kib\": ${rss_kib}, \"threads\": ${threads}, \"exit_code\": ${rc}, \"loadgen\": ${loadgen_summary}}")
+    fi
+    rm -f "${port_file}" "${loadgen_json}"
+fi
 
 if [[ ${#records[@]} -eq 0 ]]; then
     echo "error: no benches matched (filter: '${filter:-<none>}')" >&2
@@ -137,3 +198,8 @@ fi
 } > "${out}"
 
 echo "wrote ${out} (${#records[@]} benches, threads=${threads})" >&2
+
+if [[ "${failures}" -gt 0 ]]; then
+    echo "error: ${failures} bench(es) failed" >&2
+    exit 1
+fi

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Process-level smoke test of the serving pair, wired into ctest as
+# "smoke_service" (and run under the tsan preset):
+#
+#   1. start fracdram_serve on an ephemeral port (2 small shards),
+#   2. fire a 2-second fracdram_loadgen burst and require zero
+#      transport errors,
+#   3. ask for HEALTH and check the daemon reports itself ok,
+#   4. SIGTERM the daemon and require a clean (exit 0) shutdown with
+#      the "clean shutdown" marker in its log.
+#
+# Usage: smoke_service.sh <fracdram_serve> <fracdram_loadgen>
+
+set -euo pipefail
+
+serve_bin="${1:?usage: smoke_service.sh <serve_bin> <loadgen_bin>}"
+loadgen_bin="${2:?usage: smoke_service.sh <serve_bin> <loadgen_bin>}"
+
+workdir="$(mktemp -d)"
+serve_pid=""
+cleanup() {
+    [[ -n "${serve_pid}" ]] && kill "${serve_pid}" 2> /dev/null || true
+    rm -rf "${workdir}"
+}
+trap cleanup EXIT
+
+port_file="${workdir}/port"
+serve_log="${workdir}/serve.log"
+loadgen_json="${workdir}/loadgen.json"
+
+"${serve_bin}" --port 0 --shards 2 --cols 512 \
+    --port-file "${port_file}" > "${serve_log}" 2>&1 &
+serve_pid=$!
+
+for _ in $(seq 1 100); do
+    [[ -s "${port_file}" ]] && break
+    kill -0 "${serve_pid}" 2> /dev/null || {
+        echo "FAIL: daemon died during startup" >&2
+        cat "${serve_log}" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[[ -s "${port_file}" ]] || {
+    echo "FAIL: daemon never published its port" >&2
+    cat "${serve_log}" >&2
+    exit 1
+}
+port="$(cat "${port_file}")"
+echo "daemon up on port ${port} (pid ${serve_pid})" >&2
+
+# 2-second burst; the loadgen exits non-zero on any transport error.
+"${loadgen_bin}" --port "${port}" --conns 2 --window 8 --duration 2 \
+    --bytes 32 --warmup-ms 200 --json-out "${loadgen_json}" || {
+    echo "FAIL: loadgen reported errors" >&2
+    exit 1
+}
+grep -q '"errors": 0' "${loadgen_json}" || {
+    echo "FAIL: loadgen summary has errors:" >&2
+    cat "${loadgen_json}" >&2
+    exit 1
+}
+echo "loadgen summary: $(cat "${loadgen_json}")" >&2
+
+# The daemon must still answer HEALTH after the burst.
+health="$("${loadgen_bin}" --port "${port}" --check-health)"
+grep -q '"status": "ok"' <<< "${health}" || {
+    echo "FAIL: unexpected HEALTH: ${health}" >&2
+    exit 1
+}
+
+kill -TERM "${serve_pid}"
+rc=0
+wait "${serve_pid}" || rc=$?
+serve_pid=""
+if [[ "${rc}" -ne 0 ]]; then
+    echo "FAIL: daemon exited ${rc} on SIGTERM" >&2
+    cat "${serve_log}" >&2
+    exit 1
+fi
+grep -q "clean shutdown" "${serve_log}" || {
+    echo "FAIL: no clean-shutdown marker in daemon log" >&2
+    cat "${serve_log}" >&2
+    exit 1
+}
+echo "PASS: smoke_service" >&2

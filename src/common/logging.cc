@@ -3,7 +3,10 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 namespace fracdram
@@ -12,8 +15,53 @@ namespace fracdram
 namespace
 {
 // Atomic so parallel trial workers can consult it without racing a
-// driver's setVerbose() call.
-std::atomic<bool> verboseFlag{true};
+// driver's setLogLevel()/setVerbose() call.
+std::atomic<int> programLevel{static_cast<int>(LogLevel::Info)};
+
+/**
+ * FRACDRAM_LOG_LEVEL, parsed once on first use. Unset or
+ * unrecognized values mean "no override".
+ */
+const std::optional<LogLevel> &
+envLevel()
+{
+    static const std::optional<LogLevel> level =
+        []() -> std::optional<LogLevel> {
+        const char *env = std::getenv("FRACDRAM_LOG_LEVEL");
+        if (env == nullptr)
+            return std::nullopt;
+        if (std::strcmp(env, "error") == 0 ||
+            std::strcmp(env, "quiet") == 0)
+            return LogLevel::Error;
+        if (std::strcmp(env, "warn") == 0)
+            return LogLevel::Warn;
+        if (std::strcmp(env, "info") == 0)
+            return LogLevel::Info;
+        if (std::strcmp(env, "debug") == 0)
+            return LogLevel::Debug;
+        return std::nullopt;
+    }();
+    return level;
+}
+
+bool
+levelEnabled(LogLevel level)
+{
+    return static_cast<int>(level) <= static_cast<int>(logLevel());
+}
+
+/**
+ * Small stable per-thread id for log attribution (T1 = first thread
+ * that logged, usually main). Thread ids from the OS are recycled
+ * and unwieldy; a dense counter reads better in daemon logs.
+ */
+unsigned
+threadLogId()
+{
+    static std::atomic<unsigned> nextId{0};
+    thread_local const unsigned id = ++nextId;
+    return id;
+}
 
 // One writer lock for every stderr line. Each message is formatted
 // into a single buffer first and written with one stdio call under
@@ -30,8 +78,21 @@ writerMutex()
 void
 logLine(const char *prefix, const std::string &msg)
 {
+    // ISO-8601 UTC with milliseconds.
+    timespec ts{};
+    clock_gettime(CLOCK_REALTIME, &ts);
+    tm utc{};
+    gmtime_r(&ts.tv_sec, &utc);
+    char stamp[40];
+    const std::size_t n =
+        strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%S", &utc);
+    std::snprintf(stamp + n, sizeof(stamp) - n, ".%03ldZ",
+                  ts.tv_nsec / 1000000);
+
     std::string line;
-    line.reserve(msg.size() + 16);
+    line.reserve(msg.size() + 48);
+    line += stamp;
+    line += strprintf(" [T%u] ", threadLogId());
     if (prefix != nullptr && prefix[0] != '\0') {
         line += prefix;
         line += ": ";
@@ -91,7 +152,7 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
 void
 warnImpl(const char *fmt, ...)
 {
-    if (!verboseFlag.load(std::memory_order_relaxed))
+    if (!levelEnabled(LogLevel::Warn))
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -103,7 +164,7 @@ warnImpl(const char *fmt, ...)
 void
 informImpl(const char *fmt, ...)
 {
-    if (!verboseFlag.load(std::memory_order_relaxed))
+    if (!levelEnabled(LogLevel::Info))
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -113,15 +174,43 @@ informImpl(const char *fmt, ...)
 }
 
 void
+debugImpl(const char *fmt, ...)
+{
+    if (!levelEnabled(LogLevel::Debug))
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    logLine("debug", msg);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    programLevel.store(static_cast<int>(level),
+                       std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    if (envLevel().has_value())
+        return *envLevel();
+    return static_cast<LogLevel>(
+        programLevel.load(std::memory_order_relaxed));
+}
+
+void
 setVerbose(bool verbose)
 {
-    verboseFlag.store(verbose, std::memory_order_relaxed);
+    setLogLevel(verbose ? LogLevel::Info : LogLevel::Error);
 }
 
 bool
 verbose()
 {
-    return verboseFlag.load(std::memory_order_relaxed);
+    return logLevel() >= LogLevel::Info;
 }
 
 } // namespace fracdram

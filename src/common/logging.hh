@@ -33,15 +33,45 @@ void warnImpl(const char *fmt, ...)
 void informImpl(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+void debugImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
 /**
- * Write one complete line ("prefix: msg\n") to stderr under the
- * process-wide writer lock. All logging helpers route through this,
- * so multi-threaded output never interleaves mid-line; telemetry's
- * human-readable summary uses the same writer.
+ * Write one complete line to stderr under the process-wide writer
+ * lock, prefixed with an ISO-8601 UTC timestamp and a small stable
+ * thread id:
+ *
+ *     2026-08-05T12:34:56.789Z [T2] warn: msg
+ *
+ * All logging helpers route through this, so multi-threaded output
+ * never interleaves mid-line and long-running daemon logs stay
+ * attributable; telemetry's human-readable summary uses the same
+ * writer.
  */
 void logLine(const char *prefix, const std::string &msg);
 
-/** Toggle warn()/inform() output (benches silence chatter). */
+/**
+ * Severity filter for warn()/inform()/debug_log() (panic/fatal always
+ * print). The FRACDRAM_LOG_LEVEL environment variable - one of
+ * "error" (or "quiet"), "warn", "info", "debug" - overrides whatever
+ * the program sets, so a daemon's verbosity can be turned up without
+ * a rebuild or flag.
+ */
+enum class LogLevel
+{
+    Error = 0, //!< only panic/fatal output
+    Warn,
+    Info, //!< default
+    Debug,
+};
+
+/** Programmatic filter (loses against FRACDRAM_LOG_LEVEL). */
+void setLogLevel(LogLevel level);
+
+/** The effective filter (env override applied). */
+LogLevel logLevel();
+
+/** Legacy toggle: false maps to Error, true to Info. */
 void setVerbose(bool verbose);
 
 /** @return whether warn()/inform() currently print. */
@@ -55,6 +85,7 @@ bool verbose();
     ::fracdram::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
 #define warn(...) ::fracdram::warnImpl(__VA_ARGS__)
 #define inform(...) ::fracdram::informImpl(__VA_ARGS__)
+#define debug_log(...) ::fracdram::debugImpl(__VA_ARGS__)
 
 /** Assert an invariant with a formatted message on failure. */
 #define panic_if(cond, ...)                                               \

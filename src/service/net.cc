@@ -1,0 +1,165 @@
+#include "service/net.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace fracdram::service
+{
+
+namespace
+{
+
+bool
+fail(std::string *err, const char *what)
+{
+    if (err != nullptr)
+        *err = strprintf("%s: %s", what, std::strerror(errno));
+    return false;
+}
+
+} // namespace
+
+int
+listenTcp(std::uint16_t port, std::string *err)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        fail(err, "socket");
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        fail(err, "bind");
+        closeFd(fd);
+        return -1;
+    }
+    if (::listen(fd, 128) != 0) {
+        fail(err, "listen");
+        closeFd(fd);
+        return -1;
+    }
+    return fd;
+}
+
+std::uint16_t
+boundPort(int fd)
+{
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        return 0;
+    return ntohs(addr.sin_port);
+}
+
+int
+connectTcp(const std::string &host, std::uint16_t port,
+           std::string *err)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        fail(err, "socket");
+        return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        if (err != nullptr)
+            *err = strprintf("bad host address '%s'", host.c_str());
+        closeFd(fd);
+        return -1;
+    }
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        fail(err, "connect");
+        closeFd(fd);
+        return -1;
+    }
+    setNoDelay(fd);
+    return fd;
+}
+
+void
+setNoDelay(int fd)
+{
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+int
+waitReadable(int fd, int timeout_ms)
+{
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    int rc;
+    do {
+        rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0)
+        return -1;
+    if (rc == 0)
+        return 0;
+    if ((pfd.revents & (POLLERR | POLLNVAL)) != 0)
+        return -1;
+    // POLLHUP with pending bytes still reads; let read() see EOF.
+    return 1;
+}
+
+bool
+writeAll(int fd, const void *data, std::size_t len, std::string *err)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    while (len > 0) {
+        // send + MSG_NOSIGNAL instead of write: a peer that hung up
+        // must surface as EPIPE, not kill the process with SIGPIPE.
+        const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return fail(err, "write");
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+long
+readSome(int fd, void *buf, std::size_t len)
+{
+    ssize_t n;
+    do {
+        n = ::read(fd, buf, len);
+    } while (n < 0 && errno == EINTR);
+    return n;
+}
+
+void
+closeFd(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+} // namespace fracdram::service

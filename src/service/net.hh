@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Thin POSIX socket helpers shared by the server, the client library
+ * and the load generator: loopback listen/connect, partial-write-safe
+ * writeAll, EINTR-safe reads, and poll-based readiness waits. All
+ * functions report errors through an out-parameter string instead of
+ * errno so call sites can log one coherent line.
+ */
+
+#ifndef FRACDRAM_SERVICE_NET_HH
+#define FRACDRAM_SERVICE_NET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fracdram::service
+{
+
+/**
+ * Bind and listen on 127.0.0.1:@p port (port 0 picks an ephemeral
+ * port; read it back with boundPort()).
+ * @return the listening fd, or -1 with @p err set
+ */
+int listenTcp(std::uint16_t port, std::string *err);
+
+/** Port a bound socket ended up on (0 on failure). */
+std::uint16_t boundPort(int fd);
+
+/**
+ * Blocking connect to @p host:@p port.
+ * @return the connected fd, or -1 with @p err set
+ */
+int connectTcp(const std::string &host, std::uint16_t port,
+               std::string *err);
+
+/** Disable Nagle (small request/response frames). */
+void setNoDelay(int fd);
+
+/**
+ * Wait until @p fd is readable.
+ * @return 1 readable, 0 timeout, -1 error/hangup
+ */
+int waitReadable(int fd, int timeout_ms);
+
+/** Write all @p len bytes (loops over partial writes and EINTR). */
+bool writeAll(int fd, const void *data, std::size_t len,
+              std::string *err);
+
+/**
+ * One read(2), retrying EINTR.
+ * @return bytes read, 0 on EOF, -1 on error
+ */
+long readSome(int fd, void *buf, std::size_t len);
+
+/** close(2), ignoring EINTR (idempotent on -1). */
+void closeFd(int fd);
+
+} // namespace fracdram::service
+
+#endif // FRACDRAM_SERVICE_NET_HH

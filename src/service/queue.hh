@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Bounded multi-producer single-consumer queue - the backpressure
+ * primitive of the shard pool. Producers (connection threads) never
+ * block: tryPush() fails immediately when the queue is full, which
+ * the server surfaces as BUSY. The consumer (the shard worker) pops
+ * with a timeout so it can notice shutdown, and drains whatever is
+ * left after close() so in-flight requests still get answers during
+ * a graceful drain.
+ */
+
+#ifndef FRACDRAM_SERVICE_QUEUE_HH
+#define FRACDRAM_SERVICE_QUEUE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace fracdram::service
+{
+
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity)
+    {
+    }
+
+    /** @return false when full or closed (the item is untouched). */
+    bool tryPush(T &&item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || items_.size() >= capacity_)
+                return false;
+            items_.push_back(std::move(item));
+        }
+        cv_.notify_one();
+        return true;
+    }
+
+    /**
+     * Pop one item, waiting up to @p timeout.
+     * @return false on timeout, or when closed and drained
+     */
+    bool pop(T &out, std::chrono::milliseconds timeout)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait_for(lock, timeout,
+                     [this] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        return true;
+    }
+
+    /** Pop without waiting (the batching path). */
+    bool tryPop(T &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        return true;
+    }
+
+    /** Reject further pushes and wake the consumer. */
+    void close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    bool closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    std::size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace fracdram::service
+
+#endif // FRACDRAM_SERVICE_QUEUE_HH

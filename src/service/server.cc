@@ -1,0 +1,402 @@
+#include "service/server.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <sys/socket.h>
+
+#include "common/logging.hh"
+#include "service/net.hh"
+#include "telemetry/report.hh"
+
+namespace fracdram::service
+{
+
+namespace
+{
+
+struct ConnCounters
+{
+    telemetry::CounterId accepted, rejected, rateLimited, badFrames;
+    telemetry::HistogramId writeBatch;
+
+    ConnCounters()
+    {
+        auto &m = telemetry::Metrics::instance();
+        accepted = m.counter("service.conn_accepted");
+        rejected = m.counter("service.conn_rejected");
+        rateLimited = m.counter("service.rate_limited");
+        badFrames = m.counter("service.bad_frames");
+        writeBatch = m.histogram("service.write_batch_frames");
+    }
+};
+
+const ConnCounters &
+connCounters()
+{
+    static const ConnCounters c;
+    return c;
+}
+
+/**
+ * Per-connection request rate limiter. Refills continuously, holds
+ * up to one second of burst. Single-threaded (owned by one
+ * connection thread).
+ */
+class TokenBucket
+{
+  public:
+    explicit TokenBucket(double rate_per_sec)
+        : rate_(rate_per_sec), tokens_(rate_per_sec),
+          last_(std::chrono::steady_clock::now())
+    {
+    }
+
+    bool active() const { return rate_ > 0.0; }
+
+    bool allow()
+    {
+        const auto now = std::chrono::steady_clock::now();
+        const double dt =
+            std::chrono::duration<double>(now - last_).count();
+        last_ = now;
+        tokens_ = std::min(rate_, tokens_ + dt * rate_);
+        if (tokens_ < 1.0)
+            return false;
+        tokens_ -= 1.0;
+        return true;
+    }
+
+  private:
+    double rate_;
+    double tokens_;
+    std::chrono::steady_clock::time_point last_;
+};
+
+/** A response slot that is either ready or waiting on a shard. */
+struct PendingResponse
+{
+    bool ready = false;
+    Response resp;
+    std::future<Response> future;
+};
+
+Response
+quickResponse(const Request &req, Status status, std::string text)
+{
+    Response resp;
+    resp.type = req.type;
+    resp.seq = req.seq;
+    resp.status = status;
+    resp.text = std::move(text);
+    return resp;
+}
+
+} // namespace
+
+Server::Server(const ServerConfig &cfg) : cfg_(cfg)
+{
+    fatal_if(cfg_.numShards < 1, "server needs at least one shard "
+                                 "(got %d)",
+             cfg_.numShards);
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+bool
+Server::start(std::string *err)
+{
+    panic_if(running_, "server started twice");
+    listenFd_ = listenTcp(cfg_.port, err);
+    if (listenFd_ < 0)
+        return false;
+    port_ = boundPort(listenFd_);
+    startNs_ = telemetry::nowNs();
+    shards_.reserve(static_cast<std::size_t>(cfg_.numShards));
+    for (int i = 0; i < cfg_.numShards; ++i) {
+        shards_.push_back(std::make_unique<Shard>(i, cfg_.shard));
+        shards_.back()->start();
+    }
+    acceptThread_ = std::thread(&Server::acceptLoop, this);
+    running_ = true;
+    inform("service: listening on 127.0.0.1:%u (%d shards, queue "
+           "capacity %zu, batch %zu)",
+           port_, cfg_.numShards, cfg_.shard.queueCapacity,
+           cfg_.shard.maxBatchJobs);
+    return true;
+}
+
+void
+Server::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    inform("service: draining");
+    stop_.store(true, std::memory_order_relaxed);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    closeFd(listenFd_);
+    listenFd_ = -1;
+    // Connection threads notice stop_ within one poll interval,
+    // finish their in-flight batch (shards still run) and exit.
+    joinAllConns();
+    // Now nothing can submit; serve what is queued and stop.
+    for (auto &shard : shards_)
+        shard->drainAndStop();
+    inform("service: drained (served %llu connections)",
+           static_cast<unsigned long long>(accepted_.load()));
+}
+
+std::size_t
+Server::activeConnections() const
+{
+    std::lock_guard<std::mutex> lock(connMutex_);
+    std::size_t n = 0;
+    for (const auto &c : conns_)
+        if (!c->done.load(std::memory_order_acquire))
+            ++n;
+    return n;
+}
+
+std::size_t
+Server::shardQueueDepth(int shard) const
+{
+    panic_if(shard < 0 ||
+                 shard >= static_cast<int>(shards_.size()),
+             "shard %d out of range", shard);
+    return shards_[static_cast<std::size_t>(shard)]->queueDepth();
+}
+
+void
+Server::reapFinishedConns()
+{
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+        if ((*it)->done.load(std::memory_order_acquire)) {
+            (*it)->thread.join();
+            it = conns_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Server::joinAllConns()
+{
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (auto &c : conns_) {
+        if (c->thread.joinable())
+            c->thread.join();
+    }
+    conns_.clear();
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stop_.load(std::memory_order_relaxed)) {
+        reapFinishedConns();
+        const int r = waitReadable(listenFd_, 200);
+        if (r <= 0)
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        setNoDelay(fd);
+        bool full;
+        {
+            std::lock_guard<std::mutex> lock(connMutex_);
+            full = conns_.size() >= cfg_.maxConnections;
+        }
+        if (full) {
+            // Tell the client why before hanging up.
+            Request synthetic;
+            synthetic.type = MsgType::Health;
+            const auto payload = encodeResponse(quickResponse(
+                synthetic, Status::Busy, "connection limit reached"));
+            const auto framed = frame(payload);
+            writeAll(fd, framed.data(), framed.size(), nullptr);
+            closeFd(fd);
+            ++rejected_;
+            telemetry::count(connCounters().rejected);
+            continue;
+        }
+        auto conn = std::make_unique<Conn>();
+        conn->fd = fd;
+        Conn *raw = conn.get();
+        {
+            std::lock_guard<std::mutex> lock(connMutex_);
+            conns_.push_back(std::move(conn));
+        }
+        raw->thread = std::thread(&Server::connLoop, this, raw);
+        ++accepted_;
+        telemetry::count(connCounters().accepted);
+        debug_log("service: accepted connection fd=%d", fd);
+    }
+}
+
+void
+Server::connLoop(Conn *conn)
+{
+    const auto &cc = connCounters();
+    FrameReader reader;
+    TokenBucket bucket(cfg_.rateLimitPerConn);
+    std::vector<std::uint8_t> rdbuf(64 * 1024);
+    std::vector<std::uint8_t> payload;
+    std::vector<PendingResponse> pending;
+    auto last_activity = std::chrono::steady_clock::now();
+    bool closing = false;
+
+    while (!closing && !stop_.load(std::memory_order_relaxed)) {
+        const int r = waitReadable(conn->fd, 200);
+        if (r < 0)
+            break;
+        if (r == 0) {
+            const auto idle = std::chrono::duration_cast<
+                                  std::chrono::milliseconds>(
+                                  std::chrono::steady_clock::now() -
+                                  last_activity)
+                                  .count();
+            if (cfg_.idleTimeoutMs > 0 && idle >= cfg_.idleTimeoutMs)
+                break;
+            continue;
+        }
+        const long n = readSome(conn->fd, rdbuf.data(), rdbuf.size());
+        if (n <= 0)
+            break;
+        last_activity = std::chrono::steady_clock::now();
+        reader.feed(rdbuf.data(), static_cast<std::size_t>(n));
+
+        pending.clear();
+        while (reader.next(payload)) {
+            Request req;
+            std::string err;
+            if (!decodeRequest(payload.data(), payload.size(), req,
+                               &err)) {
+                // Undecodable frame: answer, then hang up - the
+                // stream cannot be trusted to stay aligned.
+                telemetry::count(cc.badFrames);
+                Request synthetic;
+                synthetic.type = MsgType::Health;
+                if (payload.size() >= 4)
+                    synthetic.seq = static_cast<std::uint16_t>(
+                        payload[2] | (payload[3] << 8));
+                pending.push_back(
+                    {true,
+                     quickResponse(synthetic, Status::Error, err),
+                     {}});
+                closing = true;
+                break;
+            }
+            if (req.type == MsgType::Health) {
+                pending.push_back(
+                    {true,
+                     quickResponse(req, Status::Ok, healthJson()),
+                     {}});
+                continue;
+            }
+            if (req.type == MsgType::Stats) {
+                pending.push_back(
+                    {true, quickResponse(req, Status::Ok, statsJson()),
+                     {}});
+                continue;
+            }
+            if (bucket.active() && !bucket.allow()) {
+                telemetry::count(cc.rateLimited);
+                pending.push_back(
+                    {true,
+                     quickResponse(req, Status::RateLimited,
+                                   "per-connection rate limit"),
+                     {}});
+                continue;
+            }
+            const std::size_t shard_idx =
+                req.type == MsgType::GetEntropy
+                    ? rr_.fetch_add(1, std::memory_order_relaxed) %
+                          shards_.size()
+                    : req.device % shards_.size();
+            Job job;
+            job.req = req;
+            std::future<Response> fut = job.done.get_future();
+            if (!shards_[shard_idx]->submit(std::move(job))) {
+                pending.push_back(
+                    {true,
+                     quickResponse(req, Status::Busy,
+                                   "shard queue full"),
+                     {}});
+                continue;
+            }
+            PendingResponse p;
+            p.future = std::move(fut);
+            pending.push_back(std::move(p));
+        }
+        if (!reader.error().empty()) {
+            telemetry::count(cc.badFrames);
+            Request synthetic;
+            synthetic.type = MsgType::Health;
+            pending.push_back(
+                {true,
+                 quickResponse(synthetic, Status::Error,
+                               reader.error()),
+                 {}});
+            closing = true;
+        }
+        if (pending.empty())
+            continue;
+
+        // One write per batch, responses in request order.
+        telemetry::observe(cc.writeBatch, pending.size());
+        std::vector<std::uint8_t> out;
+        for (auto &p : pending) {
+            const Response resp =
+                p.ready ? std::move(p.resp) : p.future.get();
+            const auto pl = encodeResponse(resp);
+            const auto framed = frame(pl);
+            out.insert(out.end(), framed.begin(), framed.end());
+        }
+        if (!writeAll(conn->fd, out.data(), out.size(), nullptr))
+            break;
+    }
+    debug_log("service: closing connection fd=%d", conn->fd);
+    closeFd(conn->fd);
+    conn->fd = -1;
+    conn->done.store(true, std::memory_order_release);
+}
+
+std::string
+Server::healthJson() const
+{
+    std::string depths;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        if (i > 0)
+            depths += ", ";
+        depths += std::to_string(shards_[i]->queueDepth());
+    }
+    const double uptime_s =
+        static_cast<double>(telemetry::nowNs() - startNs_) * 1e-9;
+    return strprintf(
+        "{\"status\": \"%s\", \"shards\": %zu, \"uptime_s\": %.3f, "
+        "\"connections\": %zu, \"accepted\": %llu, "
+        "\"rejected\": %llu, \"queue_depths\": [%s], "
+        "\"queue_capacity\": %zu}",
+        stop_.load(std::memory_order_relaxed) ? "draining" : "ok",
+        shards_.size(), uptime_s, activeConnections(),
+        static_cast<unsigned long long>(accepted_.load()),
+        static_cast<unsigned long long>(rejected_.load()),
+        depths.c_str(), cfg_.shard.queueCapacity);
+}
+
+std::string
+Server::statsJson() const
+{
+    if (!telemetry::enabled())
+        return "{\"telemetry\": \"disabled\"}";
+    return telemetry::renderMetricsJson(
+        telemetry::Metrics::instance().snapshot());
+}
+
+} // namespace fracdram::service

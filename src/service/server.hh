@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The FracDRAM serving daemon core: a loopback TCP listener in front
+ * of a pool of device shards (see shard.hh).
+ *
+ * Threading model:
+ *   - one accept thread (also reaps finished connection threads),
+ *   - one thread per live connection (bounded by maxConnections;
+ *     excess connections get a BUSY frame and are closed),
+ *   - one worker thread per shard.
+ *
+ * Connection threads parse every complete frame out of each read,
+ * dispatch the shardable ones (entropy round-robins over shards, PUF
+ * routes by device id so enrollments stay on their module), answer
+ * HEALTH/STATS inline, and then write all responses of the batch in
+ * request order with a single write call - so a pipelining client
+ * pays the syscall and wakeup cost once per batch, not once per
+ * request.
+ *
+ * Backpressure is end-to-end: shard queues are bounded (full -> BUSY
+ * response immediately), per-connection token buckets cap the
+ * request rate (-> RATE_LIMITED), idle connections are closed after
+ * idleTimeoutMs. stop() drains gracefully: no new connections, every
+ * queued job is still answered, then shards stop.
+ */
+
+#ifndef FRACDRAM_SERVICE_SERVER_HH
+#define FRACDRAM_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/shard.hh"
+
+namespace fracdram::service
+{
+
+struct ServerConfig
+{
+    std::uint16_t port = 0; //!< 0 = pick an ephemeral port
+    int numShards = 4;
+    ShardConfig shard;
+    std::size_t maxConnections = 64;
+    double rateLimitPerConn = 0.0; //!< requests/s per conn; 0 = off
+    int idleTimeoutMs = 60000;
+};
+
+class Server
+{
+  public:
+    explicit Server(const ServerConfig &cfg);
+    ~Server();
+
+    /**
+     * Bind, start the shard pool and the accept loop.
+     * @return false with @p err set when the listen socket fails
+     */
+    bool start(std::string *err);
+
+    /** Port actually bound (valid after start()). */
+    std::uint16_t port() const { return port_; }
+
+    /** Graceful drain; idempotent, called by the destructor too. */
+    void stop();
+
+    bool running() const { return running_; }
+
+    /** @name Introspection (tests, HEALTH handler) */
+    /// @{
+    std::size_t activeConnections() const;
+    std::uint64_t acceptedConnections() const { return accepted_; }
+    std::uint64_t rejectedConnections() const { return rejected_; }
+    std::size_t shardQueueDepth(int shard) const;
+    const ServerConfig &config() const { return cfg_; }
+    /// @}
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    void acceptLoop();
+    void connLoop(Conn *conn);
+    void reapFinishedConns();
+    void joinAllConns();
+    std::string healthJson() const;
+    std::string statsJson() const;
+
+    const ServerConfig cfg_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread acceptThread_;
+    std::atomic<bool> stop_{false};
+    bool running_ = false;
+    std::atomic<std::uint64_t> rr_{0}; //!< entropy round-robin
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+    std::uint64_t startNs_ = 0;
+
+    mutable std::mutex connMutex_;
+    std::list<std::unique_ptr<Conn>> conns_;
+};
+
+} // namespace fracdram::service
+
+#endif // FRACDRAM_SERVICE_SERVER_HH

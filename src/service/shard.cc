@@ -1,0 +1,314 @@
+#include "service/shard.hh"
+
+#include <chrono>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/sha256.hh"
+#include "puf/puf.hh"
+#include "sim/chip.hh"
+#include "softmc/controller.hh"
+#include "trng/quac_trng.hh"
+
+namespace fracdram::service
+{
+
+namespace
+{
+
+/** Pool-wide counters (shard-indexed metrics are interned per shard). */
+struct ServiceCounters
+{
+    telemetry::CounterId jobs, entropyBytes, rawBits, reseeds,
+        pufEvals, busy;
+    telemetry::HistogramId batchBits, queueWaitNs, reseedNs;
+
+    ServiceCounters()
+    {
+        auto &m = telemetry::Metrics::instance();
+        jobs = m.counter("service.jobs");
+        entropyBytes = m.counter("service.entropy_bytes");
+        rawBits = m.counter("service.raw_bits");
+        reseeds = m.counter("service.reseeds");
+        pufEvals = m.counter("service.puf_evals");
+        busy = m.counter("service.busy");
+        batchBits = m.histogram("service.batch_bits");
+        queueWaitNs = m.histogram("service.queue_wait_ns");
+        reseedNs = m.histogram("service.reseed_ns");
+    }
+};
+
+const ServiceCounters &
+counters()
+{
+    static const ServiceCounters c;
+    return c;
+}
+
+/** Per-request ceiling on raw-mode entropy: one raw request costs
+ *  real QUAC sampling time (~microseconds per bit), so large raw
+ *  asks would capture a shard for seconds. */
+constexpr std::size_t kMaxRawBytes = 4096;
+
+} // namespace
+
+Shard::Shard(int index, const ShardConfig &cfg)
+    : index_(index), cfg_(cfg), queue_(cfg.queueCapacity)
+{
+    auto &m = telemetry::Metrics::instance();
+    queueDepthGauge_ =
+        m.gauge(strprintf("service.shard%d.queue_depth", index));
+    batchJobsHist_ =
+        m.histogram(strprintf("service.shard%d.batch_jobs", index));
+}
+
+Shard::~Shard()
+{
+    drainAndStop();
+}
+
+void
+Shard::start()
+{
+    panic_if(started_, "shard %d started twice", index_);
+    started_ = true;
+    worker_ = std::thread(&Shard::run, this);
+}
+
+void
+Shard::drainAndStop()
+{
+    if (!started_ || stopped_)
+        return;
+    stopped_ = true;
+    queue_.close();
+    worker_.join();
+}
+
+bool
+Shard::submit(Job &&job)
+{
+    if (telemetry::enabled())
+        job.enqueueNs = telemetry::nowNs();
+    if (!queue_.tryPush(std::move(job))) {
+        telemetry::count(counters().busy);
+        return false;
+    }
+    telemetry::setGauge(queueDepthGauge_,
+                        static_cast<std::int64_t>(queue_.size()));
+    return true;
+}
+
+void
+Shard::run()
+{
+    // Build the device here so every byte of device state is born on
+    // the worker thread and never touched by anyone else.
+    sim::DramParams params = sim::isDdr4(cfg_.group)
+                                 ? sim::DramParams::ddr4()
+                                 : sim::DramParams{};
+    params.colsPerRow = cfg_.colsPerRow;
+    chip_ = std::make_unique<sim::DramChip>(
+        cfg_.group, cfg_.serialBase + static_cast<std::uint64_t>(index_),
+        params);
+    mc_ = std::make_unique<softmc::MemoryController>(*chip_, false);
+    trng_ = std::make_unique<trng::QuacTrng>(*mc_);
+    puf_ = std::make_unique<puf::FracPuf>(*mc_, cfg_.numFracs);
+    reseed();
+
+    std::vector<Job> batch;
+    Job job;
+    using namespace std::chrono_literals;
+    while (true) {
+        if (!queue_.pop(job, 200ms)) {
+            if (queue_.closed())
+                break; // closed *and* drained
+            continue;
+        }
+        batch.clear();
+        batch.push_back(std::move(job));
+        while (batch.size() < cfg_.maxBatchJobs && queue_.tryPop(job))
+            batch.push_back(std::move(job));
+        telemetry::setGauge(queueDepthGauge_,
+                            static_cast<std::int64_t>(queue_.size()));
+        telemetry::observe(batchJobsHist_, batch.size());
+        process(batch);
+    }
+    telemetry::setGauge(queueDepthGauge_, 0);
+}
+
+Response
+Shard::entropyError(const Request &req) const
+{
+    Response resp;
+    resp.type = req.type;
+    resp.seq = req.seq;
+    resp.status = Status::Error;
+    const bool raw = (req.flags & kFlagRawEntropy) != 0;
+    const std::size_t limit =
+        raw ? kMaxRawBytes : cfg_.maxEntropyBytes;
+    resp.text = strprintf("entropy request of %u bytes exceeds the "
+                          "%zu-byte limit",
+                          req.nBytes, limit);
+    return resp;
+}
+
+void
+Shard::process(std::vector<Job> &batch)
+{
+    const auto &sc = counters();
+    const bool telem = telemetry::enabled();
+    const std::uint64_t now = telem ? telemetry::nowNs() : 0;
+
+    // First pass: classify, validate, and sum the entropy demand so
+    // all conditioned requests share one pool refill and all raw
+    // requests share one generate() call.
+    std::size_t cond_bytes = 0, raw_bits = 0;
+    for (const Job &j : batch) {
+        if (telem && j.enqueueNs != 0)
+            telemetry::observe(sc.queueWaitNs, now - j.enqueueNs);
+        if (j.req.type != MsgType::GetEntropy)
+            continue;
+        const bool raw = (j.req.flags & kFlagRawEntropy) != 0;
+        if (raw && j.req.nBytes <= kMaxRawBytes)
+            raw_bits += std::size_t{j.req.nBytes} * 8;
+        else if (!raw && j.req.nBytes <= cfg_.maxEntropyBytes)
+            cond_bytes += j.req.nBytes;
+    }
+    if (telem)
+        telemetry::observe(sc.batchBits,
+                           cond_bytes * 8 + raw_bits);
+
+    if (cond_bytes > 0)
+        refillPool(cond_bytes);
+    std::vector<std::uint8_t> raw_bytes;
+    if (raw_bits > 0) {
+        raw_bytes = packBits(trng_->generate(raw_bits));
+        telemetry::count(sc.rawBits, raw_bits);
+    }
+    std::size_t raw_pos = 0;
+
+    for (Job &j : batch) {
+        telemetry::count(sc.jobs);
+        Response resp;
+        resp.type = j.req.type;
+        resp.seq = j.req.seq;
+        switch (j.req.type) {
+        case MsgType::GetEntropy: {
+            const bool raw = (j.req.flags & kFlagRawEntropy) != 0;
+            const std::size_t n = j.req.nBytes;
+            if ((raw && n > kMaxRawBytes) ||
+                (!raw && n > cfg_.maxEntropyBytes)) {
+                resp = entropyError(j.req);
+                break;
+            }
+            if (raw) {
+                resp.data.assign(raw_bytes.begin() +
+                                     static_cast<std::ptrdiff_t>(raw_pos),
+                                 raw_bytes.begin() +
+                                     static_cast<std::ptrdiff_t>(raw_pos + n));
+                raw_pos += n;
+            } else {
+                resp.data.assign(
+                    pool_.begin() + static_cast<std::ptrdiff_t>(poolPos_),
+                    pool_.begin() +
+                        static_cast<std::ptrdiff_t>(poolPos_ + n));
+                poolPos_ += n;
+            }
+            telemetry::count(sc.entropyBytes, n);
+            break;
+        }
+        case MsgType::PufEnroll:
+        case MsgType::PufResponse:
+            resp = handlePuf(j.req);
+            break;
+        case MsgType::Health:
+        case MsgType::Stats:
+            // The server answers these inline; a shard seeing one is
+            // a dispatch bug, not a client error.
+            resp.status = Status::Error;
+            resp.text = "internal: request not shardable";
+            break;
+        }
+        j.done.set_value(std::move(resp));
+    }
+}
+
+Response
+Shard::handlePuf(const Request &req)
+{
+    Response resp;
+    resp.type = req.type;
+    resp.seq = req.seq;
+    const auto &params = chip_->dramParams();
+    if (req.bank >= params.numBanks ||
+        req.row >= params.rowsPerBank()) {
+        resp.status = Status::Error;
+        resp.text = strprintf("challenge (bank %u, row %u) outside "
+                              "the %u x %u module",
+                              req.bank, req.row, params.numBanks,
+                              params.rowsPerBank());
+        return resp;
+    }
+    telemetry::count(counters().pufEvals);
+    const puf::Challenge ch{req.bank, req.row};
+    resp.bits = puf_->evaluate(ch);
+    const auto key = std::make_tuple(req.device, req.bank, req.row);
+    if (req.type == MsgType::PufEnroll) {
+        enrolled_[key] = resp.bits;
+        resp.hamming = 0;
+    } else {
+        const auto it = enrolled_.find(key);
+        resp.hamming =
+            (it != enrolled_.end() &&
+             it->second.size() == resp.bits.size())
+                ? static_cast<std::uint32_t>(
+                      resp.bits.hammingDistance(it->second))
+                : kNoHamming;
+    }
+    return resp;
+}
+
+void
+Shard::refillPool(std::size_t need_bytes)
+{
+    std::size_t avail = pool_.size() - poolPos_;
+    if (avail >= need_bytes)
+        return;
+    // Compact the consumed prefix, then append DRBG blocks.
+    pool_.erase(pool_.begin(),
+                pool_.begin() + static_cast<std::ptrdiff_t>(poolPos_));
+    poolPos_ = 0;
+    while (avail < need_bytes) {
+        if (drbgSinceReseed_ >= cfg_.reseedBytes)
+            reseed();
+        Sha256 hasher;
+        hasher.update(drbgKey_.data(), drbgKey_.size());
+        std::uint8_t ctr[8];
+        for (int i = 0; i < 8; ++i)
+            ctr[i] = static_cast<std::uint8_t>(drbgCounter_ >> (8 * i));
+        hasher.update(ctr, sizeof(ctr));
+        const auto block = hasher.finish();
+        pool_.insert(pool_.end(), block.begin(), block.end());
+        ++drbgCounter_;
+        drbgSinceReseed_ += block.size();
+        avail += block.size();
+    }
+}
+
+void
+Shard::reseed()
+{
+    const auto &sc = counters();
+    const telemetry::ScopedTimer timer(sc.reseedNs);
+    const BitVector seed = trng_->generate(256);
+    const auto bytes = packBits(seed);
+    panic_if(bytes.size() != drbgKey_.size(),
+             "DRBG seed is %zu bytes, expected %zu", bytes.size(),
+             drbgKey_.size());
+    std::memcpy(drbgKey_.data(), bytes.data(), drbgKey_.size());
+    drbgSinceReseed_ = 0;
+    telemetry::count(sc.reseeds);
+}
+
+} // namespace fracdram::service

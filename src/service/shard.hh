@@ -1,0 +1,142 @@
+/**
+ * @file
+ * One shard of the serving pool: a complete simulated device
+ * (DramChip + MemoryController + QuacTrng + FracPuf) owned by a
+ * single worker thread, fed through a bounded MPSC queue. No state
+ * is shared between shards, and nothing but the worker thread ever
+ * touches the device - the concurrency story is "share nothing,
+ * communicate by queue", which keeps the whole request path
+ * TSan-clean by construction.
+ *
+ * Entropy is served from a per-shard pool: a SHA-256 counter-mode
+ * DRBG seeded (and periodically reseeded) from the shard's
+ * QUAC-TRNG. Raw-mode requests bypass the pool and stream
+ * conditioned QUAC output directly; the worker coalesces all raw
+ * requests of one batch into a single generate() call, which is the
+ * request-batching lever the daemon's throughput rests on.
+ */
+
+#ifndef FRACDRAM_SERVICE_SHARD_HH
+#define FRACDRAM_SERVICE_SHARD_HH
+
+#include <array>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "service/proto.hh"
+#include "service/queue.hh"
+#include "sim/vendor.hh"
+#include "telemetry/metrics.hh"
+
+namespace fracdram::sim
+{
+class DramChip;
+}
+namespace fracdram::softmc
+{
+class MemoryController;
+}
+namespace fracdram::trng
+{
+class QuacTrng;
+}
+namespace fracdram::puf
+{
+class FracPuf;
+}
+
+namespace fracdram::service
+{
+
+/** Tunables of one shard (shared by the whole pool). */
+struct ShardConfig
+{
+    sim::DramGroup group = sim::DramGroup::B;
+    std::uint64_t serialBase = 1000; //!< shard i gets serialBase + i
+    std::uint32_t colsPerRow = 1024;
+    std::size_t queueCapacity = 1024; //!< backpressure bound
+    std::size_t maxBatchJobs = 64;    //!< jobs coalesced per wakeup
+    std::size_t maxEntropyBytes = 65536; //!< per GET_ENTROPY request
+    std::size_t reseedBytes = 4u << 20;  //!< DRBG bytes per reseed
+    int numFracs = 10;                   //!< Frac ops per PUF eval
+};
+
+/** One queued request with its completion slot. */
+struct Job
+{
+    Request req;
+    std::promise<Response> done;
+    std::uint64_t enqueueNs = 0; //!< for the queue-wait histogram
+};
+
+class Shard
+{
+  public:
+    Shard(int index, const ShardConfig &cfg);
+    ~Shard();
+
+    /** Spawn the worker (seeds the DRBG as its first act). */
+    void start();
+
+    /**
+     * Graceful drain: reject new jobs, serve everything already
+     * queued, then join the worker. Idempotent.
+     */
+    void drainAndStop();
+
+    /**
+     * Hand a job to the worker.
+     * @return false when the queue is full or draining (-> BUSY)
+     */
+    bool submit(Job &&job);
+
+    int index() const { return index_; }
+    std::size_t queueDepth() const { return queue_.size(); }
+    std::size_t queueCapacity() const { return queue_.capacity(); }
+
+  private:
+    void run();
+    void process(std::vector<Job> &batch);
+    Response handlePuf(const Request &req);
+    Response entropyError(const Request &req) const;
+    void refillPool(std::size_t need_bytes);
+    void reseed();
+
+    const int index_;
+    const ShardConfig cfg_;
+    BoundedQueue<Job> queue_;
+    std::thread worker_;
+    bool started_ = false;
+    bool stopped_ = false;
+
+    /** @name Worker-thread-only state */
+    /// @{
+    std::unique_ptr<sim::DramChip> chip_;
+    std::unique_ptr<softmc::MemoryController> mc_;
+    std::unique_ptr<trng::QuacTrng> trng_;
+    std::unique_ptr<puf::FracPuf> puf_;
+    std::array<std::uint8_t, 32> drbgKey_{};
+    std::uint64_t drbgCounter_ = 0;
+    std::size_t drbgSinceReseed_ = 0;
+    std::vector<std::uint8_t> pool_;
+    std::size_t poolPos_ = 0;
+    std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>,
+             BitVector>
+        enrolled_;
+    /// @}
+
+    /** @name Telemetry (ids interned once at construction) */
+    /// @{
+    telemetry::GaugeId queueDepthGauge_;
+    telemetry::HistogramId batchJobsHist_;
+    /// @}
+};
+
+} // namespace fracdram::service
+
+#endif // FRACDRAM_SERVICE_SHARD_HH

@@ -72,13 +72,15 @@ renderMetricsJson(const MetricsSnapshot &snap)
         out += strprintf(
             "    \"%s\": {\"count\": %llu, \"sum\": %llu, "
             "\"min\": %llu, \"max\": %llu, \"mean\": %.3f, "
-            "\"p50\": %llu, \"p99\": %llu, \"buckets\": [",
+            "\"p50\": %llu, \"p95\": %llu, \"p99\": %llu, "
+            "\"buckets\": [",
             jsonEscape(name).c_str(),
             static_cast<unsigned long long>(h.count),
             static_cast<unsigned long long>(h.sum),
             static_cast<unsigned long long>(h.min),
             static_cast<unsigned long long>(h.max), h.mean(),
             static_cast<unsigned long long>(h.quantile(0.5)),
+            static_cast<unsigned long long>(h.quantile(0.95)),
             static_cast<unsigned long long>(h.quantile(0.99)));
         // Trailing zero buckets carry no information; trim them so
         // the report stays readable.

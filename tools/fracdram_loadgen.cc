@@ -1,0 +1,300 @@
+/**
+ * @file
+ * fracdram_loadgen - closed-loop load generator for fracdram_serve.
+ *
+ * Opens --conns connections, keeps a window of --window pipelined
+ * GET_ENTROPY requests outstanding on each, and runs for --duration
+ * seconds. Prints throughput and client-observed p50/p95/p99 latency
+ * (and writes them as one JSON object with --json-out, which
+ * scripts/run_benches.sh embeds into the bench record).
+ *
+ * Options:
+ *   --host H          server address (default 127.0.0.1)
+ *   --port N          server port (required)
+ *   --conns N         connections (default 4)
+ *   --window N        outstanding requests per connection (default 16)
+ *   --duration S      measured run length in seconds (default 2)
+ *   --warmup-ms N     samples before this are discarded (default 200)
+ *   --bytes N         entropy bytes per request (default 32)
+ *   --raw             request the raw QUAC stream (slow; exercises
+ *                     backpressure rather than throughput)
+ *   --check-health    just fetch HEALTH, print it, exit 0/1
+ *   --json-out FILE   write the summary as one JSON line
+ *   --quiet           suppress the human-readable table
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "service/client.hh"
+
+using namespace fracdram;
+using Clock = std::chrono::steady_clock;
+
+namespace
+{
+
+struct Options
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    int conns = 4;
+    int window = 16;
+    double duration = 2.0;
+    int warmupMs = 200;
+    std::uint32_t bytes = 32;
+    bool raw = false;
+    bool checkHealth = false;
+    std::string jsonOut;
+    bool quiet = false;
+};
+
+/** What one connection thread measured. */
+struct WorkerResult
+{
+    std::vector<double> latenciesUs;
+    std::uint64_t ok = 0;
+    std::uint64_t busy = 0;
+    std::uint64_t rateLimited = 0;
+    std::uint64_t errors = 0;
+    std::string firstError;
+};
+
+void
+runWorker(const Options &opt, Clock::time_point warmup_end,
+          Clock::time_point deadline, WorkerResult &result)
+{
+    service::Client client;
+    std::string err;
+    if (!client.connect(opt.host, opt.port, &err)) {
+        ++result.errors;
+        result.firstError = err;
+        return;
+    }
+    service::Request req;
+    req.type = service::MsgType::GetEntropy;
+    req.flags = opt.raw ? service::kFlagRawEntropy : 0;
+    req.nBytes = opt.bytes;
+
+    std::deque<Clock::time_point> in_flight;
+    result.latenciesUs.reserve(1 << 16);
+    std::uint16_t seq = 0;
+
+    auto send_one = [&]() -> bool {
+        req.seq = ++seq;
+        if (!client.send(req, &err)) {
+            ++result.errors;
+            if (result.firstError.empty())
+                result.firstError = err;
+            return false;
+        }
+        in_flight.push_back(Clock::now());
+        return true;
+    };
+
+    for (int i = 0; i < opt.window; ++i)
+        if (!send_one())
+            return;
+
+    service::Response resp;
+    while (!in_flight.empty()) {
+        const bool more = Clock::now() < deadline;
+        if (!client.recv(resp, &err, 5000)) {
+            ++result.errors;
+            if (result.firstError.empty())
+                result.firstError = err;
+            break;
+        }
+        const auto now = Clock::now();
+        const auto sent = in_flight.front();
+        in_flight.pop_front();
+        switch (resp.status) {
+        case service::Status::Ok:
+            ++result.ok;
+            if (sent >= warmup_end)
+                result.latenciesUs.push_back(
+                    std::chrono::duration<double, std::micro>(now -
+                                                              sent)
+                        .count());
+            break;
+        case service::Status::Busy:
+            ++result.busy;
+            break;
+        case service::Status::RateLimited:
+            ++result.rateLimited;
+            break;
+        case service::Status::Error:
+            ++result.errors;
+            if (result.firstError.empty())
+                result.firstError = resp.text;
+            break;
+        }
+        if (more && !send_one())
+            break;
+    }
+    client.close();
+}
+
+double
+percentile(std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1));
+    return sorted[rank];
+}
+
+int
+checkHealth(const Options &opt)
+{
+    service::Client client;
+    std::string err, json;
+    if (!client.connect(opt.host, opt.port, &err) ||
+        !client.health(json, &err)) {
+        std::fprintf(stderr, "health check failed: %s\n",
+                     err.c_str());
+        return 1;
+    }
+    std::printf("%s\n", json.c_str());
+    return json.find("\"status\"") != std::string::npos ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            fatal_if(i + 1 >= argc, "missing value for %s",
+                     arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--host")
+            opt.host = next();
+        else if (arg == "--port")
+            opt.port = static_cast<std::uint16_t>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        else if (arg == "--conns")
+            opt.conns = std::atoi(next().c_str());
+        else if (arg == "--window")
+            opt.window = std::atoi(next().c_str());
+        else if (arg == "--duration")
+            opt.duration = std::atof(next().c_str());
+        else if (arg == "--warmup-ms")
+            opt.warmupMs = std::atoi(next().c_str());
+        else if (arg == "--bytes")
+            opt.bytes = static_cast<std::uint32_t>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        else if (arg == "--raw")
+            opt.raw = true;
+        else if (arg == "--check-health")
+            opt.checkHealth = true;
+        else if (arg == "--json-out")
+            opt.jsonOut = next();
+        else if (arg == "--quiet")
+            opt.quiet = true;
+        else
+            fatal("unknown option '%s'", arg.c_str());
+    }
+    fatal_if(opt.port == 0, "--port is required");
+    fatal_if(opt.conns < 1 || opt.window < 1,
+             "--conns and --window must be at least 1");
+
+    if (opt.checkHealth)
+        return checkHealth(opt);
+
+    const auto start = Clock::now();
+    const auto warmup_end =
+        start + std::chrono::milliseconds(opt.warmupMs);
+    const auto deadline =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(opt.duration));
+
+    std::vector<WorkerResult> results(
+        static_cast<std::size_t>(opt.conns));
+    std::vector<std::thread> threads;
+    threads.reserve(results.size());
+    for (auto &r : results)
+        threads.emplace_back(runWorker, std::cref(opt), warmup_end,
+                             deadline, std::ref(r));
+    for (auto &t : threads)
+        t.join();
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    WorkerResult total;
+    for (auto &r : results) {
+        total.ok += r.ok;
+        total.busy += r.busy;
+        total.rateLimited += r.rateLimited;
+        total.errors += r.errors;
+        if (total.firstError.empty())
+            total.firstError = r.firstError;
+        total.latenciesUs.insert(total.latenciesUs.end(),
+                                 r.latenciesUs.begin(),
+                                 r.latenciesUs.end());
+    }
+    std::sort(total.latenciesUs.begin(), total.latenciesUs.end());
+    const double rps =
+        elapsed > 0.0 ? static_cast<double>(total.ok) / elapsed : 0.0;
+    const double p50 = percentile(total.latenciesUs, 0.50);
+    const double p95 = percentile(total.latenciesUs, 0.95);
+    const double p99 = percentile(total.latenciesUs, 0.99);
+
+    if (!opt.quiet) {
+        std::printf("loadgen: %d conns x window %d, %u bytes/req%s, "
+                    "%.1f s\n",
+                    opt.conns, opt.window, opt.bytes,
+                    opt.raw ? " (raw)" : "", elapsed);
+        std::printf("  ok %llu  busy %llu  rate_limited %llu  "
+                    "errors %llu\n",
+                    static_cast<unsigned long long>(total.ok),
+                    static_cast<unsigned long long>(total.busy),
+                    static_cast<unsigned long long>(total.rateLimited),
+                    static_cast<unsigned long long>(total.errors));
+        std::printf("  throughput %.0f req/s\n", rps);
+        std::printf("  latency p50 %.1f us  p95 %.1f us  "
+                    "p99 %.1f us  (%zu samples)\n",
+                    p50, p95, p99, total.latenciesUs.size());
+        if (!total.firstError.empty())
+            std::printf("  first error: %s\n",
+                        total.firstError.c_str());
+    }
+
+    const std::string json = strprintf(
+        "{\"conns\": %d, \"window\": %d, \"bytes_per_req\": %u, "
+        "\"raw\": %s, \"seconds\": %.3f, \"ok\": %llu, "
+        "\"busy\": %llu, \"rate_limited\": %llu, \"errors\": %llu, "
+        "\"requests_per_sec\": %.1f, \"p50_us\": %.1f, "
+        "\"p95_us\": %.1f, \"p99_us\": %.1f}",
+        opt.conns, opt.window, opt.bytes,
+        opt.raw ? "true" : "false", elapsed,
+        static_cast<unsigned long long>(total.ok),
+        static_cast<unsigned long long>(total.busy),
+        static_cast<unsigned long long>(total.rateLimited),
+        static_cast<unsigned long long>(total.errors), rps, p50, p95,
+        p99);
+    if (!opt.jsonOut.empty()) {
+        std::FILE *f = std::fopen(opt.jsonOut.c_str(), "w");
+        fatal_if(f == nullptr, "cannot write '%s'",
+                 opt.jsonOut.c_str());
+        std::fprintf(f, "%s\n", json.c_str());
+        std::fclose(f);
+    } else if (opt.quiet) {
+        std::printf("%s\n", json.c_str());
+    }
+
+    return total.errors == 0 && total.ok > 0 ? 0 : 1;
+}

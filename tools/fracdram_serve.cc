@@ -1,0 +1,151 @@
+/**
+ * @file
+ * fracdram_serve - the FracDRAM entropy/PUF serving daemon.
+ *
+ * Exposes a pool of simulated FracDRAM devices over the length-
+ * prefixed binary protocol of src/service/proto.hh on a loopback TCP
+ * port: GET_ENTROPY (DRBG-pooled or raw QUAC-TRNG stream),
+ * PUF_ENROLL / PUF_RESPONSE, and HEALTH / STATS JSON snapshots.
+ *
+ * SIGTERM/SIGINT drain gracefully: queued requests are answered,
+ * then the process exits 0. With --telemetry-out DIR the final
+ * metrics/trace reports land in DIR.
+ *
+ * Options:
+ *   --port N            listen port (default 7411; 0 = ephemeral)
+ *   --port-file PATH    write the bound port to PATH once listening
+ *   --shards N          devices in the pool (default 4)
+ *   --group X           vendor group A-N (default B)
+ *   --cols N            bits per row (default 1024)
+ *   --queue-cap N       per-shard queue bound (default 1024)
+ *   --batch-max N       max jobs coalesced per wakeup (default 64)
+ *   --reseed-kib N      DRBG bytes between reseeds (default 4096)
+ *   --max-conns N       connection cap (default 64)
+ *   --rate-limit R      per-connection requests/s (default 0 = off)
+ *   --idle-timeout-ms N close idle connections (default 60000)
+ *   --telemetry-out DIR write metrics/trace reports on exit
+ *   --quiet             suppress inform() chatter
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include "common/logging.hh"
+#include "service/server.hh"
+#include "telemetry/report.hh"
+
+using namespace fracdram;
+
+namespace
+{
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+sim::DramGroup
+parseGroup(const std::string &name)
+{
+    if (name.size() == 1 && name[0] >= 'A' && name[0] <= 'N')
+        return static_cast<sim::DramGroup>(name[0] - 'A');
+    fatal("unknown group '%s' (expected A-N)", name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    service::ServerConfig cfg;
+    cfg.port = 7411;
+    std::string port_file, telemetry_out;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            fatal_if(i + 1 >= argc, "missing value for %s",
+                     arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--port")
+            cfg.port = static_cast<std::uint16_t>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        else if (arg == "--port-file")
+            port_file = next();
+        else if (arg == "--shards")
+            cfg.numShards = std::atoi(next().c_str());
+        else if (arg == "--group")
+            cfg.shard.group = parseGroup(next());
+        else if (arg == "--cols")
+            cfg.shard.colsPerRow = static_cast<std::uint32_t>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        else if (arg == "--queue-cap")
+            cfg.shard.queueCapacity =
+                std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--batch-max")
+            cfg.shard.maxBatchJobs =
+                std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--reseed-kib")
+            cfg.shard.reseedBytes =
+                std::strtoull(next().c_str(), nullptr, 10) * 1024;
+        else if (arg == "--max-conns")
+            cfg.maxConnections =
+                std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--rate-limit")
+            cfg.rateLimitPerConn = std::atof(next().c_str());
+        else if (arg == "--idle-timeout-ms")
+            cfg.idleTimeoutMs = std::atoi(next().c_str());
+        else if (arg == "--telemetry-out")
+            telemetry_out = next();
+        else if (arg == "--quiet")
+            quiet = true;
+        else
+            fatal("unknown option '%s'", arg.c_str());
+    }
+    if (quiet)
+        setVerbose(false);
+
+    // Record metrics unconditionally so STATS always has substance;
+    // RunScope writes the file reports at exit when asked to.
+    telemetry::RunScope telem("fracdram_serve", telemetry_out);
+    telemetry::setEnabled(true);
+
+    struct sigaction sa{};
+    sa.sa_handler = onSignal;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+
+    service::Server server(cfg);
+    std::string err;
+    if (!server.start(&err))
+        fatal("cannot start: %s", err.c_str());
+
+    std::printf("fracdram_serve listening on 127.0.0.1:%u\n",
+                server.port());
+    std::fflush(stdout);
+    if (!port_file.empty()) {
+        std::FILE *f = std::fopen(port_file.c_str(), "w");
+        fatal_if(f == nullptr, "cannot write port file '%s'",
+                 port_file.c_str());
+        std::fprintf(f, "%u\n", server.port());
+        std::fclose(f);
+    }
+
+    while (g_stop == 0) {
+        timespec ts{0, 200 * 1000 * 1000};
+        nanosleep(&ts, nullptr);
+    }
+    inform("service: signal received, draining");
+    server.stop();
+    std::printf("fracdram_serve: clean shutdown\n");
+    return 0;
+}
