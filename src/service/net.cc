@@ -7,6 +7,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include "common/logging.hh"
@@ -106,6 +107,24 @@ setNoDelay(int fd)
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+void
+setSendTimeout(int fd, int timeout_ms)
+{
+    if (timeout_ms <= 0)
+        return;
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void
+shutdownRead(int fd)
+{
+    if (fd >= 0)
+        ::shutdown(fd, SHUT_RD);
+}
+
 int
 waitReadable(int fd, int timeout_ms)
 {
@@ -137,7 +156,12 @@ writeAll(int fd, const void *data, std::size_t len, std::string *err)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            return fail(err, "write");
+            // EAGAIN here means SO_SNDTIMEO expired: the peer has
+            // not drained its receive window for the whole timeout.
+            // Treat it as dead rather than blocking the writer.
+            return fail(err, (errno == EAGAIN || errno == EWOULDBLOCK)
+                                 ? "write (send timeout)"
+                                 : "write");
         }
         p += n;
         len -= static_cast<std::size_t>(n);

@@ -38,6 +38,21 @@ int connectTcp(const std::string &host, std::uint16_t port,
 void setNoDelay(int fd);
 
 /**
+ * SO_SNDTIMEO: bound every send(2) on @p fd to @p timeout_ms so a
+ * peer that stops reading cannot park a writer thread forever.
+ * writeAll() treats the resulting EAGAIN as a dead peer.
+ */
+void setSendTimeout(int fd, int timeout_ms);
+
+/**
+ * shutdown(2) the read side only: wakes a thread blocked in
+ * read/poll (it sees EOF) while leaving the write side open so
+ * responses already owed to the peer can still be delivered; a
+ * stalled send is bounded by SO_SNDTIMEO instead.
+ */
+void shutdownRead(int fd);
+
+/**
  * Wait until @p fd is readable.
  * @return 1 readable, 0 timeout, -1 error/hangup
  */

@@ -140,6 +140,18 @@ Server::stop()
         acceptThread_.join();
     closeFd(listenFd_);
     listenFd_ = -1;
+    // Wake connection threads parked in read so the join below is
+    // prompt; read-side only, because responses already owed to the
+    // peer must still go out (the drain contract). A send stalled on
+    // a peer that stopped reading is bounded by SO_SNDTIMEO. Safe
+    // against the threads themselves: conn fds are closed only
+    // after join, by the reaper.
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (auto &c : conns_)
+            if (!c->done.load(std::memory_order_acquire))
+                shutdownRead(c->fd);
+    }
     // Connection threads notice stop_ within one poll interval,
     // finish their in-flight batch (shards still run) and exit.
     joinAllConns();
@@ -173,26 +185,41 @@ Server::shardQueueDepth(int shard) const
 void
 Server::reapFinishedConns()
 {
-    std::lock_guard<std::mutex> lock(connMutex_);
-    for (auto it = conns_.begin(); it != conns_.end();) {
-        if ((*it)->done.load(std::memory_order_acquire)) {
-            (*it)->thread.join();
-            it = conns_.erase(it);
-        } else {
-            ++it;
+    std::list<std::unique_ptr<Conn>> finished;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (auto it = conns_.begin(); it != conns_.end();) {
+            if ((*it)->done.load(std::memory_order_acquire)) {
+                finished.push_back(std::move(*it));
+                it = conns_.erase(it);
+            } else {
+                ++it;
+            }
         }
+    }
+    for (auto &c : finished) {
+        c->thread.join();
+        closeFd(c->fd);
     }
 }
 
 void
 Server::joinAllConns()
 {
-    std::lock_guard<std::mutex> lock(connMutex_);
-    for (auto &c : conns_) {
+    // Joining MUST happen outside connMutex_: a connection thread
+    // still serving HEALTH takes the same mutex in
+    // activeConnections(), and joining it with the lock held would
+    // deadlock the shutdown path.
+    std::list<std::unique_ptr<Conn>> conns;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        conns.swap(conns_);
+    }
+    for (auto &c : conns) {
         if (c->thread.joinable())
             c->thread.join();
+        closeFd(c->fd);
     }
-    conns_.clear();
 }
 
 void
@@ -207,11 +234,12 @@ Server::acceptLoop()
         if (fd < 0)
             continue;
         setNoDelay(fd);
-        bool full;
-        {
-            std::lock_guard<std::mutex> lock(connMutex_);
-            full = conns_.size() >= cfg_.maxConnections;
-        }
+        setSendTimeout(fd, cfg_.writeTimeoutMs);
+        // Count only live connections against the cap: a burst of
+        // short-lived clients leaves finished-but-unreaped entries
+        // in conns_ that must not eat capacity.
+        const bool full =
+            activeConnections() >= cfg_.maxConnections;
         if (full) {
             // Tell the client why before hanging up.
             Request synthetic;
@@ -362,8 +390,9 @@ Server::connLoop(Conn *conn)
             break;
     }
     debug_log("service: closing connection fd=%d", conn->fd);
-    closeFd(conn->fd);
-    conn->fd = -1;
+    // The fd is closed by whoever joins this thread (reaper or
+    // stop()), never here: stop() may concurrently shutdown() it,
+    // which must not race with a close/reuse of the descriptor.
     conn->done.store(true, std::memory_order_release);
 }
 

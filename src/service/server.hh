@@ -20,8 +20,13 @@
  * Backpressure is end-to-end: shard queues are bounded (full -> BUSY
  * response immediately), per-connection token buckets cap the
  * request rate (-> RATE_LIMITED), idle connections are closed after
- * idleTimeoutMs. stop() drains gracefully: no new connections, every
- * queued job is still answered, then shards stop.
+ * idleTimeoutMs, and writes carry an SO_SNDTIMEO so a peer that
+ * stops reading is dropped instead of parking its thread in send().
+ * stop() drains gracefully: no new connections (blocked reads are
+ * woken by a read-side shutdown(2); the write side stays open so
+ * owed responses still go out), every queued job is still answered,
+ * then shards stop. Connection fds are closed only after their
+ * thread is joined, so stop() can shutdown() them race-free.
  */
 
 #ifndef FRACDRAM_SERVICE_SERVER_HH
@@ -49,6 +54,7 @@ struct ServerConfig
     std::size_t maxConnections = 64;
     double rateLimitPerConn = 0.0; //!< requests/s per conn; 0 = off
     int idleTimeoutMs = 60000;
+    int writeTimeoutMs = 5000; //!< SO_SNDTIMEO per conn; 0 = off
 };
 
 class Server

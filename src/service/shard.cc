@@ -250,10 +250,22 @@ Shard::handlePuf(const Request &req)
                               params.rowsPerBank());
         return resp;
     }
+    const auto key = std::make_tuple(req.device, req.bank, req.row);
+    if (req.type == MsgType::PufEnroll &&
+        enrolled_.size() >= cfg_.maxEnrollments &&
+        enrolled_.find(key) == enrolled_.end()) {
+        // device is client-chosen, so without a cap the reference
+        // store is an unauthenticated memory-exhaustion vector.
+        resp.status = Status::Error;
+        resp.text = strprintf("enrollment table full (%zu "
+                              "references); re-enrolling an existing "
+                              "(device, bank, row) is still allowed",
+                              cfg_.maxEnrollments);
+        return resp;
+    }
     telemetry::count(counters().pufEvals);
     const puf::Challenge ch{req.bank, req.row};
     resp.bits = puf_->evaluate(ch);
-    const auto key = std::make_tuple(req.device, req.bank, req.row);
     if (req.type == MsgType::PufEnroll) {
         enrolled_[key] = resp.bits;
         resp.hamming = 0;

@@ -64,6 +64,7 @@ struct ShardConfig
     std::size_t maxEntropyBytes = 65536; //!< per GET_ENTROPY request
     std::size_t reseedBytes = 4u << 20;  //!< DRBG bytes per reseed
     int numFracs = 10;                   //!< Frac ops per PUF eval
+    std::size_t maxEnrollments = 4096;   //!< PUF references kept/shard
 };
 
 /** One queued request with its completion slot. */

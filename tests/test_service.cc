@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <string>
+#include <sys/socket.h>
 #include <thread>
 #include <vector>
 
@@ -222,6 +223,86 @@ TEST(Service, PufRejectsOutOfRangeChallenge)
     BitVector bits;
     ASSERT_TRUE(c.pufEnroll(0, 9999, 0, bits, status, &err)) << err;
     EXPECT_EQ(status, Status::Error);
+}
+
+TEST(Service, PufEnrollmentCap)
+{
+    // device ids are client-chosen, so the reference store must be
+    // bounded or a client can exhaust daemon memory.
+    ServerConfig cfg = testConfig(1);
+    cfg.shard.maxEnrollments = 2;
+    TestServer ts(cfg);
+    Client c = ts.connect();
+    Status status;
+    std::string err;
+    BitVector bits;
+    ASSERT_TRUE(c.pufEnroll(0, 0, 1, bits, status, &err)) << err;
+    EXPECT_EQ(status, Status::Ok);
+    ASSERT_TRUE(c.pufEnroll(1, 0, 1, bits, status, &err)) << err;
+    EXPECT_EQ(status, Status::Ok);
+    // Third distinct (device, bank, row) is refused...
+    ASSERT_TRUE(c.pufEnroll(2, 0, 1, bits, status, &err)) << err;
+    EXPECT_EQ(status, Status::Error);
+    // ...but re-enrolling an existing key still works,
+    ASSERT_TRUE(c.pufEnroll(0, 0, 1, bits, status, &err)) << err;
+    EXPECT_EQ(status, Status::Ok);
+    // and enrolled references keep answering.
+    std::uint32_t hamming = 0;
+    ASSERT_TRUE(c.pufResponse(1, 0, 1, bits, hamming, status, &err))
+        << err;
+    EXPECT_EQ(status, Status::Ok);
+    EXPECT_NE(hamming, kNoHamming);
+}
+
+TEST(Service, StopWhileHealthInFlight)
+{
+    // Regression: stop() used to join connection threads while
+    // holding connMutex_, deadlocking against an in-flight HEALTH
+    // whose handler takes the same mutex in activeConnections().
+    TestServer ts(testConfig(1));
+    const std::uint16_t port = ts.server.port();
+    constexpr int kThreads = 4;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([port] {
+            Client c;
+            std::string err, json;
+            if (!c.connect("127.0.0.1", port, &err))
+                return;
+            // Hammer HEALTH until the drain hangs up on us.
+            while (c.health(json, &err)) {
+            }
+        });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ts.server.stop(); // must return; the old code could hang here
+    for (auto &t : threads)
+        t.join();
+}
+
+TEST(Service, WriteAllTimesOutOnStalledPeer)
+{
+    // A peer that never drains its receive buffer must fail the
+    // write once SO_SNDTIMEO expires instead of parking the writer
+    // in send() forever.
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const int tiny = 4096;
+    ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny));
+    ::setsockopt(fds[1], SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+    setSendTimeout(fds[0], 100);
+    const std::vector<std::uint8_t> big(4u << 20, 0xAB);
+    std::string err;
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(writeAll(fds[0], big.data(), big.size(), &err));
+    const auto waited = std::chrono::duration_cast<
+                            std::chrono::milliseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    EXPECT_LT(waited, 10000) << "send did not respect SO_SNDTIMEO";
+    EXPECT_NE(err.find("timeout"), std::string::npos) << err;
+    closeFd(fds[0]);
+    closeFd(fds[1]);
 }
 
 TEST(Service, ConcurrentClients)

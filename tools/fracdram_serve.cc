@@ -21,8 +21,10 @@
  *   --batch-max N       max jobs coalesced per wakeup (default 64)
  *   --reseed-kib N      DRBG bytes between reseeds (default 4096)
  *   --max-conns N       connection cap (default 64)
+ *   --max-enrollments N PUF references kept per shard (default 4096)
  *   --rate-limit R      per-connection requests/s (default 0 = off)
  *   --idle-timeout-ms N close idle connections (default 60000)
+ *   --write-timeout-ms N drop peers that stop reading (default 5000)
  *   --telemetry-out DIR write metrics/trace reports on exit
  *   --quiet             suppress inform() chatter
  */
@@ -100,10 +102,15 @@ main(int argc, char **argv)
         else if (arg == "--max-conns")
             cfg.maxConnections =
                 std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--max-enrollments")
+            cfg.shard.maxEnrollments =
+                std::strtoull(next().c_str(), nullptr, 10);
         else if (arg == "--rate-limit")
             cfg.rateLimitPerConn = std::atof(next().c_str());
         else if (arg == "--idle-timeout-ms")
             cfg.idleTimeoutMs = std::atoi(next().c_str());
+        else if (arg == "--write-timeout-ms")
+            cfg.writeTimeoutMs = std::atoi(next().c_str());
         else if (arg == "--telemetry-out")
             telemetry_out = next();
         else if (arg == "--quiet")
