@@ -23,8 +23,11 @@
 #
 # The serving pair (fracdram_serve + fracdram_loadgen) is recorded as
 # the "bench_service" entry: the daemon is started on an ephemeral
-# port, a loadgen burst is timed, and the loadgen summary (req/s,
-# p50/p95/p99 latency) is embedded in the record's "loadgen" field.
+# port with its metrics endpoint up, a traced loadgen burst is timed,
+# and the loadgen summary (req/s, p50/p95/p99 latency, plus the
+# server-side histograms) is embedded in the record's "loadgen"
+# field. The daemon's final /metrics scrape is archived next to the
+# output JSON as <output>.metrics.prom.
 #
 # Any bench that exits non-zero (or a daemon that fails to shut down
 # cleanly) makes this script exit non-zero after writing the JSON, so
@@ -138,9 +141,10 @@ loadgen_bin="${build_dir}/tools/fracdram_loadgen"
 if [[ -x "${serve_bin}" && -x "${loadgen_bin}" ]] &&
     { [[ -z "${filter}" ]] || grep -qE "${filter}" <<< "bench_service"; }; then
     echo "timing bench_service (serve + loadgen)" >&2
-    port_file="$(mktemp)" loadgen_json="$(mktemp)"
-    rm -f "${port_file}"
+    port_file="$(mktemp)" mport_file="$(mktemp)" loadgen_json="$(mktemp)"
+    rm -f "${port_file}" "${mport_file}"
     "${serve_bin}" --port 0 --shards 4 --port-file "${port_file}" \
+        --metrics-port 0 --metrics-port-file "${mport_file}" \
         --quiet > /dev/null 2>&1 &
     serve_pid=$!
     for _ in $(seq 1 100); do
@@ -157,16 +161,31 @@ if [[ -x "${serve_bin}" && -x "${loadgen_bin}" ]] &&
         if [[ "${have_python}" -eq 1 ]]; then
             read -r seconds rss_kib rc < <(measure "${loadgen_bin}" \
                 --port "${port}" --conns 4 --window 16 --duration 4 \
-                --bytes 32 --warmup-ms 500 --json-out "${loadgen_json}")
+                --bytes 32 --warmup-ms 500 --trace \
+                --json-out "${loadgen_json}")
         else
             start=$(date +%s.%N)
             "${loadgen_bin}" --port "${port}" --conns 4 --window 16 \
-                --duration 4 --bytes 32 --warmup-ms 500 \
+                --duration 4 --bytes 32 --warmup-ms 500 --trace \
                 --json-out "${loadgen_json}" > /dev/null || rc=$?
             end=$(date +%s.%N)
             seconds=$(awk -v a="${start}" -v b="${end}" \
                 'BEGIN { printf "%.3f", b - a }')
             rss_kib=0
+        fi
+        # Archive the post-burst /metrics scrape alongside the JSON:
+        # the full Prometheus state of the daemon that produced these
+        # numbers (no curl in the container; plain /dev/tcp works).
+        if [[ -s "${mport_file}" ]]; then
+            mport="$(cat "${mport_file}")"
+            if exec 9<> "/dev/tcp/127.0.0.1/${mport}" 2> /dev/null; then
+                printf 'GET /metrics HTTP/1.0\r\n\r\n' >&9
+                sed -e '1,/^\r\{0,1\}$/d' <&9 > "${out%.json}.metrics.prom" || true
+                exec 9>&- 9<&-
+                echo "archived $(wc -l < "${out%.json}.metrics.prom") metric lines to ${out%.json}.metrics.prom" >&2
+            else
+                echo "warning: could not scrape /metrics on port ${mport}" >&2
+            fi
         fi
         kill -TERM "${serve_pid}" 2> /dev/null || true
         serve_rc=0
@@ -179,7 +198,7 @@ if [[ -x "${serve_bin}" && -x "${loadgen_bin}" ]] &&
         [[ -s "${loadgen_json}" ]] && loadgen_summary="$(cat "${loadgen_json}")"
         records+=("  {\"bench\": \"bench_service\", \"seconds\": ${seconds}, \"peak_rss_kib\": ${rss_kib}, \"threads\": ${threads}, \"exit_code\": ${rc}, \"loadgen\": ${loadgen_summary}}")
     fi
-    rm -f "${port_file}" "${loadgen_json}"
+    rm -f "${port_file}" "${mport_file}" "${loadgen_json}"
 fi
 
 if [[ ${#records[@]} -eq 0 ]]; then

@@ -1,0 +1,167 @@
+#!/usr/bin/env bash
+# Process-level smoke test of the observability surface, wired into
+# ctest as "smoke_observability":
+#
+#   1. start fracdram_serve with --metrics-port 0 and an SLO,
+#   2. scrape /metrics and /healthz over plain TCP (bash /dev/tcp, so
+#      no curl dependency) and require a 200 + Prometheus families,
+#   3. fire a traced loadgen burst and require zero errors,
+#   4. re-scrape: the request_ns histogram must have moved, and
+#      /varz?trace=8 must return per-stage timelines,
+#   5. render one fracdram_top frame against the live daemon,
+#   6. SIGTERM and require a clean shutdown.
+#
+# Usage: smoke_observability.sh <serve> <loadgen> <top>
+
+set -euo pipefail
+
+serve_bin="${1:?usage: smoke_observability.sh <serve> <loadgen> <top>}"
+loadgen_bin="${2:?usage: smoke_observability.sh <serve> <loadgen> <top>}"
+top_bin="${3:?usage: smoke_observability.sh <serve> <loadgen> <top>}"
+
+workdir="$(mktemp -d)"
+serve_pid=""
+cleanup() {
+    [[ -n "${serve_pid}" ]] && kill "${serve_pid}" 2> /dev/null || true
+    rm -rf "${workdir}"
+}
+trap cleanup EXIT
+
+port_file="${workdir}/port"
+mport_file="${workdir}/metrics_port"
+serve_log="${workdir}/serve.log"
+
+# http_get HOST PORT PATH OUTFILE -> exit 0 and body in OUTFILE on 200
+http_get() {
+    local host="$1" port="$2" path="$3" out="$4"
+    local resp
+    exec 9<> "/dev/tcp/${host}/${port}" || return 1
+    printf 'GET %s HTTP/1.0\r\n\r\n' "${path}" >&9
+    resp="$(cat <&9)"
+    exec 9>&- 9<&-
+    printf '%s' "${resp#*$'\r\n\r\n'}" > "${out}"
+    grep -q '^HTTP/1\.0 200' <<< "${resp}"
+}
+
+"${serve_bin}" --port 0 --shards 2 --cols 512 \
+    --port-file "${port_file}" \
+    --metrics-port 0 --metrics-port-file "${mport_file}" \
+    --slo-p99-us 500000 --trace-ring 512 \
+    > "${serve_log}" 2>&1 &
+serve_pid=$!
+
+for _ in $(seq 1 100); do
+    [[ -s "${port_file}" && -s "${mport_file}" ]] && break
+    kill -0 "${serve_pid}" 2> /dev/null || {
+        echo "FAIL: daemon died during startup" >&2
+        cat "${serve_log}" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[[ -s "${port_file}" && -s "${mport_file}" ]] || {
+    echo "FAIL: daemon never published its ports" >&2
+    cat "${serve_log}" >&2
+    exit 1
+}
+port="$(cat "${port_file}")"
+mport="$(cat "${mport_file}")"
+echo "daemon up: data port ${port}, metrics port ${mport}" >&2
+
+# Cold scrape: valid exposition even before any traffic.
+http_get 127.0.0.1 "${mport}" /metrics "${workdir}/metrics0" || {
+    echo "FAIL: /metrics not 200 before traffic" >&2
+    exit 1
+}
+grep -q '^# TYPE fracdram_service_shard_queue_depth gauge' \
+    "${workdir}/metrics0" || {
+    echo "FAIL: /metrics missing service families:" >&2
+    head -20 "${workdir}/metrics0" >&2
+    exit 1
+}
+http_get 127.0.0.1 "${mport}" /healthz "${workdir}/healthz" || {
+    echo "FAIL: /healthz not 200 on an idle daemon" >&2
+    exit 1
+}
+grep -q ok "${workdir}/healthz" || {
+    echo "FAIL: unexpected /healthz body" >&2
+    exit 1
+}
+
+# Traced burst: every request carries a request id.
+"${loadgen_bin}" --port "${port}" --conns 2 --window 8 --duration 2 \
+    --bytes 32 --warmup-ms 200 --trace \
+    --json-out "${workdir}/loadgen.json" || {
+    echo "FAIL: loadgen reported errors" >&2
+    exit 1
+}
+grep -q '"errors": 0' "${workdir}/loadgen.json" || {
+    echo "FAIL: loadgen summary has errors:" >&2
+    cat "${workdir}/loadgen.json" >&2
+    exit 1
+}
+grep -q '"server": {' "${workdir}/loadgen.json" || {
+    echo "FAIL: loadgen summary missing the server-side histograms" >&2
+    cat "${workdir}/loadgen.json" >&2
+    exit 1
+}
+
+# Warm scrape: the burst must be visible in the histograms.
+http_get 127.0.0.1 "${mport}" /metrics "${workdir}/metrics1" || {
+    echo "FAIL: /metrics not 200 after traffic" >&2
+    exit 1
+}
+count="$(awk '$1 == "fracdram_service_request_ns_count" {print $2}' \
+    "${workdir}/metrics1")"
+[[ -n "${count}" && "${count}" -gt 0 ]] || {
+    echo "FAIL: request_ns histogram empty after a traced burst" >&2
+    grep fracdram_service_request_ns "${workdir}/metrics1" >&2 || true
+    exit 1
+}
+grep -q 'fracdram_service_shard_batch_jobs_sum{shard="0"}' \
+    "${workdir}/metrics1" || {
+    echo "FAIL: per-shard histogram families missing" >&2
+    exit 1
+}
+
+# Per-request timelines out of the ring.
+http_get 127.0.0.1 "${mport}" '/varz?trace=8' "${workdir}/varz" || {
+    echo "FAIL: /varz not 200" >&2
+    exit 1
+}
+grep -q '"queue_wait_ns"' "${workdir}/varz" || {
+    echo "FAIL: /varz?trace=8 has no per-stage timelines:" >&2
+    cat "${workdir}/varz" >&2
+    exit 1
+}
+
+# One dashboard frame against the live daemon.
+"${top_bin}" --port "${mport}" --interval-ms 200 --iterations 1 \
+    --no-clear > "${workdir}/top.out" || {
+    echo "FAIL: fracdram_top exited non-zero" >&2
+    cat "${workdir}/top.out" >&2
+    exit 1
+}
+grep -q 'req latency (server, windowed)' "${workdir}/top.out" || {
+    echo "FAIL: fracdram_top frame incomplete:" >&2
+    cat "${workdir}/top.out" >&2
+    exit 1
+}
+echo "fracdram_top frame:" >&2
+cat "${workdir}/top.out" >&2
+
+kill -TERM "${serve_pid}"
+rc=0
+wait "${serve_pid}" || rc=$?
+serve_pid=""
+if [[ "${rc}" -ne 0 ]]; then
+    echo "FAIL: daemon exited ${rc} on SIGTERM" >&2
+    cat "${serve_log}" >&2
+    exit 1
+fi
+grep -q "clean shutdown" "${serve_log}" || {
+    echo "FAIL: no clean-shutdown marker in daemon log" >&2
+    cat "${serve_log}" >&2
+    exit 1
+}
+echo "PASS: smoke_observability" >&2

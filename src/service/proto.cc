@@ -26,6 +26,13 @@ putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
     out.push_back(static_cast<std::uint8_t>(v >> 24));
 }
 
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
 /** Bounds-checked little-endian cursor over a payload. */
 struct Cursor
 {
@@ -60,6 +67,17 @@ struct Cursor
             (static_cast<std::uint32_t>(p[3]) << 24);
         p += 4;
         left -= 4;
+        return true;
+    }
+    bool u64(std::uint64_t &v)
+    {
+        if (left < 8)
+            return false;
+        v = 0;
+        for (int j = 0; j < 8; ++j)
+            v |= static_cast<std::uint64_t>(p[j]) << (j * 8);
+        p += 8;
+        left -= 8;
         return true;
     }
     bool bytes(const std::uint8_t *&v, std::size_t n)
@@ -132,6 +150,8 @@ encodeRequest(const Request &req)
     out.push_back(static_cast<std::uint8_t>(req.type));
     out.push_back(req.flags);
     putU16(out, req.seq);
+    if (req.flags & kFlagRequestId)
+        putU64(out, req.requestId);
     switch (req.type) {
     case MsgType::GetEntropy:
         putU32(out, req.nBytes);
@@ -158,6 +178,8 @@ encodeResponse(const Response &resp)
     out.push_back(static_cast<std::uint8_t>(resp.type) | kResponseBit);
     out.push_back(resp.flags);
     putU16(out, resp.seq);
+    if (resp.flags & kFlagRequestId)
+        putU64(out, resp.requestId);
     out.push_back(static_cast<std::uint8_t>(resp.status));
     if (resp.status != Status::Ok) {
         putU32(out, static_cast<std::uint32_t>(resp.text.size()));
@@ -197,6 +219,9 @@ decodeRequest(const std::uint8_t *payload, std::size_t len,
     if (!validRequestType(type))
         return fail(err, "unknown request type");
     out.type = static_cast<MsgType>(type);
+    out.requestId = 0;
+    if ((out.flags & kFlagRequestId) && !c.u64(out.requestId))
+        return fail(err, "truncated request id");
     switch (out.type) {
     case MsgType::GetEntropy:
         if (!c.u32(out.nBytes))
@@ -222,8 +247,12 @@ decodeResponse(const std::uint8_t *payload, std::size_t len,
 {
     Cursor c{payload, len};
     std::uint8_t type = 0, status = 0;
-    if (!c.u8(type) || !c.u8(out.flags) || !c.u16(out.seq) ||
-        !c.u8(status))
+    if (!c.u8(type) || !c.u8(out.flags) || !c.u16(out.seq))
+        return fail(err, "truncated response header");
+    out.requestId = 0;
+    if ((out.flags & kFlagRequestId) && !c.u64(out.requestId))
+        return fail(err, "truncated request id");
+    if (!c.u8(status))
         return fail(err, "truncated response header");
     if ((type & kResponseBit) == 0)
         return fail(err, "response bit missing");

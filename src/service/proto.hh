@@ -5,12 +5,20 @@
  * Frames are length-prefixed:
  *
  *     u32le payload_len | payload
- *     payload = u8 type | u8 flags | u16le seq | body
+ *     payload = u8 type | u8 flags | u16le seq [| u64le request_id] | body
  *
  * The sequence number is chosen by the client and echoed verbatim in
  * the response, so clients may pipeline many requests on one
  * connection; the server guarantees responses arrive in request
  * order. Response types are the request type with the high bit set.
+ *
+ * Protocol version 2 adds end-to-end request tracing: when the
+ * REQUEST_ID flag bit is set, a client-chosen u64 request id follows
+ * the header (requests *and* responses - the server echoes it), and
+ * the daemon records per-stage timings for that request. The flag
+ * doubles as the version marker, so v1 frames (flag clear) decode
+ * unchanged and v1 servers reject v2 frames as trailing garbage
+ * instead of misparsing them.
  *
  * Request bodies:
  *   GET_ENTROPY      u32le n_bytes
@@ -53,6 +61,16 @@ inline constexpr std::uint8_t kResponseBit = 0x80;
 /** GET_ENTROPY flag: raw QUAC stream, bypassing the DRBG pool. */
 inline constexpr std::uint8_t kFlagRawEntropy = 0x01;
 
+/**
+ * Frame carries a u64le request id right after the header (v2). The
+ * id is encoded iff this bit is set, so v1 frames are unchanged and
+ * encode(decode(bytes)) == bytes holds for every accepted frame.
+ */
+inline constexpr std::uint8_t kFlagRequestId = 0x80;
+
+/** Highest protocol revision this build speaks. */
+inline constexpr std::uint8_t kProtoVersion = 2;
+
 /** PUF hamming field when no reference is enrolled. */
 inline constexpr std::uint32_t kNoHamming = 0xFFFFFFFFu;
 
@@ -83,16 +101,17 @@ struct Request
     MsgType type = MsgType::Health;
     std::uint8_t flags = 0;
     std::uint16_t seq = 0;
-    std::uint32_t nBytes = 0; //!< GET_ENTROPY
-    std::uint32_t device = 0; //!< PUF_*
-    std::uint32_t bank = 0;   //!< PUF_*
-    std::uint32_t row = 0;    //!< PUF_*
+    std::uint64_t requestId = 0; //!< on the wire iff kFlagRequestId
+    std::uint32_t nBytes = 0;    //!< GET_ENTROPY
+    std::uint32_t device = 0;    //!< PUF_*
+    std::uint32_t bank = 0;      //!< PUF_*
+    std::uint32_t row = 0;       //!< PUF_*
 
     bool operator==(const Request &o) const
     {
         return type == o.type && flags == o.flags && seq == o.seq &&
-               nBytes == o.nBytes && device == o.device &&
-               bank == o.bank && row == o.row;
+               requestId == o.requestId && nBytes == o.nBytes &&
+               device == o.device && bank == o.bank && row == o.row;
     }
 };
 
@@ -102,12 +121,38 @@ struct Response
     MsgType type = MsgType::Health; //!< request type (high bit clear)
     std::uint8_t flags = 0;
     std::uint16_t seq = 0;
+    std::uint64_t requestId = 0; //!< on the wire iff kFlagRequestId
     Status status = Status::Ok;
     std::vector<std::uint8_t> data; //!< GET_ENTROPY payload
     BitVector bits;                 //!< PUF_* payload
     std::uint32_t hamming = kNoHamming; //!< PUF_* payload
     std::string text; //!< HEALTH/STATS JSON, or non-OK message
+
+    /**
+     * Wall-clock stage stamps carried alongside the response inside
+     * the daemon (never serialized): enqueue -> dequeue -> generate
+     * start/end. The connection thread turns them into the traced
+     * request's queue_wait / batch / generate spans.
+     */
+    struct Stamps
+    {
+        std::uint64_t enqueueNs = 0;
+        std::uint64_t dequeueNs = 0;
+        std::uint64_t genStartNs = 0;
+        std::uint64_t genEndNs = 0;
+    };
+    Stamps stamps;
 };
+
+/** Echo a traced request's id (and its flag bit) into the response. */
+inline void
+echoRequestId(Response &resp, const Request &req)
+{
+    if (req.flags & kFlagRequestId) {
+        resp.flags |= kFlagRequestId;
+        resp.requestId = req.requestId;
+    }
+}
 
 /** @name Frame payload encode / decode (length prefix excluded) */
 /// @{

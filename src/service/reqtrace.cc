@@ -1,0 +1,94 @@
+#include "service/reqtrace.hh"
+
+#include "common/logging.hh"
+#include "service/proto.hh"
+
+namespace fracdram::service
+{
+
+namespace
+{
+
+std::uint64_t
+satSub(std::uint64_t a, std::uint64_t b)
+{
+    return a > b ? a - b : 0;
+}
+
+} // namespace
+
+void
+RequestTraceRing::push(const RequestTimeline &t)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_.size() < capacity_) {
+        ring_.push_back(t);
+    } else {
+        ring_[pushed_ % capacity_] = t;
+    }
+    ++pushed_;
+}
+
+std::vector<RequestTimeline>
+RequestTraceRing::lastN(std::size_t n) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t have = ring_.size();
+    const std::size_t take = n < have ? n : have;
+    std::vector<RequestTimeline> out;
+    out.reserve(take);
+    // Oldest of the window first. Before the first wrap the ring is
+    // already in push order; afterwards pushed_ % capacity_ is the
+    // oldest slot.
+    const std::size_t start =
+        have < capacity_ ? have - take
+                         : (pushed_ + capacity_ - take) % capacity_;
+    for (std::size_t i = 0; i < take; ++i)
+        out.push_back(ring_[(start + i) % capacity_]);
+    return out;
+}
+
+std::size_t
+RequestTraceRing::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.size();
+}
+
+std::string
+renderTimelinesJson(const std::vector<RequestTimeline> &ts)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        const RequestTimeline &t = ts[i];
+        const bool inline_req = t.shard < 0;
+        const std::uint64_t parse =
+            satSub(inline_req ? t.writeNs : t.enqueueNs, t.recvNs);
+        out += i == 0 ? "\n" : ",\n";
+        out += strprintf(
+            "  {\"id\": %llu, \"type\": \"%s\", \"status\": \"%s\", "
+            "\"shard\": %d, \"parse_ns\": %llu, "
+            "\"queue_wait_ns\": %llu, \"batch_ns\": %llu, "
+            "\"generate_ns\": %llu, \"write_ns\": %llu, "
+            "\"total_ns\": %llu}",
+            static_cast<unsigned long long>(t.requestId),
+            msgTypeName(static_cast<MsgType>(t.type)),
+            statusName(static_cast<Status>(t.status)), t.shard,
+            static_cast<unsigned long long>(parse),
+            static_cast<unsigned long long>(
+                satSub(t.dequeueNs, t.enqueueNs)),
+            static_cast<unsigned long long>(
+                satSub(t.genStartNs, t.dequeueNs)),
+            static_cast<unsigned long long>(
+                satSub(t.genEndNs, t.genStartNs)),
+            static_cast<unsigned long long>(
+                satSub(t.writeNs,
+                       inline_req ? t.recvNs + parse : t.genEndNs)),
+            static_cast<unsigned long long>(
+                satSub(t.writeNs, t.recvNs)));
+    }
+    out += "\n]";
+    return out;
+}
+
+} // namespace fracdram::service

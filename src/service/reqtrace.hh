@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Bounded in-memory ring of per-request timelines.
+ *
+ * When a client sets kFlagRequestId, the daemon stamps every stage
+ * the request passes through - frame decoded, enqueued on a shard,
+ * dequeued by the worker, generation start/end, response written -
+ * and the connection thread pushes the completed timeline here. The
+ * ring keeps the last N timelines (default 1024); /varz?trace=N
+ * dumps the most recent N as JSON, and each completed request also
+ * lands in the Chrome trace sink as a per-request lane (pid 3), so
+ * "where did this slow request spend its time" is answerable without
+ * any external tracing infrastructure.
+ *
+ * Push is one mutex + a few stores; timelines only exist for traced
+ * requests, so untraced traffic never touches the ring at all.
+ */
+
+#ifndef FRACDRAM_SERVICE_REQTRACE_HH
+#define FRACDRAM_SERVICE_REQTRACE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fracdram::service
+{
+
+/** Wall-clock stamps of one traced request's life, all from nowNs(). */
+struct RequestTimeline
+{
+    std::uint64_t requestId = 0;
+    std::uint8_t type = 0;    //!< MsgType
+    std::uint8_t status = 0;  //!< Status
+    int shard = -1;           //!< -1: answered inline (HEALTH/STATS)
+    std::uint64_t recvNs = 0;     //!< frame decoded
+    std::uint64_t enqueueNs = 0;  //!< submitted to the shard queue
+    std::uint64_t dequeueNs = 0;  //!< worker picked the batch up
+    std::uint64_t genStartNs = 0; //!< device work started
+    std::uint64_t genEndNs = 0;   //!< device work finished
+    std::uint64_t writeNs = 0;    //!< response bytes handed to send()
+};
+
+class RequestTraceRing
+{
+  public:
+    explicit RequestTraceRing(std::size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    void push(const RequestTimeline &t);
+
+    /** Most recent min(@p n, stored) timelines, oldest first. */
+    std::vector<RequestTimeline> lastN(std::size_t n) const;
+
+    /** Timelines currently held (<= capacity). */
+    std::size_t size() const;
+
+    /** Lifetime pushes (ring overwrites don't forget). */
+    std::uint64_t totalPushed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return pushed_;
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::vector<RequestTimeline> ring_;
+    std::uint64_t pushed_ = 0;
+};
+
+/**
+ * JSON array of the most recent @p n timelines with per-stage
+ * durations in nanoseconds (parse / queue_wait / batch / generate /
+ * write / total). Inline requests report zero for the shard stages.
+ */
+std::string renderTimelinesJson(const std::vector<RequestTimeline> &ts);
+
+} // namespace fracdram::service
+
+#endif // FRACDRAM_SERVICE_REQTRACE_HH

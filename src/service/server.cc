@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <sys/socket.h>
 
 #include "common/logging.hh"
 #include "service/net.hh"
+#include "telemetry/prom.hh"
 #include "telemetry/report.hh"
+#include "telemetry/trace.hh"
 
 namespace fracdram::service
 {
@@ -17,7 +20,7 @@ namespace
 struct ConnCounters
 {
     telemetry::CounterId accepted, rejected, rateLimited, badFrames;
-    telemetry::HistogramId writeBatch;
+    telemetry::HistogramId writeBatch, requestNs;
 
     ConnCounters()
     {
@@ -27,6 +30,7 @@ struct ConnCounters
         rateLimited = m.counter("service.rate_limited");
         badFrames = m.counter("service.bad_frames");
         writeBatch = m.histogram("service.write_batch_frames");
+        requestNs = m.histogram("service.request_ns");
     }
 };
 
@@ -35,6 +39,22 @@ connCounters()
 {
     static const ConnCounters c;
     return c;
+}
+
+/**
+ * Gate for rate-limited WARNs: true at most once per @p period_ns
+ * per @p gate, no matter how many threads hit it. Flood conditions
+ * (connection cap, garbage frames) log one line with totals, not one
+ * line per event.
+ */
+bool
+warnTick(std::atomic<std::uint64_t> &gate,
+         std::uint64_t period_ns = 5'000'000'000ull)
+{
+    const std::uint64_t now = telemetry::nowNs();
+    std::uint64_t last = gate.load(std::memory_order_relaxed);
+    return (last == 0 || now - last >= period_ns) &&
+           gate.compare_exchange_strong(last, now);
 }
 
 /**
@@ -78,6 +98,8 @@ struct PendingResponse
     bool ready = false;
     Response resp;
     std::future<Response> future;
+    std::uint64_t recvNs = 0; //!< frame decoded (traced requests)
+    int shard = -1;           //!< -1: answered inline
 };
 
 Response
@@ -88,12 +110,34 @@ quickResponse(const Request &req, Status status, std::string text)
     resp.seq = req.seq;
     resp.status = status;
     resp.text = std::move(text);
+    echoRequestId(resp, req);
     return resp;
+}
+
+/** Turn a completed timeline into pid-3 Chrome trace lanes. */
+void
+emitRequestSpans(const RequestTimeline &t)
+{
+    const auto span = [&t](const char *stage, std::uint64_t a,
+                           std::uint64_t b) {
+        if (b > a && a > 0)
+            telemetry::traceRequestSpan(stage, t.requestId, a, b - a);
+    };
+    if (t.shard >= 0) {
+        span("parse", t.recvNs, t.enqueueNs);
+        span("queue_wait", t.enqueueNs, t.dequeueNs);
+        span("batch", t.dequeueNs, t.genStartNs);
+        span("generate", t.genStartNs, t.genEndNs);
+        span("write", t.genEndNs, t.writeNs);
+    } else {
+        span("parse", t.recvNs, t.writeNs);
+    }
 }
 
 } // namespace
 
-Server::Server(const ServerConfig &cfg) : cfg_(cfg)
+Server::Server(const ServerConfig &cfg)
+    : cfg_(cfg), traceRing_(cfg.traceRingCapacity)
 {
     fatal_if(cfg_.numShards < 1, "server needs at least one shard "
                                  "(got %d)",
@@ -119,6 +163,14 @@ Server::start(std::string *err)
         shards_.push_back(std::make_unique<Shard>(i, cfg_.shard));
         shards_.back()->start();
     }
+    if (!startObservability(err)) {
+        for (auto &shard : shards_)
+            shard->drainAndStop();
+        shards_.clear();
+        closeFd(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
     acceptThread_ = std::thread(&Server::acceptLoop, this);
     running_ = true;
     inform("service: listening on 127.0.0.1:%u (%d shards, queue "
@@ -126,6 +178,101 @@ Server::start(std::string *err)
            port_, cfg_.numShards, cfg_.shard.queueCapacity,
            cfg_.shard.maxBatchJobs);
     return true;
+}
+
+bool
+Server::startObservability(std::string *err)
+{
+    if (cfg_.sloP99Us > 0) {
+        WatchdogConfig wcfg;
+        wcfg.sloP99Us = cfg_.sloP99Us;
+        wcfg.intervalMs = cfg_.watchdogIntervalMs;
+        watchdog_ = std::make_unique<Watchdog>(wcfg);
+        watchdog_->start();
+    }
+    if (cfg_.metricsPort < 0)
+        return true;
+    http_ = std::make_unique<HttpServer>();
+    http_->route("/metrics", [](const HttpRequest &) {
+        HttpResponse resp;
+        resp.contentType =
+            "text/plain; version=0.0.4; charset=utf-8";
+        resp.body = telemetry::renderProm(
+            telemetry::Metrics::instance().snapshot());
+        return resp;
+    });
+    http_->route("/healthz",
+                 [this](const HttpRequest &) { return handleHealthz(); });
+    http_->route("/varz",
+                 [this](const HttpRequest &r) { return handleVarz(r); });
+    if (!http_->start(static_cast<std::uint16_t>(cfg_.metricsPort),
+                      err)) {
+        http_.reset();
+        if (watchdog_)
+            watchdog_->stop();
+        watchdog_.reset();
+        return false;
+    }
+    inform("service: component=exporter observability on "
+           "127.0.0.1:%u (/metrics, /healthz, /varz)",
+           http_->port());
+    return true;
+}
+
+HttpResponse
+Server::handleHealthz() const
+{
+    const bool burning = watchdog_ && !watchdog_->healthy();
+    HttpResponse resp;
+    if (burning) {
+        resp.status = 503;
+        resp.body = strprintf(
+            "unhealthy: slo breach (windowed p99=%lluus > "
+            "slo=%lluus)\n",
+            static_cast<unsigned long long>(watchdog_->lastP99Us()),
+            static_cast<unsigned long long>(cfg_.sloP99Us));
+    } else {
+        resp.body = "ok\n";
+    }
+    return resp;
+}
+
+HttpResponse
+Server::handleVarz(const HttpRequest &req) const
+{
+    std::string body = "{\n  \"health\": " + healthJson();
+    if (watchdog_) {
+        body += strprintf(
+            ",\n  \"watchdog\": {\"healthy\": %s, "
+            "\"p99_us\": %llu, \"slo_p99_us\": %llu, "
+            "\"breached_windows\": %llu, \"flips\": %llu}",
+            watchdog_->healthy() ? "true" : "false",
+            static_cast<unsigned long long>(watchdog_->lastP99Us()),
+            static_cast<unsigned long long>(cfg_.sloP99Us),
+            static_cast<unsigned long long>(
+                watchdog_->breachedWindows()),
+            static_cast<unsigned long long>(watchdog_->flips()));
+    }
+    body += strprintf(",\n  \"trace_ring\": {\"capacity\": %zu, "
+                      "\"stored\": %zu, \"total\": %llu}",
+                      traceRing_.capacity(), traceRing_.size(),
+                      static_cast<unsigned long long>(
+                          traceRing_.totalPushed()));
+    const std::string n_str = queryParam(req.query, "trace");
+    if (!n_str.empty()) {
+        const long n = std::atol(n_str.c_str());
+        if (n > 0) {
+            body += ",\n  \"requests\": ";
+            body += renderTimelinesJson(
+                traceRing_.lastN(static_cast<std::size_t>(n)));
+        }
+    }
+    body += ",\n  \"metrics\": " + statsJson();
+    body += "\n}\n";
+    HttpResponse resp;
+    resp.contentType = "application/json";
+    resp.body = std::move(body);
+    return resp;
 }
 
 void
@@ -158,6 +305,12 @@ Server::stop()
     // Now nothing can submit; serve what is queued and stop.
     for (auto &shard : shards_)
         shard->drainAndStop();
+    // Observability goes last so a scrape during the drain still
+    // answers (reporting "draining").
+    if (http_)
+        http_->stop();
+    if (watchdog_)
+        watchdog_->stop();
     inform("service: drained (served %llu connections)",
            static_cast<unsigned long long>(accepted_.load()));
 }
@@ -251,6 +404,15 @@ Server::acceptLoop()
             closeFd(fd);
             ++rejected_;
             telemetry::count(connCounters().rejected);
+            static std::atomic<std::uint64_t> gate{0};
+            if (warnTick(gate)) {
+                warn("component=server connection limit (%zu) "
+                     "reached; rejecting with BUSY (%llu rejected "
+                     "so far)",
+                     static_cast<std::size_t>(cfg_.maxConnections),
+                     static_cast<unsigned long long>(
+                         rejected_.load()));
+            }
             continue;
         }
         auto conn = std::make_unique<Conn>();
@@ -303,11 +465,19 @@ Server::connLoop(Conn *conn)
         while (reader.next(payload)) {
             Request req;
             std::string err;
+            const std::uint64_t recv_ns =
+                telemetry::enabled() ? telemetry::nowNs() : 0;
             if (!decodeRequest(payload.data(), payload.size(), req,
                                &err)) {
                 // Undecodable frame: answer, then hang up - the
                 // stream cannot be trusted to stay aligned.
                 telemetry::count(cc.badFrames);
+                static std::atomic<std::uint64_t> gate{0};
+                if (warnTick(gate)) {
+                    warn("component=server undecodable frame on "
+                         "fd=%d (%s); closing connection",
+                         conn->fd, err.c_str());
+                }
                 Request synthetic;
                 synthetic.type = MsgType::Health;
                 if (payload.size() >= 4)
@@ -324,13 +494,15 @@ Server::connLoop(Conn *conn)
                 pending.push_back(
                     {true,
                      quickResponse(req, Status::Ok, healthJson()),
-                     {}});
+                     {},
+                     recv_ns});
                 continue;
             }
             if (req.type == MsgType::Stats) {
                 pending.push_back(
                     {true, quickResponse(req, Status::Ok, statsJson()),
-                     {}});
+                     {},
+                     recv_ns});
                 continue;
             }
             if (bucket.active() && !bucket.allow()) {
@@ -339,7 +511,8 @@ Server::connLoop(Conn *conn)
                     {true,
                      quickResponse(req, Status::RateLimited,
                                    "per-connection rate limit"),
-                     {}});
+                     {},
+                     recv_ns});
                 continue;
             }
             const std::size_t shard_idx =
@@ -355,11 +528,14 @@ Server::connLoop(Conn *conn)
                     {true,
                      quickResponse(req, Status::Busy,
                                    "shard queue full"),
-                     {}});
+                     {},
+                     recv_ns});
                 continue;
             }
             PendingResponse p;
             p.future = std::move(fut);
+            p.recvNs = recv_ns;
+            p.shard = static_cast<int>(shard_idx);
             pending.push_back(std::move(p));
         }
         if (!reader.error().empty()) {
@@ -379,14 +555,45 @@ Server::connLoop(Conn *conn)
         // One write per batch, responses in request order.
         telemetry::observe(cc.writeBatch, pending.size());
         std::vector<std::uint8_t> out;
+        std::vector<RequestTimeline> traced;
         for (auto &p : pending) {
             const Response resp =
                 p.ready ? std::move(p.resp) : p.future.get();
             const auto pl = encodeResponse(resp);
             const auto framed = frame(pl);
             out.insert(out.end(), framed.begin(), framed.end());
+            if (telemetry::enabled() &&
+                (resp.flags & kFlagRequestId)) {
+                RequestTimeline t;
+                t.requestId = resp.requestId;
+                t.type = static_cast<std::uint8_t>(resp.type);
+                t.status = static_cast<std::uint8_t>(resp.status);
+                t.shard = p.shard;
+                t.recvNs = p.recvNs;
+                t.enqueueNs = resp.stamps.enqueueNs;
+                t.dequeueNs = resp.stamps.dequeueNs;
+                t.genStartNs = resp.stamps.genStartNs;
+                t.genEndNs = resp.stamps.genEndNs;
+                traced.push_back(t);
+            }
         }
-        if (!writeAll(conn->fd, out.data(), out.size(), nullptr))
+        const bool wrote =
+            writeAll(conn->fd, out.data(), out.size(), nullptr);
+        if (!traced.empty()) {
+            // One stamp for the whole batch: the requests left the
+            // daemon together in one write call.
+            const std::uint64_t write_ns = telemetry::nowNs();
+            for (RequestTimeline &t : traced) {
+                t.writeNs = write_ns;
+                telemetry::observe(cc.requestNs,
+                                   write_ns > t.recvNs
+                                       ? write_ns - t.recvNs
+                                       : 0);
+                traceRing_.push(t);
+                emitRequestSpans(t);
+            }
+        }
+        if (!wrote)
             break;
     }
     debug_log("service: closing connection fd=%d", conn->fd);

@@ -41,7 +41,10 @@
 #include <thread>
 #include <vector>
 
+#include "service/http.hh"
+#include "service/reqtrace.hh"
 #include "service/shard.hh"
+#include "service/watchdog.hh"
 
 namespace fracdram::service
 {
@@ -55,6 +58,14 @@ struct ServerConfig
     double rateLimitPerConn = 0.0; //!< requests/s per conn; 0 = off
     int idleTimeoutMs = 60000;
     int writeTimeoutMs = 5000; //!< SO_SNDTIMEO per conn; 0 = off
+
+    /** @name Observability (see DESIGN.md, "Live observability") */
+    /// @{
+    int metricsPort = -1; //!< HTTP endpoints; -1 = off, 0 = ephemeral
+    std::uint64_t sloP99Us = 0; //!< watchdog SLO; 0 = never unhealthy
+    int watchdogIntervalMs = 1000;
+    std::size_t traceRingCapacity = 1024; //!< request timelines kept
+    /// @}
 };
 
 class Server
@@ -84,6 +95,16 @@ class Server
     std::uint64_t rejectedConnections() const { return rejected_; }
     std::size_t shardQueueDepth(int shard) const;
     const ServerConfig &config() const { return cfg_; }
+
+    /** HTTP observability port (0 when metricsPort was -1). */
+    std::uint16_t metricsPort() const
+    {
+        return http_ ? http_->port() : 0;
+    }
+    /** nullptr when no SLO was configured. */
+    const Watchdog *watchdog() const { return watchdog_.get(); }
+    Watchdog *watchdog() { return watchdog_.get(); }
+    const RequestTraceRing &traceRing() const { return traceRing_; }
     /// @}
 
   private:
@@ -100,9 +121,15 @@ class Server
     void joinAllConns();
     std::string healthJson() const;
     std::string statsJson() const;
+    bool startObservability(std::string *err);
+    HttpResponse handleHealthz() const;
+    HttpResponse handleVarz(const HttpRequest &req) const;
 
     const ServerConfig cfg_;
     std::vector<std::unique_ptr<Shard>> shards_;
+    std::unique_ptr<HttpServer> http_;
+    std::unique_ptr<Watchdog> watchdog_;
+    RequestTraceRing traceRing_;
     int listenFd_ = -1;
     std::uint16_t port_ = 0;
     std::thread acceptThread_;

@@ -179,6 +179,9 @@ Shard::process(std::vector<Job> &batch)
         telemetry::observe(sc.batchBits,
                            cond_bytes * 8 + raw_bits);
 
+    // The entropy work of the whole batch happens in this window, so
+    // every entropy job of the batch shares these generate stamps.
+    const std::uint64_t gen_start = telem ? telemetry::nowNs() : 0;
     if (cond_bytes > 0)
         refillPool(cond_bytes);
     std::vector<std::uint8_t> raw_bytes;
@@ -186,6 +189,7 @@ Shard::process(std::vector<Job> &batch)
         raw_bytes = packBits(trng_->generate(raw_bits));
         telemetry::count(sc.rawBits, raw_bits);
     }
+    const std::uint64_t gen_end = telem ? telemetry::nowNs() : 0;
     std::size_t raw_pos = 0;
 
     for (Job &j : batch) {
@@ -216,12 +220,18 @@ Shard::process(std::vector<Job> &batch)
                 poolPos_ += n;
             }
             telemetry::count(sc.entropyBytes, n);
+            resp.stamps.genStartNs = gen_start;
+            resp.stamps.genEndNs = gen_end;
             break;
         }
         case MsgType::PufEnroll:
-        case MsgType::PufResponse:
+        case MsgType::PufResponse: {
+            const std::uint64_t t0 = telem ? telemetry::nowNs() : 0;
             resp = handlePuf(j.req);
+            resp.stamps.genStartNs = t0;
+            resp.stamps.genEndNs = telem ? telemetry::nowNs() : 0;
             break;
+        }
         case MsgType::Health:
         case MsgType::Stats:
             // The server answers these inline; a shard seeing one is
@@ -230,6 +240,9 @@ Shard::process(std::vector<Job> &batch)
             resp.text = "internal: request not shardable";
             break;
         }
+        resp.stamps.enqueueNs = j.enqueueNs;
+        resp.stamps.dequeueNs = now;
+        echoRequestId(resp, j.req);
         j.done.set_value(std::move(resp));
     }
 }

@@ -1,0 +1,141 @@
+#include "service/watchdog.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+
+namespace fracdram::service
+{
+
+using telemetry::Metrics;
+
+Watchdog::Watchdog(const WatchdogConfig &cfg) : cfg_(cfg) {}
+
+void
+Watchdog::start()
+{
+    if (thread_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = false;
+    }
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+Watchdog::stop()
+{
+    if (!thread_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+}
+
+void
+Watchdog::loop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+        if (cv_.wait_for(lock,
+                         std::chrono::milliseconds(cfg_.intervalMs),
+                         [this] { return stopping_; }))
+            break;
+        lock.unlock();
+        sampleOnce();
+        lock.lock();
+    }
+}
+
+void
+Watchdog::sampleOnce()
+{
+    const auto snap = Metrics::instance().snapshot();
+
+    // Worst shard queue depth, republished for scrapers and the
+    // breach log line.
+    std::int64_t max_depth = 0;
+    for (const auto &[name, v] : snap.gauges) {
+        if (name.rfind("service.shard", 0) == 0 &&
+            name.size() > 11 &&
+            name.compare(name.size() - 11, 11, "queue_depth") == 0 &&
+            v > max_depth) {
+            max_depth = v;
+        }
+    }
+
+    telemetry::HistogramSnapshot cur;
+    const auto it = snap.histograms.find(cfg_.latencyHistogram);
+    if (it != snap.histograms.end())
+        cur = it->second;
+    // The first sample only establishes the baseline: the registry
+    // may hold lifetime totals from before this watchdog existed,
+    // and judging those as one giant window would burn error budget
+    // on traffic it never watched.
+    if (!primed_) {
+        prev_ = cur;
+        primed_ = true;
+        return;
+    }
+    const auto window = cur.deltaSince(prev_);
+    prev_ = cur;
+
+    const std::uint64_t p99_us = window.quantile(0.99) / 1000;
+    lastP99Us_ = p99_us;
+
+    static const auto g_p99 =
+        Metrics::instance().gauge("service.watchdog.p99_us");
+    static const auto g_depth =
+        Metrics::instance().gauge("service.watchdog.queue_depth_max");
+    static const auto g_unhealthy =
+        Metrics::instance().gauge("service.watchdog.unhealthy");
+    static const auto c_breached =
+        Metrics::instance().counter(
+            "service.watchdog.breached_windows");
+    telemetry::setGauge(g_p99, static_cast<std::int64_t>(p99_us));
+    telemetry::setGauge(g_depth, max_depth);
+
+    if (cfg_.sloP99Us == 0)
+        return;
+
+    // An idle window is a good window: after a drain the p99 of zero
+    // requests must not keep health red.
+    const bool breach = window.count > 0 && p99_us > cfg_.sloP99Us;
+    if (breach) {
+        ++breached_;
+        telemetry::count(c_breached);
+        consecClear_ = 0;
+        ++consecBreach_;
+    } else {
+        consecBreach_ = 0;
+        ++consecClear_;
+    }
+
+    if (healthy_ && consecBreach_ >= cfg_.breachWindows) {
+        healthy_ = false;
+        ++flips_;
+        // One WARN per breach episode - the edge, not every window.
+        warn("component=watchdog slo breach: windowed p99=%lluus > "
+             "slo=%lluus over %d consecutive windows (window n=%llu, "
+             "max shard queue depth %lld); /healthz -> 503",
+             static_cast<unsigned long long>(p99_us),
+             static_cast<unsigned long long>(cfg_.sloP99Us),
+             consecBreach_,
+             static_cast<unsigned long long>(window.count),
+             static_cast<long long>(max_depth));
+    } else if (!healthy_ && consecClear_ >= cfg_.clearWindows) {
+        healthy_ = true;
+        inform("component=watchdog slo recovered: p99=%lluus <= "
+               "slo=%lluus for %d windows; /healthz -> 200",
+               static_cast<unsigned long long>(p99_us),
+               static_cast<unsigned long long>(cfg_.sloP99Us),
+               consecClear_);
+    }
+    telemetry::setGauge(g_unhealthy, healthy_ ? 0 : 1);
+}
+
+} // namespace fracdram::service

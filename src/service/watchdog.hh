@@ -1,0 +1,110 @@
+/**
+ * @file
+ * SLO watchdog: a sampling thread that turns the metrics registry
+ * into a health verdict.
+ *
+ * Every interval it snapshots the request-latency histogram, takes
+ * the delta against the previous snapshot (HistogramSnapshot::
+ * deltaSince), and compares the windowed p99 against the configured
+ * SLO. `breachWindows` consecutive bad windows flip the daemon
+ * unhealthy - /healthz starts answering 503 so a load balancer stops
+ * sending traffic - and `clearWindows` consecutive good windows
+ * restore it. A window with no traffic counts as good: a drained
+ * daemon must recover on its own, not stay red because nobody is
+ * exercising it.
+ *
+ * Every breached window also burns one unit of error budget (the
+ * `service.watchdog.breached_windows` counter), and the windowed p99
+ * plus the worst shard queue depth are republished as gauges so the
+ * watchdog's own view is scrapable. Logging is transition-edge only:
+ * one WARN when health flips bad (with the evidence), one inform when
+ * it recovers - a sustained breach never floods the log.
+ *
+ * The watchdog reads only the global registry, so tests drive it
+ * synchronously: record synthetic latencies, call sampleOnce(), and
+ * assert on healthy().
+ */
+
+#ifndef FRACDRAM_SERVICE_WATCHDOG_HH
+#define FRACDRAM_SERVICE_WATCHDOG_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "telemetry/metrics.hh"
+
+namespace fracdram::service
+{
+
+struct WatchdogConfig
+{
+    std::uint64_t sloP99Us = 0; //!< 0 = watchdog never flips health
+    int intervalMs = 1000;
+    int breachWindows = 2; //!< consecutive bad windows to go red
+    int clearWindows = 2;  //!< consecutive good windows to go green
+    /** Latency histogram evaluated against the SLO (nanoseconds). */
+    std::string latencyHistogram = "service.request_ns";
+};
+
+class Watchdog
+{
+  public:
+    explicit Watchdog(const WatchdogConfig &cfg);
+    ~Watchdog() { stop(); }
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /** Start the sampling thread (no-op when already running). */
+    void start();
+
+    /** Stop and join the sampling thread; idempotent. */
+    void stop();
+
+    /** false while the SLO error budget is burning (-> 503). */
+    bool healthy() const { return healthy_; }
+
+    /** Windowed p99 of the last evaluated window, microseconds. */
+    std::uint64_t lastP99Us() const { return lastP99Us_; }
+
+    /** Error budget burn: total breached windows so far. */
+    std::uint64_t breachedWindows() const { return breached_; }
+
+    /** Health flips (red edges) so far. */
+    std::uint64_t flips() const { return flips_; }
+
+    /**
+     * Evaluate one window right now (the thread calls this on its
+     * interval; tests call it directly for determinism).
+     */
+    void sampleOnce();
+
+    const WatchdogConfig &config() const { return cfg_; }
+
+  private:
+    void loop();
+
+    const WatchdogConfig cfg_;
+    std::thread thread_;
+    std::mutex mutex_; //!< wakes the loop early on stop()
+    std::condition_variable cv_;
+    bool stopping_ = false;
+
+    std::atomic<bool> healthy_{true};
+    std::atomic<std::uint64_t> lastP99Us_{0};
+    std::atomic<std::uint64_t> breached_{0};
+    std::atomic<std::uint64_t> flips_{0};
+
+    // Sampling state, touched only from sampleOnce() callers.
+    telemetry::HistogramSnapshot prev_;
+    bool primed_ = false;
+    int consecBreach_ = 0;
+    int consecClear_ = 0;
+};
+
+} // namespace fracdram::service
+
+#endif // FRACDRAM_SERVICE_WATCHDOG_HH

@@ -64,20 +64,49 @@ std::uint64_t
 HistogramSnapshot::quantile(double q) const
 {
     if (count == 0)
-        return 0;
+        return 0; // no samples: 0, never a bucket bound
+    if (q <= 0.0)
+        return min;
+    if (q >= 1.0)
+        return max; // clamp to the recorded maximum
     const auto target = static_cast<std::uint64_t>(
         q * static_cast<double>(count - 1));
     std::uint64_t seen = 0;
     for (std::size_t k = 0; k < buckets.size(); ++k) {
         seen += buckets[k];
         if (seen > target) {
-            // Upper bound of bucket k: values with bit width k.
-            return k == 0 ? 0
-                          : (k >= 64 ? UINT64_MAX
-                                     : (std::uint64_t{1} << k) - 1);
+            // Upper bound of bucket k: values with bit width k. The
+            // bound can overshoot (or, for the lowest bucket,
+            // undershoot) the recorded extremes; clamp so quantiles
+            // stay inside [min, max].
+            const std::uint64_t upper =
+                k == 0 ? 0
+                       : (k >= 64 ? UINT64_MAX
+                                  : (std::uint64_t{1} << k) - 1);
+            return std::clamp(upper, min, max);
         }
     }
     return max;
+}
+
+HistogramSnapshot
+HistogramSnapshot::deltaSince(const HistogramSnapshot &prev) const
+{
+    auto sat_sub = [](std::uint64_t a, std::uint64_t b) {
+        return a >= b ? a - b : std::uint64_t{0};
+    };
+    HistogramSnapshot d;
+    d.count = sat_sub(count, prev.count);
+    d.sum = sat_sub(sum, prev.sum);
+    d.min = min;
+    d.max = max;
+    d.buckets.assign(buckets.size(), 0);
+    for (std::size_t k = 0; k < buckets.size(); ++k) {
+        const std::uint64_t before =
+            k < prev.buckets.size() ? prev.buckets[k] : 0;
+        d.buckets[k] = sat_sub(buckets[k], before);
+    }
+    return d;
 }
 
 /**

@@ -90,8 +90,25 @@ struct HistogramSnapshot
                            static_cast<double>(count)
                      : 0.0;
     }
-    /** Bucket-resolution quantile (upper bound of the bucket). */
+
+    /**
+     * Bucket-resolution quantile: the upper bound of the bucket
+     * holding the value at rank floor((count-1) * q), clamped into
+     * [min, max] so no quantile ever overshoots what was actually
+     * recorded. Edge cases: an empty histogram is 0 for every q,
+     * q <= 0 is min, and q >= 1 is exactly max.
+     */
     std::uint64_t quantile(double q) const;
+
+    /**
+     * Windowed view: the samples recorded since @p prev was taken
+     * (count/sum/buckets subtracted, saturating at 0 so a reset
+     * between snapshots cannot underflow). min/max stay the lifetime
+     * extremes - per-bucket extremes are not recorded - so windowed
+     * quantiles are still clamped into the lifetime range. This is
+     * what the SLO watchdog evaluates its rolling p99 over.
+     */
+    HistogramSnapshot deltaSince(const HistogramSnapshot &prev) const;
 };
 
 /** A consistent aggregate of every shard at one point in time. */

@@ -1,0 +1,191 @@
+#include "telemetry/prom.hh"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace fracdram::telemetry
+{
+
+namespace
+{
+
+/**
+ * Split "service.shard3.queue_depth" into the family name
+ * "service.shard.queue_depth" and the label suffix {shard="3"}.
+ * Names without a shardN component pass through with no labels.
+ */
+void
+splitShardLabel(const std::string &name, std::string &family,
+                std::string &labels)
+{
+    family.clear();
+    labels.clear();
+    std::size_t pos = 0;
+    while (pos < name.size()) {
+        std::size_t dot = name.find('.', pos);
+        if (dot == std::string::npos)
+            dot = name.size();
+        const std::string token = name.substr(pos, dot - pos);
+        bool consumed = false;
+        if (labels.empty() && token.size() > 5 &&
+            token.compare(0, 5, "shard") == 0) {
+            bool digits = true;
+            for (std::size_t i = 5; i < token.size(); ++i)
+                digits = digits && std::isdigit(
+                                       static_cast<unsigned char>(
+                                           token[i])) != 0;
+            if (digits) {
+                labels = "{shard=\"" + token.substr(5) + "\"}";
+                if (!family.empty())
+                    family += ".shard";
+                else
+                    family = "shard";
+                consumed = true;
+            }
+        }
+        if (!consumed) {
+            if (!family.empty())
+                family += '.';
+            family += token;
+        }
+        pos = dot + 1;
+    }
+}
+
+/** One family's series, keyed by label string (may be empty). */
+template <typename V> using Family = std::map<std::string, V>;
+
+std::string
+bucketBound(std::size_t k)
+{
+    if (k == 0)
+        return "0";
+    if (k >= 64)
+        return "18446744073709551615"; // 2^64 - 1
+    return std::to_string((std::uint64_t{1} << k) - 1);
+}
+
+} // namespace
+
+std::string
+promEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case '"':
+            out += "\\\"";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        default:
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string
+promSanitizeName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size() + 1);
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' ||
+                        c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    if (!out.empty() && out[0] >= '0' && out[0] <= '9')
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+std::string
+renderProm(const MetricsSnapshot &snap, const std::string &prefix)
+{
+    // Group by family first: Prometheus requires all series of one
+    // family to sit together under a single HELP/TYPE header.
+    std::map<std::string, Family<std::uint64_t>> counters;
+    std::map<std::string, Family<std::int64_t>> gauges;
+    std::map<std::string, Family<const HistogramSnapshot *>> hists;
+
+    std::string family, labels;
+    for (const auto &[name, v] : snap.counters) {
+        splitShardLabel(name, family, labels);
+        counters[family][labels] = v;
+    }
+    for (const auto &[name, v] : snap.gauges) {
+        splitShardLabel(name, family, labels);
+        gauges[family][labels] = v;
+    }
+    for (const auto &[name, h] : snap.histograms) {
+        splitShardLabel(name, family, labels);
+        hists[family][labels] = &h;
+    }
+
+    std::string out;
+    out.reserve(4096);
+    auto header = [&](const std::string &dotted,
+                      const std::string &prom_name,
+                      const char *type) {
+        out += "# HELP " + prom_name + " FracDRAM metric '" +
+               promEscape(dotted) + "'\n";
+        out += "# TYPE " + prom_name + " ";
+        out += type;
+        out += '\n';
+    };
+
+    for (const auto &[fam, series] : counters) {
+        const std::string pn =
+            prefix + "_" + promSanitizeName(fam) + "_total";
+        header(fam, pn, "counter");
+        for (const auto &[lbl, v] : series)
+            out += pn + lbl + " " + std::to_string(v) + "\n";
+    }
+    for (const auto &[fam, series] : gauges) {
+        const std::string pn = prefix + "_" + promSanitizeName(fam);
+        header(fam, pn, "gauge");
+        for (const auto &[lbl, v] : series)
+            out += pn + lbl + " " + std::to_string(v) + "\n";
+    }
+    for (const auto &[fam, series] : hists) {
+        const std::string pn = prefix + "_" + promSanitizeName(fam);
+        header(fam, pn, "histogram");
+        for (const auto &[lbl, h] : series) {
+            // Inner labels join the le label: strip the braces.
+            const std::string inner =
+                lbl.empty() ? ""
+                            : lbl.substr(1, lbl.size() - 2) + ",";
+            std::size_t last = 0;
+            for (std::size_t k = 0; k < h->buckets.size(); ++k)
+                if (h->buckets[k] != 0)
+                    last = k + 1;
+            std::uint64_t cum = 0;
+            for (std::size_t k = 0; k < last; ++k) {
+                cum += h->buckets[k];
+                out += pn + "_bucket{" + inner + "le=\"" +
+                       bucketBound(k) + "\"} " +
+                       std::to_string(cum) + "\n";
+            }
+            out += pn + "_bucket{" + inner + "le=\"+Inf\"} " +
+                   std::to_string(h->count) + "\n";
+            out += pn + "_sum" + lbl + " " +
+                   std::to_string(h->sum) + "\n";
+            out += pn + "_count" + lbl + " " +
+                   std::to_string(h->count) + "\n";
+        }
+    }
+    return out;
+}
+
+} // namespace fracdram::telemetry

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Prometheus text exposition (format 0.0.4) of a MetricsSnapshot.
+ *
+ * Rendering rules:
+ *
+ *  - Metric names are sanitized to [a-zA-Z_:][a-zA-Z0-9_:]* (dots
+ *    and anything else illegal become underscores) and prefixed with
+ *    "fracdram_"; counters additionally get the conventional
+ *    "_total" suffix.
+ *  - Per-shard metrics ("service.shardN.x") are folded into one
+ *    family with a {shard="N"} label, so a scrape of an 8-shard
+ *    daemon yields 8 series of one metric instead of 8 metrics -
+ *    that is what lets fracdram_top (and any PromQL) aggregate or
+ *    fan out per shard.
+ *  - Bit-width histograms become native Prometheus histograms: the
+ *    cumulative _bucket{le="2^k-1"} series, then _sum and _count.
+ *    Trailing empty buckets are elided; the +Inf bucket always
+ *    equals _count, as the format requires.
+ *  - Every family carries # HELP (the original dotted name) and
+ *    # TYPE lines; label values and help text are escaped per the
+ *    exposition-format rules.
+ *
+ * The renderer is a pure function of the snapshot - no locks, no
+ * registry access - so the HTTP exposition thread never contends
+ * with the recording hot path beyond the snapshot itself.
+ */
+
+#ifndef FRACDRAM_TELEMETRY_PROM_HH
+#define FRACDRAM_TELEMETRY_PROM_HH
+
+#include <string>
+
+#include "telemetry/metrics.hh"
+
+namespace fracdram::telemetry
+{
+
+/** Escape a label value or HELP text: backslash, quote, newline. */
+std::string promEscape(const std::string &s);
+
+/**
+ * Sanitize one metric name component to Prometheus rules; a leading
+ * digit gets an underscore prefix.
+ */
+std::string promSanitizeName(const std::string &name);
+
+/**
+ * Render the whole snapshot in Prometheus text format.
+ * @param prefix namespace prepended to every family (no trailing _)
+ */
+std::string renderProm(const MetricsSnapshot &snap,
+                       const std::string &prefix = "fracdram");
+
+} // namespace fracdram::telemetry
+
+#endif // FRACDRAM_TELEMETRY_PROM_HH

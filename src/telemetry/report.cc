@@ -73,7 +73,7 @@ renderMetricsJson(const MetricsSnapshot &snap)
             "    \"%s\": {\"count\": %llu, \"sum\": %llu, "
             "\"min\": %llu, \"max\": %llu, \"mean\": %.3f, "
             "\"p50\": %llu, \"p95\": %llu, \"p99\": %llu, "
-            "\"buckets\": [",
+            "\"p999\": %llu, \"buckets\": [",
             jsonEscape(name).c_str(),
             static_cast<unsigned long long>(h.count),
             static_cast<unsigned long long>(h.sum),
@@ -81,7 +81,8 @@ renderMetricsJson(const MetricsSnapshot &snap)
             static_cast<unsigned long long>(h.max), h.mean(),
             static_cast<unsigned long long>(h.quantile(0.5)),
             static_cast<unsigned long long>(h.quantile(0.95)),
-            static_cast<unsigned long long>(h.quantile(0.99)));
+            static_cast<unsigned long long>(h.quantile(0.99)),
+            static_cast<unsigned long long>(h.quantile(0.999)));
         // Trailing zero buckets carry no information; trim them so
         // the report stays readable.
         std::size_t last = 0;
@@ -123,6 +124,18 @@ renderMetricsCsv(const MetricsSnapshot &snap)
                          static_cast<unsigned long long>(h.max));
         out += strprintf("histogram,%s,mean,%.3f\n", name.c_str(),
                          h.mean());
+        out += strprintf("histogram,%s,p50,%llu\n", name.c_str(),
+                         static_cast<unsigned long long>(
+                             h.quantile(0.5)));
+        out += strprintf("histogram,%s,p95,%llu\n", name.c_str(),
+                         static_cast<unsigned long long>(
+                             h.quantile(0.95)));
+        out += strprintf("histogram,%s,p99,%llu\n", name.c_str(),
+                         static_cast<unsigned long long>(
+                             h.quantile(0.99)));
+        out += strprintf("histogram,%s,p999,%llu\n", name.c_str(),
+                         static_cast<unsigned long long>(
+                             h.quantile(0.999)));
     }
     return out;
 }

@@ -18,14 +18,22 @@ enum class Phase : char
     Instant = 'i',
 };
 
+/** Which timeline an event lands on (doubles as the trace pid). */
+enum class Domain : std::uint8_t
+{
+    Wall = 1,    //!< steady-clock spans, one lane per OS thread
+    Cycle = 2,   //!< SoftMC commands, ts already cycle-derived
+    Request = 3, //!< service request stages, one lane per request id
+};
+
 struct Event
 {
     const char *name;
     std::uint64_t ts_ns;
     std::uint64_t dur_ns;
     Phase phase;
-    bool cycleDomain; //!< pid 2, ts already cycle-derived
-    std::uint32_t lane; //!< cycle-domain only: tid on pid 2
+    Domain domain;
+    std::uint32_t lane; //!< Cycle/Request domains: the trace tid
 };
 
 /** Per-thread buffer, owned by the sink, survives its thread. */
@@ -115,7 +123,7 @@ traceSpan(const char *name, std::uint64_t start_ns,
 {
     if (!enabled())
         return;
-    push({name, start_ns, dur_ns, Phase::Complete, false, 0});
+    push({name, start_ns, dur_ns, Phase::Complete, Domain::Wall, 0});
 }
 
 void
@@ -123,7 +131,7 @@ traceInstant(const char *name)
 {
     if (!enabled())
         return;
-    push({name, nowNs(), 0, Phase::Instant, false, 0});
+    push({name, nowNs(), 0, Phase::Instant, Domain::Wall, 0});
 }
 
 void
@@ -135,7 +143,21 @@ traceCommand(const char *name, std::uint64_t cycle,
     // 2.5 ns per memory cycle; store ns so the writer shares one
     // microsecond conversion.
     push({name, cycle * 5 / 2, dur_cycles * 5 / 2, Phase::Complete,
-          true, lane});
+          Domain::Cycle, lane});
+}
+
+void
+traceRequestSpan(const char *stage, std::uint64_t request_id,
+                 std::uint64_t start_ns, std::uint64_t dur_ns)
+{
+    if (!enabled())
+        return;
+    // Fold the id into the 32-bit trace tid; a rare lane collision
+    // just shares a row, it never corrupts the trace.
+    const auto lane = static_cast<std::uint32_t>(
+        request_id ^ (request_id >> 32));
+    push({stage, start_ns, dur_ns, Phase::Complete, Domain::Request,
+          lane});
 }
 
 bool
@@ -166,6 +188,11 @@ writeChromeTrace(const std::string &path)
                "\"name\":\"process_name\",\"args\":{\"name\":"
                "\"softmc command stream (2.5ns cycles)\"}}",
                f);
+    comma();
+    std::fputs("{\"ph\":\"M\",\"pid\":3,\"tid\":0,"
+               "\"name\":\"process_name\",\"args\":{\"name\":"
+               "\"service requests (one lane per request id)\"}}",
+               f);
     std::uint64_t dropped = 0;
     for (const ThreadBuffer *buf : s.buffers) {
         dropped += buf->dropped;
@@ -183,10 +210,10 @@ writeChromeTrace(const std::string &path)
     for (const ThreadBuffer *buf : s.buffers) {
         for (const Event &ev : buf->events) {
             comma();
+            const bool cycle_ts = ev.domain == Domain::Cycle;
             const std::uint64_t base =
-                ev.cycleDomain
-                    ? ev.ts_ns
-                    : (ev.ts_ns > epoch ? ev.ts_ns - epoch : 0);
+                cycle_ts ? ev.ts_ns
+                         : (ev.ts_ns > epoch ? ev.ts_ns - epoch : 0);
             const double ts_us =
                 static_cast<double>(base) / 1000.0;
             if (ev.phase == Phase::Complete) {
@@ -196,9 +223,9 @@ writeChromeTrace(const std::string &path)
                     f,
                     "{\"ph\":\"X\",\"pid\":%d,\"tid\":%u,"
                     "\"name\":\"%s\",\"ts\":%.3f,\"dur\":%.3f}",
-                    ev.cycleDomain ? 2 : 1,
-                    ev.cycleDomain ? ev.lane : buf->tid, ev.name,
-                    ts_us, dur_us);
+                    static_cast<int>(ev.domain),
+                    ev.domain == Domain::Wall ? buf->tid : ev.lane,
+                    ev.name, ts_us, dur_us);
             } else {
                 std::fprintf(
                     f,

@@ -63,6 +63,16 @@ void traceCommand(const char *name, std::uint64_t cycle,
                   std::uint64_t dur_cycles, std::uint32_t lane);
 
 /**
+ * Record one stage span of a traced service request on the
+ * per-request timeline (pid 3): each request id gets its own lane,
+ * so a request's parse / queue-wait / batch / generate / write
+ * stages line up as one row in Perfetto. Wall-clock timestamps,
+ * same epoch as traceSpan. @p stage must be a literal or interned.
+ */
+void traceRequestSpan(const char *stage, std::uint64_t request_id,
+                      std::uint64_t start_ns, std::uint64_t dur_ns);
+
+/**
  * Serialize every buffered event as Chrome trace JSON.
  * @return false when the file could not be written
  */

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Prometheus exporter tests: label escaping, name sanitization, and
+ * a golden rendering of a hand-built MetricsSnapshot covering the
+ * counter/gauge/histogram forms, shard-label folding, cumulative
+ * buckets and the +Inf invariant. renderProm is a pure function of
+ * the snapshot, so no registry state is involved.
+ */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/prom.hh"
+
+using namespace fracdram::telemetry;
+
+namespace
+{
+
+HistogramSnapshot
+makeHist(std::initializer_list<std::pair<std::size_t, std::uint64_t>>
+             filled,
+         std::uint64_t sum, std::uint64_t min, std::uint64_t max)
+{
+    HistogramSnapshot h;
+    h.buckets.assign(65, 0);
+    for (const auto &[k, n] : filled) {
+        h.buckets[k] = n;
+        h.count += n;
+    }
+    h.sum = sum;
+    h.min = min;
+    h.max = max;
+    return h;
+}
+
+} // namespace
+
+TEST(PromExporter, EscapesHelpText)
+{
+    EXPECT_EQ(promEscape("plain"), "plain");
+    EXPECT_EQ(promEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(promEscape("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(promEscape("line\nbreak"), "line\\nbreak");
+}
+
+TEST(PromExporter, SanitizesMetricNames)
+{
+    EXPECT_EQ(promSanitizeName("service.request_ns"),
+              "service_request_ns");
+    EXPECT_EQ(promSanitizeName("weird-name+x"), "weird_name_x");
+    EXPECT_EQ(promSanitizeName("3rd"), "_3rd");
+    EXPECT_EQ(promSanitizeName("ok:colon_9"), "ok:colon_9");
+}
+
+TEST(PromExporter, GoldenRendering)
+{
+    MetricsSnapshot snap;
+    snap.counters["service.jobs"] = 42;
+    snap.counters["service.shard0.busy"] = 7;
+    snap.gauges["service.shard3.queue_depth"] = 9;
+    snap.histograms["service.request_ns"] =
+        makeHist({{1, 1}, {3, 2}}, 9, 1, 6);
+
+    const std::string expected =
+        "# HELP fracdram_service_jobs_total FracDRAM metric "
+        "'service.jobs'\n"
+        "# TYPE fracdram_service_jobs_total counter\n"
+        "fracdram_service_jobs_total 42\n"
+        "# HELP fracdram_service_shard_busy_total FracDRAM metric "
+        "'service.shard.busy'\n"
+        "# TYPE fracdram_service_shard_busy_total counter\n"
+        "fracdram_service_shard_busy_total{shard=\"0\"} 7\n"
+        "# HELP fracdram_service_shard_queue_depth FracDRAM metric "
+        "'service.shard.queue_depth'\n"
+        "# TYPE fracdram_service_shard_queue_depth gauge\n"
+        "fracdram_service_shard_queue_depth{shard=\"3\"} 9\n"
+        "# HELP fracdram_service_request_ns FracDRAM metric "
+        "'service.request_ns'\n"
+        "# TYPE fracdram_service_request_ns histogram\n"
+        "fracdram_service_request_ns_bucket{le=\"0\"} 0\n"
+        "fracdram_service_request_ns_bucket{le=\"1\"} 1\n"
+        "fracdram_service_request_ns_bucket{le=\"3\"} 1\n"
+        "fracdram_service_request_ns_bucket{le=\"7\"} 3\n"
+        "fracdram_service_request_ns_bucket{le=\"+Inf\"} 3\n"
+        "fracdram_service_request_ns_sum 9\n"
+        "fracdram_service_request_ns_count 3\n";
+    EXPECT_EQ(renderProm(snap), expected);
+}
+
+TEST(PromExporter, ShardLabelJoinsHistogramLeLabel)
+{
+    MetricsSnapshot snap;
+    snap.histograms["service.shard1.batch_jobs"] =
+        makeHist({{2, 4}}, 12, 3, 3);
+    const std::string out = renderProm(snap);
+    EXPECT_NE(out.find("fracdram_service_shard_batch_jobs_bucket"
+                       "{shard=\"1\",le=\"3\"} 4\n"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("fracdram_service_shard_batch_jobs_sum"
+                       "{shard=\"1\"} 12\n"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("fracdram_service_shard_batch_jobs_count"
+                       "{shard=\"1\"} 4\n"),
+              std::string::npos)
+        << out;
+    // Both shards of one family share a single header block.
+    snap.histograms["service.shard0.batch_jobs"] =
+        makeHist({{1, 1}}, 1, 1, 1);
+    const std::string two = renderProm(snap);
+    std::size_t first =
+        two.find("# TYPE fracdram_service_shard_batch_jobs");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(
+        two.find("# TYPE fracdram_service_shard_batch_jobs",
+                 first + 1),
+        std::string::npos);
+}
+
+TEST(PromExporter, TopBucketAndInfInvariant)
+{
+    MetricsSnapshot snap;
+    snap.histograms["wide"] =
+        makeHist({{64, 2}}, 0, UINT64_MAX, UINT64_MAX);
+    const std::string out = renderProm(snap);
+    // The k=64 bucket's upper bound is 2^64-1; +Inf always equals
+    // the total count.
+    EXPECT_NE(out.find("fracdram_wide_bucket"
+                       "{le=\"18446744073709551615\"} 2\n"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("fracdram_wide_bucket{le=\"+Inf\"} 2\n"),
+              std::string::npos)
+        << out;
+}
+
+TEST(PromExporter, CustomPrefixAndEmptySnapshot)
+{
+    MetricsSnapshot empty;
+    EXPECT_EQ(renderProm(empty), "");
+    MetricsSnapshot snap;
+    snap.counters["x"] = 1;
+    EXPECT_EQ(renderProm(snap, "acme"),
+              "# HELP acme_x_total FracDRAM metric 'x'\n"
+              "# TYPE acme_x_total counter\n"
+              "acme_x_total 1\n");
+}

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "service/client.hh"
+#include "service/http.hh"
 #include "service/net.hh"
 #include "service/server.hh"
 #include "telemetry/metrics.hh"
@@ -467,4 +468,199 @@ TEST(Service, GracefulDrain)
 
     // stop() is idempotent.
     ts.server.stop();
+}
+
+TEST(Service, RequestIdRoundTripsAndLandsInTraceRing)
+{
+    const bool was_enabled = telemetry::enabled();
+    telemetry::setEnabled(true);
+    {
+        ServerConfig cfg = testConfig(2);
+        cfg.traceRingCapacity = 16;
+        TestServer ts(cfg);
+        Client c = ts.connect();
+        std::string err;
+
+        Request req;
+        req.type = MsgType::GetEntropy;
+        req.flags = kFlagRequestId;
+        req.requestId = 0xABCD1234DEADBEEFull;
+        req.seq = 7;
+        req.nBytes = 64;
+        ASSERT_TRUE(c.send(req, &err)) << err;
+        Response resp;
+        ASSERT_TRUE(c.recv(resp, &err, 10000)) << err;
+        EXPECT_EQ(resp.status, Status::Ok);
+        EXPECT_NE(resp.flags & kFlagRequestId, 0);
+        EXPECT_EQ(resp.requestId, req.requestId);
+        EXPECT_EQ(resp.seq, 7);
+
+        // The connection thread pushes the timeline after the
+        // response hits the wire, so the client can get here first.
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(10);
+        while (ts.server.traceRing().size() == 0 &&
+               std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::yield();
+        }
+        const auto timelines = ts.server.traceRing().lastN(4);
+        ASSERT_EQ(timelines.size(), 1u);
+        const auto &t = timelines[0];
+        EXPECT_EQ(t.requestId, req.requestId);
+        EXPECT_EQ(static_cast<MsgType>(t.type), MsgType::GetEntropy);
+        EXPECT_EQ(static_cast<Status>(t.status), Status::Ok);
+        EXPECT_GE(t.shard, 0);
+        // Stage stamps are monotonic through the daemon.
+        EXPECT_GT(t.recvNs, 0u);
+        EXPECT_GE(t.enqueueNs, t.recvNs);
+        EXPECT_GE(t.dequeueNs, t.enqueueNs);
+        EXPECT_GE(t.genStartNs, t.dequeueNs);
+        EXPECT_GE(t.genEndNs, t.genStartNs);
+        EXPECT_GE(t.writeNs, t.genEndNs);
+
+        // An untagged request must stay out of the ring.
+        req.flags = 0;
+        req.seq = 8;
+        ASSERT_TRUE(c.send(req, &err)) << err;
+        ASSERT_TRUE(c.recv(resp, &err, 10000)) << err;
+        EXPECT_EQ(resp.status, Status::Ok);
+        EXPECT_EQ(resp.flags & kFlagRequestId, 0);
+        EXPECT_EQ(ts.server.traceRing().totalPushed(), 1u);
+    }
+    telemetry::setEnabled(was_enabled);
+}
+
+TEST(Service, MetricsEndpointAndVarzTrace)
+{
+    const bool was_enabled = telemetry::enabled();
+    telemetry::setEnabled(true);
+    {
+        ServerConfig cfg = testConfig(1);
+        cfg.metricsPort = 0; // ephemeral
+        TestServer ts(cfg);
+        ASSERT_GT(ts.server.metricsPort(), 0);
+        Client c = ts.connect();
+        std::string err;
+
+        Request req;
+        req.type = MsgType::GetEntropy;
+        req.flags = kFlagRequestId;
+        req.requestId = 424242;
+        req.seq = 1;
+        req.nBytes = 64;
+        ASSERT_TRUE(c.send(req, &err)) << err;
+        Response resp;
+        ASSERT_TRUE(c.recv(resp, &err, 10000)) << err;
+        EXPECT_EQ(resp.status, Status::Ok);
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(10);
+        while (ts.server.traceRing().size() == 0 &&
+               std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::yield();
+        }
+
+        HttpResult r;
+        ASSERT_TRUE(httpGet("127.0.0.1", ts.server.metricsPort(),
+                            "/metrics", r, &err))
+            << err;
+        EXPECT_EQ(r.status, 200);
+        EXPECT_NE(r.body.find("fracdram_service_jobs_total"),
+                  std::string::npos)
+            << r.body;
+        EXPECT_NE(
+            r.body.find(
+                "fracdram_service_request_ns_bucket{le=\"+Inf\"}"),
+            std::string::npos)
+            << r.body;
+
+        ASSERT_TRUE(httpGet("127.0.0.1", ts.server.metricsPort(),
+                            "/varz?trace=8", r, &err))
+            << err;
+        EXPECT_EQ(r.status, 200);
+        EXPECT_NE(r.body.find("\"requests\": ["), std::string::npos)
+            << r.body;
+        EXPECT_NE(r.body.find("\"id\": 424242"), std::string::npos)
+            << r.body;
+        EXPECT_NE(r.body.find("\"queue_wait_ns\""), std::string::npos)
+            << r.body;
+
+        ASSERT_TRUE(httpGet("127.0.0.1", ts.server.metricsPort(),
+                            "/nope", r, &err))
+            << err;
+        EXPECT_EQ(r.status, 404);
+    }
+    telemetry::setEnabled(was_enabled);
+}
+
+TEST(Service, HealthzFlipsUnderSloBreachAndRecovers)
+{
+    const bool was_enabled = telemetry::enabled();
+    telemetry::setEnabled(true);
+    {
+        ServerConfig cfg = testConfig(1);
+        cfg.metricsPort = 0;
+        cfg.sloP99Us = 1; // any real request breaches a 1 us SLO
+        // Keep the sampling thread parked so the test drives the
+        // evaluation windows deterministically via sampleOnce().
+        cfg.watchdogIntervalMs = 3600 * 1000;
+        TestServer ts(cfg);
+        ASSERT_NE(ts.server.watchdog(), nullptr);
+        Client c = ts.connect();
+        std::string err;
+        HttpResult r;
+
+        ASSERT_TRUE(httpGet("127.0.0.1", ts.server.metricsPort(),
+                            "/healthz", r, &err))
+            << err;
+        EXPECT_EQ(r.status, 200);
+
+        ts.server.watchdog()->sampleOnce(); // baseline
+
+        // Two windows of real (traced, so request_ns moves) traffic.
+        for (int window = 0; window < 2; ++window) {
+            const std::uint64_t before =
+                ts.server.traceRing().totalPushed();
+            Request req;
+            req.type = MsgType::GetEntropy;
+            req.flags = kFlagRequestId;
+            req.nBytes = 64;
+            for (int i = 0; i < 4; ++i) {
+                req.seq = static_cast<std::uint16_t>(i + 1);
+                req.requestId = static_cast<std::uint64_t>(
+                                    window + 1) << 8 | i;
+                ASSERT_TRUE(c.send(req, &err)) << err;
+                Response resp;
+                ASSERT_TRUE(c.recv(resp, &err, 10000)) << err;
+                EXPECT_EQ(resp.status, Status::Ok);
+            }
+            // request_ns is observed after the responses are on the
+            // wire; wait for the pushes so the window sees them.
+            const auto deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::seconds(10);
+            while (ts.server.traceRing().totalPushed() < before + 4 &&
+                   std::chrono::steady_clock::now() < deadline) {
+                std::this_thread::yield();
+            }
+            ts.server.watchdog()->sampleOnce();
+        }
+        EXPECT_FALSE(ts.server.watchdog()->healthy());
+        EXPECT_EQ(ts.server.watchdog()->flips(), 1u);
+        ASSERT_TRUE(httpGet("127.0.0.1", ts.server.metricsPort(),
+                            "/healthz", r, &err))
+            << err;
+        EXPECT_EQ(r.status, 503);
+        EXPECT_NE(r.body.find("slo"), std::string::npos) << r.body;
+
+        // Drain: two idle windows restore health and /healthz.
+        ts.server.watchdog()->sampleOnce();
+        ts.server.watchdog()->sampleOnce();
+        EXPECT_TRUE(ts.server.watchdog()->healthy());
+        ASSERT_TRUE(httpGet("127.0.0.1", ts.server.metricsPort(),
+                            "/healthz", r, &err))
+            << err;
+        EXPECT_EQ(r.status, 200);
+        EXPECT_NE(r.body.find("ok"), std::string::npos);
+    }
+    telemetry::setEnabled(was_enabled);
 }

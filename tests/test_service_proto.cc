@@ -274,6 +274,12 @@ TEST(ServiceProto, FuzzRequestRoundTripThroughChunkedReader)
         Request req;
         req.type = static_cast<MsgType>(1 + rng.below(5));
         req.flags = static_cast<std::uint8_t>(rng.below(2));
+        // Half the stream speaks v2 (traced): the optional request
+        // id must round-trip and must not shift later frames.
+        if (rng.below(2) == 1) {
+            req.flags |= kFlagRequestId;
+            req.requestId = rng.next();
+        }
         req.seq = static_cast<std::uint16_t>(rng.below(65536));
         req.nBytes = static_cast<std::uint32_t>(rng.below(1u << 20));
         req.device = static_cast<std::uint32_t>(rng.next());
@@ -339,4 +345,49 @@ TEST(ServiceProto, FuzzDecoderNeverAcceptsMutatedGarbage)
             EXPECT_EQ(re, bytes);
         }
     }
+}
+
+TEST(ServiceProto, RequestIdRoundTripAndEcho)
+{
+    Request req = makeRequest(MsgType::GetEntropy, 9);
+    req.flags |= kFlagRequestId;
+    req.requestId = 0xDEADBEEFCAFEF00Dull;
+
+    const auto bytes = encodeRequest(req);
+    // v1 header (4 bytes) + request id (8) + GET_ENTROPY body (4).
+    EXPECT_EQ(bytes.size(), 16u);
+    Request back;
+    std::string err;
+    ASSERT_TRUE(decodeRequest(bytes.data(), bytes.size(), back, &err))
+        << err;
+    EXPECT_EQ(back, req);
+
+    // A v1 frame of the same request must stay id-free and 4 bytes
+    // shorter - the flag, not the field, versions the wire format.
+    Request v1 = req;
+    v1.flags = static_cast<std::uint8_t>(v1.flags & ~kFlagRequestId);
+    v1.requestId = 0;
+    EXPECT_EQ(encodeRequest(v1).size(), 8u);
+
+    // Truncating the id must be rejected, not misparsed as a body.
+    for (std::size_t cut = 5; cut < 12; ++cut) {
+        Request junk;
+        EXPECT_FALSE(decodeRequest(bytes.data(), cut, junk))
+            << "cut=" << cut;
+    }
+
+    Response resp;
+    resp.type = req.type;
+    resp.seq = req.seq;
+    resp.data = {1, 2, 3};
+    echoRequestId(resp, req);
+    EXPECT_EQ(resp.requestId, req.requestId);
+    const auto rbytes = encodeResponse(resp);
+    Response rback;
+    ASSERT_TRUE(decodeResponse(rbytes.data(), rbytes.size(), rback,
+                               &err))
+        << err;
+    EXPECT_EQ(rback.requestId, req.requestId);
+    EXPECT_EQ(rback.flags & kFlagRequestId, kFlagRequestId);
+    EXPECT_EQ(rback.data, resp.data);
 }

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * SLO watchdog tests. The watchdog reads the global metrics
+ * registry, so each test records synthetic latencies into its own
+ * uniquely named histogram and drives evaluation windows
+ * synchronously through sampleOnce() - no sampling thread, no
+ * timing dependence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "service/watchdog.hh"
+
+using namespace fracdram;
+using service::Watchdog;
+using service::WatchdogConfig;
+using telemetry::Metrics;
+
+namespace
+{
+
+WatchdogConfig
+testConfig(const std::string &hist_name)
+{
+    WatchdogConfig cfg;
+    cfg.sloP99Us = 100; // breach when windowed p99 > 100 us
+    cfg.breachWindows = 2;
+    cfg.clearWindows = 2;
+    cfg.latencyHistogram = hist_name;
+    return cfg;
+}
+
+void
+recordWindow(telemetry::HistogramId id, std::uint64_t latency_ns,
+             int n = 100)
+{
+    for (int i = 0; i < n; ++i)
+        Metrics::instance().observe(id, latency_ns);
+}
+
+} // namespace
+
+TEST(Watchdog, BreachFlipsHealthAndDrainRecovers)
+{
+    telemetry::setEnabled(true);
+    const auto id =
+        Metrics::instance().histogram("test.watchdog.breach");
+    Watchdog wd(testConfig("test.watchdog.breach"));
+
+    wd.sampleOnce(); // prime: empty window, healthy
+    EXPECT_TRUE(wd.healthy());
+
+    recordWindow(id, 50'000'000); // 50 ms, far over the 100 us SLO
+    wd.sampleOnce();
+    EXPECT_TRUE(wd.healthy()) << "one bad window must not flip";
+    EXPECT_EQ(wd.breachedWindows(), 1u);
+
+    recordWindow(id, 50'000'000);
+    wd.sampleOnce();
+    EXPECT_FALSE(wd.healthy())
+        << "two consecutive bad windows must flip";
+    EXPECT_EQ(wd.flips(), 1u);
+    EXPECT_EQ(wd.breachedWindows(), 2u);
+    EXPECT_GT(wd.lastP99Us(), 100u);
+
+    // Drain: idle windows count as good, so health restores after
+    // clearWindows of silence.
+    wd.sampleOnce();
+    EXPECT_FALSE(wd.healthy()) << "one good window must not restore";
+    wd.sampleOnce();
+    EXPECT_TRUE(wd.healthy());
+    EXPECT_EQ(wd.flips(), 1u);
+    EXPECT_EQ(wd.breachedWindows(), 2u) << "idle windows don't burn";
+}
+
+TEST(Watchdog, AlternatingBreachesNeverFlip)
+{
+    telemetry::setEnabled(true);
+    const auto id =
+        Metrics::instance().histogram("test.watchdog.flap");
+    Watchdog wd(testConfig("test.watchdog.flap"));
+    wd.sampleOnce();
+    for (int round = 0; round < 4; ++round) {
+        recordWindow(id, 50'000'000);
+        wd.sampleOnce();
+        recordWindow(id, 10'000); // 10 us: comfortably inside
+        wd.sampleOnce();
+    }
+    EXPECT_TRUE(wd.healthy());
+    EXPECT_EQ(wd.flips(), 0u);
+    EXPECT_EQ(wd.breachedWindows(), 4u)
+        << "every bad window still burns error budget";
+}
+
+TEST(Watchdog, FastTrafficStaysHealthy)
+{
+    telemetry::setEnabled(true);
+    const auto id =
+        Metrics::instance().histogram("test.watchdog.fast");
+    Watchdog wd(testConfig("test.watchdog.fast"));
+    wd.sampleOnce();
+    for (int w = 0; w < 5; ++w) {
+        recordWindow(id, 10'000);
+        wd.sampleOnce();
+    }
+    EXPECT_TRUE(wd.healthy());
+    EXPECT_EQ(wd.breachedWindows(), 0u);
+    EXPECT_LE(wd.lastP99Us(), 100u);
+}
+
+TEST(Watchdog, ZeroSloNeverFlips)
+{
+    telemetry::setEnabled(true);
+    const auto id =
+        Metrics::instance().histogram("test.watchdog.noslo");
+    auto cfg = testConfig("test.watchdog.noslo");
+    cfg.sloP99Us = 0;
+    Watchdog wd(cfg);
+    wd.sampleOnce();
+    for (int w = 0; w < 3; ++w) {
+        recordWindow(id, 1'000'000'000); // a full second
+        wd.sampleOnce();
+    }
+    EXPECT_TRUE(wd.healthy());
+    EXPECT_EQ(wd.breachedWindows(), 0u);
+}
+
+TEST(Watchdog, WindowingSeesOnlyNewSamples)
+{
+    telemetry::setEnabled(true);
+    const auto id =
+        Metrics::instance().histogram("test.watchdog.window");
+    Watchdog wd(testConfig("test.watchdog.window"));
+    // A pile of terrible latencies recorded BEFORE the first sample
+    // must not poison later windows: the first sampleOnce() absorbs
+    // them as the baseline.
+    recordWindow(id, 60'000'000'000ull);
+    wd.sampleOnce();
+    recordWindow(id, 10'000);
+    wd.sampleOnce();
+    recordWindow(id, 10'000);
+    wd.sampleOnce();
+    EXPECT_TRUE(wd.healthy());
+    EXPECT_EQ(wd.breachedWindows(), 0u);
+}
+
+TEST(Watchdog, StartStopIsIdempotent)
+{
+    telemetry::setEnabled(true);
+    auto cfg = testConfig("test.watchdog.thread");
+    cfg.intervalMs = 10;
+    Watchdog wd(cfg);
+    wd.start();
+    wd.start(); // second start is a no-op, not a second thread
+    wd.stop();
+    wd.stop();
+    wd.start();
+    // Destructor stops the restarted thread.
+}

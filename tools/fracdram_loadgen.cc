@@ -18,8 +18,14 @@
  *   --bytes N         entropy bytes per request (default 32)
  *   --raw             request the raw QUAC stream (slow; exercises
  *                     backpressure rather than throughput)
+ *   --trace           tag every request with a unique request id
+ *                     (kFlagRequestId) so the daemon records
+ *                     per-stage timelines for it; dump them with
+ *                     /varz?trace=N on the daemon's metrics port
  *   --check-health    just fetch HEALTH, print it, exit 0/1
- *   --json-out FILE   write the summary as one JSON line
+ *   --json-out FILE   write the summary as one JSON line; includes
+ *                     the server-side latency histograms fetched via
+ *                     STATS after the run under the "server" key
  *   --quiet           suppress the human-readable table
  */
 
@@ -52,6 +58,7 @@ struct Options
     int warmupMs = 200;
     std::uint32_t bytes = 32;
     bool raw = false;
+    bool trace = false;
     bool checkHealth = false;
     std::string jsonOut;
     bool quiet = false;
@@ -69,8 +76,9 @@ struct WorkerResult
 };
 
 void
-runWorker(const Options &opt, Clock::time_point warmup_end,
-          Clock::time_point deadline, WorkerResult &result)
+runWorker(const Options &opt, int worker,
+          Clock::time_point warmup_end, Clock::time_point deadline,
+          WorkerResult &result)
 {
     service::Client client;
     std::string err;
@@ -82,7 +90,13 @@ runWorker(const Options &opt, Clock::time_point warmup_end,
     service::Request req;
     req.type = service::MsgType::GetEntropy;
     req.flags = opt.raw ? service::kFlagRawEntropy : 0;
+    if (opt.trace)
+        req.flags |= service::kFlagRequestId;
     req.nBytes = opt.bytes;
+    // Run-unique ids: the worker index in the top bits, a per-worker
+    // counter below.
+    std::uint64_t next_id =
+        static_cast<std::uint64_t>(worker + 1) << 32;
 
     std::deque<Clock::time_point> in_flight;
     result.latenciesUs.reserve(1 << 16);
@@ -90,6 +104,8 @@ runWorker(const Options &opt, Clock::time_point warmup_end,
 
     auto send_one = [&]() -> bool {
         req.seq = ++seq;
+        if (opt.trace)
+            req.requestId = ++next_id;
         if (!client.send(req, &err)) {
             ++result.errors;
             if (result.firstError.empty())
@@ -141,6 +157,63 @@ runWorker(const Options &opt, Clock::time_point warmup_end,
             break;
     }
     client.close();
+}
+
+/**
+ * Pull one `"name": {...}` object out of a JSON blob by brace
+ * matching - enough to lift a histogram summary out of STATS without
+ * a JSON parser.
+ */
+std::string
+extractJsonObject(const std::string &json, const std::string &name)
+{
+    const std::string key = "\"" + name + "\": {";
+    const std::size_t at = json.find(key);
+    if (at == std::string::npos)
+        return "";
+    const std::size_t open = at + key.size() - 1;
+    int depth = 0;
+    for (std::size_t j = open; j < json.size(); ++j) {
+        if (json[j] == '{')
+            ++depth;
+        else if (json[j] == '}' && --depth == 0)
+            return json.substr(open, j - open + 1);
+    }
+    return "";
+}
+
+/**
+ * Fetch STATS after the run and summarize the server-side view of
+ * the same traffic: the end-to-end request histogram plus the two
+ * stages the daemon controls (queue wait, write batching).
+ * @return "" when the server or its telemetry is unavailable
+ */
+std::string
+fetchServerSummary(const Options &opt)
+{
+    service::Client client;
+    std::string err, stats;
+    if (!client.connect(opt.host, opt.port, &err) ||
+        !client.stats(stats, &err))
+        return "";
+    static const char *const kHistograms[] = {
+        "service.request_ns",
+        "service.queue_wait_ns",
+        "service.write_batch_frames",
+        "service.batch_bits",
+    };
+    std::string out = "{";
+    bool first = true;
+    for (const char *name : kHistograms) {
+        const std::string obj = extractJsonObject(stats, name);
+        if (obj.empty())
+            continue;
+        out += first ? "" : ", ";
+        first = false;
+        out += "\"" + std::string(name) + "\": " + obj;
+    }
+    out += "}";
+    return first ? "" : out;
 }
 
 double
@@ -199,6 +272,8 @@ main(int argc, char **argv)
                 std::strtoul(next().c_str(), nullptr, 10));
         else if (arg == "--raw")
             opt.raw = true;
+        else if (arg == "--trace")
+            opt.trace = true;
         else if (arg == "--check-health")
             opt.checkHealth = true;
         else if (arg == "--json-out")
@@ -226,9 +301,11 @@ main(int argc, char **argv)
         static_cast<std::size_t>(opt.conns));
     std::vector<std::thread> threads;
     threads.reserve(results.size());
-    for (auto &r : results)
-        threads.emplace_back(runWorker, std::cref(opt), warmup_end,
-                             deadline, std::ref(r));
+    for (int w = 0; w < opt.conns; ++w)
+        threads.emplace_back(runWorker, std::cref(opt), w,
+                             warmup_end, deadline,
+                             std::ref(results[static_cast<
+                                 std::size_t>(w)]));
     for (auto &t : threads)
         t.join();
     const double elapsed =
@@ -273,19 +350,21 @@ main(int argc, char **argv)
                         total.firstError.c_str());
     }
 
+    const std::string server = fetchServerSummary(opt);
     const std::string json = strprintf(
         "{\"conns\": %d, \"window\": %d, \"bytes_per_req\": %u, "
-        "\"raw\": %s, \"seconds\": %.3f, \"ok\": %llu, "
-        "\"busy\": %llu, \"rate_limited\": %llu, \"errors\": %llu, "
-        "\"requests_per_sec\": %.1f, \"p50_us\": %.1f, "
-        "\"p95_us\": %.1f, \"p99_us\": %.1f}",
+        "\"raw\": %s, \"traced\": %s, \"seconds\": %.3f, "
+        "\"ok\": %llu, \"busy\": %llu, \"rate_limited\": %llu, "
+        "\"errors\": %llu, \"requests_per_sec\": %.1f, "
+        "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
+        "\"server\": %s}",
         opt.conns, opt.window, opt.bytes,
-        opt.raw ? "true" : "false", elapsed,
-        static_cast<unsigned long long>(total.ok),
+        opt.raw ? "true" : "false", opt.trace ? "true" : "false",
+        elapsed, static_cast<unsigned long long>(total.ok),
         static_cast<unsigned long long>(total.busy),
         static_cast<unsigned long long>(total.rateLimited),
         static_cast<unsigned long long>(total.errors), rps, p50, p95,
-        p99);
+        p99, server.empty() ? "null" : server.c_str());
     if (!opt.jsonOut.empty()) {
         std::FILE *f = std::fopen(opt.jsonOut.c_str(), "w");
         fatal_if(f == nullptr, "cannot write '%s'",

@@ -27,6 +27,15 @@
  *   --write-timeout-ms N drop peers that stop reading (default 5000)
  *   --telemetry-out DIR write metrics/trace reports on exit
  *   --quiet             suppress inform() chatter
+ *
+ * Observability (see DESIGN.md, "Live observability"):
+ *   --metrics-port N       HTTP /metrics, /healthz, /varz
+ *                          (0 = ephemeral; off when omitted)
+ *   --metrics-port-file P  write the bound metrics port to P
+ *   --slo-p99-us N         SLO watchdog: windowed request p99 above
+ *                          N microseconds flips /healthz to 503
+ *   --watchdog-interval-ms N  watchdog window (default 1000)
+ *   --trace-ring N         request timelines kept (default 1024)
  */
 
 #include <csignal>
@@ -68,7 +77,7 @@ main(int argc, char **argv)
 {
     service::ServerConfig cfg;
     cfg.port = 7411;
-    std::string port_file, telemetry_out;
+    std::string port_file, metrics_port_file, telemetry_out;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -113,6 +122,18 @@ main(int argc, char **argv)
             cfg.writeTimeoutMs = std::atoi(next().c_str());
         else if (arg == "--telemetry-out")
             telemetry_out = next();
+        else if (arg == "--metrics-port")
+            cfg.metricsPort = std::atoi(next().c_str());
+        else if (arg == "--metrics-port-file")
+            metrics_port_file = next();
+        else if (arg == "--slo-p99-us")
+            cfg.sloP99Us =
+                std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--watchdog-interval-ms")
+            cfg.watchdogIntervalMs = std::atoi(next().c_str());
+        else if (arg == "--trace-ring")
+            cfg.traceRingCapacity =
+                std::strtoull(next().c_str(), nullptr, 10);
         else if (arg == "--quiet")
             quiet = true;
         else
@@ -138,14 +159,23 @@ main(int argc, char **argv)
 
     std::printf("fracdram_serve listening on 127.0.0.1:%u\n",
                 server.port());
+    if (server.metricsPort() != 0)
+        std::printf("fracdram_serve metrics on "
+                    "http://127.0.0.1:%u/metrics\n",
+                    server.metricsPort());
     std::fflush(stdout);
-    if (!port_file.empty()) {
-        std::FILE *f = std::fopen(port_file.c_str(), "w");
+    const auto write_port_file = [](const std::string &path,
+                                    std::uint16_t port) {
+        if (path.empty())
+            return;
+        std::FILE *f = std::fopen(path.c_str(), "w");
         fatal_if(f == nullptr, "cannot write port file '%s'",
-                 port_file.c_str());
-        std::fprintf(f, "%u\n", server.port());
+                 path.c_str());
+        std::fprintf(f, "%u\n", port);
         std::fclose(f);
-    }
+    };
+    write_port_file(port_file, server.port());
+    write_port_file(metrics_port_file, server.metricsPort());
 
     while (g_stop == 0) {
         timespec ts{0, 200 * 1000 * 1000};

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * fracdram_top - a curses-free terminal dashboard for fracdram_serve.
+ *
+ * Polls the daemon's Prometheus endpoint (--metrics-port of
+ * fracdram_serve) once per interval, diffs consecutive scrapes, and
+ * renders per-shard request rate, queue depth and mean batch size
+ * plus daemon-wide throughput, latency quantiles (p50/p95/p99 of
+ * service.request_ns, computed from the histogram bucket deltas of
+ * the window) and reseed counts. Health is taken from /healthz, so
+ * an SLO breach shows up as the UNHEALTHY banner the moment the
+ * watchdog flips.
+ *
+ * No curses dependency: each frame is plain text preceded by an ANSI
+ * home+clear, which every terminal understands and which pipes
+ * cleanly into a file with --no-clear.
+ *
+ * Options:
+ *   --host H          daemon address (default 127.0.0.1)
+ *   --port N          daemon *metrics* port (required)
+ *   --interval-ms N   poll period (default 1000)
+ *   --iterations N    frames to render, 0 = until ^C (default 0)
+ *   --no-clear        append frames instead of redrawing in place
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "service/http.hh"
+
+using namespace fracdram;
+
+namespace
+{
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+/** One scrape: every sample keyed by `name{labels}` verbatim. */
+using Scrape = std::map<std::string, double>;
+
+/** Parse Prometheus text exposition into name{labels} -> value. */
+Scrape
+parseProm(const std::string &body)
+{
+    Scrape out;
+    std::size_t pos = 0;
+    while (pos < body.size()) {
+        std::size_t eol = body.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = body.size();
+        const std::string line = body.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty() || line[0] == '#')
+            continue;
+        const std::size_t sp = line.rfind(' ');
+        if (sp == std::string::npos)
+            continue;
+        const std::string key = line.substr(0, sp);
+        out[key] = std::atof(line.c_str() + sp + 1);
+    }
+    return out;
+}
+
+double
+get(const Scrape &s, const std::string &key)
+{
+    const auto it = s.find(key);
+    return it == s.end() ? 0.0 : it->second;
+}
+
+/** Positive delta of one sample between scrapes (counters only). */
+double
+delta(const Scrape &cur, const Scrape &prev, const std::string &key)
+{
+    const double d = get(cur, key) - get(prev, key);
+    return d > 0.0 ? d : 0.0;
+}
+
+/**
+ * Quantile of a windowed Prometheus histogram: diff the cumulative
+ * `le` buckets of two scrapes, then walk to the target rank.
+ */
+double
+windowQuantile(const Scrape &cur, const Scrape &prev,
+               const std::string &family, double q)
+{
+    // Collect (le, windowed cumulative count), sorted numerically.
+    const std::string prefix = family + "_bucket{le=\"";
+    std::vector<std::pair<double, double>> buckets;
+    for (auto it = cur.lower_bound(prefix);
+         it != cur.end() && it->first.compare(0, prefix.size(),
+                                              prefix) == 0;
+         ++it) {
+        const std::string le = it->first.substr(
+            prefix.size(), it->first.size() - prefix.size() - 2);
+        const double bound = le == "+Inf"
+                                 ? std::numeric_limits<double>::max()
+                                 : std::atof(le.c_str());
+        buckets.emplace_back(bound,
+                             delta(cur, prev, it->first));
+    }
+    std::sort(buckets.begin(), buckets.end());
+    if (buckets.empty() || buckets.back().second <= 0.0)
+        return 0.0;
+    const double total = buckets.back().second;
+    const double target = q * (total - 1.0);
+    for (const auto &[bound, cum] : buckets)
+        if (cum > target)
+            return bound;
+    return buckets.back().first;
+}
+
+struct Options
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    int intervalMs = 1000;
+    long iterations = 0;
+    bool noClear = false;
+};
+
+void
+renderFrame(const Options &opt, const Scrape &cur,
+            const Scrape &prev, double dt_s, int healthz_status)
+{
+    if (!opt.noClear)
+        std::printf("\033[H\033[2J");
+
+    char stamp[32];
+    const std::time_t now = std::time(nullptr);
+    std::strftime(stamp, sizeof(stamp), "%H:%M:%S",
+                  std::localtime(&now));
+    const char *health = healthz_status == 200  ? "healthy"
+                         : healthz_status == 0 ? "unreachable"
+                                               : "UNHEALTHY";
+    std::printf("fracdram_top  %s  %s:%u  [%s]\n\n", stamp,
+                opt.host.c_str(), opt.port, health);
+
+    const double jobs_s =
+        delta(cur, prev, "fracdram_service_jobs_total") / dt_s;
+    const double bytes_s =
+        delta(cur, prev, "fracdram_service_entropy_bytes_total") /
+        dt_s;
+    const double busy_s =
+        delta(cur, prev, "fracdram_service_busy_total") / dt_s;
+    std::printf("total  %10.0f req/s  %10.0f B/s entropy  "
+                "%6.0f busy/s  reseeds %.0f\n",
+                jobs_s, bytes_s, busy_s,
+                get(cur, "fracdram_service_reseeds_total"));
+    std::printf("req latency (server, windowed)  p50 %6.0f us  "
+                "p95 %6.0f us  p99 %6.0f us\n\n",
+                windowQuantile(cur, prev, "fracdram_service_request_ns",
+                               0.50) /
+                    1000.0,
+                windowQuantile(cur, prev, "fracdram_service_request_ns",
+                               0.95) /
+                    1000.0,
+                windowQuantile(cur, prev, "fracdram_service_request_ns",
+                               0.99) /
+                    1000.0);
+
+    std::printf("%-6s %12s %8s %10s\n", "shard", "req/s", "queue",
+                "avg batch");
+    for (int s = 0; s < 1024; ++s) {
+        const std::string lbl = strprintf("{shard=\"%d\"}", s);
+        const std::string depth_key =
+            "fracdram_service_shard_queue_depth" + lbl;
+        if (cur.find(depth_key) == cur.end())
+            break;
+        const double jobs = delta(
+            cur, prev,
+            "fracdram_service_shard_batch_jobs_sum" + lbl);
+        const double batches = delta(
+            cur, prev,
+            "fracdram_service_shard_batch_jobs_count" + lbl);
+        std::printf("%-6d %12.0f %8.0f %10.1f\n", s, jobs / dt_s,
+                    get(cur, depth_key),
+                    batches > 0.0 ? jobs / batches : 0.0);
+    }
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            fatal_if(i + 1 >= argc, "missing value for %s",
+                     arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--host")
+            opt.host = next();
+        else if (arg == "--port")
+            opt.port = static_cast<std::uint16_t>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        else if (arg == "--interval-ms")
+            opt.intervalMs = std::atoi(next().c_str());
+        else if (arg == "--iterations")
+            opt.iterations = std::atol(next().c_str());
+        else if (arg == "--no-clear")
+            opt.noClear = true;
+        else
+            fatal("unknown option '%s'", arg.c_str());
+    }
+    fatal_if(opt.port == 0,
+             "--port is required (the daemon's --metrics-port)");
+    fatal_if(opt.intervalMs < 50, "--interval-ms must be >= 50");
+
+    struct sigaction sa{};
+    sa.sa_handler = onSignal;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+
+    Scrape prev;
+    bool have_prev = false;
+    long frames = 0;
+    int failures = 0;
+    while (g_stop == 0) {
+        service::HttpResult metrics, healthz;
+        std::string err;
+        if (!service::httpGet(opt.host, opt.port, "/metrics",
+                              metrics, &err) ||
+            metrics.status != 200) {
+            if (++failures >= 3)
+                fatal("cannot scrape %s:%u/metrics: %s",
+                      opt.host.c_str(), opt.port,
+                      err.empty() ? "non-200 response" : err.c_str());
+        } else {
+            failures = 0;
+            service::httpGet(opt.host, opt.port, "/healthz", healthz,
+                             nullptr);
+            const Scrape cur = parseProm(metrics.body);
+            if (have_prev) {
+                renderFrame(opt, cur, prev,
+                            static_cast<double>(opt.intervalMs) /
+                                1000.0,
+                            healthz.status);
+                if (opt.iterations > 0 &&
+                    ++frames >= opt.iterations)
+                    break;
+            }
+            prev = cur;
+            have_prev = true;
+        }
+        timespec ts{opt.intervalMs / 1000,
+                    (opt.intervalMs % 1000) * 1000000L};
+        nanosleep(&ts, nullptr);
+    }
+    return 0;
+}
