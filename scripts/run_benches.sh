@@ -26,8 +26,12 @@
 # port with its metrics endpoint up, a traced loadgen burst is timed,
 # and the loadgen summary (req/s, p50/p95/p99 latency, plus the
 # server-side histograms) is embedded in the record's "loadgen"
-# field. The daemon's final /metrics scrape is archived next to the
-# output JSON as <output>.metrics.prom.
+# field. The record also carries the machine's core count, the
+# daemon's reactor count and the derived req/s-per-core so BENCH
+# files from different machines stay comparable. The daemon's final
+# /metrics scrape is archived next to the output JSON as
+# <output>.metrics.prom. FRACDRAM_BENCH_REACTORS overrides the
+# daemon's reactor count (default: auto).
 #
 # Any bench that exits non-zero (or a daemon that fails to shut down
 # cleanly) makes this script exit non-zero after writing the JSON, so
@@ -140,12 +144,15 @@ serve_bin="${build_dir}/tools/fracdram_serve"
 loadgen_bin="${build_dir}/tools/fracdram_loadgen"
 if [[ -x "${serve_bin}" && -x "${loadgen_bin}" ]] &&
     { [[ -z "${filter}" ]] || grep -qE "${filter}" <<< "bench_service"; }; then
-    echo "timing bench_service (serve + loadgen)" >&2
+    bench_reactors="${FRACDRAM_BENCH_REACTORS:-0}"
+    echo "timing bench_service (serve + loadgen, reactors=${bench_reactors})" >&2
     port_file="$(mktemp)" mport_file="$(mktemp)" loadgen_json="$(mktemp)"
+    serve_log="$(mktemp)"
     rm -f "${port_file}" "${mport_file}"
     "${serve_bin}" --port 0 --shards 4 --port-file "${port_file}" \
+        --reactors "${bench_reactors}" \
         --metrics-port 0 --metrics-port-file "${mport_file}" \
-        --quiet > /dev/null 2>&1 &
+        > "${serve_log}" 2>&1 &
     serve_pid=$!
     for _ in $(seq 1 100); do
         [[ -s "${port_file}" ]] && break
@@ -196,9 +203,20 @@ if [[ -x "${serve_bin}" && -x "${loadgen_bin}" ]] &&
         fi
         loadgen_summary="null"
         [[ -s "${loadgen_json}" ]] && loadgen_summary="$(cat "${loadgen_json}")"
-        records+=("  {\"bench\": \"bench_service\", \"seconds\": ${seconds}, \"peak_rss_kib\": ${rss_kib}, \"threads\": ${threads}, \"exit_code\": ${rc}, \"loadgen\": ${loadgen_summary}}")
+        # Machine/shape context: cores, the daemon's resolved reactor
+        # count (parsed from its "listening ... (N reactors" line) and
+        # req/s normalised per core, so BENCH files are comparable
+        # across machines.
+        cores="$(nproc 2> /dev/null || echo 1)"
+        reactors="$(sed -n 's/.*(\([0-9]\{1,\}\) reactors.*/\1/p' "${serve_log}" | head -1)"
+        [[ -n "${reactors}" ]] || reactors=0
+        rps="$(sed -n 's/.*"requests_per_sec": \([0-9.]\{1,\}\).*/\1/p' "${loadgen_json}" 2> /dev/null | head -1)"
+        [[ -n "${rps}" ]] || rps=0
+        rps_per_core="$(awk -v r="${rps}" -v c="${cores}" \
+            'BEGIN { printf "%.1f", (c > 0 ? r / c : 0) }')"
+        records+=("  {\"bench\": \"bench_service\", \"seconds\": ${seconds}, \"peak_rss_kib\": ${rss_kib}, \"threads\": ${threads}, \"exit_code\": ${rc}, \"nproc\": ${cores}, \"reactors\": ${reactors}, \"requests_per_sec_per_core\": ${rps_per_core}, \"loadgen\": ${loadgen_summary}}")
     fi
-    rm -f "${port_file}" "${mport_file}" "${loadgen_json}"
+    rm -f "${port_file}" "${mport_file}" "${loadgen_json}" "${serve_log}"
 fi
 
 if [[ ${#records[@]} -eq 0 ]]; then

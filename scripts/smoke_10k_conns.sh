@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# 10k-concurrent-connection smoke test, wired into ctest as
+# "smoke_10k_conns":
+#
+#   1. start fracdram_serve with a 12k connection cap,
+#   2. storm it: fracdram_loadgen --storm opens 10 000 concurrent
+#      connections, sends ONE request on each and requires an answer
+#      on every single one (the reactor core must hold 10k live fds
+#      while answering),
+#   3. once the ready-file confirms all answers arrived, SIGTERM the
+#      daemon while all 10k connections are still open and require a
+#      clean (exit 0) drain: every storm connection must see EOF, not
+#      a reset, and the daemon log must carry the clean-shutdown
+#      marker.
+#
+# The storm runs in a separate process so the 10k client fds and the
+# 10k server fds live under separate RLIMIT_NOFILE budgets.
+#
+# Usage: smoke_10k_conns.sh <fracdram_serve> <fracdram_loadgen> [n_conns]
+
+set -euo pipefail
+
+serve_bin="${1:?usage: smoke_10k_conns.sh <serve_bin> <loadgen_bin> [n]}"
+loadgen_bin="${2:?usage: smoke_10k_conns.sh <serve_bin> <loadgen_bin> [n]}"
+n_conns="${3:-10000}"
+
+# The storm needs n_conns fds plus slack on each side.
+need=$((n_conns + 100))
+limit="$(ulimit -n -H)"
+if [[ "${limit}" != "unlimited" && "${limit}" -lt "${need}" ]]; then
+    echo "SKIP: fd hard limit ${limit} < ${need}" >&2
+    exit 0
+fi
+ulimit -n "${need}" 2> /dev/null || true
+
+workdir="$(mktemp -d)"
+serve_pid=""
+storm_pid=""
+cleanup() {
+    [[ -n "${storm_pid}" ]] && kill "${storm_pid}" 2> /dev/null || true
+    [[ -n "${serve_pid}" ]] && kill "${serve_pid}" 2> /dev/null || true
+    rm -rf "${workdir}"
+}
+trap cleanup EXIT
+
+port_file="${workdir}/port"
+serve_log="${workdir}/serve.log"
+storm_log="${workdir}/storm.log"
+ready_file="${workdir}/ready"
+
+"${serve_bin}" --port 0 --shards 2 --cols 512 \
+    --max-conns $((n_conns + 64)) --rate-limit 0 \
+    --port-file "${port_file}" > "${serve_log}" 2>&1 &
+serve_pid=$!
+
+for _ in $(seq 1 100); do
+    [[ -s "${port_file}" ]] && break
+    kill -0 "${serve_pid}" 2> /dev/null || {
+        echo "FAIL: daemon died during startup" >&2
+        cat "${serve_log}" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[[ -s "${port_file}" ]] || {
+    echo "FAIL: daemon never published its port" >&2
+    exit 1
+}
+port="$(cat "${port_file}")"
+echo "daemon up on port ${port} (pid ${serve_pid})" >&2
+
+"${loadgen_bin}" --port "${port}" --storm "${n_conns}" \
+    --ready-file "${ready_file}" --hold-secs 60 \
+    > "${storm_log}" 2>&1 &
+storm_pid=$!
+
+# Wait for every storm connection to be opened AND answered.
+for _ in $(seq 1 600); do
+    [[ -s "${ready_file}" ]] && break
+    kill -0 "${storm_pid}" 2> /dev/null || break
+    sleep 0.1
+done
+[[ -s "${ready_file}" ]] || {
+    echo "FAIL: storm never reported ready:" >&2
+    cat "${storm_log}" >&2
+    exit 1
+}
+grep -q "answered ${n_conns}" "${ready_file}" || {
+    echo "FAIL: not all connections answered: $(cat "${ready_file}")" >&2
+    cat "${storm_log}" >&2
+    exit 1
+}
+echo "storm ready: $(cat "${ready_file}")" >&2
+
+# Drain with all n_conns connections still open. The storm holds its
+# sockets and requires EOF (not ECONNRESET) on every one.
+kill -TERM "${serve_pid}"
+rc=0
+wait "${serve_pid}" || rc=$?
+serve_pid=""
+if [[ "${rc}" -ne 0 ]]; then
+    echo "FAIL: daemon exited ${rc} on SIGTERM" >&2
+    tail -50 "${serve_log}" >&2
+    exit 1
+fi
+grep -q "clean shutdown" "${serve_log}" || {
+    echo "FAIL: no clean-shutdown marker in daemon log" >&2
+    tail -50 "${serve_log}" >&2
+    exit 1
+}
+
+storm_rc=0
+wait "${storm_pid}" || storm_rc=$?
+storm_pid=""
+if [[ "${storm_rc}" -ne 0 ]]; then
+    echo "FAIL: storm exited ${storm_rc}:" >&2
+    cat "${storm_log}" >&2
+    exit 1
+fi
+echo "storm summary: $(tail -3 "${storm_log}")" >&2
+echo "PASS: smoke_10k_conns (${n_conns} connections)" >&2

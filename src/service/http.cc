@@ -1,7 +1,12 @@
 #include "service/http.hh"
 
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
+#include <list>
+#include <poll.h>
 #include <sys/socket.h>
+#include <vector>
 
 #include "common/logging.hh"
 #include "service/net.hh"
@@ -16,6 +21,13 @@ namespace
 // a scraper and gets dropped.
 constexpr std::size_t kMaxHeaderBytes = 4096;
 constexpr int kIoTimeoutMs = 2000;
+
+// Concurrent scraper connections; excess connects are closed
+// immediately (a scraper retries, an fd-exhaustion attack does not
+// get to hold descriptors).
+constexpr std::size_t kMaxHttpConns = 32;
+
+using HttpClock = std::chrono::steady_clock;
 
 const char *
 statusText(int status)
@@ -71,6 +83,23 @@ queryParam(const std::string &query, const std::string &key)
     return "";
 }
 
+/**
+ * One in-flight scraper connection. Reading until the header block
+ * ends, then writing the rendered response; `deadline` bounds the
+ * whole exchange, so neither a trickled request nor an unread
+ * response can hold the fd past kIoTimeoutMs.
+ */
+struct HttpServer::HttpConn
+{
+    int fd = -1;
+    std::string in;
+    std::string out; //!< empty while still reading the request
+    std::size_t outPos = 0;
+    HttpClock::time_point deadline;
+
+    bool writing() const { return !out.empty(); }
+};
+
 void
 HttpServer::route(const std::string &path, Handler handler)
 {
@@ -84,6 +113,7 @@ HttpServer::start(std::uint16_t port, std::string *err)
     if (listenFd_ < 0)
         return false;
     port_ = boundPort(listenFd_);
+    setNonBlocking(listenFd_);
     stop_ = false;
     thread_ = std::thread([this] { loop(); });
     return true;
@@ -95,7 +125,7 @@ HttpServer::stop()
     if (!thread_.joinable())
         return;
     stop_ = true;
-    // The loop polls the listen fd with a timeout, so closing it here
+    // The loop polls with a timeout, so closing the listen fd here
     // (after the flag) just accelerates the wakeup.
     shutdownRead(listenFd_);
     thread_.join();
@@ -103,77 +133,127 @@ HttpServer::stop()
     listenFd_ = -1;
 }
 
-void
-HttpServer::loop()
+HttpResponse
+HttpServer::buildResponse(const std::string &head) const
 {
-    while (!stop_) {
-        const int r = waitReadable(listenFd_, 200);
-        if (stop_)
-            break;
-        if (r < 0)
-            break;
-        if (r == 0)
-            continue;
-        const int fd = ::accept(listenFd_, nullptr, nullptr);
-        if (fd < 0)
-            continue;
-        setNoDelay(fd);
-        setSendTimeout(fd, kIoTimeoutMs);
-        serveOne(fd);
-        closeFd(fd);
-    }
-}
-
-void
-HttpServer::serveOne(int fd)
-{
-    // Read until the blank line ending the header block (we ignore
-    // the headers themselves - GET has no body).
-    std::string head;
-    while (head.find("\r\n\r\n") == std::string::npos &&
-           head.find("\n\n") == std::string::npos) {
-        if (head.size() > kMaxHeaderBytes)
-            return;
-        if (waitReadable(fd, kIoTimeoutMs) != 1)
-            return;
-        char buf[1024];
-        const long n = readSome(fd, buf, sizeof(buf));
-        if (n <= 0)
-            return;
-        head.append(buf, static_cast<std::size_t>(n));
-    }
-
-    HttpResponse resp;
     const std::size_t eol = head.find_first_of("\r\n");
     const std::string line = head.substr(0, eol);
     const std::size_t sp1 = line.find(' ');
-    const std::size_t sp2 =
-        sp1 == std::string::npos ? std::string::npos
-                                 : line.find(' ', sp1 + 1);
-    if (sp1 == std::string::npos || sp2 == std::string::npos) {
-        resp = {400, "text/plain; charset=utf-8", "bad request\n"};
-    } else if (line.substr(0, sp1) != "GET") {
-        resp = {405, "text/plain; charset=utf-8", "GET only\n"};
-    } else {
-        HttpRequest req;
-        const std::string target =
-            line.substr(sp1 + 1, sp2 - sp1 - 1);
-        const std::size_t qm = target.find('?');
-        req.path = target.substr(0, qm);
-        if (qm != std::string::npos)
-            req.query = target.substr(qm + 1);
-        const auto it = routes_.find(req.path);
-        if (it == routes_.end()) {
-            resp = {404, "text/plain; charset=utf-8", "not found\n"};
-        } else {
-            resp = it->second(req);
+    const std::size_t sp2 = sp1 == std::string::npos
+                                ? std::string::npos
+                                : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos)
+        return {400, "text/plain; charset=utf-8", "bad request\n"};
+    if (line.substr(0, sp1) != "GET")
+        return {405, "text/plain; charset=utf-8", "GET only\n"};
+    HttpRequest req;
+    const std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t qm = target.find('?');
+    req.path = target.substr(0, qm);
+    if (qm != std::string::npos)
+        req.query = target.substr(qm + 1);
+    const auto it = routes_.find(req.path);
+    if (it == routes_.end())
+        return {404, "text/plain; charset=utf-8", "not found\n"};
+    return it->second(req);
+}
+
+void
+HttpServer::loop()
+{
+    std::list<HttpConn> conns;
+    std::vector<pollfd> pfds;
+    char buf[4096];
+    while (!stop_) {
+        pfds.clear();
+        pfds.push_back({listenFd_, POLLIN, 0});
+        for (const HttpConn &c : conns)
+            pfds.push_back(
+                {c.fd,
+                 static_cast<short>(c.writing() ? POLLOUT : POLLIN),
+                 0});
+        const int rc = ::poll(pfds.data(),
+                              static_cast<nfds_t>(pfds.size()), 200);
+        if (stop_)
+            break;
+        if (rc < 0 && errno != EINTR)
+            break;
+
+        if ((pfds[0].revents & POLLIN) != 0) {
+            int fd;
+            while ((fd = ::accept(listenFd_, nullptr, nullptr)) >=
+                   0) {
+                if (conns.size() >= kMaxHttpConns) {
+                    closeFd(fd);
+                    continue;
+                }
+                setNoDelay(fd);
+                setNonBlocking(fd);
+                conns.push_back(
+                    {fd,
+                     {},
+                     {},
+                     0,
+                     HttpClock::now() +
+                         std::chrono::milliseconds(kIoTimeoutMs)});
+            }
+        }
+
+        const auto now = HttpClock::now();
+        std::size_t pi = 1;
+        for (auto it = conns.begin(); it != conns.end();) {
+            HttpConn &c = *it;
+            const short revents =
+                pi < pfds.size() ? pfds[pi].revents : 0;
+            ++pi;
+            bool dead = false;
+            if (!c.writing() && (revents & (POLLIN | POLLHUP)) != 0) {
+                const long n = readSome(c.fd, buf, sizeof(buf));
+                if (n > 0) {
+                    c.in.append(buf, static_cast<std::size_t>(n));
+                    if (c.in.size() > kMaxHeaderBytes) {
+                        dead = true;
+                    } else if (c.in.find("\r\n\r\n") !=
+                                   std::string::npos ||
+                               c.in.find("\n\n") !=
+                                   std::string::npos) {
+                        c.out = renderResponse(buildResponse(c.in));
+                    }
+                } else if (n == 0 ||
+                           (errno != EAGAIN &&
+                            errno != EWOULDBLOCK)) {
+                    dead = true;
+                }
+            }
+            if (!dead && c.writing() &&
+                (revents & (POLLOUT | POLLERR | POLLHUP)) != 0) {
+                const long w = writeSome(c.fd, c.out.data() + c.outPos,
+                                         c.out.size() - c.outPos);
+                if (w < 0) {
+                    dead = true;
+                } else {
+                    c.outPos += static_cast<std::size_t>(w);
+                    if (c.outPos == c.out.size()) {
+                        ++served_;
+                        dead = true; // done: HTTP/1.0, no keep-alive
+                    }
+                }
+            }
+            // The overall deadline is the wedge-proofing: a scraper
+            // that connects and never reads (or never finishes its
+            // request) is cut loose here while others keep going.
+            if (!dead && now >= c.deadline)
+                dead = true;
+            if (dead) {
+                closeFd(c.fd);
+                it = conns.erase(it);
+            } else {
+                ++it;
+            }
         }
     }
-
-    const std::string wire = renderResponse(resp);
-    std::string err;
-    writeAll(fd, wire.data(), wire.size(), &err);
-    ++served_;
+    for (HttpConn &c : conns)
+        closeFd(c.fd);
 }
 
 bool

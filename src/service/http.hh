@@ -3,11 +3,15 @@
  * A deliberately tiny HTTP/1.0 responder for the daemon's
  * observability endpoints (/metrics, /healthz, /varz). It is NOT a
  * general web server: GET only, no keep-alive, no chunked encoding,
- * exact-path routing, one connection served at a time on a single
- * thread. That is exactly what a Prometheus scraper or `curl` needs,
- * and it keeps the attack/bug surface near zero - a stuck or slow
- * scraper can never back-pressure the serving data path because the
- * two never share a thread, a lock, or a socket.
+ * exact-path routing, a handful of non-blocking connections
+ * poll-multiplexed on a single thread. That is exactly what a
+ * Prometheus scraper or `curl` needs, and it keeps the attack/bug
+ * surface near zero - a stuck or slow scraper can never back-pressure
+ * the serving data path (separate thread, lock-free handoff) and can
+ * never wedge the responder either: every connection carries an
+ * overall deadline, so a peer that connects and never reads (or
+ * trickles its request) is dropped while other scrapers keep being
+ * answered.
  *
  * The matching httpGet() client helper exists so fracdram_top, the
  * load generator and the tests can scrape without curl.
@@ -71,8 +75,10 @@ class HttpServer
     std::uint64_t requestsServed() const { return served_; }
 
   private:
+    struct HttpConn;
+
     void loop();
-    void serveOne(int fd);
+    HttpResponse buildResponse(const std::string &head) const;
 
     std::map<std::string, Handler> routes_;
     int listenFd_ = -1;

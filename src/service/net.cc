@@ -3,11 +3,16 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <pthread.h>
+#include <sched.h>
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <sys/uio.h>
+#include <thread>
 #include <unistd.h>
 
 #include "common/logging.hh"
@@ -49,7 +54,10 @@ listenTcp(std::uint16_t port, std::string *err)
         closeFd(fd);
         return -1;
     }
-    if (::listen(fd, 128) != 0) {
+    // Deep backlog: a connection storm (the 10k-conn smoke) must not
+    // overflow the SYN queue while the reactors drain the accepts.
+    // The kernel clamps this to net.core.somaxconn.
+    if (::listen(fd, 4096) != 0) {
         fail(err, "listen");
         closeFd(fd);
         return -1;
@@ -125,12 +133,23 @@ shutdownRead(int fd)
         ::shutdown(fd, SHUT_RD);
 }
 
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+namespace
+{
+
 int
-waitReadable(int fd, int timeout_ms)
+waitEvent(int fd, short ev, int timeout_ms)
 {
     pollfd pfd{};
     pfd.fd = fd;
-    pfd.events = POLLIN;
+    pfd.events = ev;
     int rc;
     do {
         rc = ::poll(&pfd, 1, timeout_ms);
@@ -143,6 +162,20 @@ waitReadable(int fd, int timeout_ms)
         return -1;
     // POLLHUP with pending bytes still reads; let read() see EOF.
     return 1;
+}
+
+} // namespace
+
+int
+waitReadable(int fd, int timeout_ms)
+{
+    return waitEvent(fd, POLLIN, timeout_ms);
+}
+
+int
+waitWritable(int fd, int timeout_ms)
+{
+    return waitEvent(fd, POLLOUT, timeout_ms);
 }
 
 bool
@@ -179,11 +212,53 @@ readSome(int fd, void *buf, std::size_t len)
     return n;
 }
 
+long
+writeSome(int fd, const void *data, std::size_t len)
+{
+    ssize_t n;
+    do {
+        n = ::send(fd, data, len, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0)
+        return (errno == EAGAIN || errno == EWOULDBLOCK) ? 0 : -1;
+    return n;
+}
+
+long
+writevSome(int fd, const struct iovec *iov, int iovcnt)
+{
+    msghdr msg{};
+    msg.msg_iov = const_cast<struct iovec *>(iov);
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    ssize_t n;
+    do {
+        // sendmsg instead of writev for MSG_NOSIGNAL (see writeAll).
+        n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0)
+        return (errno == EAGAIN || errno == EWOULDBLOCK) ? 0 : -1;
+    return n;
+}
+
 void
 closeFd(int fd)
 {
     if (fd >= 0)
         ::close(fd);
+}
+
+void
+pinThisThreadToCpu(int cpu)
+{
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (cores < 2 || cpu < 0)
+        return;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(cpu) % cores, &set);
+    // Best effort: a cpuset-restricted container may reject the mask.
+    (void)::pthread_setaffinity_np(::pthread_self(), sizeof(set),
+                                   &set);
 }
 
 } // namespace fracdram::service

@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <sys/uio.h>
 
 namespace fracdram::service
 {
@@ -52,11 +53,20 @@ void setSendTimeout(int fd, int timeout_ms);
  */
 void shutdownRead(int fd);
 
+/** O_NONBLOCK: reads/writes return EAGAIN instead of blocking. */
+void setNonBlocking(int fd);
+
 /**
  * Wait until @p fd is readable.
  * @return 1 readable, 0 timeout, -1 error/hangup
  */
 int waitReadable(int fd, int timeout_ms);
+
+/**
+ * Wait until @p fd is writable.
+ * @return 1 writable, 0 timeout, -1 error/hangup
+ */
+int waitWritable(int fd, int timeout_ms);
 
 /** Write all @p len bytes (loops over partial writes and EINTR). */
 bool writeAll(int fd, const void *data, std::size_t len,
@@ -68,8 +78,30 @@ bool writeAll(int fd, const void *data, std::size_t len,
  */
 long readSome(int fd, void *buf, std::size_t len);
 
+/**
+ * One non-blocking send(2) with MSG_NOSIGNAL, retrying EINTR.
+ * @return bytes written, 0 when the socket buffer is full (EAGAIN),
+ *         -1 on a dead peer or hard error
+ */
+long writeSome(int fd, const void *data, std::size_t len);
+
+/**
+ * One gathering write (sendmsg + MSG_NOSIGNAL, retrying EINTR) - the
+ * reactor's batched-response flush.
+ * @return bytes written, 0 when the socket buffer is full (EAGAIN),
+ *         -1 on a dead peer or hard error
+ */
+long writevSome(int fd, const struct iovec *iov, int iovcnt);
+
 /** close(2), ignoring EINTR (idempotent on -1). */
 void closeFd(int fd);
+
+/**
+ * Pin the calling thread to CPU @p cpu modulo the machine's core
+ * count. No-op on single-core machines and on affinity errors -
+ * pinning is a throughput hint, never a correctness requirement.
+ */
+void pinThisThreadToCpu(int cpu);
 
 } // namespace fracdram::service
 

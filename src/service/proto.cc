@@ -169,12 +169,14 @@ encodeRequest(const Request &req)
     return out;
 }
 
-std::vector<std::uint8_t>
-encodeResponse(const Response &resp)
+namespace
 {
-    std::vector<std::uint8_t> out;
-    out.reserve(16 + resp.data.size() + resp.text.size() +
-                resp.bits.size() / 8);
+
+/** Append the payload bytes of @p resp (no length prefix). */
+void
+appendResponsePayload(std::vector<std::uint8_t> &out,
+                      const Response &resp)
+{
     out.push_back(static_cast<std::uint8_t>(resp.type) | kResponseBit);
     out.push_back(resp.flags);
     putU16(out, resp.seq);
@@ -184,7 +186,7 @@ encodeResponse(const Response &resp)
     if (resp.status != Status::Ok) {
         putU32(out, static_cast<std::uint32_t>(resp.text.size()));
         out.insert(out.end(), resp.text.begin(), resp.text.end());
-        return out;
+        return;
     }
     switch (resp.type) {
     case MsgType::GetEntropy:
@@ -205,7 +207,60 @@ encodeResponse(const Response &resp)
         out.insert(out.end(), resp.text.begin(), resp.text.end());
         break;
     }
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeResponse(const Response &resp)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(16 + resp.data.size() + resp.text.size() +
+                resp.bits.size() / 8);
+    appendResponsePayload(out, resp);
     return out;
+}
+
+void
+appendResponseFrame(std::vector<std::uint8_t> &out,
+                    const Response &resp)
+{
+    const std::size_t len_at = out.size();
+    putU32(out, 0); // patched below
+    const std::size_t start = out.size();
+    appendResponsePayload(out, resp);
+    const std::size_t n = out.size() - start;
+    panic_if(n > kMaxFrameBytes,
+             "frame payload %zu exceeds the %zu-byte ceiling", n,
+             kMaxFrameBytes);
+    out[len_at + 0] = static_cast<std::uint8_t>(n & 0xff);
+    out[len_at + 1] = static_cast<std::uint8_t>((n >> 8) & 0xff);
+    out[len_at + 2] = static_cast<std::uint8_t>((n >> 16) & 0xff);
+    out[len_at + 3] = static_cast<std::uint8_t>((n >> 24) & 0xff);
+}
+
+void
+appendEntropyOkFrame(std::vector<std::uint8_t> &out,
+                     const Request &req, const std::uint8_t *data,
+                     std::size_t n)
+{
+    const bool with_id = (req.flags & kFlagRequestId) != 0;
+    const std::size_t payload =
+        1 + 1 + 2 + (with_id ? 8u : 0u) + 1 + 4 + n;
+    panic_if(payload > kMaxFrameBytes,
+             "frame payload %zu exceeds the %zu-byte ceiling",
+             payload, kMaxFrameBytes);
+    out.reserve(out.size() + 4 + payload);
+    putU32(out, static_cast<std::uint32_t>(payload));
+    out.push_back(static_cast<std::uint8_t>(MsgType::GetEntropy) |
+                  kResponseBit);
+    out.push_back(with_id ? kFlagRequestId : std::uint8_t{0});
+    putU16(out, req.seq);
+    if (with_id)
+        putU64(out, req.requestId);
+    out.push_back(static_cast<std::uint8_t>(Status::Ok));
+    putU32(out, static_cast<std::uint32_t>(n));
+    out.insert(out.end(), data, data + n);
 }
 
 bool

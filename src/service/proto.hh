@@ -169,6 +169,26 @@ bool decodeResponse(const std::uint8_t *payload, std::size_t len,
 /** Prepend the u32le length prefix to a payload. */
 std::vector<std::uint8_t> frame(const std::vector<std::uint8_t> &payload);
 
+/**
+ * Append `u32le len | payload` for @p resp directly onto @p out.
+ * Identical bytes to frame(encodeResponse(resp)) without the two
+ * intermediate allocations - the reactor encodes straight into its
+ * per-connection batched write buffer on the hot path.
+ */
+void appendResponseFrame(std::vector<std::uint8_t> &out,
+                         const Response &resp);
+
+/**
+ * Append the frame of an OK GET_ENTROPY response answering @p req
+ * with @p n bytes at @p data - byte-identical to building the
+ * Response (seq/requestId echoed per echoRequestId) and calling
+ * appendResponseFrame, but with no Response object and a single copy
+ * of the entropy bytes. The reactor's pool fast path lives on this.
+ */
+void appendEntropyOkFrame(std::vector<std::uint8_t> &out,
+                          const Request &req,
+                          const std::uint8_t *data, std::size_t n);
+
 /** @name Bit packing (BitVector <-> byte image, bit i -> byte i/8) */
 /// @{
 std::vector<std::uint8_t> packBits(const BitVector &bits);

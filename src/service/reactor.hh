@@ -1,0 +1,167 @@
+/**
+ * @file
+ * One event-loop thread of the serving daemon (see server.hh for the
+ * full threading model). A reactor owns:
+ *
+ *   - an epoll instance watching its connections (and, on reactor 0,
+ *     the listen socket - accepts happen on the loop, no dedicated
+ *     accept thread),
+ *   - an eventfd other threads use to wake it: the accepting reactor
+ *     hands off adopted connections, shard workers post completions,
+ *     and stop() posts the drain request,
+ *   - every connection assigned to it, each with a FrameReader, a
+ *     token bucket, an ordered pending-response window and a batched
+ *     write queue flushed with one writev per loop turn.
+ *
+ * The pipelining contract (responses leave in request order per
+ * connection) is kept by the pending window: frame k of a connection
+ * occupies slot k; shard completions arrive out of order, are routed
+ * by their 64-bit token (connection id | absolute frame index) into
+ * the slot, and only the ready *prefix* of the window is encoded and
+ * flushed. Completions carry no allocation and no futex on the hot
+ * path - the shard worker appends to the reactor's completion vector
+ * and writes the eventfd only on the empty -> non-empty transition.
+ *
+ * Nothing here is shared between reactors except the accept handoff;
+ * all per-connection state is touched only by the owning loop thread.
+ */
+
+#ifndef FRACDRAM_SERVICE_REACTOR_HH
+#define FRACDRAM_SERVICE_REACTOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/proto.hh"
+#include "service/shard.hh"
+#include "telemetry/metrics.hh"
+
+namespace fracdram::service
+{
+
+class Server;
+
+class Reactor final : public ResponseSink
+{
+  public:
+    /**
+     * @param server  owning daemon (config, shards, trace ring)
+     * @param index   reactor number (0 accepts)
+     * @param pin_cpu CPU to pin the loop thread to, -1 = no pinning
+     * @param listen_fd the listen socket (reactor 0), else -1
+     */
+    Reactor(Server &server, int index, int pin_cpu, int listen_fd);
+    ~Reactor();
+
+    void start();
+    void join();
+
+    /**
+     * Begin the graceful drain: stop accepting, shut the read side of
+     * every connection, answer everything in flight, then exit the
+     * loop. Callable from any thread; idempotent.
+     */
+    void requestDrain();
+
+    /**
+     * Take ownership of an accepted, non-blocking socket. Called by
+     * the accepting reactor's loop thread (round-robin handoff).
+     */
+    void adopt(int fd);
+
+    /** ResponseSink: called by shard workers, routes by token. */
+    void onResponse(std::uint64_t token, Response &&resp) override;
+
+    /** Live connections owned by this reactor (loop-published). */
+    std::size_t connCount() const
+    {
+        return connCount_.load(std::memory_order_relaxed);
+    }
+
+    int index() const { return index_; }
+
+  private:
+    struct Conn;
+    struct Completion
+    {
+        std::uint64_t token;
+        Response resp;
+    };
+
+    void run();
+    void wake();
+    void handleWake();
+    void handleAccept();
+    void adoptLocal(int fd);
+    void beginDrain();
+    void handleReadable(Conn *conn);
+    void dispatchFrame(Conn *conn, const std::vector<std::uint8_t> &payload);
+    bool serveEntropyFromPool(Conn *conn, const Request &req,
+                              std::uint64_t recv_ns);
+    void maybeRefillPool();
+    void onPoolRefill(std::uint64_t token, Response &&resp);
+    void pumpConn(Conn *conn);
+    bool encodeReady(Conn *conn);
+    bool flushConn(Conn *conn);
+    void updateWriteInterest(Conn *conn);
+    void closeConn(Conn *conn);
+    void tick(std::uint64_t now_ns);
+
+    Server &server_;
+    const int index_;
+    const int pinCpu_;
+    const int listenFd_; //!< -1 on non-accepting reactors
+    int epollFd_ = -1;
+    int eventFd_ = -1;
+    std::thread thread_;
+
+    /** @name Cross-thread inboxes (guarded by mutex_) */
+    /// @{
+    std::mutex mutex_;
+    std::vector<Completion> completions_;
+    std::vector<int> adopted_;
+    /// @}
+    std::atomic<bool> draining_{false};
+    bool drainStarted_ = false;
+
+    /** @name Loop-thread-only state */
+    /// @{
+    std::unordered_map<int, std::unique_ptr<Conn>> conns_; //!< by fd
+    std::unordered_map<std::uint32_t, Conn *> connsById_;
+    std::uint32_t nextConnId_ = 1;
+    std::uint64_t acceptRr_ = 0; //!< handoff round-robin (reactor 0)
+    std::uint64_t lastTickNs_ = 0;
+    std::vector<std::uint8_t> rdbuf_;
+    std::vector<std::uint8_t> rdpayload_; //!< frame scratch (reused)
+    std::size_t readShard_ = 0; //!< entropy shard for this read batch
+
+    /**
+     * @name Reactor-local conditioned-entropy pool
+     * Conditioned GET_ENTROPY is DRBG output; the shards own the
+     * DRBGs, but a request does not need a cross-thread round trip
+     * per 32 bytes. The reactor keeps a slice of DRBG stream fetched
+     * from the shards in bulk (one refill job per kPoolChunk bytes,
+     * round-robin over shards so every DRBG keeps reseeding from its
+     * QUAC device) and answers pool hits inline. Raw mode and pool
+     * misses still take the shard path.
+     */
+    /// @{
+    std::vector<std::uint8_t> pool_;
+    std::size_t poolPos_ = 0;
+    int poolShard_ = 0; //!< shard whose DRBG filled the current pool
+    bool refillInFlight_ = false;
+    /// @}
+    /// @}
+
+    std::atomic<std::size_t> connCount_{0};
+    telemetry::GaugeId connsGauge_;
+};
+
+} // namespace fracdram::service
+
+#endif // FRACDRAM_SERVICE_REACTOR_HH

@@ -1,15 +1,13 @@
 #include "service/server.hh"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdlib>
-#include <sys/socket.h>
+#include <thread>
 
 #include "common/logging.hh"
 #include "service/net.hh"
 #include "telemetry/prom.hh"
 #include "telemetry/report.hh"
-#include "telemetry/trace.hh"
 
 namespace fracdram::service
 {
@@ -17,121 +15,15 @@ namespace fracdram::service
 namespace
 {
 
-struct ConnCounters
+/** 0 -> min(shards, cores); never more loops than either. */
+int
+resolveReactors(int requested, int num_shards)
 {
-    telemetry::CounterId accepted, rejected, rateLimited, badFrames;
-    telemetry::HistogramId writeBatch, requestNs;
-
-    ConnCounters()
-    {
-        auto &m = telemetry::Metrics::instance();
-        accepted = m.counter("service.conn_accepted");
-        rejected = m.counter("service.conn_rejected");
-        rateLimited = m.counter("service.rate_limited");
-        badFrames = m.counter("service.bad_frames");
-        writeBatch = m.histogram("service.write_batch_frames");
-        requestNs = m.histogram("service.request_ns");
-    }
-};
-
-const ConnCounters &
-connCounters()
-{
-    static const ConnCounters c;
-    return c;
-}
-
-/**
- * Gate for rate-limited WARNs: true at most once per @p period_ns
- * per @p gate, no matter how many threads hit it. Flood conditions
- * (connection cap, garbage frames) log one line with totals, not one
- * line per event.
- */
-bool
-warnTick(std::atomic<std::uint64_t> &gate,
-         std::uint64_t period_ns = 5'000'000'000ull)
-{
-    const std::uint64_t now = telemetry::nowNs();
-    std::uint64_t last = gate.load(std::memory_order_relaxed);
-    return (last == 0 || now - last >= period_ns) &&
-           gate.compare_exchange_strong(last, now);
-}
-
-/**
- * Per-connection request rate limiter. Refills continuously, holds
- * up to one second of burst. Single-threaded (owned by one
- * connection thread).
- */
-class TokenBucket
-{
-  public:
-    explicit TokenBucket(double rate_per_sec)
-        : rate_(rate_per_sec), tokens_(rate_per_sec),
-          last_(std::chrono::steady_clock::now())
-    {
-    }
-
-    bool active() const { return rate_ > 0.0; }
-
-    bool allow()
-    {
-        const auto now = std::chrono::steady_clock::now();
-        const double dt =
-            std::chrono::duration<double>(now - last_).count();
-        last_ = now;
-        tokens_ = std::min(rate_, tokens_ + dt * rate_);
-        if (tokens_ < 1.0)
-            return false;
-        tokens_ -= 1.0;
-        return true;
-    }
-
-  private:
-    double rate_;
-    double tokens_;
-    std::chrono::steady_clock::time_point last_;
-};
-
-/** A response slot that is either ready or waiting on a shard. */
-struct PendingResponse
-{
-    bool ready = false;
-    Response resp;
-    std::future<Response> future;
-    std::uint64_t recvNs = 0; //!< frame decoded (traced requests)
-    int shard = -1;           //!< -1: answered inline
-};
-
-Response
-quickResponse(const Request &req, Status status, std::string text)
-{
-    Response resp;
-    resp.type = req.type;
-    resp.seq = req.seq;
-    resp.status = status;
-    resp.text = std::move(text);
-    echoRequestId(resp, req);
-    return resp;
-}
-
-/** Turn a completed timeline into pid-3 Chrome trace lanes. */
-void
-emitRequestSpans(const RequestTimeline &t)
-{
-    const auto span = [&t](const char *stage, std::uint64_t a,
-                           std::uint64_t b) {
-        if (b > a && a > 0)
-            telemetry::traceRequestSpan(stage, t.requestId, a, b - a);
-    };
-    if (t.shard >= 0) {
-        span("parse", t.recvNs, t.enqueueNs);
-        span("queue_wait", t.enqueueNs, t.dequeueNs);
-        span("batch", t.dequeueNs, t.genStartNs);
-        span("generate", t.genStartNs, t.genEndNs);
-        span("write", t.genEndNs, t.writeNs);
-    } else {
-        span("parse", t.recvNs, t.writeNs);
-    }
+    if (requested > 0)
+        return requested;
+    const int cores = std::max(
+        1, static_cast<int>(std::thread::hardware_concurrency()));
+    return std::max(1, std::min(num_shards, cores));
 }
 
 } // namespace
@@ -158,9 +50,15 @@ Server::start(std::string *err)
         return false;
     port_ = boundPort(listenFd_);
     startNs_ = telemetry::nowNs();
+
+    const int n_reactors =
+        resolveReactors(cfg_.numReactors, cfg_.numShards);
+    ShardConfig shard_cfg = cfg_.shard;
+    // Reactors take cores [0, R), shard workers [R, R + S).
+    shard_cfg.pinCpuBase = cfg_.pinThreads ? n_reactors : -1;
     shards_.reserve(static_cast<std::size_t>(cfg_.numShards));
     for (int i = 0; i < cfg_.numShards; ++i) {
-        shards_.push_back(std::make_unique<Shard>(i, cfg_.shard));
+        shards_.push_back(std::make_unique<Shard>(i, shard_cfg));
         shards_.back()->start();
     }
     if (!startObservability(err)) {
@@ -171,12 +69,20 @@ Server::start(std::string *err)
         listenFd_ = -1;
         return false;
     }
-    acceptThread_ = std::thread(&Server::acceptLoop, this);
+    // All reactors must exist before any starts: reactor 0 hands
+    // accepted connections to its peers round-robin.
+    reactors_.reserve(static_cast<std::size_t>(n_reactors));
+    for (int i = 0; i < n_reactors; ++i)
+        reactors_.push_back(std::make_unique<Reactor>(
+            *this, i, cfg_.pinThreads ? i : -1,
+            i == 0 ? listenFd_ : -1));
+    for (auto &reactor : reactors_)
+        reactor->start();
     running_ = true;
-    inform("service: listening on 127.0.0.1:%u (%d shards, queue "
-           "capacity %zu, batch %zu)",
-           port_, cfg_.numShards, cfg_.shard.queueCapacity,
-           cfg_.shard.maxBatchJobs);
+    inform("service: listening on 127.0.0.1:%u (%d reactors, %d "
+           "shards, queue capacity %zu, batch %zu)",
+           port_, n_reactors, cfg_.numShards,
+           cfg_.shard.queueCapacity, cfg_.shard.maxBatchJobs);
     return true;
 }
 
@@ -283,26 +189,21 @@ Server::stop()
     running_ = false;
     inform("service: draining");
     stop_.store(true, std::memory_order_relaxed);
-    if (acceptThread_.joinable())
-        acceptThread_.join();
+    // Reactors stop accepting, shut the read side of every
+    // connection, answer every job already queued on the shards
+    // (completions still flow back through the eventfd), flush, and
+    // exit once their last connection is closed.
+    for (auto &reactor : reactors_)
+        reactor->requestDrain();
+    for (auto &reactor : reactors_)
+        reactor->join();
     closeFd(listenFd_);
     listenFd_ = -1;
-    // Wake connection threads parked in read so the join below is
-    // prompt; read-side only, because responses already owed to the
-    // peer must still go out (the drain contract). A send stalled on
-    // a peer that stopped reading is bounded by SO_SNDTIMEO. Safe
-    // against the threads themselves: conn fds are closed only
-    // after join, by the reaper.
-    {
-        std::lock_guard<std::mutex> lock(connMutex_);
-        for (auto &c : conns_)
-            if (!c->done.load(std::memory_order_acquire))
-                shutdownRead(c->fd);
-    }
-    // Connection threads notice stop_ within one poll interval,
-    // finish their in-flight batch (shards still run) and exit.
-    joinAllConns();
-    // Now nothing can submit; serve what is queued and stop.
+    // Nothing can submit anymore; drain the shard queues (they are
+    // empty - every job was answered before the reactors exited) and
+    // join the workers. Reactor objects outlive this call, so a
+    // stray completion from the final batch lands in a dead inbox
+    // instead of a freed one.
     for (auto &shard : shards_)
         shard->drainAndStop();
     // Observability goes last so a scrape during the drain still
@@ -316,291 +217,12 @@ Server::stop()
 }
 
 std::size_t
-Server::activeConnections() const
-{
-    std::lock_guard<std::mutex> lock(connMutex_);
-    std::size_t n = 0;
-    for (const auto &c : conns_)
-        if (!c->done.load(std::memory_order_acquire))
-            ++n;
-    return n;
-}
-
-std::size_t
 Server::shardQueueDepth(int shard) const
 {
     panic_if(shard < 0 ||
                  shard >= static_cast<int>(shards_.size()),
              "shard %d out of range", shard);
     return shards_[static_cast<std::size_t>(shard)]->queueDepth();
-}
-
-void
-Server::reapFinishedConns()
-{
-    std::list<std::unique_ptr<Conn>> finished;
-    {
-        std::lock_guard<std::mutex> lock(connMutex_);
-        for (auto it = conns_.begin(); it != conns_.end();) {
-            if ((*it)->done.load(std::memory_order_acquire)) {
-                finished.push_back(std::move(*it));
-                it = conns_.erase(it);
-            } else {
-                ++it;
-            }
-        }
-    }
-    for (auto &c : finished) {
-        c->thread.join();
-        closeFd(c->fd);
-    }
-}
-
-void
-Server::joinAllConns()
-{
-    // Joining MUST happen outside connMutex_: a connection thread
-    // still serving HEALTH takes the same mutex in
-    // activeConnections(), and joining it with the lock held would
-    // deadlock the shutdown path.
-    std::list<std::unique_ptr<Conn>> conns;
-    {
-        std::lock_guard<std::mutex> lock(connMutex_);
-        conns.swap(conns_);
-    }
-    for (auto &c : conns) {
-        if (c->thread.joinable())
-            c->thread.join();
-        closeFd(c->fd);
-    }
-}
-
-void
-Server::acceptLoop()
-{
-    while (!stop_.load(std::memory_order_relaxed)) {
-        reapFinishedConns();
-        const int r = waitReadable(listenFd_, 200);
-        if (r <= 0)
-            continue;
-        const int fd = ::accept(listenFd_, nullptr, nullptr);
-        if (fd < 0)
-            continue;
-        setNoDelay(fd);
-        setSendTimeout(fd, cfg_.writeTimeoutMs);
-        // Count only live connections against the cap: a burst of
-        // short-lived clients leaves finished-but-unreaped entries
-        // in conns_ that must not eat capacity.
-        const bool full =
-            activeConnections() >= cfg_.maxConnections;
-        if (full) {
-            // Tell the client why before hanging up.
-            Request synthetic;
-            synthetic.type = MsgType::Health;
-            const auto payload = encodeResponse(quickResponse(
-                synthetic, Status::Busy, "connection limit reached"));
-            const auto framed = frame(payload);
-            writeAll(fd, framed.data(), framed.size(), nullptr);
-            closeFd(fd);
-            ++rejected_;
-            telemetry::count(connCounters().rejected);
-            static std::atomic<std::uint64_t> gate{0};
-            if (warnTick(gate)) {
-                warn("component=server connection limit (%zu) "
-                     "reached; rejecting with BUSY (%llu rejected "
-                     "so far)",
-                     static_cast<std::size_t>(cfg_.maxConnections),
-                     static_cast<unsigned long long>(
-                         rejected_.load()));
-            }
-            continue;
-        }
-        auto conn = std::make_unique<Conn>();
-        conn->fd = fd;
-        Conn *raw = conn.get();
-        {
-            std::lock_guard<std::mutex> lock(connMutex_);
-            conns_.push_back(std::move(conn));
-        }
-        raw->thread = std::thread(&Server::connLoop, this, raw);
-        ++accepted_;
-        telemetry::count(connCounters().accepted);
-        debug_log("service: accepted connection fd=%d", fd);
-    }
-}
-
-void
-Server::connLoop(Conn *conn)
-{
-    const auto &cc = connCounters();
-    FrameReader reader;
-    TokenBucket bucket(cfg_.rateLimitPerConn);
-    std::vector<std::uint8_t> rdbuf(64 * 1024);
-    std::vector<std::uint8_t> payload;
-    std::vector<PendingResponse> pending;
-    auto last_activity = std::chrono::steady_clock::now();
-    bool closing = false;
-
-    while (!closing && !stop_.load(std::memory_order_relaxed)) {
-        const int r = waitReadable(conn->fd, 200);
-        if (r < 0)
-            break;
-        if (r == 0) {
-            const auto idle = std::chrono::duration_cast<
-                                  std::chrono::milliseconds>(
-                                  std::chrono::steady_clock::now() -
-                                  last_activity)
-                                  .count();
-            if (cfg_.idleTimeoutMs > 0 && idle >= cfg_.idleTimeoutMs)
-                break;
-            continue;
-        }
-        const long n = readSome(conn->fd, rdbuf.data(), rdbuf.size());
-        if (n <= 0)
-            break;
-        last_activity = std::chrono::steady_clock::now();
-        reader.feed(rdbuf.data(), static_cast<std::size_t>(n));
-
-        pending.clear();
-        while (reader.next(payload)) {
-            Request req;
-            std::string err;
-            const std::uint64_t recv_ns =
-                telemetry::enabled() ? telemetry::nowNs() : 0;
-            if (!decodeRequest(payload.data(), payload.size(), req,
-                               &err)) {
-                // Undecodable frame: answer, then hang up - the
-                // stream cannot be trusted to stay aligned.
-                telemetry::count(cc.badFrames);
-                static std::atomic<std::uint64_t> gate{0};
-                if (warnTick(gate)) {
-                    warn("component=server undecodable frame on "
-                         "fd=%d (%s); closing connection",
-                         conn->fd, err.c_str());
-                }
-                Request synthetic;
-                synthetic.type = MsgType::Health;
-                if (payload.size() >= 4)
-                    synthetic.seq = static_cast<std::uint16_t>(
-                        payload[2] | (payload[3] << 8));
-                pending.push_back(
-                    {true,
-                     quickResponse(synthetic, Status::Error, err),
-                     {}});
-                closing = true;
-                break;
-            }
-            if (req.type == MsgType::Health) {
-                pending.push_back(
-                    {true,
-                     quickResponse(req, Status::Ok, healthJson()),
-                     {},
-                     recv_ns});
-                continue;
-            }
-            if (req.type == MsgType::Stats) {
-                pending.push_back(
-                    {true, quickResponse(req, Status::Ok, statsJson()),
-                     {},
-                     recv_ns});
-                continue;
-            }
-            if (bucket.active() && !bucket.allow()) {
-                telemetry::count(cc.rateLimited);
-                pending.push_back(
-                    {true,
-                     quickResponse(req, Status::RateLimited,
-                                   "per-connection rate limit"),
-                     {},
-                     recv_ns});
-                continue;
-            }
-            const std::size_t shard_idx =
-                req.type == MsgType::GetEntropy
-                    ? rr_.fetch_add(1, std::memory_order_relaxed) %
-                          shards_.size()
-                    : req.device % shards_.size();
-            Job job;
-            job.req = req;
-            std::future<Response> fut = job.done.get_future();
-            if (!shards_[shard_idx]->submit(std::move(job))) {
-                pending.push_back(
-                    {true,
-                     quickResponse(req, Status::Busy,
-                                   "shard queue full"),
-                     {},
-                     recv_ns});
-                continue;
-            }
-            PendingResponse p;
-            p.future = std::move(fut);
-            p.recvNs = recv_ns;
-            p.shard = static_cast<int>(shard_idx);
-            pending.push_back(std::move(p));
-        }
-        if (!reader.error().empty()) {
-            telemetry::count(cc.badFrames);
-            Request synthetic;
-            synthetic.type = MsgType::Health;
-            pending.push_back(
-                {true,
-                 quickResponse(synthetic, Status::Error,
-                               reader.error()),
-                 {}});
-            closing = true;
-        }
-        if (pending.empty())
-            continue;
-
-        // One write per batch, responses in request order.
-        telemetry::observe(cc.writeBatch, pending.size());
-        std::vector<std::uint8_t> out;
-        std::vector<RequestTimeline> traced;
-        for (auto &p : pending) {
-            const Response resp =
-                p.ready ? std::move(p.resp) : p.future.get();
-            const auto pl = encodeResponse(resp);
-            const auto framed = frame(pl);
-            out.insert(out.end(), framed.begin(), framed.end());
-            if (telemetry::enabled() &&
-                (resp.flags & kFlagRequestId)) {
-                RequestTimeline t;
-                t.requestId = resp.requestId;
-                t.type = static_cast<std::uint8_t>(resp.type);
-                t.status = static_cast<std::uint8_t>(resp.status);
-                t.shard = p.shard;
-                t.recvNs = p.recvNs;
-                t.enqueueNs = resp.stamps.enqueueNs;
-                t.dequeueNs = resp.stamps.dequeueNs;
-                t.genStartNs = resp.stamps.genStartNs;
-                t.genEndNs = resp.stamps.genEndNs;
-                traced.push_back(t);
-            }
-        }
-        const bool wrote =
-            writeAll(conn->fd, out.data(), out.size(), nullptr);
-        if (!traced.empty()) {
-            // One stamp for the whole batch: the requests left the
-            // daemon together in one write call.
-            const std::uint64_t write_ns = telemetry::nowNs();
-            for (RequestTimeline &t : traced) {
-                t.writeNs = write_ns;
-                telemetry::observe(cc.requestNs,
-                                   write_ns > t.recvNs
-                                       ? write_ns - t.recvNs
-                                       : 0);
-                traceRing_.push(t);
-                emitRequestSpans(t);
-            }
-        }
-        if (!wrote)
-            break;
-    }
-    debug_log("service: closing connection fd=%d", conn->fd);
-    // The fd is closed by whoever joins this thread (reaper or
-    // stop()), never here: stop() may concurrently shutdown() it,
-    // which must not race with a close/reuse of the descriptor.
-    conn->done.store(true, std::memory_order_release);
 }
 
 std::string
@@ -615,12 +237,14 @@ Server::healthJson() const
     const double uptime_s =
         static_cast<double>(telemetry::nowNs() - startNs_) * 1e-9;
     return strprintf(
-        "{\"status\": \"%s\", \"shards\": %zu, \"uptime_s\": %.3f, "
+        "{\"status\": \"%s\", \"shards\": %zu, \"reactors\": %zu, "
+        "\"uptime_s\": %.3f, "
         "\"connections\": %zu, \"accepted\": %llu, "
         "\"rejected\": %llu, \"queue_depths\": [%s], "
         "\"queue_capacity\": %zu}",
         stop_.load(std::memory_order_relaxed) ? "draining" : "ok",
-        shards_.size(), uptime_s, activeConnections(),
+        shards_.size(), reactors_.size(), uptime_s,
+        activeConnections(),
         static_cast<unsigned long long>(accepted_.load()),
         static_cast<unsigned long long>(rejected_.load()),
         depths.c_str(), cfg_.shard.queueCapacity);

@@ -3,30 +3,35 @@
  * The FracDRAM serving daemon core: a loopback TCP listener in front
  * of a pool of device shards (see shard.hh).
  *
- * Threading model:
- *   - one accept thread (also reaps finished connection threads),
- *   - one thread per live connection (bounded by maxConnections;
- *     excess connections get a BUSY frame and are closed),
+ * Threading model (see reactor.hh for the event-loop details):
+ *   - N reactor threads, each an epoll loop owning a slice of the
+ *     connections; reactor 0 also owns the listen socket and hands
+ *     accepted connections out round-robin (no accept thread, no
+ *     thread per connection),
  *   - one worker thread per shard.
  *
- * Connection threads parse every complete frame out of each read,
- * dispatch the shardable ones (entropy round-robins over shards, PUF
- * routes by device id so enrollments stay on their module), answer
- * HEALTH/STATS inline, and then write all responses of the batch in
- * request order with a single write call - so a pipelining client
- * pays the syscall and wakeup cost once per batch, not once per
- * request.
+ * Reactors parse every complete frame out of each read, dispatch the
+ * shardable ones (entropy round-robins over shards, PUF routes by
+ * device id so enrollments stay on their module), answer
+ * HEALTH/STATS inline, and write responses in request order with one
+ * writev per connection per loop turn - a pipelining client pays the
+ * syscall and wakeup cost once per batch, not once per request.
+ * Shard completions return to the owning reactor through an
+ * eventfd-woken completion queue; out-of-order completions wait in a
+ * per-connection ordered window so the pipelining contract holds.
  *
  * Backpressure is end-to-end: shard queues are bounded (full -> BUSY
  * response immediately), per-connection token buckets cap the
  * request rate (-> RATE_LIMITED), idle connections are closed after
- * idleTimeoutMs, and writes carry an SO_SNDTIMEO so a peer that
- * stops reading is dropped instead of parking its thread in send().
- * stop() drains gracefully: no new connections (blocked reads are
- * woken by a read-side shutdown(2); the write side stays open so
- * owed responses still go out), every queued job is still answered,
- * then shards stop. Connection fds are closed only after their
- * thread is joined, so stop() can shutdown() them race-free.
+ * idleTimeoutMs, and a peer that stops reading is dropped once its
+ * write queue has stalled for writeTimeoutMs. stop() drains
+ * gracefully: no new connections (read-side shutdown(2) wakes the
+ * peers with EOF; the write side stays open so owed responses still
+ * go out), every queued job is still answered, then shards stop.
+ *
+ * When pinning is enabled reactors take cores [0, R) and shard
+ * workers cores [R, R + S) (modulo the machine), so the two thread
+ * classes stop migrating across each other under load.
  */
 
 #ifndef FRACDRAM_SERVICE_SERVER_HH
@@ -34,14 +39,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "service/http.hh"
+#include "service/reactor.hh"
 #include "service/reqtrace.hh"
 #include "service/shard.hh"
 #include "service/watchdog.hh"
@@ -54,10 +57,20 @@ struct ServerConfig
     std::uint16_t port = 0; //!< 0 = pick an ephemeral port
     int numShards = 4;
     ShardConfig shard;
+
+    /**
+     * Event-loop threads. 0 = auto: min(numShards, hardware cores),
+     * at least 1 - more reactors than cores just adds contention.
+     */
+    int numReactors = 0;
+
+    /** Pin reactors/shards to cores (no-op on single-core hosts). */
+    bool pinThreads = true;
+
     std::size_t maxConnections = 64;
     double rateLimitPerConn = 0.0; //!< requests/s per conn; 0 = off
     int idleTimeoutMs = 60000;
-    int writeTimeoutMs = 5000; //!< SO_SNDTIMEO per conn; 0 = off
+    int writeTimeoutMs = 5000; //!< max write-queue stall; 0 = off
 
     /** @name Observability (see DESIGN.md, "Live observability") */
     /// @{
@@ -75,7 +88,7 @@ class Server
     ~Server();
 
     /**
-     * Bind, start the shard pool and the accept loop.
+     * Bind, start the shard pool and the reactors.
      * @return false with @p err set when the listen socket fails
      */
     bool start(std::string *err);
@@ -90,10 +103,17 @@ class Server
 
     /** @name Introspection (tests, HEALTH handler) */
     /// @{
-    std::size_t activeConnections() const;
+    std::size_t activeConnections() const
+    {
+        return liveConns_.load(std::memory_order_relaxed);
+    }
     std::uint64_t acceptedConnections() const { return accepted_; }
     std::uint64_t rejectedConnections() const { return rejected_; }
     std::size_t shardQueueDepth(int shard) const;
+    int numReactors() const
+    {
+        return static_cast<int>(reactors_.size());
+    }
     const ServerConfig &config() const { return cfg_; }
 
     /** HTTP observability port (0 when metricsPort was -1). */
@@ -108,17 +128,8 @@ class Server
     /// @}
 
   private:
-    struct Conn
-    {
-        int fd = -1;
-        std::thread thread;
-        std::atomic<bool> done{false};
-    };
+    friend class Reactor;
 
-    void acceptLoop();
-    void connLoop(Conn *conn);
-    void reapFinishedConns();
-    void joinAllConns();
     std::string healthJson() const;
     std::string statsJson() const;
     bool startObservability(std::string *err);
@@ -127,21 +138,19 @@ class Server
 
     const ServerConfig cfg_;
     std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<std::unique_ptr<Reactor>> reactors_;
     std::unique_ptr<HttpServer> http_;
     std::unique_ptr<Watchdog> watchdog_;
     RequestTraceRing traceRing_;
     int listenFd_ = -1;
     std::uint16_t port_ = 0;
-    std::thread acceptThread_;
     std::atomic<bool> stop_{false};
     bool running_ = false;
     std::atomic<std::uint64_t> rr_{0}; //!< entropy round-robin
     std::atomic<std::uint64_t> accepted_{0};
     std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::size_t> liveConns_{0};
     std::uint64_t startNs_ = 0;
-
-    mutable std::mutex connMutex_;
-    std::list<std::unique_ptr<Conn>> conns_;
 };
 
 } // namespace fracdram::service

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/sha256.hh"
 #include "puf/puf.hh"
+#include "service/net.hh"
 #include "sim/chip.hh"
 #include "softmc/controller.hh"
 #include "trng/quac_trng.hh"
@@ -102,6 +103,8 @@ Shard::submit(Job &&job)
 void
 Shard::run()
 {
+    if (cfg_.pinCpuBase >= 0)
+        pinThisThreadToCpu(cfg_.pinCpuBase + index_);
     // Build the device here so every byte of device state is born on
     // the worker thread and never touched by anyone else.
     sim::DramParams params = sim::isDdr4(cfg_.group)
@@ -243,7 +246,7 @@ Shard::process(std::vector<Job> &batch)
         resp.stamps.enqueueNs = j.enqueueNs;
         resp.stamps.dequeueNs = now;
         echoRequestId(resp, j.req);
-        j.done.set_value(std::move(resp));
+        j.sink->onResponse(j.token, std::move(resp));
     }
 }
 

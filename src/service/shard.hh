@@ -21,7 +21,6 @@
 
 #include <array>
 #include <cstdint>
-#include <future>
 #include <map>
 #include <memory>
 #include <thread>
@@ -65,13 +64,40 @@ struct ShardConfig
     std::size_t reseedBytes = 4u << 20;  //!< DRBG bytes per reseed
     int numFracs = 10;                   //!< Frac ops per PUF eval
     std::size_t maxEnrollments = 4096;   //!< PUF references kept/shard
+
+    /**
+     * CPU pinning: shard i pins its worker to core
+     * (pinCpuBase + i) % cores. -1 disables pinning (the default for
+     * bare Shard users; Server sets it so shards land on the cores
+     * after the reactors).
+     */
+    int pinCpuBase = -1;
 };
 
-/** One queued request with its completion slot. */
+/**
+ * Where a finished job's response goes. The shard worker calls
+ * onResponse() exactly once per job, from its own thread, with the
+ * opaque token the submitter attached - the reactor uses it to route
+ * the response back to the owning connection's ordered slot without
+ * any allocation or futex on the completion path (the promise/future
+ * pair this replaced cost one allocation plus one futex wake per
+ * request).
+ */
+class ResponseSink
+{
+  public:
+    virtual void onResponse(std::uint64_t token, Response &&resp) = 0;
+
+  protected:
+    ~ResponseSink() = default;
+};
+
+/** One queued request with its completion route. */
 struct Job
 {
     Request req;
-    std::promise<Response> done;
+    ResponseSink *sink = nullptr;
+    std::uint64_t token = 0;     //!< opaque to the shard
     std::uint64_t enqueueNs = 0; //!< for the queue-wait histogram
 };
 

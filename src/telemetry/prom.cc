@@ -14,13 +14,17 @@ namespace
 
 /**
  * Split "service.shard3.queue_depth" into the family name
- * "service.shard.queue_depth" and the label suffix {shard="3"}.
- * Names without a shardN component pass through with no labels.
+ * "service.shard.queue_depth" and the label suffix {shard="3"},
+ * and likewise "service.reactor1.conns" into "service.reactor.conns"
+ * {reactor="1"}. Per-instance series thus share one Prometheus
+ * family instead of exploding into N distinct metric names. Names
+ * without a shardN/reactorN component pass through with no labels.
  */
 void
 splitShardLabel(const std::string &name, std::string &family,
                 std::string &labels)
 {
+    static constexpr const char *kIndexed[] = {"shard", "reactor"};
     family.clear();
     labels.clear();
     std::size_t pos = 0;
@@ -30,21 +34,26 @@ splitShardLabel(const std::string &name, std::string &family,
             dot = name.size();
         const std::string token = name.substr(pos, dot - pos);
         bool consumed = false;
-        if (labels.empty() && token.size() > 5 &&
-            token.compare(0, 5, "shard") == 0) {
+        for (const char *base : kIndexed) {
+            const std::size_t blen = std::char_traits<char>::length(base);
+            if (!labels.empty() || token.size() <= blen ||
+                token.compare(0, blen, base) != 0)
+                continue;
             bool digits = true;
-            for (std::size_t i = 5; i < token.size(); ++i)
+            for (std::size_t i = blen; i < token.size(); ++i)
                 digits = digits && std::isdigit(
                                        static_cast<unsigned char>(
                                            token[i])) != 0;
-            if (digits) {
-                labels = "{shard=\"" + token.substr(5) + "\"}";
-                if (!family.empty())
-                    family += ".shard";
-                else
-                    family = "shard";
-                consumed = true;
-            }
+            if (!digits)
+                continue;
+            labels = std::string{"{"} + base + "=\"" +
+                     token.substr(blen) + "\"}";
+            if (!family.empty())
+                family += std::string{"."} + base;
+            else
+                family = base;
+            consumed = true;
+            break;
         }
         if (!consumed) {
             if (!family.empty())

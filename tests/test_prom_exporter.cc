@@ -118,6 +118,33 @@ TEST(PromExporter, ShardLabelJoinsHistogramLeLabel)
         std::string::npos);
 }
 
+TEST(PromExporter, ReactorLabelFoldsLikeShard)
+{
+    MetricsSnapshot snap;
+    snap.gauges["service.reactor0.conns"] = 5;
+    snap.gauges["service.reactor1.conns"] = 3;
+    const std::string out = renderProm(snap);
+    EXPECT_NE(out.find("fracdram_service_reactor_conns"
+                       "{reactor=\"0\"} 5\n"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("fracdram_service_reactor_conns"
+                       "{reactor=\"1\"} 3\n"),
+              std::string::npos)
+        << out;
+    // One family, one header block, two labelled series.
+    const std::size_t first =
+        out.find("# TYPE fracdram_service_reactor_conns");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(out.find("# TYPE fracdram_service_reactor_conns",
+                       first + 1),
+              std::string::npos);
+    // A non-numeric suffix must NOT be folded into a label.
+    snap.gauges["service.reactorx.conns"] = 1;
+    EXPECT_NE(renderProm(snap).find("fracdram_service_reactorx_conns"),
+              std::string::npos);
+}
+
 TEST(PromExporter, TopBucketAndInfInvariant)
 {
     MetricsSnapshot snap;

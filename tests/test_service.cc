@@ -14,6 +14,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <random>
 #include <string>
 #include <sys/socket.h>
 #include <thread>
@@ -41,6 +43,14 @@ testConfig(int shards = 2)
     cfg.shard.colsPerRow = 256;
     cfg.shard.queueCapacity = 64;
     cfg.shard.maxEntropyBytes = 4096;
+    // CI runs the whole file against a multi-reactor server too
+    // (FRACDRAM_TEST_REACTORS=2) to exercise the accept handoff and
+    // cross-reactor completion routing under tsan.
+    if (const char *r = std::getenv("FRACDRAM_TEST_REACTORS")) {
+        const int n = std::atoi(r);
+        if (n > 0)
+            cfg.numReactors = n;
+    }
     return cfg;
 }
 
@@ -663,4 +673,174 @@ TEST(Service, HealthzFlipsUnderSloBreachAndRecovers)
         EXPECT_NE(r.body.find("ok"), std::string::npos);
     }
     telemetry::setEnabled(was_enabled);
+}
+
+/**
+ * Frames must survive arbitrary TCP segmentation: deliver a pipelined
+ * burst one byte per write syscall and expect every response, in
+ * order. Exercises the FrameReader resume path and the reactor's
+ * partial-read handling end to end.
+ */
+TEST(Service, TornFramesOneBytePerWrite)
+{
+    TestServer ts(testConfig());
+    Client c = ts.connect();
+    std::string err;
+
+    constexpr int kFrames = 3;
+    std::vector<std::uint8_t> wire;
+    for (int i = 0; i < kFrames; ++i) {
+        Request req;
+        req.type = MsgType::GetEntropy;
+        req.flags = kFlagRawEntropy;
+        req.seq = static_cast<std::uint16_t>(i + 1);
+        req.nBytes = 32;
+        const auto framed = frame(encodeRequest(req));
+        wire.insert(wire.end(), framed.begin(), framed.end());
+    }
+    for (std::size_t i = 0; i < wire.size(); ++i) {
+        ASSERT_TRUE(writeAll(c.fd(), &wire[i], 1, &err)) << err;
+        // An occasional pause defeats kernel coalescing so the
+        // server really sees torn reads, not one big buffer.
+        if (i % 7 == 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    for (int i = 0; i < kFrames; ++i) {
+        Response resp;
+        ASSERT_TRUE(c.recv(resp, &err, 10000)) << err;
+        EXPECT_EQ(resp.status, Status::Ok);
+        EXPECT_EQ(resp.seq, i + 1);
+        EXPECT_EQ(resp.data.size(), 32u);
+    }
+}
+
+/** Same contract under random split points (seeded, reproducible). */
+TEST(Service, TornFramesRandomSplits)
+{
+    TestServer ts(testConfig());
+    Client c = ts.connect();
+    std::string err;
+
+    constexpr int kFrames = 8;
+    std::vector<std::uint8_t> wire;
+    for (int i = 0; i < kFrames; ++i) {
+        Request req;
+        req.type = MsgType::GetEntropy;
+        req.flags = kFlagRawEntropy;
+        req.seq = static_cast<std::uint16_t>(i + 1);
+        req.nBytes = 16 + 16 * static_cast<std::uint32_t>(i);
+        const auto framed = frame(encodeRequest(req));
+        wire.insert(wire.end(), framed.begin(), framed.end());
+    }
+    std::mt19937 rng(0xF12ACD12u);
+    std::uniform_int_distribution<std::size_t> chunk(1, 11);
+    std::size_t off = 0;
+    while (off < wire.size()) {
+        const std::size_t n = std::min(chunk(rng), wire.size() - off);
+        ASSERT_TRUE(writeAll(c.fd(), wire.data() + off, n, &err))
+            << err;
+        off += n;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    for (int i = 0; i < kFrames; ++i) {
+        Response resp;
+        ASSERT_TRUE(c.recv(resp, &err, 10000)) << err;
+        EXPECT_EQ(resp.status, Status::Ok);
+        EXPECT_EQ(resp.seq, i + 1);
+        EXPECT_EQ(resp.data.size(),
+                  16u + 16u * static_cast<std::uint32_t>(i));
+    }
+}
+
+/**
+ * Regression: a scraper that connects and then goes silent (never
+ * sends, never reads) must not wedge /metrics for everybody else.
+ * The old serial responder blocked on that socket; the poll loop
+ * keeps answering and eventually cuts the stalled peer loose.
+ */
+TEST(Service, MetricsSurvivesStalledScraper)
+{
+    ServerConfig cfg = testConfig(1);
+    cfg.metricsPort = 0;
+    TestServer ts(cfg);
+    ASSERT_GT(ts.server.metricsPort(), 0);
+    std::string err;
+
+    // Peer 1: connects and never sends a byte.
+    const int silent =
+        connectTcp("127.0.0.1", ts.server.metricsPort(), &err);
+    ASSERT_GE(silent, 0) << err;
+
+    // Peer 2: sends a request but never reads the response.
+    const int deaf =
+        connectTcp("127.0.0.1", ts.server.metricsPort(), &err);
+    ASSERT_GE(deaf, 0) << err;
+    const std::string get = "GET /metrics HTTP/1.0\r\n\r\n";
+    ASSERT_TRUE(writeAll(deaf, get.data(), get.size(), &err)) << err;
+
+    // While both stalled peers hold their connections, well-behaved
+    // scrapers must keep being served.
+    for (int i = 0; i < 3; ++i) {
+        HttpResult r;
+        ASSERT_TRUE(httpGet("127.0.0.1", ts.server.metricsPort(),
+                            "/metrics", r, &err))
+            << err;
+        EXPECT_EQ(r.status, 200);
+        EXPECT_NE(r.body.find("fracdram_"), std::string::npos);
+    }
+
+    // The responder's per-connection deadline must reclaim the
+    // silent peer's fd: its socket sees EOF within a few seconds.
+    ASSERT_EQ(waitReadable(silent, 10000), 1);
+    char b;
+    EXPECT_EQ(readSome(silent, &b, 1), 0);
+    closeFd(silent);
+    closeFd(deaf);
+}
+
+/**
+ * The full request/response contract holds with more than one
+ * reactor: accepts are handed off round-robin and completions are
+ * routed across threads back to the owning loop.
+ */
+TEST(Service, MultiReactorRoundTrips)
+{
+    ServerConfig cfg = testConfig(2);
+    cfg.numReactors = 2;
+    TestServer ts(cfg);
+    EXPECT_EQ(ts.server.numReactors(), 2);
+
+    constexpr int kClients = 4;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int t = 0; t < kClients; ++t) {
+        threads.emplace_back([&ts, &failures, t] {
+            Client c;
+            std::string err;
+            if (!c.connect("127.0.0.1", ts.server.port(), &err)) {
+                ++failures;
+                return;
+            }
+            for (int i = 0; i < 16; ++i) {
+                Request req;
+                req.type = MsgType::GetEntropy;
+                req.flags = kFlagRawEntropy;
+                req.seq = static_cast<std::uint16_t>(t * 100 + i);
+                req.nBytes = 64;
+                Response resp;
+                if (!c.send(req, &err) ||
+                    !c.recv(resp, &err, 10000) ||
+                    resp.status != Status::Ok ||
+                    resp.seq != req.seq ||
+                    resp.data.size() != 64u) {
+                    ++failures;
+                    return;
+                }
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(failures.load(), 0);
 }

@@ -2,16 +2,23 @@
  * @file
  * fracdram_loadgen - closed-loop load generator for fracdram_serve.
  *
- * Opens --conns connections, keeps a window of --window pipelined
- * GET_ENTROPY requests outstanding on each, and runs for --duration
+ * Opens --conns connections spread over --threads generator threads
+ * (each thread poll-multiplexes its slice over non-blocking sockets
+ * and replaces a batch of completed requests with one write, so the
+ * client side stays ahead of a multi-reactor server without a thread
+ * per connection). Keeps a window of --window pipelined GET_ENTROPY
+ * requests outstanding on each connection and runs for --duration
  * seconds. Prints throughput and client-observed p50/p95/p99 latency
- * (and writes them as one JSON object with --json-out, which
- * scripts/run_benches.sh embeds into the bench record).
+ * plus a merged power-of-two latency histogram (and writes them as
+ * one JSON object with --json-out, which scripts/run_benches.sh
+ * embeds into the bench record).
  *
  * Options:
  *   --host H          server address (default 127.0.0.1)
  *   --port N          server port (required)
  *   --conns N         connections (default 4)
+ *   --threads N       generator threads (default: half the cores,
+ *                     clamped to [1, conns])
  *   --window N        outstanding requests per connection (default 16)
  *   --duration S      measured run length in seconds (default 2)
  *   --warmup-ms N     samples before this are discarded (default 200)
@@ -27,6 +34,16 @@
  *                     the server-side latency histograms fetched via
  *                     STATS after the run under the "server" key
  *   --quiet           suppress the human-readable table
+ *
+ * Storm mode (the 10k-connection smoke):
+ *   --storm N         open N concurrent connections, send ONE request
+ *                     on each, await every response, then hold the
+ *                     connections open until the server closes them
+ *                     (a drain) or --hold-secs passes. Exits 0 only
+ *                     when every connection got its response.
+ *   --ready-file F    written once all storm responses arrived, so a
+ *                     driving script knows when to SIGTERM the server
+ *   --hold-secs S     storm hold ceiling (default 30)
  */
 
 #include <algorithm>
@@ -35,12 +52,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <poll.h>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/logging.hh"
 #include "service/client.hh"
+#include "service/net.hh"
+#include "service/proto.hh"
 
 using namespace fracdram;
 using Clock = std::chrono::steady_clock;
@@ -53,6 +73,7 @@ struct Options
     std::string host = "127.0.0.1";
     std::uint16_t port = 0;
     int conns = 4;
+    int threads = 0; //!< 0 = auto
     int window = 16;
     double duration = 2.0;
     int warmupMs = 200;
@@ -62,12 +83,56 @@ struct Options
     bool checkHealth = false;
     std::string jsonOut;
     bool quiet = false;
+    int storm = 0;
+    std::string readyFile;
+    int holdSecs = 30;
 };
 
-/** What one connection thread measured. */
+/** Power-of-two microsecond latency buckets (last = overflow). */
+constexpr int kHistBuckets = 21;
+
+struct LatencyHist
+{
+    std::uint64_t counts[kHistBuckets] = {};
+
+    void add(double us)
+    {
+        int b = 0;
+        while (b < kHistBuckets - 1 &&
+               static_cast<double>(1u << b) < us)
+            ++b;
+        ++counts[b];
+    }
+
+    void merge(const LatencyHist &o)
+    {
+        for (int i = 0; i < kHistBuckets; ++i)
+            counts[i] += o.counts[i];
+    }
+
+    std::string json() const
+    {
+        std::string bounds = "[", vals = "[";
+        for (int i = 0; i < kHistBuckets; ++i) {
+            if (i > 0) {
+                bounds += ", ";
+                vals += ", ";
+            }
+            bounds += i == kHistBuckets - 1
+                          ? "null"
+                          : std::to_string(1u << i);
+            vals += std::to_string(counts[i]);
+        }
+        return "{\"le_us\": " + bounds + "], \"counts\": " + vals +
+               "]}";
+    }
+};
+
+/** What one generator thread measured across its connections. */
 struct WorkerResult
 {
     std::vector<double> latenciesUs;
+    LatencyHist hist;
     std::uint64_t ok = 0;
     std::uint64_t busy = 0;
     std::uint64_t rateLimited = 0;
@@ -75,88 +140,197 @@ struct WorkerResult
     std::string firstError;
 };
 
+/** One multiplexed connection of a generator thread. */
+struct GenConn
+{
+    int fd = -1;
+    service::FrameReader reader;
+    std::deque<Clock::time_point> inFlight;
+    std::uint16_t seq = 0;
+    std::uint64_t nextId = 0;
+    bool closed = false;
+};
+
 void
-runWorker(const Options &opt, int worker,
+noteError(WorkerResult &result, const std::string &err)
+{
+    ++result.errors;
+    if (result.firstError.empty())
+        result.firstError = err;
+}
+
+/**
+ * One generator thread: @p n_conns non-blocking pipelined
+ * connections, poll-multiplexed. Every batch of responses read off a
+ * connection is replaced with one writeAll of the same number of
+ * requests, built by patching seq/id into a prebuilt frame template.
+ */
+void
+runWorker(const Options &opt, int worker, int n_conns,
           Clock::time_point warmup_end, Clock::time_point deadline,
           WorkerResult &result)
 {
-    service::Client client;
-    std::string err;
-    if (!client.connect(opt.host, opt.port, &err)) {
-        ++result.errors;
-        result.firstError = err;
-        return;
-    }
+    // Prebuilt request frame; seq lives at offset 6, the request id
+    // (traced runs only) at offset 8 (4-byte length prefix + type,
+    // flags, u16 seq).
     service::Request req;
     req.type = service::MsgType::GetEntropy;
     req.flags = opt.raw ? service::kFlagRawEntropy : 0;
     if (opt.trace)
         req.flags |= service::kFlagRequestId;
     req.nBytes = opt.bytes;
-    // Run-unique ids: the worker index in the top bits, a per-worker
-    // counter below.
-    std::uint64_t next_id =
-        static_cast<std::uint64_t>(worker + 1) << 32;
+    const std::vector<std::uint8_t> tmpl =
+        service::frame(service::encodeRequest(req));
+    constexpr std::size_t kSeqOff = 6, kIdOff = 8;
 
-    std::deque<Clock::time_point> in_flight;
-    result.latenciesUs.reserve(1 << 16);
-    std::uint16_t seq = 0;
+    std::vector<GenConn> conns(static_cast<std::size_t>(n_conns));
+    std::string err;
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+        conns[i].fd = service::connectTcp(opt.host, opt.port, &err);
+        if (conns[i].fd < 0) {
+            noteError(result, err);
+            for (auto &c : conns)
+                service::closeFd(c.fd);
+            return;
+        }
+        // Run-unique ids: thread in the top bits, conn below, a
+        // counter underneath.
+        conns[i].nextId =
+            (static_cast<std::uint64_t>(worker + 1) << 40) |
+            (static_cast<std::uint64_t>(i) << 24);
+    }
 
-    auto send_one = [&]() -> bool {
-        req.seq = ++seq;
-        if (opt.trace)
-            req.requestId = ++next_id;
-        if (!client.send(req, &err)) {
-            ++result.errors;
-            if (result.firstError.empty())
-                result.firstError = err;
+    std::vector<std::uint8_t> sendbuf;
+    auto send_batch = [&](GenConn &c, int k) -> bool {
+        sendbuf.clear();
+        for (int i = 0; i < k; ++i) {
+            const std::size_t at = sendbuf.size();
+            sendbuf.insert(sendbuf.end(), tmpl.begin(), tmpl.end());
+            ++c.seq;
+            sendbuf[at + kSeqOff] =
+                static_cast<std::uint8_t>(c.seq & 0xff);
+            sendbuf[at + kSeqOff + 1] =
+                static_cast<std::uint8_t>(c.seq >> 8);
+            if (opt.trace) {
+                const std::uint64_t id = ++c.nextId;
+                for (int b = 0; b < 8; ++b)
+                    sendbuf[at + kIdOff +
+                            static_cast<std::size_t>(b)] =
+                        static_cast<std::uint8_t>(id >> (8 * b));
+            }
+        }
+        if (!service::writeAll(c.fd, sendbuf.data(), sendbuf.size(),
+                               &err)) {
+            noteError(result, err);
             return false;
         }
-        in_flight.push_back(Clock::now());
+        const auto now = Clock::now();
+        for (int i = 0; i < k; ++i)
+            c.inFlight.push_back(now);
         return true;
     };
 
-    for (int i = 0; i < opt.window; ++i)
-        if (!send_one())
+    for (auto &c : conns) {
+        if (!send_batch(c, opt.window)) {
+            for (auto &cc : conns)
+                service::closeFd(cc.fd);
             return;
-
-    service::Response resp;
-    while (!in_flight.empty()) {
-        const bool more = Clock::now() < deadline;
-        if (!client.recv(resp, &err, 5000)) {
-            ++result.errors;
-            if (result.firstError.empty())
-                result.firstError = err;
-            break;
         }
-        const auto now = Clock::now();
-        const auto sent = in_flight.front();
-        in_flight.pop_front();
-        switch (resp.status) {
-        case service::Status::Ok:
-            ++result.ok;
-            if (sent >= warmup_end)
-                result.latenciesUs.push_back(
-                    std::chrono::duration<double, std::micro>(now -
-                                                              sent)
-                        .count());
-            break;
-        case service::Status::Busy:
-            ++result.busy;
-            break;
-        case service::Status::RateLimited:
-            ++result.rateLimited;
-            break;
-        case service::Status::Error:
-            ++result.errors;
-            if (result.firstError.empty())
-                result.firstError = resp.text;
-            break;
-        }
-        if (more && !send_one())
-            break;
     }
-    client.close();
+
+    std::vector<std::uint8_t> rdbuf(64 * 1024);
+    std::vector<std::uint8_t> payload;
+    std::vector<pollfd> pfds;
+    service::Response resp;
+    result.latenciesUs.reserve(1 << 16);
+    std::size_t open = conns.size();
+    while (open > 0) {
+        pfds.clear();
+        for (auto &c : conns)
+            if (!c.closed)
+                pfds.push_back({c.fd, POLLIN, 0});
+        const int rc =
+            ::poll(pfds.data(),
+                   static_cast<nfds_t>(pfds.size()), 5000);
+        if (rc <= 0) {
+            noteError(result, rc == 0 ? "recv timeout"
+                                      : std::strerror(errno));
+            break;
+        }
+        std::size_t pi = 0;
+        for (auto &c : conns) {
+            if (c.closed)
+                continue;
+            const short revents = pfds[pi++].revents;
+            if (revents == 0)
+                continue;
+            const long n = service::readSome(c.fd, rdbuf.data(),
+                                             rdbuf.size());
+            if (n <= 0) {
+                if (!c.inFlight.empty())
+                    noteError(result, "connection closed with "
+                                      "requests in flight");
+                c.closed = true;
+                service::closeFd(c.fd);
+                --open;
+                continue;
+            }
+            c.reader.feed(rdbuf.data(),
+                          static_cast<std::size_t>(n));
+            int completed = 0;
+            const auto now = Clock::now();
+            while (c.reader.next(payload)) {
+                if (!service::decodeResponse(payload.data(),
+                                             payload.size(), resp,
+                                             &err)) {
+                    noteError(result, err);
+                    continue;
+                }
+                if (c.inFlight.empty())
+                    continue; // never happens on a sane server
+                const auto sent = c.inFlight.front();
+                c.inFlight.pop_front();
+                ++completed;
+                switch (resp.status) {
+                case service::Status::Ok:
+                    ++result.ok;
+                    if (sent >= warmup_end) {
+                        const double us =
+                            std::chrono::duration<double,
+                                                  std::micro>(now -
+                                                              sent)
+                                .count();
+                        result.latenciesUs.push_back(us);
+                        result.hist.add(us);
+                    }
+                    break;
+                case service::Status::Busy:
+                    ++result.busy;
+                    break;
+                case service::Status::RateLimited:
+                    ++result.rateLimited;
+                    break;
+                case service::Status::Error:
+                    noteError(result, resp.text);
+                    break;
+                }
+            }
+            if (completed > 0 && now < deadline) {
+                if (!send_batch(c, completed)) {
+                    c.closed = true;
+                    service::closeFd(c.fd);
+                    --open;
+                }
+            } else if (c.inFlight.empty()) {
+                c.closed = true;
+                service::closeFd(c.fd);
+                --open;
+            }
+        }
+    }
+    for (auto &c : conns)
+        if (!c.closed)
+            service::closeFd(c.fd);
 }
 
 /**
@@ -241,6 +415,152 @@ checkHealth(const Options &opt)
     return json.find("\"status\"") != std::string::npos ? 0 : 1;
 }
 
+/**
+ * Storm mode: N concurrent connections, one request each, hold until
+ * the server hangs up (a drain) or the ceiling passes. Per-conn state
+ * is one fd plus a tiny response buffer, so 10k connections fit well
+ * under the fd and memory budgets of one process.
+ */
+int
+runStorm(const Options &opt)
+{
+    struct StormConn
+    {
+        int fd = -1;
+        std::vector<std::uint8_t> buf;
+        bool answered = false;
+        bool closed = false;
+    };
+
+    service::Request req;
+    req.type = service::MsgType::GetEntropy;
+    req.nBytes = 8;
+    req.seq = 1;
+    const auto tmpl = service::frame(service::encodeRequest(req));
+
+    const std::size_t n = static_cast<std::size_t>(opt.storm);
+    std::vector<StormConn> conns(n);
+    std::string err;
+    std::size_t connected = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        conns[i].fd = service::connectTcp(opt.host, opt.port, &err);
+        if (conns[i].fd < 0) {
+            std::fprintf(stderr,
+                         "storm: connect %zu/%zu failed: %s\n", i, n,
+                         err.c_str());
+            break;
+        }
+        if (!service::writeAll(conns[i].fd, tmpl.data(), tmpl.size(),
+                               &err)) {
+            std::fprintf(stderr, "storm: send %zu failed: %s\n", i,
+                         err.c_str());
+            service::closeFd(conns[i].fd);
+            conns[i].fd = -1;
+            break;
+        }
+        service::setNonBlocking(conns[i].fd);
+        ++connected;
+    }
+    std::printf("storm: %zu/%zu connections opened\n", connected, n);
+    if (connected < n)
+        return 1;
+
+    // Await one response per connection.
+    std::vector<pollfd> pfds;
+    std::uint8_t rdbuf[4096];
+    std::size_t answered = 0;
+    const auto answer_deadline =
+        Clock::now() + std::chrono::seconds(60);
+    while (answered < connected && Clock::now() < answer_deadline) {
+        pfds.clear();
+        for (auto &c : conns)
+            if (!c.answered && !c.closed)
+                pfds.push_back({c.fd, POLLIN, 0});
+        if (::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                   1000) <= 0)
+            continue;
+        std::size_t pi = 0;
+        for (auto &c : conns) {
+            if (c.answered || c.closed)
+                continue;
+            const short revents = pfds[pi++].revents;
+            if (revents == 0)
+                continue;
+            const long r =
+                service::readSome(c.fd, rdbuf, sizeof(rdbuf));
+            if (r <= 0) {
+                c.closed = true;
+                service::closeFd(c.fd);
+                continue;
+            }
+            c.buf.insert(c.buf.end(), rdbuf, rdbuf + r);
+            if (c.buf.size() >= 4) {
+                const std::size_t want =
+                    4 + (std::size_t{c.buf[0]} |
+                         (std::size_t{c.buf[1]} << 8) |
+                         (std::size_t{c.buf[2]} << 16) |
+                         (std::size_t{c.buf[3]} << 24));
+                if (c.buf.size() >= want) {
+                    c.answered = true;
+                    c.buf.clear();
+                    c.buf.shrink_to_fit();
+                    ++answered;
+                }
+            }
+        }
+    }
+    std::printf("storm: %zu/%zu answered\n", answered, connected);
+    if (!opt.readyFile.empty()) {
+        std::FILE *f = std::fopen(opt.readyFile.c_str(), "w");
+        if (f != nullptr) {
+            std::fprintf(f, "answered %zu\n", answered);
+            std::fclose(f);
+        }
+    }
+    if (answered < connected)
+        return 1;
+
+    // Hold: connections stay open until the server drains (EOF on
+    // every fd) or the ceiling passes.
+    std::size_t hung_up = 0;
+    for (const auto &c : conns)
+        if (c.closed)
+            ++hung_up;
+    const auto hold_deadline =
+        Clock::now() + std::chrono::seconds(opt.holdSecs);
+    while (hung_up < connected && Clock::now() < hold_deadline) {
+        pfds.clear();
+        for (auto &c : conns)
+            if (!c.closed)
+                pfds.push_back({c.fd, POLLIN, 0});
+        if (::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                   1000) <= 0)
+            continue;
+        std::size_t pi = 0;
+        for (auto &c : conns) {
+            if (c.closed)
+                continue;
+            const short revents = pfds[pi++].revents;
+            if (revents == 0)
+                continue;
+            const long r =
+                service::readSome(c.fd, rdbuf, sizeof(rdbuf));
+            if (r <= 0) {
+                c.closed = true;
+                service::closeFd(c.fd);
+                ++hung_up;
+            }
+            // Drain any trailing bytes silently (drain responses).
+        }
+    }
+    std::printf("storm: %zu/%zu hung up by server\n", hung_up,
+                connected);
+    for (auto &c : conns)
+        if (!c.closed)
+            service::closeFd(c.fd);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -261,6 +581,8 @@ main(int argc, char **argv)
                 std::strtoul(next().c_str(), nullptr, 10));
         else if (arg == "--conns")
             opt.conns = std::atoi(next().c_str());
+        else if (arg == "--threads")
+            opt.threads = std::atoi(next().c_str());
         else if (arg == "--window")
             opt.window = std::atoi(next().c_str());
         else if (arg == "--duration")
@@ -280,6 +602,12 @@ main(int argc, char **argv)
             opt.jsonOut = next();
         else if (arg == "--quiet")
             opt.quiet = true;
+        else if (arg == "--storm")
+            opt.storm = std::atoi(next().c_str());
+        else if (arg == "--ready-file")
+            opt.readyFile = next();
+        else if (arg == "--hold-secs")
+            opt.holdSecs = std::atoi(next().c_str());
         else
             fatal("unknown option '%s'", arg.c_str());
     }
@@ -289,6 +617,18 @@ main(int argc, char **argv)
 
     if (opt.checkHealth)
         return checkHealth(opt);
+    if (opt.storm > 0)
+        return runStorm(opt);
+
+    // Default thread count: half the cores (the server needs the
+    // other half on one machine), clamped to [1, conns].
+    int n_threads = opt.threads;
+    if (n_threads <= 0)
+        n_threads = std::max(
+            1, static_cast<int>(
+                   std::thread::hardware_concurrency()) /
+                   2);
+    n_threads = std::max(1, std::min(n_threads, opt.conns));
 
     const auto start = Clock::now();
     const auto warmup_end =
@@ -298,14 +638,18 @@ main(int argc, char **argv)
                     std::chrono::duration<double>(opt.duration));
 
     std::vector<WorkerResult> results(
-        static_cast<std::size_t>(opt.conns));
+        static_cast<std::size_t>(n_threads));
     std::vector<std::thread> threads;
     threads.reserve(results.size());
-    for (int w = 0; w < opt.conns; ++w)
-        threads.emplace_back(runWorker, std::cref(opt), w,
+    for (int w = 0; w < n_threads; ++w) {
+        // Conns are spread as evenly as the division allows.
+        const int n_conns = opt.conns / n_threads +
+                            (w < opt.conns % n_threads ? 1 : 0);
+        threads.emplace_back(runWorker, std::cref(opt), w, n_conns,
                              warmup_end, deadline,
                              std::ref(results[static_cast<
                                  std::size_t>(w)]));
+    }
     for (auto &t : threads)
         t.join();
     const double elapsed =
@@ -319,6 +663,7 @@ main(int argc, char **argv)
         total.errors += r.errors;
         if (total.firstError.empty())
             total.firstError = r.firstError;
+        total.hist.merge(r.hist);
         total.latenciesUs.insert(total.latenciesUs.end(),
                                  r.latenciesUs.begin(),
                                  r.latenciesUs.end());
@@ -331,9 +676,9 @@ main(int argc, char **argv)
     const double p99 = percentile(total.latenciesUs, 0.99);
 
     if (!opt.quiet) {
-        std::printf("loadgen: %d conns x window %d, %u bytes/req%s, "
-                    "%.1f s\n",
-                    opt.conns, opt.window, opt.bytes,
+        std::printf("loadgen: %d conns x window %d on %d threads, "
+                    "%u bytes/req%s, %.1f s\n",
+                    opt.conns, opt.window, n_threads, opt.bytes,
                     opt.raw ? " (raw)" : "", elapsed);
         std::printf("  ok %llu  busy %llu  rate_limited %llu  "
                     "errors %llu\n",
@@ -352,19 +697,22 @@ main(int argc, char **argv)
 
     const std::string server = fetchServerSummary(opt);
     const std::string json = strprintf(
-        "{\"conns\": %d, \"window\": %d, \"bytes_per_req\": %u, "
+        "{\"conns\": %d, \"threads\": %d, \"window\": %d, "
+        "\"bytes_per_req\": %u, "
         "\"raw\": %s, \"traced\": %s, \"seconds\": %.3f, "
         "\"ok\": %llu, \"busy\": %llu, \"rate_limited\": %llu, "
         "\"errors\": %llu, \"requests_per_sec\": %.1f, "
         "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
+        "\"latency_hist_us\": %s, "
         "\"server\": %s}",
-        opt.conns, opt.window, opt.bytes,
+        opt.conns, n_threads, opt.window, opt.bytes,
         opt.raw ? "true" : "false", opt.trace ? "true" : "false",
         elapsed, static_cast<unsigned long long>(total.ok),
         static_cast<unsigned long long>(total.busy),
         static_cast<unsigned long long>(total.rateLimited),
         static_cast<unsigned long long>(total.errors), rps, p50, p95,
-        p99, server.empty() ? "null" : server.c_str());
+        p99, total.hist.json().c_str(),
+        server.empty() ? "null" : server.c_str());
     if (!opt.jsonOut.empty()) {
         std::FILE *f = std::fopen(opt.jsonOut.c_str(), "w");
         fatal_if(f == nullptr, "cannot write '%s'",

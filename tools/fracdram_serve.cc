@@ -15,6 +15,9 @@
  *   --port N            listen port (default 7411; 0 = ephemeral)
  *   --port-file PATH    write the bound port to PATH once listening
  *   --shards N          devices in the pool (default 4)
+ *   --reactors N        event-loop threads (default 0 = auto:
+ *                       min(shards, cores))
+ *   --no-pin            do not pin reactors/shards to cores
  *   --group X           vendor group A-N (default B)
  *   --cols N            bits per row (default 1024)
  *   --queue-cap N       per-shard queue bound (default 1024)
@@ -94,6 +97,10 @@ main(int argc, char **argv)
             port_file = next();
         else if (arg == "--shards")
             cfg.numShards = std::atoi(next().c_str());
+        else if (arg == "--reactors")
+            cfg.numReactors = std::atoi(next().c_str());
+        else if (arg == "--no-pin")
+            cfg.pinThreads = false;
         else if (arg == "--group")
             cfg.shard.group = parseGroup(next());
         else if (arg == "--cols")
