@@ -12,10 +12,15 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "common/rng.hh"
 #include "common/rng_buffer.hh"
+#include "common/sha256.hh"
+#include "common/simd/aligned.hh"
+#include "common/simd/simd.hh"
 #include "sim/kernels.hh"
 #include "sim/variation.hh"
 #include "sim/vendor.hh"
@@ -55,10 +60,11 @@ struct RowFixture
             w = rng.next();
     }
 
-    std::vector<float> volts, alpha, coupling, fracOff, sa;
-    std::vector<std::uint8_t> dec;
-    std::vector<double> num, den, eq, noise, mul;
-    std::vector<std::uint64_t> words;
+    // Aligned like the Bank scratch the kernels really run on.
+    simd::AlignedVector<float> volts, alpha, coupling, fracOff, sa;
+    simd::AlignedVector<std::uint8_t> dec;
+    simd::AlignedVector<double> num, den, eq, noise, mul;
+    simd::AlignedVector<std::uint64_t> words;
 };
 
 void
@@ -264,6 +270,34 @@ BENCHMARK(BM_rngSkipGaussians)->Apply(rowArgs);
 BENCHMARK(BM_rngFillChance)->Apply(rowArgs);
 BENCHMARK(BM_materializeRow)->Apply(rowArgs);
 
+/** The DRBG refill primitive: n independent pre-padded blocks. */
+void
+BM_sha256SingleBlocks(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::vector<std::uint8_t> blocks(n * 64, 0);
+    Rng rng(0x5eedULL);
+    for (auto &b : blocks)
+        b = static_cast<std::uint8_t>(rng.next());
+    for (std::size_t b = 0; b < n; ++b) {
+        // Shape of the DRBG's blocks: 40-byte message, padded.
+        std::uint8_t *blk = blocks.data() + 64 * b;
+        blk[40] = 0x80;
+        std::memset(blk + 41, 0, 21);
+        blk[62] = 0x01;
+        blk[63] = 0x40;
+    }
+    std::vector<Sha256::Digest> out(n);
+    for (auto _ : state) {
+        Sha256::hashSingleBlocks(blocks.data(), n, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+    state.SetBytesProcessed(state.iterations() * n * 32);
+}
+
+BENCHMARK(BM_sha256SingleBlocks)->Arg(8)->Arg(32);
+
 } // namespace
 
 // Expanded BENCHMARK_MAIN() with a telemetry run scope around the
@@ -271,6 +305,23 @@ BENCHMARK(BM_materializeRow)->Apply(rowArgs);
 int
 main(int argc, char **argv)
 {
+    // Machine-readable dispatch probe for scripts/run_benches.sh:
+    // what this process would resolve to, and what the CPU offers.
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--print-isa") == 0) {
+            const auto &f = simd::cpuFeatures();
+            std::printf(
+                "{\"resolved\": \"%s\", \"sha_ni_active\": %s, "
+                "\"hw_avx2\": %s, \"hw_avx512\": %s, "
+                "\"hw_sha_ni\": %s}\n",
+                simd::isaName(simd::activeIsa()),
+                simd::shaNiActive() ? "true" : "false",
+                f.avx2 ? "true" : "false",
+                f.avx512 ? "true" : "false",
+                f.shaNi ? "true" : "false");
+            return 0;
+        }
+    }
     fracdram::telemetry::RunScope telem("bench_kernels");
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

@@ -12,14 +12,25 @@
 #                     regex, e.g. --filter 'trng|nist'
 #   --out <file>      output JSON path (same as the second positional
 #                     argument; the flag wins if both are given)
+#   --isa-ab <N>      run N interleaved scalar-vs-dispatched pairs of
+#                     the serving A/B (default 3; 0 disables). Each
+#                     pair starts a fresh daemon with FRACDRAM_ISA=
+#                     scalar and one with the runtime-dispatched
+#                     default, alternating so drift hits both arms,
+#                     and records the loadgen req/s of each arm plus
+#                     the mean speedup as the "bench_simd_ab" entry.
 #
 # The thread count recorded is what the parallel engine resolves:
 # FRACDRAM_THREADS if set, otherwise the machine's hardware
 # concurrency. Set FRACDRAM_THREADS=1 to time the serial baseline.
 #
-# bench_timing and bench_kernels are skipped: they are
-# google-benchmark microbenchmark harnesses with their own timing
-# loops, not fixed-work drivers.
+# bench_timing and bench_kernels are skipped in the fixed-work loop:
+# they are google-benchmark microbenchmark harnesses with their own
+# timing loops, not fixed-work drivers. bench_kernels is instead
+# driven explicitly for the "bench_simd" record: the resolved SIMD
+# dispatch tier plus per-kernel ns/elem at every tier this machine
+# can force (FRACDRAM_ISA=scalar/avx2/avx512), so a BENCH file shows
+# what the vector paths actually buy on the machine that produced it.
 #
 # The serving pair (fracdram_serve + fracdram_loadgen) is recorded as
 # the "bench_service" entry: the daemon is started on an ephemeral
@@ -41,6 +52,7 @@ set -euo pipefail
 
 filter=""
 out_flag=""
+isa_ab=3
 positional=()
 while [[ $# -gt 0 ]]; do
     case "$1" in
@@ -52,6 +64,11 @@ while [[ $# -gt 0 ]]; do
         --out)
             [[ $# -ge 2 ]] || { echo "error: --out needs a path" >&2; exit 1; }
             out_flag="$2"
+            shift 2
+            ;;
+        --isa-ab)
+            [[ $# -ge 2 ]] || { echo "error: --isa-ab needs a count" >&2; exit 1; }
+            isa_ab="$2"
             shift 2
             ;;
         --help|-h)
@@ -217,6 +234,124 @@ if [[ -x "${serve_bin}" && -x "${loadgen_bin}" ]] &&
         records+=("  {\"bench\": \"bench_service\", \"seconds\": ${seconds}, \"peak_rss_kib\": ${rss_kib}, \"threads\": ${threads}, \"exit_code\": ${rc}, \"nproc\": ${cores}, \"reactors\": ${reactors}, \"requests_per_sec_per_core\": ${rps_per_core}, \"loadgen\": ${loadgen_summary}}")
     fi
     rm -f "${port_file}" "${mport_file}" "${loadgen_json}" "${serve_log}"
+fi
+
+# SIMD dispatch record: what the dispatcher resolves on this machine
+# (plus the raw cpuid feature bits) and per-kernel ns/elem at every
+# tier the machine can actually force. A forced tier that the CPU or
+# build cannot honour resolves to something lower; those are skipped,
+# so the record only ever contains genuinely-run tiers.
+kern_bin="${bench_dir}/bench_kernels"
+if [[ -x "${kern_bin}" && "${have_python}" -eq 1 ]] &&
+    { [[ -z "${filter}" ]] || grep -qE "${filter}" <<< "bench_simd"; }; then
+    echo "timing bench_simd (per-ISA kernel sweep)" >&2
+    isa_info="$("${kern_bin}" --print-isa)"
+    tier_entries=()
+    simd_rc=0
+    for tier in scalar avx2 avx512; do
+        resolved="$(FRACDRAM_ISA=${tier} "${kern_bin}" --print-isa |
+            sed -n 's/.*"resolved": "\([a-z0-9]\{1,\}\)".*/\1/p')"
+        if [[ "${resolved}" != "${tier}" ]]; then
+            echo "  skipping ${tier} (resolves to ${resolved:-?})" >&2
+            continue
+        fi
+        echo "  sweeping ${tier}" >&2
+        kern_json="$(mktemp)"
+        rc=0
+        FRACDRAM_ISA=${tier} "${kern_bin}" \
+            --benchmark_filter='(/16384|sha256SingleBlocks/32)$' \
+            --benchmark_min_time=0.2 \
+            --benchmark_format=json > "${kern_json}" 2> /dev/null || rc=$?
+        if [[ "${rc}" -ne 0 ]]; then
+            echo "error: bench_kernels (${tier}) exited with ${rc}" >&2
+            simd_rc="${rc}"
+            failures=$((failures + 1))
+            rm -f "${kern_json}"
+            continue
+        fi
+        # real_time is ns for the whole call; divide by the arg to get
+        # ns per element (per block for the SHA bench).
+        per_kernel="$(python3 - "${kern_json}" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+out = {}
+for b in doc.get("benchmarks", []):
+    name, _, arg = b["name"].partition("/")
+    out[name.removeprefix("BM_")] = round(
+        b["real_time"] / float(arg), 3)
+print(json.dumps(out))
+PY
+)"
+        tier_entries+=("\"${tier}\": ${per_kernel}")
+        rm -f "${kern_json}"
+    done
+    tiers_json="{$(IFS=', '; echo "${tier_entries[*]}")}"
+    records+=("  {\"bench\": \"bench_simd\", \"exit_code\": ${simd_rc}, \"isa\": ${isa_info}, \"ns_per_elem\": ${tiers_json}}")
+fi
+
+# One daemon + one timed loadgen burst; honours FRACDRAM_ISA from the
+# caller's environment. Prints the loadgen req/s (0 on failure).
+service_rps() {
+    local duration="$1" pf lj sl pid port rps rc=0
+    pf="$(mktemp)" lj="$(mktemp)" sl="$(mktemp)"
+    rm -f "${pf}"
+    "${serve_bin}" --port 0 --shards 4 --port-file "${pf}" \
+        --reactors "${FRACDRAM_BENCH_REACTORS:-0}" --quiet \
+        > "${sl}" 2>&1 &
+    pid=$!
+    for _ in $(seq 1 100); do
+        [[ -s "${pf}" ]] && break
+        sleep 0.1
+    done
+    if [[ -s "${pf}" ]]; then
+        port="$(cat "${pf}")"
+        "${loadgen_bin}" --port "${port}" --conns 4 --window 16 \
+            --duration "${duration}" --bytes 32 --warmup-ms 300 \
+            --quiet --json-out "${lj}" > /dev/null 2>&1 || rc=$?
+    else
+        rc=1
+    fi
+    kill -TERM "${pid}" 2> /dev/null || true
+    wait "${pid}" 2> /dev/null || true
+    rps="$(sed -n 's/.*"requests_per_sec": \([0-9.]\{1,\}\).*/\1/p' \
+        "${lj}" 2> /dev/null | head -1)"
+    rm -f "${pf}" "${lj}" "${sl}"
+    [[ "${rc}" -eq 0 && -n "${rps}" ]] || rps=0
+    echo "${rps}"
+}
+
+# Interleaved scalar-vs-dispatched serving A/B. The dispatch tier is
+# resolved once per process, so the arm is chosen by the daemon's
+# environment at start; arms alternate scalar-first so clock drift and
+# cache warmup bias both arms equally.
+if [[ "${isa_ab}" -gt 0 && -x "${serve_bin}" && -x "${loadgen_bin}" ]] &&
+    { [[ -z "${filter}" ]] || grep -qE "${filter}" <<< "bench_simd_ab"; }; then
+    echo "timing bench_simd_ab (${isa_ab} interleaved scalar/dispatch pairs)" >&2
+    scalar_rps=()
+    dispatch_rps=()
+    ab_rc=0
+    for _ in $(seq 1 "${isa_ab}"); do
+        s="$(FRACDRAM_ISA=scalar service_rps 2)"
+        d="$( (unset FRACDRAM_ISA; service_rps 2) )"
+        echo "  scalar ${s} req/s, dispatch ${d} req/s" >&2
+        [[ "${s}" == "0" || "${d}" == "0" ]] && ab_rc=1
+        scalar_rps+=("${s}")
+        dispatch_rps+=("${d}")
+    done
+    if [[ "${ab_rc}" -ne 0 ]]; then
+        echo "error: bench_simd_ab had failed bursts" >&2
+        failures=$((failures + 1))
+    fi
+    scalar_list="$(IFS=,; echo "${scalar_rps[*]}")"
+    dispatch_list="$(IFS=,; echo "${dispatch_rps[*]}")"
+    read -r scalar_mean dispatch_mean speedup < <(awk \
+        -v s="${scalar_list}" -v d="${dispatch_list}" 'BEGIN {
+            ns = split(s, sa, ","); nd = split(d, da, ",");
+            for (i = 1; i <= ns; i++) sm += sa[i] / ns;
+            for (i = 1; i <= nd; i++) dm += da[i] / nd;
+            printf "%.1f %.1f %.3f\n", sm, dm, (sm > 0 ? dm / sm : 0);
+        }')
+    records+=("  {\"bench\": \"bench_simd_ab\", \"exit_code\": ${ab_rc}, \"pairs\": ${isa_ab}, \"scalar_rps\": [${scalar_list}], \"dispatch_rps\": [${dispatch_list}], \"scalar_rps_mean\": ${scalar_mean}, \"dispatch_rps_mean\": ${dispatch_mean}, \"dispatch_speedup\": ${speedup}}")
 fi
 
 if [[ ${#records[@]} -eq 0 ]]; then

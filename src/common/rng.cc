@@ -1,11 +1,21 @@
 #include "common/rng.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/simd/ops.hh"
 
 namespace fracdram
 {
+
+namespace
+{
+
+/** Raw->uniform/Bernoulli chunk size: 2 KiB of raw words. */
+constexpr std::size_t kRawChunk = 256;
+
+} // namespace
 
 double
 Rng::materializeSpare()
@@ -55,9 +65,35 @@ Rng::fillGaussian(std::span<double> dst, double mean, double sigma)
         dst[i++] = mean + sigma *
                               (spareLazy_ ? materializeSpare() : spare_);
     }
+    // Uniforms are prefetched in chunks: raw engine words (the serial
+    // xoshiro recurrence cannot vectorize) mapped to doubles by the
+    // SIMD tier, consumed strictly in draw order. Each refill fetches
+    // at most the number of draws the scalar loop is guaranteed to
+    // still make (2 per remaining pair), so the engine never
+    // over-advances; a u1 rejection (raw>>11 == 0, p ~ 2^-53) only
+    // drains the FIFO early, and the tail falls back to live draws
+    // with the identical per-draw expression.
+    std::uint64_t raw[kRawChunk];
+    double uni[kRawChunk];
+    std::size_t avail = 0;
+    std::size_t pos = 0;
+    const auto take = [&]() -> double {
+        return pos < avail ? uni[pos++] : uniform();
+    };
     while (i < n) {
-        const double u1 = drawU1();
-        const double u2 = uniform();
+        if (pos == avail) {
+            const std::size_t want =
+                std::min(kRawChunk, 2 * ((n - i + 1) / 2));
+            for (std::size_t k = 0; k < want; ++k)
+                raw[k] = next();
+            simd::rawOps().uniformMap(uni, raw, want);
+            avail = want;
+            pos = 0;
+        }
+        double u1 = take();
+        while (u1 <= 0.0)
+            u1 = take();
+        const double u2 = take();
         const double r = std::sqrt(-2.0 * std::log(u1));
         const double theta = 2.0 * M_PI * u2;
         // Keep the scalar path's evaluation order: the sine (spare)
@@ -80,8 +116,17 @@ Rng::fillGaussian(std::span<double> dst, double mean, double sigma)
 void
 Rng::fillChance(std::span<std::uint8_t> dst, double p)
 {
-    for (auto &slot : dst)
-        slot = uniform() < p ? 1 : 0;
+    // One next() per slot in index order, exactly like the scalar
+    // loop; the raw->Bernoulli map (convert + compare + byte pack)
+    // runs in the SIMD tier.
+    const std::size_t n = dst.size();
+    std::uint64_t raw[kRawChunk];
+    for (std::size_t i = 0; i < n; i += kRawChunk) {
+        const std::size_t lim = std::min(kRawChunk, n - i);
+        for (std::size_t k = 0; k < lim; ++k)
+            raw[k] = next();
+        simd::rawOps().chanceMap(dst.data() + i, raw, p, lim);
+    }
 }
 
 void

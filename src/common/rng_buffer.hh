@@ -21,9 +21,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
-#include <vector>
 
 #include "common/rng.hh"
+#include "common/simd/aligned.hh"
 
 namespace fracdram
 {
@@ -51,8 +51,9 @@ class RngBuffer
                                          double p);
 
   private:
-    std::vector<double> gauss_;
-    std::vector<std::uint8_t> coins_;
+    // 64-byte aligned: these spans feed the SIMD kernels directly.
+    simd::AlignedVector<double> gauss_;
+    simd::AlignedVector<std::uint8_t> coins_;
 };
 
 } // namespace fracdram

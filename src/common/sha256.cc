@@ -3,14 +3,16 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/sha256_compress.hh"
+#include "common/simd/simd.hh"
 
 namespace fracdram
 {
 
-namespace
+namespace sha256_detail
 {
 
-constexpr std::uint32_t kRound[64] = {
+const std::uint32_t kSha256Round[64] = {
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b,
     0x59f111f1, 0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01,
     0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7,
@@ -26,6 +28,9 @@ constexpr std::uint32_t kRound[64] = {
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
 };
 
+namespace
+{
+
 inline std::uint32_t
 rotr(std::uint32_t x, int n)
 {
@@ -34,14 +39,8 @@ rotr(std::uint32_t x, int n)
 
 } // namespace
 
-Sha256::Sha256()
-    : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-             0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19}
-{
-}
-
 void
-Sha256::processBlock(const std::uint8_t *block)
+compressScalar(std::uint32_t state[8], const std::uint8_t *block)
 {
     std::uint32_t w[64];
     for (int i = 0; i < 16; ++i) {
@@ -60,14 +59,14 @@ Sha256::processBlock(const std::uint8_t *block)
         w[i] = w[i - 16] + s0 + w[i - 7] + s1;
     }
 
-    std::uint32_t a = state_[0], b = state_[1], c = state_[2],
-                  d = state_[3], e = state_[4], f = state_[5],
-                  g = state_[6], h = state_[7];
+    std::uint32_t a = state[0], b = state[1], c = state[2],
+                  d = state[3], e = state[4], f = state[5],
+                  g = state[6], h = state[7];
     for (int i = 0; i < 64; ++i) {
         const std::uint32_t s1 =
             rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
         const std::uint32_t ch = (e & f) ^ (~e & g);
-        const std::uint32_t t1 = h + s1 + ch + kRound[i] + w[i];
+        const std::uint32_t t1 = h + s1 + ch + kSha256Round[i] + w[i];
         const std::uint32_t s0 =
             rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
         const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
@@ -81,14 +80,78 @@ Sha256::processBlock(const std::uint8_t *block)
         b = a;
         a = t1 + t2;
     }
-    state_[0] += a;
-    state_[1] += b;
-    state_[2] += c;
-    state_[3] += d;
-    state_[4] += e;
-    state_[5] += f;
-    state_[6] += g;
-    state_[7] += h;
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+}
+
+CompressFn
+activeCompress()
+{
+#if FRACDRAM_HAVE_SHANI
+    static const CompressFn fn =
+        simd::shaNiActive() ? compressShani : compressScalar;
+    return fn;
+#else
+    return compressScalar;
+#endif
+}
+
+} // namespace sha256_detail
+
+namespace
+{
+
+constexpr std::uint32_t kSha256Iv[8] = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+};
+
+} // namespace
+
+Sha256::Sha256()
+    : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+             0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19}
+{
+}
+
+void
+Sha256::processBlock(const std::uint8_t *block)
+{
+    sha256_detail::activeCompress()(state_.data(), block);
+}
+
+void
+Sha256::hashSingleBlocks(const std::uint8_t *blocks, std::size_t n,
+                         Digest *out)
+{
+    std::size_t i = 0;
+#if FRACDRAM_HAVE_AVX2
+    // Independent messages: eight at a time through the transposed
+    // AVX2 schedule (worth more than SHA-NI's serial 8x).
+    if (simd::activeIsa() >= simd::Isa::Avx2)
+        for (; i + 8 <= n; i += 8)
+            sha256_detail::hashSingleBlocks8Avx2(blocks + 64 * i,
+                                                 out[i].data());
+#endif
+    const auto compress = sha256_detail::activeCompress();
+    for (; i < n; ++i) {
+        std::uint32_t st[8];
+        std::memcpy(st, kSha256Iv, sizeof(st));
+        compress(st, blocks + 64 * i);
+        for (int s = 0; s < 8; ++s) {
+            out[i][4 * s] = static_cast<std::uint8_t>(st[s] >> 24);
+            out[i][4 * s + 1] =
+                static_cast<std::uint8_t>(st[s] >> 16);
+            out[i][4 * s + 2] = static_cast<std::uint8_t>(st[s] >> 8);
+            out[i][4 * s + 3] = static_cast<std::uint8_t>(st[s]);
+        }
+    }
 }
 
 void

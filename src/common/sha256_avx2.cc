@@ -1,0 +1,143 @@
+/**
+ * @file
+ * 8-way transposed SHA-256 for independent single-block messages
+ * (sha256_detail::hashSingleBlocks8Avx2). Lane j of every vector
+ * carries message j's state, so the scalar round structure runs
+ * verbatim on epi32 vectors - eight full hashes for one pass of the
+ * 64 rounds. Used by the DRBG, whose counter-mode blocks are all
+ * independent 40-byte messages pre-padded into one final block.
+ *
+ * Integer-only: bit-exact vs the scalar rounds by construction.
+ * Compiled with -mavx2; reached only when simd::activeIsa() >= Avx2.
+ */
+
+#include <immintrin.h>
+
+#include "common/sha256_compress.hh"
+
+namespace fracdram::sha256_detail
+{
+
+namespace
+{
+
+inline __m256i
+rotr32(__m256i x, int n)
+{
+    return _mm256_or_si256(_mm256_srli_epi32(x, n),
+                           _mm256_slli_epi32(x, 32 - n));
+}
+
+/** Message word i of block j, big-endian. */
+inline std::uint32_t
+word(const std::uint8_t *blocks, int j, int i)
+{
+    const std::uint8_t *p = blocks + 64 * j + 4 * i;
+    return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+           (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+} // namespace
+
+void
+hashSingleBlocks8Avx2(const std::uint8_t *blocks,
+                      std::uint8_t *digests)
+{
+    // Transposed message schedule: w[i] holds word i of all eight
+    // blocks, one per 32-bit lane.
+    __m256i w[64];
+    for (int i = 0; i < 16; ++i)
+        w[i] = _mm256_set_epi32(
+            static_cast<int>(word(blocks, 7, i)),
+            static_cast<int>(word(blocks, 6, i)),
+            static_cast<int>(word(blocks, 5, i)),
+            static_cast<int>(word(blocks, 4, i)),
+            static_cast<int>(word(blocks, 3, i)),
+            static_cast<int>(word(blocks, 2, i)),
+            static_cast<int>(word(blocks, 1, i)),
+            static_cast<int>(word(blocks, 0, i)));
+    for (int i = 16; i < 64; ++i) {
+        const __m256i w15 = w[i - 15];
+        const __m256i w2 = w[i - 2];
+        const __m256i s0 = _mm256_xor_si256(
+            _mm256_xor_si256(rotr32(w15, 7), rotr32(w15, 18)),
+            _mm256_srli_epi32(w15, 3));
+        const __m256i s1 = _mm256_xor_si256(
+            _mm256_xor_si256(rotr32(w2, 17), rotr32(w2, 19)),
+            _mm256_srli_epi32(w2, 10));
+        w[i] = _mm256_add_epi32(
+            _mm256_add_epi32(w[i - 16], s0),
+            _mm256_add_epi32(w[i - 7], s1));
+    }
+
+    __m256i a = _mm256_set1_epi32(0x6a09e667);
+    __m256i b = _mm256_set1_epi32(static_cast<int>(0xbb67ae85));
+    __m256i c = _mm256_set1_epi32(0x3c6ef372);
+    __m256i d = _mm256_set1_epi32(static_cast<int>(0xa54ff53a));
+    __m256i e = _mm256_set1_epi32(0x510e527f);
+    __m256i f = _mm256_set1_epi32(static_cast<int>(0x9b05688c));
+    __m256i g = _mm256_set1_epi32(0x1f83d9ab);
+    __m256i h = _mm256_set1_epi32(0x5be0cd19);
+
+    for (int i = 0; i < 64; ++i) {
+        const __m256i s1 = _mm256_xor_si256(
+            _mm256_xor_si256(rotr32(e, 6), rotr32(e, 11)),
+            rotr32(e, 25));
+        const __m256i ch = _mm256_xor_si256(
+            _mm256_and_si256(e, f), _mm256_andnot_si256(e, g));
+        const __m256i t1 = _mm256_add_epi32(
+            _mm256_add_epi32(_mm256_add_epi32(h, s1), ch),
+            _mm256_add_epi32(
+                _mm256_set1_epi32(
+                    static_cast<int>(kSha256Round[i])),
+                w[i]));
+        const __m256i s0 = _mm256_xor_si256(
+            _mm256_xor_si256(rotr32(a, 2), rotr32(a, 13)),
+            rotr32(a, 22));
+        const __m256i maj = _mm256_xor_si256(
+            _mm256_xor_si256(_mm256_and_si256(a, b),
+                             _mm256_and_si256(a, c)),
+            _mm256_and_si256(b, c));
+        const __m256i t2 = _mm256_add_epi32(s0, maj);
+        h = g;
+        g = f;
+        f = e;
+        e = _mm256_add_epi32(d, t1);
+        d = c;
+        c = b;
+        b = a;
+        a = _mm256_add_epi32(t1, t2);
+    }
+
+    const __m256i st[8] = {
+        _mm256_add_epi32(a, _mm256_set1_epi32(0x6a09e667)),
+        _mm256_add_epi32(
+            b, _mm256_set1_epi32(static_cast<int>(0xbb67ae85))),
+        _mm256_add_epi32(c, _mm256_set1_epi32(0x3c6ef372)),
+        _mm256_add_epi32(
+            d, _mm256_set1_epi32(static_cast<int>(0xa54ff53a))),
+        _mm256_add_epi32(e, _mm256_set1_epi32(0x510e527f)),
+        _mm256_add_epi32(
+            f, _mm256_set1_epi32(static_cast<int>(0x9b05688c))),
+        _mm256_add_epi32(g, _mm256_set1_epi32(0x1f83d9ab)),
+        _mm256_add_epi32(h, _mm256_set1_epi32(0x5be0cd19)),
+    };
+
+    // Un-transpose: digest j = big-endian state words, lane j.
+    alignas(32) std::uint32_t lanes[8][8];
+    for (int s = 0; s < 8; ++s)
+        _mm256_store_si256(reinterpret_cast<__m256i *>(lanes[s]),
+                           st[s]);
+    for (int j = 0; j < 8; ++j) {
+        std::uint8_t *out = digests + 32 * j;
+        for (int s = 0; s < 8; ++s) {
+            const std::uint32_t v = lanes[s][j];
+            out[4 * s] = static_cast<std::uint8_t>(v >> 24);
+            out[4 * s + 1] = static_cast<std::uint8_t>(v >> 16);
+            out[4 * s + 2] = static_cast<std::uint8_t>(v >> 8);
+            out[4 * s + 3] = static_cast<std::uint8_t>(v);
+        }
+    }
+}
+
+} // namespace fracdram::sha256_detail

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Internal SHA-256 compression tiers behind common/sha256.hh.
+ *
+ * Three implementations of the FIPS 180-4 compression function live
+ * in separate TUs: the portable scalar rounds (sha256.cc), a SHA-NI
+ * single-stream compress (sha256_shani.cc), and an 8-way transposed
+ * AVX2 hash of independent pre-padded single blocks (sha256_avx2.cc,
+ * used by the DRBG whose counter-mode blocks are all 40-byte messages
+ * hashed from the IV). All are integer-only, so tier selection is
+ * trivially bit-exact; selection follows simd::activeIsa() /
+ * simd::shaNiActive().
+ *
+ * Internal to common/ and the SHA equivalence tests; everything else
+ * uses the Sha256 class.
+ */
+
+#ifndef FRACDRAM_COMMON_SHA256_COMPRESS_HH
+#define FRACDRAM_COMMON_SHA256_COMPRESS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fracdram::sha256_detail
+{
+
+/** FIPS 180-4 round constants, shared by every tier. */
+extern const std::uint32_t kSha256Round[64];
+
+/** One 64-byte block through the compression function. */
+using CompressFn = void (*)(std::uint32_t state[8],
+                            const std::uint8_t *block);
+
+/** Portable reference rounds (always compiled). */
+void compressScalar(std::uint32_t state[8], const std::uint8_t *block);
+
+#if FRACDRAM_HAVE_SHANI
+/** SHA-NI compress (sha256_shani.cc). */
+void compressShani(std::uint32_t state[8], const std::uint8_t *block);
+#endif
+
+#if FRACDRAM_HAVE_AVX2
+/**
+ * Hash eight independent pre-padded 64-byte final blocks from the
+ * SHA-256 IV in one transposed pass: @p digests receives eight
+ * big-endian 32-byte digests. (sha256_avx2.cc)
+ */
+void hashSingleBlocks8Avx2(const std::uint8_t *blocks,
+                           std::uint8_t *digests);
+#endif
+
+/**
+ * The single-stream compress the process resolved to (SHA-NI when
+ * hardware, build, and FRACDRAM_ISA all allow it; scalar otherwise).
+ */
+CompressFn activeCompress();
+
+} // namespace fracdram::sha256_detail
+
+#endif // FRACDRAM_COMMON_SHA256_COMPRESS_HH

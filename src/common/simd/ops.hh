@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Dispatched SIMD primitives over raw 64-bit RNG outputs.
+ *
+ * Rng's engine (xoshiro256**) is a serial recurrence, so the draws
+ * themselves cannot be vectorized without changing the stream; what
+ * *can* be vectorized is the map from raw draws to distribution
+ * values. Rng::fillChance / fillGaussian batch their next() calls
+ * into a raw buffer and run these kernels over it.
+ *
+ * Bit-exactness: uniformMap reproduces Rng::uniform()'s
+ * double(x >> 11) * 0x1.0p-53 exactly - x >> 11 < 2^53 is exactly
+ * representable, and the 2^-53 scale only adjusts the exponent - so
+ * every ISA yields the identical double, and chanceMap the identical
+ * comparison result.
+ */
+
+#ifndef FRACDRAM_COMMON_SIMD_OPS_HH
+#define FRACDRAM_COMMON_SIMD_OPS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/simd/simd.hh"
+
+namespace fracdram::simd
+{
+
+/** Per-ISA function table for the raw-draw maps. */
+struct RawOps
+{
+    /** dst[i] = double(raw[i] >> 11) * 0x1.0p-53 (Rng::uniform). */
+    void (*uniformMap)(double *dst, const std::uint64_t *raw,
+                       std::size_t n);
+    /** dst[i] = uniform(raw[i]) < p ? 1 : 0 (Rng::chance). */
+    void (*chanceMap)(std::uint8_t *dst, const std::uint64_t *raw,
+                      double p, std::size_t n);
+};
+
+/** The table for the resolved ISA (resolved once, like activeIsa). */
+const RawOps &rawOps();
+
+/**
+ * Table for a specific tier, for the equivalence tests.
+ * @return nullptr when the tier was not compiled or the machine
+ *         cannot execute it
+ */
+const RawOps *rawOpsForIsa(Isa isa);
+
+} // namespace fracdram::simd
+
+#endif // FRACDRAM_COMMON_SIMD_OPS_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * AVX-512 raw-draw maps (F/DQ/BW/VL). vcvtuqq2pd converts u64 ->
+ * double with round-to-nearest, which is exact for values < 2^53 -
+ * and raw >> 11 always is - so the result is bit-identical to the
+ * scalar static_cast.
+ */
+
+#include <immintrin.h>
+
+#include "common/simd/ops.hh"
+
+namespace fracdram::simd
+{
+
+namespace
+{
+
+inline __m512d
+uniform8(__m512i raw)
+{
+    const __m512d d =
+        _mm512_cvtepu64_pd(_mm512_srli_epi64(raw, 11));
+    return _mm512_mul_pd(d, _mm512_set1_pd(0x1.0p-53));
+}
+
+void
+uniformMapAvx512(double *dst, const std::uint64_t *raw, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m512i r = _mm512_loadu_si512(raw + i);
+        _mm512_storeu_pd(dst + i, uniform8(r));
+    }
+    for (; i < n; ++i)
+        dst[i] = static_cast<double>(raw[i] >> 11) * 0x1.0p-53;
+}
+
+void
+chanceMapAvx512(std::uint8_t *dst, const std::uint64_t *raw, double p,
+                std::size_t n)
+{
+    const __m512d pv = _mm512_set1_pd(p);
+    const __m128i ones = _mm_set1_epi8(1);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __mmask8 m0 = _mm512_cmp_pd_mask(
+            uniform8(_mm512_loadu_si512(raw + i)), pv, _CMP_LT_OQ);
+        const __mmask8 m1 = _mm512_cmp_pd_mask(
+            uniform8(_mm512_loadu_si512(raw + i + 8)), pv,
+            _CMP_LT_OQ);
+        const __mmask16 m =
+            static_cast<__mmask16>(m0) |
+            static_cast<__mmask16>(static_cast<__mmask16>(m1) << 8);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + i),
+                         _mm_maskz_mov_epi8(m, ones));
+    }
+    for (; i < n; ++i)
+        dst[i] =
+            static_cast<double>(raw[i] >> 11) * 0x1.0p-53 < p ? 1 : 0;
+}
+
+const RawOps kAvx512Ops = {uniformMapAvx512, chanceMapAvx512};
+
+} // namespace
+
+const RawOps &
+avx512RawOps()
+{
+    return kAvx512Ops;
+}
+
+} // namespace fracdram::simd

@@ -22,7 +22,8 @@ struct ServiceCounters
 {
     telemetry::CounterId jobs, entropyBytes, rawBits, reseeds,
         pufEvals, busy;
-    telemetry::HistogramId batchBits, queueWaitNs, reseedNs;
+    telemetry::HistogramId batchBits, queueWaitNs, reseedNs,
+        poolRefillNs;
 
     ServiceCounters()
     {
@@ -36,6 +37,7 @@ struct ServiceCounters
         batchBits = m.histogram("service.batch_bits");
         queueWaitNs = m.histogram("service.queue_wait_ns");
         reseedNs = m.histogram("service.reseed_ns");
+        poolRefillNs = m.histogram("service.pool_refill_ns");
     }
 };
 
@@ -303,24 +305,48 @@ Shard::refillPool(std::size_t need_bytes)
     std::size_t avail = pool_.size() - poolPos_;
     if (avail >= need_bytes)
         return;
+    const auto &sc = counters();
+    const telemetry::ScopedTimer timer(sc.poolRefillNs);
     // Compact the consumed prefix, then append DRBG blocks.
     pool_.erase(pool_.begin(),
                 pool_.begin() + static_cast<std::ptrdiff_t>(poolPos_));
     poolPos_ = 0;
+    // Each DRBG output block is SHA256(key || counter_le): a 40-byte
+    // message, i.e. exactly one pre-padded compression block. The
+    // blocks are independent, so they batch through the multi-way
+    // SHA tier; a batch never crosses the reseed boundary, keeping
+    // the byte stream and reseed schedule identical to the one-by-one
+    // loop this replaces.
+    constexpr std::size_t kBatch = 32;
+    std::uint8_t msgs[kBatch * 64];
+    Sha256::Digest out[kBatch];
     while (avail < need_bytes) {
         if (drbgSinceReseed_ >= cfg_.reseedBytes)
             reseed();
-        Sha256 hasher;
-        hasher.update(drbgKey_.data(), drbgKey_.size());
-        std::uint8_t ctr[8];
-        for (int i = 0; i < 8; ++i)
-            ctr[i] = static_cast<std::uint8_t>(drbgCounter_ >> (8 * i));
-        hasher.update(ctr, sizeof(ctr));
-        const auto block = hasher.finish();
-        pool_.insert(pool_.end(), block.begin(), block.end());
-        ++drbgCounter_;
-        drbgSinceReseed_ += block.size();
-        avail += block.size();
+        const std::size_t want = (need_bytes - avail + 31) / 32;
+        const std::size_t until_reseed =
+            (cfg_.reseedBytes - drbgSinceReseed_ + 31) / 32;
+        const std::size_t k =
+            std::min(kBatch, std::min(want, until_reseed));
+        for (std::size_t b = 0; b < k; ++b) {
+            std::uint8_t *blk = msgs + 64 * b;
+            std::memcpy(blk, drbgKey_.data(), drbgKey_.size());
+            const std::uint64_t ctr = drbgCounter_ + b;
+            for (int i = 0; i < 8; ++i)
+                blk[32 + i] =
+                    static_cast<std::uint8_t>(ctr >> (8 * i));
+            blk[40] = 0x80; // padding: terminator, zeros, then the
+            std::memset(blk + 41, 0, 15); // 64-bit bit length (320)
+            std::memset(blk + 56, 0, 6);
+            blk[62] = 0x01;
+            blk[63] = 0x40;
+        }
+        Sha256::hashSingleBlocks(msgs, k, out);
+        for (std::size_t b = 0; b < k; ++b)
+            pool_.insert(pool_.end(), out[b].begin(), out[b].end());
+        drbgCounter_ += k;
+        drbgSinceReseed_ += 32 * k;
+        avail += 32 * k;
     }
 }
 

@@ -40,6 +40,7 @@
 #include "common/bitvec.hh"
 #include "common/rng.hh"
 #include "common/rng_buffer.hh"
+#include "common/simd/aligned.hh"
 #include "common/types.hh"
 #include "sim/environment.hh"
 #include "sim/params.hh"
@@ -242,19 +243,22 @@ class Bank
     bool rowBufferValid_ = false;
 
     std::unordered_map<RowAddr, RowStore> rows_;
-    std::vector<float> saOffsets_; //!< lazy per-column cache
-    std::vector<std::uint8_t> halfClean_;
+    // Kernel operands are cache-line aligned so the SIMD tiers' main
+    // loops start on vector boundaries (correct either way; aligned
+    // keeps loads from splitting lines).
+    simd::AlignedVector<float> saOffsets_; //!< lazy per-column cache
+    simd::AlignedVector<std::uint8_t> halfClean_;
 
     /** @name Row-wide scratch (reused across operations) */
     /// @{
     RngBuffer rngBuf_;
     std::vector<OpenState> open_;
-    std::vector<double> num_, den_, eq_;
-    std::vector<std::uint8_t> dec_;
-    std::vector<float> vrtOrig_; //!< VRT cells' pre-decay voltages
+    simd::AlignedVector<double> num_, den_, eq_;
+    simd::AlignedVector<std::uint8_t> dec_;
+    simd::AlignedVector<float> vrtOrig_; //!< VRT cells' pre-decay voltages
     /** Staging arrays for VariationMap::materializeRow. */
-    std::vector<double> matAlpha_, matTau_, matCpl_, matOff_;
-    std::vector<std::uint8_t> matStartup_, matVrt_;
+    simd::AlignedVector<double> matAlpha_, matTau_, matCpl_, matOff_;
+    simd::AlignedVector<std::uint8_t> matStartup_, matVrt_;
     /// @}
 };
 

@@ -1,60 +1,90 @@
+/**
+ * @file
+ * Public kernel entry points: one indirect call through the table
+ * resolved for simd::activeIsa(). Resolution happens once behind a
+ * function-local static (thread-safe under C++ magic-static rules -
+ * the tsan suite exercises first-touch from multiple shard threads);
+ * after that each call is a load plus an indirect jump, irrelevant at
+ * row-wide granularity.
+ */
+
 #include "sim/kernels.hh"
+
+#include "sim/kernels_dispatch.hh"
 
 namespace fracdram::sim::kernels
 {
 
+const KernelTable *
+kernelTableForIsa(simd::Isa isa)
+{
+    switch (isa) {
+    case simd::Isa::Scalar:
+        return &scalarKernelTable();
+    case simd::Isa::Avx2:
+#if FRACDRAM_HAVE_AVX2
+        if (simd::cpuFeatures().avx2)
+            return &avx2KernelTable();
+#endif
+        return nullptr;
+    case simd::Isa::Avx512:
+#if FRACDRAM_HAVE_AVX512
+        if (simd::cpuFeatures().avx512)
+            return &avx512KernelTable();
+#endif
+        return nullptr;
+    }
+    return nullptr;
+}
+
+const KernelTable &
+activeKernelTable()
+{
+    static const KernelTable &table = *kernelTableForIsa(
+        simd::activeIsa());
+    return table;
+}
+
 void
 decayMultiply(float *volts, const double *mul, std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i)
-        volts[i] = static_cast<float>(volts[i] * mul[i]);
+    activeKernelTable().decayMultiply(volts, mul, n);
 }
 
 void
 chargeAccumulate(double *num, double *den, const float *volts,
                  const float *coupling, double weight, std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i) {
-        const double w = weight * coupling[i];
-        num[i] += w * volts[i];
-        den[i] += w;
-    }
+    activeKernelTable().chargeAccumulate(num, den, volts, coupling,
+                                         weight, n);
 }
 
 void
 equilibrium(double *eq, const double *num, const double *den,
             std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i)
-        eq[i] = num[i] / den[i];
+    activeKernelTable().equilibrium(eq, num, den, n);
 }
 
 void
 senseDecide(std::uint8_t *dec, const double *eq, const float *sa,
             const double *noise, double half, std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i)
-        dec[i] = (eq[i] - half) > sa[i] + noise[i] ? 1 : 0;
+    activeKernelTable().senseDecide(dec, eq, sa, noise, half, n);
 }
 
 void
 driveRails(float *volts, const std::uint8_t *dec, float vdd,
            std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i)
-        volts[i] = dec[i] ? vdd : 0.0f;
+    activeKernelTable().driveRails(volts, dec, vdd, n);
 }
 
 void
 settleToward(float *volts, const float *alpha, const double *veq,
              const float *off, std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i) {
-        const double a = alpha[i];
-        const double v = volts[i];
-        const double target = veq[i] + off[i];
-        volts[i] = static_cast<float>(v + a * (target - v));
-    }
+    activeKernelTable().settleToward(volts, alpha, veq, off, n);
 }
 
 void
@@ -62,56 +92,28 @@ fracSettle(float *volts, const float *alpha, const float *coupling,
            const float *off, const double *noise, double weight,
            double base_num, double base_den, std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i) {
-        const double w = weight * coupling[i];
-        const double num = base_num + w * volts[i];
-        const double den = base_den + w;
-        const double eq = num / den + noise[i];
-        const double a = alpha[i];
-        const double v = volts[i];
-        const double target = eq + off[i];
-        volts[i] = static_cast<float>(v + a * (target - v));
-    }
+    activeKernelTable().fracSettle(volts, alpha, coupling, off, noise,
+                                   weight, base_num, base_den, n);
 }
 
 void
 restoreTruncate(float *volts, double half, double r, std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i) {
-        const double v = volts[i];
-        volts[i] = static_cast<float>(half + (v - half) * r);
-    }
+    activeKernelTable().restoreTruncate(volts, half, r, n);
 }
 
 void
 fillFromBits(float *volts, const std::uint64_t *words, bool invert,
              float vdd, std::size_t n)
 {
-    const std::uint64_t flip = invert ? ~std::uint64_t{0} : 0;
-    for (std::size_t w = 0; w * 64 < n; ++w) {
-        const std::uint64_t bits = words[w] ^ flip;
-        const std::size_t base = w * 64;
-        const std::size_t lim = n - base < 64 ? n - base : 64;
-        for (std::size_t b = 0; b < lim; ++b)
-            volts[base + b] = (bits >> b) & 1 ? vdd : 0.0f;
-    }
+    activeKernelTable().fillFromBits(volts, words, invert, vdd, n);
 }
 
 void
 packDecisions(std::uint64_t *words, const std::uint8_t *dec,
               bool invert, std::size_t n)
 {
-    const std::uint64_t flipBit = invert ? 1 : 0;
-    for (std::size_t w = 0; w * 64 < n; ++w) {
-        const std::size_t base = w * 64;
-        const std::size_t lim = n - base < 64 ? n - base : 64;
-        std::uint64_t word = 0;
-        for (std::size_t b = 0; b < lim; ++b)
-            word |= static_cast<std::uint64_t>(
-                        (dec[base + b] ^ flipBit) & 1)
-                    << b;
-        words[w] = word;
-    }
+    activeKernelTable().packDecisions(words, dec, invert, n);
 }
 
 } // namespace fracdram::sim::kernels

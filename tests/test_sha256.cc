@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <random>
+#include <vector>
+
 #include "common/sha256.hh"
 
 using namespace fracdram;
@@ -94,4 +98,70 @@ TEST(Sha256Test, HashBitsDistinct)
     b.set(99, true);
     EXPECT_NE(Sha256::toHex(Sha256::hashBits(a)),
               Sha256::toHex(Sha256::hashBits(b)));
+}
+
+namespace
+{
+
+/** Pre-pad a <=55-byte message into one final SHA-256 block. */
+void
+padSingleBlock(const std::uint8_t *msg, std::size_t len,
+               std::uint8_t block[64])
+{
+    ASSERT_LE(len, 55u);
+    std::memset(block, 0, 64);
+    std::memcpy(block, msg, len);
+    block[len] = 0x80;
+    const std::uint64_t bits = len * 8;
+    for (int i = 0; i < 8; ++i)
+        block[56 + i] =
+            static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+}
+
+} // namespace
+
+TEST(Sha256Test, HashSingleBlocksMatchesIncremental)
+{
+    // Batch sizes straddling the 8-way SIMD group width, message
+    // lengths covering the whole single-block range. Every digest
+    // must equal the ordinary incremental hash of the same message.
+    std::mt19937_64 gen(0xb10cb10cULL);
+    for (const std::size_t n :
+         {std::size_t{1}, std::size_t{3}, std::size_t{7},
+          std::size_t{8}, std::size_t{9}, std::size_t{16},
+          std::size_t{20}, std::size_t{33}}) {
+        std::vector<std::uint8_t> blocks(n * 64);
+        std::vector<std::vector<std::uint8_t>> msgs(n);
+        for (std::size_t b = 0; b < n; ++b) {
+            msgs[b].resize((gen() % 56));
+            for (auto &byte : msgs[b])
+                byte = static_cast<std::uint8_t>(gen());
+            padSingleBlock(msgs[b].data(), msgs[b].size(),
+                           blocks.data() + 64 * b);
+        }
+        std::vector<Sha256::Digest> out(n);
+        Sha256::hashSingleBlocks(blocks.data(), n, out.data());
+        for (std::size_t b = 0; b < n; ++b)
+            EXPECT_EQ(Sha256::toHex(out[b]),
+                      Sha256::toHex(Sha256::hash(msgs[b].data(),
+                                                 msgs[b].size())))
+                << "batch " << n << " block " << b;
+    }
+}
+
+TEST(Sha256Test, HashSingleBlocksDrbgShape)
+{
+    // The exact block shape Shard::refillPool builds: key || ctr_le,
+    // 40 bytes.
+    std::uint8_t msg[40];
+    for (int i = 0; i < 32; ++i)
+        msg[i] = static_cast<std::uint8_t>(i * 7 + 1);
+    for (int c = 0; c < 8; ++c)
+        msg[32 + c] = static_cast<std::uint8_t>(0x1234 >> (8 * c));
+    std::uint8_t block[64];
+    padSingleBlock(msg, sizeof(msg), block);
+    Sha256::Digest out;
+    Sha256::hashSingleBlocks(block, 1, &out);
+    EXPECT_EQ(Sha256::toHex(out),
+              Sha256::toHex(Sha256::hash(msg, sizeof(msg))));
 }
