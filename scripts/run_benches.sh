@@ -19,6 +19,15 @@
 #                     default, alternating so drift hits both arms,
 #                     and records the loadgen req/s of each arm plus
 #                     the mean speedup as the "bench_simd_ab" entry.
+#   --forensics-ab <N> run N interleaved forensics-off/-on pairs of
+#                     the serving A/B (default 3; 0 disables). The
+#                     "on" arm runs with a postmortem dir, which arms
+#                     the full forensics stack (metrics history,
+#                     flight recorder fatal-buffer refresh, watchdog
+#                     stall detector); the "off" arm runs bare. The
+#                     "bench_forensics_ab" entry records per-arm
+#                     req/s, medians, and the median overhead delta
+#                     in percent - the instrumentation budget.
 #
 # The thread count recorded is what the parallel engine resolves:
 # FRACDRAM_THREADS if set, otherwise the machine's hardware
@@ -53,6 +62,7 @@ set -euo pipefail
 filter=""
 out_flag=""
 isa_ab=3
+forensics_ab=3
 positional=()
 while [[ $# -gt 0 ]]; do
     case "$1" in
@@ -69,6 +79,11 @@ while [[ $# -gt 0 ]]; do
         --isa-ab)
             [[ $# -ge 2 ]] || { echo "error: --isa-ab needs a count" >&2; exit 1; }
             isa_ab="$2"
+            shift 2
+            ;;
+        --forensics-ab)
+            [[ $# -ge 2 ]] || { echo "error: --forensics-ab needs a count" >&2; exit 1; }
+            forensics_ab="$2"
             shift 2
             ;;
         --help|-h)
@@ -211,6 +226,13 @@ if [[ -x "${serve_bin}" && -x "${loadgen_bin}" ]] &&
                 echo "warning: could not scrape /metrics on port ${mport}" >&2
             fi
         fi
+        # Archive the full loadgen summary (including the per-second
+        # req/s + p99 timeline) next to the output JSON - the shape
+        # of the burst, not just its aggregates.
+        if [[ -s "${loadgen_json}" ]]; then
+            cp "${loadgen_json}" "${out%.json}.loadgen.json"
+            echo "archived loadgen timeline to ${out%.json}.loadgen.json" >&2
+        fi
         kill -TERM "${serve_pid}" 2> /dev/null || true
         serve_rc=0
         wait "${serve_pid}" || serve_rc=$?
@@ -290,13 +312,16 @@ PY
 fi
 
 # One daemon + one timed loadgen burst; honours FRACDRAM_ISA from the
-# caller's environment. Prints the loadgen req/s (0 on failure).
+# caller's environment. Any arguments after the duration are passed
+# through as extra fracdram_serve flags (the forensics A/B uses this
+# to arm one side). Prints the loadgen req/s (0 on failure).
 service_rps() {
     local duration="$1" pf lj sl pid port rps rc=0
+    shift
     pf="$(mktemp)" lj="$(mktemp)" sl="$(mktemp)"
     rm -f "${pf}"
     "${serve_bin}" --port 0 --shards 4 --port-file "${pf}" \
-        --reactors "${FRACDRAM_BENCH_REACTORS:-0}" --quiet \
+        --reactors "${FRACDRAM_BENCH_REACTORS:-0}" --quiet "$@" \
         > "${sl}" 2>&1 &
     pid=$!
     for _ in $(seq 1 100); do
@@ -352,6 +377,52 @@ if [[ "${isa_ab}" -gt 0 && -x "${serve_bin}" && -x "${loadgen_bin}" ]] &&
             printf "%.1f %.1f %.3f\n", sm, dm, (sm > 0 ? dm / sm : 0);
         }')
     records+=("  {\"bench\": \"bench_simd_ab\", \"exit_code\": ${ab_rc}, \"pairs\": ${isa_ab}, \"scalar_rps\": [${scalar_list}], \"dispatch_rps\": [${dispatch_list}], \"scalar_rps_mean\": ${scalar_mean}, \"dispatch_rps_mean\": ${dispatch_mean}, \"dispatch_speedup\": ${speedup}}")
+fi
+
+# Interleaved forensics-off/-on serving A/B: same daemon and burst,
+# one arm additionally carrying the full forensics stack (postmortem
+# dir -> metrics history ticks, per-tick fatal-buffer re-serialization,
+# watchdog stall scanning). The median delta is the headline number:
+# the cost of always-on black-box instrumentation.
+if [[ "${forensics_ab}" -gt 0 && -x "${serve_bin}" && -x "${loadgen_bin}" ]] &&
+    { [[ -z "${filter}" ]] || grep -qE "${filter}" <<< "bench_forensics_ab"; }; then
+    echo "timing bench_forensics_ab (${forensics_ab} interleaved off/on pairs)" >&2
+    ab_pm_dir="$(mktemp -d)"
+    off_rps=()
+    on_rps=()
+    fab_rc=0
+    for _ in $(seq 1 "${forensics_ab}"); do
+        f_off="$(service_rps 2)"
+        f_on="$(service_rps 2 --postmortem-dir "${ab_pm_dir}")"
+        echo "  forensics off ${f_off} req/s, on ${f_on} req/s" >&2
+        [[ "${f_off}" == "0" || "${f_on}" == "0" ]] && fab_rc=1
+        off_rps+=("${f_off}")
+        on_rps+=("${f_on}")
+    done
+    rm -rf "${ab_pm_dir}"
+    if [[ "${fab_rc}" -ne 0 ]]; then
+        echo "error: bench_forensics_ab had failed bursts" >&2
+        failures=$((failures + 1))
+    fi
+    off_list="$(IFS=,; echo "${off_rps[*]}")"
+    on_list="$(IFS=,; echo "${on_rps[*]}")"
+    read -r off_median on_median delta_pct < <(awk \
+        -v o="${off_list}" -v n="${on_list}" 'BEGIN {
+            no = split(o, oa, ","); nn = split(n, na, ",");
+            # insertion sort: N is single digits
+            for (i = 2; i <= no; i++)
+                for (j = i; j > 1 && oa[j-1] > oa[j]; j--)
+                    { t = oa[j]; oa[j] = oa[j-1]; oa[j-1] = t; }
+            for (i = 2; i <= nn; i++)
+                for (j = i; j > 1 && na[j-1] > na[j]; j--)
+                    { t = na[j]; na[j] = na[j-1]; na[j-1] = t; }
+            om = (no % 2) ? oa[(no+1)/2] : (oa[no/2] + oa[no/2+1]) / 2;
+            nm = (nn % 2) ? na[(nn+1)/2] : (na[nn/2] + na[nn/2+1]) / 2;
+            printf "%.1f %.1f %.2f\n", om, nm,
+                (om > 0 ? (om - nm) / om * 100 : 0);
+        }')
+    echo "  medians: off ${off_median}, on ${on_median}, overhead ${delta_pct}%" >&2
+    records+=("  {\"bench\": \"bench_forensics_ab\", \"exit_code\": ${fab_rc}, \"pairs\": ${forensics_ab}, \"forensics_off_rps\": [${off_list}], \"forensics_on_rps\": [${on_list}], \"forensics_off_rps_median\": ${off_median}, \"forensics_on_rps_median\": ${on_median}, \"median_overhead_pct\": ${delta_pct}}")
 fi
 
 if [[ ${#records[@]} -eq 0 ]]; then

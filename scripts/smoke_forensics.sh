@@ -1,0 +1,156 @@
+#!/usr/bin/env bash
+# Process-level proof of the reactor-stall forensics pipeline, wired
+# into ctest as "smoke_forensics" and CI as the forensics-smoke job:
+#
+#   1. start fracdram_serve with one reactor, a 100ms watchdog, a
+#      postmortem dir, and the FRACDRAM_TEST_FREEZE_REACTOR test hook
+#      armed (reactor 0 sleeps 3s on its loop thread when it adopts
+#      its first connection),
+#   2. open one TCP connection - the loop freezes mid-phase,
+#   3. the watchdog must detect the frozen heartbeat, name reactor 0
+#      and its stuck phase in the WARN, and trigger a postmortem dump
+#      through the flight recorder,
+#   4. validate the bundle (reason, detail, phase legend, history),
+#   5. after the freeze the reactor must recover: the daemon still
+#      answers requests and shuts down cleanly on SIGTERM.
+#
+# Usage: smoke_forensics.sh <serve>
+
+set -euo pipefail
+
+serve_bin="${1:?usage: smoke_forensics.sh <serve>}"
+
+workdir="$(mktemp -d)"
+serve_pid=""
+cleanup() {
+    [[ -n "${serve_pid}" ]] && kill "${serve_pid}" 2> /dev/null || true
+    rm -rf "${workdir}"
+}
+trap cleanup EXIT
+
+port_file="${workdir}/port"
+mport_file="${workdir}/metrics_port"
+serve_log="${workdir}/serve.log"
+pm_dir="${workdir}/postmortem"
+mkdir -p "${pm_dir}"
+
+# http_get HOST PORT PATH OUTFILE -> exit 0 and body in OUTFILE on 200
+http_get() {
+    local host="$1" port="$2" path="$3" out="$4"
+    local resp
+    exec 9<> "/dev/tcp/${host}/${port}" || return 1
+    printf 'GET %s HTTP/1.0\r\n\r\n' "${path}" >&9
+    resp="$(cat <&9)"
+    exec 9>&- 9<&-
+    printf '%s' "${resp#*$'\r\n\r\n'}" > "${out}"
+    grep -q '^HTTP/1\.0 200' <<< "${resp}"
+}
+
+FRACDRAM_TEST_FREEZE_REACTOR="0:3000" \
+    "${serve_bin}" --port 0 --reactors 1 --shards 2 --cols 512 \
+    --port-file "${port_file}" \
+    --metrics-port 0 --metrics-port-file "${mport_file}" \
+    --watchdog-interval-ms 100 --stall-intervals 3 \
+    --history-res-ms 25 --history-points 400 \
+    --postmortem-dir "${pm_dir}" \
+    > "${serve_log}" 2>&1 &
+serve_pid=$!
+
+for _ in $(seq 1 100); do
+    [[ -s "${port_file}" && -s "${mport_file}" ]] && break
+    kill -0 "${serve_pid}" 2> /dev/null || {
+        echo "FAIL: daemon died during startup" >&2
+        cat "${serve_log}" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[[ -s "${port_file}" && -s "${mport_file}" ]] || {
+    echo "FAIL: daemon never published its ports" >&2
+    cat "${serve_log}" >&2
+    exit 1
+}
+port="$(cat "${port_file}")"
+mport="$(cat "${mport_file}")"
+echo "daemon up: data port ${port}, metrics port ${mport}" >&2
+
+grep -q 'freeze hook armed' "${serve_log}" || {
+    echo "FAIL: freeze test hook did not arm" >&2
+    cat "${serve_log}" >&2
+    exit 1
+}
+
+# One connection is enough: adopting it freezes the loop for 3s.
+exec 8<> "/dev/tcp/127.0.0.1/${port}" || {
+    echo "FAIL: cannot connect to the daemon" >&2
+    exit 1
+}
+
+# The watchdog (100ms interval, 3 frozen samples) must dump within
+# the 3s freeze window.
+pm_file=""
+for _ in $(seq 1 100); do
+    pm_file="$(ls "${pm_dir}"/postmortem-1*.json 2> /dev/null |
+        head -1 || true)"
+    [[ -n "${pm_file}" ]] && break
+    sleep 0.1
+done
+exec 8>&- 8<&- || true
+[[ -n "${pm_file}" ]] || {
+    echo "FAIL: stall produced no postmortem bundle" >&2
+    cat "${serve_log}" >&2
+    exit 1
+}
+echo "postmortem bundle: ${pm_file}" >&2
+
+python3 - "${pm_file}" <<'PY' || exit 1
+import json, sys
+bundle = json.load(open(sys.argv[1]))
+assert bundle["reason"] == "reactor_stall", bundle["reason"]
+detail = bundle["detail"]
+assert "reactor 0 stalled" in detail, detail
+assert "stuck in phase '" in detail, detail
+want = {"idle", "accept", "read", "shard-dispatch", "writev",
+        "control", "tick"}
+assert set(bundle["phase_names"]) == want
+assert bundle["watchdog"]["stall_events"] >= 1, bundle["watchdog"]
+assert bundle["watchdog"]["stalled_reactors"] >= 1
+assert bundle["history"] is not None, "bundle has no history"
+assert "service.reactor0.heartbeat" in bundle["history"]["series"]
+print(f"stall postmortem ok: {detail}")
+PY
+
+grep -q 'reactor 0 stalled' "${serve_log}" || {
+    echo "FAIL: watchdog WARN missing from the daemon log" >&2
+    cat "${serve_log}" >&2
+    exit 1
+}
+
+# Recovery: once the freeze expires the loop heartbeat advances
+# again and the daemon serves normally.
+sleep 3
+grep -q 'reactor 0 recovered' "${serve_log}" || {
+    echo "FAIL: no recovery marker after the freeze expired" >&2
+    cat "${serve_log}" >&2
+    exit 1
+}
+http_get 127.0.0.1 "${mport}" /healthz "${workdir}/healthz" || {
+    echo "FAIL: daemon unhealthy after recovery" >&2
+    exit 1
+}
+
+kill -TERM "${serve_pid}"
+rc=0
+wait "${serve_pid}" || rc=$?
+serve_pid=""
+if [[ "${rc}" -ne 0 ]]; then
+    echo "FAIL: daemon exited ${rc} on SIGTERM" >&2
+    cat "${serve_log}" >&2
+    exit 1
+fi
+grep -q "clean shutdown" "${serve_log}" || {
+    echo "FAIL: no clean-shutdown marker in daemon log" >&2
+    cat "${serve_log}" >&2
+    exit 1
+}
+echo "PASS: smoke_forensics" >&2

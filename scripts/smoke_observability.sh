@@ -9,7 +9,12 @@
 #   4. re-scrape: the request_ns histogram must have moved, and
 #      /varz?trace=8 must return per-stage timelines,
 #   5. render one fracdram_top frame against the live daemon,
-#   6. SIGTERM and require a clean shutdown.
+#   6. query /history and require per-tick series for the service
+#      families,
+#   7. kill -QUIT the loaded daemon and validate the postmortem
+#      bundle it writes (valid JSON, >=1 trace, >=60 history points,
+#      the full reactor phase legend) while it keeps serving,
+#   8. SIGTERM and require a clean shutdown.
 #
 # Usage: smoke_observability.sh <serve> <loadgen> <top>
 
@@ -43,10 +48,17 @@ http_get() {
     grep -q '^HTTP/1\.0 200' <<< "${resp}"
 }
 
+pm_dir="${workdir}/postmortem"
+mkdir -p "${pm_dir}"
+
+# 25ms history ticks so >=60 points accumulate within the test's
+# few seconds of runtime (production default is 1s).
 "${serve_bin}" --port 0 --shards 2 --cols 512 \
     --port-file "${port_file}" \
     --metrics-port 0 --metrics-port-file "${mport_file}" \
     --slo-p99-us 500000 --trace-ring 512 \
+    --history-res-ms 25 --history-points 600 \
+    --postmortem-dir "${pm_dir}" \
     > "${serve_log}" 2>&1 &
 serve_pid=$!
 
@@ -149,6 +161,80 @@ grep -q 'req latency (server, windowed)' "${workdir}/top.out" || {
 }
 echo "fracdram_top frame:" >&2
 cat "${workdir}/top.out" >&2
+
+# Server-side metrics history: the names listing and one series.
+http_get 127.0.0.1 "${mport}" /history "${workdir}/hist_names" || {
+    echo "FAIL: /history not 200" >&2
+    exit 1
+}
+grep -q '"service.jobs"' "${workdir}/hist_names" || {
+    echo "FAIL: /history names missing service.jobs:" >&2
+    cat "${workdir}/hist_names" >&2
+    exit 1
+}
+http_get 127.0.0.1 "${mport}" \
+    '/history?metric=service.request_ns&points=40' \
+    "${workdir}/hist_series" || {
+    echo "FAIL: /history series query not 200" >&2
+    exit 1
+}
+grep -q '"kind":"histogram"' "${workdir}/hist_series" || {
+    echo "FAIL: /history series has wrong kind:" >&2
+    cat "${workdir}/hist_series" >&2
+    exit 1
+}
+grep -q '"p99":' "${workdir}/hist_series" || {
+    echo "FAIL: /history histogram points carry no quantiles" >&2
+    exit 1
+}
+
+# Give the 25ms history ring time to hold >= 60 points since start.
+sleep 2
+
+# Operator black box: kill -QUIT dumps a postmortem bundle and the
+# daemon keeps serving.
+kill -QUIT "${serve_pid}"
+pm_file=""
+for _ in $(seq 1 50); do
+    pm_file="$(ls "${pm_dir}"/postmortem-*.json 2> /dev/null |
+        head -1 || true)"
+    [[ -n "${pm_file}" ]] && break
+    sleep 0.1
+done
+[[ -n "${pm_file}" ]] || {
+    echo "FAIL: SIGQUIT produced no postmortem bundle" >&2
+    cat "${serve_log}" >&2
+    exit 1
+}
+python3 - "${pm_file}" <<'PY' || exit 1
+import json, sys
+bundle = json.load(open(sys.argv[1]))
+assert bundle["reason"] == "sigquit", bundle["reason"]
+assert len(bundle["traces"]) >= 1, "no request timelines in bundle"
+phases = set(bundle["phase_names"])
+want = {"idle", "accept", "read", "shard-dispatch", "writev",
+        "control", "tick"}
+assert phases == want, phases
+assert len(bundle["reactors"]) >= 1
+for r in bundle["reactors"]:
+    assert r["phase"] in want, r
+    assert r["heartbeat"] > 0, "reactor heartbeat never advanced"
+hist = bundle["history"]
+assert hist is not None, "bundle has no metrics history"
+for family in ("service.jobs", "service.reactor0.heartbeat"):
+    pts = hist["series"].get(family)
+    assert pts is not None, f"history missing {family}"
+    assert len(pts) >= 60, f"{family}: only {len(pts)} points"
+assert bundle["watchdog"]["healthy"] is True
+print(f"postmortem ok: {len(bundle['traces'])} traces, "
+      f"{len(hist['series'])} history series")
+PY
+
+# Still serving after the dump: /healthz must answer 200.
+http_get 127.0.0.1 "${mport}" /healthz "${workdir}/healthz2" || {
+    echo "FAIL: daemon stopped serving after SIGQUIT dump" >&2
+    exit 1
+}
 
 kill -TERM "${serve_pid}"
 rc=0

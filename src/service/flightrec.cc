@@ -1,0 +1,328 @@
+#include "service/flightrec.hh"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "common/logging.hh"
+#include "common/simd/simd.hh"
+#include "service/reqtrace.hh"
+#include "service/server.hh"
+#include "telemetry/report.hh"
+#include "telemetry/timeseries.hh"
+
+namespace fracdram::service
+{
+
+namespace
+{
+
+/** The one recorder whose handlers are installed (see hh). */
+std::atomic<FlightRecorder *> g_fatalRecorder{nullptr};
+
+extern "C" void
+fatalSignalTrampoline(int sig)
+{
+    FlightRecorder *rec =
+        g_fatalRecorder.load(std::memory_order_acquire);
+    if (rec)
+        rec->writeFatalDump(sig);
+    // Default disposition takes over: the process still dies with
+    // the original signal (and core dump), the black box just got
+    // written on the way down.
+    ::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
+std::int64_t
+wallMsNow()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case '"':
+            out += "\\\"";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/** Async-signal-safe unsigned itoa into @p buf; returns digit count. */
+std::size_t
+safeUtoa(unsigned v, char *buf)
+{
+    char tmp[16];
+    std::size_t n = 0;
+    do {
+        tmp[n++] = static_cast<char>('0' + v % 10);
+        v /= 10;
+    } while (v != 0);
+    for (std::size_t i = 0; i < n; ++i)
+        buf[i] = tmp[n - 1 - i];
+    return n;
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder(const FlightRecorderConfig &cfg,
+                               Server &server)
+    : cfg_(cfg), server_(server),
+      fatalSlots_(std::make_unique<FatalSlot[]>(2))
+{
+    std::snprintf(fatalPath_, sizeof(fatalPath_),
+                  "%s/postmortem-fatal.json",
+                  cfg_.dir.empty() ? "." : cfg_.dir.c_str());
+}
+
+FlightRecorder::~FlightRecorder()
+{
+    FlightRecorder *self = this;
+    g_fatalRecorder.compare_exchange_strong(self, nullptr);
+}
+
+std::string
+FlightRecorder::renderBundle(const std::string &reason,
+                             const std::string &detail,
+                             std::size_t trace_count,
+                             std::size_t history_points,
+                             bool open_ended) const
+{
+    const auto &scfg = server_.cfg_;
+    std::string out;
+    out.reserve(64 * 1024);
+    out += strprintf("{\"reason\":\"%s\",\"detail\":\"%s\","
+                     "\"ts_ms\":%lld,\"pid\":%d",
+                     jsonEscape(reason).c_str(),
+                     jsonEscape(detail).c_str(),
+                     static_cast<long long>(wallMsNow()),
+                     static_cast<int>(::getpid()));
+
+    out += strprintf(
+        ",\"build\":{\"isa\":\"%s\",\"port\":%u,\"metrics_port\":%u,"
+        "\"reactors\":%zu,\"shards\":%zu,\"queue_capacity\":%zu,"
+        "\"max_connections\":%zu,\"slo_p99_us\":%llu,"
+        "\"history_resolution_ms\":%d,\"trace_ring_capacity\":%zu}",
+        jsonEscape(simd::describeIsa()).c_str(), server_.port_,
+        server_.metricsPort(), server_.reactors_.size(),
+        server_.shards_.size(), scfg.shard.queueCapacity,
+        scfg.maxConnections,
+        static_cast<unsigned long long>(scfg.sloP99Us),
+        scfg.historyResMs, scfg.traceRingCapacity);
+
+    // The full phase legend, so a bundle is self-describing even if
+    // every reactor happens to be in the same phase.
+    out += ",\"phase_names\":[";
+    for (int p = 0; p < kNumReactorPhases; ++p)
+        out += strprintf("%s\"%s\"", p ? "," : "",
+                         reactorPhaseName(p));
+    out += ']';
+
+    out += ",\"reactors\":[";
+    for (std::size_t i = 0; i < server_.reactors_.size(); ++i) {
+        const auto &r = *server_.reactors_[i];
+        out += strprintf("%s{\"index\":%d,\"phase\":\"%s\","
+                         "\"heartbeat\":%llu,\"conns\":%zu}",
+                         i ? "," : "", r.index(),
+                         reactorPhaseName(r.phaseNow()),
+                         static_cast<unsigned long long>(r.heartbeat()),
+                         r.connCount());
+    }
+    out += ']';
+
+    out += ",\"queue_depths\":[";
+    for (std::size_t i = 0; i < server_.shards_.size(); ++i)
+        out += strprintf("%s%zu", i ? "," : "",
+                         server_.shards_[i]->queueDepth());
+    out += ']';
+
+    if (const Watchdog *wd = server_.watchdog()) {
+        out += strprintf(
+            ",\"watchdog\":{\"healthy\":%s,\"p99_us\":%llu,"
+            "\"breached_windows\":%llu,\"flips\":%llu,"
+            "\"stalled_reactors\":%llu,\"stall_events\":%llu}",
+            wd->healthy() ? "true" : "false",
+            static_cast<unsigned long long>(wd->lastP99Us()),
+            static_cast<unsigned long long>(wd->breachedWindows()),
+            static_cast<unsigned long long>(wd->flips()),
+            static_cast<unsigned long long>(wd->stalledReactors()),
+            static_cast<unsigned long long>(wd->stallEvents()));
+    } else {
+        out += ",\"watchdog\":null";
+    }
+
+    out += ",\"traces\":";
+    out += renderTimelinesJson(server_.traceRing_.lastN(trace_count));
+
+    out += ",\"history\":";
+    if (server_.history_ && history_points > 0)
+        out += server_.history_->renderAllJson("service.",
+                                               history_points);
+    else
+        out += "null";
+
+    out += ",\"metrics\":";
+    out += telemetry::renderMetricsJson(
+        telemetry::Metrics::instance().snapshot());
+
+    // Open-ended bundles stop right before the final key so the
+    // signal handler can append `<n>}` with no formatting at all.
+    out += open_ended ? ",\"signal\":" : "}";
+    if (!open_ended)
+        out += '\n';
+    return out;
+}
+
+std::string
+FlightRecorder::renderPostmortemJson(const std::string &reason,
+                                     const std::string &detail) const
+{
+    return renderBundle(reason, detail, cfg_.traceCount,
+                        cfg_.historyPoints, false);
+}
+
+std::string
+FlightRecorder::dump(const std::string &reason,
+                     const std::string &detail)
+{
+    std::lock_guard<std::mutex> lock(dumpMutex_);
+    const std::string body = renderPostmortemJson(reason, detail);
+    const std::string path =
+        strprintf("%s/postmortem-%lld.json",
+                  cfg_.dir.empty() ? "." : cfg_.dir.c_str(),
+                  static_cast<long long>(wallMsNow()));
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("component=flightrec cannot write %s", path.c_str());
+        return "";
+    }
+    const std::size_t n =
+        std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    if (n != body.size()) {
+        warn("component=flightrec short write to %s", path.c_str());
+        return "";
+    }
+    lastDumpPath_ = path;
+    ++dumps_;
+    inform("component=flightrec postmortem written: %s (reason=%s, "
+           "%zu bytes)",
+           path.c_str(), reason.c_str(), body.size());
+    return path;
+}
+
+std::string
+FlightRecorder::lastDumpPath() const
+{
+    std::lock_guard<std::mutex> lock(dumpMutex_);
+    return lastDumpPath_;
+}
+
+void
+FlightRecorder::refreshFatalBuffer()
+{
+    // Trimmed bundle: a crash artifact wants the last minute, not the
+    // full window, and it must fit the fixed slot.
+    std::string body =
+        renderBundle("fatal_signal", "pre-serialized black box", 64,
+                     60, true);
+    if (body.size() > kFatalCapacity - 16) {
+        // Degrade rather than truncate: an oversized bundle without
+        // history still beats invalid JSON.
+        body = renderBundle("fatal_signal",
+                            "pre-serialized black box (trimmed)", 16,
+                            0, true);
+        if (body.size() > kFatalCapacity - 16)
+            return; // keep the previous (valid) buffer
+    }
+    const int cur = fatalCur_.load(std::memory_order_relaxed);
+    const int next = cur == 0 ? 1 : 0;
+    FatalSlot &slot = fatalSlots_[next];
+    std::memcpy(slot.data, body.data(), body.size());
+    slot.len = body.size();
+    fatalCur_.store(next, std::memory_order_release);
+}
+
+void
+FlightRecorder::installFatalHandlers()
+{
+    FlightRecorder *expected = nullptr;
+    if (!g_fatalRecorder.compare_exchange_strong(expected, this)) {
+        if (expected != this)
+            warn("component=flightrec fatal handlers already owned "
+                 "by another recorder; not installing");
+        return;
+    }
+    handlersInstalled_ = true;
+    struct sigaction sa = {};
+    sa.sa_handler = fatalSignalTrampoline;
+    sigemptyset(&sa.sa_mask);
+    // No SA_RESETHAND: the trampoline restores SIG_DFL itself after
+    // the dump, which also covers a second fault *inside* the
+    // handler re-entering with default disposition... the write path
+    // is open/write/close on preformatted bytes, nothing else.
+    sa.sa_flags = 0;
+    for (const int sig : {SIGSEGV, SIGABRT, SIGBUS})
+        ::sigaction(sig, &sa, nullptr);
+    inform("component=flightrec fatal handlers installed "
+           "(SIGSEGV/SIGABRT/SIGBUS -> %s)",
+           fatalPath_);
+}
+
+void
+FlightRecorder::writeFatalDump(int sig) noexcept
+{
+    // Async-signal-safe: open/write/close plus integer formatting on
+    // a preformatted buffer. No locks, no allocation, no stdio.
+    const int cur = fatalCur_.load(std::memory_order_acquire);
+    if (cur < 0)
+        return;
+    const FatalSlot &slot = fatalSlots_[cur];
+    const int fd = ::open(fatalPath_, O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd < 0)
+        return;
+    std::size_t off = 0;
+    while (off < slot.len) {
+        const ssize_t n =
+            ::write(fd, slot.data + off, slot.len - off);
+        if (n <= 0)
+            break;
+        off += static_cast<std::size_t>(n);
+    }
+    char tail[24];
+    std::size_t tn = safeUtoa(static_cast<unsigned>(sig), tail);
+    tail[tn++] = '}';
+    tail[tn++] = '\n';
+    [[maybe_unused]] const ssize_t wn = ::write(fd, tail, tn);
+    ::close(fd);
+}
+
+} // namespace fracdram::service

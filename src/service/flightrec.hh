@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Black-box flight recorder: when something goes wrong - watchdog SLO
+ * breach, reactor stall, operator SIGQUIT, or a fatal signal - dump
+ * one `postmortem-<ts>.json` bundle with everything a human needs to
+ * reconstruct the failure after the process is gone:
+ *
+ *   - recent request timelines from the reqtrace ring,
+ *   - the in-process metrics history window (per-tick req/s, p99,
+ *     queue depths - see telemetry/timeseries.hh),
+ *   - per-reactor loop state: phase, heartbeat, connection count,
+ *     plus the loop-lag/turn histograms inside the full metrics dump,
+ *   - build/ISA/config identification.
+ *
+ * Two dump paths with very different constraints (DESIGN.md §5i):
+ *
+ * **Cooperative dumps** (SLO breach, stall, SIGQUIT) run on a normal
+ * thread: render fresh JSON, write `postmortem-<epoch_ms>.json`.
+ *
+ * **Fatal dumps** (SIGSEGV/SIGABRT/SIGBUS) run inside a signal
+ * handler where allocation, locks, and formatted I/O are all
+ * forbidden. The recorder therefore keeps a *pre-serialized* bundle:
+ * every metrics-history tick re-renders a trimmed postmortem into one
+ * of two fixed buffers and publishes it with an atomic index; the
+ * handler only open()s a precomputed path, write()s the published
+ * buffer, appends the signal number with a hand-rolled itoa, and
+ * re-raises. The crash artifact is at most one history tick stale,
+ * and the handler touches no heap and takes no lock.
+ */
+
+#ifndef FRACDRAM_SERVICE_FLIGHTREC_HH
+#define FRACDRAM_SERVICE_FLIGHTREC_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace fracdram::service
+{
+
+class Server;
+
+struct FlightRecorderConfig
+{
+    std::string dir = ".";         //!< where bundles land
+    std::size_t traceCount = 256;  //!< timelines per bundle
+    std::size_t historyPoints = 300; //!< history ticks per bundle
+};
+
+class FlightRecorder
+{
+  public:
+    FlightRecorder(const FlightRecorderConfig &cfg, Server &server);
+    ~FlightRecorder();
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    /**
+     * Write a postmortem bundle now (cooperative path). Serialized by
+     * a mutex; safe from any thread except a signal handler.
+     * @return the path written, "" on failure
+     */
+    std::string dump(const std::string &reason,
+                     const std::string &detail);
+
+    /** The full bundle as a JSON string (dump() minus the file). */
+    std::string renderPostmortemJson(const std::string &reason,
+                                     const std::string &detail) const;
+
+    /**
+     * Re-render the trimmed fatal-signal bundle into the spare buffer
+     * and publish it. Called from the metrics-history onSample hook
+     * once per tick; cheap enough for 1s cadence.
+     */
+    void refreshFatalBuffer();
+
+    /**
+     * Install SIGSEGV/SIGABRT/SIGBUS handlers that write the
+     * pre-serialized bundle to `<dir>/postmortem-fatal.json`, then
+     * restore the default disposition and re-raise. Process-global:
+     * only one recorder may install (later calls are ignored with a
+     * warning). Call refreshFatalBuffer() at least once first or the
+     * handler has nothing to write.
+     */
+    void installFatalHandlers();
+
+    /** Signal-handler body; public only for the handler trampoline. */
+    void writeFatalDump(int sig) noexcept;
+
+    std::string lastDumpPath() const;
+    std::uint64_t dumps() const { return dumps_; }
+    const FlightRecorderConfig &config() const { return cfg_; }
+
+  private:
+    std::string renderBundle(const std::string &reason,
+                             const std::string &detail,
+                             std::size_t trace_count,
+                             std::size_t history_points,
+                             bool open_ended) const;
+
+    const FlightRecorderConfig cfg_;
+    Server &server_;
+
+    mutable std::mutex dumpMutex_; //!< serializes cooperative dumps
+    std::string lastDumpPath_;
+    std::atomic<std::uint64_t> dumps_{0};
+
+    /**
+     * Double-buffered fatal bundle. Fixed capacity, written by the
+     * refresh thread into the slot fatalCur_ does NOT point at, then
+     * published with a release store; the handler reads fatalCur_
+     * with acquire and writes that slot's bytes. The buffer ends with
+     * `,"signal":` so the handler can complete the JSON without any
+     * formatting machinery.
+     */
+    static constexpr std::size_t kFatalCapacity = 1 << 20;
+    struct FatalSlot
+    {
+        std::size_t len = 0;
+        char data[kFatalCapacity];
+    };
+    std::unique_ptr<FatalSlot[]> fatalSlots_; //!< [2]
+    std::atomic<int> fatalCur_{-1};
+    char fatalPath_[512] = {0}; //!< precomputed, C string
+    bool handlersInstalled_ = false;
+};
+
+} // namespace fracdram::service
+
+#endif // FRACDRAM_SERVICE_FLIGHTREC_HH

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <cstdlib>
+#include <ctime>
 #include <deque>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
@@ -35,6 +37,7 @@ struct ConnCounters
 {
     telemetry::CounterId accepted, rejected, rateLimited, badFrames;
     telemetry::CounterId jobs, entropyBytes, poolHits, poolRefills;
+    telemetry::CounterId logSuppressed;
     telemetry::HistogramId writeBatch, requestNs;
 
     ConnCounters()
@@ -44,6 +47,10 @@ struct ConnCounters
         rejected = m.counter("service.conn_rejected");
         rateLimited = m.counter("service.rate_limited");
         badFrames = m.counter("service.bad_frames");
+        // WARNs swallowed by warnTick(); renders as
+        // fracdram_log_suppressed_total so flood suppression is
+        // itself visible in /metrics.
+        logSuppressed = m.counter("log.suppressed");
         // Same interned names the shards use: a request answered
         // from the reactor pool is still a served job.
         jobs = m.counter("service.jobs");
@@ -162,6 +169,28 @@ emitRequestSpans(const RequestTimeline &t)
 
 } // namespace
 
+const char *
+reactorPhaseName(int phase)
+{
+    switch (static_cast<ReactorPhase>(phase)) {
+    case ReactorPhase::Idle:
+        return "idle";
+    case ReactorPhase::Accept:
+        return "accept";
+    case ReactorPhase::Read:
+        return "read";
+    case ReactorPhase::Dispatch:
+        return "shard-dispatch";
+    case ReactorPhase::Write:
+        return "writev";
+    case ReactorPhase::Control:
+        return "control";
+    case ReactorPhase::Tick:
+        return "tick";
+    }
+    return "?";
+}
+
 /**
  * One connection, touched only by its owning reactor thread. The
  * pending window holds one Slot per decoded frame in arrival order;
@@ -217,8 +246,42 @@ Reactor::Reactor(Server &server, int index, int pin_cpu,
         ev.data.fd = listenFd_;
         ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, listenFd_, &ev);
     }
-    connsGauge_ = telemetry::Metrics::instance().gauge(
-        strprintf("service.reactor%d.conns", index));
+    auto &m = telemetry::Metrics::instance();
+    connsGauge_ = m.gauge(strprintf("service.reactor%d.conns", index));
+    heartbeatGauge_ =
+        m.gauge(strprintf("service.reactor%d.heartbeat", index));
+    phaseGauge_ = m.gauge(strprintf("service.reactor%d.phase", index));
+    turnHist_ =
+        m.histogram(strprintf("service.reactor%d.turn_ns", index));
+    lagHist_ =
+        m.histogram(strprintf("service.reactor%d.loop_lag_ns", index));
+
+    // Test hook for the stall detector: "<index>:<ms>" freezes that
+    // reactor's loop for ms milliseconds when it adopts its first
+    // connection (see adoptLocal). Never set outside tests/CI.
+    if (const char *spec = std::getenv("FRACDRAM_TEST_FREEZE_REACTOR")) {
+        int idx = -1, ms = 0;
+        if (std::sscanf(spec, "%d:%d", &idx, &ms) == 2 &&
+            idx == index_ && ms > 0) {
+            freezeMs_ = ms;
+            freezeArmed_ = true;
+            warn("component=reactor%d TEST freeze hook armed: first "
+                 "adopted connection stalls the loop for %dms",
+                 index_, ms);
+        }
+    }
+}
+
+void
+Reactor::setPhase(ReactorPhase p)
+{
+    // Two relaxed stores; the watchdog and flight recorder read the
+    // gauge (snapshot path) or phase_ (direct accessor) from their
+    // own threads. Exactness across the race is not required - a
+    // *stuck* loop stops changing phase, which is the case we built
+    // this for.
+    phase_.store(static_cast<int>(p), std::memory_order_relaxed);
+    telemetry::setGauge(phaseGauge_, static_cast<int>(p));
 }
 
 Reactor::~Reactor()
@@ -295,8 +358,18 @@ Reactor::run()
             beginDrain();
         if (drainStarted_ && conns_.empty())
             break;
+        setPhase(ReactorPhase::Idle);
         const int n =
             ::epoll_wait(epollFd_, evs, 64, drainStarted_ ? 50 : 100);
+        // One turn = everything between two epoll_wait calls. The
+        // heartbeat advances even on timeout turns (at least every
+        // 100ms), so a frozen heartbeat always means a stuck loop.
+        heartbeat_.fetch_add(1, std::memory_order_relaxed);
+        telemetry::setGauge(
+            heartbeatGauge_,
+            static_cast<std::int64_t>(
+                heartbeat_.load(std::memory_order_relaxed)));
+        const std::uint64_t turn_start = monoNs();
         // Connection events first, control fds second: a close during
         // this batch must not let a just-accepted connection reuse
         // the fd and alias a stale event.
@@ -312,27 +385,44 @@ Reactor::run()
                 closeConn(conn);
                 continue;
             }
-            if ((evs[i].events & EPOLLIN) != 0)
+            if ((evs[i].events & EPOLLIN) != 0) {
+                setPhase(ReactorPhase::Read);
                 handleReadable(conn);
+            }
             if ((evs[i].events & EPOLLOUT) != 0) {
                 it = conns_.find(fd);
-                if (it != conns_.end())
+                if (it != conns_.end()) {
+                    setPhase(ReactorPhase::Write);
                     pumpConn(it->second.get());
+                }
             }
         }
         for (int i = 0; i < n; ++i) {
             const int fd = evs[i].data.fd;
-            if (fd == eventFd_)
+            if (fd == eventFd_) {
+                setPhase(ReactorPhase::Control);
                 handleWake();
-            else if (fd == listenFd_ && !drainStarted_)
+            } else if (fd == listenFd_ && !drainStarted_) {
+                setPhase(ReactorPhase::Accept);
                 handleAccept();
+            }
         }
         const std::uint64_t now = monoNs();
         if (now - lastTickNs_ >= kTickNs) {
+            // Lateness beyond the 100ms cadence is loop lag: time the
+            // loop spent working (or stuck) instead of ticking.
+            const std::uint64_t late = now - lastTickNs_ - kTickNs;
+            telemetry::observe(lagHist_, late);
             lastTickNs_ = now;
+            setPhase(ReactorPhase::Tick);
             tick(now);
         }
+        // Busy turns only: at 10Hz an idle loop would drown the
+        // histogram in near-zero samples.
+        if (n > 0)
+            telemetry::observe(turnHist_, monoNs() - turn_start);
     }
+    setPhase(ReactorPhase::Idle);
     telemetry::setGauge(connsGauge_, 0);
 }
 
@@ -412,6 +502,8 @@ Reactor::handleAccept()
                      static_cast<std::size_t>(cfg.maxConnections),
                      static_cast<unsigned long long>(
                          server_.rejected_.load()));
+            } else {
+                telemetry::count(connCounters().logSuppressed);
             }
             continue;
         }
@@ -438,6 +530,17 @@ Reactor::adoptLocal(int fd)
         closeFd(fd);
         server_.liveConns_.fetch_sub(1, std::memory_order_relaxed);
         return;
+    }
+    if (freezeArmed_) {
+        // Test hook: stall the loop mid-phase so CI can prove the
+        // watchdog's stall detector fires and names this reactor.
+        freezeArmed_ = false;
+        warn("component=reactor%d TEST freeze hook firing: sleeping "
+             "%dms on the loop thread",
+             index_, freezeMs_);
+        const timespec ts = {freezeMs_ / 1000,
+                             (freezeMs_ % 1000) * 1'000'000L};
+        ::nanosleep(&ts, nullptr);
     }
     auto conn =
         std::make_unique<Conn>(server_.cfg_.rateLimitPerConn);
@@ -515,6 +618,7 @@ Reactor::handleReadable(Conn *conn)
     // single jobs across every shard.
     readShard_ = server_.rr_.fetch_add(1, std::memory_order_relaxed) %
                  server_.shards_.size();
+    setPhase(ReactorPhase::Dispatch);
     while (!conn->readClosed && conn->reader.next(rdpayload_))
         dispatchFrame(conn, rdpayload_);
     if (!conn->reader.error().empty() && !conn->readClosed) {
@@ -535,6 +639,7 @@ Reactor::handleReadable(Conn *conn)
         ev.data.fd = conn->fd;
         ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, conn->fd, &ev);
     }
+    setPhase(ReactorPhase::Write);
     pumpConn(conn);
 }
 
@@ -564,6 +669,8 @@ Reactor::dispatchFrame(Conn *conn,
             warn("component=server undecodable frame on fd=%d (%s); "
                  "closing connection",
                  conn->fd, err.c_str());
+        } else {
+            telemetry::count(cc.logSuppressed);
         }
         Request synthetic;
         synthetic.type = MsgType::Health;

@@ -46,6 +46,28 @@ namespace fracdram::service
 
 class Server;
 
+/**
+ * Loop phases a reactor publishes while it works (gauge
+ * `service.reactorN.phase`). The watchdog's stall detector reads the
+ * phase of a reactor whose heartbeat froze, so a postmortem can say
+ * *where* the loop is stuck, not just that it is.
+ */
+enum class ReactorPhase : int
+{
+    Idle = 0, //!< blocked in epoll_wait
+    Accept,   //!< accepting / handing off new connections
+    Read,     //!< draining a readable socket
+    Dispatch, //!< decoding frames / submitting shard jobs
+    Write,    //!< encoding responses / writev flush
+    Control,  //!< eventfd drain (completions, adoptions)
+    Tick,     //!< housekeeping scan (idle/stall timeouts)
+};
+
+constexpr int kNumReactorPhases = 7;
+
+/** Stable lowercase name of a published phase value ("?" if bogus). */
+const char *reactorPhaseName(int phase);
+
 class Reactor final : public ResponseSink
 {
   public:
@@ -85,6 +107,18 @@ class Reactor final : public ResponseSink
 
     int index() const { return index_; }
 
+    /** Loop turns completed so far (any-thread read; stall probe). */
+    std::uint64_t heartbeat() const
+    {
+        return heartbeat_.load(std::memory_order_relaxed);
+    }
+
+    /** Phase the loop is currently in (any-thread read). */
+    int phaseNow() const
+    {
+        return phase_.load(std::memory_order_relaxed);
+    }
+
   private:
     struct Conn;
     struct Completion
@@ -111,6 +145,7 @@ class Reactor final : public ResponseSink
     void updateWriteInterest(Conn *conn);
     void closeConn(Conn *conn);
     void tick(std::uint64_t now_ns);
+    void setPhase(ReactorPhase p);
 
     Server &server_;
     const int index_;
@@ -160,6 +195,25 @@ class Reactor final : public ResponseSink
 
     std::atomic<std::size_t> connCount_{0};
     telemetry::GaugeId connsGauge_;
+
+    /**
+     * @name Loop forensics (see DESIGN.md §5i)
+     * heartbeat_ bumps once per loop turn (epoll_wait returns at
+     * least every 100ms even idle, so a frozen heartbeat means a
+     * stuck loop, not an idle one); phase_ names what the loop is
+     * doing right now. Both are mirrored into gauges so the watchdog
+     * and the flight recorder read them from ordinary snapshots.
+     */
+    /// @{
+    std::atomic<std::uint64_t> heartbeat_{0};
+    std::atomic<int> phase_{0};
+    telemetry::GaugeId heartbeatGauge_;
+    telemetry::GaugeId phaseGauge_;
+    telemetry::HistogramId turnHist_; //!< busy-turn duration, ns
+    telemetry::HistogramId lagHist_;  //!< tick lateness beyond 100ms
+    int freezeMs_ = 0; //!< FRACDRAM_TEST_FREEZE_REACTOR test hook
+    bool freezeArmed_ = false;
+    /// @}
 };
 
 } // namespace fracdram::service

@@ -78,6 +78,10 @@ Server::start(std::string *err)
             i == 0 ? listenFd_ : -1));
     for (auto &reactor : reactors_)
         reactor->start();
+    if (history_)
+        history_->start();
+    if (flightrec_)
+        flightrec_->installFatalHandlers();
     running_ = true;
     inform("service: listening on 127.0.0.1:%u (%d reactors, %d "
            "shards, queue capacity %zu, batch %zu)",
@@ -89,10 +93,47 @@ Server::start(std::string *err)
 bool
 Server::startObservability(std::string *err)
 {
-    if (cfg_.sloP99Us > 0) {
+    // The history ring exists whenever something can consume it: the
+    // HTTP /history endpoint or the flight recorder. It is created
+    // here but started in start() only after the reactors exist -
+    // its onSample hook re-serializes the fatal buffer, which walks
+    // the reactor list.
+    const bool want_history =
+        cfg_.historyResMs > 0 &&
+        (cfg_.metricsPort >= 0 || !cfg_.postmortemDir.empty());
+    if (want_history) {
+        telemetry::HistoryConfig hcfg;
+        hcfg.resolutionMs = cfg_.historyResMs;
+        hcfg.capacityPoints = cfg_.historyPoints;
+        if (!cfg_.postmortemDir.empty())
+            hcfg.onSample = [this] {
+                if (flightrec_)
+                    flightrec_->refreshFatalBuffer();
+            };
+        history_ =
+            std::make_unique<telemetry::MetricsHistory>(hcfg);
+    }
+    if (!cfg_.postmortemDir.empty()) {
+        FlightRecorderConfig fcfg;
+        fcfg.dir = cfg_.postmortemDir;
+        fcfg.traceCount = cfg_.traceRingCapacity < 256
+                              ? cfg_.traceRingCapacity
+                              : 256;
+        fcfg.historyPoints = cfg_.historyPoints;
+        flightrec_ = std::make_unique<FlightRecorder>(fcfg, *this);
+    }
+    // The watchdog also runs SLO-less when a flight recorder wants
+    // its stall detector driving dumps.
+    if (cfg_.sloP99Us > 0 || flightrec_) {
         WatchdogConfig wcfg;
         wcfg.sloP99Us = cfg_.sloP99Us;
         wcfg.intervalMs = cfg_.watchdogIntervalMs;
+        wcfg.stallIntervals = cfg_.stallIntervals;
+        if (flightrec_)
+            wcfg.onIncident = [this](const std::string &reason,
+                                     const std::string &detail) {
+                flightrec_->dump(reason, detail);
+            };
         watchdog_ = std::make_unique<Watchdog>(wcfg);
         watchdog_->start();
     }
@@ -111,18 +152,46 @@ Server::startObservability(std::string *err)
                  [this](const HttpRequest &) { return handleHealthz(); });
     http_->route("/varz",
                  [this](const HttpRequest &r) { return handleVarz(r); });
+    if (history_)
+        http_->route("/history", [this](const HttpRequest &r) {
+            return handleHistory(r);
+        });
     if (!http_->start(static_cast<std::uint16_t>(cfg_.metricsPort),
                       err)) {
         http_.reset();
         if (watchdog_)
             watchdog_->stop();
         watchdog_.reset();
+        flightrec_.reset();
+        history_.reset();
         return false;
     }
     inform("service: component=exporter observability on "
-           "127.0.0.1:%u (/metrics, /healthz, /varz)",
-           http_->port());
+           "127.0.0.1:%u (/metrics, /healthz, /varz%s)",
+           http_->port(), history_ ? ", /history" : "");
     return true;
+}
+
+HttpResponse
+Server::handleHistory(const HttpRequest &req) const
+{
+    HttpResponse resp;
+    resp.contentType = "application/json";
+    const std::string metric = queryParam(req.query, "metric");
+    if (metric.empty()) {
+        // Discovery: no metric parameter lists every series.
+        resp.body = history_->namesJson();
+        return resp;
+    }
+    std::size_t points = 120;
+    const std::string n_str = queryParam(req.query, "points");
+    if (!n_str.empty()) {
+        const long n = std::atol(n_str.c_str());
+        if (n > 0)
+            points = static_cast<std::size_t>(n);
+    }
+    resp.body = history_->queryJson(metric, points);
+    return resp;
 }
 
 HttpResponse
@@ -212,6 +281,10 @@ Server::stop()
         http_->stop();
     if (watchdog_)
         watchdog_->stop();
+    // History after the watchdog: an incident fired during the drain
+    // still dumps with its history window attached.
+    if (history_)
+        history_->stop();
     inform("service: drained (served %llu connections)",
            static_cast<unsigned long long>(accepted_.load()));
 }

@@ -43,11 +43,13 @@
 #include <string>
 #include <vector>
 
+#include "service/flightrec.hh"
 #include "service/http.hh"
 #include "service/reactor.hh"
 #include "service/reqtrace.hh"
 #include "service/shard.hh"
 #include "service/watchdog.hh"
+#include "telemetry/timeseries.hh"
 
 namespace fracdram::service
 {
@@ -78,6 +80,20 @@ struct ServerConfig
     std::uint64_t sloP99Us = 0; //!< watchdog SLO; 0 = never unhealthy
     int watchdogIntervalMs = 1000;
     std::size_t traceRingCapacity = 1024; //!< request timelines kept
+    /// @}
+
+    /** @name Forensics (see DESIGN.md §5i) */
+    /// @{
+    /** Metrics-history tick; 0 disables the ring and /history. The
+     *  ring only runs when something can consume it (HTTP endpoints
+     *  or a postmortem dir). */
+    int historyResMs = 1000;
+    std::size_t historyPoints = 300; //!< ring capacity (default 5min)
+    /** Postmortem bundle directory; "" = flight recorder off. Also
+     *  arms the watchdog's reactor-stall detector even without an
+     *  SLO. */
+    std::string postmortemDir;
+    int stallIntervals = 3; //!< watchdog samples before "stalled"
     /// @}
 };
 
@@ -125,22 +141,38 @@ class Server
     const Watchdog *watchdog() const { return watchdog_.get(); }
     Watchdog *watchdog() { return watchdog_.get(); }
     const RequestTraceRing &traceRing() const { return traceRing_; }
+    /** nullptr when historyResMs is 0 or nothing consumes it. */
+    telemetry::MetricsHistory *history() { return history_.get(); }
+    const telemetry::MetricsHistory *history() const
+    {
+        return history_.get();
+    }
+    /** nullptr when no postmortemDir was configured. */
+    FlightRecorder *flightRecorder() { return flightrec_.get(); }
+    const FlightRecorder *flightRecorder() const
+    {
+        return flightrec_.get();
+    }
     /// @}
 
   private:
     friend class Reactor;
+    friend class FlightRecorder;
 
     std::string healthJson() const;
     std::string statsJson() const;
     bool startObservability(std::string *err);
     HttpResponse handleHealthz() const;
     HttpResponse handleVarz(const HttpRequest &req) const;
+    HttpResponse handleHistory(const HttpRequest &req) const;
 
     const ServerConfig cfg_;
     std::vector<std::unique_ptr<Shard>> shards_;
     std::vector<std::unique_ptr<Reactor>> reactors_;
     std::unique_ptr<HttpServer> http_;
     std::unique_ptr<Watchdog> watchdog_;
+    std::unique_ptr<telemetry::MetricsHistory> history_;
+    std::unique_ptr<FlightRecorder> flightrec_;
     RequestTraceRing traceRing_;
     int listenFd_ = -1;
     std::uint16_t port_ = 0;

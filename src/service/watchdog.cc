@@ -1,8 +1,10 @@
 #include "service/watchdog.hh"
 
 #include <chrono>
+#include <cstdlib>
 
 #include "common/logging.hh"
+#include "service/reactor.hh"
 
 namespace fracdram::service
 {
@@ -52,9 +54,87 @@ Watchdog::loop()
 }
 
 void
+Watchdog::fireIncident(const std::string &reason,
+                       const std::string &detail)
+{
+    if (cfg_.onIncident)
+        cfg_.onIncident(reason, detail);
+}
+
+void
+Watchdog::checkStalls(const telemetry::MetricsSnapshot &snap)
+{
+    if (cfg_.stallIntervals <= 0)
+        return;
+    // "service.reactor<i>.heartbeat" gauges, one per live loop. The
+    // first observation of a reactor is baseline-only, mirroring the
+    // histogram priming: we judge progress between *our* samples.
+    static const std::string kPrefix = "service.reactor";
+    static const std::string kSuffix = ".heartbeat";
+    for (const auto &[name, hb] : snap.gauges) {
+        if (name.rfind(kPrefix, 0) != 0 ||
+            name.size() <= kPrefix.size() + kSuffix.size() ||
+            name.compare(name.size() - kSuffix.size(),
+                         kSuffix.size(), kSuffix) != 0)
+            continue;
+        const int idx = std::atoi(name.c_str() + kPrefix.size());
+        ReactorWatch &watch = reactorWatch_[idx];
+        if (watch.lastHeartbeat < 0) {
+            watch.lastHeartbeat = hb;
+            continue;
+        }
+        if (hb != watch.lastHeartbeat) {
+            watch.lastHeartbeat = hb;
+            watch.frozenSamples = 0;
+            if (watch.stalled) {
+                watch.stalled = false;
+                inform("component=watchdog reactor %d recovered: "
+                       "heartbeat advancing again",
+                       idx);
+            }
+            continue;
+        }
+        ++watch.frozenSamples;
+        if (watch.stalled || watch.frozenSamples < cfg_.stallIntervals)
+            continue;
+        watch.stalled = true;
+        ++stallEvents_;
+        // The incident callback dumps a postmortem synchronously and
+        // reads stalledReactors(); publish before firing, the full
+        // recount below keeps it exact.
+        ++stalled_;
+        // The stuck loop cannot update its phase gauge, so this is
+        // exactly the phase it entered before it hung.
+        std::int64_t phase = 0;
+        const auto pit = snap.gauges.find(
+            strprintf("service.reactor%d.phase", idx));
+        if (pit != snap.gauges.end())
+            phase = pit->second;
+        const std::string detail = strprintf(
+            "reactor %d stalled: heartbeat frozen at %lld for %d "
+            "consecutive %dms samples, stuck in phase '%s'",
+            idx, static_cast<long long>(watch.lastHeartbeat),
+            watch.frozenSamples, cfg_.intervalMs,
+            reactorPhaseName(static_cast<int>(phase)));
+        warn("component=watchdog %s", detail.c_str());
+        fireIncident("reactor_stall", detail);
+    }
+    std::uint64_t n_stalled = 0;
+    for (const auto &[idx, watch] : reactorWatch_)
+        n_stalled += watch.stalled ? 1 : 0;
+    stalled_ = n_stalled;
+    static const auto g_stalled =
+        Metrics::instance().gauge("service.watchdog.stalled_reactors");
+    telemetry::setGauge(g_stalled,
+                        static_cast<std::int64_t>(n_stalled));
+}
+
+void
 Watchdog::sampleOnce()
 {
     const auto snap = Metrics::instance().snapshot();
+
+    checkStalls(snap);
 
     // Worst shard queue depth, republished for scrapers and the
     // breach log line.
@@ -119,14 +199,17 @@ Watchdog::sampleOnce()
         healthy_ = false;
         ++flips_;
         // One WARN per breach episode - the edge, not every window.
-        warn("component=watchdog slo breach: windowed p99=%lluus > "
-             "slo=%lluus over %d consecutive windows (window n=%llu, "
-             "max shard queue depth %lld); /healthz -> 503",
-             static_cast<unsigned long long>(p99_us),
-             static_cast<unsigned long long>(cfg_.sloP99Us),
-             consecBreach_,
-             static_cast<unsigned long long>(window.count),
-             static_cast<long long>(max_depth));
+        const std::string detail = strprintf(
+            "windowed p99=%lluus > slo=%lluus over %d consecutive "
+            "windows (window n=%llu, max shard queue depth %lld)",
+            static_cast<unsigned long long>(p99_us),
+            static_cast<unsigned long long>(cfg_.sloP99Us),
+            consecBreach_,
+            static_cast<unsigned long long>(window.count),
+            static_cast<long long>(max_depth));
+        warn("component=watchdog slo breach: %s; /healthz -> 503",
+             detail.c_str());
+        fireIncident("slo_breach", detail);
     } else if (!healthy_ && consecClear_ >= cfg_.clearWindows) {
         healthy_ = true;
         inform("component=watchdog slo recovered: p99=%lluus <= "

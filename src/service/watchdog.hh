@@ -31,6 +31,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -48,6 +50,26 @@ struct WatchdogConfig
     int clearWindows = 2;  //!< consecutive good windows to go green
     /** Latency histogram evaluated against the SLO (nanoseconds). */
     std::string latencyHistogram = "service.request_ns";
+
+    /**
+     * Reactor-stall detection: a reactor whose
+     * `service.reactorN.heartbeat` gauge has not advanced for this
+     * many consecutive samples is declared stalled (its loop wakes at
+     * least every 100ms when healthy, so one frozen interval already
+     * means >= intervalMs of no progress). 0 disables the detector.
+     */
+    int stallIntervals = 3;
+
+    /**
+     * Incident edge callback: fired once when health flips red
+     * ("slo_breach") and once per reactor-stall onset
+     * ("reactor_stall"), with a human-readable detail line. The
+     * flight recorder hangs its dump off this. Runs on the watchdog
+     * thread (or the sampleOnce() caller in tests).
+     */
+    std::function<void(const std::string &reason,
+                       const std::string &detail)>
+        onIncident;
 };
 
 class Watchdog
@@ -76,6 +98,12 @@ class Watchdog
     /** Health flips (red edges) so far. */
     std::uint64_t flips() const { return flips_; }
 
+    /** Reactors currently considered stalled. */
+    std::uint64_t stalledReactors() const { return stalled_; }
+
+    /** Stall onsets (edges) so far. */
+    std::uint64_t stallEvents() const { return stallEvents_; }
+
     /**
      * Evaluate one window right now (the thread calls this on its
      * interval; tests call it directly for determinism).
@@ -98,11 +126,27 @@ class Watchdog
     std::atomic<std::uint64_t> breached_{0};
     std::atomic<std::uint64_t> flips_{0};
 
+    std::atomic<std::uint64_t> stalled_{0};
+    std::atomic<std::uint64_t> stallEvents_{0};
+
     // Sampling state, touched only from sampleOnce() callers.
     telemetry::HistogramSnapshot prev_;
     bool primed_ = false;
     int consecBreach_ = 0;
     int consecClear_ = 0;
+
+    /** Per-reactor stall tracking, keyed by reactor index. */
+    struct ReactorWatch
+    {
+        std::int64_t lastHeartbeat = -1;
+        int frozenSamples = 0;
+        bool stalled = false;
+    };
+    std::map<int, ReactorWatch> reactorWatch_;
+
+    void checkStalls(const telemetry::MetricsSnapshot &snap);
+    void fireIncident(const std::string &reason,
+                      const std::string &detail);
 };
 
 } // namespace fracdram::service

@@ -1,0 +1,99 @@
+#include "telemetry/procstats.hh"
+
+#include <dirent.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "telemetry/metrics.hh"
+
+namespace fracdram::telemetry
+{
+
+namespace
+{
+
+std::int64_t
+readRssBytes()
+{
+    // /proc/self/statm: size resident shared text lib data dt (pages).
+    FILE *f = std::fopen("/proc/self/statm", "r");
+    if (!f)
+        return 0;
+    long long size = 0, resident = 0;
+    const int n = std::fscanf(f, "%lld %lld", &size, &resident);
+    std::fclose(f);
+    if (n != 2)
+        return 0;
+    return resident * static_cast<std::int64_t>(sysconf(_SC_PAGESIZE));
+}
+
+std::int64_t
+countOpenFds()
+{
+    DIR *d = opendir("/proc/self/fd");
+    if (!d)
+        return 0;
+    std::int64_t n = 0;
+    while (struct dirent *e = readdir(d)) {
+        if (e->d_name[0] != '.')
+            ++n;
+    }
+    closedir(d);
+    return n - 1; // opendir's own fd
+}
+
+std::int64_t
+monoMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+ProcessStats
+sampleProcessGauges()
+{
+    // The anchor is set on the first call, so uptime measures "since
+    // the sampler started" - in practice server startup, since the
+    // history thread samples immediately.
+    static const std::int64_t start_ms = monoMs();
+
+    ProcessStats st;
+    st.rssBytes = readRssBytes();
+    st.openFds = countOpenFds();
+    st.uptimeMs = monoMs() - start_ms;
+
+    struct rusage ru = {};
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+        st.peakRssBytes = static_cast<std::int64_t>(ru.ru_maxrss) * 1024;
+        st.cpuUserMs = static_cast<std::int64_t>(ru.ru_utime.tv_sec) *
+                           1000 +
+                       ru.ru_utime.tv_usec / 1000;
+        st.cpuSysMs = static_cast<std::int64_t>(ru.ru_stime.tv_sec) *
+                          1000 +
+                      ru.ru_stime.tv_usec / 1000;
+    }
+
+    static const auto g_rss = Metrics::instance().gauge("process.rss_bytes");
+    static const auto g_peak =
+        Metrics::instance().gauge("process.peak_rss_bytes");
+    static const auto g_user =
+        Metrics::instance().gauge("process.cpu_user_ms");
+    static const auto g_sys = Metrics::instance().gauge("process.cpu_sys_ms");
+    static const auto g_fds = Metrics::instance().gauge("process.open_fds");
+    static const auto g_up = Metrics::instance().gauge("process.uptime_ms");
+    setGauge(g_rss, st.rssBytes);
+    setGauge(g_peak, st.peakRssBytes);
+    setGauge(g_user, st.cpuUserMs);
+    setGauge(g_sys, st.cpuSysMs);
+    setGauge(g_fds, st.openFds);
+    setGauge(g_up, st.uptimeMs);
+    return st;
+}
+
+} // namespace fracdram::telemetry

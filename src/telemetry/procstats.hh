@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Whole-process resource gauges for /metrics: one sampler pass
+ * refreshes the standard `process.*` family (resident set size, peak
+ * RSS, user/sys CPU time, open file descriptors, uptime) from one
+ * getrusage() call plus two /proc/self reads. The metrics-history
+ * thread calls this once per tick, so a scrape - or a postmortem
+ * bundle - always carries a recent view of what the daemon itself is
+ * costing the machine, not just what it is serving.
+ *
+ * Everything is best-effort: a missing /proc entry leaves that gauge
+ * at its previous value rather than failing the sample.
+ */
+
+#ifndef FRACDRAM_TELEMETRY_PROCSTATS_HH
+#define FRACDRAM_TELEMETRY_PROCSTATS_HH
+
+#include <cstdint>
+
+namespace fracdram::telemetry
+{
+
+/** One sampled view of the process (also published as gauges). */
+struct ProcessStats
+{
+    std::int64_t rssBytes = 0;     //!< current RSS (/proc/self/statm)
+    std::int64_t peakRssBytes = 0; //!< ru_maxrss (lifetime peak)
+    std::int64_t cpuUserMs = 0;    //!< ru_utime, cumulative
+    std::int64_t cpuSysMs = 0;     //!< ru_stime, cumulative
+    std::int64_t openFds = 0;      //!< entries in /proc/self/fd
+    std::int64_t uptimeMs = 0;     //!< since the first sampler call
+};
+
+/**
+ * Sample the process and publish the `process.*` gauges
+ * (process.rss_bytes, process.peak_rss_bytes, process.cpu_user_ms,
+ * process.cpu_sys_ms, process.open_fds, process.uptime_ms).
+ * @return the sampled values (useful for tests and reports)
+ */
+ProcessStats sampleProcessGauges();
+
+} // namespace fracdram::telemetry
+
+#endif // FRACDRAM_TELEMETRY_PROCSTATS_HH

@@ -1,0 +1,266 @@
+#include "telemetry/timeseries.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+#include "telemetry/procstats.hh"
+
+namespace fracdram::telemetry
+{
+
+namespace
+{
+
+std::int64_t
+wallMsNow()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+MetricsHistory::MetricsHistory(const HistoryConfig &cfg) : cfg_(cfg)
+{
+    ring_.resize(cfg_.capacityPoints ? cfg_.capacityPoints : 1);
+}
+
+void
+MetricsHistory::start()
+{
+    if (thread_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(loopMutex_);
+        stopping_ = false;
+    }
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+MetricsHistory::stop()
+{
+    if (!thread_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(loopMutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+}
+
+void
+MetricsHistory::loop()
+{
+    // Sample immediately so the window starts filling at t=0 (the
+    // first call is baseline-only, so the first *point* lands one
+    // resolution later).
+    sampleOnce();
+    std::unique_lock<std::mutex> lock(loopMutex_);
+    while (!stopping_) {
+        if (cv_.wait_for(lock,
+                         std::chrono::milliseconds(cfg_.resolutionMs),
+                         [this] { return stopping_; }))
+            break;
+        lock.unlock();
+        sampleOnce();
+        lock.lock();
+    }
+}
+
+void
+MetricsHistory::sampleOnce()
+{
+    if (cfg_.sampleProcess)
+        sampleProcessGauges();
+
+    auto snap = Metrics::instance().snapshot();
+    if (!primed_) {
+        prev_ = std::move(snap);
+        primed_ = true;
+        return;
+    }
+
+    HistoryPoint pt;
+    pt.monoNs = nowNs();
+    pt.wallMs = wallMsNow();
+    for (const auto &[name, v] : snap.counters) {
+        const auto it = prev_.counters.find(name);
+        const std::uint64_t before =
+            it != prev_.counters.end() ? it->second : 0;
+        pt.counterDeltas[name] = v >= before ? v - before : 0;
+    }
+    pt.gauges = snap.gauges;
+    for (const auto &[name, h] : snap.histograms) {
+        HistogramSnapshot win;
+        const auto it = prev_.histograms.find(name);
+        win = it != prev_.histograms.end() ? h.deltaSince(it->second)
+                                           : h;
+        HistoryHistStat st;
+        st.count = win.count;
+        st.sum = win.sum;
+        st.p50 = win.quantile(0.50);
+        st.p99 = win.quantile(0.99);
+        pt.histograms[name] = st;
+    }
+    prev_ = std::move(snap);
+
+    {
+        std::lock_guard<std::mutex> lock(ringMutex_);
+        ring_[head_] = std::move(pt);
+        head_ = (head_ + 1) % ring_.size();
+        if (count_ < ring_.size())
+            ++count_;
+    }
+    ++totalSamples_;
+
+    if (cfg_.onSample)
+        cfg_.onSample();
+}
+
+std::size_t
+MetricsHistory::size() const
+{
+    std::lock_guard<std::mutex> lock(ringMutex_);
+    return count_;
+}
+
+std::vector<HistoryPoint>
+MetricsHistory::lastN(std::size_t n) const
+{
+    std::lock_guard<std::mutex> lock(ringMutex_);
+    const std::size_t take = n < count_ ? n : count_;
+    std::vector<HistoryPoint> out;
+    out.reserve(take);
+    // head_ is the next write slot; the newest point is head_-1.
+    for (std::size_t i = 0; i < take; ++i) {
+        const std::size_t idx =
+            (head_ + ring_.size() - take + i) % ring_.size();
+        out.push_back(ring_[idx]);
+    }
+    return out;
+}
+
+void
+MetricsHistory::appendPoints(std::string &out, const std::string &name,
+                             const std::vector<HistoryPoint> &pts) const
+{
+    out += '[';
+    bool first = true;
+    for (const auto &pt : pts) {
+        if (const auto c = pt.counterDeltas.find(name);
+            c != pt.counterDeltas.end()) {
+            out += strprintf("%s{\"t_ms\":%lld,\"value\":%llu}",
+                             first ? "" : ",",
+                             static_cast<long long>(pt.wallMs),
+                             static_cast<unsigned long long>(c->second));
+            first = false;
+        } else if (const auto g = pt.gauges.find(name);
+                   g != pt.gauges.end()) {
+            out += strprintf("%s{\"t_ms\":%lld,\"value\":%lld}",
+                             first ? "" : ",",
+                             static_cast<long long>(pt.wallMs),
+                             static_cast<long long>(g->second));
+            first = false;
+        } else if (const auto h = pt.histograms.find(name);
+                   h != pt.histograms.end()) {
+            out += strprintf(
+                "%s{\"t_ms\":%lld,\"count\":%llu,\"sum\":%llu,"
+                "\"p50\":%llu,\"p99\":%llu}",
+                first ? "" : ",", static_cast<long long>(pt.wallMs),
+                static_cast<unsigned long long>(h->second.count),
+                static_cast<unsigned long long>(h->second.sum),
+                static_cast<unsigned long long>(h->second.p50),
+                static_cast<unsigned long long>(h->second.p99));
+            first = false;
+        }
+    }
+    out += ']';
+}
+
+std::string
+MetricsHistory::queryJson(const std::string &metric,
+                          std::size_t points) const
+{
+    const auto pts = lastN(points);
+    // Kind is decided by where the name appears in the newest point
+    // that has it; a name can only live in one of the three maps.
+    const char *kind = "none";
+    for (auto it = pts.rbegin(); it != pts.rend(); ++it) {
+        if (it->counterDeltas.count(metric)) {
+            kind = "counter";
+            break;
+        }
+        if (it->gauges.count(metric)) {
+            kind = "gauge";
+            break;
+        }
+        if (it->histograms.count(metric)) {
+            kind = "histogram";
+            break;
+        }
+    }
+    std::string out = strprintf(
+        "{\"metric\":\"%s\",\"kind\":\"%s\",\"resolution_ms\":%d,"
+        "\"points\":",
+        metric.c_str(), kind, cfg_.resolutionMs);
+    appendPoints(out, metric, pts);
+    out += "}\n";
+    return out;
+}
+
+std::string
+MetricsHistory::namesJson() const
+{
+    const auto pts = lastN(1);
+    std::string out = "{\"metrics\":[";
+    bool first = true;
+    auto emit = [&](const std::string &name) {
+        out += strprintf("%s\"%s\"", first ? "" : ",", name.c_str());
+        first = false;
+    };
+    if (!pts.empty()) {
+        for (const auto &[name, v] : pts.back().counterDeltas)
+            emit(name);
+        for (const auto &[name, v] : pts.back().gauges)
+            emit(name);
+        for (const auto &[name, v] : pts.back().histograms)
+            emit(name);
+    }
+    out += "]}\n";
+    return out;
+}
+
+std::string
+MetricsHistory::renderAllJson(const std::string &prefix,
+                              std::size_t points) const
+{
+    const auto pts = lastN(points);
+    std::string out = strprintf(
+        "{\"resolution_ms\":%d,\"points_resident\":%zu,\"series\":{",
+        cfg_.resolutionMs, pts.size());
+    bool first = true;
+    auto emitSeries = [&](const std::string &name) {
+        if (prefix.size() && name.rfind(prefix, 0) != 0)
+            return;
+        out += strprintf("%s\"%s\":", first ? "" : ",", name.c_str());
+        appendPoints(out, name, pts);
+        first = false;
+    };
+    if (!pts.empty()) {
+        // The newest point names every live series; older points may
+        // lack late-created metrics, which appendPoints just skips.
+        for (const auto &[name, v] : pts.back().counterDeltas)
+            emitSeries(name);
+        for (const auto &[name, v] : pts.back().gauges)
+            emitSeries(name);
+        for (const auto &[name, v] : pts.back().histograms)
+            emitSeries(name);
+    }
+    out += "}}";
+    return out;
+}
+
+} // namespace fracdram::telemetry

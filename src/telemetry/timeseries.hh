@@ -1,0 +1,155 @@
+/**
+ * @file
+ * In-process metrics history: a bounded ring of periodic
+ * MetricsSnapshot deltas, so recent trends (req/s, p99, queue depth)
+ * survive scraper gaps and can be replayed into a postmortem bundle.
+ *
+ * A sampler thread (same cv-wait shape as the SLO watchdog) wakes
+ * every `resolutionMs`, snapshots the registry, and records one
+ * HistoryPoint into a fixed-capacity overwrite ring:
+ *
+ *  - counters are stored as *deltas* against the previous snapshot
+ *    (saturating at 0), so a point answers "how many in this tick"
+ *    and req/s falls out as delta / resolution;
+ *  - gauges are stored as sampled values;
+ *  - histograms are reduced to windowed {count, sum, p50, p99} via
+ *    HistogramSnapshot::deltaSince - full bucket arrays per tick
+ *    would multiply memory by ~65x for no query we actually serve.
+ *
+ * The first sample only establishes the baseline (the registry may
+ * hold lifetime totals from before the history existed); it records
+ * no point. Capacity is fixed at construction: 300 points at 1s
+ * resolution is the default 5-minute window, and memory stays bounded
+ * no matter how long the daemon runs.
+ *
+ * Queries serialize straight to JSON (`queryJson`) for the /history
+ * endpoint; `renderAllJson` emits every series under a prefix in one
+ * object for the flight recorder. Like the watchdog, the sampler only
+ * reads the global registry, so tests drive sampleOnce() directly.
+ */
+
+#ifndef FRACDRAM_TELEMETRY_TIMESERIES_HH
+#define FRACDRAM_TELEMETRY_TIMESERIES_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.hh"
+
+namespace fracdram::telemetry
+{
+
+struct HistoryConfig
+{
+    int resolutionMs = 1000;      //!< tick period
+    std::size_t capacityPoints = 300; //!< ring size (default 5 min)
+    bool sampleProcess = true;    //!< refresh process.* gauges per tick
+    /** Called after each recorded point (flight recorder refreshes its
+     *  signal-safe buffer here). Runs on the sampler thread. */
+    std::function<void()> onSample;
+};
+
+/** Windowed reduction of one histogram over one tick. */
+struct HistoryHistStat
+{
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p99 = 0;
+};
+
+/** One tick of history: deltas/values for every metric that existed. */
+struct HistoryPoint
+{
+    std::uint64_t monoNs = 0; //!< telemetry::nowNs() at sample time
+    std::int64_t wallMs = 0;  //!< unix epoch milliseconds
+    std::map<std::string, std::uint64_t> counterDeltas;
+    std::map<std::string, std::int64_t> gauges;
+    std::map<std::string, HistoryHistStat> histograms;
+};
+
+class MetricsHistory
+{
+  public:
+    explicit MetricsHistory(const HistoryConfig &cfg);
+    ~MetricsHistory() { stop(); }
+    MetricsHistory(const MetricsHistory &) = delete;
+    MetricsHistory &operator=(const MetricsHistory &) = delete;
+
+    /** Start the sampler thread (no-op when already running). */
+    void start();
+
+    /** Stop and join the sampler thread; idempotent. */
+    void stop();
+
+    /**
+     * Take one sample right now: baseline on the first call, a
+     * recorded point afterwards. The thread calls this on its
+     * interval; tests call it directly for determinism.
+     */
+    void sampleOnce();
+
+    /** Points currently resident (<= capacity). */
+    std::size_t size() const;
+
+    /** Points recorded over the lifetime (wraparound diagnostics). */
+    std::uint64_t totalSamples() const { return totalSamples_; }
+
+    /** The most recent n points, oldest first. */
+    std::vector<HistoryPoint> lastN(std::size_t n) const;
+
+    /**
+     * One series as JSON:
+     *   {"metric":"...","kind":"counter|gauge|histogram",
+     *    "resolution_ms":N,"points":[{"t_ms":..,"value":..},..]}
+     * Histogram points carry {"t_ms","count","sum","p50","p99"}.
+     * An unknown metric yields "kind":"none" with an empty points
+     * array - the endpoint stays 200 so dashboards can probe freely.
+     */
+    std::string queryJson(const std::string &metric,
+                          std::size_t points) const;
+
+    /** {"metrics":[...names...]} across all three kinds. */
+    std::string namesJson() const;
+
+    /**
+     * Every series whose name starts with @p prefix, rendered as one
+     * JSON object {"resolution_ms":N,"series":{"name":[points],..}}.
+     * The flight recorder embeds this for the `service.` families.
+     */
+    std::string renderAllJson(const std::string &prefix,
+                              std::size_t points) const;
+
+    const HistoryConfig &config() const { return cfg_; }
+
+  private:
+    void loop();
+    void appendPoints(std::string &out, const std::string &name,
+                      const std::vector<HistoryPoint> &pts) const;
+
+    const HistoryConfig cfg_;
+    std::thread thread_;
+    std::mutex loopMutex_; //!< wakes the loop early on stop()
+    std::condition_variable cv_;
+    bool stopping_ = false;
+
+    mutable std::mutex ringMutex_; //!< guards ring_/head_/count_
+    std::vector<HistoryPoint> ring_;
+    std::size_t head_ = 0;  //!< next write slot
+    std::size_t count_ = 0; //!< resident points
+    std::atomic<std::uint64_t> totalSamples_{0};
+
+    // Sampling state, touched only from sampleOnce() callers.
+    MetricsSnapshot prev_;
+    bool primed_ = false;
+};
+
+} // namespace fracdram::telemetry
+
+#endif // FRACDRAM_TELEMETRY_TIMESERIES_HH

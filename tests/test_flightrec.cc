@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Flight recorder tests: a real loopback server with a postmortem
+ * directory, a traced request burst, then cooperative and
+ * fatal-signal-path dumps validated for shape - reason, build block,
+ * the full reactor phase legend, traces, metrics history, and
+ * balanced JSON. The fatal path is exercised in-process by calling
+ * writeFatalDump() directly (the real handler adds only SIG_DFL +
+ * re-raise on top of it).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+#include "service/client.hh"
+#include "service/flightrec.hh"
+#include "service/server.hh"
+#include "telemetry/metrics.hh"
+
+using namespace fracdram;
+using namespace fracdram::service;
+
+namespace
+{
+
+/** mkdtemp wrapper; leaks the dir on purpose (tests are transient). */
+std::string
+makeTempDir()
+{
+    char tmpl[] = "/tmp/fracdram_flightrec_XXXXXX";
+    const char *dir = ::mkdtemp(tmpl);
+    EXPECT_NE(dir, nullptr);
+    return dir ? dir : ".";
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/**
+ * Minimal structural JSON check: braces/brackets balance outside of
+ * strings, strings close, and the document ends at depth zero. Not a
+ * full parser - the smoke test runs one of those - but enough to
+ * catch an unterminated bundle or a broken escape.
+ */
+bool
+jsonBalanced(const std::string &s)
+{
+    int depth = 0;
+    bool in_string = false, escaped = false;
+    for (const char c : s) {
+        if (in_string) {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']') {
+            if (--depth < 0)
+                return false;
+        }
+    }
+    return depth == 0 && !in_string;
+}
+
+ServerConfig
+forensicConfig(const std::string &dir)
+{
+    ServerConfig cfg;
+    cfg.port = 0;
+    cfg.numShards = 2;
+    cfg.shard.colsPerRow = 256;
+    cfg.shard.queueCapacity = 64;
+    cfg.postmortemDir = dir;
+    cfg.historyResMs = 20; // fast ticks so history fills in-test
+    cfg.historyPoints = 64;
+    return cfg;
+}
+
+} // namespace
+
+TEST(FlightRecorder, CooperativeDumpBundleShape)
+{
+    telemetry::setEnabled(true);
+    const std::string dir = makeTempDir();
+    Server server(forensicConfig(dir));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    ASSERT_NE(server.flightRecorder(), nullptr);
+    ASSERT_NE(server.history(), nullptr);
+
+    // Traced traffic (request-id-tagged frames land in the ring),
+    // then a few history ticks to fill the window.
+    Client c;
+    ASSERT_TRUE(c.connect("127.0.0.1", server.port(), &err)) << err;
+    for (int i = 0; i < 8; ++i) {
+        Request req;
+        req.type = MsgType::GetEntropy;
+        req.flags = kFlagRequestId;
+        req.requestId = 0x1000 + i;
+        req.seq = static_cast<std::uint16_t>(i);
+        req.nBytes = 64;
+        ASSERT_TRUE(c.send(req, &err)) << err;
+        Response resp;
+        ASSERT_TRUE(c.recv(resp, &err, 10000)) << err;
+        ASSERT_EQ(resp.status, Status::Ok);
+    }
+    // The reactor pushes timelines after the responses hit the wire.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(10);
+    while (server.traceRing().size() == 0 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::yield();
+    ASSERT_GT(server.traceRing().size(), 0u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+    FlightRecorder *rec = server.flightRecorder();
+    const std::string path = rec->dump("unit_test", "shape check");
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(rec->lastDumpPath(), path);
+    EXPECT_EQ(rec->dumps(), 1u);
+
+    const std::string body = slurp(path);
+    ASSERT_FALSE(body.empty());
+    EXPECT_TRUE(jsonBalanced(body)) << path;
+    EXPECT_NE(body.find("\"reason\":\"unit_test\""),
+              std::string::npos);
+    EXPECT_NE(body.find("\"detail\":\"shape check\""),
+              std::string::npos);
+    EXPECT_NE(body.find("\"build\":{\"isa\":\""), std::string::npos);
+    // The complete phase legend makes the bundle self-describing.
+    EXPECT_NE(body.find("\"phase_names\":[\"idle\",\"accept\","
+                        "\"read\",\"shard-dispatch\",\"writev\","
+                        "\"control\",\"tick\"]"),
+              std::string::npos);
+    EXPECT_NE(body.find("\"reactors\":[{\"index\":0,\"phase\":\""),
+              std::string::npos);
+    EXPECT_NE(body.find("\"queue_depths\":["), std::string::npos);
+    // postmortemDir arms the watchdog even without an SLO.
+    EXPECT_NE(body.find("\"watchdog\":{\"healthy\":true"),
+              std::string::npos);
+    // The traced burst must be in the bundle...
+    EXPECT_NE(body.find("\"traces\":["), std::string::npos) << path;
+    EXPECT_NE(body.find("\"queue_wait_ns\""), std::string::npos)
+        << "expected at least one request timeline";
+    // ...and so must the metrics-history window with reactor series.
+    EXPECT_NE(body.find("\"history\":{\"resolution_ms\":20"),
+              std::string::npos);
+    EXPECT_NE(body.find("\"service.reactor0.heartbeat\""),
+              std::string::npos);
+    EXPECT_NE(body.find("\"metrics\":{"), std::string::npos);
+
+    server.stop();
+}
+
+TEST(FlightRecorder, FatalBufferWritePath)
+{
+    telemetry::setEnabled(true);
+    const std::string dir = makeTempDir();
+    Server server(forensicConfig(dir));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    FlightRecorder *rec = server.flightRecorder();
+    ASSERT_NE(rec, nullptr);
+
+    // Before any refresh the handler has nothing to write: the dump
+    // call is a no-op, not a crash or a partial file.
+    ::remove((dir + "/postmortem-fatal.json").c_str());
+    rec->writeFatalDump(6);
+    EXPECT_TRUE(slurp(dir + "/postmortem-fatal.json").empty());
+
+    // One refresh publishes a complete pre-serialized bundle; the
+    // signal-handler path then only appends the signal number.
+    rec->refreshFatalBuffer();
+    rec->writeFatalDump(11);
+    const std::string body = slurp(dir + "/postmortem-fatal.json");
+    ASSERT_FALSE(body.empty());
+    EXPECT_TRUE(jsonBalanced(body));
+    EXPECT_NE(body.find("\"reason\":\"fatal_signal\""),
+              std::string::npos);
+    EXPECT_NE(body.find("\"signal\":11}"), std::string::npos);
+
+    // A second refresh+write must overwrite, not append.
+    rec->refreshFatalBuffer();
+    rec->writeFatalDump(7);
+    const std::string again = slurp(dir + "/postmortem-fatal.json");
+    EXPECT_TRUE(jsonBalanced(again));
+    EXPECT_NE(again.find("\"signal\":7}"), std::string::npos);
+    EXPECT_EQ(again.find("\"signal\":11}"), std::string::npos);
+
+    server.stop();
+}
+
+TEST(FlightRecorder, OffByDefault)
+{
+    telemetry::setEnabled(true);
+    ServerConfig cfg;
+    cfg.port = 0;
+    cfg.numShards = 1;
+    cfg.shard.colsPerRow = 256;
+    Server server(cfg);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    // No postmortem dir and no metrics port: no recorder, and the
+    // history ring does not run with nothing to consume it.
+    EXPECT_EQ(server.flightRecorder(), nullptr);
+    EXPECT_EQ(server.history(), nullptr);
+    server.stop();
+}

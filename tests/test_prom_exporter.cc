@@ -173,3 +173,43 @@ TEST(PromExporter, CustomPrefixAndEmptySnapshot)
               "# TYPE acme_x_total counter\n"
               "acme_x_total 1\n");
 }
+
+TEST(PromExporter, ProcessGaugeGolden)
+{
+    // The process.* family sampled by telemetry/procstats.cc must
+    // render as plain (unlabelled) gauges under the standard names.
+    MetricsSnapshot snap;
+    snap.gauges["process.cpu_sys_ms"] = 250;
+    snap.gauges["process.cpu_user_ms"] = 1250;
+    snap.gauges["process.open_fds"] = 17;
+    snap.gauges["process.peak_rss_bytes"] = 134217728;
+    snap.gauges["process.rss_bytes"] = 104857600;
+    snap.gauges["process.uptime_ms"] = 60000;
+
+    const std::string expected =
+        "# HELP fracdram_process_cpu_sys_ms FracDRAM metric "
+        "'process.cpu_sys_ms'\n"
+        "# TYPE fracdram_process_cpu_sys_ms gauge\n"
+        "fracdram_process_cpu_sys_ms 250\n"
+        "# HELP fracdram_process_cpu_user_ms FracDRAM metric "
+        "'process.cpu_user_ms'\n"
+        "# TYPE fracdram_process_cpu_user_ms gauge\n"
+        "fracdram_process_cpu_user_ms 1250\n"
+        "# HELP fracdram_process_open_fds FracDRAM metric "
+        "'process.open_fds'\n"
+        "# TYPE fracdram_process_open_fds gauge\n"
+        "fracdram_process_open_fds 17\n"
+        "# HELP fracdram_process_peak_rss_bytes FracDRAM metric "
+        "'process.peak_rss_bytes'\n"
+        "# TYPE fracdram_process_peak_rss_bytes gauge\n"
+        "fracdram_process_peak_rss_bytes 134217728\n"
+        "# HELP fracdram_process_rss_bytes FracDRAM metric "
+        "'process.rss_bytes'\n"
+        "# TYPE fracdram_process_rss_bytes gauge\n"
+        "fracdram_process_rss_bytes 104857600\n"
+        "# HELP fracdram_process_uptime_ms FracDRAM metric "
+        "'process.uptime_ms'\n"
+        "# TYPE fracdram_process_uptime_ms gauge\n"
+        "fracdram_process_uptime_ms 60000\n";
+    EXPECT_EQ(renderProm(snap), expected);
+}

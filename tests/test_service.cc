@@ -844,3 +844,33 @@ TEST(Service, MultiReactorRoundTrips)
         th.join();
     EXPECT_EQ(failures.load(), 0);
 }
+
+TEST(Service, SuppressedWarnsAreCounted)
+{
+    telemetry::setEnabled(true);
+    TestServer ts(testConfig());
+    const auto counterOf = [](const std::string &name) {
+        const auto snap = telemetry::Metrics::instance().snapshot();
+        const auto it = snap.counters.find(name);
+        return it != snap.counters.end() ? it->second
+                                         : std::uint64_t(0);
+    };
+    const std::uint64_t before = counterOf("log.suppressed");
+
+    // A burst of undecodable frames inside one 5s warn window: at
+    // most the first one logs, every swallowed WARN must show up in
+    // the counter instead of vanishing silently.
+    for (int i = 0; i < 3; ++i) {
+        Client c = ts.connect();
+        const std::vector<std::uint8_t> garbage(8, 0xFF);
+        const auto framed = frame(garbage);
+        std::string err;
+        ASSERT_TRUE(writeAll(c.fd(), framed.data(), framed.size(),
+                             &err))
+            << err;
+        Response resp;
+        c.recv(resp, &err, 5000); // Error answer, then the close
+    }
+    EXPECT_GE(counterOf("log.suppressed"), before + 2)
+        << "3 bad frames, >=1 warn -> >=2 suppressions counted";
+}

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Metrics-history tests: ring wraparound, counter-delta correctness
+ * against live registry snapshots, histogram window reduction, the
+ * /history JSON shapes, and the process.* gauge sampler. The ring
+ * reads the global registry, so each test records into uniquely named
+ * metrics and drives sampleOnce() synchronously - no sampler thread.
+ */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/procstats.hh"
+#include "telemetry/timeseries.hh"
+
+using namespace fracdram;
+using telemetry::HistoryConfig;
+using telemetry::Metrics;
+using telemetry::MetricsHistory;
+
+namespace
+{
+
+HistoryConfig
+testConfig(std::size_t capacity)
+{
+    HistoryConfig cfg;
+    cfg.resolutionMs = 10;
+    cfg.capacityPoints = capacity;
+    cfg.sampleProcess = false; // keep test points deterministic
+    return cfg;
+}
+
+} // namespace
+
+TEST(MetricsHistory, FirstSampleIsBaselineOnly)
+{
+    telemetry::setEnabled(true);
+    const auto id = Metrics::instance().counter("test.ts.baseline");
+    Metrics::instance().add(id, 1000); // pre-history lifetime total
+
+    MetricsHistory hist(testConfig(8));
+    hist.sampleOnce();
+    EXPECT_EQ(hist.size(), 0u) << "baseline must record no point";
+    EXPECT_EQ(hist.totalSamples(), 0u);
+
+    Metrics::instance().add(id, 7);
+    hist.sampleOnce();
+    ASSERT_EQ(hist.size(), 1u);
+    const auto pts = hist.lastN(1);
+    ASSERT_EQ(pts.size(), 1u);
+    // The pre-existing 1000 was absorbed by the baseline; the point
+    // holds only what happened inside the tick.
+    EXPECT_EQ(pts[0].counterDeltas.at("test.ts.baseline"), 7u);
+}
+
+TEST(MetricsHistory, CounterDeltasPerTick)
+{
+    telemetry::setEnabled(true);
+    const auto id = Metrics::instance().counter("test.ts.delta");
+    MetricsHistory hist(testConfig(8));
+    hist.sampleOnce();
+
+    const std::uint64_t adds[] = {5, 0, 12};
+    for (const std::uint64_t n : adds) {
+        if (n)
+            Metrics::instance().add(id, n);
+        hist.sampleOnce();
+    }
+    const auto pts = hist.lastN(3);
+    ASSERT_EQ(pts.size(), 3u);
+    EXPECT_EQ(pts[0].counterDeltas.at("test.ts.delta"), 5u);
+    EXPECT_EQ(pts[1].counterDeltas.at("test.ts.delta"), 0u);
+    EXPECT_EQ(pts[2].counterDeltas.at("test.ts.delta"), 12u);
+}
+
+TEST(MetricsHistory, RingWrapsKeepingNewest)
+{
+    telemetry::setEnabled(true);
+    const auto id = Metrics::instance().counter("test.ts.wrap");
+    MetricsHistory hist(testConfig(4));
+    hist.sampleOnce();
+
+    // 10 points through a 4-slot ring: deltas 1..10.
+    for (std::uint64_t i = 1; i <= 10; ++i) {
+        Metrics::instance().add(id, i);
+        hist.sampleOnce();
+    }
+    EXPECT_EQ(hist.size(), 4u);
+    EXPECT_EQ(hist.totalSamples(), 10u);
+
+    const auto pts = hist.lastN(100); // over-ask clamps to resident
+    ASSERT_EQ(pts.size(), 4u);
+    // Oldest-first: the survivors are the last four ticks.
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(pts[i].counterDeltas.at("test.ts.wrap"), 7u + i);
+
+    const auto two = hist.lastN(2);
+    ASSERT_EQ(two.size(), 2u);
+    EXPECT_EQ(two[0].counterDeltas.at("test.ts.wrap"), 9u);
+    EXPECT_EQ(two[1].counterDeltas.at("test.ts.wrap"), 10u);
+}
+
+TEST(MetricsHistory, GaugeAndHistogramWindowing)
+{
+    telemetry::setEnabled(true);
+    const auto g = Metrics::instance().gauge("test.ts.gauge");
+    const auto h = Metrics::instance().histogram("test.ts.hist");
+
+    MetricsHistory hist(testConfig(8));
+    Metrics::instance().observe(h, 100); // absorbed by baseline
+    hist.sampleOnce();
+
+    Metrics::instance().set(g, -42);
+    for (int i = 0; i < 10; ++i)
+        Metrics::instance().observe(h, 1000);
+    hist.sampleOnce();
+
+    Metrics::instance().set(g, 5);
+    hist.sampleOnce(); // no histogram traffic this tick
+
+    const auto pts = hist.lastN(2);
+    ASSERT_EQ(pts.size(), 2u);
+    EXPECT_EQ(pts[0].gauges.at("test.ts.gauge"), -42);
+    const auto &st = pts[0].histograms.at("test.ts.hist");
+    EXPECT_EQ(st.count, 10u) << "baseline sample must not leak in";
+    EXPECT_EQ(st.sum, 10'000u);
+    EXPECT_GE(st.p50, 512u); // bucket upper bound of 1000
+    EXPECT_LE(st.p99, 1023u + 1);
+
+    EXPECT_EQ(pts[1].gauges.at("test.ts.gauge"), 5);
+    EXPECT_EQ(pts[1].histograms.at("test.ts.hist").count, 0u)
+        << "an idle tick is an explicit zero point, not a gap";
+}
+
+TEST(MetricsHistory, QueryJsonShapes)
+{
+    telemetry::setEnabled(true);
+    const auto id = Metrics::instance().counter("test.ts.query");
+    MetricsHistory hist(testConfig(8));
+    hist.sampleOnce();
+    Metrics::instance().add(id, 3);
+    hist.sampleOnce();
+
+    const std::string json = hist.queryJson("test.ts.query", 10);
+    EXPECT_NE(json.find("\"metric\":\"test.ts.query\""),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos);
+    EXPECT_NE(json.find("\"resolution_ms\":10"), std::string::npos);
+    EXPECT_NE(json.find("\"value\":3"), std::string::npos);
+
+    // Unknown metric: still 200-shaped, kind "none", no points.
+    const std::string none = hist.queryJson("no.such.metric", 10);
+    EXPECT_NE(none.find("\"kind\":\"none\""), std::string::npos);
+    EXPECT_NE(none.find("\"points\":[]"), std::string::npos);
+
+    EXPECT_NE(hist.namesJson().find("\"test.ts.query\""),
+              std::string::npos);
+}
+
+TEST(MetricsHistory, EmptyWindowQuery)
+{
+    telemetry::setEnabled(true);
+    MetricsHistory hist(testConfig(8));
+    // No samples at all: every query is well-formed and empty.
+    const std::string json = hist.queryJson("anything", 5);
+    EXPECT_NE(json.find("\"kind\":\"none\""), std::string::npos);
+    EXPECT_NE(json.find("\"points\":[]"), std::string::npos);
+    EXPECT_EQ(hist.namesJson(), "{\"metrics\":[]}\n");
+    EXPECT_NE(hist.renderAllJson("", 5).find("\"series\":{}"),
+              std::string::npos);
+}
+
+TEST(MetricsHistory, RenderAllFiltersByPrefix)
+{
+    telemetry::setEnabled(true);
+    const auto a = Metrics::instance().counter("test.tsall.keep");
+    const auto b = Metrics::instance().counter("other.tsall.drop");
+    MetricsHistory hist(testConfig(8));
+    hist.sampleOnce();
+    Metrics::instance().add(a, 1);
+    Metrics::instance().add(b, 1);
+    hist.sampleOnce();
+
+    const std::string all = hist.renderAllJson("test.tsall.", 10);
+    EXPECT_NE(all.find("\"test.tsall.keep\""), std::string::npos)
+        << all;
+    EXPECT_EQ(all.find("other.tsall.drop"), std::string::npos) << all;
+}
+
+TEST(MetricsHistory, StartStopIsIdempotent)
+{
+    telemetry::setEnabled(true);
+    auto cfg = testConfig(16);
+    cfg.resolutionMs = 5;
+    MetricsHistory hist(cfg);
+    hist.start();
+    hist.start(); // no second thread
+    hist.stop();
+    hist.stop();
+    hist.start();
+    // Destructor stops the restarted thread.
+}
+
+TEST(ProcStats, GaugesArePlausible)
+{
+    telemetry::setEnabled(true);
+    const auto st = telemetry::sampleProcessGauges();
+    EXPECT_GT(st.rssBytes, 0);
+    // ru_maxrss and /proc/self/statm use different accounting, so
+    // only sanity-check the peak, don't order it against current.
+    EXPECT_GT(st.peakRssBytes, 0);
+    EXPECT_GE(st.openFds, 3); // stdin/stdout/stderr at minimum
+    EXPECT_GE(st.uptimeMs, 0);
+
+    const auto snap = Metrics::instance().snapshot();
+    EXPECT_EQ(snap.gauges.at("process.rss_bytes"), st.rssBytes);
+    EXPECT_EQ(snap.gauges.at("process.open_fds"), st.openFds);
+    EXPECT_TRUE(snap.gauges.count("process.cpu_user_ms"));
+    EXPECT_TRUE(snap.gauges.count("process.cpu_sys_ms"));
+    EXPECT_TRUE(snap.gauges.count("process.uptime_ms"));
+    EXPECT_TRUE(snap.gauges.count("process.peak_rss_bytes"));
+}

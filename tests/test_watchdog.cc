@@ -9,6 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "service/watchdog.hh"
 
 using namespace fracdram;
@@ -156,4 +160,113 @@ TEST(Watchdog, StartStopIsIdempotent)
     wd.stop();
     wd.start();
     // Destructor stops the restarted thread.
+}
+
+// ---------------------------------------------------------------------
+// Reactor-stall detection: the watchdog scans service.reactorN.*
+// gauges, so these tests publish heartbeat/phase by hand and drive
+// sampleOnce() - a real frozen loop is exercised by smoke_forensics.
+// The gauges are process-global and outlive each Watchdog, so every
+// assertion about "which reactor stalled" filters the incident text
+// by index instead of assuming a pristine registry.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct IncidentLog
+{
+    std::vector<std::pair<std::string, std::string>> events;
+
+    WatchdogConfig
+    stallConfig(int stall_intervals)
+    {
+        WatchdogConfig cfg;
+        cfg.sloP99Us = 0; // stall detection must not need an SLO
+        cfg.stallIntervals = stall_intervals;
+        cfg.latencyHistogram = "test.watchdog.stall.unused";
+        cfg.onIncident = [this](const std::string &reason,
+                                const std::string &detail) {
+            events.emplace_back(reason, detail);
+        };
+        return cfg;
+    }
+};
+
+} // namespace
+
+TEST(Watchdog, StallFiresOnEdgeAndRecovers)
+{
+    telemetry::setEnabled(true);
+    auto &m = Metrics::instance();
+    const auto hb = m.gauge("service.reactor0.heartbeat");
+    const auto ph = m.gauge("service.reactor0.phase");
+    m.set(hb, 10);
+    m.set(ph, 1); // ReactorPhase::Accept
+
+    IncidentLog log;
+    Watchdog wd(log.stallConfig(3));
+    wd.sampleOnce(); // baseline observation of reactor 0
+    EXPECT_EQ(wd.stallEvents(), 0u);
+
+    wd.sampleOnce(); // frozen x1
+    wd.sampleOnce(); // frozen x2
+    EXPECT_EQ(wd.stallEvents(), 0u)
+        << "must not fire before stallIntervals frozen samples";
+    wd.sampleOnce(); // frozen x3: the edge
+    EXPECT_EQ(wd.stallEvents(), 1u);
+    EXPECT_EQ(wd.stalledReactors(), 1u);
+    ASSERT_EQ(log.events.size(), 1u);
+    EXPECT_EQ(log.events[0].first, "reactor_stall");
+    EXPECT_NE(log.events[0].second.find("reactor 0 stalled"),
+              std::string::npos)
+        << log.events[0].second;
+    EXPECT_NE(log.events[0].second.find("phase 'accept'"),
+              std::string::npos)
+        << log.events[0].second;
+    EXPECT_TRUE(wd.healthy()) << "a stall never flips /healthz";
+
+    wd.sampleOnce(); // still frozen: edge-only, no second incident
+    EXPECT_EQ(wd.stallEvents(), 1u);
+    EXPECT_EQ(log.events.size(), 1u);
+
+    m.set(hb, 11); // the loop moves again
+    wd.sampleOnce();
+    EXPECT_EQ(wd.stalledReactors(), 0u);
+    EXPECT_EQ(wd.stallEvents(), 1u) << "recovery is not an incident";
+}
+
+TEST(Watchdog, AdvancingHeartbeatNeverStalls)
+{
+    telemetry::setEnabled(true);
+    auto &m = Metrics::instance();
+    const auto hb0 = m.gauge("service.reactor0.heartbeat");
+    const auto hb1 = m.gauge("service.reactor1.heartbeat");
+
+    IncidentLog log;
+    Watchdog wd(log.stallConfig(2));
+    for (std::int64_t i = 0; i < 6; ++i) {
+        m.set(hb0, 100 + i);
+        m.set(hb1, 200 + i * 7);
+        wd.sampleOnce();
+    }
+    EXPECT_EQ(wd.stallEvents(), 0u);
+    EXPECT_EQ(wd.stalledReactors(), 0u);
+    EXPECT_TRUE(log.events.empty());
+}
+
+TEST(Watchdog, ZeroStallIntervalsDisablesDetector)
+{
+    telemetry::setEnabled(true);
+    auto &m = Metrics::instance();
+    const auto hb = m.gauge("service.reactor2.heartbeat");
+    m.set(hb, 5); // then frozen forever
+
+    IncidentLog log;
+    Watchdog wd(log.stallConfig(0));
+    for (int i = 0; i < 6; ++i)
+        wd.sampleOnce();
+    EXPECT_EQ(wd.stallEvents(), 0u);
+    EXPECT_EQ(wd.stalledReactors(), 0u);
+    EXPECT_TRUE(log.events.empty());
 }

@@ -11,7 +11,10 @@
  * seconds. Prints throughput and client-observed p50/p95/p99 latency
  * plus a merged power-of-two latency histogram (and writes them as
  * one JSON object with --json-out, which scripts/run_benches.sh
- * embeds into the bench record).
+ * embeds into the bench record). The JSON also carries a per-second
+ * "timeline" array (req/s + bucket-bound p99 per elapsed second) so
+ * ramp-up, steady state and any mid-run stall are visible after the
+ * fact, not just the end-of-run aggregates.
  *
  * Options:
  *   --host H          server address (default 127.0.0.1)
@@ -126,6 +129,33 @@ struct LatencyHist
         return "{\"le_us\": " + bounds + "], \"counts\": " + vals +
                "]}";
     }
+
+    /** Bucket-bound quantile (microseconds, upper bound of rank). */
+    double quantileUs(double q) const
+    {
+        std::uint64_t total = 0;
+        for (const std::uint64_t c : counts)
+            total += c;
+        if (total == 0)
+            return 0.0;
+        const auto target = static_cast<std::uint64_t>(
+            q * static_cast<double>(total - 1));
+        std::uint64_t cum = 0;
+        for (int i = 0; i < kHistBuckets; ++i) {
+            cum += counts[i];
+            if (cum > target)
+                return static_cast<double>(
+                    1u << std::min(i, kHistBuckets - 2));
+        }
+        return static_cast<double>(1u << (kHistBuckets - 2));
+    }
+};
+
+/** One second of the run as the client saw it (timeline output). */
+struct SecondBucket
+{
+    std::uint64_t ok = 0;
+    LatencyHist hist;
 };
 
 /** What one generator thread measured across its connections. */
@@ -133,6 +163,7 @@ struct WorkerResult
 {
     std::vector<double> latenciesUs;
     LatencyHist hist;
+    std::vector<SecondBucket> timeline; //!< indexed by run second
     std::uint64_t ok = 0;
     std::uint64_t busy = 0;
     std::uint64_t rateLimited = 0;
@@ -167,8 +198,8 @@ noteError(WorkerResult &result, const std::string &err)
  */
 void
 runWorker(const Options &opt, int worker, int n_conns,
-          Clock::time_point warmup_end, Clock::time_point deadline,
-          WorkerResult &result)
+          Clock::time_point run_start, Clock::time_point warmup_end,
+          Clock::time_point deadline, WorkerResult &result)
 {
     // Prebuilt request frame; seq lives at offset 6, the request id
     // (traced runs only) at offset 8 (4-byte length prefix + type,
@@ -292,18 +323,28 @@ runWorker(const Options &opt, int worker, int n_conns,
                 c.inFlight.pop_front();
                 ++completed;
                 switch (resp.status) {
-                case service::Status::Ok:
+                case service::Status::Ok: {
                     ++result.ok;
+                    const double us =
+                        std::chrono::duration<double, std::micro>(
+                            now - sent)
+                            .count();
+                    // Timeline buckets cover the whole run (warmup
+                    // included): they narrate the run, the aggregate
+                    // stats below judge it.
+                    const auto sec = static_cast<std::size_t>(
+                        std::chrono::duration<double>(now - run_start)
+                            .count());
+                    if (sec >= result.timeline.size())
+                        result.timeline.resize(sec + 1);
+                    ++result.timeline[sec].ok;
+                    result.timeline[sec].hist.add(us);
                     if (sent >= warmup_end) {
-                        const double us =
-                            std::chrono::duration<double,
-                                                  std::micro>(now -
-                                                              sent)
-                                .count();
                         result.latenciesUs.push_back(us);
                         result.hist.add(us);
                     }
                     break;
+                }
                 case service::Status::Busy:
                     ++result.busy;
                     break;
@@ -646,7 +687,7 @@ main(int argc, char **argv)
         const int n_conns = opt.conns / n_threads +
                             (w < opt.conns % n_threads ? 1 : 0);
         threads.emplace_back(runWorker, std::cref(opt), w, n_conns,
-                             warmup_end, deadline,
+                             start, warmup_end, deadline,
                              std::ref(results[static_cast<
                                  std::size_t>(w)]));
     }
@@ -667,6 +708,12 @@ main(int argc, char **argv)
         total.latenciesUs.insert(total.latenciesUs.end(),
                                  r.latenciesUs.begin(),
                                  r.latenciesUs.end());
+        if (r.timeline.size() > total.timeline.size())
+            total.timeline.resize(r.timeline.size());
+        for (std::size_t s = 0; s < r.timeline.size(); ++s) {
+            total.timeline[s].ok += r.timeline[s].ok;
+            total.timeline[s].hist.merge(r.timeline[s].hist);
+        }
     }
     std::sort(total.latenciesUs.begin(), total.latenciesUs.end());
     const double rps =
@@ -695,6 +742,19 @@ main(int argc, char **argv)
                         total.firstError.c_str());
     }
 
+    // Per-second narrative of the run: client-observed req/s and
+    // bucket-bound p99 per elapsed second.
+    std::string timeline_json = "[";
+    for (std::size_t s = 0; s < total.timeline.size(); ++s) {
+        const SecondBucket &b = total.timeline[s];
+        timeline_json += strprintf(
+            "%s{\"t_s\": %zu, \"rps\": %llu, \"p99_us\": %.1f}",
+            s ? ", " : "", s,
+            static_cast<unsigned long long>(b.ok),
+            b.hist.quantileUs(0.99));
+    }
+    timeline_json += "]";
+
     const std::string server = fetchServerSummary(opt);
     const std::string json = strprintf(
         "{\"conns\": %d, \"threads\": %d, \"window\": %d, "
@@ -704,6 +764,7 @@ main(int argc, char **argv)
         "\"errors\": %llu, \"requests_per_sec\": %.1f, "
         "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
         "\"latency_hist_us\": %s, "
+        "\"timeline\": %s, "
         "\"server\": %s}",
         opt.conns, n_threads, opt.window, opt.bytes,
         opt.raw ? "true" : "false", opt.trace ? "true" : "false",
@@ -711,7 +772,7 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(total.busy),
         static_cast<unsigned long long>(total.rateLimited),
         static_cast<unsigned long long>(total.errors), rps, p50, p95,
-        p99, total.hist.json().c_str(),
+        p99, total.hist.json().c_str(), timeline_json.c_str(),
         server.empty() ? "null" : server.c_str());
     if (!opt.jsonOut.empty()) {
         std::FILE *f = std::fopen(opt.jsonOut.c_str(), "w");

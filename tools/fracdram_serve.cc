@@ -39,6 +39,18 @@
  *                          N microseconds flips /healthz to 503
  *   --watchdog-interval-ms N  watchdog window (default 1000)
  *   --trace-ring N         request timelines kept (default 1024)
+ *
+ * Forensics (see DESIGN.md §5i):
+ *   --history-res-ms N     metrics-history tick (default 1000;
+ *                          0 disables the ring and /history)
+ *   --history-points N     history ring capacity (default 300)
+ *   --postmortem-dir DIR   write postmortem-<ts>.json bundles on SLO
+ *                          breach, reactor stall, SIGQUIT, or fatal
+ *                          signal (off when omitted)
+ *   --stall-intervals N    watchdog samples with a frozen reactor
+ *                          heartbeat before "stalled" (default 3)
+ *
+ * SIGQUIT dumps a postmortem bundle on demand and keeps serving.
  */
 
 #include <csignal>
@@ -58,11 +70,18 @@ namespace
 {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_quit_dump = 0;
 
 void
 onSignal(int)
 {
     g_stop = 1;
+}
+
+void
+onQuit(int)
+{
+    g_quit_dump = 1;
 }
 
 sim::DramGroup
@@ -141,6 +160,15 @@ main(int argc, char **argv)
         else if (arg == "--trace-ring")
             cfg.traceRingCapacity =
                 std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--history-res-ms")
+            cfg.historyResMs = std::atoi(next().c_str());
+        else if (arg == "--history-points")
+            cfg.historyPoints =
+                std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--postmortem-dir")
+            cfg.postmortemDir = next();
+        else if (arg == "--stall-intervals")
+            cfg.stallIntervals = std::atoi(next().c_str());
         else if (arg == "--quiet")
             quiet = true;
         else
@@ -158,6 +186,11 @@ main(int argc, char **argv)
     sa.sa_handler = onSignal;
     sigaction(SIGTERM, &sa, nullptr);
     sigaction(SIGINT, &sa, nullptr);
+    if (!cfg.postmortemDir.empty()) {
+        struct sigaction sq{};
+        sq.sa_handler = onQuit;
+        sigaction(SIGQUIT, &sq, nullptr);
+    }
 
     service::Server server(cfg);
     std::string err;
@@ -185,6 +218,14 @@ main(int argc, char **argv)
     write_port_file(metrics_port_file, server.metricsPort());
 
     while (g_stop == 0) {
+        if (g_quit_dump != 0) {
+            // Operator-requested black box (kill -QUIT): dump and
+            // keep serving - SIGQUIT is the "what is going on in
+            // there" signal, not a shutdown.
+            g_quit_dump = 0;
+            if (auto *rec = server.flightRecorder())
+                rec->dump("sigquit", "operator-requested dump");
+        }
         timespec ts{0, 200 * 1000 * 1000};
         nanosleep(&ts, nullptr);
     }

@@ -11,6 +11,11 @@
  * an SLO breach shows up as the UNHEALTHY banner the moment the
  * watchdog flips.
  *
+ * When the daemon runs with a metrics history (--history-res-ms > 0,
+ * the default), each frame also renders server-side sparklines of
+ * req/s and p99 from /history - trends survive even when top itself
+ * just started, because the window lives in the daemon.
+ *
  * No curses dependency: each frame is plain text preceded by an ANSI
  * home+clear, which every terminal understands and which pipes
  * cleanly into a file with --no-clear.
@@ -135,6 +140,81 @@ struct Options
     bool noClear = false;
 };
 
+/**
+ * Pull every occurrence of `"<field>":<number>` out of a /history
+ * response, in order. A real JSON parser would be overkill for the
+ * fixed shapes timeseries.cc emits.
+ */
+std::vector<double>
+scanJsonField(const std::string &body, const std::string &field)
+{
+    std::vector<double> out;
+    const std::string needle = "\"" + field + "\":";
+    std::size_t pos = 0;
+    while ((pos = body.find(needle, pos)) != std::string::npos) {
+        pos += needle.size();
+        out.push_back(std::atof(body.c_str() + pos));
+    }
+    return out;
+}
+
+/** Render @p vals as one sparkline row scaled to its own max. */
+std::string
+sparkline(const std::vector<double> &vals)
+{
+    static const char kRamp[] = " .:-=+*#%@";
+    constexpr int kLevels = static_cast<int>(sizeof(kRamp)) - 2;
+    double max = 0.0;
+    for (const double v : vals)
+        max = std::max(max, v);
+    std::string out;
+    out.reserve(vals.size());
+    for (const double v : vals) {
+        const int lvl =
+            max > 0.0 ? static_cast<int>(std::lround(
+                            v / max * kLevels))
+                      : 0;
+        out.push_back(kRamp[std::clamp(lvl, 0, kLevels)]);
+    }
+    return out;
+}
+
+/**
+ * Fetch one series from /history and render it as a labeled
+ * sparkline line; returns "" when the daemon has no history (old
+ * daemon, --history-res-ms 0) so the frame just omits the section.
+ */
+std::string
+historySparkline(const Options &opt, const std::string &metric,
+                 const std::string &field, const std::string &label,
+                 double scale, bool per_second)
+{
+    service::HttpResult res;
+    const std::string target =
+        "/history?metric=" + metric + "&points=60";
+    if (!service::httpGet(opt.host, opt.port, target, res, nullptr) ||
+        res.status != 200)
+        return "";
+    std::vector<double> vals = scanJsonField(res.body, field);
+    if (vals.empty())
+        return "";
+    if (per_second) {
+        // Counter points are per-tick deltas; the response carries
+        // the tick so the rate conversion is exact.
+        const auto res_ms = scanJsonField(res.body, "resolution_ms");
+        if (!res_ms.empty() && res_ms[0] > 0.0)
+            scale *= 1000.0 / res_ms[0];
+    }
+    for (double &v : vals)
+        v *= scale;
+    double last = vals.back(), max = 0.0;
+    for (const double v : vals)
+        max = std::max(max, v);
+    return strprintf("%-10s |%s|  now %8.0f  max %8.0f\n",
+                     label.c_str(), sparkline(vals).c_str(), last,
+                     max);
+}
+
 void
 renderFrame(const Options &opt, const Scrape &cur,
             const Scrape &prev, double dt_s, int healthz_status)
@@ -174,6 +254,16 @@ renderFrame(const Options &opt, const Scrape &cur,
                 windowQuantile(cur, prev, "fracdram_service_request_ns",
                                0.99) /
                     1000.0);
+
+    // Server-side history (absent on daemons without /history).
+    const std::string spark_jobs = historySparkline(
+        opt, "service.jobs", "value", "req/s", 1.0, true);
+    const std::string spark_p99 = historySparkline(
+        opt, "service.request_ns", "p99", "p99 us", 1e-3, false);
+    if (!spark_jobs.empty() || !spark_p99.empty()) {
+        std::printf("history (server-side, newest right)\n%s%s\n",
+                    spark_jobs.c_str(), spark_p99.c_str());
+    }
 
     std::printf("%-6s %12s %8s %10s\n", "shard", "req/s", "queue",
                 "avg batch");
