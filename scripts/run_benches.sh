@@ -28,6 +28,17 @@
 #                     "bench_forensics_ab" entry records per-arm
 #                     req/s, medians, and the median overhead delta
 #                     in percent - the instrumentation budget.
+#   --router-ab <N>   run N interleaved direct-vs-router pairs of the
+#                     serving A/B per payload point (default 5; 0
+#                     disables). The routed arm puts a one-backend
+#                     fracdram_router between loadgen and the daemon;
+#                     the direct arm talks to the daemon itself. Both
+#                     arms use window 16 and are measured at two
+#                     payload points: 1 KiB entropy reads (the
+#                     headline "median_overhead_pct" - the serving
+#                     workload) and 32 B frames (recorded as
+#                     "small_frame_overhead_pct" - the frame-stress /
+#                     CPU-share point; see the A/B block comment).
 #
 # The thread count recorded is what the parallel engine resolves:
 # FRACDRAM_THREADS if set, otherwise the machine's hardware
@@ -63,6 +74,7 @@ filter=""
 out_flag=""
 isa_ab=3
 forensics_ab=3
+router_ab=5
 positional=()
 while [[ $# -gt 0 ]]; do
     case "$1" in
@@ -84,6 +96,11 @@ while [[ $# -gt 0 ]]; do
         --forensics-ab)
             [[ $# -ge 2 ]] || { echo "error: --forensics-ab needs a count" >&2; exit 1; }
             forensics_ab="$2"
+            shift 2
+            ;;
+        --router-ab)
+            [[ $# -ge 2 ]] || { echo "error: --router-ab needs a count" >&2; exit 1; }
+            router_ab="$2"
             shift 2
             ;;
         --help|-h)
@@ -174,6 +191,7 @@ done
 # burst, recorded as one first-class bench entry.
 serve_bin="${build_dir}/tools/fracdram_serve"
 loadgen_bin="${build_dir}/tools/fracdram_loadgen"
+router_bin="${build_dir}/tools/fracdram_router"
 if [[ -x "${serve_bin}" && -x "${loadgen_bin}" ]] &&
     { [[ -z "${filter}" ]] || grep -qE "${filter}" <<< "bench_service"; }; then
     bench_reactors="${FRACDRAM_BENCH_REACTORS:-0}"
@@ -331,7 +349,8 @@ service_rps() {
     if [[ -s "${pf}" ]]; then
         port="$(cat "${pf}")"
         "${loadgen_bin}" --port "${port}" --conns 4 --window 16 \
-            --duration "${duration}" --bytes 32 --warmup-ms 300 \
+            --duration "${duration}" \
+            --bytes "${FRACDRAM_BENCH_BYTES:-32}" --warmup-ms 300 \
             --quiet --json-out "${lj}" > /dev/null 2>&1 || rc=$?
     else
         rc=1
@@ -379,6 +398,55 @@ if [[ "${isa_ab}" -gt 0 && -x "${serve_bin}" && -x "${loadgen_bin}" ]] &&
     records+=("  {\"bench\": \"bench_simd_ab\", \"exit_code\": ${ab_rc}, \"pairs\": ${isa_ab}, \"scalar_rps\": [${scalar_list}], \"dispatch_rps\": [${dispatch_list}], \"scalar_rps_mean\": ${scalar_mean}, \"dispatch_rps_mean\": ${dispatch_mean}, \"dispatch_speedup\": ${speedup}}")
 fi
 
+# Like service_rps, but with a one-backend fracdram_router between
+# loadgen and the daemon: same daemon flags, same burst shape, one
+# extra hop. Prints the loadgen req/s through the router (0 on
+# failure).
+router_rps() {
+    local duration="$1" pf rpf lj sl rl pid rpid port rport rps rc=0
+    pf="$(mktemp)" rpf="$(mktemp)" lj="$(mktemp)"
+    sl="$(mktemp)" rl="$(mktemp)"
+    rm -f "${pf}" "${rpf}"
+    "${serve_bin}" --port 0 --shards 4 --port-file "${pf}" \
+        --reactors "${FRACDRAM_BENCH_REACTORS:-0}" --quiet \
+        > "${sl}" 2>&1 &
+    pid=$!
+    for _ in $(seq 1 100); do
+        [[ -s "${pf}" ]] && break
+        sleep 0.1
+    done
+    if [[ -s "${pf}" ]]; then
+        port="$(cat "${pf}")"
+        "${router_bin}" --port 0 --backend "127.0.0.1:${port}" \
+            --port-file "${rpf}" --quiet > "${rl}" 2>&1 &
+        rpid=$!
+        for _ in $(seq 1 100); do
+            [[ -s "${rpf}" ]] && break
+            sleep 0.1
+        done
+        if [[ -s "${rpf}" ]]; then
+            rport="$(cat "${rpf}")"
+            "${loadgen_bin}" --port "${rport}" --conns 4 --window 16 \
+                --duration "${duration}" \
+                --bytes "${FRACDRAM_BENCH_BYTES:-32}" --warmup-ms 300 \
+                --quiet --json-out "${lj}" > /dev/null 2>&1 || rc=$?
+        else
+            rc=1
+        fi
+        kill -TERM "${rpid}" 2> /dev/null || true
+        wait "${rpid}" 2> /dev/null || true
+    else
+        rc=1
+    fi
+    kill -TERM "${pid}" 2> /dev/null || true
+    wait "${pid}" 2> /dev/null || true
+    rps="$(sed -n 's/.*"requests_per_sec": \([0-9.]\{1,\}\).*/\1/p' \
+        "${lj}" 2> /dev/null | head -1)"
+    rm -f "${pf}" "${rpf}" "${lj}" "${sl}" "${rl}"
+    [[ "${rc}" -eq 0 && -n "${rps}" ]] || rps=0
+    echo "${rps}"
+}
+
 # Interleaved forensics-off/-on serving A/B: same daemon and burst,
 # one arm additionally carrying the full forensics stack (postmortem
 # dir -> metrics history ticks, per-tick fatal-buffer re-serialization,
@@ -423,6 +491,68 @@ if [[ "${forensics_ab}" -gt 0 && -x "${serve_bin}" && -x "${loadgen_bin}" ]] &&
         }')
     echo "  medians: off ${off_median}, on ${on_median}, overhead ${delta_pct}%" >&2
     records+=("  {\"bench\": \"bench_forensics_ab\", \"exit_code\": ${fab_rc}, \"pairs\": ${forensics_ab}, \"forensics_off_rps\": [${off_list}], \"forensics_on_rps\": [${on_list}], \"forensics_off_rps_median\": ${off_median}, \"forensics_on_rps_median\": ${on_median}, \"median_overhead_pct\": ${delta_pct}}")
+fi
+
+# Interleaved direct-vs-router serving A/B: the routed arm adds one
+# fracdram_router hop (decode, ring lookup, re-frame, second socket
+# pair) in front of an otherwise identical daemon and burst, at
+# window 16 both ways. Two payload points are measured:
+#
+#  - 1 KiB entropy reads (the headline `median_overhead_pct`): the
+#    fleet's serving workload, where a request costs the daemon a
+#    full DRBG block run and the router's fixed per-frame work is
+#    amortized the way it is in production,
+#  - 32 B frames (`small_frame_overhead_pct`): the frame-stress
+#    point, which on a single-core host is really a CPU-share
+#    measurement - loadgen, daemon and router all compete for one
+#    core, so throughput is 1/sum(per-process cost) and even a
+#    free router would lose the third process's share. Reported for
+#    transparency, not as the serving number.
+if [[ "${router_ab}" -gt 0 && -x "${serve_bin}" && -x "${loadgen_bin}" \
+    && -x "${router_bin}" ]] &&
+    { [[ -z "${filter}" ]] || grep -qE "${filter}" <<< "bench_router_ab"; }; then
+    echo "timing bench_router_ab (${router_ab} interleaved direct/router pairs per payload point)" >&2
+    rab_rc=0
+    rab_fields=""
+    for rab_bytes in 1024 32; do
+        direct_rps=()
+        routed_rps=()
+        for _ in $(seq 1 "${router_ab}"); do
+            r_direct="$(FRACDRAM_BENCH_BYTES=${rab_bytes} service_rps 2)"
+            r_routed="$(FRACDRAM_BENCH_BYTES=${rab_bytes} router_rps 2)"
+            echo "  [${rab_bytes} B] direct ${r_direct} req/s, routed ${r_routed} req/s" >&2
+            [[ "${r_direct}" == "0" || "${r_routed}" == "0" ]] && rab_rc=1
+            direct_rps+=("${r_direct}")
+            routed_rps+=("${r_routed}")
+        done
+        direct_list="$(IFS=,; echo "${direct_rps[*]}")"
+        routed_list="$(IFS=,; echo "${routed_rps[*]}")"
+        read -r direct_median routed_median router_pct < <(awk \
+            -v o="${direct_list}" -v n="${routed_list}" 'BEGIN {
+                no = split(o, oa, ","); nn = split(n, na, ",");
+                for (i = 2; i <= no; i++)
+                    for (j = i; j > 1 && oa[j-1] > oa[j]; j--)
+                        { t = oa[j]; oa[j] = oa[j-1]; oa[j-1] = t; }
+                for (i = 2; i <= nn; i++)
+                    for (j = i; j > 1 && na[j-1] > na[j]; j--)
+                        { t = na[j]; na[j] = na[j-1]; na[j-1] = t; }
+                om = (no % 2) ? oa[(no+1)/2] : (oa[no/2] + oa[no/2+1]) / 2;
+                nm = (nn % 2) ? na[(nn+1)/2] : (na[nn/2] + na[nn/2+1]) / 2;
+                printf "%.1f %.1f %.2f\n", om, nm,
+                    (om > 0 ? (om - nm) / om * 100 : 0);
+            }')
+        echo "  [${rab_bytes} B] medians: direct ${direct_median}, routed ${routed_median}, overhead ${router_pct}%" >&2
+        if [[ "${rab_bytes}" -eq 1024 ]]; then
+            rab_fields="\"bytes\": 1024, \"direct_rps\": [${direct_list}], \"routed_rps\": [${routed_list}], \"direct_rps_median\": ${direct_median}, \"routed_rps_median\": ${routed_median}, \"median_overhead_pct\": ${router_pct}"
+        else
+            rab_fields="${rab_fields}, \"small_frame_bytes\": 32, \"small_frame_direct_rps\": [${direct_list}], \"small_frame_routed_rps\": [${routed_list}], \"small_frame_overhead_pct\": ${router_pct}"
+        fi
+    done
+    if [[ "${rab_rc}" -ne 0 ]]; then
+        echo "error: bench_router_ab had failed bursts" >&2
+        failures=$((failures + 1))
+    fi
+    records+=("  {\"bench\": \"bench_router_ab\", \"exit_code\": ${rab_rc}, \"pairs\": ${router_ab}, \"window\": 16, ${rab_fields}}")
 fi
 
 if [[ ${#records[@]} -eq 0 ]]; then

@@ -1,0 +1,258 @@
+#!/usr/bin/env bash
+# Fleet-mode smoke test, wired into ctest as "smoke_fleet" and run as
+# the fleet-smoke CI job:
+#
+#   1. start 3 fracdram_serve daemons (same serial base, so any two
+#      materialize bit-identical devices) and a fracdram_router over
+#      them with fast probe/eject/readmit settings,
+#   2. enroll PUF keys through the router (replicated to each key's
+#      ring successor),
+#   3. run a vendor-mix load through the router and kill -9 one
+#      daemon mid-load: the run must finish with ZERO client errors
+#      (in-flight requests re-route, capability refusals are typed),
+#   4. require the ejection WARN in the router log,
+#   5. restart the dead daemon on its old ports and await the
+#      hysteresis re-admission line,
+#   6. verify every enrolled key still answers OK through the router
+#      (failover to the replica while daemon 2 was down; primary
+#      again after),
+#   7. check the fleet /metrics aggregate: the router's summed
+#      fracdram_service_jobs_total must equal the sum of the three
+#      daemons' own series,
+#   8. SIGTERM everything and require clean-shutdown markers.
+#
+# Usage: smoke_fleet.sh <fracdram_serve> <fracdram_loadgen> <fracdram_router>
+
+set -euo pipefail
+
+serve_bin="${1:?usage: smoke_fleet.sh <serve> <loadgen> <router>}"
+loadgen_bin="${2:?usage: smoke_fleet.sh <serve> <loadgen> <router>}"
+router_bin="${3:?usage: smoke_fleet.sh <serve> <loadgen> <router>}"
+
+workdir="$(mktemp -d)"
+pids=()
+cleanup() {
+    local p
+    for p in "${pids[@]:-}"; do
+        kill "${p}" 2> /dev/null || true
+    done
+    rm -rf "${workdir}"
+}
+trap cleanup EXIT
+
+# http_get HOST PORT PATH OUTFILE -> exit 0 and body in OUTFILE on 200
+http_get() {
+    local host="$1" port="$2" path="$3" out="$4"
+    local resp
+    exec 9<> "/dev/tcp/${host}/${port}" || return 1
+    printf 'GET %s HTTP/1.0\r\n\r\n' "${path}" >&9
+    resp="$(cat <&9)"
+    exec 9>&- 9<&-
+    printf '%s' "${resp#*$'\r\n\r\n'}" > "${out}"
+    grep -q '^HTTP/1\.0 200' <<< "${resp}"
+}
+
+# wait_file FILE PID NAME: await a port file while PID stays alive.
+wait_file() {
+    local file="$1" pid="$2" name="$3"
+    local _
+    for _ in $(seq 1 150); do
+        [[ -s "${file}" ]] && return 0
+        kill -0 "${pid}" 2> /dev/null || {
+            echo "FAIL: ${name} died during startup" >&2
+            return 1
+        }
+        sleep 0.1
+    done
+    echo "FAIL: ${name} never published ${file}" >&2
+    return 1
+}
+
+# wait_log LOG PATTERN NAME: await a log line (ejection/re-admission).
+wait_log() {
+    local log="$1" pattern="$2" name="$3"
+    local _
+    for _ in $(seq 1 200); do
+        grep -q "${pattern}" "${log}" && return 0
+        sleep 0.1
+    done
+    echo "FAIL: no '${pattern}' in ${name} log" >&2
+    cat "${log}" >&2
+    return 1
+}
+
+start_daemon() {
+    local i="$1" port="${2:-0}" mport="${3:-0}"
+    "${serve_bin}" --port "${port}" --metrics-port "${mport}" \
+        --shards 1 --reactors 1 --no-pin --cols 256 \
+        --port-file "${workdir}/d${i}.port" \
+        --metrics-port-file "${workdir}/d${i}.mport" \
+        >> "${workdir}/d${i}.log" 2>&1 &
+    eval "d${i}_pid=$!"
+    pids+=("$!")
+}
+
+# --- 1. three daemons + the router ------------------------------------
+for i in 1 2 3; do
+    rm -f "${workdir}/d${i}.port" "${workdir}/d${i}.mport"
+    start_daemon "${i}"
+done
+for i in 1 2 3; do
+    pid_var="d${i}_pid"
+    wait_file "${workdir}/d${i}.port" "${!pid_var}" "daemon ${i}"
+done
+backends=()
+for i in 1 2 3; do
+    backends+=(--backend
+        "127.0.0.1:$(cat "${workdir}/d${i}.port"):$(cat "${workdir}/d${i}.mport")")
+done
+
+"${router_bin}" --port 0 --metrics-port 0 "${backends[@]}" \
+    --probe-interval-ms 100 --eject-after 2 --readmit-after 3 \
+    --port-file "${workdir}/router.port" \
+    --metrics-port-file "${workdir}/router.mport" \
+    > "${workdir}/router.log" 2>&1 &
+router_pid=$!
+pids+=("${router_pid}")
+wait_file "${workdir}/router.port" "${router_pid}" "router"
+rport="$(cat "${workdir}/router.port")"
+rmport="$(cat "${workdir}/router.mport")"
+echo "fleet up: router ${rport}, daemons" \
+    "$(cat "${workdir}"/d{1,2,3}.port | tr '\n' ' ')" >&2
+
+health="$("${loadgen_bin}" --port "${rport}" --check-health)"
+grep -q '"status": "ok"' <<< "${health}" || {
+    echo "FAIL: unexpected fleet HEALTH: ${health}" >&2
+    exit 1
+}
+
+# --- 2. enroll keys through the router --------------------------------
+n_keys=8
+"${loadgen_bin}" --port "${rport}" --puf-enroll "${n_keys}" || {
+    echo "FAIL: enrollment through the router failed" >&2
+    exit 1
+}
+
+# --- 3. vendor-mix load; kill a daemon mid-run ------------------------
+"${loadgen_bin}" --port "${rport}" --scenario vendor-mix \
+    --conns 2 --window 8 --duration 6 --bytes 16 \
+    --json-out "${workdir}/load.json" &
+load_pid=$!
+sleep 2
+d2_port="$(cat "${workdir}/d2.port")"
+d2_mport="$(cat "${workdir}/d2.mport")"
+kill -9 "${d2_pid}"
+echo "killed daemon 2 (pid ${d2_pid}) mid-load" >&2
+
+wait "${load_pid}" || {
+    echo "FAIL: vendor-mix load reported errors across the kill" >&2
+    cat "${workdir}/load.json" >&2 || true
+    cat "${workdir}/router.log" >&2
+    exit 1
+}
+grep -q '"errors": 0' "${workdir}/load.json" || {
+    echo "FAIL: load summary has client errors:" >&2
+    cat "${workdir}/load.json" >&2
+    exit 1
+}
+grep -q '"ok": 0,' "${workdir}/load.json" && {
+    echo "FAIL: load completed nothing" >&2
+    cat "${workdir}/load.json" >&2
+    exit 1
+}
+echo "load summary: $(cat "${workdir}/load.json" | head -c 400)" >&2
+
+# --- 4. the router must have ejected the dead daemon ------------------
+wait_log "${workdir}/router.log" "ejected" "router"
+
+# With a daemon dead, every replicated key must still answer OK: keys
+# it owned fail over to their ring-successor replicas.
+"${loadgen_bin}" --port "${rport}" --puf-verify "${n_keys}" || {
+    echo "FAIL: key verification failed while a daemon was down" >&2
+    cat "${workdir}/router.log" >&2
+    exit 1
+}
+
+# --- 5. restart daemon 2 on its old ports; await re-admission ---------
+rm -f "${workdir}/d2.port" "${workdir}/d2.mport"
+start_daemon 2 "${d2_port}" "${d2_mport}"
+wait_file "${workdir}/d2.port" "${d2_pid}" "daemon 2 (restarted)"
+wait_log "${workdir}/router.log" "re-admitted" "router"
+
+# --- 6. every key must still verify through the router ----------------
+"${loadgen_bin}" --port "${rport}" --puf-verify "${n_keys}" || {
+    echo "FAIL: a replicated key was lost across the failover" >&2
+    cat "${workdir}/router.log" >&2
+    exit 1
+}
+
+# --- 7. fleet /metrics aggregate == sum of the daemons ----------------
+http_get 127.0.0.1 "${rmport}" /metrics "${workdir}/fleet.prom" || {
+    echo "FAIL: router /metrics unavailable" >&2
+    exit 1
+}
+http_get 127.0.0.1 "${rmport}" /fleet "${workdir}/fleet.json" || {
+    echo "FAIL: router /fleet unavailable" >&2
+    exit 1
+}
+grep -q '"role": "router"' "${workdir}/fleet.json" || {
+    echo "FAIL: /fleet topology malformed:" >&2
+    cat "${workdir}/fleet.json" >&2
+    exit 1
+}
+agg="$(awk '$1 == "fracdram_service_jobs_total" {print $2}' \
+    "${workdir}/fleet.prom")"
+[[ -n "${agg}" ]] || {
+    echo "FAIL: no aggregated fracdram_service_jobs_total" >&2
+    head -50 "${workdir}/fleet.prom" >&2
+    exit 1
+}
+want=0
+for i in 1 2 3; do
+    http_get 127.0.0.1 "$(cat "${workdir}/d${i}.mport")" /metrics \
+        "${workdir}/d${i}.prom" || {
+        echo "FAIL: daemon ${i} /metrics unavailable" >&2
+        exit 1
+    }
+    v="$(awk '$1 == "fracdram_service_jobs_total" {print $2}' \
+        "${workdir}/d${i}.prom")"
+    want=$((want + v))
+done
+# The daemons serve no traffic between the two scrape rounds, so the
+# totals must match exactly.
+[[ "${agg}" -eq "${want}" ]] || {
+    echo "FAIL: aggregate jobs ${agg} != sum of daemons ${want}" >&2
+    exit 1
+}
+echo "fleet aggregate ok: jobs_total ${agg} == ${want}" >&2
+
+# --- 8. graceful teardown ---------------------------------------------
+kill -TERM "${router_pid}"
+rc=0
+wait "${router_pid}" || rc=$?
+if [[ "${rc}" -ne 0 ]]; then
+    echo "FAIL: router exited ${rc} on SIGTERM" >&2
+    cat "${workdir}/router.log" >&2
+    exit 1
+fi
+grep -q "clean shutdown" "${workdir}/router.log" || {
+    echo "FAIL: no clean-shutdown marker in router log" >&2
+    cat "${workdir}/router.log" >&2
+    exit 1
+}
+for i in 1 2 3; do
+    pid_var="d${i}_pid"
+    kill -TERM "${!pid_var}" 2> /dev/null || true
+    wait "${!pid_var}" || {
+        echo "FAIL: daemon ${i} did not exit cleanly" >&2
+        cat "${workdir}/d${i}.log" >&2
+        exit 1
+    }
+    grep -q "clean shutdown" "${workdir}/d${i}.log" || {
+        echo "FAIL: no clean-shutdown marker in daemon ${i} log" >&2
+        cat "${workdir}/d${i}.log" >&2
+        exit 1
+    }
+done
+pids=()
+echo "PASS: smoke_fleet" >&2

@@ -150,6 +150,32 @@ Client::getEntropy(std::uint32_t n_bytes, bool raw,
 }
 
 bool
+Client::getDeviceEntropy(std::uint32_t device, std::uint32_t n_bytes,
+                         bool raw, std::vector<std::uint8_t> &out,
+                         Status &status, std::string *err)
+{
+    Request req;
+    req.type = MsgType::GetEntropy;
+    req.flags = static_cast<std::uint8_t>(
+        kFlagDeviceId | (raw ? kFlagRawEntropy : 0));
+    req.device = device;
+    req.nBytes = n_bytes;
+    Response resp;
+    if (!call(req, resp, err))
+        return false;
+    status = resp.status;
+    if (status == Status::Ok) {
+        if (resp.data.size() != n_bytes)
+            return fail(err, strprintf("asked for %u bytes, got %zu",
+                                       n_bytes, resp.data.size()));
+        out = std::move(resp.data);
+    } else if (err != nullptr) {
+        *err = resp.text;
+    }
+    return true;
+}
+
+bool
 Client::pufEnroll(std::uint32_t device, std::uint32_t bank,
                   std::uint32_t row, BitVector &bits, Status &status,
                   std::string *err)

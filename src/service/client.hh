@@ -63,6 +63,10 @@ class Client
     bool getEntropy(std::uint32_t n_bytes, bool raw,
                     std::vector<std::uint8_t> &out, Status &status,
                     std::string *err);
+    /** Fleet-mode entropy from an explicit device (kFlagDeviceId). */
+    bool getDeviceEntropy(std::uint32_t device, std::uint32_t n_bytes,
+                          bool raw, std::vector<std::uint8_t> &out,
+                          Status &status, std::string *err);
     bool pufEnroll(std::uint32_t device, std::uint32_t bank,
                    std::uint32_t row, BitVector &bits, Status &status,
                    std::string *err);

@@ -1,0 +1,60 @@
+#include "service/fleet.hh"
+
+#include <algorithm>
+
+namespace fracdram::fleet
+{
+
+bool
+deviceSupportsFrac(std::uint32_t id)
+{
+    return sim::vendorProfile(deviceGroup(id)).supportsFrac;
+}
+
+bool
+deviceSupportsQuac(std::uint32_t id)
+{
+    return sim::vendorProfile(deviceGroup(id)).supportsFourRow;
+}
+
+std::uint32_t
+steerToCapable(std::uint32_t id)
+{
+    if (deviceSupportsQuac(id))
+        return id;
+    static const std::vector<sim::DramGroup> capable =
+        sim::fourRowCapableGroups();
+    const std::uint32_t chip = deviceChip(id);
+    return makeDeviceId(capable[chip % capable.size()], chip);
+}
+
+std::uint64_t
+fleetHash(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+void
+HashRing::addNode(int node)
+{
+    ring_.reserve(ring_.size() + vnodesPerNode_);
+    for (int v = 0; v < vnodesPerNode_; ++v) {
+        // Mix node and vnode into one ring point; the second hash
+        // round decorrelates neighboring (node, vnode) pairs.
+        const std::uint64_t h = fleetHash(
+            fleetHash(static_cast<std::uint64_t>(node) << 32 |
+                      static_cast<std::uint32_t>(v)) ^
+            0x66726163ULL);
+        ring_.push_back({h, node});
+    }
+    std::sort(ring_.begin(), ring_.end(),
+              [](const Point &a, const Point &b) {
+                  return a.hash < b.hash ||
+                         (a.hash == b.hash && a.node < b.node);
+              });
+}
+
+} // namespace fracdram::fleet

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Fleet-mode building blocks shared by the daemon's device registry
+ * and the fracdram_router tool (see DESIGN.md §5j).
+ *
+ * A fleet device id packs the paper's population coordinates into the
+ * protocol's u32 device field: the vendor group (Table I letter) in
+ * the top byte, the chip index within the group below. Legacy PUF
+ * device ids (small integers, group byte 0) land in group A, so a v2
+ * client keeps working against a fleet daemon.
+ *
+ * The HashRing is the router's placement function: every daemon owns
+ * kVnodesPerNode points on a 64-bit ring, a device id hashes to a
+ * point, and its primary owner is the first live daemon clockwise
+ * from there. Virtual nodes keep the per-daemon share within a few
+ * percent of uniform, and the clockwise-walk ownership rule means a
+ * dead daemon's keys spill onto its successors without remapping
+ * anything else.
+ */
+
+#ifndef FRACDRAM_SERVICE_FLEET_HH
+#define FRACDRAM_SERVICE_FLEET_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/vendor.hh"
+
+namespace fracdram::fleet
+{
+
+/** Chip-index bits of a device id (low 24). */
+inline constexpr std::uint32_t kChipMask = 0x00FFFFFFu;
+
+/** Vendor groups a device id's top byte is reduced into (A..N). */
+inline constexpr std::uint32_t kNumGroups = 14;
+
+/**
+ * Serial offset of registry-materialized devices. Keeps fleet device
+ * serials disjoint from the per-shard default devices (serialBase +
+ * shard index) on every daemon, and makes serial a pure function of
+ * (serialBase, device id) - two daemons with the same serialBase
+ * materialize bit-identical silicon for the same device id, which is
+ * what lets the router fail a PUF key over to its replica owner.
+ */
+inline constexpr std::uint64_t kDeviceSerialOffset = 0x100000;
+
+/** Pack a (vendor group, chip index) pair into a wire device id. */
+constexpr std::uint32_t
+makeDeviceId(sim::DramGroup group, std::uint32_t chip)
+{
+    return (static_cast<std::uint32_t>(group) << 24) |
+           (chip & kChipMask);
+}
+
+/**
+ * Vendor group of a device id. Total over all u32 values: group
+ * bytes beyond N wrap modulo kNumGroups, so arbitrary legacy device
+ * ids still resolve to a real profile instead of an error.
+ */
+constexpr sim::DramGroup
+deviceGroup(std::uint32_t id)
+{
+    return static_cast<sim::DramGroup>((id >> 24) % kNumGroups);
+}
+
+/** Chip index of a device id within its vendor group. */
+constexpr std::uint32_t
+deviceChip(std::uint32_t id)
+{
+    return id & kChipMask;
+}
+
+/**
+ * Whether the device's vendor group can execute Frac ops (the PUF
+ * substrate). Groups with command-timing checkers (J, K, L, N)
+ * silently drop the out-of-spec sequences, so PUF work on them must
+ * be answered with Status::Capability - never attempted (FracPuf
+ * refuses to even construct on such a chip).
+ */
+bool deviceSupportsFrac(std::uint32_t id);
+
+/**
+ * Whether the group can do the four-row activation QUAC-TRNG needs
+ * (Table I: fewer groups than Frac - A and E-I do Frac but open only
+ * one or two rows). Gates device-addressed GET_ENTROPY.
+ */
+bool deviceSupportsQuac(std::uint32_t id);
+
+/**
+ * Rewrite a QUAC-incapable device id onto a four-row-capable vendor
+ * group, keeping the chip index. Deterministic, so every router maps
+ * the same incapable id to the same capable device. Ids that are
+ * already capable come back unchanged. Entropy-only: a PUF key's
+ * device is its identity and must not be rewritten.
+ */
+std::uint32_t steerToCapable(std::uint32_t id);
+
+/** splitmix64 - the ring's point hash (fast, well mixed, stable). */
+std::uint64_t fleetHash(std::uint64_t x);
+
+/**
+ * Consistent-hash ring with virtual nodes. Nodes are small dense
+ * ints (the router's backend indices). Build once; liveness is a
+ * per-lookup predicate so ejection/re-admission never rebuilds the
+ * ring (and therefore never remaps keys owned by healthy nodes).
+ */
+class HashRing
+{
+  public:
+    explicit HashRing(int vnodes_per_node = 64)
+        : vnodesPerNode_(vnodes_per_node)
+    {
+    }
+
+    /** Insert @p node's virtual nodes (call once per node). */
+    void addNode(int node);
+
+    bool empty() const { return ring_.empty(); }
+    std::size_t points() const { return ring_.size(); }
+
+    /**
+     * Primary owner of @p key among nodes where @p alive returns
+     * true; -1 when none are. @tparam Alive bool(int node).
+     */
+    template <typename Alive>
+    int
+    owner(std::uint32_t key, Alive &&alive) const
+    {
+        int primary = -1;
+        walk(key, [&](int node) {
+            if (!alive(node))
+                return true; // keep walking
+            primary = node;
+            return false;
+        });
+        return primary;
+    }
+
+    /**
+     * Primary and first *distinct* live successor (the replica
+     * owner). Either slot is -1 when no such node exists.
+     */
+    template <typename Alive>
+    std::pair<int, int>
+    owners(std::uint32_t key, Alive &&alive) const
+    {
+        int primary = -1, secondary = -1;
+        walk(key, [&](int node) {
+            if (!alive(node))
+                return true;
+            if (primary < 0) {
+                primary = node;
+                return true;
+            }
+            if (node != primary) {
+                secondary = node;
+                return false;
+            }
+            return true;
+        });
+        return {primary, secondary};
+    }
+
+  private:
+    struct Point
+    {
+        std::uint64_t hash;
+        int node;
+    };
+
+    /**
+     * Clockwise walk from @p key's point. @p visit returns false to
+     * stop; every ring point is visited at most once.
+     */
+    template <typename Visit>
+    void
+    walk(std::uint32_t key, Visit &&visit) const
+    {
+        if (ring_.empty())
+            return;
+        const std::uint64_t h = fleetHash(key);
+        std::size_t lo = 0, hi = ring_.size();
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            if (ring_[mid].hash < h)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        for (std::size_t i = 0; i < ring_.size(); ++i) {
+            const Point &p = ring_[(lo + i) % ring_.size()];
+            if (!visit(p.node))
+                return;
+        }
+    }
+
+    std::vector<Point> ring_; //!< sorted by hash
+    int vnodesPerNode_;
+};
+
+} // namespace fracdram::fleet
+
+#endif // FRACDRAM_SERVICE_FLEET_HH

@@ -138,6 +138,8 @@ statusName(Status s)
         return "ERROR";
     case Status::RateLimited:
         return "RATE_LIMITED";
+    case Status::Capability:
+        return "CAPABILITY";
     }
     return "UNKNOWN";
 }
@@ -154,6 +156,8 @@ encodeRequest(const Request &req)
         putU64(out, req.requestId);
     switch (req.type) {
     case MsgType::GetEntropy:
+        if (req.flags & kFlagDeviceId)
+            putU32(out, req.device);
         putU32(out, req.nBytes);
         break;
     case MsgType::PufEnroll:
@@ -279,16 +283,22 @@ decodeRequest(const std::uint8_t *payload, std::size_t len,
         return fail(err, "truncated request id");
     switch (out.type) {
     case MsgType::GetEntropy:
+        if ((out.flags & kFlagDeviceId) && !c.u32(out.device))
+            return fail(err, "truncated GET_ENTROPY device id");
         if (!c.u32(out.nBytes))
             return fail(err, "truncated GET_ENTROPY body");
         break;
     case MsgType::PufEnroll:
     case MsgType::PufResponse:
+        if (out.flags & kFlagDeviceId)
+            return fail(err, "DEVICE_ID flag on a non-entropy request");
         if (!c.u32(out.device) || !c.u32(out.bank) || !c.u32(out.row))
             return fail(err, "truncated PUF body");
         break;
     case MsgType::Health:
     case MsgType::Stats:
+        if (out.flags & kFlagDeviceId)
+            return fail(err, "DEVICE_ID flag on a non-entropy request");
         break;
     }
     if (c.left != 0)
@@ -314,8 +324,10 @@ decodeResponse(const std::uint8_t *payload, std::size_t len,
     type = static_cast<std::uint8_t>(type & ~kResponseBit);
     if (!validRequestType(type))
         return fail(err, "unknown response type");
-    if (status > static_cast<std::uint8_t>(Status::RateLimited))
+    if (status > static_cast<std::uint8_t>(Status::Capability))
         return fail(err, "unknown status");
+    if (out.flags & kFlagDeviceId)
+        return fail(err, "DEVICE_ID flag on a response");
     out.type = static_cast<MsgType>(type);
     out.status = static_cast<Status>(status);
     out.data.clear();

@@ -20,8 +20,17 @@
  * unchanged and v1 servers reject v2 frames as trailing garbage
  * instead of misparsing them.
  *
+ * Protocol version 3 adds fleet addressing: when the DEVICE_ID flag
+ * bit is set on a GET_ENTROPY request, a u32 device id (vendor group
+ * in the top byte, chip index below - see service/fleet.hh) precedes
+ * n_bytes and the daemon serves the request from that simulated
+ * device instead of the shard's default one. The flag is only valid
+ * on GET_ENTROPY requests (PUF frames always carry a device id, and
+ * responses never carry the flag), so every accepted frame still has
+ * exactly one encoding and v2 frames decode byte-identically.
+ *
  * Request bodies:
- *   GET_ENTROPY      u32le n_bytes
+ *   GET_ENTROPY      [u32le device iff DEVICE_ID flag] u32le n_bytes
  *   PUF_ENROLL       u32le device | u32le bank | u32le row
  *   PUF_RESPONSE     u32le device | u32le bank | u32le row
  *   HEALTH, STATS    (empty)
@@ -62,6 +71,14 @@ inline constexpr std::uint8_t kResponseBit = 0x80;
 inline constexpr std::uint8_t kFlagRawEntropy = 0x01;
 
 /**
+ * GET_ENTROPY flag: the body carries an explicit u32le device id
+ * before n_bytes (v3, fleet mode). Rejected on every other request
+ * type and never set on responses, so each accepted frame keeps a
+ * single canonical encoding.
+ */
+inline constexpr std::uint8_t kFlagDeviceId = 0x02;
+
+/**
  * Frame carries a u64le request id right after the header (v2). The
  * id is encoded iff this bit is set, so v1 frames are unchanged and
  * encode(decode(bytes)) == bytes holds for every accepted frame.
@@ -69,7 +86,7 @@ inline constexpr std::uint8_t kFlagRawEntropy = 0x01;
 inline constexpr std::uint8_t kFlagRequestId = 0x80;
 
 /** Highest protocol revision this build speaks. */
-inline constexpr std::uint8_t kProtoVersion = 2;
+inline constexpr std::uint8_t kProtoVersion = 3;
 
 /** PUF hamming field when no reference is enrolled. */
 inline constexpr std::uint32_t kNoHamming = 0xFFFFFFFFu;
@@ -89,6 +106,7 @@ enum class Status : std::uint8_t
     Busy = 1,        //!< shard queue full (backpressure)
     Error = 2,       //!< malformed or unsatisfiable request
     RateLimited = 3, //!< per-connection token bucket empty
+    Capability = 4,  //!< device's vendor group cannot do Frac/QUAC
 };
 
 /** Human-readable names (logs, loadgen output). */
@@ -103,7 +121,7 @@ struct Request
     std::uint16_t seq = 0;
     std::uint64_t requestId = 0; //!< on the wire iff kFlagRequestId
     std::uint32_t nBytes = 0;    //!< GET_ENTROPY
-    std::uint32_t device = 0;    //!< PUF_*
+    std::uint32_t device = 0;    //!< PUF_*, GET_ENTROPY + DEVICE_ID
     std::uint32_t bank = 0;      //!< PUF_*
     std::uint32_t row = 0;       //!< PUF_*
 

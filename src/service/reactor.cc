@@ -704,10 +704,14 @@ Reactor::dispatchFrame(Conn *conn,
     if (req.type == MsgType::GetEntropy &&
         serveEntropyFromPool(conn, req, recv_ns))
         return;
-    const std::size_t shard_idx = req.type == MsgType::GetEntropy
-                                      ? readShard_
-                                      : req.device %
-                                            server_.shards_.size();
+    // Device-addressed entropy routes like PUF (device affinity, so
+    // one device's state lives on exactly one shard); anonymous
+    // entropy round-robins over the shards' default devices.
+    const std::size_t shard_idx =
+        req.type == MsgType::GetEntropy &&
+                (req.flags & kFlagDeviceId) == 0
+            ? readShard_
+            : req.device % server_.shards_.size();
     conn->pending.emplace_back();
     Conn::Slot &slot = conn->pending.back();
     slot.recvNs = recv_ns;
@@ -731,6 +735,8 @@ Reactor::serveEntropyFromPool(Conn *conn, const Request &req,
 {
     if ((req.flags & kFlagRawEntropy) != 0)
         return false; // raw mode is device-rate-limited by design
+    if ((req.flags & kFlagDeviceId) != 0)
+        return false; // the pool is default-device DRBG stream only
     const std::size_t n = req.nBytes;
     if (n > server_.cfg_.shard.maxEntropyBytes)
         return false; // let the shard own the too-large error

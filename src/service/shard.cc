@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/sha256.hh"
 #include "puf/puf.hh"
+#include "service/fleet.hh"
 #include "service/net.hh"
 #include "sim/chip.hh"
 #include "softmc/controller.hh"
@@ -21,7 +22,7 @@ namespace
 struct ServiceCounters
 {
     telemetry::CounterId jobs, entropyBytes, rawBits, reseeds,
-        pufEvals, busy;
+        pufEvals, busy, deviceFaults, deviceEvictions, capability;
     telemetry::HistogramId batchBits, queueWaitNs, reseedNs,
         poolRefillNs;
 
@@ -34,6 +35,9 @@ struct ServiceCounters
         reseeds = m.counter("service.reseeds");
         pufEvals = m.counter("service.puf_evals");
         busy = m.counter("service.busy");
+        deviceFaults = m.counter("service.device_faults");
+        deviceEvictions = m.counter("service.device_evictions");
+        capability = m.counter("service.capability");
         batchBits = m.histogram("service.batch_bits");
         queueWaitNs = m.histogram("service.queue_wait_ns");
         reseedNs = m.histogram("service.reseed_ns");
@@ -53,6 +57,13 @@ counters()
  *  asks would capture a shard for seconds. */
 constexpr std::size_t kMaxRawBytes = 4096;
 
+/** Whether an entropy request addresses a registry device. */
+bool
+hasDeviceId(const Request &req)
+{
+    return (req.flags & kFlagDeviceId) != 0;
+}
+
 } // namespace
 
 Shard::Shard(int index, const ShardConfig &cfg)
@@ -61,6 +72,8 @@ Shard::Shard(int index, const ShardConfig &cfg)
     auto &m = telemetry::Metrics::instance();
     queueDepthGauge_ =
         m.gauge(strprintf("service.shard%d.queue_depth", index));
+    residentGauge_ =
+        m.gauge(strprintf("service.shard%d.resident_devices", index));
     batchJobsHist_ =
         m.histogram(strprintf("service.shard%d.batch_jobs", index));
 }
@@ -103,23 +116,90 @@ Shard::submit(Job &&job)
 }
 
 void
+Shard::buildDevice(DeviceState &dev, sim::DramGroup group,
+                   std::uint64_t serial)
+{
+    sim::DramParams params = sim::isDdr4(group)
+                                 ? sim::DramParams::ddr4()
+                                 : sim::DramParams{};
+    params.colsPerRow = cfg_.colsPerRow;
+    dev.chip = std::make_unique<sim::DramChip>(group, serial, params);
+    dev.mc = std::make_unique<softmc::MemoryController>(*dev.chip,
+                                                        false);
+    // Capability is per-operation: QUAC-TRNG needs the four-row
+    // activation, the PUF only needs Frac. Build each engine only
+    // where the vendor group supports it (both would fatal in their
+    // constructors otherwise); process() gates requests so a missing
+    // engine is never dereferenced.
+    const auto &prof = sim::vendorProfile(group);
+    if (prof.supportsFourRow)
+        dev.trng = std::make_unique<trng::QuacTrng>(*dev.mc);
+    if (prof.supportsFrac)
+        dev.puf = std::make_unique<puf::FracPuf>(*dev.mc,
+                                                 cfg_.numFracs);
+}
+
+bool
+Shard::evictOne()
+{
+    DeviceState *victim = nullptr;
+    for (auto &[id, dev] : registry_) {
+        if (!dev.resident() || dev.lastBatch == batchEpoch_)
+            continue;
+        if (!victim || dev.lastUsedTick < victim->lastUsedTick)
+            victim = &dev;
+    }
+    if (!victim)
+        return false;
+    // Destroy in reverse construction order; the light half of the
+    // DeviceState (DRBG, pool, enrollments) stays untouched.
+    victim->puf.reset();
+    victim->trng.reset();
+    victim->mc.reset();
+    victim->chip.reset();
+    --resident_;
+    telemetry::count(counters().deviceEvictions);
+    evictionsPub_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+Shard::DeviceState *
+Shard::resolveDevice(std::uint32_t id)
+{
+    DeviceState &dev = registry_[id];
+    dev.lastUsedTick = ++opTick_;
+    dev.lastBatch = batchEpoch_;
+    if (!dev.resident()) {
+        while (resident_ >= cfg_.maxResidentDevices && evictOne()) {
+        }
+        buildDevice(dev, fleet::deviceGroup(id),
+                    cfg_.serialBase + fleet::kDeviceSerialOffset + id);
+        ++resident_;
+        telemetry::count(counters().deviceFaults);
+        faultsPub_.fetch_add(1, std::memory_order_relaxed);
+    }
+    publishRegistry();
+    return &dev;
+}
+
+void
+Shard::publishRegistry()
+{
+    residentPub_.store(resident_, std::memory_order_relaxed);
+    telemetry::setGauge(residentGauge_,
+                        static_cast<std::int64_t>(resident_));
+}
+
+void
 Shard::run()
 {
     if (cfg_.pinCpuBase >= 0)
         pinThisThreadToCpu(cfg_.pinCpuBase + index_);
-    // Build the device here so every byte of device state is born on
-    // the worker thread and never touched by anyone else.
-    sim::DramParams params = sim::isDdr4(cfg_.group)
-                                 ? sim::DramParams::ddr4()
-                                 : sim::DramParams{};
-    params.colsPerRow = cfg_.colsPerRow;
-    chip_ = std::make_unique<sim::DramChip>(
-        cfg_.group, cfg_.serialBase + static_cast<std::uint64_t>(index_),
-        params);
-    mc_ = std::make_unique<softmc::MemoryController>(*chip_, false);
-    trng_ = std::make_unique<trng::QuacTrng>(*mc_);
-    puf_ = std::make_unique<puf::FracPuf>(*mc_, cfg_.numFracs);
-    reseed();
+    // Build the default device here so every byte of device state is
+    // born on the worker thread and never touched by anyone else.
+    buildDevice(default_, cfg_.group,
+                cfg_.serialBase + static_cast<std::uint64_t>(index_));
+    reseed(default_);
 
     std::vector<Job> batch;
     Job job;
@@ -158,46 +238,93 @@ Shard::entropyError(const Request &req) const
     return resp;
 }
 
+Response
+Shard::capabilityError(const Request &req) const
+{
+    Response resp;
+    resp.type = req.type;
+    resp.seq = req.seq;
+    resp.status = Status::Capability;
+    const char *why =
+        req.type == MsgType::GetEntropy
+            ? "cannot do the four-row activation QUAC-TRNG needs"
+            : "has command-timing checkers that drop the "
+              "out-of-spec Frac sequence";
+    resp.text = strprintf(
+        "device %u is in vendor group %s, which %s", req.device,
+        sim::groupName(fleet::deviceGroup(req.device)).c_str(), why);
+    telemetry::count(counters().capability);
+    return resp;
+}
+
 void
 Shard::process(std::vector<Job> &batch)
 {
     const auto &sc = counters();
     const bool telem = telemetry::enabled();
     const std::uint64_t now = telem ? telemetry::nowNs() : 0;
+    ++batchEpoch_;
 
-    // First pass: classify, validate, and sum the entropy demand so
-    // all conditioned requests share one pool refill and all raw
-    // requests share one generate() call.
-    std::size_t cond_bytes = 0, raw_bits = 0;
-    for (const Job &j : batch) {
+    // First pass: classify, validate, resolve devices and sum the
+    // entropy demand per device, so each device's conditioned
+    // requests share one pool refill and its raw requests share one
+    // generate() call.
+    std::vector<DevWork> work;
+    std::vector<DeviceState *> resolved(batch.size(), nullptr);
+    auto workFor = [&work](DeviceState *dev) -> DevWork & {
+        for (DevWork &w : work)
+            if (w.dev == dev)
+                return w;
+        work.push_back(DevWork{});
+        work.back().dev = dev;
+        return work.back();
+    };
+    std::size_t total_bits = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Job &j = batch[i];
         if (telem && j.enqueueNs != 0)
             telemetry::observe(sc.queueWaitNs, now - j.enqueueNs);
         if (j.req.type != MsgType::GetEntropy)
             continue;
         const bool raw = (j.req.flags & kFlagRawEntropy) != 0;
-        if (raw && j.req.nBytes <= kMaxRawBytes)
-            raw_bits += std::size_t{j.req.nBytes} * 8;
-        else if (!raw && j.req.nBytes <= cfg_.maxEntropyBytes)
-            cond_bytes += j.req.nBytes;
+        const bool size_ok = raw ? j.req.nBytes <= kMaxRawBytes
+                                 : j.req.nBytes <= cfg_.maxEntropyBytes;
+        if (!size_ok)
+            continue;
+        if (hasDeviceId(j.req) &&
+            !fleet::deviceSupportsQuac(j.req.device))
+            continue; // answered with Status::Capability below
+        DeviceState *dev = hasDeviceId(j.req)
+                               ? resolveDevice(j.req.device)
+                               : &default_;
+        resolved[i] = dev;
+        DevWork &w = workFor(dev);
+        if (raw) {
+            w.rawBits += std::size_t{j.req.nBytes} * 8;
+            total_bits += std::size_t{j.req.nBytes} * 8;
+        } else {
+            w.condBytes += j.req.nBytes;
+            total_bits += std::size_t{j.req.nBytes} * 8;
+        }
     }
     if (telem)
-        telemetry::observe(sc.batchBits,
-                           cond_bytes * 8 + raw_bits);
+        telemetry::observe(sc.batchBits, total_bits);
 
     // The entropy work of the whole batch happens in this window, so
     // every entropy job of the batch shares these generate stamps.
     const std::uint64_t gen_start = telem ? telemetry::nowNs() : 0;
-    if (cond_bytes > 0)
-        refillPool(cond_bytes);
-    std::vector<std::uint8_t> raw_bytes;
-    if (raw_bits > 0) {
-        raw_bytes = packBits(trng_->generate(raw_bits));
-        telemetry::count(sc.rawBits, raw_bits);
+    for (DevWork &w : work) {
+        if (w.condBytes > 0)
+            refillPool(*w.dev, w.condBytes);
+        if (w.rawBits > 0) {
+            w.rawBytes = packBits(w.dev->trng->generate(w.rawBits));
+            telemetry::count(sc.rawBits, w.rawBits);
+        }
     }
     const std::uint64_t gen_end = telem ? telemetry::nowNs() : 0;
-    std::size_t raw_pos = 0;
 
-    for (Job &j : batch) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        Job &j = batch[i];
         telemetry::count(sc.jobs);
         Response resp;
         resp.type = j.req.type;
@@ -211,18 +338,26 @@ Shard::process(std::vector<Job> &batch)
                 resp = entropyError(j.req);
                 break;
             }
+            if (!resolved[i]) {
+                resp = capabilityError(j.req);
+                break;
+            }
+            DevWork &w = workFor(resolved[i]);
+            DeviceState &dev = *w.dev;
             if (raw) {
-                resp.data.assign(raw_bytes.begin() +
-                                     static_cast<std::ptrdiff_t>(raw_pos),
-                                 raw_bytes.begin() +
-                                     static_cast<std::ptrdiff_t>(raw_pos + n));
-                raw_pos += n;
+                resp.data.assign(
+                    w.rawBytes.begin() +
+                        static_cast<std::ptrdiff_t>(w.rawPos),
+                    w.rawBytes.begin() +
+                        static_cast<std::ptrdiff_t>(w.rawPos + n));
+                w.rawPos += n;
             } else {
                 resp.data.assign(
-                    pool_.begin() + static_cast<std::ptrdiff_t>(poolPos_),
-                    pool_.begin() +
-                        static_cast<std::ptrdiff_t>(poolPos_ + n));
-                poolPos_ += n;
+                    dev.pool.begin() +
+                        static_cast<std::ptrdiff_t>(dev.poolPos),
+                    dev.pool.begin() +
+                        static_cast<std::ptrdiff_t>(dev.poolPos + n));
+                dev.poolPos += n;
             }
             telemetry::count(sc.entropyBytes, n);
             resp.stamps.genStartNs = gen_start;
@@ -258,7 +393,10 @@ Shard::handlePuf(const Request &req)
     Response resp;
     resp.type = req.type;
     resp.seq = req.seq;
-    const auto &params = chip_->dramParams();
+    if (!fleet::deviceSupportsFrac(req.device))
+        return capabilityError(req);
+    DeviceState &dev = *resolveDevice(req.device);
+    const auto &params = dev.chip->dramParams();
     if (req.bank >= params.numBanks ||
         req.row >= params.rowsPerBank()) {
         resp.status = Status::Error;
@@ -268,12 +406,13 @@ Shard::handlePuf(const Request &req)
                               params.rowsPerBank());
         return resp;
     }
-    const auto key = std::make_tuple(req.device, req.bank, req.row);
+    const auto key = std::make_pair(req.bank, req.row);
+    const bool have = dev.enrolled.find(key) != dev.enrolled.end();
     if (req.type == MsgType::PufEnroll &&
-        enrolled_.size() >= cfg_.maxEnrollments &&
-        enrolled_.find(key) == enrolled_.end()) {
+        enrolledTotal_ >= cfg_.maxEnrollments && !have) {
         // device is client-chosen, so without a cap the reference
-        // store is an unauthenticated memory-exhaustion vector.
+        // store is an unauthenticated memory-exhaustion vector. The
+        // cap is shard-wide across all registry devices.
         resp.status = Status::Error;
         resp.text = strprintf("enrollment table full (%zu "
                               "references); re-enrolling an existing "
@@ -283,14 +422,16 @@ Shard::handlePuf(const Request &req)
     }
     telemetry::count(counters().pufEvals);
     const puf::Challenge ch{req.bank, req.row};
-    resp.bits = puf_->evaluate(ch);
+    resp.bits = dev.puf->evaluate(ch);
     if (req.type == MsgType::PufEnroll) {
-        enrolled_[key] = resp.bits;
+        if (!have)
+            ++enrolledTotal_;
+        dev.enrolled[key] = resp.bits;
         resp.hamming = 0;
     } else {
-        const auto it = enrolled_.find(key);
+        const auto it = dev.enrolled.find(key);
         resp.hamming =
-            (it != enrolled_.end() &&
+            (it != dev.enrolled.end() &&
              it->second.size() == resp.bits.size())
                 ? static_cast<std::uint32_t>(
                       resp.bits.hammingDistance(it->second))
@@ -300,17 +441,20 @@ Shard::handlePuf(const Request &req)
 }
 
 void
-Shard::refillPool(std::size_t need_bytes)
+Shard::refillPool(DeviceState &dev, std::size_t need_bytes)
 {
-    std::size_t avail = pool_.size() - poolPos_;
+    std::size_t avail = dev.pool.size() - dev.poolPos;
     if (avail >= need_bytes)
         return;
     const auto &sc = counters();
     const telemetry::ScopedTimer timer(sc.poolRefillNs);
+    if (!dev.drbgSeeded)
+        reseed(dev);
     // Compact the consumed prefix, then append DRBG blocks.
-    pool_.erase(pool_.begin(),
-                pool_.begin() + static_cast<std::ptrdiff_t>(poolPos_));
-    poolPos_ = 0;
+    dev.pool.erase(dev.pool.begin(),
+                   dev.pool.begin() +
+                       static_cast<std::ptrdiff_t>(dev.poolPos));
+    dev.poolPos = 0;
     // Each DRBG output block is SHA256(key || counter_le): a 40-byte
     // message, i.e. exactly one pre-padded compression block. The
     // blocks are independent, so they batch through the multi-way
@@ -321,17 +465,17 @@ Shard::refillPool(std::size_t need_bytes)
     std::uint8_t msgs[kBatch * 64];
     Sha256::Digest out[kBatch];
     while (avail < need_bytes) {
-        if (drbgSinceReseed_ >= cfg_.reseedBytes)
-            reseed();
+        if (dev.drbgSinceReseed >= cfg_.reseedBytes)
+            reseed(dev);
         const std::size_t want = (need_bytes - avail + 31) / 32;
         const std::size_t until_reseed =
-            (cfg_.reseedBytes - drbgSinceReseed_ + 31) / 32;
+            (cfg_.reseedBytes - dev.drbgSinceReseed + 31) / 32;
         const std::size_t k =
             std::min(kBatch, std::min(want, until_reseed));
         for (std::size_t b = 0; b < k; ++b) {
             std::uint8_t *blk = msgs + 64 * b;
-            std::memcpy(blk, drbgKey_.data(), drbgKey_.size());
-            const std::uint64_t ctr = drbgCounter_ + b;
+            std::memcpy(blk, dev.drbgKey.data(), dev.drbgKey.size());
+            const std::uint64_t ctr = dev.drbgCounter + b;
             for (int i = 0; i < 8; ++i)
                 blk[32 + i] =
                     static_cast<std::uint8_t>(ctr >> (8 * i));
@@ -343,25 +487,31 @@ Shard::refillPool(std::size_t need_bytes)
         }
         Sha256::hashSingleBlocks(msgs, k, out);
         for (std::size_t b = 0; b < k; ++b)
-            pool_.insert(pool_.end(), out[b].begin(), out[b].end());
-        drbgCounter_ += k;
-        drbgSinceReseed_ += 32 * k;
+            dev.pool.insert(dev.pool.end(), out[b].begin(),
+                            out[b].end());
+        dev.drbgCounter += k;
+        dev.drbgSinceReseed += 32 * k;
         avail += 32 * k;
     }
 }
 
 void
-Shard::reseed()
+Shard::reseed(DeviceState &dev)
 {
     const auto &sc = counters();
     const telemetry::ScopedTimer timer(sc.reseedNs);
-    const BitVector seed = trng_->generate(256);
+    panic_if(!dev.trng,
+             "DRBG reseed on a device whose vendor group %s cannot "
+             "run QUAC-TRNG (four-row activation)",
+             sim::groupName(dev.chip->group()).c_str());
+    const BitVector seed = dev.trng->generate(256);
     const auto bytes = packBits(seed);
-    panic_if(bytes.size() != drbgKey_.size(),
+    panic_if(bytes.size() != dev.drbgKey.size(),
              "DRBG seed is %zu bytes, expected %zu", bytes.size(),
-             drbgKey_.size());
-    std::memcpy(drbgKey_.data(), bytes.data(), drbgKey_.size());
-    drbgSinceReseed_ = 0;
+             dev.drbgKey.size());
+    std::memcpy(dev.drbgKey.data(), bytes.data(), dev.drbgKey.size());
+    dev.drbgSinceReseed = 0;
+    dev.drbgSeeded = true;
     telemetry::count(sc.reseeds);
 }
 

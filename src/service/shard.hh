@@ -1,30 +1,46 @@
 /**
  * @file
- * One shard of the serving pool: a complete simulated device
- * (DramChip + MemoryController + QuacTrng + FracPuf) owned by a
+ * One shard of the serving pool: a registry of simulated devices
+ * (DramChip + MemoryController + QuacTrng + FracPuf each) owned by a
  * single worker thread, fed through a bounded MPSC queue. No state
  * is shared between shards, and nothing but the worker thread ever
- * touches the device - the concurrency story is "share nothing,
+ * touches a device - the concurrency story is "share nothing,
  * communicate by queue", which keeps the whole request path
  * TSan-clean by construction.
  *
- * Entropy is served from a per-shard pool: a SHA-256 counter-mode
- * DRBG seeded (and periodically reseeded) from the shard's
+ * Fleet mode (DESIGN.md §5j) makes the worker device-multiplexed
+ * instead of device-pinned: requests carrying a device id (PUF
+ * frames always, GET_ENTROPY under kFlagDeviceId) resolve through a
+ * registry keyed by fleet device id. Devices materialize lazily on
+ * first request and live in a bounded LRU cache - eviction drops
+ * only the heavy simulated silicon (chip/controller/TRNG/PUF), while
+ * the light per-device state (DRBG key/counter/pool, PUF enrollment
+ * references) persists, so a refault is invisible: the DRBG stream
+ * continues where it left off and enrolled references still verify.
+ * Requests without a device id keep hitting the shard's default
+ * device, which lives outside the registry and is never evicted, so
+ * a v2 client sees the exact pre-fleet behavior.
+ *
+ * Entropy is served from a per-device pool: a SHA-256 counter-mode
+ * DRBG seeded (and periodically reseeded) from the device's
  * QUAC-TRNG. Raw-mode requests bypass the pool and stream
- * conditioned QUAC output directly; the worker coalesces all raw
- * requests of one batch into a single generate() call, which is the
- * request-batching lever the daemon's throughput rests on.
+ * conditioned QUAC output directly; the worker coalesces each
+ * batch's entropy demand per device into one refill or generate()
+ * call, which is the request-batching lever the daemon's throughput
+ * rests on.
  */
 
 #ifndef FRACDRAM_SERVICE_SHARD_HH
 #define FRACDRAM_SERVICE_SHARD_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <thread>
-#include <tuple>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "service/proto.hh"
@@ -64,6 +80,14 @@ struct ShardConfig
     std::size_t reseedBytes = 4u << 20;  //!< DRBG bytes per reseed
     int numFracs = 10;                   //!< Frac ops per PUF eval
     std::size_t maxEnrollments = 4096;   //!< PUF references kept/shard
+
+    /**
+     * Resident-device cap of the fleet registry (the default device
+     * is pinned and not counted). A batch touching more devices than
+     * this may exceed the cap transiently - devices used by the
+     * in-flight batch are never evicted under it.
+     */
+    std::size_t maxResidentDevices = 64;
 
     /**
      * CPU pinning: shard i pins its worker to core
@@ -107,7 +131,7 @@ class Shard
     Shard(int index, const ShardConfig &cfg);
     ~Shard();
 
-    /** Spawn the worker (seeds the DRBG as its first act). */
+    /** Spawn the worker (seeds the default DRBG as its first act). */
     void start();
 
     /**
@@ -126,13 +150,78 @@ class Shard
     std::size_t queueDepth() const { return queue_.size(); }
     std::size_t queueCapacity() const { return queue_.capacity(); }
 
+    /** @name Registry introspection (any-thread; tests, /fleet) */
+    /// @{
+    /** Registry devices with live silicon (default excluded). */
+    std::size_t residentDevices() const
+    {
+        return residentPub_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t deviceFaults() const
+    {
+        return faultsPub_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t deviceEvictions() const
+    {
+        return evictionsPub_.load(std::memory_order_relaxed);
+    }
+    /// @}
+
   private:
+    /**
+     * One simulated device. The unique_ptr quartet is the "heavy"
+     * half - megabytes of lazily-materialized VariationMap rows -
+     * and is what eviction destroys. Everything else is the "light"
+     * half that persists across evict/refault: because chips are
+     * deterministic functions of (group, serial), rebuilding the
+     * quartet restores bit-identical silicon, and the persistent
+     * DRBG/enrollment state makes the round trip observable only as
+     * a latency blip.
+     */
+    struct DeviceState
+    {
+        std::unique_ptr<sim::DramChip> chip;
+        std::unique_ptr<softmc::MemoryController> mc;
+        std::unique_ptr<trng::QuacTrng> trng;
+        std::unique_ptr<puf::FracPuf> puf;
+
+        std::array<std::uint8_t, 32> drbgKey{};
+        std::uint64_t drbgCounter = 0;
+        std::size_t drbgSinceReseed = 0;
+        bool drbgSeeded = false;
+        std::vector<std::uint8_t> pool;
+        std::size_t poolPos = 0;
+        /** Enrolled PUF references, keyed (bank, row). */
+        std::map<std::pair<std::uint32_t, std::uint32_t>, BitVector>
+            enrolled;
+        std::uint64_t lastUsedTick = 0; //!< LRU stamp
+        std::uint64_t lastBatch = 0;    //!< eviction guard (in-batch)
+
+        bool resident() const { return chip != nullptr; }
+    };
+
+    /** Per-batch, per-device coalesced entropy demand. */
+    struct DevWork
+    {
+        DeviceState *dev = nullptr;
+        std::size_t condBytes = 0;
+        std::size_t rawBits = 0;
+        std::vector<std::uint8_t> rawBytes;
+        std::size_t rawPos = 0;
+    };
+
     void run();
     void process(std::vector<Job> &batch);
     Response handlePuf(const Request &req);
     Response entropyError(const Request &req) const;
-    void refillPool(std::size_t need_bytes);
-    void reseed();
+    Response capabilityError(const Request &req) const;
+    void buildDevice(DeviceState &dev, sim::DramGroup group,
+                     std::uint64_t serial);
+    DeviceState *resolveDevice(std::uint32_t id);
+    bool evictOne();
+    void publishRegistry();
+    void refillPool(DeviceState &dev, std::size_t need_bytes);
+    void reseed(DeviceState &dev);
 
     const int index_;
     const ShardConfig cfg_;
@@ -143,23 +232,26 @@ class Shard
 
     /** @name Worker-thread-only state */
     /// @{
-    std::unique_ptr<sim::DramChip> chip_;
-    std::unique_ptr<softmc::MemoryController> mc_;
-    std::unique_ptr<trng::QuacTrng> trng_;
-    std::unique_ptr<puf::FracPuf> puf_;
-    std::array<std::uint8_t, 32> drbgKey_{};
-    std::uint64_t drbgCounter_ = 0;
-    std::size_t drbgSinceReseed_ = 0;
-    std::vector<std::uint8_t> pool_;
-    std::size_t poolPos_ = 0;
-    std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>,
-             BitVector>
-        enrolled_;
+    /** The pre-fleet device: serves id-less requests, never evicted. */
+    DeviceState default_;
+    std::unordered_map<std::uint32_t, DeviceState> registry_;
+    std::size_t resident_ = 0; //!< registry entries with silicon
+    std::size_t enrolledTotal_ = 0; //!< references across all devices
+    std::uint64_t opTick_ = 0;      //!< LRU clock
+    std::uint64_t batchEpoch_ = 0;  //!< process() call counter
+    /// @}
+
+    /** @name Any-thread mirrors of registry state */
+    /// @{
+    std::atomic<std::size_t> residentPub_{0};
+    std::atomic<std::uint64_t> faultsPub_{0};
+    std::atomic<std::uint64_t> evictionsPub_{0};
     /// @}
 
     /** @name Telemetry (ids interned once at construction) */
     /// @{
     telemetry::GaugeId queueDepthGauge_;
+    telemetry::GaugeId residentGauge_;
     telemetry::HistogramId batchJobsHist_;
     /// @}
 };

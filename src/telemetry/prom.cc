@@ -16,15 +16,18 @@ namespace
  * Split "service.shard3.queue_depth" into the family name
  * "service.shard.queue_depth" and the label suffix {shard="3"},
  * and likewise "service.reactor1.conns" into "service.reactor.conns"
- * {reactor="1"}. Per-instance series thus share one Prometheus
+ * {reactor="1"} and "router.backend0.up" into "router.backend.up"
+ * {backend="0"}. Per-instance series thus share one Prometheus
  * family instead of exploding into N distinct metric names. Names
- * without a shardN/reactorN component pass through with no labels.
+ * without a shardN/reactorN/backendN component pass through with no
+ * labels.
  */
 void
 splitShardLabel(const std::string &name, std::string &family,
                 std::string &labels)
 {
-    static constexpr const char *kIndexed[] = {"shard", "reactor"};
+    static constexpr const char *kIndexed[] = {"shard", "reactor",
+                                               "backend"};
     family.clear();
     labels.clear();
     std::size_t pos = 0;

@@ -1,0 +1,565 @@
+/**
+ * @file
+ * Fleet-mode tests (DESIGN.md §5j): device id packing and the
+ * capability table, consistent-hash ring placement, the shard's
+ * device registry (multiplexing, LRU eviction, bit-identical
+ * refault, enrollment persistence, typed CAPABILITY refusals), and
+ * an in-process router suite covering placement, steering,
+ * enrollment replication, failover and hysteresis re-admission.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/client.hh"
+#include "service/fleet.hh"
+#include "service/proto.hh"
+#include "service/router.hh"
+#include "service/server.hh"
+#include "service/shard.hh"
+#include "sim/vendor.hh"
+
+using namespace fracdram;
+using namespace std::chrono_literals;
+
+namespace
+{
+
+// ---------------------------------------------------------------
+// Device ids and the capability table
+// ---------------------------------------------------------------
+
+TEST(FleetDeviceId, PacksGroupAndChip)
+{
+    const std::uint32_t id =
+        fleet::makeDeviceId(sim::DramGroup::E, 417);
+    EXPECT_EQ(fleet::deviceGroup(id), sim::DramGroup::E);
+    EXPECT_EQ(fleet::deviceChip(id), 417u);
+}
+
+TEST(FleetDeviceId, LegacySmallIdsLandInGroupA)
+{
+    // v2 clients send small integers; they must resolve, as group A.
+    for (std::uint32_t id : {0u, 1u, 5u, 255u, 65535u})
+        EXPECT_EQ(fleet::deviceGroup(id), sim::DramGroup::A);
+}
+
+TEST(FleetDeviceId, GroupByteIsTotalModuloWrap)
+{
+    // Any u32 resolves to a real vendor group - no undefined enum.
+    const std::uint32_t weird = 0xFFu << 24 | 3;
+    const auto g = static_cast<std::uint32_t>(fleet::deviceGroup(weird));
+    EXPECT_LT(g, fleet::kNumGroups);
+}
+
+TEST(FleetCapability, MatchesVendorTable)
+{
+    for (std::uint32_t g = 0; g < fleet::kNumGroups; ++g) {
+        const auto group = static_cast<sim::DramGroup>(g);
+        const std::uint32_t id = fleet::makeDeviceId(group, 9);
+        EXPECT_EQ(fleet::deviceSupportsFrac(id),
+                  sim::vendorProfile(group).supportsFrac)
+            << "group " << g;
+    }
+    // The paper's table: J, K, L, N have command-timing checkers.
+    EXPECT_FALSE(fleet::deviceSupportsFrac(
+        fleet::makeDeviceId(sim::DramGroup::J, 0)));
+    EXPECT_FALSE(fleet::deviceSupportsFrac(
+        fleet::makeDeviceId(sim::DramGroup::K, 0)));
+    EXPECT_TRUE(fleet::deviceSupportsFrac(
+        fleet::makeDeviceId(sim::DramGroup::A, 0)));
+}
+
+TEST(FleetCapability, QuacNeedsFourRowActivation)
+{
+    // Entropy capability is narrower than Frac: group A does Frac
+    // (PUF substrate) but opens too few rows for QUAC-TRNG.
+    for (std::uint32_t g = 0; g < fleet::kNumGroups; ++g) {
+        const auto group = static_cast<sim::DramGroup>(g);
+        const std::uint32_t id = fleet::makeDeviceId(group, 4);
+        EXPECT_EQ(fleet::deviceSupportsQuac(id),
+                  sim::vendorProfile(group).supportsFourRow)
+            << "group " << g;
+    }
+    EXPECT_TRUE(fleet::deviceSupportsQuac(
+        fleet::makeDeviceId(sim::DramGroup::B, 0)));
+    EXPECT_FALSE(fleet::deviceSupportsQuac(
+        fleet::makeDeviceId(sim::DramGroup::A, 0)));
+}
+
+TEST(FleetCapability, SteeringIsDeterministicAndCapable)
+{
+    const std::uint32_t bad =
+        fleet::makeDeviceId(sim::DramGroup::J, 12345);
+    const std::uint32_t steered = fleet::steerToCapable(bad);
+    EXPECT_TRUE(fleet::deviceSupportsQuac(steered));
+    EXPECT_EQ(fleet::deviceChip(steered), 12345u);
+    EXPECT_EQ(fleet::steerToCapable(bad), steered); // stable
+    // Frac-but-not-four-row groups steer too: entropy on an A chip
+    // must land on a QUAC-capable group.
+    const std::uint32_t fracOnly =
+        fleet::makeDeviceId(sim::DramGroup::A, 8);
+    EXPECT_TRUE(
+        fleet::deviceSupportsQuac(fleet::steerToCapable(fracOnly)));
+    // Already-capable ids pass through unchanged.
+    const std::uint32_t good =
+        fleet::makeDeviceId(sim::DramGroup::C, 7);
+    EXPECT_EQ(fleet::steerToCapable(good), good);
+}
+
+// ---------------------------------------------------------------
+// Consistent-hash ring
+// ---------------------------------------------------------------
+
+TEST(HashRing, OwnerIsDeterministic)
+{
+    fleet::HashRing ring(64);
+    for (int n = 0; n < 3; ++n)
+        ring.addNode(n);
+    auto all = [](int) { return true; };
+    for (std::uint32_t key = 0; key < 100; ++key)
+        EXPECT_EQ(ring.owner(key, all), ring.owner(key, all));
+}
+
+TEST(HashRing, VirtualNodesBalanceTheKeySpace)
+{
+    fleet::HashRing ring(64);
+    for (int n = 0; n < 3; ++n)
+        ring.addNode(n);
+    auto all = [](int) { return true; };
+    std::map<int, int> share;
+    const int kKeys = 10000;
+    for (int k = 0; k < kKeys; ++k)
+        ++share[ring.owner(static_cast<std::uint32_t>(k) * 2654435761u,
+                           all)];
+    for (int n = 0; n < 3; ++n)
+        EXPECT_GT(share[n], kKeys / 10)
+            << "node " << n << " owns too little";
+}
+
+TEST(HashRing, NodeDeathRemapsOnlyItsKeys)
+{
+    fleet::HashRing ring(64);
+    for (int n = 0; n < 4; ++n)
+        ring.addNode(n);
+    auto all = [](int) { return true; };
+    auto no2 = [](int n) { return n != 2; };
+    for (std::uint32_t k = 0; k < 5000; ++k) {
+        const int before = ring.owner(k, all);
+        const int after = ring.owner(k, no2);
+        if (before != 2)
+            EXPECT_EQ(after, before) << "key " << k << " moved "
+                                        "despite a live owner";
+        else
+            EXPECT_NE(after, 2);
+    }
+}
+
+TEST(HashRing, OwnersReturnsDistinctReplica)
+{
+    fleet::HashRing ring(32);
+    for (int n = 0; n < 3; ++n)
+        ring.addNode(n);
+    auto all = [](int) { return true; };
+    for (std::uint32_t k = 0; k < 500; ++k) {
+        const auto [primary, secondary] = ring.owners(k, all);
+        ASSERT_GE(primary, 0);
+        ASSERT_GE(secondary, 0);
+        EXPECT_NE(primary, secondary);
+    }
+}
+
+TEST(HashRing, EmptyAndSingleNode)
+{
+    fleet::HashRing empty(16);
+    auto all = [](int) { return true; };
+    EXPECT_EQ(empty.owner(7, all), -1);
+    fleet::HashRing one(16);
+    one.addNode(0);
+    EXPECT_EQ(one.owner(7, all), 0);
+    EXPECT_EQ(one.owners(7, all).second, -1); // no distinct replica
+}
+
+// ---------------------------------------------------------------
+// Shard device registry
+// ---------------------------------------------------------------
+
+/** Collects responses by token; lets the test await each one. */
+class CaptureSink final : public service::ResponseSink
+{
+  public:
+    void onResponse(std::uint64_t token,
+                    service::Response &&resp) override
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        got_[token] = std::move(resp);
+        cv_.notify_all();
+    }
+
+    service::Response wait(std::uint64_t token)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        const bool ok = cv_.wait_for(lock, 10s, [&] {
+            return got_.count(token) != 0;
+        });
+        EXPECT_TRUE(ok) << "no response for token " << token;
+        return ok ? got_[token] : service::Response{};
+    }
+
+  private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::map<std::uint64_t, service::Response> got_;
+};
+
+service::ShardConfig
+smallShardConfig()
+{
+    service::ShardConfig cfg;
+    cfg.colsPerRow = 256;
+    cfg.numFracs = 4;
+    return cfg;
+}
+
+/** Submit one request and await the response. */
+service::Response
+ask(service::Shard &shard, CaptureSink &sink, std::uint64_t token,
+    const service::Request &req)
+{
+    service::Job job;
+    job.req = req;
+    job.sink = &sink;
+    job.token = token;
+    EXPECT_TRUE(shard.submit(std::move(job)));
+    return sink.wait(token);
+}
+
+service::Request
+entropyFor(std::uint32_t device, std::uint32_t n)
+{
+    service::Request req;
+    req.type = service::MsgType::GetEntropy;
+    req.flags = service::kFlagDeviceId;
+    req.device = device;
+    req.nBytes = n;
+    return req;
+}
+
+TEST(FleetShard, MultiplexesDistinctDevices)
+{
+    service::Shard shard(0, smallShardConfig());
+    shard.start();
+    CaptureSink sink;
+    const std::uint32_t d1 = fleet::makeDeviceId(sim::DramGroup::B, 1);
+    const std::uint32_t d2 = fleet::makeDeviceId(sim::DramGroup::C, 1);
+    const auto r1 = ask(shard, sink, 1, entropyFor(d1, 32));
+    const auto r2 = ask(shard, sink, 2, entropyFor(d2, 32));
+    EXPECT_EQ(r1.status, service::Status::Ok);
+    EXPECT_EQ(r2.status, service::Status::Ok);
+    ASSERT_EQ(r1.data.size(), 32u);
+    ASSERT_EQ(r2.data.size(), 32u);
+    EXPECT_NE(r1.data, r2.data); // different silicon, different seed
+    EXPECT_EQ(shard.residentDevices(), 2u);
+    EXPECT_EQ(shard.deviceFaults(), 2u);
+    shard.drainAndStop();
+}
+
+TEST(FleetShard, UnflaggedTrafficUsesTheDefaultDevice)
+{
+    service::Shard shard(0, smallShardConfig());
+    shard.start();
+    CaptureSink sink;
+    service::Request req;
+    req.type = service::MsgType::GetEntropy;
+    req.nBytes = 16;
+    const auto resp = ask(shard, sink, 1, req);
+    EXPECT_EQ(resp.status, service::Status::Ok);
+    EXPECT_EQ(shard.residentDevices(), 0u); // registry untouched
+    shard.drainAndStop();
+}
+
+TEST(FleetShard, EvictsLeastRecentlyUsedUnderPressure)
+{
+    service::ShardConfig cfg = smallShardConfig();
+    cfg.maxResidentDevices = 2;
+    service::Shard shard(0, cfg);
+    shard.start();
+    CaptureSink sink;
+    std::uint64_t token = 0;
+    for (std::uint32_t c = 0; c < 5; ++c) {
+        const auto resp = ask(
+            shard, sink, ++token,
+            entropyFor(fleet::makeDeviceId(sim::DramGroup::B, c), 8));
+        EXPECT_EQ(resp.status, service::Status::Ok);
+    }
+    EXPECT_LE(shard.residentDevices(), 2u);
+    EXPECT_EQ(shard.deviceFaults(), 5u);
+    EXPECT_GE(shard.deviceEvictions(), 3u);
+    shard.drainAndStop();
+}
+
+TEST(FleetShard, RefaultedDeviceIsBitIdentical)
+{
+    // Golden-digest property: a PUF reference enrolled on a device,
+    // the device evicted, then refaulted, must verify with hamming
+    // distance exactly 0 - the rebuilt silicon replays the same
+    // trial-noise stream, so the first post-refault evaluation equals
+    // the enrollment evaluation bit for bit.
+    service::ShardConfig cfg = smallShardConfig();
+    cfg.maxResidentDevices = 2;
+    service::Shard shard(0, cfg);
+    shard.start();
+    CaptureSink sink;
+    const std::uint32_t dev = fleet::makeDeviceId(sim::DramGroup::A, 7);
+
+    service::Request enroll;
+    enroll.type = service::MsgType::PufEnroll;
+    enroll.device = dev;
+    enroll.bank = 0;
+    enroll.row = 1;
+    const auto ref = ask(shard, sink, 1, enroll);
+    ASSERT_EQ(ref.status, service::Status::Ok);
+    ASSERT_GT(ref.bits.size(), 0u);
+
+    // Evict it by touching more devices than the residency cap.
+    std::uint64_t token = 1;
+    for (std::uint32_t c = 100; c < 103; ++c)
+        ask(shard, sink, ++token,
+            entropyFor(fleet::makeDeviceId(sim::DramGroup::B, c), 8));
+    EXPECT_GE(shard.deviceEvictions(), 1u);
+
+    service::Request verify;
+    verify.type = service::MsgType::PufResponse;
+    verify.device = dev;
+    verify.bank = 0;
+    verify.row = 1;
+    const auto resp = ask(shard, sink, ++token, verify);
+    ASSERT_EQ(resp.status, service::Status::Ok);
+    EXPECT_EQ(resp.hamming, 0u) << "refaulted device diverged";
+    EXPECT_EQ(resp.bits.size(), ref.bits.size());
+    shard.drainAndStop();
+}
+
+TEST(FleetShard, DrbgStreamContinuesAcrossEviction)
+{
+    // The conditioned stream of a device must not depend on whether
+    // the device stayed resident: the DRBG state is part of the
+    // persistent half. Compare an evict-in-the-middle shard against
+    // an undisturbed one.
+    const std::uint32_t dev = fleet::makeDeviceId(sim::DramGroup::C, 3);
+
+    service::ShardConfig small = smallShardConfig();
+    small.maxResidentDevices = 1;
+    service::Shard pressured(0, small);
+    pressured.start();
+    CaptureSink sink1;
+    const auto a1 = ask(pressured, sink1, 1, entropyFor(dev, 32));
+    for (std::uint32_t c = 50; c < 52; ++c)
+        ask(pressured, sink1, c,
+            entropyFor(fleet::makeDeviceId(sim::DramGroup::B, c), 8));
+    EXPECT_GE(pressured.deviceEvictions(), 1u);
+    const auto a2 = ask(pressured, sink1, 99, entropyFor(dev, 32));
+    pressured.drainAndStop();
+
+    service::Shard calm(0, smallShardConfig());
+    calm.start();
+    CaptureSink sink2;
+    const auto b1 = ask(calm, sink2, 1, entropyFor(dev, 32));
+    const auto b2 = ask(calm, sink2, 2, entropyFor(dev, 32));
+    calm.drainAndStop();
+
+    ASSERT_EQ(a1.status, service::Status::Ok);
+    ASSERT_EQ(a2.status, service::Status::Ok);
+    EXPECT_EQ(a1.data, b1.data);
+    EXPECT_EQ(a2.data, b2.data);
+}
+
+TEST(FleetShard, IncapableGroupsGetTypedCapabilityStatus)
+{
+    service::Shard shard(0, smallShardConfig());
+    shard.start();
+    CaptureSink sink;
+    const std::uint32_t bad = fleet::makeDeviceId(sim::DramGroup::J, 0);
+    const auto e = ask(shard, sink, 1, entropyFor(bad, 16));
+    EXPECT_EQ(e.status, service::Status::Capability);
+
+    // Group A does Frac but not the four-row activation, so entropy
+    // on it is a capability refusal as well (a daemon without a
+    // router in front does not steer).
+    const auto ea = ask(
+        shard, sink, 3,
+        entropyFor(fleet::makeDeviceId(sim::DramGroup::A, 1), 16));
+    EXPECT_EQ(ea.status, service::Status::Capability);
+
+    service::Request enroll;
+    enroll.type = service::MsgType::PufEnroll;
+    enroll.device = fleet::makeDeviceId(sim::DramGroup::K, 2);
+    enroll.bank = 0;
+    enroll.row = 1;
+    const auto p = ask(shard, sink, 2, enroll);
+    EXPECT_EQ(p.status, service::Status::Capability);
+    // The incapable device must never have been materialized
+    // (FracPuf would refuse - and fatal - on such a chip).
+    EXPECT_EQ(shard.residentDevices(), 0u);
+    shard.drainAndStop();
+}
+
+// ---------------------------------------------------------------
+// Router end to end
+// ---------------------------------------------------------------
+
+service::ServerConfig
+daemonConfig()
+{
+    service::ServerConfig cfg;
+    cfg.port = 0;
+    cfg.metricsPort = 0;
+    cfg.numShards = 1;
+    cfg.numReactors = 1;
+    cfg.pinThreads = false;
+    cfg.shard.colsPerRow = 256;
+    cfg.shard.numFracs = 4;
+    return cfg;
+}
+
+bool
+waitFor(const std::function<bool()> &pred, std::chrono::seconds limit)
+{
+    const auto deadline = std::chrono::steady_clock::now() + limit;
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (pred())
+            return true;
+        std::this_thread::sleep_for(20ms);
+    }
+    return pred();
+}
+
+TEST(FleetRouter, PlacementSteeringReplicationAndFailover)
+{
+    std::string err;
+    auto s0 = std::make_unique<service::Server>(daemonConfig());
+    ASSERT_TRUE(s0->start(&err)) << err;
+    auto s1 = std::make_unique<service::Server>(daemonConfig());
+    ASSERT_TRUE(s1->start(&err)) << err;
+    const std::uint16_t p0 = s0->port(), m0 = s0->metricsPort();
+
+    fleet::RouterConfig rc;
+    rc.port = 0;
+    rc.metricsPort = 0;
+    rc.backends.push_back({"127.0.0.1", p0, m0});
+    rc.backends.push_back({"127.0.0.1", s1->port(),
+                           s1->metricsPort()});
+    rc.vnodes = 32;
+    rc.probeIntervalMs = 50;
+    rc.ejectAfter = 2;
+    rc.readmitAfter = 2;
+    rc.upstreamTimeoutMs = 3000;
+    fleet::Router router(rc);
+    ASSERT_TRUE(router.start(&err)) << err;
+    ASSERT_TRUE(waitFor(
+        [&] { return router.backendUp(0) && router.backendUp(1); },
+        5s));
+
+    service::Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", router.port(), &err))
+        << err;
+
+    // HEALTH through the router answers inline with fleet JSON.
+    std::string health;
+    ASSERT_TRUE(client.health(health, &err)) << err;
+    EXPECT_NE(health.find("\"router\""), std::string::npos);
+
+    // Device-addressed entropy routes and round-trips.
+    std::vector<std::uint8_t> data;
+    service::Status status{};
+    ASSERT_TRUE(client.getDeviceEntropy(
+        fleet::makeDeviceId(sim::DramGroup::B, 1), 32, false, data,
+        status, &err))
+        << err;
+    EXPECT_EQ(status, service::Status::Ok);
+    EXPECT_EQ(data.size(), 32u);
+
+    // Incapable-group entropy is steered, not refused or timed out.
+    ASSERT_TRUE(client.getDeviceEntropy(
+        fleet::makeDeviceId(sim::DramGroup::J, 1), 32, false, data,
+        status, &err))
+        << err;
+    EXPECT_EQ(status, service::Status::Ok);
+
+    // Incapable-group PUF gets the typed refusal inline.
+    BitVector bits;
+    ASSERT_TRUE(client.pufEnroll(
+        fleet::makeDeviceId(sim::DramGroup::L, 1), 0, 1, bits, status,
+        &err));
+    EXPECT_EQ(status, service::Status::Capability);
+
+    // Enroll a handful of keys; with two backends, replication puts
+    // every key on both.
+    const int kKeys = 6;
+    std::vector<std::uint32_t> devices;
+    for (int k = 0; k < kKeys; ++k) {
+        const std::uint32_t dev = fleet::makeDeviceId(
+            static_cast<sim::DramGroup>(k % 9),
+            static_cast<std::uint32_t>(k));
+        devices.push_back(dev);
+        ASSERT_TRUE(client.pufEnroll(dev, 0, 1, bits, status, &err))
+            << err;
+        ASSERT_EQ(status, service::Status::Ok) << "key " << k;
+    }
+
+    // Kill backend 0 outright. The prober must eject it, and every
+    // key must still verify through its replica.
+    s0->stop();
+    s0.reset();
+    ASSERT_TRUE(waitFor([&] { return !router.backendUp(0); }, 10s));
+    EXPECT_GE(router.ejections(), 1u);
+
+    service::Client after;
+    ASSERT_TRUE(after.connect("127.0.0.1", router.port(), &err))
+        << err;
+    for (std::uint32_t dev : devices) {
+        std::uint32_t hamming = 0;
+        ASSERT_TRUE(after.pufResponse(dev, 0, 1, bits, hamming,
+                                      status, &err))
+            << err;
+        EXPECT_EQ(status, service::Status::Ok)
+            << "key on device " << dev << " lost in failover";
+        EXPECT_NE(hamming, service::kNoHamming);
+    }
+
+    // Restart the dead daemon on its old ports: hysteresis must
+    // re-admit it after readmitAfter healthy probes.
+    service::ServerConfig cfg0 = daemonConfig();
+    cfg0.port = p0;
+    cfg0.metricsPort = m0;
+    auto s0b = std::make_unique<service::Server>(cfg0);
+    ASSERT_TRUE(s0b->start(&err)) << err;
+    ASSERT_TRUE(waitFor([&] { return router.backendUp(0); }, 10s));
+    EXPECT_GE(router.readmissions(), 1u);
+
+    // Fleet topology and the aggregate metrics render.
+    const std::string fleet_json = router.fleetJson();
+    EXPECT_NE(fleet_json.find("\"role\": \"router\""),
+              std::string::npos);
+    EXPECT_NE(fleet_json.find("\"state\": \"up\""),
+              std::string::npos);
+    const std::string prom = router.aggregateMetrics();
+    EXPECT_NE(prom.find("fracdram_router_forwarded"),
+              std::string::npos);
+    EXPECT_NE(prom.find("# fleet aggregate over"),
+              std::string::npos);
+
+    router.stop();
+    s0b->stop();
+    s1->stop();
+}
+
+} // namespace

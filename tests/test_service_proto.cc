@@ -118,8 +118,9 @@ TEST(ServiceProto, ResponseRoundTripOk)
 
 TEST(ServiceProto, ResponseRoundTripErrorStatuses)
 {
-    for (const auto status :
-         {Status::Busy, Status::Error, Status::RateLimited}) {
+    for (const auto status : {Status::Busy, Status::Error,
+                              Status::RateLimited,
+                              Status::Capability}) {
         Response resp;
         resp.type = MsgType::GetEntropy;
         resp.seq = 77;
@@ -288,7 +289,14 @@ TEST(ServiceProto, FuzzRequestRoundTripThroughChunkedReader)
         // Fields not carried by this type won't round-trip; zero
         // them so equality holds.
         if (req.type == MsgType::GetEntropy) {
-            req.device = req.bank = req.row = 0;
+            req.bank = req.row = 0;
+            // A third of the entropy traffic speaks v3 (fleet): the
+            // explicit device id must round-trip and must not shift
+            // later frames.
+            if (rng.below(3) == 1)
+                req.flags |= kFlagDeviceId;
+            else
+                req.device = 0;
         } else if (req.type == MsgType::PufEnroll ||
                    req.type == MsgType::PufResponse) {
             req.nBytes = 0;
@@ -390,4 +398,82 @@ TEST(ServiceProto, RequestIdRoundTripAndEcho)
     EXPECT_EQ(rback.requestId, req.requestId);
     EXPECT_EQ(rback.flags & kFlagRequestId, kFlagRequestId);
     EXPECT_EQ(rback.data, resp.data);
+}
+
+TEST(ServiceProto, DeviceIdFlagRoundTrip)
+{
+    Request req;
+    req.type = MsgType::GetEntropy;
+    req.seq = 21;
+    req.flags = kFlagDeviceId;
+    req.device = 0x0400001Bu; // group E, chip 27
+    req.nBytes = 64;
+
+    const auto bytes = encodeRequest(req);
+    // v1 header (4 bytes) + device id (4) + GET_ENTROPY body (4).
+    EXPECT_EQ(bytes.size(), 12u);
+    Request back;
+    std::string err;
+    ASSERT_TRUE(decodeRequest(bytes.data(), bytes.size(), back, &err))
+        << err;
+    EXPECT_EQ(back, req);
+
+    // Device id and request id compose: id first, then device.
+    Request traced = req;
+    traced.flags |= kFlagRequestId;
+    traced.requestId = 0x1122334455667788ull;
+    const auto tbytes = encodeRequest(traced);
+    EXPECT_EQ(tbytes.size(), 20u);
+    ASSERT_TRUE(
+        decodeRequest(tbytes.data(), tbytes.size(), back, &err))
+        << err;
+    EXPECT_EQ(back, traced);
+
+    // An unflagged frame of the same request is 4 bytes shorter.
+    Request v2 = req;
+    v2.flags = 0;
+    v2.device = 0;
+    EXPECT_EQ(encodeRequest(v2).size(), 8u);
+
+    // A truncated device id must be rejected, not misread as a body.
+    for (std::size_t cut = 5; cut < 12; ++cut) {
+        Request junk;
+        EXPECT_FALSE(decodeRequest(bytes.data(), cut, junk))
+            << "cut=" << cut;
+    }
+}
+
+TEST(ServiceProto, DeviceIdFlagRejectedWhereMeaningless)
+{
+    // The flag is a GET_ENTROPY extension only: PUF requests carry
+    // the device unconditionally, HEALTH/STATS have no device, and
+    // responses never carry one. A single canonical encoding per
+    // message keeps encode(decode(x)) == x.
+    for (const auto type : {MsgType::PufEnroll, MsgType::PufResponse,
+                            MsgType::Health, MsgType::Stats}) {
+        Request req = makeRequest(type, 5);
+        req.flags |= kFlagDeviceId;
+        const auto bytes = encodeRequest(req);
+        Request back;
+        std::string err;
+        EXPECT_FALSE(
+            decodeRequest(bytes.data(), bytes.size(), back, &err))
+            << msgTypeName(type);
+    }
+
+    Response resp;
+    resp.type = MsgType::GetEntropy;
+    resp.seq = 3;
+    resp.flags = kFlagDeviceId;
+    resp.data = {1, 2};
+    const auto rbytes = encodeResponse(resp);
+    Response rback;
+    std::string err;
+    EXPECT_FALSE(
+        decodeResponse(rbytes.data(), rbytes.size(), rback, &err));
+}
+
+TEST(ServiceProto, CapabilityStatusHasAName)
+{
+    EXPECT_STREQ(statusName(Status::Capability), "CAPABILITY");
 }

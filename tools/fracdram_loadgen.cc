@@ -33,6 +33,21 @@
  *                     per-stage timelines for it; dump them with
  *                     /varz?trace=N on the daemon's metrics port
  *   --check-health    just fetch HEALTH, print it, exit 0/1
+ *
+ * Fleet mode (fracdram_router / multi-device daemons, DESIGN.md §5j):
+ *   --scenario vendor-mix  address every request to an explicit
+ *                     device (kFlagDeviceId) drawn from vendor groups
+ *                     A-L with the paper's capability skew: J/K/L
+ *                     cannot do Frac/QUAC, so those requests must be
+ *                     steered (router) or answered with a typed
+ *                     CAPABILITY status (daemon) - never time out
+ *   --fleet-chips N   chips per vendor group the mix draws from
+ *                     (default 64)
+ *   --puf-enroll K    sequential mode: enroll K PUF keys on devices
+ *                     spread over the capable groups, exit 0 iff all
+ *                     enrollments return OK
+ *   --puf-verify K    sequential mode: PUF_RESPONSE the same K keys,
+ *                     exit 0 iff every one verifies OK
  *   --json-out FILE   write the summary as one JSON line; includes
  *                     the server-side latency histograms fetched via
  *                     STATS after the run under the "server" key
@@ -62,8 +77,10 @@
 
 #include "common/logging.hh"
 #include "service/client.hh"
+#include "service/fleet.hh"
 #include "service/net.hh"
 #include "service/proto.hh"
+#include "sim/vendor.hh"
 
 using namespace fracdram;
 using Clock = std::chrono::steady_clock;
@@ -89,6 +106,10 @@ struct Options
     int storm = 0;
     std::string readyFile;
     int holdSecs = 30;
+    std::string scenario;         //!< "" (default) or "vendor-mix"
+    std::uint32_t fleetChips = 64; //!< chips per group in the mix
+    int pufEnroll = 0;
+    int pufVerify = 0;
 };
 
 /** Power-of-two microsecond latency buckets (last = overflow). */
@@ -167,6 +188,7 @@ struct WorkerResult
     std::uint64_t ok = 0;
     std::uint64_t busy = 0;
     std::uint64_t rateLimited = 0;
+    std::uint64_t capability = 0; //!< typed CAPABILITY refusals
     std::uint64_t errors = 0;
     std::string firstError;
 };
@@ -179,8 +201,34 @@ struct GenConn
     std::deque<Clock::time_point> inFlight;
     std::uint16_t seq = 0;
     std::uint64_t nextId = 0;
+    std::uint64_t rng = 0; //!< vendor-mix device stream (xorshift)
     bool closed = false;
 };
+
+/** xorshift64: cheap per-connection device id stream. */
+std::uint64_t
+nextRand(std::uint64_t &s)
+{
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+}
+
+/**
+ * The vendor-mix device draw: groups A-L uniformly (so one in four
+ * requests hits a group whose timing checkers make Frac impossible),
+ * chip index within --fleet-chips.
+ */
+std::uint32_t
+vendorMixDevice(std::uint64_t &rng, std::uint32_t fleet_chips)
+{
+    const std::uint64_t r = nextRand(rng);
+    const auto group = static_cast<sim::DramGroup>(r % 12);
+    const auto chip =
+        static_cast<std::uint32_t>((r >> 8) % fleet_chips);
+    return fleet::makeDeviceId(group, chip);
+}
 
 void
 noteError(WorkerResult &result, const std::string &err)
@@ -203,16 +251,22 @@ runWorker(const Options &opt, int worker, int n_conns,
 {
     // Prebuilt request frame; seq lives at offset 6, the request id
     // (traced runs only) at offset 8 (4-byte length prefix + type,
-    // flags, u16 seq).
+    // flags, u16 seq). With the vendor-mix scenario the device id
+    // sits right after the header - after the request id when both
+    // flags are on.
+    const bool vendor_mix = opt.scenario == "vendor-mix";
     service::Request req;
     req.type = service::MsgType::GetEntropy;
     req.flags = opt.raw ? service::kFlagRawEntropy : 0;
     if (opt.trace)
         req.flags |= service::kFlagRequestId;
+    if (vendor_mix)
+        req.flags |= service::kFlagDeviceId;
     req.nBytes = opt.bytes;
     const std::vector<std::uint8_t> tmpl =
         service::frame(service::encodeRequest(req));
     constexpr std::size_t kSeqOff = 6, kIdOff = 8;
+    const std::size_t dev_off = opt.trace ? 16 : 8;
 
     std::vector<GenConn> conns(static_cast<std::size_t>(n_conns));
     std::string err;
@@ -229,6 +283,7 @@ runWorker(const Options &opt, int worker, int n_conns,
         conns[i].nextId =
             (static_cast<std::uint64_t>(worker + 1) << 40) |
             (static_cast<std::uint64_t>(i) << 24);
+        conns[i].rng = conns[i].nextId | 0x9e3779b9u;
     }
 
     std::vector<std::uint8_t> sendbuf;
@@ -248,6 +303,14 @@ runWorker(const Options &opt, int worker, int n_conns,
                     sendbuf[at + kIdOff +
                             static_cast<std::size_t>(b)] =
                         static_cast<std::uint8_t>(id >> (8 * b));
+            }
+            if (vendor_mix) {
+                const std::uint32_t dev =
+                    vendorMixDevice(c.rng, opt.fleetChips);
+                for (int b = 0; b < 4; ++b)
+                    sendbuf[at + dev_off +
+                            static_cast<std::size_t>(b)] =
+                        static_cast<std::uint8_t>(dev >> (8 * b));
             }
         }
         if (!service::writeAll(c.fd, sendbuf.data(), sendbuf.size(),
@@ -350,6 +413,11 @@ runWorker(const Options &opt, int worker, int n_conns,
                     break;
                 case service::Status::RateLimited:
                     ++result.rateLimited;
+                    break;
+                case service::Status::Capability:
+                    // Typed refusal, not a failure: the vendor-mix
+                    // scenario expects these from J/K/L devices.
+                    ++result.capability;
                     break;
                 case service::Status::Error:
                     noteError(result, resp.text);
@@ -454,6 +522,84 @@ checkHealth(const Options &opt)
     }
     std::printf("%s\n", json.c_str());
     return json.find("\"status\"") != std::string::npos ? 0 : 1;
+}
+
+/** The k-th key of the --puf-enroll/--puf-verify sequence: devices
+ *  spread round-robin over the Frac-capable vendor groups, one
+ *  (bank 0, row 1) reference each. */
+std::uint32_t
+pufDeviceFor(int k)
+{
+    static const std::vector<sim::DramGroup> capable =
+        sim::fracCapableGroups();
+    return fleet::makeDeviceId(
+        capable[static_cast<std::size_t>(k) % capable.size()],
+        static_cast<std::uint32_t>(k));
+}
+
+/**
+ * Sequential PUF mode: enroll (or verify) @p count keys through one
+ * blocking client. Exit status is the contract: 0 iff every key came
+ * back OK (and, verifying, matched its enrollment) - the fleet smoke
+ * drives failover through this.
+ */
+int
+runPufMode(const Options &opt, int count, bool verify)
+{
+    service::Client client;
+    std::string err;
+    if (!client.connect(opt.host, opt.port, &err)) {
+        std::fprintf(stderr, "puf: connect failed: %s\n",
+                     err.c_str());
+        return 1;
+    }
+    int failed = 0;
+    std::uint32_t worst_hamming = 0;
+    for (int k = 0; k < count; ++k) {
+        const std::uint32_t device = pufDeviceFor(k);
+        service::Status status{};
+        BitVector bits;
+        bool ok;
+        std::uint32_t hamming = 0;
+        if (verify)
+            ok = client.pufResponse(device, 0, 1, bits, hamming,
+                                    status, &err);
+        else
+            ok = client.pufEnroll(device, 0, 1, bits, status, &err);
+        if (!ok || status != service::Status::Ok) {
+            ++failed;
+            std::fprintf(stderr, "puf: %s key %d (device 0x%08x) "
+                                 "failed: %s\n",
+                         verify ? "verify" : "enroll", k, device,
+                         ok ? service::statusName(status)
+                            : err.c_str());
+            continue;
+        }
+        if (verify) {
+            // An OK answer carrying the no-reference sentinel means
+            // the serving device evaluated the challenge but never
+            // enrolled this key - a lost reference, not a match.
+            if (hamming == service::kNoHamming) {
+                ++failed;
+                std::fprintf(stderr,
+                             "puf: verify key %d (device 0x%08x) "
+                             "failed: no reference enrolled\n",
+                             k, device);
+                continue;
+            }
+            worst_hamming = std::max(worst_hamming, hamming);
+        }
+    }
+    if (!opt.quiet) {
+        if (verify)
+            std::printf("puf: %d/%d keys verified, worst hamming "
+                        "%u\n",
+                        count - failed, count, worst_hamming);
+        else
+            std::printf("puf: %d/%d keys enrolled\n", count - failed,
+                        count);
+    }
+    return failed == 0 ? 0 : 1;
 }
 
 /**
@@ -649,15 +795,32 @@ main(int argc, char **argv)
             opt.readyFile = next();
         else if (arg == "--hold-secs")
             opt.holdSecs = std::atoi(next().c_str());
+        else if (arg == "--scenario")
+            opt.scenario = next();
+        else if (arg == "--fleet-chips")
+            opt.fleetChips = static_cast<std::uint32_t>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        else if (arg == "--puf-enroll")
+            opt.pufEnroll = std::atoi(next().c_str());
+        else if (arg == "--puf-verify")
+            opt.pufVerify = std::atoi(next().c_str());
         else
             fatal("unknown option '%s'", arg.c_str());
     }
     fatal_if(opt.port == 0, "--port is required");
     fatal_if(opt.conns < 1 || opt.window < 1,
              "--conns and --window must be at least 1");
+    fatal_if(!opt.scenario.empty() && opt.scenario != "vendor-mix",
+             "unknown --scenario '%s' (supported: vendor-mix)",
+             opt.scenario.c_str());
+    fatal_if(opt.fleetChips == 0, "--fleet-chips must be >= 1");
 
     if (opt.checkHealth)
         return checkHealth(opt);
+    if (opt.pufEnroll > 0)
+        return runPufMode(opt, opt.pufEnroll, /*verify=*/false);
+    if (opt.pufVerify > 0)
+        return runPufMode(opt, opt.pufVerify, /*verify=*/true);
     if (opt.storm > 0)
         return runStorm(opt);
 
@@ -701,6 +864,7 @@ main(int argc, char **argv)
         total.ok += r.ok;
         total.busy += r.busy;
         total.rateLimited += r.rateLimited;
+        total.capability += r.capability;
         total.errors += r.errors;
         if (total.firstError.empty())
             total.firstError = r.firstError;
@@ -728,10 +892,11 @@ main(int argc, char **argv)
                     opt.conns, opt.window, n_threads, opt.bytes,
                     opt.raw ? " (raw)" : "", elapsed);
         std::printf("  ok %llu  busy %llu  rate_limited %llu  "
-                    "errors %llu\n",
+                    "capability %llu  errors %llu\n",
                     static_cast<unsigned long long>(total.ok),
                     static_cast<unsigned long long>(total.busy),
                     static_cast<unsigned long long>(total.rateLimited),
+                    static_cast<unsigned long long>(total.capability),
                     static_cast<unsigned long long>(total.errors));
         std::printf("  throughput %.0f req/s\n", rps);
         std::printf("  latency p50 %.1f us  p95 %.1f us  "
@@ -759,8 +924,10 @@ main(int argc, char **argv)
     const std::string json = strprintf(
         "{\"conns\": %d, \"threads\": %d, \"window\": %d, "
         "\"bytes_per_req\": %u, "
-        "\"raw\": %s, \"traced\": %s, \"seconds\": %.3f, "
+        "\"raw\": %s, \"traced\": %s, \"scenario\": \"%s\", "
+        "\"seconds\": %.3f, "
         "\"ok\": %llu, \"busy\": %llu, \"rate_limited\": %llu, "
+        "\"capability\": %llu, "
         "\"errors\": %llu, \"requests_per_sec\": %.1f, "
         "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
         "\"latency_hist_us\": %s, "
@@ -768,9 +935,11 @@ main(int argc, char **argv)
         "\"server\": %s}",
         opt.conns, n_threads, opt.window, opt.bytes,
         opt.raw ? "true" : "false", opt.trace ? "true" : "false",
+        opt.scenario.empty() ? "default" : opt.scenario.c_str(),
         elapsed, static_cast<unsigned long long>(total.ok),
         static_cast<unsigned long long>(total.busy),
         static_cast<unsigned long long>(total.rateLimited),
+        static_cast<unsigned long long>(total.capability),
         static_cast<unsigned long long>(total.errors), rps, p50, p95,
         p99, total.hist.json().c_str(), timeline_json.c_str(),
         server.empty() ? "null" : server.c_str());

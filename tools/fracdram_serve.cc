@@ -204,18 +204,28 @@ main(int argc, char **argv)
                     "http://127.0.0.1:%u/metrics\n",
                     server.metricsPort());
     std::fflush(stdout);
+    // Port files appear only once BOTH listeners are live (start()
+    // already bound them), each atomically via tmp+rename so a reader
+    // can never observe a half-written number. The data port file is
+    // written last: scripts that wait on it may immediately probe
+    // /healthz on the metrics port.
     const auto write_port_file = [](const std::string &path,
                                     std::uint16_t port) {
         if (path.empty())
             return;
-        std::FILE *f = std::fopen(path.c_str(), "w");
+        const std::string tmp = path + ".tmp";
+        std::FILE *f = std::fopen(tmp.c_str(), "w");
         fatal_if(f == nullptr, "cannot write port file '%s'",
-                 path.c_str());
+                 tmp.c_str());
         std::fprintf(f, "%u\n", port);
+        std::fflush(f);
         std::fclose(f);
+        fatal_if(std::rename(tmp.c_str(), path.c_str()) != 0,
+                 "cannot rename port file '%s' -> '%s'", tmp.c_str(),
+                 path.c_str());
     };
-    write_port_file(port_file, server.port());
     write_port_file(metrics_port_file, server.metricsPort());
+    write_port_file(port_file, server.port());
 
     while (g_stop == 0) {
         if (g_quit_dump != 0) {
